@@ -1,0 +1,94 @@
+// Ablation (DESIGN.md): a complete codesign campaign over the paste
+// workflow using the Cheetah composition API and the ResultCatalog — the
+// Section II-C story end to end: declare an objective, sweep parameters
+// across layers, execute (cost model), and query the catalog for the best
+// configuration and per-parameter impact.
+
+#include <cstdio>
+
+#include "cheetah/results.hpp"
+#include "gwas/paste.hpp"
+#include "util/strings.hpp"
+
+using namespace ff;
+
+int main() {
+  constexpr size_t kFiles = 1606;
+  constexpr size_t kColumnsPerFile = 50;
+  constexpr size_t kRows = 100000;
+
+  // Compose the campaign: application-layer fan_in x system-layer workers.
+  cheetah::AppSpec app;
+  app.name = "paste";
+  app.executable = "paste_tool";
+  app.args_template = "--fan-in {{fan_in}} --workers {{workers}}";
+  cheetah::Campaign campaign("paste-codesign", app);
+  campaign.set_objective(cheetah::Objective::MinimizeRuntime);
+  cheetah::Sweep sweep("grid");
+  sweep.add(cheetah::Parameter::values(
+                "fan_in", cheetah::ParamLayer::Application,
+                {Json(48), Json(64), Json(96), Json(128), Json(256)}))
+      .add(cheetah::Parameter::values("workers", cheetah::ParamLayer::System,
+                                      {Json(1), Json(4), Json(16), Json(64)}));
+  cheetah::SweepGroup group("grid-group");
+  group.add(std::move(sweep));
+  campaign.add_group(std::move(group));
+
+  std::printf("Codesign campaign '%s': %zu configurations, objective %s\n\n",
+              campaign.name().c_str(), campaign.total_runs(),
+              std::string(cheetah::objective_name(campaign.objective())).c_str());
+
+  // "Execute" every run through the calibrated cost model and record
+  // metrics into the catalog.
+  cheetah::ResultCatalog catalog;
+  for (const auto& run : campaign.group("grid-group").generate()) {
+    const auto fan_in = static_cast<size_t>(run.param("fan_in").as_int());
+    const auto workers = static_cast<size_t>(run.param("workers").as_int());
+    const gwas::PastePlan plan = gwas::plan_two_phase_paste(kFiles, fan_in);
+    const double runtime =
+        gwas::plan_cost_model(plan, kColumnsPerFile, kRows, workers);
+    catalog.record(run, {{"runtime_s", runtime},
+                         {"subjobs", static_cast<double>(plan.subjobs())},
+                         {"node_seconds", runtime * static_cast<double>(workers)}});
+  }
+
+  std::printf("%-10s", "fan_in\\w");
+  for (int workers : {1, 4, 16, 64}) std::printf(" %10dw", workers);
+  std::printf("\n");
+  for (int fan_in : {48, 64, 96, 128, 256}) {
+    std::printf("%-10d", fan_in);
+    for (int workers : {1, 4, 16, 64}) {
+      const gwas::PastePlan plan =
+          gwas::plan_two_phase_paste(kFiles, static_cast<size_t>(fan_in));
+      std::printf(" %11s",
+                  format_duration(gwas::plan_cost_model(
+                                      plan, kColumnsPerFile, kRows,
+                                      static_cast<size_t>(workers)))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  const auto best = catalog.best("runtime_s", campaign.objective());
+  std::printf("\nbest for objective: fan_in=%lld workers=%lld (runtime %s)\n",
+              static_cast<long long>(best->param("fan_in").as_int()),
+              static_cast<long long>(best->param("workers").as_int()),
+              format_duration(catalog.metrics(best->id).at("runtime_s")).c_str());
+
+  std::printf("\nparameter impact on runtime (effect range of the mean):\n");
+  for (const auto& [parameter, range] : catalog.rank_parameters("runtime_s")) {
+    std::printf("  %-10s %s\n", parameter.c_str(),
+                format_duration(range).c_str());
+  }
+  std::printf("\nmain effect of fan_in on subjob count:\n");
+  for (const auto& [value, mean] : catalog.main_effect("fan_in", "subjobs")) {
+    std::printf("  fan_in=%-6s -> %.0f subjobs\n", value.c_str(), mean);
+  }
+
+  // Cheapest config that also respects a node budget: query via metrics.
+  const auto frugal = catalog.best("node_seconds", cheetah::Objective::None);
+  std::printf("\ncheapest in node-seconds: fan_in=%lld workers=%lld\n",
+              static_cast<long long>(frugal->param("fan_in").as_int()),
+              static_cast<long long>(frugal->param("workers").as_int()));
+  return 0;
+}

@@ -1,0 +1,23 @@
+# Figure/table reproduction benches (plain executables printing the paper's
+# rows/series) plus google-benchmark micro benches. All binaries land in
+# ${CMAKE_BINARY_DIR}/bench with nothing else, so the whole harness runs as
+#   for b in build/bench/*; do $b; done
+
+function(ff_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE ${ARGN})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+ff_add_bench(fig2_gwas_paste ff_gwas ff_cheetah)
+ff_add_bench(fig3_ckpt_overhead ff_ckpt)
+ff_add_bench(fig4_ckpt_variation ff_ckpt)
+ff_add_bench(fig5_stream_policies ff_stream)
+ff_add_bench(fig6_irf_timeline ff_savanna ff_irf)
+ff_add_bench(fig7_irf_campaign ff_savanna ff_cheetah ff_irf)
+ff_add_bench(tab1_gauge_assessment ff_core ff_gwas)
+ff_add_bench(ablation_ckpt_restart ff_ckpt ff_cluster)
+ff_add_bench(ablation_codesign ff_cheetah ff_gwas)
+ff_add_bench(micro_bench ff_util ff_skel ff_stream ff_cluster ff_irf ff_gwas
+             benchmark::benchmark benchmark::benchmark_main)

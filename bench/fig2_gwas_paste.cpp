@@ -1,0 +1,81 @@
+// Fig. 2 reproduction: "A traditional manual script versus Skel-based
+// automated script. Red text indicates fields or actions that require
+// manual intervention by the user for a new run configuration."
+//
+// The figure is qualitative; we quantify it: per *new run configuration*
+// (new dataset size / machine / account), how many manual interventions
+// does each approach need? The manual flow edits and submits every subjob
+// script; the Skel flow edits one model and submits one campaign. We also
+// generate the real artifacts and execute a small plan end-to-end on disk
+// to show the generated workflow actually works.
+
+#include <cstdio>
+
+#include "gwas/genotype.hpp"
+#include "gwas/workflow.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+using namespace ff;
+
+int main() {
+  std::printf("Fig 2 — manual vs Skel-generated paste workflow\n");
+  std::printf("interventions required per NEW run configuration\n\n");
+  std::printf("%-8s %-9s | %-7s %-8s %-8s %-7s | %-6s %-8s\n", "files",
+              "subjobs", "m.edit", "m.submit", "m.check", "m.total", "skel",
+              "ratio");
+
+  for (size_t files : {32, 128, 512, 1606}) {
+    const size_t fan_in = files <= 128 ? 16 : 48;
+    const gwas::PastePlan plan = gwas::plan_two_phase_paste(files, fan_in);
+    const gwas::InterventionCount manual = gwas::manual_interventions(plan);
+    const gwas::InterventionCount skel = gwas::skel_interventions(plan);
+    std::printf("%-8zu %-9zu | %-7zu %-8zu %-8zu %-7zu | %-6zu %5.1fx\n", files,
+                plan.subjobs(), manual.edits, manual.submissions, manual.checks,
+                manual.total(), skel.total(),
+                static_cast<double>(manual.total()) /
+                    static_cast<double>(skel.total()));
+  }
+
+  // Model-driven generation: show the single point of user interaction.
+  std::printf("\ngenerated artifacts for files=100, fan_in=16 (model-driven):\n");
+  const Json model_json =
+      gwas::make_paste_model("/gpfs/alpine/proj/shards", 100, 16, "BIF101",
+                             "2:00", 4);
+  const skel::Model model(model_json, gwas::paste_model_schema());
+  const auto artifacts = gwas::make_paste_generator().generate(model);
+  for (const auto& artifact : artifacts) {
+    std::printf("  %-28s %5zu bytes%s\n", artifact.path.c_str(),
+                artifact.content.size(), artifact.executable ? "  (exec)" : "");
+  }
+  std::printf("customization surface (model paths the templates consume):\n");
+  for (const auto& path : gwas::make_paste_generator().customization_surface()) {
+    std::printf("  %s\n", path.c_str());
+  }
+
+  // End-to-end proof on real files: shard a synthetic genotype matrix,
+  // run the two-phase plan, verify the merge.
+  gwas::GwasConfig config;
+  config.samples = 60;
+  config.snps = 48;
+  config.causal_snps = 3;
+  const gwas::GwasData data = gwas::make_gwas_data(config, 42);
+  TempDir dir;
+  const auto shards = gwas::write_genotype_shards(data.genotypes, dir.str(), 12);
+  const gwas::PastePlan plan = gwas::plan_two_phase_paste(shards.size(), 4);
+  const std::string merged_path = gwas::execute_paste_plan(
+      plan, shards, dir.str(), dir.file("merged.tsv"), 2);
+  CsvOptions tsv;
+  tsv.separator = '\t';
+  const Table merged = read_csv_file(merged_path, tsv);
+  std::printf("\nend-to-end: %zu shards -> %zu sub-pastes -> merged %zux%zu "
+              "(expected %ux%u) : %s\n",
+              shards.size(), plan.groups.size(), merged.rows(), merged.cols(),
+              60, 49, (merged.rows() == 60 && merged.cols() == 49) ? "OK" : "FAIL");
+
+  // And the science still works on the merged output.
+  const auto hits = gwas::association_scan(merged, data.phenotypes);
+  std::printf("top association on merged data: %s (r2=%.2f)\n",
+              hits[0].snp.c_str(), hits[0].r2);
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Fig. 5 / Section V-C reproduction: "Finer granularity in workflow
+// construction allows greater reuse. In this instance, data selection
+// criteria is separated from data movement infrastructure."
+//
+// We measure three things:
+//  1. Reuse: when the selection policy changes, how many generated lines
+//     change? (zero — the communication components are untouched)
+//     vs when the schema changes (only the marshal component changes).
+//  2. Throughput of the generated communication path (marshal + scheduler)
+//     under each selection policy.
+//  3. Runtime steering: install a policy unknown at generation time via
+//     the control channel and drive it with punctuation.
+
+#include <chrono>
+#include <cstdio>
+
+#include "stream/codegen.hpp"
+#include "stream/marshal.hpp"
+#include "stream/scheduler.hpp"
+#include "util/strings.hpp"
+
+using namespace ff;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+stream::StreamSchema instrument_schema(size_t extra_fields) {
+  stream::StreamSchema schema;
+  schema.name = "instrument";
+  schema.version = 1;
+  schema.fields = {{"shot", "int"}, {"energy", "double"}};
+  for (size_t i = 0; i < extra_fields; ++i) {
+    schema.fields.push_back({"aux" + std::to_string(i), "double"});
+  }
+  return schema;
+}
+
+stream::Record make_record(uint64_t sequence, size_t extra_fields) {
+  stream::Record record;
+  record.sequence = sequence;
+  record.timestamp = static_cast<double>(sequence) * 0.001;
+  record.values = {stream::Value{static_cast<int64_t>(sequence)},
+                   stream::Value{1.5 * static_cast<double>(sequence)}};
+  for (size_t i = 0; i < extra_fields; ++i) {
+    record.values.emplace_back(0.25 * static_cast<double>(i));
+  }
+  return record;
+}
+
+double throughput_with_policy(const std::string& kind, const Json& args,
+                              size_t records) {
+  stream::DataScheduler scheduler;
+  size_t delivered = 0;
+  scheduler.subscribe(
+      [&delivered](const std::string&, const stream::Record&) { ++delivered; });
+  const stream::PolicyFactory factory = stream::PolicyFactory::with_builtins();
+  scheduler.install_queue("q", factory.build(kind, args));
+
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < records; ++i) {
+    scheduler.publish(make_record(i, 2));
+    if (kind != "forward-all" && i % 64 == 63) {
+      scheduler.punctuate(Json::object());  // windowed policies need marks
+    }
+  }
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  (void)delivered;
+  return static_cast<double>(records) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 5 — generated communication + runtime-installed policies\n\n");
+
+  // 1. Reuse accounting under change.
+  const auto base = stream::generate_comm_code(instrument_schema(2));
+  const auto wider = stream::generate_comm_code(instrument_schema(3));
+  size_t unchanged = 0;
+  size_t changed = 0;
+  for (const auto& artifact : base) {
+    for (const auto& other : wider) {
+      if (other.path != artifact.path) continue;
+      if (other.content == artifact.content) ++unchanged;
+      else ++changed;
+    }
+  }
+  std::printf("schema change (add one field): %zu artifacts regenerated, %zu "
+              "byte-identical (sink/source skeletons reused)\n",
+              changed, unchanged);
+  std::printf("policy change (e.g. forward-all -> sliding window): 0 of %zu "
+              "generated lines change — policies install at runtime\n\n",
+              stream::generated_loc(base));
+
+  // 2. Marshalling cost (the generated data path).
+  {
+    const size_t kRecords = 200000;
+    stream::Encoder encoder(instrument_schema(2));
+    const auto start = Clock::now();
+    for (uint64_t i = 0; i < kRecords; ++i) encoder.append(make_record(i, 2));
+    const double encode_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const auto decode_start = Clock::now();
+    const auto decoded = stream::decode_stream(encoder.bytes());
+    const double decode_s =
+        std::chrono::duration<double>(Clock::now() - decode_start).count();
+    std::printf("marshalling: encode %.2f Mrec/s, decode %.2f Mrec/s, %s/rec\n\n",
+                kRecords / encode_s / 1e6, decoded.records.size() / decode_s / 1e6,
+                format_bytes(static_cast<double>(encoder.bytes().size()) / kRecords)
+                    .c_str());
+  }
+
+  // 3. Scheduler throughput per selection policy.
+  std::printf("%-28s %14s\n", "selection policy", "records/s");
+  const size_t kRecords = 300000;
+  Json window_args = Json::object();
+  window_args["capacity"] = 32;
+  Json time_args = Json::object();
+  time_args["horizon"] = 0.05;
+  Json stride_args = Json::object();
+  stride_args["stride"] = 10;
+  const std::vector<std::pair<std::string, Json>> policies = {
+      {"forward-all", Json::object()},
+      {"sliding-window-count", window_args},
+      {"sliding-window-time", time_args},
+      {"sample-every", stride_args},
+      {"direct-selection", Json::object()},
+  };
+  for (const auto& [kind, args] : policies) {
+    std::printf("%-28s %14.0f\n", kind.c_str(),
+                throughput_with_policy(kind, args, kRecords));
+  }
+
+  // 4. The steering scenario end to end.
+  stream::DataScheduler scheduler;
+  std::vector<uint64_t> steered;
+  scheduler.subscribe([&](const std::string& queue, const stream::Record& record) {
+    if (queue == "steered") steered.push_back(record.sequence);
+  });
+  scheduler.install_queue("default",
+                          std::make_unique<stream::ForwardAllPolicy>());
+  const stream::PolicyFactory factory = stream::PolicyFactory::with_builtins();
+  factory.handle_install(scheduler, Json::parse(R"({
+    "install": {"queue": "steered", "kind": "direct-selection",
+                "args": {"max_queue": 128}}})"));
+  for (uint64_t i = 0; i < 100; ++i) scheduler.publish(make_record(i, 2));
+  Json select = Json::object();
+  select["select"] = Json::array({Json(17), Json(42), Json(99)});
+  scheduler.control("steered", select);
+  std::printf("\nruntime steering: installed 'direct-selection' post-deployment, "
+              "selected %zu/3 requested items (%llu, %llu, %llu)\n",
+              steered.size(), static_cast<unsigned long long>(steered[0]),
+              static_cast<unsigned long long>(steered[1]),
+              static_cast<unsigned long long>(steered[2]));
+  return 0;
+}

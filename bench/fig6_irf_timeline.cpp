@@ -1,0 +1,66 @@
+// Fig. 6 reproduction: "Comparison of workflows between the original
+// iRF-LOOP workflow and the improved Cheetah workflow. The original
+// workflow required all runs within a set to complete before moving to the
+// next set, resulting in idle nodes. This is eliminated using Cheetah."
+//
+// Output: per-node busy/idle ASCII timelines for the set-synchronized
+// baseline vs the Savanna pilot, plus utilization and makespan.
+
+#include <cstdio>
+
+#include "cluster/workload.hpp"
+#include "savanna/executor.hpp"
+#include "util/strings.hpp"
+
+using namespace ff;
+
+int main() {
+  // iRF run-time skew: lognormal body + straggler tail, as observed for
+  // per-feature iRF fits ("run times between the individual iRF processes
+  // can differ within one submission").
+  sim::DurationModel durations;
+  durations.median_s = 300;
+  durations.sigma = 0.5;
+  durations.straggler_fraction = 0.08;
+  durations.straggler_scale = 2.5;
+  durations.straggler_alpha = 1.6;
+
+  const auto tasks = sim::make_ensemble(64, durations, 2021);
+  const auto summary = sim::summarize_ensemble(tasks);
+  std::printf("Fig 6 — node utilization: set-synchronized vs Savanna pilot\n");
+  std::printf("workload: %zu iRF runs, median %s, p95 %s, max %s\n\n",
+              tasks.size(), format_duration(300).c_str(),
+              format_duration(summary.p95_s).c_str(),
+              format_duration(summary.max_s).c_str());
+
+  savanna::ExecutionOptions options;
+  options.nodes = 8;
+
+  sim::Simulation sim_a;
+  const auto set_report = savanna::run_set_synchronized(sim_a, tasks, options);
+  sim::Simulation sim_b;
+  const auto pilot_report = savanna::run_pilot(sim_b, tasks, options);
+
+  std::printf("original (sets of %d with end-of-set barrier):\n", options.nodes);
+  std::printf("%s", set_report.render_timeline(72).c_str());
+  std::printf("  makespan %s, utilization %.0f%%\n\n",
+              format_duration(set_report.makespan_s).c_str(),
+              set_report.utilization() * 100);
+
+  std::printf("cheetah-savanna (dynamic pilot, no barriers):\n");
+  std::printf("%s", pilot_report.render_timeline(72).c_str());
+  std::printf("  makespan %s, utilization %.0f%%\n\n",
+              format_duration(pilot_report.makespan_s).c_str(),
+              pilot_report.utilization() * 100);
+
+  const double idle_set =
+      set_report.allocation_node_seconds - set_report.busy_node_seconds;
+  const double idle_pilot =
+      pilot_report.allocation_node_seconds - pilot_report.busy_node_seconds;
+  std::printf("idle node-time:   baseline %s   pilot %s   (%.1fx less idle)\n",
+              format_duration(idle_set).c_str(),
+              format_duration(idle_pilot).c_str(), idle_set / idle_pilot);
+  std::printf("makespan speedup: %.2fx\n",
+              set_report.makespan_s / pilot_report.makespan_s);
+  return 0;
+}

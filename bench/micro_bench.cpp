@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) for the performance-sensitive
+// substrate pieces: JSON, templates, marshalling, CSV paste, event sim,
+// and forest fitting. These back the DESIGN.md ablation notes.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/sim.hpp"
+#include "gwas/paste.hpp"
+#include "irf/forest.hpp"
+#include "skel/template_engine.hpp"
+#include "stream/marshal.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+using namespace ff;
+
+namespace {
+
+std::string nested_json_text(int entries) {
+  Json doc = Json::object();
+  for (int i = 0; i < entries; ++i) {
+    Json run = Json::object();
+    run["id"] = "run-" + std::to_string(i);
+    run["params"] = Json::object({{"nodes", Json(i % 32)}, {"alpha", Json(0.5 * i)}});
+    doc["runs"].push_back(std::move(run));
+  }
+  return doc.pretty();
+}
+
+void BM_JsonParse(benchmark::State& state) {
+  const std::string text = nested_json_text(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Json::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_JsonParse)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_JsonDump(benchmark::State& state) {
+  const Json doc = Json::parse(nested_json_text(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc.dump());
+  }
+}
+BENCHMARK(BM_JsonDump)->Arg(100);
+
+void BM_TemplateRender(benchmark::State& state) {
+  const skel::Template tmpl = skel::Template::parse(
+      "{{#each runs}}#BSUB -J {{id}}\njsrun -n {{params.nodes}} app --alpha "
+      "{{params.alpha}}\n{{/each}}");
+  const Json model = Json::parse(nested_json_text(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmpl.render(model));
+  }
+}
+BENCHMARK(BM_TemplateRender)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MarshalEncode(benchmark::State& state) {
+  stream::StreamSchema schema;
+  schema.name = "bench";
+  schema.fields = {{"seq", "int"}, {"value", "double"}, {"vec", "double[]"}};
+  stream::Record record;
+  record.values = {stream::Value{int64_t{7}}, stream::Value{3.14},
+                   stream::Value{std::vector<double>(16, 1.0)}};
+  for (auto _ : state) {
+    stream::Encoder encoder(schema);
+    for (int i = 0; i < 100; ++i) encoder.append(record);
+    benchmark::DoNotOptimize(encoder.bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MarshalEncode);
+
+void BM_MarshalDecode(benchmark::State& state) {
+  stream::StreamSchema schema;
+  schema.name = "bench";
+  schema.fields = {{"seq", "int"}, {"value", "double"}};
+  stream::Encoder encoder(schema);
+  stream::Record record;
+  record.values = {stream::Value{int64_t{7}}, stream::Value{3.14}};
+  for (int i = 0; i < 1000; ++i) encoder.append(record);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream::decode_stream(encoder.bytes()));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MarshalDecode);
+
+void BM_EventSim(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule_after(1.0, tick);
+    };
+    sim.schedule_at(0.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventSim);
+
+void BM_TablePaste(benchmark::State& state) {
+  const auto rows = static_cast<size_t>(state.range(0));
+  std::vector<Table> tables;
+  for (int t = 0; t < 8; ++t) {
+    Table table({"sample", "col" + std::to_string(t)});
+    for (size_t r = 0; r < rows; ++r) {
+      table.add_row({"S" + std::to_string(r), "1"});
+    }
+    tables.push_back(std::move(table));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gwas::paste_tables(tables));
+  }
+}
+BENCHMARK(BM_TablePaste)->Arg(100)->Arg(1000);
+
+void BM_ForestFit(benchmark::State& state) {
+  const size_t samples = 200;
+  const size_t features = 10;
+  Rng rng(1);
+  irf::DenseMatrix x(samples, features);
+  std::vector<double> y;
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t f = 0; f < features; ++f) x.at(s, f) = rng.uniform(-1, 1);
+    y.push_back(2.0 * x.at(s, 0) - x.at(s, 3) + 0.1 * rng.normal());
+  }
+  irf::ForestParams params;
+  params.n_trees = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    irf::RandomForest forest;
+    forest.fit(x, y, params, 42);
+    benchmark::DoNotOptimize(forest.importance());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(10)->Arg(40);
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Checkpoint policies as reusable workflow components (paper Section V-B).
+//
+// Part 1 runs the REAL Gray–Scott reaction-diffusion kernel, checkpoints
+// it mid-flight, "crashes", restores from the blob, and shows the resumed
+// trajectory is bit-identical.
+//
+// Part 2 compares checkpoint policies on the simulated Summit-scale run
+// (4096 ranks / 128 nodes, 1 TB per step): the traditional fixed-interval
+// policy against the intent-level overhead-bounded policy and the paper's
+// composite refinement.
+//
+//   ./checkpoint_policies
+
+#include <cstdio>
+#include <memory>
+
+#include "ckpt/calibrate.hpp"
+#include "ckpt/gray_scott.hpp"
+#include "ckpt/harness.hpp"
+#include "util/strings.hpp"
+
+using namespace ff;
+
+int main() {
+  std::printf("=== part 1: real reaction-diffusion checkpoint/restart ===\n");
+  ckpt::GrayScott::Params params;
+  params.width = 96;
+  params.height = 96;
+  ckpt::GrayScott app(params, 42);
+  app.steps(150);
+  std::printf("ran 150 steps, v-mass %.3f; writing checkpoint (%s)\n",
+              app.v_mass(), format_bytes(app.checkpoint_bytes()).c_str());
+  const std::vector<uint8_t> blob = app.checkpoint();
+
+  app.steps(100);  // the "lost" work after the crash point
+  const double truth = app.v_mass();
+
+  ckpt::GrayScott restored = ckpt::GrayScott::restore(blob);
+  std::printf("restored at step %d; replaying 100 steps\n",
+              restored.current_step());
+  restored.steps(100);
+  std::printf("v-mass after replay: %.6f vs %.6f — %s\n", restored.v_mass(),
+              truth, restored.v_mass() == truth ? "bit-identical" : "MISMATCH");
+
+  std::printf("\n=== part 2: policy comparison at Summit scale (simulated) ===\n");
+  // Calibrate the simulated app's step-time variability from the REAL
+  // kernel just measured, then scale to the paper's setup.
+  ckpt::GrayScott probe(params, 3);
+  const ckpt::KernelCalibration calibration =
+      ckpt::calibrate_gray_scott(probe, 20);
+  std::printf("calibrated from real kernel: %.2f ms/step, %.1f%% variability\n",
+              calibration.mean_step_s * 1e3, calibration.variability * 100);
+  const ckpt::AppConfig config = ckpt::scaled_app_config(
+      calibration, /*target_step_s=*/120, /*steps=*/50, /*nodes=*/128,
+      /*ranks=*/4096, /*bytes_per_step=*/1e12);
+  const sim::MachineSpec machine = sim::summit();
+
+  const auto overhead = std::make_shared<ckpt::OverheadBoundedPolicy>(0.10);
+  const auto min_frequency =
+      std::make_shared<ckpt::MinimumFrequencyPolicy>(1800.0);
+  const auto forced = std::make_shared<ckpt::ForcedOnHighCostPolicy>(45.0, 3.0);
+  const ckpt::AnyPolicy composite({overhead, min_frequency, forced});
+  const ckpt::FixedIntervalPolicy every10(10);
+  const ckpt::FixedIntervalPolicy every2(2);
+
+  std::printf("%-42s %-7s %-10s %-10s %-12s\n", "policy", "ckpts", "overhead",
+              "runtime", "E[lost work]");
+  const std::vector<const ckpt::CheckpointPolicy*> policies = {
+      &every10, &every2, overhead.get(), &composite};
+  for (const ckpt::CheckpointPolicy* policy : policies) {
+    const ckpt::RunResult result =
+        ckpt::run_simulated_app(config, *policy, machine, 11);
+    std::printf("%-42s %-7d %-9.1f%% %-10s %-12s\n", policy->name().c_str(),
+                result.checkpoints_written, result.overhead_fraction() * 100,
+                format_duration(result.total_runtime_s).c_str(),
+                format_duration(ckpt::expected_lost_work(result)).c_str());
+  }
+  std::printf("\nthe overhead-bounded policy needs NO per-machine retuning: the\n"
+              "same 10%% intent produces a different (correct) schedule on a\n"
+              "different system — that is the reusability claim of Section V-B.\n");
+
+  // Same policy object, different machine — no retuning.
+  const ckpt::RunResult institutional = ckpt::run_simulated_app(
+      config, *overhead, sim::institutional_cluster(), 11);
+  std::printf("same policy on '%s': %d checkpoints (overhead %.1f%%)\n",
+              sim::institutional_cluster().name.c_str(),
+              institutional.checkpoints_written,
+              institutional.overhead_fraction() * 100);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// The Fig. 5 synthetic workflow, runnable: instrument -> generated
+// communication -> data scheduler with virtual queues -> consumers, with a
+// remote-steering control channel that installs a selection policy the
+// workflow did not know at code-generation time.
+//
+//   ./streaming_steering
+
+#include <cstdio>
+
+#include "core/workflow_graph.hpp"
+#include "stream/codegen.hpp"
+#include "stream/marshal.hpp"
+#include "stream/scheduler.hpp"
+
+using namespace ff;
+
+int main() {
+  // The schema the communication components are generated from.
+  stream::StreamSchema schema;
+  schema.name = "beamline";
+  schema.version = 1;
+  schema.fields = {{"shot", "int"}, {"intensity", "double"}};
+
+  std::printf("1. generating communication components for '%s'\n",
+              schema.key().c_str());
+  const auto artifacts = stream::generate_comm_code(schema);
+  for (const auto& artifact : artifacts) {
+    std::printf("   %s\n", artifact.path.c_str());
+  }
+
+  // The same workflow expressed in the core graph model — the repeated
+  // collection/selection/forwarding subgraph is detectable.
+  core::WorkflowGraph graph("fig5");
+  core::Component instrument("instrument", core::ComponentKind::Executable);
+  instrument.add_port(core::Port{"out", core::PortDirection::Output,
+                                 schema.key(), "channel",
+                                 core::ConsumptionSemantics::Unknown});
+  core::Component scheduler_component("scheduler",
+                                      core::ComponentKind::InternalService);
+  scheduler_component.add_port(core::Port{"in", core::PortDirection::Input,
+                                          schema.key(), "channel",
+                                          core::ConsumptionSemantics::ElementWise});
+  scheduler_component.add_port(core::Port{"out", core::PortDirection::Output,
+                                          schema.key(), "channel",
+                                          core::ConsumptionSemantics::Unknown});
+  core::Component analysis("analysis", core::ComponentKind::Executable);
+  analysis.add_port(core::Port{"in", core::PortDirection::Input, schema.key(),
+                               "channel",
+                               core::ConsumptionSemantics::Windowed});
+  core::Component archiver("archiver", core::ComponentKind::Executable);
+  archiver.add_port(core::Port{"in", core::PortDirection::Input, schema.key(),
+                               "channel",
+                               core::ConsumptionSemantics::ElementWise});
+  graph.add_component(std::move(instrument));
+  graph.add_component(std::move(scheduler_component));
+  graph.add_component(std::move(analysis));
+  graph.add_component(std::move(archiver));
+  graph.connect("instrument", "out", "scheduler", "in");
+  graph.connect("scheduler", "out", "analysis", "in");
+  graph.connect("scheduler", "out", "archiver", "in");
+  const auto matches =
+      graph.find_pattern(core::collection_selection_forwarding_pattern());
+  std::printf("2. collection/selection/forwarding pattern found %zu time(s)\n",
+              matches.size());
+
+  // 3. Run it: marshal records through the wire format, publish through
+  // the scheduler, steer at runtime.
+  stream::DataScheduler scheduler;
+  size_t archived = 0;
+  std::vector<uint64_t> analyzed;
+  std::vector<uint64_t> steered;
+  scheduler.subscribe([&](const std::string& queue, const stream::Record& record) {
+    if (queue == "archive") ++archived;
+    if (queue == "analysis-window") analyzed.push_back(record.sequence);
+    if (queue == "steering") steered.push_back(record.sequence);
+  });
+  scheduler.install_queue("archive", std::make_unique<stream::ForwardAllPolicy>());
+  scheduler.install_queue("analysis-window",
+                          std::make_unique<stream::SlidingWindowCountPolicy>(4));
+
+  // The instrument produces marshalled bytes; the (generated) sink decodes
+  // and publishes — here inlined, exactly what the generated code does.
+  stream::Encoder encoder(schema);
+  for (uint64_t shot = 0; shot < 40; ++shot) {
+    stream::Record record;
+    record.sequence = shot;
+    record.timestamp = 0.1 * static_cast<double>(shot);
+    record.values = {stream::Value{static_cast<int64_t>(shot)},
+                     stream::Value{100.0 + static_cast<double>(shot % 7)}};
+    encoder.append(record);
+  }
+  std::printf("3. instrument emitted 40 shots (%zu bytes on the wire)\n",
+              encoder.bytes().size());
+
+  size_t published = 0;
+  for (const auto& record : stream::decode_stream(encoder.bytes()).records) {
+    scheduler.publish(record);
+    ++published;
+    if (published == 20) {
+      // Mid-stream, a steering process installs a brand-new virtual queue.
+      const stream::PolicyFactory factory = stream::PolicyFactory::with_builtins();
+      factory.handle_install(scheduler, Json::parse(R"({
+        "install": {"queue": "steering", "kind": "direct-selection"}})"));
+      std::printf("4. steering queue installed after shot 20 (policy unknown "
+                  "at generation time)\n");
+    }
+    if (published % 10 == 0) {
+      scheduler.punctuate(Json::object());  // window boundaries
+    }
+  }
+  // The steering client picks exactly the shots it wants.
+  Json select = Json::object();
+  select["select"] = Json::array({Json(25), Json(33)});
+  scheduler.control("steering", select);
+
+  std::printf("5. results: archive=%zu records, analysis saw %zu window "
+              "snapshots, steering pulled shots",
+              archived, analyzed.size());
+  for (uint64_t shot : steered) {
+    std::printf(" %llu", static_cast<unsigned long long>(shot));
+  }
+  std::printf("\n");
+  return (archived == 40 && steered.size() == 2) ? 0 : 1;
+}

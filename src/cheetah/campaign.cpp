@@ -1,0 +1,123 @@
+#include "cheetah/campaign.hpp"
+
+#include "skel/template_engine.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::cheetah {
+
+Json AppSpec::to_json() const {
+  Json out = Json::object();
+  out["name"] = name;
+  out["executable"] = executable;
+  out["args_template"] = args_template;
+  return out;
+}
+
+AppSpec AppSpec::from_json(const Json& json) {
+  AppSpec app;
+  app.name = json["name"].as_string();
+  app.executable = json["executable"].as_string();
+  app.args_template = json.get_or("args_template", "");
+  return app;
+}
+
+std::string_view objective_name(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::None: return "none";
+    case Objective::MinimizeRuntime: return "minimize-runtime";
+    case Objective::MinimizeStorage: return "minimize-storage";
+    case Objective::MinimizeCommunication: return "minimize-communication";
+    case Objective::MaximizeThroughput: return "maximize-throughput";
+  }
+  return "?";
+}
+
+Objective objective_from_name(std::string_view name) {
+  const std::string wanted = to_lower(name);
+  for (Objective objective :
+       {Objective::None, Objective::MinimizeRuntime, Objective::MinimizeStorage,
+        Objective::MinimizeCommunication, Objective::MaximizeThroughput}) {
+    if (wanted == objective_name(objective)) return objective;
+  }
+  throw NotFoundError("unknown objective '" + std::string(name) + "'");
+}
+
+Campaign::Campaign(std::string name, AppSpec app)
+    : name_(std::move(name)), app_(std::move(app)) {
+  if (name_.empty()) throw ValidationError("Campaign: name must be non-empty");
+  if (app_.executable.empty()) {
+    throw ValidationError("Campaign '" + name_ + "': app executable required");
+  }
+}
+
+Campaign& Campaign::set_machine(std::string machine_name) {
+  machine_ = std::move(machine_name);
+  return *this;
+}
+
+Campaign& Campaign::set_objective(Objective objective) {
+  objective_ = objective;
+  return *this;
+}
+
+Campaign& Campaign::add_group(SweepGroup group) {
+  for (const SweepGroup& existing : groups_) {
+    if (existing.name() == group.name()) {
+      throw ValidationError("Campaign '" + name_ + "': duplicate group '" +
+                            group.name() + "'");
+    }
+  }
+  groups_.push_back(std::move(group));
+  return *this;
+}
+
+const SweepGroup& Campaign::group(std::string_view name) const {
+  for (const SweepGroup& group : groups_) {
+    if (group.name() == name) return group;
+  }
+  throw NotFoundError("Campaign '" + name_ + "': no group '" + std::string(name) +
+                      "'");
+}
+
+size_t Campaign::total_runs() const noexcept {
+  size_t total = 0;
+  for (const SweepGroup& group : groups_) total += group.run_count();
+  return total;
+}
+
+std::string Campaign::command_for(const RunSpec& run) const {
+  if (app_.args_template.empty()) return app_.executable;
+  Json context = Json::object();
+  for (const auto& [key, value] : run.params) context[key] = value;
+  const std::string args =
+      skel::Template::parse(app_.args_template, "args:" + app_.name)
+          .render(context);
+  return app_.executable + " " + args;
+}
+
+Json Campaign::to_json() const {
+  Json out = Json::object();
+  out["name"] = name_;
+  out["app"] = app_.to_json();
+  out["machine"] = machine_;
+  out["objective"] = std::string(objective_name(objective_));
+  Json groups = Json::array();
+  for (const SweepGroup& group : groups_) groups.push_back(group.to_json());
+  out["groups"] = std::move(groups);
+  return out;
+}
+
+Campaign Campaign::from_json(const Json& json) {
+  Campaign campaign(json["name"].as_string(), AppSpec::from_json(json["app"]));
+  campaign.set_machine(json.get_or("machine", "local"));
+  campaign.set_objective(objective_from_name(json.get_or("objective", "none")));
+  if (json.contains("groups")) {
+    for (const Json& group : json["groups"].as_array()) {
+      campaign.add_group(SweepGroup::from_json(group));
+    }
+  }
+  return campaign;
+}
+
+}  // namespace ff::cheetah

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cheetah/sweep.hpp"
+
+namespace ff::cheetah {
+
+/// The application a campaign runs: executable plus an argument template
+/// whose {{param}} placeholders are filled from each RunSpec (via the Skel
+/// template engine at manifest time).
+struct AppSpec {
+  std::string name;
+  std::string executable;
+  std::string args_template;  // e.g. "--feature {{feature}} --iters {{iters}}"
+
+  Json to_json() const;
+  static AppSpec from_json(const Json& json);
+};
+
+/// The codesign *objective* of a campaign (paper Section II-C): what the
+/// study is optimizing for. Purely declarative metadata consumed by
+/// query/reporting tools.
+enum class Objective : uint8_t {
+  None,
+  MinimizeRuntime,
+  MinimizeStorage,
+  MinimizeCommunication,
+  MaximizeThroughput,
+};
+
+std::string_view objective_name(Objective objective) noexcept;
+Objective objective_from_name(std::string_view name);
+
+/// A Campaign: the fundamental model of Cheetah. Composes SweepGroups over
+/// an application for a target machine, then emits the abstract manifest
+/// that Savanna executes. The user never touches directory schemas or
+/// scheduler syntax.
+class Campaign {
+ public:
+  Campaign(std::string name, AppSpec app);
+
+  Campaign& set_machine(std::string machine_name);
+  Campaign& set_objective(Objective objective);
+  Campaign& add_group(SweepGroup group);
+
+  const std::string& name() const noexcept { return name_; }
+  const AppSpec& app() const noexcept { return app_; }
+  const std::string& machine() const noexcept { return machine_; }
+  Objective objective() const noexcept { return objective_; }
+  const std::vector<SweepGroup>& groups() const noexcept { return groups_; }
+  const SweepGroup& group(std::string_view name) const;
+
+  size_t total_runs() const noexcept;
+
+  /// Command line for one run: executable + instantiated args template.
+  std::string command_for(const RunSpec& run) const;
+
+  Json to_json() const;
+  static Campaign from_json(const Json& json);
+
+ private:
+  std::string name_;
+  AppSpec app_;
+  std::string machine_ = "local";
+  Objective objective_ = Objective::None;
+  std::vector<SweepGroup> groups_;
+};
+
+}  // namespace ff::cheetah

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cheetah/campaign.hpp"
+
+namespace ff::cheetah {
+
+/// Per-run lifecycle state, persisted in the campaign endpoint so that a
+/// partially completed SweepGroup "is simply re-submitted" and resumes.
+enum class RunState : uint8_t { Pending, Running, Done, Failed, Killed };
+
+std::string_view run_state_name(RunState state) noexcept;
+RunState run_state_from_name(std::string_view name);
+
+/// The on-disk campaign endpoint: Cheetah "adopts its own directory schema
+/// to represent a campaign end-point ... campaign metadata is hidden from
+/// the user". Layout:
+///
+///   <root>/<campaign>/
+///     .campaign/manifest.json        full campaign description (interop layer)
+///     .campaign/status.json          per-run states
+///     <group>/<sweep>/run-NNNN/params.json
+///     <group>/<sweep>/run-NNNN/run.sh
+///
+/// The user-facing API is create / status / mark / pending_runs; nothing
+/// else needs to know the schema.
+class CampaignEndpoint {
+ public:
+  /// Create the endpoint directories and metadata for `campaign` under
+  /// `root`. Fails (StateError) if the campaign directory already exists.
+  static CampaignEndpoint create(const Campaign& campaign, const std::string& root);
+
+  /// Open an existing endpoint.
+  static CampaignEndpoint open(const std::string& root,
+                               const std::string& campaign_name);
+
+  const std::string& directory() const noexcept { return directory_; }
+  Campaign campaign() const;
+
+  /// Directory of one run.
+  std::string run_dir(const RunSpec& run) const;
+
+  RunState state(const std::string& run_id) const;
+  void mark(const std::string& run_id, RunState state);
+
+  /// Runs still needing execution (Pending, Failed, or Killed) in `group`.
+  /// This implements re-submission semantics: completed runs are skipped.
+  std::vector<RunSpec> pending_runs(const std::string& group_name) const;
+
+  struct StatusSummary {
+    size_t pending = 0;
+    size_t running = 0;
+    size_t done = 0;
+    size_t failed = 0;
+    size_t killed = 0;
+    size_t total() const { return pending + running + done + failed + killed; }
+  };
+  StatusSummary status() const;
+
+  /// Persist current states to .campaign/status.json.
+  void save() const;
+
+ private:
+  CampaignEndpoint() = default;
+  std::string directory_;
+  Json manifest_;
+  std::map<std::string, RunState> states_;
+};
+
+}  // namespace ff::cheetah

@@ -1,0 +1,53 @@
+#include "cheetah/manifest.hpp"
+
+#include "util/error.hpp"
+
+namespace ff::cheetah {
+
+skel::ModelSchema campaign_manifest_schema() {
+  skel::ModelSchema schema;
+  schema.require("name", "string", "campaign name")
+      .require("app", "object", "application spec")
+      .require("app.name", "string")
+      .require("app.executable", "string")
+      .optional("app.args_template", "string", Json(""))
+      .optional("machine", "string", Json("local"))
+      .optional("objective", "string", Json("none"))
+      .require("groups", "array", "sweep groups");
+  return schema;
+}
+
+void validate_manifest(const Json& manifest) {
+  campaign_manifest_schema().validate_or_throw(manifest);
+  // Structural checks below the schema's reach (array element shape).
+  for (const Json& group : manifest["groups"].as_array()) {
+    if (!group.is_object() || !group.contains("name")) {
+      throw ValidationError("manifest: every group needs a name");
+    }
+    if (group.contains("sweeps")) {
+      for (const Json& sweep : group["sweeps"].as_array()) {
+        if (!sweep.contains("parameters")) continue;
+        for (const Json& parameter : sweep["parameters"].as_array()) {
+          if (!parameter.contains("name") || !parameter.contains("values") ||
+              parameter["values"].as_array().empty()) {
+            throw ValidationError(
+                "manifest: parameters need a name and non-empty values");
+          }
+        }
+      }
+    }
+  }
+}
+
+Json to_manifest(const Campaign& campaign) {
+  Json manifest = campaign.to_json();
+  validate_manifest(manifest);
+  return manifest;
+}
+
+Campaign campaign_from_manifest(const Json& manifest) {
+  validate_manifest(manifest);
+  return Campaign::from_json(manifest);
+}
+
+}  // namespace ff::cheetah

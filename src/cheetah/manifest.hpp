@@ -1,0 +1,23 @@
+#pragma once
+
+#include "cheetah/campaign.hpp"
+#include "skel/model.hpp"
+
+namespace ff::cheetah {
+
+/// The Cheetah↔Savanna interoperability layer (paper Section IV): an
+/// abstract manifest with a JSON schema describing the full campaign. Any
+/// workflow engine that understands this schema can execute the campaign —
+/// which is how the design "allows us to import existing workflow tools".
+skel::ModelSchema campaign_manifest_schema();
+
+/// Validate a manifest document; throws ValidationError with all problems.
+void validate_manifest(const Json& manifest);
+
+/// Round-trip helpers used at the Cheetah→Savanna boundary. to_manifest
+/// validates on the way out; campaign_from_manifest validates on the way in
+/// (defence in depth: the file may have been hand-edited between tools).
+Json to_manifest(const Campaign& campaign);
+Campaign campaign_from_manifest(const Json& manifest);
+
+}  // namespace ff::cheetah

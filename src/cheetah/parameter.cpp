@@ -1,0 +1,81 @@
+#include "cheetah/parameter.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::cheetah {
+
+std::string_view param_layer_name(ParamLayer layer) noexcept {
+  switch (layer) {
+    case ParamLayer::Application: return "application";
+    case ParamLayer::Middleware: return "middleware";
+    case ParamLayer::System: return "system";
+  }
+  return "?";
+}
+
+ParamLayer param_layer_from_name(std::string_view name) {
+  const std::string wanted = to_lower(name);
+  for (ParamLayer layer :
+       {ParamLayer::Application, ParamLayer::Middleware, ParamLayer::System}) {
+    if (wanted == param_layer_name(layer)) return layer;
+  }
+  throw NotFoundError("unknown parameter layer '" + std::string(name) + "'");
+}
+
+Parameter::Parameter(std::string name, ParamLayer layer, std::vector<Json> values)
+    : name_(std::move(name)), layer_(layer), values_(std::move(values)) {
+  if (name_.empty()) throw ValidationError("Parameter: name must be non-empty");
+  if (values_.empty()) {
+    throw ValidationError("Parameter '" + name_ + "': needs at least one value");
+  }
+}
+
+Parameter Parameter::int_range(std::string name, ParamLayer layer, int64_t lo,
+                               int64_t hi, int64_t step) {
+  if (step <= 0) throw ValidationError("Parameter::int_range: step must be positive");
+  if (hi < lo) throw ValidationError("Parameter::int_range: hi < lo");
+  std::vector<Json> values;
+  for (int64_t v = lo; v <= hi; v += step) values.emplace_back(v);
+  return Parameter(std::move(name), layer, std::move(values));
+}
+
+Parameter Parameter::linspace(std::string name, ParamLayer layer, double lo,
+                              double hi, size_t count) {
+  if (count == 0) throw ValidationError("Parameter::linspace: count must be > 0");
+  std::vector<Json> values;
+  if (count == 1) {
+    values.emplace_back(lo);
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      values.emplace_back(lo + (hi - lo) * static_cast<double>(i) /
+                                   static_cast<double>(count - 1));
+    }
+  }
+  return Parameter(std::move(name), layer, std::move(values));
+}
+
+Parameter Parameter::values(std::string name, ParamLayer layer,
+                            std::vector<Json> values) {
+  return Parameter(std::move(name), layer, std::move(values));
+}
+
+Json Parameter::to_json() const {
+  Json out = Json::object();
+  out["name"] = name_;
+  out["layer"] = std::string(param_layer_name(layer_));
+  Json list = Json::array();
+  for (const Json& value : values_) list.push_back(value);
+  out["values"] = std::move(list);
+  return out;
+}
+
+Parameter Parameter::from_json(const Json& json) {
+  std::vector<Json> values;
+  for (const Json& value : json["values"].as_array()) values.push_back(value);
+  return Parameter(json["name"].as_string(),
+                   param_layer_from_name(json.get_or("layer", "application")),
+                   std::move(values));
+}
+
+}  // namespace ff::cheetah

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ff::cheetah {
+
+/// Which layer of the software stack a parameter tunes. Cheetah's point
+/// (paper Sections II-C, IV) is that codesign parameters are scattered
+/// across all three; the composition API keeps them in one sweep.
+enum class ParamLayer : uint8_t { Application, Middleware, System };
+
+std::string_view param_layer_name(ParamLayer layer) noexcept;
+ParamLayer param_layer_from_name(std::string_view name);
+
+/// One sweepable parameter: a name and its value list.
+class Parameter {
+ public:
+  Parameter(std::string name, ParamLayer layer, std::vector<Json> values);
+
+  /// Integer range [lo, hi] inclusive with step.
+  static Parameter int_range(std::string name, ParamLayer layer, int64_t lo,
+                             int64_t hi, int64_t step = 1);
+  /// `count` evenly spaced doubles over [lo, hi] inclusive.
+  static Parameter linspace(std::string name, ParamLayer layer, double lo,
+                            double hi, size_t count);
+  /// Explicit value list (strings, numbers, bools).
+  static Parameter values(std::string name, ParamLayer layer,
+                          std::vector<Json> values);
+
+  const std::string& name() const noexcept { return name_; }
+  ParamLayer layer() const noexcept { return layer_; }
+  const std::vector<Json>& value_list() const noexcept { return values_; }
+  size_t cardinality() const noexcept { return values_.size(); }
+
+  Json to_json() const;
+  static Parameter from_json(const Json& json);
+
+ private:
+  std::string name_;
+  ParamLayer layer_;
+  std::vector<Json> values_;
+};
+
+}  // namespace ff::cheetah

@@ -1,0 +1,133 @@
+#include "cheetah/results.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ff::cheetah {
+
+void ResultCatalog::record(const RunSpec& run, std::map<std::string, double> metrics) {
+  if (run.id.empty()) throw ValidationError("ResultCatalog: run id must be non-empty");
+  entries_.insert_or_assign(run.id, Entry{run, std::move(metrics)});
+}
+
+bool ResultCatalog::has_run(const std::string& run_id) const noexcept {
+  return entries_.count(run_id) > 0;
+}
+
+const std::map<std::string, double>& ResultCatalog::metrics(
+    const std::string& run_id) const {
+  auto it = entries_.find(run_id);
+  if (it == entries_.end()) {
+    throw NotFoundError("ResultCatalog: unknown run '" + run_id + "'");
+  }
+  return it->second.metrics;
+}
+
+std::vector<std::string> ResultCatalog::metric_names() const {
+  std::set<std::string> names;
+  for (const auto& [_, entry] : entries_) {
+    for (const auto& [name, __] : entry.metrics) names.insert(name);
+  }
+  return {names.begin(), names.end()};
+}
+
+std::optional<RunSpec> ResultCatalog::best(const std::string& metric,
+                                           Objective objective) const {
+  const bool maximize = objective == Objective::MaximizeThroughput;
+  const Entry* winner = nullptr;
+  double winning_value = 0;
+  for (const auto& [_, entry] : entries_) {
+    auto it = entry.metrics.find(metric);
+    if (it == entry.metrics.end()) continue;
+    const double value = it->second;
+    if (!winner || (maximize ? value > winning_value : value < winning_value)) {
+      winner = &entry;
+      winning_value = value;
+    }
+  }
+  if (!winner) return std::nullopt;
+  return winner->run;
+}
+
+std::map<std::string, double> ResultCatalog::main_effect(
+    const std::string& parameter, const std::string& metric) const {
+  std::map<std::string, std::pair<double, size_t>> sums;  // value -> (sum, n)
+  for (const auto& [_, entry] : entries_) {
+    auto param_it = entry.run.params.find(parameter);
+    auto metric_it = entry.metrics.find(metric);
+    if (param_it == entry.run.params.end() || metric_it == entry.metrics.end()) {
+      continue;
+    }
+    auto& [sum, count] = sums[param_it->second.dump()];
+    sum += metric_it->second;
+    ++count;
+  }
+  std::map<std::string, double> means;
+  for (const auto& [value, sum_count] : sums) {
+    means[value] = sum_count.first / static_cast<double>(sum_count.second);
+  }
+  return means;
+}
+
+double ResultCatalog::effect_range(const std::string& parameter,
+                                   const std::string& metric) const {
+  const auto means = main_effect(parameter, metric);
+  if (means.empty()) return 0;
+  double lo = means.begin()->second;
+  double hi = lo;
+  for (const auto& [_, mean] : means) {
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+  }
+  return hi - lo;
+}
+
+std::vector<std::pair<std::string, double>> ResultCatalog::rank_parameters(
+    const std::string& metric) const {
+  std::set<std::string> parameters;
+  for (const auto& [_, entry] : entries_) {
+    for (const auto& [name, __] : entry.run.params) parameters.insert(name);
+  }
+  std::vector<std::pair<std::string, double>> ranked;
+  for (const auto& parameter : parameters) {
+    ranked.emplace_back(parameter, effect_range(parameter, metric));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+Json ResultCatalog::to_json() const {
+  Json out = Json::object();
+  for (const auto& [run_id, entry] : entries_) {
+    Json record = Json::object();
+    record["run"] = entry.run.to_json();
+    Json metrics = Json::object();
+    for (const auto& [name, value] : entry.metrics) metrics[name] = value;
+    record["metrics"] = std::move(metrics);
+    out[run_id] = std::move(record);
+  }
+  return out;
+}
+
+ResultCatalog ResultCatalog::from_json(const Json& json) {
+  ResultCatalog catalog;
+  for (const auto& [run_id, record] : json.as_object()) {
+    RunSpec run;
+    run.id = record["run"]["id"].as_string();
+    for (const auto& [name, value] : record["run"]["params"].as_object()) {
+      run.params[name] = value;
+    }
+    std::map<std::string, double> metrics;
+    for (const auto& [name, value] : record["metrics"].as_object()) {
+      metrics[name] = value.as_double();
+    }
+    (void)run_id;
+    catalog.record(run, std::move(metrics));
+  }
+  return catalog;
+}
+
+}  // namespace ff::cheetah

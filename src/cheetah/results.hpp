@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cheetah/campaign.hpp"
+
+namespace ff::cheetah {
+
+/// The *output* of a codesign campaign (paper Section II-C): "a catalog
+/// that describes the impact of different parameters on different output
+/// metrics", queryable against the campaign's declared objective.
+///
+/// Each completed run records its parameter assignment plus measured
+/// metrics ("runtime_s", "storage_bytes", "comm_bytes", ...). The catalog
+/// then answers the questions a codesign study exists for: which
+/// configuration is best for the objective, and what is each parameter's
+/// main effect on a metric.
+class ResultCatalog {
+ public:
+  /// Record the metrics of one completed run. Re-recording a run id
+  /// replaces its entry (a re-submitted run supersedes the failed attempt).
+  void record(const RunSpec& run, std::map<std::string, double> metrics);
+
+  size_t run_count() const noexcept { return entries_.size(); }
+  bool has_run(const std::string& run_id) const noexcept;
+  const std::map<std::string, double>& metrics(const std::string& run_id) const;
+
+  /// All metric names seen so far, sorted.
+  std::vector<std::string> metric_names() const;
+
+  /// The run optimizing `metric` in the direction implied by `objective`
+  /// (Minimize* objectives minimize; MaximizeThroughput maximizes; None
+  /// defaults to minimize). Runs lacking the metric are skipped; nullopt
+  /// when no run has it.
+  std::optional<RunSpec> best(const std::string& metric,
+                              Objective objective) const;
+
+  /// Main effect of a parameter on a metric: mean metric value per
+  /// parameter value (values keyed by their JSON dump). This is the
+  /// first-order "impact of different parameters on different output
+  /// metrics" view of the catalog.
+  std::map<std::string, double> main_effect(const std::string& parameter,
+                                            const std::string& metric) const;
+
+  /// Spread of main effects, max(mean) - min(mean): a quick ranking of
+  /// which parameter matters most for a metric. NaN-free: 0 when the
+  /// parameter or metric is absent.
+  double effect_range(const std::string& parameter,
+                      const std::string& metric) const;
+
+  /// Parameters ranked by effect_range on `metric`, strongest first.
+  std::vector<std::pair<std::string, double>> rank_parameters(
+      const std::string& metric) const;
+
+  Json to_json() const;
+  static ResultCatalog from_json(const Json& json);
+
+ private:
+  struct Entry {
+    RunSpec run;
+    std::map<std::string, double> metrics;
+  };
+  std::map<std::string, Entry> entries_;  // keyed by run id
+};
+
+}  // namespace ff::cheetah

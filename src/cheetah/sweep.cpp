@@ -1,0 +1,199 @@
+#include "cheetah/sweep.hpp"
+
+#include <cstdio>
+
+#include "skel/template_engine.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::cheetah {
+
+Json RunSpec::to_json() const {
+  Json out = Json::object();
+  out["id"] = id;
+  Json params_json = Json::object();
+  for (const auto& [name, value] : params) params_json[name] = value;
+  out["params"] = std::move(params_json);
+  return out;
+}
+
+const Json& RunSpec::param(std::string_view name) const {
+  auto it = params.find(std::string(name));
+  if (it == params.end()) {
+    throw NotFoundError("RunSpec '" + id + "': no parameter '" +
+                        std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Sweep& Sweep::add(Parameter parameter) {
+  for (const Parameter& existing : parameters_) {
+    if (existing.name() == parameter.name()) {
+      throw ValidationError("Sweep '" + name_ + "': duplicate parameter '" +
+                            parameter.name() + "'");
+    }
+  }
+  parameters_.push_back(std::move(parameter));
+  return *this;
+}
+
+Sweep& Sweep::add_derived(std::string name, std::string template_text) {
+  for (const Parameter& existing : parameters_) {
+    if (existing.name() == name) {
+      throw ValidationError("Sweep '" + name_ + "': derived parameter '" + name +
+                            "' collides with a swept parameter");
+    }
+  }
+  for (const auto& [existing, _] : derived_) {
+    if (existing == name) {
+      throw ValidationError("Sweep '" + name_ + "': duplicate derived parameter '" +
+                            name + "'");
+    }
+  }
+  skel::Template::parse(template_text, name);  // validate eagerly
+  derived_.emplace_back(std::move(name), std::move(template_text));
+  return *this;
+}
+
+size_t Sweep::run_count() const noexcept {
+  size_t count = 1;
+  for (const Parameter& parameter : parameters_) count *= parameter.cardinality();
+  return count;
+}
+
+std::vector<RunSpec> Sweep::generate(const std::string& id_prefix) const {
+  const size_t total = run_count();
+  std::vector<RunSpec> runs;
+  runs.reserve(total);
+  char buffer[32];
+  for (size_t index = 0; index < total; ++index) {
+    RunSpec run;
+    std::snprintf(buffer, sizeof(buffer), "%s%04zu", id_prefix.c_str(), index);
+    run.id = buffer;
+    // Row-major decode: last parameter varies fastest.
+    size_t remainder = index;
+    for (size_t p = parameters_.size(); p-- > 0;) {
+      const Parameter& parameter = parameters_[p];
+      const size_t value_index = remainder % parameter.cardinality();
+      remainder /= parameter.cardinality();
+      run.params[parameter.name()] = parameter.value_list()[value_index];
+    }
+    // Derived parameters render against the swept assignment (in order, so
+    // later derived values may reference earlier ones).
+    for (const auto& [name, template_text] : derived_) {
+      Json context = Json::object();
+      for (const auto& [key, value] : run.params) context[key] = value;
+      const std::string rendered =
+          skel::Template::parse(template_text, name).render(context);
+      run.params[name] =
+          is_integer(rendered) ? Json(std::stoll(rendered)) : Json(rendered);
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+Json Sweep::to_json() const {
+  Json out = Json::object();
+  out["name"] = name_;
+  Json params = Json::array();
+  for (const Parameter& parameter : parameters_) params.push_back(parameter.to_json());
+  out["parameters"] = std::move(params);
+  if (!derived_.empty()) {
+    Json derived = Json::object();
+    for (const auto& [name, template_text] : derived_) derived[name] = template_text;
+    out["derived"] = std::move(derived);
+  }
+  return out;
+}
+
+Sweep Sweep::from_json(const Json& json) {
+  Sweep sweep(json.get_or("name", "sweep"));
+  if (json.contains("parameters")) {
+    for (const Json& parameter : json["parameters"].as_array()) {
+      sweep.add(Parameter::from_json(parameter));
+    }
+  }
+  if (json.contains("derived")) {
+    for (const auto& [name, template_text] : json["derived"].as_object()) {
+      sweep.add_derived(name, template_text.as_string());
+    }
+  }
+  return sweep;
+}
+
+SweepGroup& SweepGroup::add(Sweep sweep) {
+  for (const Sweep& existing : sweeps_) {
+    if (existing.name() == sweep.name()) {
+      throw ValidationError("SweepGroup '" + name_ + "': duplicate sweep '" +
+                            sweep.name() + "'");
+    }
+  }
+  sweeps_.push_back(std::move(sweep));
+  return *this;
+}
+
+SweepGroup& SweepGroup::set_nodes(int nodes) {
+  if (nodes <= 0) throw ValidationError("SweepGroup: nodes must be positive");
+  nodes_ = nodes;
+  return *this;
+}
+
+SweepGroup& SweepGroup::set_walltime_s(double walltime_s) {
+  if (walltime_s <= 0) throw ValidationError("SweepGroup: walltime must be positive");
+  walltime_s_ = walltime_s;
+  return *this;
+}
+
+SweepGroup& SweepGroup::set_max_concurrent(int max_concurrent) {
+  if (max_concurrent < 0) {
+    throw ValidationError("SweepGroup: max_concurrent must be >= 0");
+  }
+  max_concurrent_ = max_concurrent;
+  return *this;
+}
+
+size_t SweepGroup::run_count() const noexcept {
+  size_t count = 0;
+  for (const Sweep& sweep : sweeps_) count += sweep.run_count();
+  return count;
+}
+
+std::vector<RunSpec> SweepGroup::generate() const {
+  std::vector<RunSpec> runs;
+  for (const Sweep& sweep : sweeps_) {
+    for (RunSpec& run : sweep.generate()) {
+      run.id = name_ + "/" + sweep.name() + "/" + run.id;
+      runs.push_back(std::move(run));
+    }
+  }
+  return runs;
+}
+
+Json SweepGroup::to_json() const {
+  Json out = Json::object();
+  out["name"] = name_;
+  out["nodes"] = static_cast<int64_t>(nodes_);
+  out["walltime_s"] = walltime_s_;
+  out["max_concurrent"] = static_cast<int64_t>(max_concurrent_);
+  Json sweeps = Json::array();
+  for (const Sweep& sweep : sweeps_) sweeps.push_back(sweep.to_json());
+  out["sweeps"] = std::move(sweeps);
+  return out;
+}
+
+SweepGroup SweepGroup::from_json(const Json& json) {
+  SweepGroup group(json["name"].as_string());
+  group.set_nodes(static_cast<int>(json.get_or("nodes", int64_t{1})));
+  group.set_walltime_s(json.get_or("walltime_s", 7200.0));
+  group.set_max_concurrent(
+      static_cast<int>(json.get_or("max_concurrent", int64_t{0})));
+  if (json.contains("sweeps")) {
+    for (const Json& sweep : json["sweeps"].as_array()) {
+      group.add(Sweep::from_json(sweep));
+    }
+  }
+  return group;
+}
+
+}  // namespace ff::cheetah

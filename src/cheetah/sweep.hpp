@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cheetah/parameter.hpp"
+
+namespace ff::cheetah {
+
+/// One concrete run: an assignment of every swept parameter plus its
+/// stable run id within the campaign.
+struct RunSpec {
+  std::string id;  // "run-0007"
+  std::map<std::string, Json> params;
+
+  Json to_json() const;
+  const Json& param(std::string_view name) const;
+};
+
+/// A Sweep is the cross product of its parameters. Iteration order is
+/// row-major in parameter insertion order (last parameter varies fastest),
+/// matching what users expect from nested loops.
+class Sweep {
+ public:
+  explicit Sweep(std::string name = "sweep") : name_(std::move(name)) {}
+
+  Sweep& add(Parameter parameter);
+
+  /// A *derived* parameter: computed per run from the swept parameters via
+  /// a Skel template (e.g. ranks = "{{nodes}}" ... "x6", or an output path
+  /// "out_{{feature}}.bp"). This captures relationships between variables
+  /// — the ParameterRelations tier of the Customizability gauge — so they
+  /// live in the model instead of in someone's head. The rendered text is
+  /// stored as an int when it parses as one, else as a string.
+  Sweep& add_derived(std::string name, std::string template_text);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Parameter>& parameters() const noexcept { return parameters_; }
+  const std::vector<std::pair<std::string, std::string>>& derived() const noexcept {
+    return derived_;
+  }
+
+  /// Total runs in the cross product (1 when no parameters: a single run).
+  size_t run_count() const noexcept;
+
+  /// Materialize the cross product. Ids are `prefix` + zero-padded index.
+  std::vector<RunSpec> generate(const std::string& id_prefix = "run-") const;
+
+  Json to_json() const;
+  static Sweep from_json(const Json& json);
+
+ private:
+  std::string name_;
+  std::vector<Parameter> parameters_;
+  std::vector<std::pair<std::string, std::string>> derived_;  // name -> template
+};
+
+/// A SweepGroup bundles sweeps that share a batch-job footprint (nodes,
+/// walltime, concurrency cap) and is the unit of submission/re-submission
+/// in Savanna.
+class SweepGroup {
+ public:
+  explicit SweepGroup(std::string name) : name_(std::move(name)) {}
+
+  SweepGroup& add(Sweep sweep);
+  SweepGroup& set_nodes(int nodes);
+  SweepGroup& set_walltime_s(double walltime_s);
+  SweepGroup& set_max_concurrent(int max_concurrent);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Sweep>& sweeps() const noexcept { return sweeps_; }
+  int nodes() const noexcept { return nodes_; }
+  double walltime_s() const noexcept { return walltime_s_; }
+  int max_concurrent() const noexcept { return max_concurrent_; }
+
+  size_t run_count() const noexcept;
+  /// All runs across sweeps, ids "group/sweep/run-NNNN".
+  std::vector<RunSpec> generate() const;
+
+  Json to_json() const;
+  static SweepGroup from_json(const Json& json);
+
+ private:
+  std::string name_;
+  std::vector<Sweep> sweeps_;
+  int nodes_ = 1;
+  double walltime_s_ = 7200;
+  int max_concurrent_ = 0;  // 0 = one run per node
+};
+
+}  // namespace ff::cheetah

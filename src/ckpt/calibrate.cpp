@@ -1,0 +1,46 @@
+#include "ckpt/calibrate.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ff::ckpt {
+
+KernelCalibration calibrate_gray_scott(GrayScott& app, int steps) {
+  if (steps <= 1) throw ValidationError("calibrate_gray_scott: need >= 2 steps");
+  using Clock = std::chrono::steady_clock;
+  RunningStats stats;
+  for (int i = 0; i < steps; ++i) {
+    const auto start = Clock::now();
+    app.step();
+    stats.add(std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  KernelCalibration calibration;
+  calibration.mean_step_s = stats.mean();
+  calibration.variability =
+      stats.mean() > 0 ? stats.stddev() / stats.mean() : 0.0;
+  calibration.steps_measured = steps;
+  return calibration;
+}
+
+AppConfig scaled_app_config(const KernelCalibration& calibration,
+                            double target_step_s, int steps, int nodes,
+                            int ranks, double bytes_per_step) {
+  if (calibration.steps_measured == 0) {
+    throw ValidationError("scaled_app_config: empty calibration");
+  }
+  if (target_step_s <= 0) {
+    throw ValidationError("scaled_app_config: target step time must be positive");
+  }
+  AppConfig config;
+  config.steps = steps;
+  config.nodes = nodes;
+  config.ranks = ranks;
+  config.bytes_per_step = bytes_per_step;
+  config.compute_per_step_s = target_step_s;
+  config.compute_variability = std::max(0.05, calibration.variability);
+  return config;
+}
+
+}  // namespace ff::ckpt

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "ckpt/gray_scott.hpp"
+#include "ckpt/harness.hpp"
+
+namespace ff::ckpt {
+
+/// Measured timing behaviour of the real kernel on this host: mean
+/// wall-seconds per step and the relative step-to-step variability. This
+/// is what licenses the Summit-scale substitution (DESIGN.md §2): the
+/// harness only consumes (step time, variability), and we take the
+/// variability from the genuine computation instead of inventing it.
+struct KernelCalibration {
+  double mean_step_s = 0;
+  double variability = 0;  // relative stddev of per-step time
+  int steps_measured = 0;
+};
+
+/// Run `steps` real steps of `app` and time each one.
+KernelCalibration calibrate_gray_scott(GrayScott& app, int steps);
+
+/// Build a Summit-scale AppConfig from a calibration: per-step compute is
+/// scaled to `target_step_s` (the big machine's step time) while the
+/// *relative* variability is inherited from the measured kernel (floored
+/// at 5% — the shared machine adds jitter a dedicated host does not see).
+AppConfig scaled_app_config(const KernelCalibration& calibration,
+                            double target_step_s, int steps, int nodes,
+                            int ranks, double bytes_per_step);
+
+}  // namespace ff::ckpt

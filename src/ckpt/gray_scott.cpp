@@ -1,0 +1,128 @@
+#include "ckpt/gray_scott.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ff::ckpt {
+
+GrayScott::GrayScott(const Params& params, uint64_t seed) : params_(params) {
+  if (params.width < 3 || params.height < 3) {
+    throw ValidationError("GrayScott: grid must be at least 3x3");
+  }
+  const size_t n = params.width * params.height;
+  u_.assign(n, 1.0);
+  v_.assign(n, 0.0);
+  u_next_.resize(n);
+  v_next_.resize(n);
+  // Seed a square of reactant in the middle plus a little noise so the
+  // pattern breaks symmetry (as the standard benchmark does).
+  Rng rng(seed);
+  const size_t cx = params.width / 2;
+  const size_t cy = params.height / 2;
+  const size_t r = std::min(params.width, params.height) / 8 + 1;
+  for (size_t y = cy - r; y <= cy + r; ++y) {
+    for (size_t x = cx - r; x <= cx + r; ++x) {
+      u_[index(x, y)] = 0.50 + 0.02 * rng.uniform(-1, 1);
+      v_[index(x, y)] = 0.25 + 0.02 * rng.uniform(-1, 1);
+    }
+  }
+}
+
+void GrayScott::step() {
+  const size_t width = params_.width;
+  const size_t height = params_.height;
+  for (size_t y = 0; y < height; ++y) {
+    const size_t up = (y + height - 1) % height;
+    const size_t down = (y + 1) % height;
+    for (size_t x = 0; x < width; ++x) {
+      const size_t left = (x + width - 1) % width;
+      const size_t right = (x + 1) % width;
+      const size_t here = index(x, y);
+      const double u = u_[here];
+      const double v = v_[here];
+      const double lap_u = u_[index(left, y)] + u_[index(right, y)] +
+                           u_[index(x, up)] + u_[index(x, down)] - 4.0 * u;
+      const double lap_v = v_[index(left, y)] + v_[index(right, y)] +
+                           v_[index(x, up)] + v_[index(x, down)] - 4.0 * v;
+      const double reaction = u * v * v;
+      u_next_[here] =
+          u + params_.dt * (params_.du * lap_u - reaction + params_.feed * (1.0 - u));
+      v_next_[here] =
+          v + params_.dt *
+                  (params_.dv * lap_v + reaction - (params_.feed + params_.kill) * v);
+    }
+  }
+  u_.swap(u_next_);
+  v_.swap(v_next_);
+  ++step_;
+}
+
+void GrayScott::steps(int count) {
+  for (int i = 0; i < count; ++i) step();
+}
+
+double GrayScott::v_mass() const {
+  double total = 0;
+  for (double value : v_) total += value;
+  return total;
+}
+
+size_t GrayScott::checkpoint_bytes() const noexcept {
+  return sizeof(Params) + sizeof(int) + 2 * u_.size() * sizeof(double);
+}
+
+namespace {
+
+template <typename T>
+void append_raw(std::vector<uint8_t>& blob, const T& value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  blob.insert(blob.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T read_raw(const std::vector<uint8_t>& blob, size_t& offset) {
+  if (offset + sizeof(T) > blob.size()) {
+    throw ParseError("GrayScott::restore: truncated checkpoint");
+  }
+  T value;
+  std::memcpy(&value, blob.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<uint8_t> GrayScott::checkpoint() const {
+  std::vector<uint8_t> blob;
+  blob.reserve(checkpoint_bytes());
+  append_raw(blob, params_);
+  append_raw(blob, step_);
+  for (double value : u_) append_raw(blob, value);
+  for (double value : v_) append_raw(blob, value);
+  return blob;
+}
+
+GrayScott GrayScott::restore(const std::vector<uint8_t>& blob) {
+  size_t offset = 0;
+  GrayScott out;
+  out.params_ = read_raw<Params>(blob, offset);
+  out.step_ = read_raw<int>(blob, offset);
+  const size_t n = out.params_.width * out.params_.height;
+  if (n == 0 || n > (1u << 26)) {
+    throw ParseError("GrayScott::restore: implausible grid size");
+  }
+  out.u_.resize(n);
+  out.v_.resize(n);
+  out.u_next_.resize(n);
+  out.v_next_.resize(n);
+  for (size_t i = 0; i < n; ++i) out.u_[i] = read_raw<double>(blob, offset);
+  for (size_t i = 0; i < n; ++i) out.v_[i] = read_raw<double>(blob, offset);
+  if (offset != blob.size()) {
+    throw ParseError("GrayScott::restore: trailing bytes in checkpoint");
+  }
+  return out;
+}
+
+}  // namespace ff::ckpt

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ff::ckpt {
+
+/// A real Gray–Scott reaction-diffusion kernel — the paper's checkpoint
+/// experiment ran "a common reaction-diffusion benchmark on Summit". This
+/// is the actual computation (two coupled PDEs on a periodic 2D grid), kept
+/// at laptop scale; the Summit-scale runs use SummitScaleHarness, which
+/// only needs (step time, output size) pairs.
+///
+///   du/dt = Du ∇²u − u v² + F (1 − u)
+///   dv/dt = Dv ∇²v + u v² − (F + k) v
+class GrayScott {
+ public:
+  struct Params {
+    size_t width = 64;
+    size_t height = 64;
+    double du = 0.16;
+    double dv = 0.08;
+    double feed = 0.060;   // F
+    double kill = 0.062;   // k
+    double dt = 1.0;
+  };
+
+  explicit GrayScott(const Params& params, uint64_t seed = 42);
+
+  void step();
+  void steps(int count);
+
+  int current_step() const noexcept { return step_; }
+  const Params& params() const noexcept { return params_; }
+  const std::vector<double>& u() const noexcept { return u_; }
+  const std::vector<double>& v() const noexcept { return v_; }
+
+  /// Interesting-pattern metric: total v mass (grows as spots form).
+  double v_mass() const;
+
+  /// Serialize full state (checkpoint) / restore from it (restart).
+  /// The blob is self-contained: params, step counter, and both fields.
+  std::vector<uint8_t> checkpoint() const;
+  static GrayScott restore(const std::vector<uint8_t>& blob);
+
+  /// Checkpoint size in bytes for this grid (what the I/O layer writes).
+  size_t checkpoint_bytes() const noexcept;
+
+ private:
+  GrayScott() = default;
+  Params params_;
+  int step_ = 0;
+  std::vector<double> u_;
+  std::vector<double> v_;
+  std::vector<double> u_next_;
+  std::vector<double> v_next_;
+
+  size_t index(size_t x, size_t y) const noexcept { return y * params_.width + x; }
+};
+
+}  // namespace ff::ckpt

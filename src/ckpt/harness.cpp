@@ -1,0 +1,103 @@
+#include "ckpt/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ff::ckpt {
+
+RunResult run_simulated_app(const AppConfig& config,
+                            const CheckpointPolicy& policy,
+                            const sim::MachineSpec& machine, uint64_t seed) {
+  if (config.steps <= 0 || config.nodes <= 0 || config.bytes_per_step <= 0 ||
+      config.compute_per_step_s <= 0) {
+    throw ValidationError("run_simulated_app: bad AppConfig");
+  }
+  sim::SharedFilesystem fs(machine, seed);
+  Rng rng(splitmix64(seed ^ 0xc0ffeeULL));
+  // A job only commands its node-share of the machine's aggregate
+  // filesystem bandwidth (writers scale with nodes, as on Summit/Alpine).
+  const double bandwidth_share =
+      std::min(1.0, static_cast<double>(config.nodes) /
+                        static_cast<double>(std::max(1, machine.nodes)));
+  if (config.io_efficiency <= 0 || config.io_efficiency > 1) {
+    throw ValidationError("run_simulated_app: io_efficiency must be in (0,1]");
+  }
+  const double share_penalty = 1.0 / (bandwidth_share * config.io_efficiency);
+
+  RunResult result;
+  double now = 0;
+  double last_checkpoint = 0;
+  double recent_write = 0;
+  for (int step = 0; step < config.steps; ++step) {
+    // Compute phase: nominal time with multiplicative variability, plus a
+    // communication share that grows with rank count (weak-scaling tax).
+    const double noise = std::max(0.2, 1.0 + config.compute_variability * rng.normal());
+    const double comm = config.comm_fraction *
+                        (1.0 + 0.05 * std::log2(std::max(2, config.ranks)));
+    const double compute_s = config.compute_per_step_s * noise * (1.0 + comm);
+    now += compute_s;
+
+    StepRecord record;
+    record.step = step;
+    record.compute_s = compute_s;
+
+    CheckpointContext context;
+    context.step = step;
+    context.now_s = now;
+    context.last_checkpoint_s = last_checkpoint;
+    context.checkpoints_written = result.checkpoints_written;
+    context.cumulative_io_s = result.total_io_s;
+    context.estimated_write_s =
+        fs.write_seconds(config.bytes_per_step, now) * share_penalty;
+    context.recent_write_s = recent_write;
+
+    if (policy.should_checkpoint(context)) {
+      // The actual write may cost slightly differently than the estimate
+      // (load moves while writing); sample at the post-write time frontier.
+      const double write_s = context.estimated_write_s;
+      now += write_s;
+      result.total_io_s += write_s;
+      ++result.checkpoints_written;
+      result.checkpoint_times_s.push_back(now);
+      last_checkpoint = now;
+      recent_write = write_s;
+      record.write_s = write_s;
+      record.checkpointed = true;
+    }
+    record.overhead_so_far = now > 0 ? result.total_io_s / now : 0;
+    result.steps.push_back(record);
+  }
+  result.total_runtime_s = now;
+  return result;
+}
+
+double lost_work_at(const RunResult& result, double failure_time_s) {
+  if (failure_time_s < 0) throw ValidationError("lost_work_at: negative time");
+  const double t = std::min(failure_time_s, result.total_runtime_s);
+  double last_before = 0;
+  for (double checkpoint_time : result.checkpoint_times_s) {
+    if (checkpoint_time <= t) last_before = checkpoint_time;
+  }
+  return t - last_before;
+}
+
+double expected_lost_work(const RunResult& result) {
+  // E[t - last_ckpt(t)] for t ~ U(0, T): sum of interval^2 / (2T) over the
+  // intervals between consecutive checkpoints (and the edges).
+  const double total = result.total_runtime_s;
+  if (total <= 0) return 0;
+  double previous = 0;
+  double accumulator = 0;
+  for (double checkpoint_time : result.checkpoint_times_s) {
+    const double interval = checkpoint_time - previous;
+    accumulator += interval * interval / 2.0;
+    previous = checkpoint_time;
+  }
+  const double tail = total - previous;
+  accumulator += tail * tail / 2.0;
+  return accumulator / total;
+}
+
+}  // namespace ff::ckpt

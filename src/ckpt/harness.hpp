@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ckpt/policy.hpp"
+#include "cluster/filesystem.hpp"
+#include "cluster/machine.hpp"
+#include "util/rng.hpp"
+
+namespace ff::ckpt {
+
+/// Configuration of a Summit-scale simulated run: the paper's setup was
+/// 4096 ranks over 128 nodes, 50 timesteps, ~1 TB output per timestep.
+struct AppConfig {
+  int steps = 50;
+  int nodes = 128;
+  int ranks = 4096;
+  double bytes_per_step = 1e12;       // checkpoint size (1 TB)
+  double compute_per_step_s = 120;    // nominal compute time per step
+  double compute_variability = 0.15;  // relative stddev of step compute time
+  /// Extra communication fraction: "configured to perform more/less
+  /// computations and communication" between Fig. 4 runs.
+  double comm_fraction = 0.2;
+  /// Fraction of the job's linear bandwidth share it actually achieves
+  /// (real GPFS writes from N of M nodes land well under N/M of peak).
+  double io_efficiency = 0.35;
+};
+
+/// What one simulated run produced. checkpoint I/O is *blocking*: a written
+/// checkpoint extends the run, which is exactly the overhead the policy
+/// bounds.
+struct StepRecord {
+  int step = 0;
+  double compute_s = 0;
+  double write_s = 0;       // 0 when no checkpoint was written
+  bool checkpointed = false;
+  double overhead_so_far = 0;  // cumulative io / cumulative runtime after step
+};
+
+struct RunResult {
+  int checkpoints_written = 0;
+  double total_runtime_s = 0;
+  double total_io_s = 0;
+  std::vector<StepRecord> steps;
+  std::vector<double> checkpoint_times_s;  // when each checkpoint finished
+
+  double overhead_fraction() const {
+    return total_runtime_s > 0 ? total_io_s / total_runtime_s : 0;
+  }
+};
+
+/// The I/O-middleware-in-the-loop harness: runs `config.steps` timesteps on
+/// the simulated machine, consulting `policy` at each step boundary with a
+/// fully populated CheckpointContext (including the filesystem's current
+/// estimated write cost). This is the code path behind Fig. 3 and Fig. 4.
+RunResult run_simulated_app(const AppConfig& config,
+                            const CheckpointPolicy& policy,
+                            const sim::MachineSpec& machine, uint64_t seed);
+
+/// Work lost if the run fails at `failure_time_s`: time since the last
+/// checkpoint that *completed* before the failure (or since start).
+double lost_work_at(const RunResult& result, double failure_time_s);
+
+/// Expected lost work under uniformly distributed failure time over the
+/// run — the quantity a checkpoint policy actually trades off against its
+/// I/O overhead.
+double expected_lost_work(const RunResult& result);
+
+}  // namespace ff::ckpt

@@ -1,0 +1,106 @@
+#include "ckpt/policy.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::ckpt {
+
+FixedIntervalPolicy::FixedIntervalPolicy(int interval) : interval_(interval) {
+  if (interval <= 0) throw ValidationError("FixedIntervalPolicy: interval must be > 0");
+}
+
+bool FixedIntervalPolicy::should_checkpoint(const CheckpointContext& context) const {
+  return (context.step + 1) % interval_ == 0;
+}
+
+std::string FixedIntervalPolicy::name() const {
+  return "fixed-interval(" + std::to_string(interval_) + ")";
+}
+
+OverheadBoundedPolicy::OverheadBoundedPolicy(double max_overhead)
+    : max_overhead_(max_overhead) {
+  if (max_overhead <= 0 || max_overhead >= 1) {
+    throw ValidationError("OverheadBoundedPolicy: overhead must be in (0,1)");
+  }
+}
+
+bool OverheadBoundedPolicy::should_checkpoint(const CheckpointContext& context) const {
+  // Would writing now keep (total I/O)/(total runtime) within the budget?
+  const double io_after = context.cumulative_io_s + context.estimated_write_s;
+  const double runtime_after = context.now_s + context.estimated_write_s;
+  if (runtime_after <= 0) return false;
+  return io_after / runtime_after <= max_overhead_;
+}
+
+std::string OverheadBoundedPolicy::name() const {
+  return "overhead-bounded(" + format_fixed(max_overhead_ * 100, 0) + "%)";
+}
+
+MinimumFrequencyPolicy::MinimumFrequencyPolicy(double max_gap_s)
+    : max_gap_s_(max_gap_s) {
+  if (max_gap_s <= 0) throw ValidationError("MinimumFrequencyPolicy: gap must be > 0");
+}
+
+bool MinimumFrequencyPolicy::should_checkpoint(const CheckpointContext& context) const {
+  return context.now_s - context.last_checkpoint_s >= max_gap_s_;
+}
+
+std::string MinimumFrequencyPolicy::name() const {
+  return "min-frequency(" + format_duration(max_gap_s_) + ")";
+}
+
+ForcedOnHighCostPolicy::ForcedOnHighCostPolicy(double nominal_write_s,
+                                               double cost_ratio)
+    : nominal_write_s_(nominal_write_s), cost_ratio_(cost_ratio) {
+  if (nominal_write_s <= 0 || cost_ratio <= 1.0) {
+    throw ValidationError(
+        "ForcedOnHighCostPolicy: need nominal cost > 0 and ratio > 1");
+  }
+}
+
+bool ForcedOnHighCostPolicy::should_checkpoint(
+    const CheckpointContext& context) const {
+  return context.recent_write_s >= nominal_write_s_ * cost_ratio_;
+}
+
+std::string ForcedOnHighCostPolicy::name() const {
+  return "forced-on-high-cost(x" + format_fixed(cost_ratio_, 1) + ")";
+}
+
+AnyPolicy::AnyPolicy(std::vector<std::shared_ptr<CheckpointPolicy>> policies)
+    : policies_(std::move(policies)) {
+  if (policies_.empty()) throw ValidationError("AnyPolicy: needs at least one policy");
+}
+
+bool AnyPolicy::should_checkpoint(const CheckpointContext& context) const {
+  for (const auto& policy : policies_) {
+    if (policy->should_checkpoint(context)) return true;
+  }
+  return false;
+}
+
+std::string AnyPolicy::name() const {
+  std::vector<std::string> names;
+  for (const auto& policy : policies_) names.push_back(policy->name());
+  return "any(" + join(names, ", ") + ")";
+}
+
+AllPolicy::AllPolicy(std::vector<std::shared_ptr<CheckpointPolicy>> policies)
+    : policies_(std::move(policies)) {
+  if (policies_.empty()) throw ValidationError("AllPolicy: needs at least one policy");
+}
+
+bool AllPolicy::should_checkpoint(const CheckpointContext& context) const {
+  for (const auto& policy : policies_) {
+    if (!policy->should_checkpoint(context)) return false;
+  }
+  return true;
+}
+
+std::string AllPolicy::name() const {
+  std::vector<std::string> names;
+  for (const auto& policy : policies_) names.push_back(policy->name());
+  return "all(" + join(names, ", ") + ")";
+}
+
+}  // namespace ff::ckpt

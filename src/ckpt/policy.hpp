@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ff::ckpt {
+
+/// Everything a checkpoint policy may consult when the application reaches
+/// a checkpointable boundary (end of a timestep). The I/O middleware fills
+/// this in; policies stay pure functions of it.
+struct CheckpointContext {
+  int step = 0;                    // timestep index (0-based)
+  double now_s = 0;                // virtual time since application start
+  double last_checkpoint_s = 0;    // time of last checkpoint (0 if none yet)
+  int checkpoints_written = 0;
+  double cumulative_io_s = 0;      // total checkpoint I/O time so far
+  double estimated_write_s = 0;    // middleware's estimate for writing now
+  double recent_write_s = 0;       // observed cost of the previous write (0 if none)
+};
+
+/// A checkpoint policy: the paper's point (Section V-B) is that exposing
+/// *intent-level* parameters (wall-clock gap, acceptable I/O overhead)
+/// instead of "every N timesteps" makes the component reusable across
+/// systems without retuning.
+class CheckpointPolicy {
+ public:
+  virtual ~CheckpointPolicy() = default;
+  virtual bool should_checkpoint(const CheckpointContext& context) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The traditional baseline: checkpoint every `interval` timesteps.
+class FixedIntervalPolicy final : public CheckpointPolicy {
+ public:
+  explicit FixedIntervalPolicy(int interval);
+  bool should_checkpoint(const CheckpointContext& context) const override;
+  std::string name() const override;
+
+ private:
+  int interval_;
+};
+
+/// The paper's demonstrated policy: checkpoint only while cumulative
+/// checkpoint-I/O time (including the write under consideration) stays
+/// within `max_overhead` (fraction of total application runtime).
+class OverheadBoundedPolicy final : public CheckpointPolicy {
+ public:
+  explicit OverheadBoundedPolicy(double max_overhead);
+  bool should_checkpoint(const CheckpointContext& context) const override;
+  std::string name() const override;
+  double max_overhead() const noexcept { return max_overhead_; }
+
+ private:
+  double max_overhead_;
+};
+
+/// Fine-tuning from the paper: "ensure a certain minimum frequency of
+/// checkpointing" — force a checkpoint when more than `max_gap_s` of
+/// virtual time has passed since the last one.
+class MinimumFrequencyPolicy final : public CheckpointPolicy {
+ public:
+  explicit MinimumFrequencyPolicy(double max_gap_s);
+  bool should_checkpoint(const CheckpointContext& context) const override;
+  std::string name() const override;
+
+ private:
+  double max_gap_s_;
+};
+
+/// The paper's other refinement: "an abnormally high I/O cost may be
+/// indicative of a system more prone to failure, and thus force a
+/// checkpoint": trigger when the previous write cost at least
+/// `cost_ratio` times the estimate for a healthy system.
+class ForcedOnHighCostPolicy final : public CheckpointPolicy {
+ public:
+  ForcedOnHighCostPolicy(double nominal_write_s, double cost_ratio);
+  bool should_checkpoint(const CheckpointContext& context) const override;
+  std::string name() const override;
+
+ private:
+  double nominal_write_s_;
+  double cost_ratio_;
+};
+
+/// Combinators so policies compose declaratively ("policies can be
+/// constructed using a combination of some or all of the exposed
+/// parameters").
+class AnyPolicy final : public CheckpointPolicy {
+ public:
+  explicit AnyPolicy(std::vector<std::shared_ptr<CheckpointPolicy>> policies);
+  bool should_checkpoint(const CheckpointContext& context) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::shared_ptr<CheckpointPolicy>> policies_;
+};
+
+class AllPolicy final : public CheckpointPolicy {
+ public:
+  explicit AllPolicy(std::vector<std::shared_ptr<CheckpointPolicy>> policies);
+  bool should_checkpoint(const CheckpointContext& context) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::shared_ptr<CheckpointPolicy>> policies_;
+};
+
+}  // namespace ff::ckpt

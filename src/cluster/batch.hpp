@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "cluster/sim.hpp"
+#include "util/rng.hpp"
+
+namespace ff::sim {
+
+/// A granted batch allocation: `nodes` nodes for at most `walltime_s`,
+/// starting at `start_time`. The holder runs work inside it via the
+/// Simulation; the batch system revokes it at the walltime deadline.
+struct Allocation {
+  uint64_t id = 0;
+  int nodes = 0;
+  double walltime_s = 0;
+  double start_time = 0;
+
+  double deadline() const noexcept { return start_time + walltime_s; }
+  /// Seconds remaining at virtual time `now` (never negative).
+  double remaining(double now) const noexcept {
+    return deadline() > now ? deadline() - now : 0.0;
+  }
+};
+
+/// A minimal batch system over the event simulator: FIFO queue with
+/// node-count admission on a fixed-size machine, stochastic queue wait on
+/// top of resource availability (facility is shared with other users), and
+/// hard walltime enforcement. This is the piece that makes "submit, wait,
+/// babysit, resubmit" costly in the baseline workflows.
+class BatchSystem {
+ public:
+  BatchSystem(Simulation& sim, const MachineSpec& machine, uint64_t seed);
+
+  struct JobRequest {
+    std::string name;
+    int nodes = 1;
+    double walltime_s = 7200;
+    /// Called when the allocation starts.
+    std::function<void(const Allocation&)> on_start;
+    /// Called when the walltime expires (only if still running then).
+    std::function<void(const Allocation&)> on_walltime;
+  };
+
+  /// Submit a job; it starts once enough nodes are free AND its stochastic
+  /// queue delay has elapsed. Returns the job id.
+  uint64_t submit(JobRequest request);
+
+  /// Release an allocation early (job finished before walltime).
+  void complete(const Allocation& allocation);
+
+  int free_nodes() const noexcept { return free_nodes_; }
+  size_t queued() const noexcept { return queue_.size(); }
+  uint64_t jobs_started() const noexcept { return started_; }
+
+ private:
+  struct Pending {
+    uint64_t id;
+    JobRequest request;
+    double eligible_at;  // submission time + sampled queue delay
+  };
+
+  void try_start();
+
+  Simulation& sim_;
+  MachineSpec machine_;
+  ff::Rng rng_;
+  int free_nodes_;
+  uint64_t next_id_ = 1;
+  uint64_t started_ = 0;
+  std::vector<Pending> queue_;
+  std::vector<uint64_t> active_;  // allocation ids still holding nodes
+  std::vector<std::pair<uint64_t, int>> active_nodes_;  // id -> nodes held
+};
+
+}  // namespace ff::sim

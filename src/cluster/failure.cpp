@@ -1,0 +1,24 @@
+#include "cluster/failure.hpp"
+
+#include <cmath>
+
+namespace ff::sim {
+
+FailureModel::FailureModel(const MachineSpec& machine, uint64_t seed,
+                           double repair_time_s)
+    : node_mttf_s_(machine.node_mttf_hours * 3600.0),
+      repair_time_s_(repair_time_s),
+      rng_(ff::splitmix64(seed ^ 0xfa11fa11ULL)) {}
+
+std::optional<double> FailureModel::next_failure_after(double now, int nodes) {
+  if (node_mttf_s_ <= 0 || nodes <= 0) return std::nullopt;
+  // Minimum of n exponentials is exponential with mean mttf/n.
+  return now + rng_.exponential(node_mttf_s_ / nodes);
+}
+
+double FailureModel::survival_probability(int nodes, double duration_s) const {
+  if (node_mttf_s_ <= 0 || nodes <= 0) return 1.0;
+  return std::exp(-duration_s * nodes / node_mttf_s_);
+}
+
+}  // namespace ff::sim

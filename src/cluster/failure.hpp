@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "util/rng.hpp"
+
+namespace ff::sim {
+
+/// Node-failure process: each node fails independently with exponential
+/// inter-failure times (mean = MTTF), then recovers after a fixed repair
+/// time. Used by the checkpoint-restart experiments (work lost since last
+/// checkpoint) and by Savanna's run tracker (failed runs need re-runs).
+class FailureModel {
+ public:
+  FailureModel(const MachineSpec& machine, uint64_t seed,
+               double repair_time_s = 600.0);
+
+  /// Next failure time strictly after `now` across `nodes` nodes running
+  /// together (the aggregate process of n exponential clocks). Returns
+  /// nullopt if MTTF is non-positive (failures disabled).
+  std::optional<double> next_failure_after(double now, int nodes);
+
+  /// Probability that an allocation of `nodes` nodes survives `duration_s`
+  /// without any failure (analytic, for tests and planning).
+  double survival_probability(int nodes, double duration_s) const;
+
+  double repair_time_s() const noexcept { return repair_time_s_; }
+  double node_mttf_s() const noexcept { return node_mttf_s_; }
+
+ private:
+  double node_mttf_s_;
+  double repair_time_s_;
+  ff::Rng rng_;
+};
+
+}  // namespace ff::sim

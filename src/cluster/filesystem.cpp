@@ -1,0 +1,54 @@
+#include "cluster/filesystem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ff::sim {
+
+SharedFilesystem::SharedFilesystem(const MachineSpec& machine, uint64_t seed)
+    : machine_(machine), rng_(ff::splitmix64(seed ^ 0xf11e5f5ULL)) {
+  if (machine_.fs_bandwidth_gbps <= 0) {
+    throw ff::Error("SharedFilesystem: bandwidth must be positive");
+  }
+}
+
+double SharedFilesystem::grid_load(size_t index) {
+  // AR(1): x_{k+1} = phi * x_k + noise; load = exp(x) (lognormal marginal).
+  const double phi = 0.95;
+  const double sigma = machine_.fs_load_volatility * std::sqrt(1 - phi * phi);
+  while (grid_.size() <= index) {
+    const double previous = grid_.empty() ? 0.0 : grid_.back();
+    grid_.push_back(phi * previous + sigma * rng_.normal());
+  }
+  return std::exp(grid_[index]);
+}
+
+double SharedFilesystem::load_factor(double now) {
+  if (now < 0) now = 0;
+  double factor = grid_load(static_cast<size_t>(now / grid_step_s_));
+  for (const Window& window : windows_) {
+    if (now >= window.from && now < window.to) factor *= window.factor;
+  }
+  return std::max(0.2, factor);
+}
+
+void SharedFilesystem::add_congestion_window(double from, double to,
+                                             double extra_factor) {
+  if (to <= from || extra_factor <= 0) {
+    throw ff::Error("add_congestion_window: bad window");
+  }
+  windows_.push_back(Window{from, to, extra_factor});
+}
+
+double SharedFilesystem::write_seconds(double bytes, double now) {
+  if (bytes < 0) throw ff::Error("write_seconds: negative size");
+  const double effective_gbps = machine_.fs_bandwidth_gbps / load_factor(now);
+  const double seconds =
+      machine_.fs_latency_s + bytes / (effective_gbps * 1e9);
+  write_stats_.add(seconds);
+  return seconds;
+}
+
+}  // namespace ff::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ff::sim {
+
+/// A shared parallel-filesystem model. The effective bandwidth seen by a
+/// job fluctuates with facility-wide background load, which we model as a
+/// mean-reverting (AR(1) / discretized Ornstein-Uhlenbeck) multiplicative
+/// load factor sampled on a coarse time grid. This reproduces the behaviour
+/// Fig. 4 of the paper depends on: the *same* application run twice sees
+/// different checkpoint I/O costs because the filesystem is shared.
+class SharedFilesystem {
+ public:
+  SharedFilesystem(const MachineSpec& machine, uint64_t seed);
+
+  /// Seconds to write `bytes` starting at virtual time `now`, given the
+  /// background load at that time. Deterministic for a given (seed, now).
+  double write_seconds(double bytes, double now);
+
+  /// Seconds to read `bytes` (reads see the same contention).
+  double read_seconds(double bytes, double now) { return write_seconds(bytes, now); }
+
+  /// Background load factor at `now`: 1.0 = nominal, >1 = congested.
+  /// Always >= 0.2 so bandwidth never fully vanishes.
+  double load_factor(double now);
+
+  /// Externally force extra congestion (e.g. "another job is draining a
+  /// burst buffer") for the interval [from, to).
+  void add_congestion_window(double from, double to, double extra_factor);
+
+  const ff::RunningStats& write_stats() const noexcept { return write_stats_; }
+
+ private:
+  MachineSpec machine_;
+  ff::Rng rng_;
+  double grid_step_s_ = 60.0;  // load re-sampled every virtual minute
+  // Cache of load factors per grid index, filled in order.
+  std::vector<double> grid_;
+  struct Window {
+    double from;
+    double to;
+    double factor;
+  };
+  std::vector<Window> windows_;
+  ff::RunningStats write_stats_;
+
+  double grid_load(size_t index);
+};
+
+}  // namespace ff::sim

@@ -1,0 +1,78 @@
+#include "cluster/machine.hpp"
+
+namespace ff::sim {
+
+ff::Json MachineSpec::to_json() const {
+  ff::Json out = ff::Json::object();
+  out["name"] = name;
+  out["nodes"] = static_cast<int64_t>(nodes);
+  out["cores_per_node"] = static_cast<int64_t>(cores_per_node);
+  out["memory_gb_per_node"] = memory_gb_per_node;
+  out["fs_bandwidth_gbps"] = fs_bandwidth_gbps;
+  out["fs_load_volatility"] = fs_load_volatility;
+  out["fs_latency_s"] = fs_latency_s;
+  out["node_mttf_hours"] = node_mttf_hours;
+  out["queue_wait_mean_s"] = queue_wait_mean_s;
+  return out;
+}
+
+MachineSpec MachineSpec::from_json(const ff::Json& json) {
+  MachineSpec spec;
+  spec.name = json.get_or("name", spec.name);
+  spec.nodes = static_cast<int>(json.get_or("nodes", int64_t{spec.nodes}));
+  spec.cores_per_node =
+      static_cast<int>(json.get_or("cores_per_node", int64_t{spec.cores_per_node}));
+  spec.memory_gb_per_node =
+      json.get_or("memory_gb_per_node", spec.memory_gb_per_node);
+  spec.fs_bandwidth_gbps = json.get_or("fs_bandwidth_gbps", spec.fs_bandwidth_gbps);
+  spec.fs_load_volatility =
+      json.get_or("fs_load_volatility", spec.fs_load_volatility);
+  spec.fs_latency_s = json.get_or("fs_latency_s", spec.fs_latency_s);
+  spec.node_mttf_hours = json.get_or("node_mttf_hours", spec.node_mttf_hours);
+  spec.queue_wait_mean_s = json.get_or("queue_wait_mean_s", spec.queue_wait_mean_s);
+  return spec;
+}
+
+MachineSpec summit() {
+  MachineSpec spec;
+  spec.name = "summit";
+  spec.nodes = 4608;
+  spec.cores_per_node = 42;
+  spec.memory_gb_per_node = 512;
+  spec.fs_bandwidth_gbps = 2500;  // Alpine aggregate
+  spec.fs_load_volatility = 0.35; // shared with the whole facility
+  spec.fs_latency_s = 0.02;
+  spec.node_mttf_hours = 8000;
+  spec.queue_wait_mean_s = 3600;
+  return spec;
+}
+
+MachineSpec institutional_cluster() {
+  MachineSpec spec;
+  spec.name = "institutional";
+  spec.nodes = 64;
+  spec.cores_per_node = 32;
+  spec.memory_gb_per_node = 192;
+  spec.fs_bandwidth_gbps = 40;
+  spec.fs_load_volatility = 0.25;
+  spec.fs_latency_s = 0.005;
+  spec.node_mttf_hours = 15000;
+  spec.queue_wait_mean_s = 900;
+  return spec;
+}
+
+MachineSpec workstation() {
+  MachineSpec spec;
+  spec.name = "workstation";
+  spec.nodes = 1;
+  spec.cores_per_node = 8;
+  spec.memory_gb_per_node = 32;
+  spec.fs_bandwidth_gbps = 2;
+  spec.fs_load_volatility = 0.1;
+  spec.fs_latency_s = 0.001;
+  spec.node_mttf_hours = 50000;
+  spec.queue_wait_mean_s = 0;
+  return spec;
+}
+
+}  // namespace ff::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace ff::sim {
+
+/// Static description of a (simulated) HPC machine. The presets model the
+/// systems the paper evaluated on: ORNL Summit (leadership-class) and an
+/// institutional-scale cluster.
+struct MachineSpec {
+  std::string name = "generic";
+  int nodes = 16;
+  int cores_per_node = 32;
+  double memory_gb_per_node = 256;
+
+  // Shared parallel filesystem characteristics.
+  double fs_bandwidth_gbps = 240;   // aggregate GB/s (GPFS-like)
+  double fs_load_volatility = 0.3;  // relative stddev of background load
+  double fs_latency_s = 0.01;      // per-operation fixed cost
+
+  // Reliability: mean time to failure of a single node, in hours.
+  double node_mttf_hours = 10000;
+
+  // Batch system behaviour.
+  double queue_wait_mean_s = 1800;  // mean wait before an allocation starts
+
+  ff::Json to_json() const;
+  static MachineSpec from_json(const ff::Json& json);
+};
+
+/// ORNL Summit-like: 4608 nodes, 2.5 TB/s Alpine/GPFS.
+MachineSpec summit();
+/// Institutional-scale commodity cluster.
+MachineSpec institutional_cluster();
+/// A developer workstation (useful in tests/examples).
+MachineSpec workstation();
+
+}  // namespace ff::sim

@@ -1,0 +1,58 @@
+#include "cluster/sim.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ff::sim {
+
+uint64_t Simulation::schedule_at(double time, std::function<void()> handler) {
+  if (time < now_) {
+    throw Error("Simulation: cannot schedule in the past (" +
+                std::to_string(time) + " < " + std::to_string(now_) + ")");
+  }
+  const uint64_t sequence = next_sequence_++;
+  queue_.push(Event{time, sequence, std::move(handler)});
+  live_.insert(sequence);
+  return sequence;
+}
+
+uint64_t Simulation::schedule_after(double delay, std::function<void()> handler) {
+  if (delay < 0) throw Error("Simulation: negative delay");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulation::cancel(uint64_t event_id) { return live_.erase(event_id) > 0; }
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (!live_.erase(event.sequence)) continue;  // cancelled
+    now_ = event.time;
+    ++processed_;
+    event.handler();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(double deadline) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries so a stale head doesn't stop progress.
+    if (!live_.count(queue_.top().sequence)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace ff::sim

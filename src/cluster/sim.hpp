@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ff::sim {
+
+/// A deterministic discrete-event simulation core. Events fire in
+/// (time, insertion-order) order, so equal-time events are processed in the
+/// order they were scheduled — this makes every simulation in the repo
+/// bit-reproducible, which the experiment benches rely on.
+///
+/// Time is in seconds of virtual wall-clock. The simulator has no notion of
+/// real time; a "two-hour Summit allocation" costs microseconds to simulate.
+class Simulation {
+ public:
+  double now() const noexcept { return now_; }
+
+  /// Schedule `handler` at absolute virtual time `time` (>= now).
+  /// Returns an event id usable with cancel().
+  uint64_t schedule_at(double time, std::function<void()> handler);
+
+  /// Schedule `handler` after `delay` seconds (>= 0).
+  uint64_t schedule_after(double delay, std::function<void()> handler);
+
+  /// Cancel a pending event. Returns false if it already fired, was already
+  /// cancelled, or is unknown.
+  bool cancel(uint64_t event_id);
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Run until virtual time reaches `deadline` (events at exactly deadline
+  /// fire). Pending later events stay queued; now() advances to deadline.
+  void run_until(double deadline);
+
+  /// Fire the single next event. Returns false when the queue is empty.
+  bool step();
+
+  size_t pending() const noexcept { return live_.size(); }
+  uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t sequence;
+    std::function<void()> handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_sequence_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<uint64_t> live_;  // scheduled, not yet fired or cancelled
+};
+
+}  // namespace ff::sim

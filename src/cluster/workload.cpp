@@ -1,0 +1,54 @@
+#include "cluster/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ff::sim {
+
+double DurationModel::sample(ff::Rng& rng) const {
+  if (median_s <= 0) throw ff::Error("DurationModel: median must be positive");
+  if (rng.chance(straggler_fraction)) {
+    return rng.pareto(straggler_scale * median_s, straggler_alpha);
+  }
+  // Lognormal with median = exp(mu) => mu = ln(median).
+  return rng.lognormal(std::log(median_s), sigma);
+}
+
+std::vector<TaskSpec> make_ensemble(size_t count, const DurationModel& model,
+                                    uint64_t seed) {
+  ff::Rng rng(ff::splitmix64(seed ^ 0x3a55ULL));
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(count);
+  char buffer[32];
+  for (size_t i = 0; i < count; ++i) {
+    std::snprintf(buffer, sizeof(buffer), "run-%04zu", i);
+    TaskSpec task;
+    task.id = buffer;
+    task.duration_s = model.sample(rng);
+    task.feature_index = static_cast<int>(i);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+EnsembleSummary summarize_ensemble(const std::vector<TaskSpec>& tasks) {
+  EnsembleSummary summary;
+  if (tasks.empty()) return summary;
+  std::vector<double> durations;
+  durations.reserve(tasks.size());
+  for (const TaskSpec& task : tasks) {
+    durations.push_back(task.duration_s);
+    summary.total_core_seconds += task.duration_s;
+  }
+  summary.mean_s = ff::mean(durations);
+  summary.min_s = *std::min_element(durations.begin(), durations.end());
+  summary.max_s = *std::max_element(durations.begin(), durations.end());
+  summary.p95_s = ff::percentile(durations, 95);
+  return summary;
+}
+
+}  // namespace ff::sim

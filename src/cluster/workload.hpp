@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ff::sim {
+
+/// Per-run duration model for task ensembles. The iRF-LOOP experiments
+/// (paper Section V-D) hinge on run-time *skew*: "run times between the
+/// individual iRF processes can differ within one submission", so static
+/// set-synchronized submission leaves nodes idle. The model combines a
+/// lognormal body with a Pareto straggler tail.
+struct DurationModel {
+  double median_s = 300;        // median run time
+  double sigma = 0.4;           // lognormal shape (body spread)
+  double straggler_fraction = 0.05;  // fraction of runs drawn from the tail
+  double straggler_scale = 2.0;      // tail starts at scale * median
+  double straggler_alpha = 1.5;      // Pareto shape (smaller = heavier)
+
+  double sample(ff::Rng& rng) const;
+};
+
+/// One schedulable task in an ensemble.
+struct TaskSpec {
+  std::string id;
+  double duration_s = 0;   // true duration (unknown to the scheduler a priori)
+  int feature_index = -1;  // iRF-LOOP: which dependent feature this run fits
+};
+
+/// Generate `count` tasks with durations drawn from `model` (deterministic
+/// in `seed`). Ids are "run-0000" style.
+std::vector<TaskSpec> make_ensemble(size_t count, const DurationModel& model,
+                                    uint64_t seed);
+
+/// Summary statistics used by benches to report workloads honestly.
+struct EnsembleSummary {
+  double total_core_seconds = 0;
+  double min_s = 0;
+  double max_s = 0;
+  double mean_s = 0;
+  double p95_s = 0;
+};
+EnsembleSummary summarize_ensemble(const std::vector<TaskSpec>& tasks);
+
+}  // namespace ff::sim

@@ -1,0 +1,109 @@
+#include "core/assessment.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace ff::core {
+
+namespace {
+
+double manual_minutes(const Component& component,
+                      const std::vector<ReuseContext>& contexts) {
+  double total = 0;
+  for (const auto& context : contexts) {
+    total += summarize(interventions_for(component, context)).manual_minutes;
+  }
+  return total;
+}
+
+}  // namespace
+
+AssessmentReport assess(const WorkflowGraph& workflow,
+                        const std::vector<ReuseContext>& contexts) {
+  AssessmentReport report;
+  report.workflow_name = workflow.name();
+  report.aggregate = workflow.aggregate_profile();
+
+  for (const auto& id : workflow.component_ids()) {
+    const Component& component = workflow.component(id);
+    for (const auto& context : contexts) {
+      const DebtSummary summary = summarize(interventions_for(component, context));
+      report.total_debt.manual_count += summary.manual_count;
+      report.total_debt.automated_count += summary.automated_count;
+      report.total_debt.manual_minutes += summary.manual_minutes;
+    }
+
+    const double baseline = manual_minutes(component, contexts);
+    for (Gauge gauge : kAllGauges) {
+      const uint8_t current = component.profile().tier(gauge);
+      if (static_cast<size_t>(current) + 1 >= tier_count(gauge)) continue;
+      Component upgraded = component;
+      upgraded.profile().set_tier(gauge, static_cast<uint8_t>(current + 1));
+      const double saved = baseline - manual_minutes(upgraded, contexts);
+      if (saved <= 0) continue;
+      Recommendation recommendation;
+      recommendation.component_id = id;
+      recommendation.gauge = gauge;
+      recommendation.current_tier = current;
+      recommendation.recommended_tier = static_cast<uint8_t>(current + 1);
+      recommendation.rationale =
+          "raise " + std::string(gauge_name(gauge)) + " to '" +
+          std::string(tier_name(gauge, current + 1)) + "': " +
+          std::string(tier_description(gauge, current + 1));
+      recommendation.manual_minutes_saved = saved;
+      report.recommendations.push_back(std::move(recommendation));
+    }
+  }
+
+  std::stable_sort(report.recommendations.begin(), report.recommendations.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.manual_minutes_saved > b.manual_minutes_saved;
+                   });
+  return report;
+}
+
+Json AssessmentReport::to_json() const {
+  Json out = Json::object();
+  out["workflow"] = workflow_name;
+  out["aggregate"] = aggregate.to_json();
+  Json debt = Json::object();
+  debt["manual_steps"] = static_cast<int64_t>(total_debt.manual_count);
+  debt["automated_steps"] = static_cast<int64_t>(total_debt.automated_count);
+  debt["manual_minutes"] = total_debt.manual_minutes;
+  out["debt"] = std::move(debt);
+  Json plan = Json::array();
+  for (const Recommendation& recommendation : recommendations) {
+    Json entry = Json::object();
+    entry["component"] = recommendation.component_id;
+    entry["gauge"] = std::string(gauge_key(recommendation.gauge));
+    entry["from_tier"] = static_cast<int64_t>(recommendation.current_tier);
+    entry["to_tier"] = static_cast<int64_t>(recommendation.recommended_tier);
+    entry["minutes_saved"] = recommendation.manual_minutes_saved;
+    entry["rationale"] = recommendation.rationale;
+    plan.push_back(std::move(entry));
+  }
+  out["upgrade_plan"] = std::move(plan);
+  return out;
+}
+
+std::string AssessmentReport::render() const {
+  std::string out;
+  out += "Assessment of workflow '" + workflow_name + "'\n";
+  out += "Aggregate (weakest-link) gauge profile:\n" + aggregate.render();
+  out += "Technical debt across contexts: " +
+         std::to_string(total_debt.manual_count) + " manual steps (" +
+         format_duration(total_debt.manual_minutes * 60.0) + " nominal), " +
+         std::to_string(total_debt.automated_count) + " automated steps\n";
+  if (!recommendations.empty()) {
+    out += "Upgrade plan (by manual effort saved):\n";
+    for (const auto& recommendation : recommendations) {
+      out += "  " + pad_left(format_fixed(recommendation.manual_minutes_saved, 0), 5) +
+             "m  " + recommendation.component_id + ": " + recommendation.rationale +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/technical_debt.hpp"
+#include "core/workflow_graph.hpp"
+
+namespace ff::core {
+
+/// A recommended next step on one gauge ladder for one component, with the
+/// concrete automation it would unlock (derived from the debt model: which
+/// manual interventions become automatic at the next tier).
+struct Recommendation {
+  std::string component_id;
+  Gauge gauge;
+  uint8_t current_tier = 0;
+  uint8_t recommended_tier = 0;
+  std::string rationale;
+  double manual_minutes_saved = 0;  // across the assessed reuse contexts
+};
+
+/// The full assessment of a workflow: per-component debt under a set of
+/// reuse contexts, aggregate weakest-link profile, and an upgrade plan
+/// ordered by saved manual effort.
+struct AssessmentReport {
+  std::string workflow_name;
+  GaugeProfile aggregate;
+  DebtSummary total_debt;
+  std::vector<Recommendation> recommendations;
+
+  std::string render() const;
+  /// Machine-consumable form (for dashboards, CI gates on reusability
+  /// regressions, and cross-tool exchange).
+  Json to_json() const;
+};
+
+/// Assess `workflow` against the given reuse contexts (typically the
+/// scenarios the team expects: new machine, new dataset, new team...).
+/// For every component and gauge, it simulates raising that gauge one tier
+/// and measures the manual minutes saved across all contexts; positive
+/// savings become recommendations, sorted descending.
+AssessmentReport assess(const WorkflowGraph& workflow,
+                        const std::vector<ReuseContext>& contexts);
+
+}  // namespace ff::core

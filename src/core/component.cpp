@@ -1,0 +1,191 @@
+#include "core/component.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::core {
+
+std::string_view component_kind_name(ComponentKind kind) noexcept {
+  switch (kind) {
+    case ComponentKind::CodeFragment: return "code-fragment";
+    case ComponentKind::Executable: return "executable";
+    case ComponentKind::BundledWorkflow: return "bundled-workflow";
+    case ComponentKind::InternalService: return "internal-service";
+  }
+  return "?";
+}
+
+ComponentKind component_kind_from_name(std::string_view name) {
+  const std::string wanted = to_lower(name);
+  for (ComponentKind kind : {ComponentKind::CodeFragment, ComponentKind::Executable,
+                             ComponentKind::BundledWorkflow,
+                             ComponentKind::InternalService}) {
+    if (wanted == component_kind_name(kind)) return kind;
+  }
+  throw NotFoundError("unknown component kind '" + std::string(name) + "'");
+}
+
+std::string_view consumption_name(ConsumptionSemantics semantics) noexcept {
+  switch (semantics) {
+    case ConsumptionSemantics::Unknown: return "unknown";
+    case ConsumptionSemantics::ElementWise: return "element-wise";
+    case ConsumptionSemantics::Windowed: return "windowed";
+    case ConsumptionSemantics::WholeDataset: return "whole-dataset";
+    case ConsumptionSemantics::FirstPrecious: return "first-precious";
+  }
+  return "?";
+}
+
+ConsumptionSemantics consumption_from_name(std::string_view name) {
+  const std::string wanted = to_lower(name);
+  for (ConsumptionSemantics semantics :
+       {ConsumptionSemantics::Unknown, ConsumptionSemantics::ElementWise,
+        ConsumptionSemantics::Windowed, ConsumptionSemantics::WholeDataset,
+        ConsumptionSemantics::FirstPrecious}) {
+    if (wanted == consumption_name(semantics)) return semantics;
+  }
+  throw NotFoundError("unknown consumption semantics '" + std::string(name) + "'");
+}
+
+Json Port::to_json() const {
+  Json out = Json::object();
+  out["name"] = name;
+  out["direction"] = direction == PortDirection::Input ? "in" : "out";
+  if (!schema.empty()) out["schema"] = schema;
+  if (!access.empty()) out["access"] = access;
+  if (semantics != ConsumptionSemantics::Unknown) {
+    out["semantics"] = std::string(consumption_name(semantics));
+  }
+  return out;
+}
+
+Port Port::from_json(const Json& json) {
+  Port port;
+  port.name = json["name"].as_string();
+  const std::string direction = json.get_or("direction", "in");
+  port.direction = (direction == "out") ? PortDirection::Output : PortDirection::Input;
+  port.schema = json.get_or("schema", "");
+  port.access = json.get_or("access", "");
+  if (json.contains("semantics")) {
+    port.semantics = consumption_from_name(json["semantics"].as_string());
+  }
+  return port;
+}
+
+Json ConfigVariable::to_json() const {
+  Json out = Json::object();
+  out["name"] = name;
+  out["type"] = type;
+  out["default"] = default_value;
+  out["exposed"] = exposed;
+  if (!description.empty()) out["description"] = description;
+  return out;
+}
+
+ConfigVariable ConfigVariable::from_json(const Json& json) {
+  ConfigVariable variable;
+  variable.name = json["name"].as_string();
+  variable.type = json.get_or("type", "string");
+  if (json.contains("default")) variable.default_value = json["default"];
+  variable.exposed = json.get_or("exposed", false);
+  variable.description = json.get_or("description", "");
+  return variable;
+}
+
+void Component::add_port(Port port) {
+  if (has_port(port.name)) {
+    throw ValidationError("Component '" + id_ + "': duplicate port '" + port.name + "'");
+  }
+  ports_.push_back(std::move(port));
+}
+
+const Port& Component::port(std::string_view name) const {
+  for (const auto& port : ports_) {
+    if (port.name == name) return port;
+  }
+  throw NotFoundError("Component '" + id_ + "': no port '" + std::string(name) + "'");
+}
+
+bool Component::has_port(std::string_view name) const noexcept {
+  return std::any_of(ports_.begin(), ports_.end(),
+                     [&](const Port& p) { return p.name == name; });
+}
+
+std::vector<Port> Component::input_ports() const {
+  std::vector<Port> out;
+  for (const auto& port : ports_) {
+    if (port.direction == PortDirection::Input) out.push_back(port);
+  }
+  return out;
+}
+
+std::vector<Port> Component::output_ports() const {
+  std::vector<Port> out;
+  for (const auto& port : ports_) {
+    if (port.direction == PortDirection::Output) out.push_back(port);
+  }
+  return out;
+}
+
+void Component::add_config(ConfigVariable variable) {
+  for (const auto& existing : config_) {
+    if (existing.name == variable.name) {
+      throw ValidationError("Component '" + id_ + "': duplicate config variable '" +
+                            variable.name + "'");
+    }
+  }
+  config_.push_back(std::move(variable));
+}
+
+const ConfigVariable& Component::config_variable(std::string_view name) const {
+  for (const auto& variable : config_) {
+    if (variable.name == name) return variable;
+  }
+  throw NotFoundError("Component '" + id_ + "': no config variable '" +
+                      std::string(name) + "'");
+}
+
+size_t Component::exposed_config_count() const noexcept {
+  return static_cast<size_t>(std::count_if(
+      config_.begin(), config_.end(),
+      [](const ConfigVariable& v) { return v.exposed; }));
+}
+
+Json Component::to_json() const {
+  Json out = Json::object();
+  out["id"] = id_;
+  out["kind"] = std::string(component_kind_name(kind_));
+  if (!description_.empty()) out["description"] = description_;
+  out["gauges"] = profile_.to_json();
+  Json ports = Json::array();
+  for (const auto& port : ports_) ports.push_back(port.to_json());
+  out["ports"] = std::move(ports);
+  Json config = Json::array();
+  for (const auto& variable : config_) config.push_back(variable.to_json());
+  out["config"] = std::move(config);
+  return out;
+}
+
+Component Component::from_json(const Json& json) {
+  Component component(json["id"].as_string(),
+                      component_kind_from_name(json.get_or("kind", "executable")));
+  component.set_description(json.get_or("description", ""));
+  if (json.contains("gauges")) {
+    component.profile() = GaugeProfile::from_json(json["gauges"]);
+  }
+  if (json.contains("ports")) {
+    for (const auto& port : json["ports"].as_array()) {
+      component.add_port(Port::from_json(port));
+    }
+  }
+  if (json.contains("config")) {
+    for (const auto& variable : json["config"].as_array()) {
+      component.add_config(ConfigVariable::from_json(variable));
+    }
+  }
+  return component;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gauge_profile.hpp"
+#include "util/json.hpp"
+
+namespace ff::core {
+
+/// The granularity scale of reusable components from the paper's Software
+/// Granularity gauge: "a code fragment, an individual executable code, a
+/// bundled workflow, or an internal service".
+enum class ComponentKind : uint8_t {
+  CodeFragment,
+  Executable,
+  BundledWorkflow,
+  InternalService,
+};
+
+std::string_view component_kind_name(ComponentKind kind) noexcept;
+ComponentKind component_kind_from_name(std::string_view name);
+
+/// Direction of a data port.
+enum class PortDirection : uint8_t { Input, Output };
+
+/// How a component consumes elements on an input port — the I/O semantics
+/// that the Granularity gauge's IoSemantics tier captures. "FirstPrecious"
+/// is the paper's example: the first element read seeds delta calculations
+/// against all subsequent elements, so replays must preserve it.
+enum class ConsumptionSemantics : uint8_t {
+  Unknown,
+  ElementWise,
+  Windowed,
+  WholeDataset,
+  FirstPrecious,
+};
+
+std::string_view consumption_name(ConsumptionSemantics semantics) noexcept;
+ConsumptionSemantics consumption_from_name(std::string_view name);
+
+/// A typed data port. `schema` names a schema descriptor in the catalog
+/// (may be empty when the component's DataSchema tier is below Format).
+struct Port {
+  std::string name;
+  PortDirection direction = PortDirection::Input;
+  std::string schema;       // e.g. "csv:genotype_matrix_v2", "" when unknown
+  std::string access;       // e.g. "posix-file", "channel", "" when unknown
+  ConsumptionSemantics semantics = ConsumptionSemantics::Unknown;
+
+  Json to_json() const;
+  static Port from_json(const Json& json);
+  bool operator==(const Port&) const = default;
+};
+
+/// A configuration variable the component exposes — the unit of the
+/// Customizability gauge. `exposed=false` models values that exist but are
+/// hard-coded (FixedScript tier); a Skel model can only act on exposed ones.
+struct ConfigVariable {
+  std::string name;
+  std::string type;                  // "int", "double", "string", "path", "bool"
+  Json default_value;
+  bool exposed = false;
+  std::string description;
+
+  Json to_json() const;
+  static ConfigVariable from_json(const Json& json);
+  bool operator==(const ConfigVariable&) const = default;
+};
+
+/// A workflow component: the unit to which gauge profiles attach.
+class Component {
+ public:
+  Component() = default;
+  Component(std::string id, ComponentKind kind) : id_(std::move(id)), kind_(kind) {}
+
+  const std::string& id() const noexcept { return id_; }
+  ComponentKind kind() const noexcept { return kind_; }
+  void set_kind(ComponentKind kind) noexcept { kind_ = kind; }
+
+  const std::string& description() const noexcept { return description_; }
+  void set_description(std::string text) { description_ = std::move(text); }
+
+  GaugeProfile& profile() noexcept { return profile_; }
+  const GaugeProfile& profile() const noexcept { return profile_; }
+
+  const std::vector<Port>& ports() const noexcept { return ports_; }
+  void add_port(Port port);
+  /// Throws NotFoundError.
+  const Port& port(std::string_view name) const;
+  bool has_port(std::string_view name) const noexcept;
+  std::vector<Port> input_ports() const;
+  std::vector<Port> output_ports() const;
+
+  const std::vector<ConfigVariable>& config() const noexcept { return config_; }
+  void add_config(ConfigVariable variable);
+  const ConfigVariable& config_variable(std::string_view name) const;
+  size_t exposed_config_count() const noexcept;
+
+  Json to_json() const;
+  static Component from_json(const Json& json);
+
+ private:
+  std::string id_;
+  ComponentKind kind_ = ComponentKind::Executable;
+  std::string description_;
+  GaugeProfile profile_;
+  std::vector<Port> ports_;
+  std::vector<ConfigVariable> config_;
+};
+
+}  // namespace ff::core

@@ -1,0 +1,146 @@
+#include "core/gauge.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::core {
+
+namespace {
+
+struct TierInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+constexpr std::array<TierInfo, 5> kAccessTiers = {{
+    {"Unknown", "nothing captured about how the data is reached"},
+    {"Protocol", "basic access protocol identified (POSIX file, socket, queue)"},
+    {"Interface", "I/O library interface identified (CSV reader, HDF5, ADIOS, SQL)"},
+    {"QueryModel", "query capabilities captured (linear scan, random access, SQL)"},
+    {"MachineActionable", "access ontology fully mapped; adapters can be generated"},
+}};
+
+constexpr std::array<TierInfo, 5> kSchemaTiers = {{
+    {"Unknown", "no schema information captured"},
+    {"ByteStream", "data treated as an opaque byte stream"},
+    {"Format", "container format identified (CSV, JSON, HDF5, ADIOS, custom binary)"},
+    {"TypedStructure", "field names, types, and shapes captured"},
+    {"SelfDescribing", "schema embedded and versioned; conversions automatable"},
+}};
+
+constexpr std::array<TierInfo, 5> kSemanticsTiers = {{
+    {"Unknown", "no semantics of intended use captured"},
+    {"Ordering", "ordering and windowing requirements captured"},
+    {"DataFusion", "element-vs-window consumption and fusion rules captured"},
+    {"FormatEvolution", "format version lineage and conversions captured"},
+    {"DatasetSemantics", "dataset-level intent captured (labels, cohorts, splits)"},
+}};
+
+constexpr std::array<TierInfo, 5> kGranularityTiers = {{
+    {"Unknown", "component boundaries not captured"},
+    {"BlackBox", "entire operation described as a single opaque component"},
+    {"Configured", "build/launch/execute configuration made explicit as templates"},
+    {"IoSemantics", "per-component I/O semantics captured (e.g. 'first precious')"},
+    {"Composable", "components can be re-partitioned and re-composed by tools"},
+}};
+
+constexpr std::array<TierInfo, 5> kCustomizabilityTiers = {{
+    {"Unknown", "customization points not captured"},
+    {"FixedScript", "configuration hard-coded inside the artifact"},
+    {"ExposedVariables", "relevant variables identified and exposed"},
+    {"Model", "machine-actionable model drives regeneration (Skel)"},
+    {"ParameterRelations", "relationships between parameters captured"},
+}};
+
+constexpr std::array<TierInfo, 5> kProvenanceTiers = {{
+    {"Unknown", "no provenance captured"},
+    {"Logs", "raw per-execution logs retained"},
+    {"ComponentRecords", "structured per-component execution records"},
+    {"CampaignKnowledge", "executions linked to their campaign context"},
+    {"Exportable", "export policies decide what provenance ships on reuse"},
+}};
+
+const std::array<TierInfo, 5>& ladder(Gauge gauge) {
+  switch (gauge) {
+    case Gauge::DataAccess: return kAccessTiers;
+    case Gauge::DataSchema: return kSchemaTiers;
+    case Gauge::DataSemantics: return kSemanticsTiers;
+    case Gauge::SoftwareGranularity: return kGranularityTiers;
+    case Gauge::SoftwareCustomizability: return kCustomizabilityTiers;
+    case Gauge::SoftwareProvenance: return kProvenanceTiers;
+  }
+  throw Error("ladder: invalid gauge");
+}
+
+}  // namespace
+
+size_t tier_count(Gauge gauge) noexcept { return ladder(gauge).size(); }
+
+std::string_view gauge_name(Gauge gauge) noexcept {
+  switch (gauge) {
+    case Gauge::DataAccess: return "Data Access";
+    case Gauge::DataSchema: return "Data Schema";
+    case Gauge::DataSemantics: return "Data Semantics";
+    case Gauge::SoftwareGranularity: return "Software Granularity";
+    case Gauge::SoftwareCustomizability: return "Software Customizability";
+    case Gauge::SoftwareProvenance: return "Software Provenance";
+  }
+  return "?";
+}
+
+std::string_view gauge_key(Gauge gauge) noexcept {
+  switch (gauge) {
+    case Gauge::DataAccess: return "access";
+    case Gauge::DataSchema: return "schema";
+    case Gauge::DataSemantics: return "semantics";
+    case Gauge::SoftwareGranularity: return "granularity";
+    case Gauge::SoftwareCustomizability: return "customizability";
+    case Gauge::SoftwareProvenance: return "provenance";
+  }
+  return "?";
+}
+
+bool is_data_gauge(Gauge gauge) noexcept {
+  return gauge == Gauge::DataAccess || gauge == Gauge::DataSchema ||
+         gauge == Gauge::DataSemantics;
+}
+
+std::string_view tier_name(Gauge gauge, uint8_t tier) {
+  const auto& tiers = ladder(gauge);
+  if (tier >= tiers.size()) {
+    throw NotFoundError("tier_name: tier " + std::to_string(tier) +
+                        " out of range for gauge " + std::string(gauge_name(gauge)));
+  }
+  return tiers[tier].name;
+}
+
+std::string_view tier_description(Gauge gauge, uint8_t tier) {
+  const auto& tiers = ladder(gauge);
+  if (tier >= tiers.size()) {
+    throw NotFoundError("tier_description: tier " + std::to_string(tier) +
+                        " out of range for gauge " + std::string(gauge_name(gauge)));
+  }
+  return tiers[tier].description;
+}
+
+uint8_t tier_from_name(Gauge gauge, std::string_view name) {
+  const auto& tiers = ladder(gauge);
+  const std::string wanted = to_lower(name);
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    if (to_lower(tiers[i].name) == wanted) return static_cast<uint8_t>(i);
+  }
+  throw NotFoundError("tier_from_name: no tier '" + std::string(name) +
+                      "' in gauge " + std::string(gauge_name(gauge)));
+}
+
+Gauge gauge_from_key(std::string_view key) {
+  const std::string wanted = to_lower(key);
+  for (Gauge gauge : kAllGauges) {
+    if (wanted == gauge_key(gauge) || wanted == to_lower(gauge_name(gauge))) {
+      return gauge;
+    }
+  }
+  throw NotFoundError("gauge_from_key: unknown gauge '" + std::string(key) + "'");
+}
+
+}  // namespace ff::core

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ff::core {
+
+/// The six gauge properties of Box I in the paper: three data gauges
+/// (Access, Schema, Semantics) and three software gauges (Granularity,
+/// Customizability, Provenance). Each gauge is a ladder of tiers of
+/// increasing metadata explicitness; a workflow component carries one tier
+/// per gauge (its GaugeProfile).
+enum class Gauge : uint8_t {
+  DataAccess = 0,
+  DataSchema = 1,
+  DataSemantics = 2,
+  SoftwareGranularity = 3,
+  SoftwareCustomizability = 4,
+  SoftwareProvenance = 5,
+};
+
+inline constexpr size_t kGaugeCount = 6;
+
+inline constexpr std::array<Gauge, kGaugeCount> kAllGauges = {
+    Gauge::DataAccess,          Gauge::DataSchema,
+    Gauge::DataSemantics,       Gauge::SoftwareGranularity,
+    Gauge::SoftwareCustomizability, Gauge::SoftwareProvenance,
+};
+
+/// Tier ladders, lowest first, following Fig. 1 of the paper. Tier 0 is
+/// always "Unknown" — nothing captured. The paper stresses these ladders are
+/// not exhaustive; the model below treats them as orderable named stages so
+/// new tiers can be appended without touching consumers.
+
+enum class DataAccessTier : uint8_t {
+  Unknown = 0,        // nothing known about how data is reached
+  Protocol = 1,       // basic protocol known (POSIX file, zeroMQ queue, ...)
+  Interface = 2,      // I/O library interface known (CSV, HDF5, ADIOS, SQL)
+  QueryModel = 3,     // query capabilities captured (linear, random, SQL)
+  MachineActionable = 4,  // full ontology mapping; new adapters generatable
+};
+
+enum class DataSchemaTier : uint8_t {
+  Unknown = 0,
+  ByteStream = 1,     // opaque string of bytes
+  Format = 2,         // container format identified (CSV, JSON, ADIOS, HDF5)
+  TypedStructure = 3, // field names/types/shape captured
+  SelfDescribing = 4, // schema embedded and versioned; conversion automatable
+};
+
+enum class DataSemanticsTier : uint8_t {
+  Unknown = 0,
+  Ordering = 1,        // ordering/windowing requirements captured
+  DataFusion = 2,      // element-vs-window consumption, fusion rules
+  FormatEvolution = 3, // version lineage; downgrade/upgrade conversions
+  DatasetSemantics = 4,// dataset-level intent (labels, cohorts, splits)
+};
+
+enum class GranularityTier : uint8_t {
+  Unknown = 0,
+  BlackBox = 1,        // whole pipeline as one opaque component
+  Configured = 2,      // build/launch/execute templates made explicit
+  IoSemantics = 3,     // per-component I/O semantics ("first precious", ...)
+  Composable = 4,      // components re-partitionable by tools
+};
+
+enum class CustomizabilityTier : uint8_t {
+  Unknown = 0,
+  FixedScript = 1,     // hard-coded values inside the artifact
+  ExposedVariables = 2,// relevant variables identified and exposed
+  Model = 3,           // machine-actionable model (Skel) drives generation
+  ParameterRelations = 4,  // inter-variable relationships captured
+};
+
+enum class ProvenanceTier : uint8_t {
+  Unknown = 0,
+  Logs = 1,            // raw per-execution logs exist
+  ComponentRecords = 2,// structured per-component execution records
+  CampaignKnowledge = 3,  // executions linked to campaign context
+  Exportable = 4,      // export policies: what provenance ships with reuse
+};
+
+/// Number of tiers in each gauge's ladder (all 5 in this model: 0..4).
+size_t tier_count(Gauge gauge) noexcept;
+
+std::string_view gauge_name(Gauge gauge) noexcept;
+/// Short names used in serialized profiles: "access", "schema", "semantics",
+/// "granularity", "customizability", "provenance".
+std::string_view gauge_key(Gauge gauge) noexcept;
+/// True for DataAccess/DataSchema/DataSemantics.
+bool is_data_gauge(Gauge gauge) noexcept;
+
+/// Human-readable tier name for a (gauge, tier) pair, e.g.
+/// (DataAccess, 2) -> "Interface".
+std::string_view tier_name(Gauge gauge, uint8_t tier);
+
+/// Reverse lookup of tier_name; case-insensitive. Throws NotFoundError.
+uint8_t tier_from_name(Gauge gauge, std::string_view name);
+
+/// Parse a gauge from its key or full name. Throws NotFoundError.
+Gauge gauge_from_key(std::string_view key);
+
+/// One-line description of what reaching this tier means, for reports.
+std::string_view tier_description(Gauge gauge, uint8_t tier);
+
+}  // namespace ff::core

@@ -1,0 +1,127 @@
+#include "core/gauge_profile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::core {
+
+void GaugeProfile::set_tier(Gauge gauge, uint8_t tier) {
+  if (tier >= tier_count(gauge)) {
+    throw ValidationError("GaugeProfile: tier " + std::to_string(tier) +
+                          " out of range for " + std::string(gauge_name(gauge)));
+  }
+  tiers_[static_cast<size_t>(gauge)] = tier;
+}
+
+void GaugeProfile::raise_to(Gauge gauge, uint8_t tier) {
+  if (tier > this->tier(gauge)) set_tier(gauge, tier);
+}
+
+void GaugeProfile::set_evidence(Gauge gauge, std::string note) {
+  evidence_[static_cast<size_t>(gauge)] = std::move(note);
+}
+
+const std::string& GaugeProfile::evidence(Gauge gauge) const {
+  return evidence_[static_cast<size_t>(gauge)];
+}
+
+bool GaugeProfile::dominates(const GaugeProfile& other) const noexcept {
+  for (size_t i = 0; i < kGaugeCount; ++i) {
+    if (tiers_[i] < other.tiers_[i]) return false;
+  }
+  return true;
+}
+
+bool GaugeProfile::meets(const GaugeProfile& required) const noexcept {
+  for (Gauge gauge : kAllGauges) {
+    if (required.tier(gauge) > 0 && tier(gauge) < required.tier(gauge)) return false;
+  }
+  return true;
+}
+
+uint8_t GaugeProfile::min_tier() const noexcept {
+  return *std::min_element(tiers_.begin(), tiers_.end());
+}
+
+uint8_t GaugeProfile::min_data_tier() const noexcept {
+  uint8_t lowest = 255;
+  for (Gauge gauge : kAllGauges) {
+    if (is_data_gauge(gauge)) lowest = std::min(lowest, tier(gauge));
+  }
+  return lowest;
+}
+
+uint8_t GaugeProfile::min_software_tier() const noexcept {
+  uint8_t lowest = 255;
+  for (Gauge gauge : kAllGauges) {
+    if (!is_data_gauge(gauge)) lowest = std::min(lowest, tier(gauge));
+  }
+  return lowest;
+}
+
+int GaugeProfile::total_progress() const noexcept {
+  int total = 0;
+  for (uint8_t t : tiers_) total += t;
+  return total;
+}
+
+Json GaugeProfile::to_json() const {
+  Json out = Json::object();
+  for (Gauge gauge : kAllGauges) {
+    Json entry = Json::object();
+    entry["tier"] = static_cast<int64_t>(tier(gauge));
+    entry["name"] = std::string(tier_name(gauge, tier(gauge)));
+    if (!evidence(gauge).empty()) entry["evidence"] = evidence(gauge);
+    out[std::string(gauge_key(gauge))] = std::move(entry);
+  }
+  return out;
+}
+
+GaugeProfile GaugeProfile::from_json(const Json& json) {
+  GaugeProfile profile;
+  for (Gauge gauge : kAllGauges) {
+    const std::string key{gauge_key(gauge)};
+    if (!json.contains(key)) continue;
+    const Json& entry = json[key];
+    if (entry.is_int()) {
+      profile.set_tier(gauge, static_cast<uint8_t>(entry.as_int()));
+    } else if (entry.is_string()) {
+      profile.set_tier(gauge, tier_from_name(gauge, entry.as_string()));
+    } else {
+      profile.set_tier(gauge, static_cast<uint8_t>(entry["tier"].as_int()));
+      if (entry.contains("evidence")) {
+        profile.set_evidence(gauge, entry["evidence"].as_string());
+      }
+    }
+  }
+  return profile;
+}
+
+std::string GaugeProfile::render() const {
+  std::string out;
+  for (Gauge gauge : kAllGauges) {
+    out += pad_right(std::string(gauge_name(gauge)), 26);
+    out += "tier " + std::to_string(tier(gauge)) + " (" +
+           std::string(tier_name(gauge, tier(gauge))) + ")";
+    if (!evidence(gauge).empty()) out += "  — " + evidence(gauge);
+    out += '\n';
+  }
+  return out;
+}
+
+GaugeProfile make_profile(uint8_t access, uint8_t schema, uint8_t semantics,
+                          uint8_t granularity, uint8_t customizability,
+                          uint8_t provenance) {
+  GaugeProfile profile;
+  profile.set_tier(Gauge::DataAccess, access);
+  profile.set_tier(Gauge::DataSchema, schema);
+  profile.set_tier(Gauge::DataSemantics, semantics);
+  profile.set_tier(Gauge::SoftwareGranularity, granularity);
+  profile.set_tier(Gauge::SoftwareCustomizability, customizability);
+  profile.set_tier(Gauge::SoftwareProvenance, provenance);
+  return profile;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "core/gauge.hpp"
+#include "util/json.hpp"
+
+namespace ff::core {
+
+/// A component's position on all six gauge ladders, plus free-form evidence
+/// notes per gauge ("schema: columns documented in README"). This is the
+/// "reusability context" the paper attaches to every workflow artifact.
+///
+/// Profiles are deliberately *not* reducible to a single score — the paper
+/// argues gauges are descriptive axes, not a metric (Section III-A). The
+/// only aggregations offered are element-wise ones (dominates / min_tier).
+class GaugeProfile {
+ public:
+  /// All gauges at tier 0 (Unknown).
+  GaugeProfile() = default;
+
+  uint8_t tier(Gauge gauge) const noexcept {
+    return tiers_[static_cast<size_t>(gauge)];
+  }
+
+  /// Set a gauge's tier; throws ValidationError if out of the ladder.
+  void set_tier(Gauge gauge, uint8_t tier);
+
+  /// Raise a gauge to at least `tier` (no-op if already above).
+  void raise_to(Gauge gauge, uint8_t tier);
+
+  /// Evidence note explaining why the tier is justified.
+  void set_evidence(Gauge gauge, std::string note);
+  const std::string& evidence(Gauge gauge) const;
+
+  /// True if every gauge of *this is >= the corresponding gauge of other.
+  bool dominates(const GaugeProfile& other) const noexcept;
+
+  /// True if tier(g) >= required.tier(g) for every gauge where required is
+  /// above Unknown — i.e. `required` acts as a partial constraint.
+  bool meets(const GaugeProfile& required) const noexcept;
+
+  uint8_t min_tier() const noexcept;
+  uint8_t min_data_tier() const noexcept;
+  uint8_t min_software_tier() const noexcept;
+
+  /// Sum of tiers — used only for *progress tracking* of one workflow over
+  /// time, never for cross-workflow comparison (see paper Section III-A).
+  int total_progress() const noexcept;
+
+  Json to_json() const;
+  static GaugeProfile from_json(const Json& json);
+
+  /// Multi-line human-readable rendering with tier names.
+  std::string render() const;
+
+  bool operator==(const GaugeProfile& other) const {
+    return tiers_ == other.tiers_;
+  }
+
+ private:
+  std::array<uint8_t, kGaugeCount> tiers_{};  // value-init: all Unknown
+  std::array<std::string, kGaugeCount> evidence_{};
+};
+
+/// Convenience builder for literal profiles in tests and examples.
+GaugeProfile make_profile(uint8_t access, uint8_t schema, uint8_t semantics,
+                          uint8_t granularity, uint8_t customizability,
+                          uint8_t provenance);
+
+}  // namespace ff::core

@@ -1,0 +1,366 @@
+#include "core/metadata_catalog.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::core {
+
+Json SchemaDescriptor::to_json() const {
+  Json out = Json::object();
+  out["name"] = name;
+  out["version"] = static_cast<int64_t>(version);
+  out["container"] = container;
+  Json field_list = Json::array();
+  for (const auto& field : fields) {
+    Json f = Json::object();
+    f["name"] = field.name;
+    f["type"] = field.type;
+    field_list.push_back(std::move(f));
+  }
+  out["fields"] = std::move(field_list);
+  return out;
+}
+
+SchemaDescriptor SchemaDescriptor::from_json(const Json& json) {
+  SchemaDescriptor schema;
+  schema.name = json["name"].as_string();
+  schema.version = static_cast<int>(json.get_or("version", 1));
+  schema.container = json.get_or("container", "");
+  if (json.contains("fields")) {
+    for (const auto& field : json["fields"].as_array()) {
+      schema.fields.push_back(
+          Field{field["name"].as_string(), field.get_or("type", "string")});
+    }
+  }
+  return schema;
+}
+
+// ---------------------------------------------------------------- queries
+
+struct CatalogQuery::Node {
+  enum class Kind { And, Or, Not, Compare } kind = Kind::Compare;
+  // And/Or/Not children:
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+  // Compare:
+  std::string field;  // gauge key, "kind", or "id"
+  std::string op;     // ">=", "<=", ">", "<", "==", "!="
+  std::string value;  // raw value text (tier name, number, or string)
+};
+
+namespace {
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::string_view text) : text_(text) { next_token(); }
+
+  std::shared_ptr<const CatalogQuery::Node> parse() {
+    auto node = parse_or();
+    if (!token_.empty()) fail("unexpected trailing token '" + token_ + "'");
+    return node;
+  }
+
+ private:
+  using Node = CatalogQuery::Node;
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError("catalog query: " + message);
+  }
+
+  void next_token() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    token_.clear();
+    if (pos_ >= text_.size()) return;
+    const char c = text_[pos_];
+    if (c == '(' || c == ')') {
+      token_ = c;
+      ++pos_;
+      return;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) token_ += text_[pos_++];
+      if (pos_ >= text_.size()) fail("unterminated quoted string");
+      ++pos_;
+      quoted_ = true;
+      return;
+    }
+    quoted_ = false;
+    if (std::string_view("<>=!").find(c) != std::string_view::npos) {
+      token_ += text_[pos_++];
+      if (pos_ < text_.size() && text_[pos_] == '=') token_ += text_[pos_++];
+      return;
+    }
+    while (pos_ < text_.size()) {
+      const char t = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(t)) ||
+          std::string_view("()<>=!").find(t) != std::string_view::npos) {
+        break;
+      }
+      token_ += t;
+      ++pos_;
+    }
+  }
+
+  bool accept_keyword(std::string_view keyword) {
+    if (!quoted_ && to_lower(token_) == keyword) {
+      next_token();
+      return true;
+    }
+    return false;
+  }
+
+  std::shared_ptr<const Node> parse_or() {
+    auto left = parse_and();
+    while (accept_keyword("or")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::Or;
+      node->left = left;
+      node->right = parse_and();
+      left = node;
+    }
+    return left;
+  }
+
+  std::shared_ptr<const Node> parse_and() {
+    auto left = parse_unary();
+    while (accept_keyword("and")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::And;
+      node->left = left;
+      node->right = parse_unary();
+      left = node;
+    }
+    return left;
+  }
+
+  std::shared_ptr<const Node> parse_unary() {
+    if (accept_keyword("not")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::Not;
+      node->left = parse_unary();
+      return node;
+    }
+    if (!quoted_ && token_ == "(") {
+      next_token();
+      auto node = parse_or();
+      if (quoted_ || token_ != ")") fail("expected ')'");
+      next_token();
+      return node;
+    }
+    return parse_comparison();
+  }
+
+  std::shared_ptr<const Node> parse_comparison() {
+    if (token_.empty()) fail("expected a field name");
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::Compare;
+    node->field = to_lower(token_);
+    next_token();
+    static const std::vector<std::string> kOps = {">=", "<=", "==", "!=", ">", "<"};
+    if (std::find(kOps.begin(), kOps.end(), token_) == kOps.end()) {
+      fail("expected a comparison operator, got '" + token_ + "'");
+    }
+    node->op = token_;
+    next_token();
+    if (token_.empty()) fail("expected a value");
+    node->value = token_;
+    next_token();
+    return node;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string token_;
+  bool quoted_ = false;
+};
+
+bool compare_int(int64_t lhs, const std::string& op, int64_t rhs) {
+  if (op == ">=") return lhs >= rhs;
+  if (op == "<=") return lhs <= rhs;
+  if (op == ">") return lhs > rhs;
+  if (op == "<") return lhs < rhs;
+  if (op == "==") return lhs == rhs;
+  return lhs != rhs;
+}
+
+bool compare_string(const std::string& lhs, const std::string& op,
+                    const std::string& rhs) {
+  if (op == "==") return lhs == rhs;
+  if (op == "!=") return lhs != rhs;
+  throw ParseError("catalog query: operator '" + op + "' requires a numeric field");
+}
+
+bool evaluate(const CatalogQuery::Node& node, const Component& component) {
+  using Kind = CatalogQuery::Node::Kind;
+  switch (node.kind) {
+    case Kind::And:
+      return evaluate(*node.left, component) && evaluate(*node.right, component);
+    case Kind::Or:
+      return evaluate(*node.left, component) || evaluate(*node.right, component);
+    case Kind::Not:
+      return !evaluate(*node.left, component);
+    case Kind::Compare:
+      break;
+  }
+  if (node.field == "kind") {
+    return compare_string(std::string(component_kind_name(component.kind())),
+                          node.op, to_lower(node.value));
+  }
+  if (node.field == "id") {
+    return compare_string(component.id(), node.op, node.value);
+  }
+  const Gauge gauge = gauge_from_key(node.field);
+  int64_t wanted = 0;
+  if (is_integer(node.value)) {
+    wanted = std::stoll(node.value);
+  } else {
+    wanted = tier_from_name(gauge, node.value);
+  }
+  return compare_int(component.profile().tier(gauge), node.op, wanted);
+}
+
+}  // namespace
+
+CatalogQuery CatalogQuery::parse(std::string_view text) {
+  CatalogQuery query;
+  query.root_ = QueryParser(text).parse();
+  query.text_ = std::string(text);
+  return query;
+}
+
+bool CatalogQuery::matches(const Component& component) const {
+  return evaluate(*root_, component);
+}
+
+// ---------------------------------------------------------------- catalog
+
+void MetadataCatalog::put_component(Component component) {
+  const std::string id = component.id();
+  components_.insert_or_assign(id, std::move(component));
+}
+
+bool MetadataCatalog::has_component(std::string_view id) const noexcept {
+  return components_.count(std::string(id)) > 0;
+}
+
+const Component& MetadataCatalog::component(std::string_view id) const {
+  auto it = components_.find(std::string(id));
+  if (it == components_.end()) {
+    throw NotFoundError("catalog: no component '" + std::string(id) + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> MetadataCatalog::component_ids() const {
+  std::vector<std::string> ids;
+  for (const auto& [id, _] : components_) ids.push_back(id);
+  return ids;
+}
+
+void MetadataCatalog::put_schema(SchemaDescriptor schema) {
+  const std::string key = schema.key();
+  auto it = schemas_.find(key);
+  if (it != schemas_.end() && !(it->second == schema)) {
+    throw ValidationError("catalog: schema '" + key +
+                          "' already registered with different contents");
+  }
+  schemas_.insert_or_assign(key, std::move(schema));
+}
+
+bool MetadataCatalog::has_schema(std::string_view key) const noexcept {
+  return schemas_.count(std::string(key)) > 0;
+}
+
+const SchemaDescriptor& MetadataCatalog::schema(std::string_view key) const {
+  auto it = schemas_.find(std::string(key));
+  if (it == schemas_.end()) {
+    throw NotFoundError("catalog: no schema '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> MetadataCatalog::schema_keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, _] : schemas_) keys.push_back(key);
+  return keys;
+}
+
+bool MetadataCatalog::convertible(std::string_view from_key,
+                                  std::string_view to_key) const {
+  const SchemaDescriptor& from = schema(from_key);
+  const SchemaDescriptor& to = schema(to_key);
+  if (from.name == to.name) return true;  // version evolution path
+  // Container transcoding: identical logical fields, different container.
+  auto sorted_fields = [](const SchemaDescriptor& s) {
+    auto fields = s.fields;
+    std::sort(fields.begin(), fields.end(),
+              [](const auto& a, const auto& b) { return a.name < b.name; });
+    return fields;
+  };
+  return !from.fields.empty() && sorted_fields(from) == sorted_fields(to);
+}
+
+std::vector<std::string> MetadataCatalog::query(const CatalogQuery& query) const {
+  std::vector<std::string> out;
+  for (const auto& [id, component] : components_) {
+    if (query.matches(component)) out.push_back(id);
+  }
+  return out;
+}
+
+void MetadataCatalog::annotate(std::string_view component_id, std::string_view key,
+                               Json value) {
+  if (!has_component(component_id)) {
+    throw NotFoundError("catalog: no component '" + std::string(component_id) + "'");
+  }
+  annotations_[std::string(component_id) + "/" + std::string(key)] = std::move(value);
+}
+
+const Json* MetadataCatalog::annotation(std::string_view component_id,
+                                        std::string_view key) const {
+  auto it = annotations_.find(std::string(component_id) + "/" + std::string(key));
+  return it == annotations_.end() ? nullptr : &it->second;
+}
+
+Json MetadataCatalog::to_json() const {
+  Json out = Json::object();
+  Json comps = Json::array();
+  for (const auto& [_, component] : components_) comps.push_back(component.to_json());
+  out["components"] = std::move(comps);
+  Json schemas = Json::array();
+  for (const auto& [_, schema] : schemas_) schemas.push_back(schema.to_json());
+  out["schemas"] = std::move(schemas);
+  Json notes = Json::object();
+  for (const auto& [key, value] : annotations_) notes[key] = value;
+  out["annotations"] = std::move(notes);
+  return out;
+}
+
+MetadataCatalog MetadataCatalog::from_json(const Json& json) {
+  MetadataCatalog catalog;
+  if (json.contains("components")) {
+    for (const auto& component : json["components"].as_array()) {
+      catalog.put_component(Component::from_json(component));
+    }
+  }
+  if (json.contains("schemas")) {
+    for (const auto& schema : json["schemas"].as_array()) {
+      catalog.put_schema(SchemaDescriptor::from_json(schema));
+    }
+  }
+  if (json.contains("annotations")) {
+    for (const auto& [key, value] : json["annotations"].as_object()) {
+      catalog.annotations_[key] = value;
+    }
+  }
+  return catalog;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "util/json.hpp"
+
+namespace ff::core {
+
+/// A schema descriptor registered in the catalog: named, versioned, with
+/// typed fields. This is the metadata the DataSchema gauge's TypedStructure
+/// tier requires, and what automated format conversion keys off.
+struct SchemaDescriptor {
+  std::string name;     // "genotype_matrix"
+  int version = 1;
+  std::string container;  // "csv", "tsv", "json", "ffbin" (stream marshalling)
+  struct Field {
+    std::string name;
+    std::string type;  // "int", "double", "string"
+    bool operator==(const Field&) const = default;
+  };
+  std::vector<Field> fields;
+
+  std::string key() const { return name + ":v" + std::to_string(version); }
+  Json to_json() const;
+  static SchemaDescriptor from_json(const Json& json);
+  bool operator==(const SchemaDescriptor&) const = default;
+};
+
+/// The metadata catalog of the paper's Section III: components and schema
+/// descriptors with their gauge metadata, made *machine-actionable* via a
+/// small query language:
+///
+///   granularity >= Configured and schema >= 2
+///   kind == executable or customizability >= Model
+///   (access >= Interface) and not (provenance < Logs)
+///
+/// Grammar:  expr := or ; or := and ('or' and)* ; and := unary ('and' unary)*
+///           unary := 'not' unary | '(' expr ')' | comparison
+///           comparison := field op value
+///           field := gauge key | 'kind' | 'id'
+///           op := '>=' '<=' '>' '<' '==' '!='
+///           value := integer | tier name | identifier-or-quoted-string
+class CatalogQuery {
+ public:
+  /// Parse a query; throws ParseError on malformed input.
+  static CatalogQuery parse(std::string_view text);
+
+  bool matches(const Component& component) const;
+  const std::string& text() const noexcept { return text_; }
+
+  struct Node;  // public so the implementation's parser can build trees
+
+ private:
+  CatalogQuery() = default;
+  std::shared_ptr<const Node> root_;
+  std::string text_;
+};
+
+class MetadataCatalog {
+ public:
+  /// Register or replace a component entry.
+  void put_component(Component component);
+  bool has_component(std::string_view id) const noexcept;
+  const Component& component(std::string_view id) const;
+  size_t component_count() const noexcept { return components_.size(); }
+  std::vector<std::string> component_ids() const;
+
+  /// Register a schema descriptor (keyed name:vN). Throws ValidationError
+  /// on duplicate key with differing contents.
+  void put_schema(SchemaDescriptor schema);
+  bool has_schema(std::string_view key) const noexcept;
+  const SchemaDescriptor& schema(std::string_view key) const;
+  std::vector<std::string> schema_keys() const;
+
+  /// True when a conversion path exists between two registered schemas:
+  /// same name (version evolution) or identical field sets under different
+  /// containers (container transcoding). This is the automatable-format-
+  /// conversion predicate the DataSemantics FormatEvolution tier enables.
+  bool convertible(std::string_view from_key, std::string_view to_key) const;
+
+  /// All components matching a parsed query, sorted by id.
+  std::vector<std::string> query(const CatalogQuery& query) const;
+  std::vector<std::string> query(std::string_view query_text) const {
+    return query(CatalogQuery::parse(query_text));
+  }
+
+  /// Attach free-form annotation metadata to an entry.
+  void annotate(std::string_view component_id, std::string_view key, Json value);
+  const Json* annotation(std::string_view component_id, std::string_view key) const;
+
+  Json to_json() const;
+  static MetadataCatalog from_json(const Json& json);
+
+ private:
+  std::map<std::string, Component> components_;
+  std::map<std::string, SchemaDescriptor> schemas_;
+  std::map<std::string, Json> annotations_;  // "component/key" -> value
+};
+
+}  // namespace ff::core

@@ -1,0 +1,183 @@
+#include "core/technical_debt.hpp"
+
+#include "util/strings.hpp"
+
+namespace ff::core {
+
+namespace {
+
+/// Nominal cost constants (human minutes). Absolute values are arbitrary
+/// but consistent, so *relative* debt between configurations is meaningful
+/// — exactly the role the paper assigns to gauges (progress tracking, not
+/// cross-workflow scoring).
+constexpr double kEditScriptMinutes = 8;
+constexpr double kReverseEngineerFormatMinutes = 120;
+constexpr double kWriteConverterMinutes = 240;
+constexpr double kAskAuthorMinutes = 30;
+constexpr double kRetuneScaleMinutes = 45;
+constexpr double kRewritePolicyMinutes = 90;
+constexpr double kCurateFailuresMinutes = 25;
+
+void add(std::vector<Intervention>& out, std::string description, Gauge gauge,
+         bool manual, double minutes) {
+  out.push_back(Intervention{std::move(description), gauge, manual,
+                             manual ? minutes : 0.0});
+}
+
+}  // namespace
+
+std::vector<Intervention> interventions_for(const Component& component,
+                                            const ReuseContext& context) {
+  std::vector<Intervention> out;
+  const GaugeProfile& profile = component.profile();
+
+  if (context.new_machine) {
+    // Porting: depends on customizability (is machine config exposed?) and
+    // granularity (are launch templates explicit?).
+    const auto custom = profile.tier(Gauge::SoftwareCustomizability);
+    if (custom >= static_cast<uint8_t>(CustomizabilityTier::Model)) {
+      add(out, "regenerate launch artifacts from model for new machine",
+          Gauge::SoftwareCustomizability, false, 0);
+    } else if (custom >= static_cast<uint8_t>(CustomizabilityTier::ExposedVariables)) {
+      add(out, "edit exposed machine variables (account, queue, walltime)",
+          Gauge::SoftwareCustomizability, true, kEditScriptMinutes);
+    } else {
+      // Hard-coded values: every non-exposed config variable is a hand edit.
+      const size_t hidden =
+          component.config().size() - component.exposed_config_count();
+      const double minutes =
+          kEditScriptMinutes * static_cast<double>(hidden == 0 ? 1 : hidden);
+      add(out, "hand-edit hard-coded machine settings across scripts",
+          Gauge::SoftwareCustomizability, true, minutes);
+    }
+    if (profile.tier(Gauge::SoftwareGranularity) <
+        static_cast<uint8_t>(GranularityTier::Configured)) {
+      add(out, "reconstruct undocumented build/launch procedure",
+          Gauge::SoftwareGranularity, true, kAskAuthorMinutes);
+    }
+  }
+
+  if (context.new_dataset) {
+    const auto access = profile.tier(Gauge::DataAccess);
+    if (access >= static_cast<uint8_t>(DataAccessTier::Interface)) {
+      add(out, "point declared data interface at new dataset",
+          Gauge::DataAccess, false, 0);
+    } else if (access >= static_cast<uint8_t>(DataAccessTier::Protocol)) {
+      add(out, "adjust data paths for new dataset", Gauge::DataAccess, true,
+          kEditScriptMinutes);
+    } else {
+      add(out, "discover how inputs are located and named (ask the author)",
+          Gauge::DataAccess, true, kAskAuthorMinutes);
+    }
+  }
+
+  if (context.new_data_format) {
+    const auto schema = profile.tier(Gauge::DataSchema);
+    if (schema >= static_cast<uint8_t>(DataSchemaTier::TypedStructure)) {
+      add(out, "generate format converter from typed schema",
+          Gauge::DataSchema, false, 0);
+    } else if (schema >= static_cast<uint8_t>(DataSchemaTier::Format)) {
+      add(out, "write converter against documented container format",
+          Gauge::DataSchema, true, kWriteConverterMinutes / 2);
+    } else {
+      add(out, "reverse-engineer undocumented data format",
+          Gauge::DataSchema, true, kReverseEngineerFormatMinutes);
+      add(out, "write and test one-off converter", Gauge::DataSchema, true,
+          kWriteConverterMinutes);
+    }
+    if (profile.tier(Gauge::DataSemantics) <
+        static_cast<uint8_t>(DataSemanticsTier::Ordering)) {
+      add(out, "determine ordering/windowing requirements empirically",
+          Gauge::DataSemantics, true, kAskAuthorMinutes);
+    } else {
+      add(out, "apply captured ordering/windowing constraints",
+          Gauge::DataSemantics, false, 0);
+    }
+  }
+
+  if (context.new_team) {
+    if (profile.tier(Gauge::SoftwareProvenance) >=
+        static_cast<uint8_t>(ProvenanceTier::Exportable)) {
+      add(out, "ship exportable provenance bundle with component",
+          Gauge::SoftwareProvenance, false, 0);
+    } else if (profile.tier(Gauge::SoftwareProvenance) >=
+               static_cast<uint8_t>(ProvenanceTier::ComponentRecords)) {
+      add(out, "curate execution records for hand-off",
+          Gauge::SoftwareProvenance, true, kCurateFailuresMinutes);
+    } else {
+      add(out, "walk new team through prior runs and failure lore",
+          Gauge::SoftwareProvenance, true, kAskAuthorMinutes * 2);
+    }
+  }
+
+  if (context.new_scale) {
+    const auto custom = profile.tier(Gauge::SoftwareCustomizability);
+    if (custom >= static_cast<uint8_t>(CustomizabilityTier::ParameterRelations)) {
+      add(out, "solve captured parameter relations for new scale",
+          Gauge::SoftwareCustomizability, false, 0);
+    } else if (custom >= static_cast<uint8_t>(CustomizabilityTier::Model)) {
+      add(out, "update model scale fields and regenerate",
+          Gauge::SoftwareCustomizability, true, kEditScriptMinutes / 2);
+    } else {
+      add(out, "re-derive partitioning and resource division by hand",
+          Gauge::SoftwareCustomizability, true, kRetuneScaleMinutes);
+    }
+  }
+
+  if (context.new_policy) {
+    if (profile.tier(Gauge::SoftwareGranularity) >=
+        static_cast<uint8_t>(GranularityTier::Composable)) {
+      add(out, "install new policy component at runtime",
+          Gauge::SoftwareGranularity, false, 0);
+    } else if (profile.tier(Gauge::SoftwareGranularity) >=
+               static_cast<uint8_t>(GranularityTier::IoSemantics)) {
+      add(out, "swap policy module and regenerate glue",
+          Gauge::SoftwareGranularity, true, kEditScriptMinutes);
+    } else {
+      add(out, "rewrite embedded policy logic inside component",
+          Gauge::SoftwareGranularity, true, kRewritePolicyMinutes);
+    }
+  }
+
+  return out;
+}
+
+DebtSummary summarize(const std::vector<Intervention>& interventions) {
+  DebtSummary summary;
+  for (const auto& intervention : interventions) {
+    if (intervention.manual) {
+      ++summary.manual_count;
+      summary.manual_minutes += intervention.cost_minutes;
+    } else {
+      ++summary.automated_count;
+    }
+  }
+  return summary;
+}
+
+DebtSummary debt_for(const std::vector<Component>& components,
+                     const ReuseContext& context) {
+  DebtSummary total;
+  for (const auto& component : components) {
+    const DebtSummary summary = summarize(interventions_for(component, context));
+    total.manual_count += summary.manual_count;
+    total.automated_count += summary.automated_count;
+    total.manual_minutes += summary.manual_minutes;
+  }
+  return total;
+}
+
+std::string render_interventions(const std::vector<Intervention>& interventions) {
+  std::string out;
+  for (const auto& intervention : interventions) {
+    out += intervention.manual ? "  [manual " : "  [auto   ";
+    out += intervention.manual
+               ? pad_left(format_fixed(intervention.cost_minutes, 0), 4) + "m] "
+               : "    ] ";
+    out += intervention.description;
+    out += "  (" + std::string(gauge_name(intervention.gauge)) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+
+namespace ff::core {
+
+/// A reuse context: what is different between the original use and the new
+/// one. Each changed dimension triggers interventions whose nature (manual
+/// vs automatable) depends on the component's gauge tiers — this is the
+/// paper's framing of technical debt as "human effort needed to repurpose".
+struct ReuseContext {
+  bool new_machine = false;      // different scheduler / filesystem / account
+  bool new_dataset = false;      // same shapes, different data
+  bool new_data_format = false;  // format differs from the original
+  bool new_team = false;         // consumers without tribal knowledge
+  bool new_scale = false;        // more nodes / bigger inputs
+  bool new_policy = false;       // behavioural variation (e.g. selection rule)
+};
+
+/// One unit of work required to reuse a component in a new context.
+struct Intervention {
+  std::string description;
+  Gauge gauge;              // which gauge's tier determined the outcome
+  bool manual = true;       // false when metadata makes it automatable
+  double cost_minutes = 0;  // nominal human minutes when manual, else 0
+};
+
+/// All interventions needed to reuse `component` in `context`, given its
+/// current gauge profile. Raising tiers converts manual entries to
+/// automated ones (or removes them).
+std::vector<Intervention> interventions_for(const Component& component,
+                                            const ReuseContext& context);
+
+struct DebtSummary {
+  size_t manual_count = 0;
+  size_t automated_count = 0;
+  double manual_minutes = 0;
+};
+
+DebtSummary summarize(const std::vector<Intervention>& interventions);
+
+/// Debt for a whole set of components under one context.
+DebtSummary debt_for(const std::vector<Component>& components,
+                     const ReuseContext& context);
+
+/// Render an intervention list as an aligned report for terminal output.
+std::string render_interventions(const std::vector<Intervention>& interventions);
+
+}  // namespace ff::core

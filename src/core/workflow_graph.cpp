@@ -1,0 +1,384 @@
+#include "core/workflow_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::core {
+
+Json Edge::to_json() const {
+  Json out = Json::object();
+  out["from"] = from_component + "." + from_port;
+  out["to"] = to_component + "." + to_port;
+  return out;
+}
+
+Edge Edge::from_json(const Json& json) {
+  auto parse_endpoint = [](const std::string& text) {
+    const size_t dot = text.rfind('.');
+    if (dot == std::string::npos) {
+      throw ParseError("Edge: endpoint '" + text + "' must be component.port");
+    }
+    return std::pair{text.substr(0, dot), text.substr(dot + 1)};
+  };
+  Edge edge;
+  auto [fc, fp] = parse_endpoint(json["from"].as_string());
+  auto [tc, tp] = parse_endpoint(json["to"].as_string());
+  edge.from_component = std::move(fc);
+  edge.from_port = std::move(fp);
+  edge.to_component = std::move(tc);
+  edge.to_port = std::move(tp);
+  return edge;
+}
+
+void WorkflowGraph::add_component(Component component) {
+  const std::string id = component.id();
+  if (id.empty()) throw ValidationError("WorkflowGraph: component id must be non-empty");
+  auto [it, inserted] = components_.emplace(id, std::move(component));
+  (void)it;
+  if (!inserted) {
+    throw ValidationError("WorkflowGraph: duplicate component '" + id + "'");
+  }
+}
+
+bool WorkflowGraph::has_component(std::string_view id) const noexcept {
+  return components_.count(std::string(id)) > 0;
+}
+
+const Component& WorkflowGraph::component(std::string_view id) const {
+  auto it = components_.find(std::string(id));
+  if (it == components_.end()) {
+    throw NotFoundError("WorkflowGraph: no component '" + std::string(id) + "'");
+  }
+  return it->second;
+}
+
+Component& WorkflowGraph::component(std::string_view id) {
+  auto it = components_.find(std::string(id));
+  if (it == components_.end()) {
+    throw NotFoundError("WorkflowGraph: no component '" + std::string(id) + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> WorkflowGraph::component_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(components_.size());
+  for (const auto& [id, _] : components_) ids.push_back(id);
+  return ids;
+}
+
+bool WorkflowGraph::connect(std::string_view from_component, std::string_view from_port,
+                            std::string_view to_component, std::string_view to_port) {
+  const Component& producer = component(from_component);
+  const Component& consumer = component(to_component);
+  const Port& out_port = producer.port(from_port);
+  const Port& in_port = consumer.port(to_port);
+  if (out_port.direction != PortDirection::Output) {
+    throw ValidationError("connect: '" + std::string(from_port) + "' is not an output port");
+  }
+  if (in_port.direction != PortDirection::Input) {
+    throw ValidationError("connect: '" + std::string(to_port) + "' is not an input port");
+  }
+  edges_.push_back(Edge{std::string(from_component), std::string(from_port),
+                        std::string(to_component), std::string(to_port)});
+  // Schema compatibility is advisory: either side may simply not know its
+  // schema yet (tier below Format), which is not an error in this model.
+  if (!out_port.schema.empty() && !in_port.schema.empty() &&
+      out_port.schema != in_port.schema) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Edge> WorkflowGraph::edges_from(std::string_view component_id) const {
+  std::vector<Edge> out;
+  for (const auto& edge : edges_) {
+    if (edge.from_component == component_id) out.push_back(edge);
+  }
+  return out;
+}
+
+std::vector<Edge> WorkflowGraph::edges_into(std::string_view component_id) const {
+  std::vector<Edge> out;
+  for (const auto& edge : edges_) {
+    if (edge.to_component == component_id) out.push_back(edge);
+  }
+  return out;
+}
+
+std::vector<std::string> WorkflowGraph::topological_order() const {
+  std::map<std::string, size_t> in_degree;
+  for (const auto& [id, _] : components_) in_degree[id] = 0;
+  for (const auto& edge : edges_) ++in_degree[edge.to_component];
+
+  std::deque<std::string> ready;
+  for (const auto& [id, degree] : in_degree) {
+    if (degree == 0) ready.push_back(id);
+  }
+  std::vector<std::string> order;
+  order.reserve(components_.size());
+  while (!ready.empty()) {
+    std::string id = std::move(ready.front());
+    ready.pop_front();
+    for (const auto& edge : edges_) {
+      if (edge.from_component != id) continue;
+      if (--in_degree[edge.to_component] == 0) ready.push_back(edge.to_component);
+    }
+    order.push_back(std::move(id));
+  }
+  if (order.size() != components_.size()) {
+    throw StateError("WorkflowGraph '" + name_ + "': cycle detected");
+  }
+  return order;
+}
+
+bool WorkflowGraph::has_cycle() const noexcept {
+  try {
+    topological_order();
+    return false;
+  } catch (const StateError&) {
+    return true;
+  }
+}
+
+std::vector<std::string> WorkflowGraph::sources() const {
+  std::set<std::string> has_input;
+  for (const auto& edge : edges_) has_input.insert(edge.to_component);
+  std::vector<std::string> out;
+  for (const auto& [id, _] : components_) {
+    if (!has_input.count(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> WorkflowGraph::sinks() const {
+  std::set<std::string> has_output;
+  for (const auto& edge : edges_) has_output.insert(edge.from_component);
+  std::vector<std::string> out;
+  for (const auto& [id, _] : components_) {
+    if (!has_output.count(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::string WorkflowGraph::structural_signature(std::string_view component_id) const {
+  const Component& node = component(component_id);
+  std::vector<std::string> schemas;
+  for (const auto& port : node.ports()) {
+    schemas.push_back((port.direction == PortDirection::Input ? "i:" : "o:") +
+                      port.schema);
+  }
+  std::sort(schemas.begin(), schemas.end());
+  return std::string(component_kind_name(node.kind())) + "/in" +
+         std::to_string(edges_into(component_id).size()) + "/out" +
+         std::to_string(edges_from(component_id).size()) + "/" +
+         join(schemas, ",");
+}
+
+std::vector<std::vector<std::string>> WorkflowGraph::repeated_roles(
+    size_t min_group) const {
+  std::map<std::string, std::vector<std::string>> by_signature;
+  for (const auto& [id, _] : components_) {
+    by_signature[structural_signature(id)].push_back(id);
+  }
+  std::vector<std::vector<std::string>> groups;
+  for (auto& [signature, ids] : by_signature) {
+    if (ids.size() >= min_group) groups.push_back(std::move(ids));
+  }
+  return groups;
+}
+
+namespace {
+
+bool extend_match(const WorkflowGraph& graph, const WorkflowGraph& pattern,
+                  const std::vector<std::string>& pattern_ids, size_t depth,
+                  std::map<std::string, std::string>& assignment,
+                  std::set<std::string>& used,
+                  std::vector<std::map<std::string, std::string>>& results) {
+  if (depth == pattern_ids.size()) {
+    // All nodes assigned; verify every pattern edge maps to a graph edge.
+    for (const auto& pattern_edge : pattern.edges()) {
+      const std::string& from = assignment.at(pattern_edge.from_component);
+      const std::string& to = assignment.at(pattern_edge.to_component);
+      bool found = false;
+      for (const auto& graph_edge : graph.edges()) {
+        if (graph_edge.from_component == from && graph_edge.to_component == to) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    results.push_back(assignment);
+    return true;
+  }
+  const std::string& pattern_id = pattern_ids[depth];
+  const ComponentKind wanted = pattern.component(pattern_id).kind();
+  for (const std::string& candidate : graph.component_ids()) {
+    if (used.count(candidate)) continue;
+    if (graph.component(candidate).kind() != wanted) continue;
+    assignment[pattern_id] = candidate;
+    used.insert(candidate);
+    extend_match(graph, pattern, pattern_ids, depth + 1, assignment, used, results);
+    used.erase(candidate);
+    assignment.erase(pattern_id);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::map<std::string, std::string>> WorkflowGraph::find_pattern(
+    const WorkflowGraph& pattern) const {
+  std::vector<std::map<std::string, std::string>> results;
+  std::vector<std::string> pattern_ids = pattern.component_ids();
+  std::map<std::string, std::string> assignment;
+  std::set<std::string> used;
+  extend_match(*this, pattern, pattern_ids, 0, assignment, used, results);
+  return results;
+}
+
+GaugeProfile WorkflowGraph::aggregate_profile() const {
+  if (components_.empty()) return GaugeProfile{};
+  GaugeProfile lowest = make_profile(4, 4, 4, 4, 4, 4);
+  for (const auto& [_, node] : components_) {
+    for (Gauge gauge : kAllGauges) {
+      if (node.profile().tier(gauge) < lowest.tier(gauge)) {
+        lowest.set_tier(gauge, node.profile().tier(gauge));
+      }
+    }
+  }
+  return lowest;
+}
+
+WorkflowGraph WorkflowGraph::collapse(const std::vector<std::string>& member_ids,
+                                      const std::string& bundle_id) const {
+  if (member_ids.empty()) {
+    throw ValidationError("collapse: member set must be non-empty");
+  }
+  std::set<std::string> members(member_ids.begin(), member_ids.end());
+  for (const std::string& id : members) {
+    if (!has_component(id)) {
+      throw ValidationError("collapse: unknown member '" + id + "'");
+    }
+  }
+  if (has_component(bundle_id) && !members.count(bundle_id)) {
+    throw ValidationError("collapse: bundle id '" + bundle_id +
+                          "' collides with a surviving component");
+  }
+
+  WorkflowGraph out(name_);
+  Component bundle(bundle_id, ComponentKind::BundledWorkflow);
+  bundle.set_description("bundle of: " + join(member_ids, ", "));
+  // Weakest-link profile over the members.
+  GaugeProfile lowest = make_profile(4, 4, 4, 4, 4, 4);
+  for (const std::string& id : members) {
+    for (Gauge gauge : kAllGauges) {
+      lowest.set_tier(gauge,
+                      std::min(lowest.tier(gauge), component(id).profile().tier(gauge)));
+    }
+  }
+  bundle.profile() = lowest;
+
+  // Boundary ports: any member port touched by an edge crossing the
+  // boundary becomes a bundle port, named member.port to stay unique.
+  auto boundary_port_name = [](const Edge& edge, bool incoming) {
+    return incoming ? edge.to_component + "." + edge.to_port
+                    : edge.from_component + "." + edge.from_port;
+  };
+  std::vector<Edge> new_edges;
+  std::set<std::string> bundle_ports;
+  for (const Edge& edge : edges_) {
+    const bool from_inside = members.count(edge.from_component) > 0;
+    const bool to_inside = members.count(edge.to_component) > 0;
+    if (from_inside && to_inside) continue;  // internal: absorbed
+    if (!from_inside && !to_inside) {
+      new_edges.push_back(edge);
+      continue;
+    }
+    if (to_inside) {
+      const std::string port_name = boundary_port_name(edge, true);
+      if (bundle_ports.insert("i:" + port_name).second) {
+        Port port = component(edge.to_component).port(edge.to_port);
+        port.name = port_name;
+        bundle.add_port(std::move(port));
+      }
+      new_edges.push_back(Edge{edge.from_component, edge.from_port, bundle_id,
+                               port_name});
+    } else {
+      const std::string port_name = boundary_port_name(edge, false);
+      if (bundle_ports.insert("o:" + port_name).second) {
+        Port port = component(edge.from_component).port(edge.from_port);
+        port.name = port_name;
+        bundle.add_port(std::move(port));
+      }
+      new_edges.push_back(Edge{bundle_id, port_name, edge.to_component,
+                               edge.to_port});
+    }
+  }
+
+  out.add_component(std::move(bundle));
+  for (const auto& [id, node] : components_) {
+    if (!members.count(id)) out.add_component(node);
+  }
+  for (const Edge& edge : new_edges) {
+    out.connect(edge.from_component, edge.from_port, edge.to_component,
+                edge.to_port);
+  }
+  if (out.has_cycle()) {
+    throw ValidationError(
+        "collapse: members are not convex — collapsing would create a cycle "
+        "through '" + bundle_id + "'");
+  }
+  return out;
+}
+
+Json WorkflowGraph::to_json() const {
+  Json out = Json::object();
+  out["name"] = name_;
+  Json nodes = Json::array();
+  for (const auto& [_, node] : components_) nodes.push_back(node.to_json());
+  out["components"] = std::move(nodes);
+  Json links = Json::array();
+  for (const auto& edge : edges_) links.push_back(edge.to_json());
+  out["edges"] = std::move(links);
+  return out;
+}
+
+WorkflowGraph WorkflowGraph::from_json(const Json& json) {
+  WorkflowGraph graph(json.get_or("name", "workflow"));
+  for (const auto& node : json["components"].as_array()) {
+    graph.add_component(Component::from_json(node));
+  }
+  if (json.contains("edges")) {
+    for (const auto& link : json["edges"].as_array()) {
+      Edge edge = Edge::from_json(link);
+      graph.connect(edge.from_component, edge.from_port, edge.to_component,
+                    edge.to_port);
+    }
+  }
+  return graph;
+}
+
+WorkflowGraph collection_selection_forwarding_pattern() {
+  WorkflowGraph pattern("collection-selection-forwarding");
+  Component source("source", ComponentKind::Executable);
+  source.add_port(Port{"out", PortDirection::Output, "", "", ConsumptionSemantics::Unknown});
+  Component scheduler("scheduler", ComponentKind::InternalService);
+  scheduler.add_port(Port{"in", PortDirection::Input, "", "", ConsumptionSemantics::Unknown});
+  scheduler.add_port(Port{"out", PortDirection::Output, "", "", ConsumptionSemantics::Unknown});
+  Component sink("sink", ComponentKind::Executable);
+  sink.add_port(Port{"in", PortDirection::Input, "", "", ConsumptionSemantics::Unknown});
+  pattern.add_component(std::move(source));
+  pattern.add_component(std::move(scheduler));
+  pattern.add_component(std::move(sink));
+  pattern.connect("source", "out", "scheduler", "in");
+  pattern.connect("scheduler", "out", "sink", "in");
+  return pattern;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "util/json.hpp"
+
+namespace ff::core {
+
+/// A data-flow edge: producer component/port -> consumer component/port.
+struct Edge {
+  std::string from_component;
+  std::string from_port;
+  std::string to_component;
+  std::string to_port;
+
+  Json to_json() const;
+  static Edge from_json(const Json& json);
+  bool operator==(const Edge&) const = default;
+};
+
+/// A directed data-flow graph of Components. Section V-C of the paper views
+/// a workflow this way to find repeated subgraphs (e.g. the collection /
+/// selection / forwarding pattern) that are candidates for encapsulation
+/// and generation.
+class WorkflowGraph {
+ public:
+  explicit WorkflowGraph(std::string name = "workflow") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Add a component; id must be unique (throws ValidationError).
+  void add_component(Component component);
+  bool has_component(std::string_view id) const noexcept;
+  const Component& component(std::string_view id) const;
+  Component& component(std::string_view id);
+  std::vector<std::string> component_ids() const;
+  size_t component_count() const noexcept { return components_.size(); }
+
+  /// Connect an output port to an input port. Validates both endpoints
+  /// exist with correct directions; warns (returns false) on schema
+  /// mismatch between declared port schemas — the caller decides whether a
+  /// conversion step is needed.
+  bool connect(std::string_view from_component, std::string_view from_port,
+               std::string_view to_component, std::string_view to_port);
+
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+  std::vector<Edge> edges_from(std::string_view component_id) const;
+  std::vector<Edge> edges_into(std::string_view component_id) const;
+
+  /// Component ids in topological order; throws StateError on a cycle.
+  std::vector<std::string> topological_order() const;
+  bool has_cycle() const noexcept;
+
+  /// Components with no incoming / outgoing edges.
+  std::vector<std::string> sources() const;
+  std::vector<std::string> sinks() const;
+
+  /// Structural signature of a component in context: kind, in/out degree,
+  /// and sorted port schemas. Components with equal signatures are
+  /// structurally interchangeable roles.
+  std::string structural_signature(std::string_view component_id) const;
+
+  /// Groups of >= min_group components sharing a structural signature —
+  /// the repeated-subgraph candidates the paper's model uses to propose
+  /// encapsulations.
+  std::vector<std::vector<std::string>> repeated_roles(size_t min_group = 2) const;
+
+  /// Find occurrences of a small pattern graph inside this graph. Pattern
+  /// nodes match graph nodes with the same ComponentKind; pattern edges
+  /// must map to graph edges. Returns one map (pattern id -> graph id) per
+  /// occurrence. Exponential in pattern size, fine for patterns of <= ~6.
+  std::vector<std::map<std::string, std::string>> find_pattern(
+      const WorkflowGraph& pattern) const;
+
+  /// Element-wise minimum gauge profile across all components — the
+  /// "weakest link" reusability context of the whole workflow.
+  GaugeProfile aggregate_profile() const;
+
+  /// Re-partition granularity (the Composable tier in action): collapse
+  /// the induced subgraph over `member_ids` into a single BundledWorkflow
+  /// component named `bundle_id`. Edges crossing the boundary become ports
+  /// on the bundle (named after the inner port they wrap); internal edges
+  /// disappear. The bundle's gauge profile is the members' element-wise
+  /// minimum. Throws ValidationError if members are empty/unknown, or if
+  /// the collapse would create a cycle through the bundle.
+  WorkflowGraph collapse(const std::vector<std::string>& member_ids,
+                         const std::string& bundle_id) const;
+
+  Json to_json() const;
+  static WorkflowGraph from_json(const Json& json);
+
+ private:
+  std::string name_;
+  std::map<std::string, Component> components_;
+  std::vector<Edge> edges_;
+};
+
+/// The canonical collection/selection/forwarding pattern of Section V-C:
+/// source (Executable) -> scheduler (InternalService) -> sink (Executable).
+WorkflowGraph collection_selection_forwarding_pattern();
+
+}  // namespace ff::core

@@ -1,0 +1,222 @@
+#include "gwas/formats.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::gwas {
+
+namespace {
+
+int64_t parse_int_field(const std::string& field, const char* what, size_t line) {
+  if (!is_integer(field)) {
+    throw ParseError(std::string(what) + ": not an integer '" + field + "'", line, 1);
+  }
+  return std::stoll(field);
+}
+
+double parse_score(const std::string& field, size_t line) {
+  if (field == ".") return 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size() || field.empty()) {
+    throw ParseError("score: not a number '" + field + "'", line, 1);
+  }
+  return value;
+}
+
+char parse_strand(const std::string& field, size_t line) {
+  if (field == "+" || field == "-" || field == ".") return field[0];
+  throw ParseError("strand: expected +, - or '.', got '" + field + "'", line, 1);
+}
+
+}  // namespace
+
+std::vector<AnnotationRecord> parse_bed(std::string_view text) {
+  std::vector<AnnotationRecord> records;
+  size_t line_number = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_number;
+    if (trim(line).empty() || starts_with(line, "#")) continue;
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() < 6) {
+      throw ParseError("BED: expected 6 fields, got " + std::to_string(fields.size()),
+                       line_number, 1);
+    }
+    AnnotationRecord record;
+    record.chrom = fields[0];
+    record.start = parse_int_field(fields[1], "BED start", line_number);
+    record.end = parse_int_field(fields[2], "BED end", line_number);
+    record.name = fields[3];
+    record.score = parse_score(fields[4], line_number);
+    record.strand = parse_strand(fields[5], line_number);
+    if (record.end < record.start) {
+      throw ParseError("BED: end before start", line_number, 1);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string write_bed(const std::vector<AnnotationRecord>& records) {
+  std::string out;
+  for (const AnnotationRecord& record : records) {
+    out += record.chrom + "\t" + std::to_string(record.start) + "\t" +
+           std::to_string(record.end) + "\t" + record.name + "\t" +
+           format_double(record.score) + "\t" + record.strand + "\n";
+  }
+  return out;
+}
+
+std::vector<AnnotationRecord> parse_gff3(std::string_view text) {
+  std::vector<AnnotationRecord> records;
+  size_t line_number = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_number;
+    if (trim(line).empty() || starts_with(line, "#")) continue;
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() < 9) {
+      throw ParseError("GFF3: expected 9 fields, got " + std::to_string(fields.size()),
+                       line_number, 1);
+    }
+    AnnotationRecord record;
+    record.chrom = fields[0];
+    // GFF3 is 1-based closed; internal representation is 0-based half-open.
+    record.start = parse_int_field(fields[3], "GFF3 start", line_number) - 1;
+    record.end = parse_int_field(fields[4], "GFF3 end", line_number);
+    record.score = parse_score(fields[5], line_number);
+    record.strand = parse_strand(fields[6], line_number);
+    if (record.start < 0 || record.end < record.start) {
+      throw ParseError("GFF3: bad coordinates", line_number, 1);
+    }
+    for (const std::string& attribute : split(fields[8], ';')) {
+      const auto trimmed = trim(attribute);
+      if (starts_with(trimmed, "ID=")) record.name = std::string(trimmed.substr(3));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string write_gff3(const std::vector<AnnotationRecord>& records,
+                       const std::string& source, const std::string& type) {
+  std::string out = "##gff-version 3\n";
+  for (const AnnotationRecord& record : records) {
+    out += record.chrom + "\t" + source + "\t" + type + "\t" +
+           std::to_string(record.start + 1) + "\t" + std::to_string(record.end) +
+           "\t" + format_double(record.score) + "\t" + record.strand + "\t.\tID=" +
+           record.name + "\n";
+  }
+  return out;
+}
+
+std::vector<AnnotationRecord> parse_gtf2(std::string_view text) {
+  std::vector<AnnotationRecord> records;
+  size_t line_number = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_number;
+    if (trim(line).empty() || starts_with(line, "#")) continue;
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() < 9) {
+      throw ParseError("GTF2: expected 9 fields, got " + std::to_string(fields.size()),
+                       line_number, 1);
+    }
+    AnnotationRecord record;
+    record.chrom = fields[0];
+    record.start = parse_int_field(fields[3], "GTF2 start", line_number) - 1;
+    record.end = parse_int_field(fields[4], "GTF2 end", line_number);
+    record.score = parse_score(fields[5], line_number);
+    record.strand = parse_strand(fields[6], line_number);
+    if (record.start < 0 || record.end < record.start) {
+      throw ParseError("GTF2: bad coordinates", line_number, 1);
+    }
+    // Attributes: key "value"; pairs.
+    for (const std::string& attribute : split(fields[8], ';')) {
+      const auto trimmed = trim(attribute);
+      if (!starts_with(trimmed, "gene_id")) continue;
+      const size_t open = trimmed.find('"');
+      const size_t close = trimmed.rfind('"');
+      if (open != std::string_view::npos && close > open) {
+        record.name = std::string(trimmed.substr(open + 1, close - open - 1));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string write_gtf2(const std::vector<AnnotationRecord>& records,
+                       const std::string& source, const std::string& type) {
+  std::string out;
+  for (const AnnotationRecord& record : records) {
+    out += record.chrom + "\t" + source + "\t" + type + "\t" +
+           std::to_string(record.start + 1) + "\t" + std::to_string(record.end) +
+           "\t" + format_double(record.score) + "\t" + record.strand +
+           "\t.\tgene_id \"" + record.name + "\";\n";
+  }
+  return out;
+}
+
+std::vector<AnnotationRecord> parse_psl(std::string_view text) {
+  std::vector<AnnotationRecord> records;
+  size_t line_number = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_number;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || starts_with(trimmed, "psLayout") ||
+        starts_with(trimmed, "match") || starts_with(trimmed, "-") ||
+        starts_with(trimmed, "#")) {
+      continue;  // header block
+    }
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() < 21) {
+      throw ParseError("PSL: expected 21 fields, got " + std::to_string(fields.size()),
+                       line_number, 1);
+    }
+    AnnotationRecord record;
+    record.score = parse_score(fields[0], line_number);  // match count
+    record.strand = parse_strand(fields[8].substr(0, 1), line_number);
+    record.name = fields[9];
+    record.chrom = fields[13];
+    record.start = parse_int_field(fields[15], "PSL tStart", line_number);
+    record.end = parse_int_field(fields[16], "PSL tEnd", line_number);
+    if (record.end < record.start) {
+      throw ParseError("PSL: tEnd before tStart", line_number, 1);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string write_psl(const std::vector<AnnotationRecord>& records) {
+  std::string out;
+  for (const AnnotationRecord& record : records) {
+    const std::string span = std::to_string(record.end - record.start);
+    // 21 columns: match mismatch repMatch nCount qNumInsert qBaseInsert
+    // tNumInsert tBaseInsert strand qName qSize qStart qEnd tName tSize
+    // tStart tEnd blockCount blockSizes qStarts tStarts
+    out += format_double(record.score) + "\t0\t0\t0\t0\t0\t0\t0\t" +
+           (record.strand == '.' ? "+" : std::string(1, record.strand)) + "\t" +
+           record.name + "\t" + span + "\t0\t" + span + "\t" + record.chrom +
+           "\t0\t" + std::to_string(record.start) + "\t" +
+           std::to_string(record.end) + "\t1\t" + span + ",\t0,\t" +
+           std::to_string(record.start) + ",\n";
+  }
+  return out;
+}
+
+std::string convert_annotation(std::string_view text, const std::string& from,
+                               const std::string& to) {
+  std::vector<AnnotationRecord> records;
+  if (from == "bed") records = parse_bed(text);
+  else if (from == "gff3") records = parse_gff3(text);
+  else if (from == "gtf2") records = parse_gtf2(text);
+  else if (from == "psl") records = parse_psl(text);
+  else throw ValidationError("convert_annotation: unknown source format '" + from + "'");
+  if (to == "bed") return write_bed(records);
+  if (to == "gff3") return write_gff3(records);
+  if (to == "gtf2") return write_gtf2(records);
+  if (to == "psl") return write_psl(records);
+  throw ValidationError("convert_annotation: unknown target format '" + to + "'");
+}
+
+}  // namespace ff::gwas

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ff::gwas {
+
+/// A genome annotation interval in a format-neutral representation.
+/// Coordinates are stored 0-based half-open (BED convention) internally;
+/// converters adjust on the way in/out. This is the data-wrangling pain
+/// point Section II-A names: "genome annotations can be in BED, GTF2,
+/// GFF3, or PSL formats" and converting between them is unpaid debt.
+struct AnnotationRecord {
+  std::string chrom;
+  int64_t start = 0;  // 0-based inclusive
+  int64_t end = 0;    // exclusive
+  std::string name;
+  double score = 0;
+  char strand = '.';
+
+  bool operator==(const AnnotationRecord&) const = default;
+};
+
+/// BED6: chrom <tab> start <tab> end <tab> name <tab> score <tab> strand,
+/// 0-based half-open.
+std::vector<AnnotationRecord> parse_bed(std::string_view text);
+std::string write_bed(const std::vector<AnnotationRecord>& records);
+
+/// GFF3 feature lines: seqid source type start end score strand phase attrs
+/// with 1-based closed coordinates; name round-trips through an ID= attr.
+/// Comment lines (#...) are skipped on parse; a ##gff-version header is
+/// emitted on write.
+std::vector<AnnotationRecord> parse_gff3(std::string_view text);
+std::string write_gff3(const std::vector<AnnotationRecord>& records,
+                       const std::string& source = "fairflow",
+                       const std::string& type = "region");
+
+/// GTF2 (GFF2 dialect): like GFF3 but attributes are `key "value";` pairs;
+/// the name round-trips through `gene_id "..."`.
+std::vector<AnnotationRecord> parse_gtf2(std::string_view text);
+std::string write_gtf2(const std::vector<AnnotationRecord>& records,
+                       const std::string& source = "fairflow",
+                       const std::string& type = "region");
+
+/// PSL (BLAT alignment) — only the interval-relevant subset of its 21
+/// columns is modelled: strand (9), qName→name (10), tName→chrom (14),
+/// tStart/tEnd (16/17, 0-based half-open); match count (1) carries score.
+/// Remaining columns are written as zeros and ignored on parse.
+std::vector<AnnotationRecord> parse_psl(std::string_view text);
+std::string write_psl(const std::vector<AnnotationRecord>& records);
+
+/// Schema-driven conversion entry point between any two of "bed", "gff3",
+/// "gtf2", "psl" — the full format set named in paper Section II-A. This
+/// is what a MetadataCatalog::convertible() hit dispatches to.
+std::string convert_annotation(std::string_view text, const std::string& from,
+                               const std::string& to);
+
+}  // namespace ff::gwas

@@ -1,0 +1,127 @@
+#include "gwas/genotype.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace ff::gwas {
+
+GwasData make_gwas_data(const GwasConfig& config, uint64_t seed) {
+  if (config.samples < 4 || config.snps < 1 || config.causal_snps > config.snps) {
+    throw ValidationError("make_gwas_data: implausible config");
+  }
+  Rng rng(splitmix64(seed ^ 0x97a5ULL));
+
+  // Column names: sample id plus zero-padded SNP ids.
+  std::vector<std::string> columns = {"sample"};
+  char buffer[32];
+  for (size_t snp = 0; snp < config.snps; ++snp) {
+    std::snprintf(buffer, sizeof(buffer), "snp_%05zu", snp);
+    columns.emplace_back(buffer);
+  }
+  Table genotypes(columns);
+
+  // Per-SNP minor allele frequency; genotype ~ Binomial(2, maf).
+  std::vector<double> mafs;
+  mafs.reserve(config.snps);
+  for (size_t snp = 0; snp < config.snps; ++snp) {
+    mafs.push_back(rng.uniform(config.maf_lo, config.maf_hi));
+  }
+
+  std::vector<std::vector<int>> dosages(config.samples,
+                                        std::vector<int>(config.snps));
+  for (size_t sample = 0; sample < config.samples; ++sample) {
+    std::vector<std::string> row;
+    row.reserve(config.snps + 1);
+    std::snprintf(buffer, sizeof(buffer), "S%05zu", sample);
+    row.emplace_back(buffer);
+    for (size_t snp = 0; snp < config.snps; ++snp) {
+      const int dosage = (rng.chance(mafs[snp]) ? 1 : 0) +
+                         (rng.chance(mafs[snp]) ? 1 : 0);
+      dosages[sample][snp] = dosage;
+      row.push_back(std::to_string(dosage));
+    }
+    genotypes.add_row(std::move(row));
+  }
+
+  // Pick causal SNPs (distinct) and synthesize the trait.
+  GwasData out;
+  std::vector<size_t> all(config.snps);
+  for (size_t i = 0; i < config.snps; ++i) all[i] = i;
+  rng.shuffle(all);
+  out.causal.assign(all.begin(),
+                    all.begin() + static_cast<long>(config.causal_snps));
+  std::sort(out.causal.begin(), out.causal.end());
+
+  Table phenotypes({"sample", "trait"});
+  for (size_t sample = 0; sample < config.samples; ++sample) {
+    double trait = config.noise * rng.normal();
+    for (size_t causal_snp : out.causal) {
+      trait += config.effect_size * dosages[sample][causal_snp];
+    }
+    phenotypes.add_row({genotypes.cell(sample, 0), format_double(trait)});
+  }
+
+  out.genotypes = std::move(genotypes);
+  out.phenotypes = std::move(phenotypes);
+  return out;
+}
+
+std::vector<std::string> write_genotype_shards(const Table& genotypes,
+                                               const std::string& dir,
+                                               size_t shards) {
+  if (shards == 0) throw ValidationError("write_genotype_shards: shards must be > 0");
+  const size_t snp_count = genotypes.cols() - 1;  // minus the sample column
+  if (shards > snp_count) {
+    throw ValidationError("write_genotype_shards: more shards than SNP columns");
+  }
+  CsvOptions tsv;
+  tsv.separator = '\t';
+  std::vector<std::string> paths;
+  char buffer[32];
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const size_t begin = 1 + snp_count * shard / shards;
+    const size_t end = 1 + snp_count * (shard + 1) / shards;
+    std::vector<std::string> wanted = {"sample"};
+    for (size_t col = begin; col < end; ++col) {
+      wanted.push_back(genotypes.column_names()[col]);
+    }
+    const Table piece = genotypes.select(wanted);
+    std::snprintf(buffer, sizeof(buffer), "shard_%04zu.tsv", shard);
+    const std::string path = dir + "/" + buffer;
+    write_csv_file(piece, path, tsv);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::vector<Association> association_scan(const Table& merged,
+                                          const Table& phenotypes) {
+  if (merged.rows() != phenotypes.rows()) {
+    throw ValidationError("association_scan: sample count mismatch");
+  }
+  const std::vector<double> trait = phenotypes.column_as_double("trait");
+  std::vector<Association> out;
+  size_t index = 0;
+  for (const std::string& column : merged.column_names()) {
+    if (column == "sample") continue;
+    const std::vector<double> dosage = merged.column_as_double(column);
+    const OlsFit fit = ols(dosage, trait);
+    Association association;
+    association.snp = column;
+    association.index = index++;
+    association.r2 = fit.r2;
+    association.slope = fit.slope;
+    out.push_back(std::move(association));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Association& a, const Association& b) {
+                     return a.r2 > b.r2;
+                   });
+  return out;
+}
+
+}  // namespace ff::gwas

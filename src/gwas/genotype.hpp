@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ff::gwas {
+
+/// Synthetic GWAS inputs: a genotype matrix (samples × SNPs with additive
+/// coding 0/1/2) and a quantitative phenotype driven by a few causal SNPs.
+/// Stands in for the raw genotype/phenotype data of Section II-A.
+struct GwasConfig {
+  size_t samples = 200;
+  size_t snps = 500;
+  size_t causal_snps = 5;
+  double effect_size = 0.8;   // per causal allele
+  double noise = 1.0;         // phenotype noise stddev
+  double maf_lo = 0.05;       // minor-allele-frequency range
+  double maf_hi = 0.5;
+};
+
+struct GwasData {
+  Table genotypes;              // columns: sample, snp_0000..; values 0/1/2
+  Table phenotypes;             // columns: sample, trait
+  std::vector<size_t> causal;   // indices of causal SNPs
+};
+
+GwasData make_gwas_data(const GwasConfig& config, uint64_t seed);
+
+/// Shard the genotype table column-wise into `shards` files on disk under
+/// `dir` (shard_000.tsv, ...). Every shard keeps the `sample` key column —
+/// this reproduces the input layout the two-phase paste step consumes
+/// ("column-wise pasting of a large number of individual tabular files").
+/// Returns the shard file paths in order.
+std::vector<std::string> write_genotype_shards(const Table& genotypes,
+                                               const std::string& dir,
+                                               size_t shards);
+
+/// Per-SNP association scan: simple linear regression of trait on dosage;
+/// reports the squared correlation (r²) as the association strength.
+struct Association {
+  std::string snp;
+  size_t index = 0;
+  double r2 = 0;
+  double slope = 0;
+};
+
+/// All associations, sorted by descending r². `merged` must contain the
+/// `sample` column plus SNP columns; phenotypes must match sample order.
+std::vector<Association> association_scan(const Table& merged,
+                                          const Table& phenotypes);
+
+}  // namespace ff::gwas

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace ff::gwas {
+
+/// Column-wise paste of tabular files keyed on the `sample` column — the
+/// operation Section V-A builds its demonstration around. All inputs must
+/// agree on the key column's contents (same samples, same order); key
+/// columns after the first are dropped.
+Table paste_tables(const std::vector<Table>& tables,
+                   const std::string& key_column = "sample");
+
+/// Paste TSV files from disk into one output TSV file.
+void paste_files(const std::vector<std::string>& inputs, const std::string& output,
+                 const std::string& key_column = "sample");
+
+/// The two-phase paste plan: "a series of 'sub-pastes' were performed to
+/// reduce the number of files, then a final paste was done to merge the
+/// pasted subsets" — because pasting too many files at once is slow and
+/// hammers the filesystem.
+struct PastePlan {
+  /// Phase 1: groups of input indices, each pasted into one intermediate.
+  std::vector<std::vector<size_t>> groups;
+  /// True when phase 2 (pasting the intermediates) is needed.
+  bool needs_final_merge = false;
+
+  size_t subjobs() const { return groups.size() + (needs_final_merge ? 1 : 0); }
+};
+
+/// Plan pasting `file_count` inputs with at most `fan_in` files per paste.
+PastePlan plan_two_phase_paste(size_t file_count, size_t fan_in);
+
+/// Execute a plan against real files: phase-1 groups run (optionally in
+/// parallel via `workers`), then the final merge. Intermediates go to
+/// `scratch_dir`. Returns the merged output path.
+std::string execute_paste_plan(const PastePlan& plan,
+                               const std::vector<std::string>& inputs,
+                               const std::string& scratch_dir,
+                               const std::string& output, size_t workers = 1,
+                               const std::string& key_column = "sample");
+
+/// Cost model for planning at scales we do not execute for real: seconds
+/// for one paste of `files` files of `columns_per_file` columns × `rows`
+/// rows. Calibrated so cost grows superlinearly in the file count, which
+/// is what makes single-phase pasting of thousands of files infeasible and
+/// fan-in choice a real tuning knob.
+double paste_cost_model(size_t files, size_t columns_per_file, size_t rows);
+
+/// Model-predicted makespan of a plan executed with `workers` parallel
+/// slots (phase 1 groups in parallel, then the final merge).
+double plan_cost_model(const PastePlan& plan, size_t columns_per_file, size_t rows,
+                       size_t workers);
+
+}  // namespace ff::gwas

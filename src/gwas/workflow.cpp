@@ -1,0 +1,206 @@
+#include "gwas/workflow.hpp"
+
+namespace ff::gwas {
+
+using core::Component;
+using core::ComponentKind;
+using core::ConfigVariable;
+using core::ConsumptionSemantics;
+using core::Gauge;
+using core::Port;
+using core::PortDirection;
+
+skel::ModelSchema paste_model_schema() {
+  skel::ModelSchema schema;
+  schema.require("dataset.path", "string", "directory holding the input shards")
+      .require("dataset.pattern", "string", "shard naming convention")
+      .require("dataset.count", "int", "number of shard files")
+      .require("machine.account", "string", "allocation account")
+      .optional("machine.walltime", "string", Json("2:00"), "per-job walltime")
+      .optional("machine.nodes", "int", Json(1), "node cap per job")
+      .optional("strategy.fan_in", "int", Json(16), "files per sub-paste")
+      .require("groups", "array", "sub-paste groups (derived from the plan)");
+  return schema;
+}
+
+skel::Generator make_paste_generator() {
+  skel::Generator generator("gwas-paste");
+  generator.add_partial("job_header",
+                        "#!/bin/bash\n"
+                        "#BSUB -P {{machine.account}}\n"
+                        "#BSUB -W {{machine.walltime}}\n"
+                        "#BSUB -nnodes {{machine.nodes}}\n");
+  generator.add_template_per_item(
+      "groups", "jobs/subpaste_{{item_index}}.sh",
+      "{{> job_header}}"
+      "# sub-paste group {{item_index}}: {{count}} shards\n"
+      "paste_tool --key sample \\\n"
+      "{{#each files}}  {{dataset.path}}/{{this}} \\\n{{/each}}"
+      "  --output scratch/subpaste_{{item_index}}.tsv\n",
+      true);
+  generator.add_template(
+      "jobs/final_merge.sh",
+      "{{> job_header}}"
+      "# final merge of {{groups|json}} intermediates\n"
+      "paste_tool --key sample scratch/subpaste_*.tsv --output merged.tsv\n",
+      true);
+  generator.add_template(
+      "campaign.json",
+      "{\n"
+      "  \"name\": \"gwas-paste\",\n"
+      "  \"app\": {\"name\": \"paste\", \"executable\": \"bash\",\n"
+      "           \"args_template\": \"jobs/subpaste_{{! per-run }}{{dataset.count}}.sh\"},\n"
+      "  \"machine\": \"summit\",\n"
+      "  \"groups\": []\n"
+      "}\n");
+  generator.add_template(
+      "status.sh",
+      "#!/bin/bash\n"
+      "# query progress of the paste campaign\n"
+      "ls scratch/subpaste_*.tsv 2>/dev/null | wc -l\n",
+      true);
+  return generator;
+}
+
+Json make_paste_model(const std::string& dataset_dir, size_t file_count,
+                      size_t fan_in, const std::string& machine_account,
+                      const std::string& walltime, int nodes) {
+  const PastePlan plan = plan_two_phase_paste(file_count, fan_in);
+  Json model = Json::object();
+  model["dataset"]["path"] = dataset_dir;
+  model["dataset"]["pattern"] = "shard_%04d.tsv";
+  model["dataset"]["count"] = static_cast<int64_t>(file_count);
+  model["machine"]["account"] = machine_account;
+  model["machine"]["walltime"] = walltime;
+  model["machine"]["nodes"] = static_cast<int64_t>(nodes);
+  model["strategy"]["fan_in"] = static_cast<int64_t>(fan_in);
+  Json groups = Json::array();
+  for (const auto& group : plan.groups) {
+    Json entry = Json::object();
+    entry["count"] = static_cast<int64_t>(group.size());
+    Json files = Json::array();
+    for (size_t index : group) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "shard_%04zu.tsv", index);
+      files.push_back(std::string(buffer));
+    }
+    entry["files"] = std::move(files);
+    groups.push_back(std::move(entry));
+  }
+  model["groups"] = std::move(groups);
+  return model;
+}
+
+InterventionCount manual_interventions(const PastePlan& plan) {
+  InterventionCount count;
+  // Per subjob script: the user fixes account/walltime/paths and the file
+  // list partition (3 edited regions), then submits it by hand.
+  count.edits = plan.subjobs() * 3;
+  count.submissions = plan.subjobs();
+  // "the scientist must check to see that jobs are completing successfully
+  // and keep track of which jobs remain to be submitted": at least one
+  // check per subjob completion.
+  count.checks = plan.subjobs();
+  return count;
+}
+
+InterventionCount skel_interventions(const PastePlan& plan) {
+  (void)plan;  // the whole point: cost is independent of the plan's size
+  InterventionCount count;
+  count.edits = 1;        // update the model JSON
+  count.submissions = 1;  // submit the generated campaign
+  count.checks = 1;       // one status query (the tool tracks the rest)
+  return count;
+}
+
+Component manual_paste_component() {
+  Component component("gwas-paste-manual", ComponentKind::Executable);
+  component.set_description("hand-maintained two-phase paste scripts");
+  component.profile() = core::make_profile(1, 1, 0, 1, 1, 1);
+  component.profile().set_evidence(Gauge::SoftwareCustomizability,
+                                   "walltime/account/paths hard-coded per script");
+  component.add_port(Port{"shards", PortDirection::Input, "", "posix-file",
+                          ConsumptionSemantics::WholeDataset});
+  component.add_port(Port{"merged", PortDirection::Output, "", "posix-file",
+                          ConsumptionSemantics::Unknown});
+  component.add_config(ConfigVariable{"account", "string", Json("BIF101"), false, ""});
+  component.add_config(ConfigVariable{"walltime", "string", Json("2:00"), false, ""});
+  component.add_config(ConfigVariable{"fan_in", "int", Json(16), false, ""});
+  component.add_config(ConfigVariable{"paths", "string", Json("/gpfs/..."), false, ""});
+  return component;
+}
+
+Component skel_paste_component() {
+  Component component("gwas-paste-skel", ComponentKind::BundledWorkflow);
+  component.set_description("model-driven paste campaign (Skel + Cheetah)");
+  component.profile() = core::make_profile(2, 3, 1, 2, 3, 3);
+  component.profile().set_evidence(Gauge::SoftwareCustomizability,
+                                   "single JSON model regenerates all artifacts");
+  component.add_port(Port{"shards", PortDirection::Input, "tsv:genotype_shard:v1",
+                          "posix-file", ConsumptionSemantics::WholeDataset});
+  component.add_port(Port{"merged", PortDirection::Output, "tsv:genotype_merged:v1",
+                          "posix-file", ConsumptionSemantics::Unknown});
+  component.add_config(ConfigVariable{"account", "string", Json("BIF101"), true, ""});
+  component.add_config(ConfigVariable{"walltime", "string", Json("2:00"), true, ""});
+  component.add_config(ConfigVariable{"fan_in", "int", Json(16), true, ""});
+  component.add_config(ConfigVariable{"dataset_path", "path", Json("/gpfs/..."), true, ""});
+  return component;
+}
+
+namespace {
+
+Component preprocess_component(bool refactored) {
+  Component component(refactored ? "gwas-preprocess-model" : "gwas-preprocess-manual",
+                      ComponentKind::Executable);
+  component.set_description("reformat raw genotype/phenotype data for tools");
+  component.profile() = refactored ? core::make_profile(2, 3, 2, 2, 2, 2)
+                                   : core::make_profile(1, 1, 0, 1, 1, 0);
+  component.add_port(Port{"raw", PortDirection::Input, "", "posix-file",
+                          ConsumptionSemantics::WholeDataset});
+  component.add_port(Port{"shards", PortDirection::Output,
+                          refactored ? "tsv:genotype_shard:v1" : "", "posix-file",
+                          ConsumptionSemantics::Unknown});
+  return component;
+}
+
+Component assoc_component(bool refactored) {
+  Component component(refactored ? "gwas-assoc-model" : "gwas-assoc-manual",
+                      ComponentKind::Executable);
+  component.set_description("mixed-model association scan");
+  component.profile() = refactored ? core::make_profile(2, 3, 1, 2, 2, 2)
+                                   : core::make_profile(1, 2, 0, 1, 1, 1);
+  component.add_port(Port{"merged", PortDirection::Input,
+                          refactored ? "tsv:genotype_merged:v1" : "", "posix-file",
+                          ConsumptionSemantics::WholeDataset});
+  component.add_port(Port{"hits", PortDirection::Output, "", "posix-file",
+                          ConsumptionSemantics::Unknown});
+  return component;
+}
+
+core::WorkflowGraph build_gwas_graph(const std::string& name, bool refactored) {
+  core::WorkflowGraph graph(name);
+  Component preprocess = preprocess_component(refactored);
+  Component paste = refactored ? skel_paste_component() : manual_paste_component();
+  Component assoc = assoc_component(refactored);
+  const std::string preprocess_id = preprocess.id();
+  const std::string paste_id = paste.id();
+  const std::string assoc_id = assoc.id();
+  graph.add_component(std::move(preprocess));
+  graph.add_component(std::move(paste));
+  graph.add_component(std::move(assoc));
+  graph.connect(preprocess_id, "shards", paste_id, "shards");
+  graph.connect(paste_id, "merged", assoc_id, "merged");
+  return graph;
+}
+
+}  // namespace
+
+core::WorkflowGraph legacy_gwas_workflow() {
+  return build_gwas_graph("gwas-legacy", false);
+}
+
+core::WorkflowGraph refactored_gwas_workflow() {
+  return build_gwas_graph("gwas-refactored", true);
+}
+
+}  // namespace ff::gwas

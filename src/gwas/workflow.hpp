@@ -1,0 +1,51 @@
+#pragma once
+
+#include "core/workflow_graph.hpp"
+#include "gwas/paste.hpp"
+#include "skel/generator.hpp"
+
+namespace ff::gwas {
+
+/// The Skel model schema for the paste workflow (paper Section V-A: "the
+/// model includes information about the dataset under consideration (path
+/// and naming conventions), machine-specific details about resources ...
+/// and strategy for pasting").
+skel::ModelSchema paste_model_schema();
+
+/// The generator producing the concrete paste workflow from a model: one
+/// sub-paste script per group, a final-merge script, a Cheetah campaign
+/// spec, and a status/query script.
+skel::Generator make_paste_generator();
+
+/// Build the model document for a concrete problem (fills the "groups"
+/// array the templates iterate over).
+Json make_paste_model(const std::string& dataset_dir, size_t file_count,
+                      size_t fan_in, const std::string& machine_account,
+                      const std::string& walltime, int nodes);
+
+/// Interventions a human performs per *new run configuration* — the
+/// quantity Fig. 2 contrasts. "Manual" is the traditional script: fix
+/// scheduler parameters and paths in every subjob, submit each one, watch
+/// queues, resubmit stragglers. "Skel" is: edit the model, run generate,
+/// submit the campaign.
+struct InterventionCount {
+  size_t edits = 0;        // hand-edited values in scripts/models
+  size_t submissions = 0;  // manual submit/launch actions
+  size_t checks = 0;       // human monitoring checks while jobs drain
+  size_t total() const { return edits + submissions + checks; }
+};
+
+InterventionCount manual_interventions(const PastePlan& plan);
+InterventionCount skel_interventions(const PastePlan& plan);
+
+/// Gauge-profiled component models of the paste step before and after the
+/// refactoring, for assessment benches (Box I / Fig. 1).
+core::Component manual_paste_component();
+core::Component skel_paste_component();
+
+/// The full GWAS workflow graphs (preprocess → paste → associate) in
+/// legacy and refactored form, for the assessment bench.
+core::WorkflowGraph legacy_gwas_workflow();
+core::WorkflowGraph refactored_gwas_workflow();
+
+}  // namespace ff::gwas

@@ -1,0 +1,144 @@
+#include "irf/dataset.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::irf {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& DenseMatrix::at(size_t row, size_t col) {
+  if (row >= rows_ || col >= cols_) {
+    throw Error("DenseMatrix: index (" + std::to_string(row) + "," +
+                std::to_string(col) + ") out of " + std::to_string(rows_) + "x" +
+                std::to_string(cols_));
+  }
+  return data_[row * cols_ + col];
+}
+
+double DenseMatrix::at(size_t row, size_t col) const {
+  return const_cast<DenseMatrix*>(this)->at(row, col);
+}
+
+std::vector<double> DenseMatrix::column(size_t col) const {
+  std::vector<double> out(rows_);
+  for (size_t row = 0; row < rows_; ++row) out[row] = at(row, col);
+  return out;
+}
+
+std::vector<double> DenseMatrix::row(size_t row) const {
+  std::vector<double> out(cols_);
+  for (size_t col = 0; col < cols_; ++col) out[col] = at(row, col);
+  return out;
+}
+
+DenseMatrix DenseMatrix::drop_column(size_t col) const {
+  if (col >= cols_) throw Error("drop_column: out of range");
+  DenseMatrix out(rows_, cols_ - 1);
+  for (size_t row = 0; row < rows_; ++row) {
+    size_t out_col = 0;
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c == col) continue;
+      out.at(row, out_col++) = at(row, c);
+    }
+  }
+  return out;
+}
+
+Dataset::LooView Dataset::leave_one_out(size_t target) const {
+  if (target >= features()) throw Error("leave_one_out: target out of range");
+  LooView view;
+  view.predictors = x.drop_column(target);
+  view.y = x.column(target);
+  for (size_t i = 0; i < feature_names.size(); ++i) {
+    if (i != target) view.predictor_names.push_back(feature_names[i]);
+  }
+  return view;
+}
+
+Dataset Dataset::from_table(const Table& table) {
+  Dataset dataset;
+  dataset.feature_names = table.column_names();
+  dataset.x = DenseMatrix(table.rows(), table.cols());
+  for (size_t col = 0; col < table.cols(); ++col) {
+    const auto values = table.column_as_double(table.column_names()[col]);
+    for (size_t row = 0; row < values.size(); ++row) {
+      dataset.x.at(row, col) = values[row];
+    }
+  }
+  return dataset;
+}
+
+Table Dataset::to_table() const {
+  Table table(feature_names);
+  for (size_t row = 0; row < samples(); ++row) {
+    std::vector<std::string> cells;
+    cells.reserve(features());
+    for (size_t col = 0; col < features(); ++col) {
+      cells.push_back(format_double(x.at(row, col)));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+CensusDataset make_census_dataset(const CensusConfig& config, uint64_t seed) {
+  if (config.features < 4 || config.samples < 8 || config.blocks == 0) {
+    throw ValidationError("make_census_dataset: implausible config");
+  }
+  Rng rng(splitmix64(seed ^ 0xce5505ULL));
+  CensusDataset out;
+  out.data.x = DenseMatrix(config.samples, config.features);
+  for (size_t f = 0; f < config.features; ++f) {
+    static const char* kBlocks[] = {"demo", "socio", "housing", "econ", "health"};
+    const size_t block = f % config.blocks;
+    out.data.feature_names.push_back(std::string(kBlocks[block % 5]) + "_" +
+                                     std::to_string(f));
+  }
+
+  // Latent block factors per sample.
+  DenseMatrix factors(config.samples, config.blocks);
+  for (size_t s = 0; s < config.samples; ++s) {
+    for (size_t b = 0; b < config.blocks; ++b) factors.at(s, b) = rng.normal();
+  }
+
+  // Base features: block factor + idiosyncratic noise.
+  for (size_t f = 0; f < config.features; ++f) {
+    const size_t block = f % config.blocks;
+    const double loading =
+        config.factor_strength * (0.7 + 0.6 * rng.uniform());
+    for (size_t s = 0; s < config.samples; ++s) {
+      out.data.x.at(s, f) =
+          loading * factors.at(s, block) + config.noise * rng.normal();
+    }
+  }
+
+  // Plant direct dependencies: selected features become near-deterministic
+  // functions of two parents. Children are spaced three apart so no child
+  // is another child's parent (disjoint parent sets keep the ground truth
+  // unambiguous for recovery scoring).
+  const size_t planted = static_cast<size_t>(
+      config.planted_fraction * static_cast<double>(config.features));
+  for (size_t k = 0; k < planted; ++k) {
+    const size_t offset = 3 * k;
+    if (offset + 2 >= config.features) break;
+    const size_t child = config.features - 1 - offset;
+    const size_t parent_a = child - 1;
+    const size_t parent_b = child - 2;
+    const double wa = 0.9 + 0.3 * rng.uniform();
+    const double wb = 0.6 + 0.3 * rng.uniform();
+    for (size_t s = 0; s < config.samples; ++s) {
+      out.data.x.at(s, child) = wa * out.data.x.at(s, parent_a) +
+                                wb * out.data.x.at(s, parent_b) +
+                                0.05 * config.noise * rng.normal();
+    }
+    out.true_edges.emplace_back(parent_a, child);
+    out.true_edges.emplace_back(parent_b, child);
+  }
+  return out;
+}
+
+}  // namespace ff::irf

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ff::irf {
+
+/// Row-major dense matrix of doubles (samples × features).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const noexcept { return rows_; }
+  size_t cols() const noexcept { return cols_; }
+
+  double& at(size_t row, size_t col);
+  double at(size_t row, size_t col) const;
+
+  /// Copy of one column.
+  std::vector<double> column(size_t col) const;
+  /// Copy of one row.
+  std::vector<double> row(size_t row) const;
+
+  /// New matrix without column `col` (used by the leave-one-out driver).
+  DenseMatrix drop_column(size_t col) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// A named feature matrix: the iRF-LOOP input ("a matrix with n features
+/// and m samples").
+struct Dataset {
+  DenseMatrix x;  // samples × features
+  std::vector<std::string> feature_names;
+
+  size_t samples() const noexcept { return x.rows(); }
+  size_t features() const noexcept { return x.cols(); }
+
+  /// Leave-one-out view for target feature `target`: y = column(target),
+  /// predictors = all other columns, names adjusted.
+  struct LooView {
+    DenseMatrix predictors;
+    std::vector<double> y;
+    std::vector<std::string> predictor_names;
+  };
+  LooView leave_one_out(size_t target) const;
+
+  static Dataset from_table(const Table& table);
+  Table to_table() const;
+};
+
+/// Synthetic census-like dataset (the 2019 ACS substitute): `features`
+/// variables over `samples` counties, organized into correlated blocks
+/// (demographic / socioeconomic / housing style factors), plus planted
+/// direct dependencies: each feature whose index is listed in
+/// `planted_children` is a noisy linear function of its 2 preceding
+/// features — these parent→child edges are what iRF-LOOP should recover.
+struct CensusConfig {
+  size_t samples = 400;
+  size_t features = 24;
+  size_t blocks = 4;           // latent factors
+  double factor_strength = 0.4;
+  double noise = 0.5;
+  double planted_fraction = 0.25;  // fraction of features made dependent
+};
+
+struct CensusDataset {
+  Dataset data;
+  /// Planted ground-truth edges (parent index, child index).
+  std::vector<std::pair<size_t, size_t>> true_edges;
+};
+
+CensusDataset make_census_dataset(const CensusConfig& config, uint64_t seed);
+
+}  // namespace ff::irf

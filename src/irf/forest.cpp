@@ -1,0 +1,118 @@
+#include "irf/forest.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ff::irf {
+
+void RandomForest::fit(const DenseMatrix& x, const std::vector<double>& y,
+                       const ForestParams& params, uint64_t seed,
+                       const std::vector<double>& feature_weights) {
+  if (params.n_trees == 0) throw Error("RandomForest: n_trees must be > 0");
+  if (x.rows() != y.size()) throw Error("RandomForest: x/y size mismatch");
+  if (x.rows() == 0) throw Error("RandomForest: empty dataset");
+
+  trees_.assign(params.n_trees, RegressionTree{});
+  importance_.assign(x.cols(), 0.0);
+
+  std::vector<double> oob_sum(x.rows(), 0.0);
+  std::vector<int> oob_count(x.rows(), 0);
+
+  Rng base(splitmix64(seed ^ 0xf03e57ULL));
+  for (size_t t = 0; t < params.n_trees; ++t) {
+    Rng rng = base.fork(t);
+    std::vector<size_t> indices;
+    std::vector<bool> in_bag(x.rows(), false);
+    indices.reserve(x.rows());
+    if (params.bootstrap) {
+      for (size_t i = 0; i < x.rows(); ++i) {
+        const size_t pick = static_cast<size_t>(rng.below(x.rows()));
+        indices.push_back(pick);
+        in_bag[pick] = true;
+      }
+    } else {
+      indices.resize(x.rows());
+      std::iota(indices.begin(), indices.end(), 0);
+      in_bag.assign(x.rows(), true);
+    }
+    trees_[t].fit(x, y, indices, feature_weights, params.tree, rng);
+    for (size_t f = 0; f < x.cols(); ++f) {
+      importance_[f] += trees_[t].importance()[f];
+    }
+    if (params.bootstrap) {
+      for (size_t i = 0; i < x.rows(); ++i) {
+        if (in_bag[i]) continue;
+        oob_sum[i] += trees_[t].predict(x.row(i));
+        ++oob_count[i];
+      }
+    }
+  }
+
+  double total_importance = 0;
+  for (double value : importance_) total_importance += value;
+  if (total_importance > 0) {
+    for (double& value : importance_) value /= total_importance;
+  }
+
+  // OOB R² over samples with at least one out-of-bag vote.
+  std::vector<double> truth;
+  std::vector<double> predicted;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    if (oob_count[i] == 0) continue;
+    truth.push_back(y[i]);
+    predicted.push_back(oob_sum[i] / oob_count[i]);
+  }
+  if (truth.size() >= 2) {
+    const double mean_y = mean(truth);
+    double ss_res = 0;
+    double ss_tot = 0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+      ss_tot += (truth[i] - mean_y) * (truth[i] - mean_y);
+    }
+    oob_r2_ = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 0.0;
+  } else {
+    oob_r2_ = std::nan("");
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& row) const {
+  if (trees_.empty()) throw Error("RandomForest: not fitted");
+  double total = 0;
+  for (const RegressionTree& tree : trees_) total += tree.predict(row);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_all(const DenseMatrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));
+  return out;
+}
+
+IrfResult fit_irf(const DenseMatrix& x, const std::vector<double>& y,
+                  const IrfParams& params, uint64_t seed) {
+  if (params.iterations == 0) throw Error("fit_irf: iterations must be > 0");
+  IrfResult result;
+  std::vector<double> weights;  // uniform first round
+  for (size_t iteration = 0; iteration < params.iterations; ++iteration) {
+    RandomForest forest;
+    forest.fit(x, y, params.forest, seed + iteration, weights);
+    result.importance_history.push_back(forest.importance());
+    // Re-weight: next round samples features proportionally to importance,
+    // floored so nothing is irrecoverably dropped mid-way.
+    weights = forest.importance();
+    for (double& weight : weights) {
+      weight = std::max(weight, params.weight_floor);
+    }
+    if (iteration + 1 == params.iterations) {
+      result.final_forest = std::move(forest);
+    }
+  }
+  return result;
+}
+
+}  // namespace ff::irf

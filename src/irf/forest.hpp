@@ -1,0 +1,65 @@
+#pragma once
+
+#include "irf/tree.hpp"
+
+namespace ff::irf {
+
+struct ForestParams {
+  size_t n_trees = 60;
+  TreeParams tree;
+  bool bootstrap = true;
+};
+
+/// Random-forest regressor with weighted feature sampling (the building
+/// block of iRF). Deterministic in the seed.
+class RandomForest {
+ public:
+  /// `feature_weights` biases split candidates in every tree (empty =
+  /// uniform). Out-of-bag predictions are accumulated when bootstrapping.
+  void fit(const DenseMatrix& x, const std::vector<double>& y,
+           const ForestParams& params, uint64_t seed,
+           const std::vector<double>& feature_weights = {});
+
+  double predict(const std::vector<double>& row) const;
+  std::vector<double> predict_all(const DenseMatrix& x) const;
+
+  /// MDI importance, normalized to sum to 1 (all-zero if no splits).
+  const std::vector<double>& importance() const noexcept { return importance_; }
+
+  /// Out-of-bag R² (NaN when bootstrap was off or coverage too thin).
+  double oob_r2() const noexcept { return oob_r2_; }
+
+  size_t tree_count() const noexcept { return trees_.size(); }
+  bool fitted() const noexcept { return !trees_.empty(); }
+
+ private:
+  std::vector<RegressionTree> trees_;
+  std::vector<double> importance_;
+  double oob_r2_ = 0;
+};
+
+/// Iterative Random Forest: K rounds of forest fitting where round k+1's
+/// feature-sampling weights are round k's importances ("iteratively
+/// re-weighted random forests" — Basu et al., paper ref [25]). Returns the
+/// final round's forest; `importance_history` records each round.
+struct IrfParams {
+  size_t iterations = 3;
+  ForestParams forest;
+  /// Weight floor so no feature's probability collapses to exactly zero
+  /// before the final round.
+  double weight_floor = 1e-4;
+};
+
+struct IrfResult {
+  RandomForest final_forest;
+  std::vector<std::vector<double>> importance_history;  // per iteration
+
+  const std::vector<double>& importance() const {
+    return final_forest.importance();
+  }
+};
+
+IrfResult fit_irf(const DenseMatrix& x, const std::vector<double>& y,
+                  const IrfParams& params, uint64_t seed);
+
+}  // namespace ff::irf

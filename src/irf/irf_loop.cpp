@@ -1,0 +1,116 @@
+#include "irf/irf_loop.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::irf {
+
+IrfLoopResult run_irf_loop(const Dataset& dataset, const IrfLoopParams& params,
+                           uint64_t seed, ThreadPool* pool) {
+  const size_t n = dataset.features();
+  if (n < 2) throw Error("run_irf_loop: need at least two features");
+
+  IrfLoopResult result;
+  result.adjacency = DenseMatrix(n, n, 0.0);
+  result.feature_names = dataset.feature_names;
+  result.per_target_r2.assign(n, 0.0);
+
+  auto fit_target = [&](size_t target) {
+    const Dataset::LooView view = dataset.leave_one_out(target);
+    const IrfResult fit =
+        fit_irf(view.predictors, view.y, params.irf, splitmix64(seed) + target * 1009);
+    std::vector<double> row = fit.importance();
+    if (params.normalize == IrfLoopParams::Normalize::Row) {
+      double total = 0;
+      for (double value : row) total += value;
+      if (total > 0) {
+        for (double& value : row) value /= total;
+      }
+    }
+    // Re-insert the skipped diagonal position.
+    size_t source = 0;
+    for (size_t predictor = 0; predictor < n; ++predictor) {
+      if (predictor == target) continue;
+      result.adjacency.at(predictor, target) = row[source++];
+    }
+    result.per_target_r2[target] = fit.final_forest.oob_r2();
+  };
+
+  if (pool) {
+    parallel_for(*pool, 0, n, fit_target);
+  } else {
+    for (size_t target = 0; target < n; ++target) fit_target(target);
+  }
+
+  if (params.normalize == IrfLoopParams::Normalize::Max) {
+    double peak = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) peak = std::max(peak, result.adjacency.at(i, j));
+    }
+    if (peak > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) result.adjacency.at(i, j) /= peak;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<IrfLoopResult::Edge> IrfLoopResult::top_edges(size_t k) const {
+  std::vector<Edge> edges;
+  const size_t n = adjacency.rows();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double weight = adjacency.at(i, j);
+      if (weight > 0) edges.push_back(Edge{i, j, weight});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+  if (edges.size() > k) edges.resize(k);
+  return edges;
+}
+
+Table adjacency_table(const IrfLoopResult& result) {
+  std::vector<std::string> columns = {"feature"};
+  for (const std::string& name : result.feature_names) columns.push_back(name);
+  Table table(columns);
+  for (size_t row = 0; row < result.adjacency.rows(); ++row) {
+    std::vector<std::string> cells = {result.feature_names[row]};
+    for (size_t col = 0; col < result.adjacency.cols(); ++col) {
+      cells.push_back(format_double(result.adjacency.at(row, col)));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+Table edge_table(const IrfLoopResult& result, double threshold) {
+  Table table({"from", "to", "weight"});
+  for (const auto& edge : result.top_edges(result.adjacency.rows() *
+                                           result.adjacency.cols())) {
+    if (edge.weight < threshold) break;  // top_edges is sorted descending
+    table.add_row({result.feature_names[edge.from], result.feature_names[edge.to],
+                   format_double(edge.weight)});
+  }
+  return table;
+}
+
+double edge_recovery(const IrfLoopResult& result,
+                     const std::vector<std::pair<size_t, size_t>>& true_edges) {
+  if (true_edges.empty()) return 1.0;
+  const auto predicted = result.top_edges(2 * true_edges.size());
+  std::set<std::pair<size_t, size_t>> predicted_set;
+  for (const auto& edge : predicted) predicted_set.emplace(edge.from, edge.to);
+  size_t hits = 0;
+  for (const auto& edge : true_edges) {
+    if (predicted_set.count(edge)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(true_edges.size());
+}
+
+}  // namespace ff::irf

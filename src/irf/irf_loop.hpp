@@ -1,0 +1,56 @@
+#pragma once
+
+#include "irf/forest.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ff::irf {
+
+/// Result of an iRF-LOOP run: the n×n directional adjacency matrix whose
+/// entry (i, j) is the importance of feature i for predicting feature j
+/// (paper Section II-B: "the n importance vectors are normalized and
+/// concatenated into an n×n directional adjacency matrix, with values that
+/// can be viewed as edge weights between the features").
+struct IrfLoopResult {
+  DenseMatrix adjacency;  // features × features, diagonal 0
+  std::vector<std::string> feature_names;
+  std::vector<double> per_target_r2;  // OOB R² of each target's final forest
+
+  struct Edge {
+    size_t from = 0;
+    size_t to = 0;
+    double weight = 0;
+  };
+  /// The k strongest edges, descending by weight.
+  std::vector<Edge> top_edges(size_t k) const;
+};
+
+struct IrfLoopParams {
+  IrfParams irf;
+  /// Normalization: "max" scales the whole matrix so the largest entry is
+  /// 1; "row" normalizes each target's importance vector to sum to 1 (the
+  /// per-model normalization the paper describes).
+  enum class Normalize { Row, Max } normalize = Normalize::Row;
+};
+
+/// Run the full leave-one-out loop: one iRF model per feature. `pool` may
+/// be null (serial). Deterministic in `seed` regardless of thread count
+/// (each target owns an independent seed stream).
+IrfLoopResult run_irf_loop(const Dataset& dataset, const IrfLoopParams& params,
+                           uint64_t seed, ThreadPool* pool = nullptr);
+
+/// Edge-recovery score against ground truth: fraction of `true_edges`
+/// found within the top (2 × true edge count) predicted edges. Used to
+/// validate the pipeline on planted-network census data.
+double edge_recovery(const IrfLoopResult& result,
+                     const std::vector<std::pair<size_t, size_t>>& true_edges);
+
+/// Adjacency matrix as a named table (first column "feature", then one
+/// column per target feature) — the artifact downstream network-analysis
+/// tools consume.
+Table adjacency_table(const IrfLoopResult& result);
+
+/// Edge list with weight >= threshold as a 3-column table (from, to,
+/// weight), sorted by descending weight.
+Table edge_table(const IrfLoopResult& result, double threshold);
+
+}  // namespace ff::irf

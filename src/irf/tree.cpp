@@ -1,0 +1,188 @@
+#include "irf/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ff::irf {
+
+namespace {
+
+double mean_of(const std::vector<double>& y, const std::vector<size_t>& indices,
+               size_t begin, size_t end) {
+  double total = 0;
+  for (size_t i = begin; i < end; ++i) total += y[indices[i]];
+  return total / static_cast<double>(end - begin);
+}
+
+double sse_of(const std::vector<double>& y, const std::vector<size_t>& indices,
+              size_t begin, size_t end, double mean) {
+  double sse = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = y[indices[i]] - mean;
+    sse += d * d;
+  }
+  return sse;
+}
+
+/// Sample `count` distinct feature indices weighted by `weights` (uniform
+/// when weights is empty). Deterministic in rng.
+std::vector<size_t> sample_features(size_t total, size_t count,
+                                    const std::vector<double>& weights, Rng& rng) {
+  count = std::min(count, total);
+  std::vector<size_t> chosen;
+  chosen.reserve(count);
+  if (weights.empty()) {
+    std::vector<size_t> all(total);
+    std::iota(all.begin(), all.end(), 0);
+    rng.shuffle(all);
+    all.resize(count);
+    return all;
+  }
+  std::vector<double> working = weights;
+  for (size_t pick = 0; pick < count; ++pick) {
+    bool any_positive = false;
+    for (double w : working) {
+      if (w > 0) {
+        any_positive = true;
+        break;
+      }
+    }
+    if (!any_positive) break;
+    const size_t index = rng.weighted_index(working);
+    chosen.push_back(index);
+    working[index] = 0;  // without replacement
+  }
+  return chosen;
+}
+
+}  // namespace
+
+void RegressionTree::fit(const DenseMatrix& x, const std::vector<double>& y,
+                         const std::vector<size_t>& sample_indices,
+                         const std::vector<double>& feature_weights,
+                         const TreeParams& params, Rng& rng) {
+  if (x.rows() != y.size()) throw Error("RegressionTree: x/y size mismatch");
+  if (sample_indices.empty()) throw Error("RegressionTree: no samples");
+  if (!feature_weights.empty() && feature_weights.size() != x.cols()) {
+    throw Error("RegressionTree: feature_weights size mismatch");
+  }
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+  std::vector<size_t> indices = sample_indices;
+  build(x, y, indices, 0, indices.size(), 0, feature_weights, params, rng);
+}
+
+int RegressionTree::build(const DenseMatrix& x, const std::vector<double>& y,
+                          std::vector<size_t>& indices, size_t begin, size_t end,
+                          int depth, const std::vector<double>& feature_weights,
+                          const TreeParams& params, Rng& rng) {
+  const size_t count = end - begin;
+  const double node_mean = mean_of(y, indices, begin, end);
+  const double node_sse = sse_of(y, indices, begin, end, node_mean);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_index)].value = node_mean;
+
+  if (depth >= params.max_depth || count < 2 * params.min_samples_leaf ||
+      node_sse <= 1e-12) {
+    return node_index;  // leaf
+  }
+
+  const size_t mtry = params.mtry > 0
+                          ? params.mtry
+                          : static_cast<size_t>(
+                                std::ceil(std::sqrt(static_cast<double>(x.cols()))));
+  const std::vector<size_t> candidates =
+      sample_features(x.cols(), mtry, feature_weights, rng);
+
+  int best_feature = -1;
+  double best_threshold = 0;
+  double best_gain = 1e-12;
+
+  std::vector<std::pair<double, size_t>> sorted;
+  sorted.reserve(count);
+  for (const size_t feature : candidates) {
+    sorted.clear();
+    for (size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(x.at(indices[i], feature), indices[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    // Prefix sums over the sorted order let every split be evaluated in O(1).
+    double left_sum = 0;
+    double left_sq = 0;
+    double total_sum = 0;
+    double total_sq = 0;
+    for (const auto& [value, index] : sorted) {
+      total_sum += y[index];
+      total_sq += y[index] * y[index];
+      (void)value;
+    }
+    for (size_t i = 0; i + 1 < count; ++i) {
+      const double yi = y[sorted[i].second];
+      left_sum += yi;
+      left_sq += yi * yi;
+      // Cannot split between equal feature values.
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const size_t left_n = i + 1;
+      const size_t right_n = count - left_n;
+      if (left_n < params.min_samples_leaf || right_n < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double left_sse = left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = node_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = (sorted[i].first + sorted[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // no usable split: leaf
+
+  // Partition indices[begin, end) in place around the threshold.
+  auto middle = std::partition(
+      indices.begin() + static_cast<long>(begin), indices.begin() + static_cast<long>(end),
+      [&](size_t sample) {
+        return x.at(sample, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  const size_t split = static_cast<size_t>(middle - indices.begin());
+  if (split == begin || split == end) return node_index;  // degenerate
+
+  importance_[static_cast<size_t>(best_feature)] += best_gain;
+  const int left = build(x, y, indices, begin, split, depth + 1, feature_weights,
+                         params, rng);
+  const int right =
+      build(x, y, indices, split, end, depth + 1, feature_weights, params, rng);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+double RegressionTree::predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) throw Error("RegressionTree: not fitted");
+  int index = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.feature < 0) return node.value;
+    if (static_cast<size_t>(node.feature) >= row.size()) {
+      throw Error("RegressionTree: row too short for feature " +
+                  std::to_string(node.feature));
+    }
+    index = row[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                     : node.right;
+  }
+}
+
+}  // namespace ff::irf

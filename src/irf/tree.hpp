@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "irf/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace ff::irf {
+
+/// Hyper-parameters shared by trees and forests.
+struct TreeParams {
+  int max_depth = 8;
+  size_t min_samples_leaf = 3;
+  /// Features considered per split (mtry); 0 = ceil(sqrt(p)).
+  size_t mtry = 0;
+};
+
+/// A CART-style regression tree with *weighted* feature sampling at each
+/// split — the mechanism iterative random forests use to focus later
+/// iterations on previously important features.
+class RegressionTree {
+ public:
+  /// Fit on rows `sample_indices` of `x` against `y`. `feature_weights`
+  /// biases which features are candidates at each split (uniform when
+  /// empty). Deterministic in `rng`.
+  void fit(const DenseMatrix& x, const std::vector<double>& y,
+           const std::vector<size_t>& sample_indices,
+           const std::vector<double>& feature_weights, const TreeParams& params,
+           Rng& rng);
+
+  double predict(const std::vector<double>& row) const;
+
+  /// Total SSE reduction credited to each feature (MDI importance).
+  const std::vector<double>& importance() const noexcept { return importance_; }
+
+  size_t node_count() const noexcept { return nodes_.size(); }
+  bool fitted() const noexcept { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1: leaf
+    double threshold = 0;
+    double value = 0;       // leaf prediction (mean)
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const DenseMatrix& x, const std::vector<double>& y,
+            std::vector<size_t>& indices, size_t begin, size_t end, int depth,
+            const std::vector<double>& feature_weights, const TreeParams& params,
+            Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace ff::irf

@@ -1,0 +1,79 @@
+#include "savanna/campaign_runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ff::savanna {
+
+CampaignRunResult run_with_resubmission(sim::Simulation& sim,
+                                        const std::vector<sim::TaskSpec>& tasks,
+                                        const CampaignRunOptions& options,
+                                        RunTracker* tracker) {
+  CampaignRunResult result;
+  if (tracker) {
+    for (const sim::TaskSpec& task : tasks) tracker->add_run(task.id);
+  }
+
+  std::vector<sim::TaskSpec> remaining = tasks;
+  while (!remaining.empty()) {
+    if (options.max_allocations > 0 &&
+        result.allocations_used >= options.max_allocations) {
+      break;
+    }
+    const double allocation_start = sim.now();
+    ExecutionReport report =
+        options.backend == Backend::Pilot
+            ? run_pilot(sim, remaining, options.execution)
+            : run_set_synchronized(sim, remaining, options.execution);
+    ++result.allocations_used;
+    result.completed_runs += report.completed.size();
+    result.total_node_seconds += report.allocation_node_seconds;
+    result.total_busy_node_seconds += report.busy_node_seconds;
+
+    if (tracker) {
+      // Derive start/end times from the recorded intervals for provenance.
+      std::map<std::string, double> end_time;
+      for (size_t node = 0; node < report.node_timeline.size(); ++node) {
+        for (const Interval& interval : report.node_timeline[node]) {
+          tracker->mark_started(interval.run_id, allocation_start + interval.start,
+                                static_cast<int>(node));
+          end_time[interval.run_id] = allocation_start + interval.end;
+        }
+      }
+      for (const std::string& id : report.completed) {
+        tracker->mark_done(id, end_time.at(id));
+      }
+      for (const std::string& id : report.failed) {
+        tracker->mark_failed(id, end_time.at(id), "injected failure");
+      }
+      for (const std::string& id : report.killed) {
+        tracker->mark_killed(id, end_time.at(id));
+      }
+    }
+
+    // Everything not completed goes into the next allocation, preserving
+    // original order (failed and killed runs retry; unstarted runs start).
+    std::set<std::string> done(report.completed.begin(), report.completed.end());
+    std::vector<sim::TaskSpec> next;
+    next.reserve(remaining.size() - report.completed.size());
+    for (const sim::TaskSpec& task : remaining) {
+      if (!done.count(task.id)) next.push_back(task);
+    }
+    // Guard against no-progress loops (e.g. one task longer than walltime).
+    if (next.size() == remaining.size() && report.completed.empty() &&
+        options.max_allocations == 0) {
+      result.reports.push_back(std::move(report));
+      remaining = std::move(next);
+      break;
+    }
+    result.reports.push_back(std::move(report));
+    remaining = std::move(next);
+  }
+  result.remaining_runs = remaining.size();
+  return result;
+}
+
+}  // namespace ff::savanna

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+
+#include "savanna/executor.hpp"
+#include "savanna/tracker.hpp"
+
+namespace ff::savanna {
+
+/// Which executor backend drives the allocation. The paper's comparison in
+/// Figs. 6–7 is exactly SetSynchronized (original workflow) vs Pilot
+/// (Cheetah-Savanna).
+enum class Backend { SetSynchronized, Pilot };
+
+struct CampaignRunOptions {
+  ExecutionOptions execution;
+  Backend backend = Backend::Pilot;
+  /// Max allocations (re-submissions) to attempt; 0 = until done.
+  size_t max_allocations = 0;
+};
+
+struct CampaignRunResult {
+  size_t allocations_used = 0;
+  size_t completed_runs = 0;
+  size_t remaining_runs = 0;
+  double total_node_seconds = 0;  // across all allocations
+  double total_busy_node_seconds = 0;
+  std::vector<ExecutionReport> reports;  // one per allocation
+
+  double utilization() const {
+    return total_node_seconds > 0 ? total_busy_node_seconds / total_node_seconds
+                                  : 0.0;
+  }
+};
+
+/// Execute a task ensemble with re-submission semantics: each allocation
+/// runs whatever is still incomplete; "the SweepGroup is simply
+/// re-submitted, and Savanna resumes execution of the experiments". The
+/// optional tracker receives full provenance. Virtual time accumulates in
+/// `sim` across allocations (queue wait is not modelled here; see
+/// sim::BatchSystem for that).
+CampaignRunResult run_with_resubmission(sim::Simulation& sim,
+                                        const std::vector<sim::TaskSpec>& tasks,
+                                        const CampaignRunOptions& options,
+                                        RunTracker* tracker = nullptr);
+
+}  // namespace ff::savanna

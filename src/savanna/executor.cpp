@@ -1,0 +1,167 @@
+#include "savanna/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::savanna {
+
+namespace {
+
+void validate(const ExecutionOptions& options) {
+  if (options.nodes <= 0) throw Error("executor: nodes must be positive");
+  if (options.walltime_s <= 0) throw Error("executor: walltime must be positive");
+  if (options.startup_cost_s < 0) throw Error("executor: negative startup cost");
+  if (options.set_size < 0) throw Error("executor: negative set size");
+}
+
+/// Shared bookkeeping for both runners.
+struct Recorder {
+  explicit Recorder(const ExecutionOptions& options) : options(options) {
+    report.node_timeline.resize(static_cast<size_t>(options.nodes));
+  }
+
+  /// Record a run occupying `node` over [start, end_nominal), clipped at
+  /// walltime. Returns true if the run finished before the walltime.
+  bool record(int node, double start, double end_nominal, const std::string& id) {
+    const double end = std::min(end_nominal, options.walltime_s);
+    report.node_timeline[static_cast<size_t>(node)].push_back(
+        Interval{start, end, id});
+    report.busy_node_seconds += end - start;
+    report.makespan_s = std::max(report.makespan_s, end);
+    return end_nominal <= options.walltime_s;
+  }
+
+  void finalize() {
+    const double horizon = std::isfinite(options.walltime_s)
+                               ? std::min(report.makespan_s, options.walltime_s)
+                               : report.makespan_s;
+    report.allocation_node_seconds = horizon * options.nodes;
+  }
+
+  const ExecutionOptions& options;
+  ExecutionReport report;
+};
+
+}  // namespace
+
+ExecutionReport run_set_synchronized(sim::Simulation& sim,
+                                     const std::vector<sim::TaskSpec>& tasks,
+                                     const ExecutionOptions& options) {
+  validate(options);
+  const int set_size =
+      options.set_size > 0 ? std::min(options.set_size, options.nodes)
+                           : options.nodes;
+  Recorder recorder(options);
+
+  const double t0 = sim.now();
+  double set_start = t0;
+  size_t next = 0;
+  while (next < tasks.size()) {
+    if (set_start - t0 >= options.walltime_s) break;  // allocation exhausted
+    const size_t set_end_index = std::min(next + static_cast<size_t>(set_size),
+                                          tasks.size());
+    double barrier = set_start;
+    for (size_t i = next; i < set_end_index; ++i) {
+      const sim::TaskSpec& task = tasks[i];
+      const int node = static_cast<int>(i - next);
+      const double start = set_start;
+      const double end = start + options.startup_cost_s + task.duration_s;
+      const bool fits =
+          recorder.record(node, start - t0, end - t0, task.id);
+      const bool failed = options.fails && options.fails(task, node);
+      if (!fits) {
+        recorder.report.killed.push_back(task.id);
+      } else if (failed) {
+        recorder.report.failed.push_back(task.id);
+      } else {
+        recorder.report.completed.push_back(task.id);
+      }
+      barrier = std::max(barrier, std::min(end, t0 + options.walltime_s));
+    }
+    // The explicit end-of-set synchronization: the whole set waits for its
+    // slowest member before the next set is launched.
+    next = set_end_index;
+    set_start = barrier;
+  }
+  for (size_t i = next; i < tasks.size(); ++i) {
+    recorder.report.not_started.push_back(tasks[i].id);
+  }
+  // Advance virtual time to the end of the allocation's activity.
+  sim.run_until(t0 + recorder.report.makespan_s);
+  recorder.finalize();
+  return recorder.report;
+}
+
+ExecutionReport run_pilot(sim::Simulation& sim,
+                          const std::vector<sim::TaskSpec>& tasks,
+                          const ExecutionOptions& options) {
+  validate(options);
+  Recorder recorder(options);
+  const double t0 = sim.now();
+
+  // Event-driven greedy list scheduling: every node pulls the next pending
+  // task the moment it frees.
+  size_t next = 0;
+  size_t in_flight = 0;
+
+  std::function<void(int)> assign = [&](int node) {
+    if (next >= tasks.size()) return;
+    if (sim.now() - t0 >= options.walltime_s) return;  // cannot launch anymore
+    const sim::TaskSpec& task = tasks[next++];
+    ++in_flight;
+    const double start = sim.now();
+    const double end = start + options.startup_cost_s + task.duration_s;
+    const bool fits = recorder.record(node, start - t0, end - t0, task.id);
+    const bool failed = options.fails && options.fails(task, node);
+    if (!fits) {
+      recorder.report.killed.push_back(task.id);
+      // Node is lost to the walltime; no completion event needed.
+      --in_flight;
+      return;
+    }
+    sim.schedule_at(end, [&, node, failed, id = task.id] {
+      if (failed) {
+        recorder.report.failed.push_back(id);
+      } else {
+        recorder.report.completed.push_back(id);
+      }
+      --in_flight;
+      assign(node);
+    });
+  };
+
+  for (int node = 0; node < options.nodes && next < tasks.size(); ++node) {
+    assign(node);
+  }
+  sim.run();
+  (void)in_flight;
+
+  for (size_t i = next; i < tasks.size(); ++i) {
+    recorder.report.not_started.push_back(tasks[i].id);
+  }
+  recorder.finalize();
+  return recorder.report;
+}
+
+std::string ExecutionReport::render_timeline(size_t columns) const {
+  if (columns == 0 || makespan_s <= 0) return "";
+  std::string out;
+  const double bucket = makespan_s / static_cast<double>(columns);
+  for (size_t node = 0; node < node_timeline.size(); ++node) {
+    out += "node " + pad_left(std::to_string(node), 3) + " |";
+    std::string row(columns, '.');
+    for (const Interval& interval : node_timeline[node]) {
+      const auto first = static_cast<size_t>(interval.start / bucket);
+      auto last = static_cast<size_t>(std::ceil(interval.end / bucket));
+      last = std::min(last, columns);
+      for (size_t c = first; c < last; ++c) row[c] = '#';
+    }
+    out += row + "|\n";
+  }
+  return out;
+}
+
+}  // namespace ff::savanna

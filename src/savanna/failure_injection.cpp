@@ -1,0 +1,24 @@
+#include "savanna/failure_injection.hpp"
+
+#include <cmath>
+
+namespace ff::savanna {
+
+std::function<bool(const sim::TaskSpec&, int)> make_failure_injector(
+    const sim::MachineSpec& machine, uint64_t seed) {
+  const double mttf_s = machine.node_mttf_hours * 3600.0;
+  return [mttf_s, seed](const sim::TaskSpec& task, int node) {
+    (void)node;
+    if (mttf_s <= 0) return false;
+    const double probability = 1.0 - std::exp(-task.duration_s / mttf_s);
+    // Hash the run id with the seed into a uniform deviate.
+    uint64_t h = ff::splitmix64(seed);
+    for (char c : task.id) {
+      h = ff::splitmix64(h ^ static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < probability;
+  };
+}
+
+}  // namespace ff::savanna

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <functional>
+
+#include "cluster/failure.hpp"
+#include "savanna/executor.hpp"
+
+namespace ff::savanna {
+
+/// Bridge from the cluster failure model to the executors' injection hook:
+/// each run fails with probability 1 - exp(-duration / node_mttf) — the
+/// chance its node's exponential failure clock fires while it runs.
+/// Deterministic in `seed`, and the per-run randomness is derived from the
+/// run id (not the call order), so the same run receives the same fate on
+/// every backend — a fair A/B comparison.
+std::function<bool(const sim::TaskSpec&, int)> make_failure_injector(
+    const sim::MachineSpec& machine, uint64_t seed);
+
+}  // namespace ff::savanna

@@ -1,0 +1,39 @@
+#include "savanna/local_executor.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace ff::savanna {
+
+LocalReport run_local(const std::vector<LocalTask>& tasks, size_t workers) {
+  LocalReport report;
+  std::mutex mutex;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(workers);
+    for (const LocalTask& task : tasks) {
+      pool.submit([&task, &report, &mutex] {
+        try {
+          task.work();
+          std::lock_guard lock(mutex);
+          report.completed.push_back(task.id);
+        } catch (const std::exception& e) {
+          std::lock_guard lock(mutex);
+          report.failed.emplace_back(task.id, e.what());
+        } catch (...) {
+          std::lock_guard lock(mutex);
+          report.failed.emplace_back(task.id, "unknown error");
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace ff::savanna

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ff::savanna {
+
+/// A real (non-simulated) task: Savanna's "simple pilot runner to run
+/// experiments on available resources", specialized to in-process work.
+/// Used by the examples and the GWAS paste workflow to actually execute
+/// generated plans on the host machine.
+struct LocalTask {
+  std::string id;
+  std::function<void()> work;
+};
+
+struct LocalReport {
+  std::vector<std::string> completed;
+  /// (run id, exception message) for tasks that threw.
+  std::vector<std::pair<std::string, std::string>> failed;
+  double wall_seconds = 0;
+};
+
+/// Run all tasks on a worker pool of the given size, collecting failures
+/// instead of propagating (a failed run must not sink the campaign —
+/// Savanna tracks it for re-submission instead).
+LocalReport run_local(const std::vector<LocalTask>& tasks, size_t workers);
+
+}  // namespace ff::savanna

@@ -1,0 +1,51 @@
+#include "savanna/provenance.hpp"
+
+namespace ff::savanna {
+
+ExportPolicy public_release_policy() {
+  ExportPolicy policy;
+  policy.include_timestamps = false;
+  policy.include_nodes = false;
+  policy.include_failure_details = false;
+  policy.include_never_started = false;
+  return policy;
+}
+
+ExportPolicy same_site_policy() {
+  ExportPolicy policy;
+  policy.include_timestamps = true;
+  policy.include_nodes = true;
+  policy.include_failure_details = true;
+  policy.include_never_started = true;
+  return policy;
+}
+
+Json export_provenance(const RunTracker& tracker, const ExportPolicy& policy) {
+  const Json full = tracker.to_json();
+  Json out = Json::object();
+  for (const auto& [run_id, record] : full.as_object()) {
+    const std::string state = record["state"].as_string();
+    if (!policy.include_never_started && state == "pending") continue;
+    Json exported = Json::object();
+    exported["state"] = state;
+    exported["attempts"] = record["attempts"];
+    Json events = Json::array();
+    for (const Json& event : record["events"].as_array()) {
+      Json filtered = Json::object();
+      filtered["kind"] = event["kind"];
+      if (policy.include_timestamps) filtered["time"] = event["time"];
+      if (policy.include_nodes && event.contains("node")) {
+        filtered["node"] = event["node"];
+      }
+      if (policy.include_failure_details && event.contains("detail")) {
+        filtered["detail"] = event["detail"];
+      }
+      events.push_back(std::move(filtered));
+    }
+    exported["events"] = std::move(events);
+    out[run_id] = std::move(exported);
+  }
+  return out;
+}
+
+}  // namespace ff::savanna

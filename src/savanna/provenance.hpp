@@ -1,0 +1,35 @@
+#pragma once
+
+#include "savanna/tracker.hpp"
+
+namespace ff::savanna {
+
+/// Export policy for provenance — the Exportable tier of the Provenance
+/// gauge: "not all provenance that is useful to the original author is
+/// appropriate to include in a distributable, reusable research object",
+/// but "some provenance is crucial when reusing workflow components in a
+/// new context". The policy decides what ships.
+struct ExportPolicy {
+  /// Keep per-event timestamps (drop for privacy/size: only final states
+  /// and attempt counts remain).
+  bool include_timestamps = true;
+  /// Keep node placements (site-specific; usually dropped on export).
+  bool include_nodes = false;
+  /// Keep failure detail strings (may embed paths/hostnames).
+  bool include_failure_details = false;
+  /// Drop runs that never started (queue noise, not reuse-relevant).
+  bool include_never_started = false;
+};
+
+/// A conservative default for public release: states and attempt counts
+/// only.
+ExportPolicy public_release_policy();
+/// Everything — for hand-off within the same team/site.
+ExportPolicy same_site_policy();
+
+/// Apply the policy to a tracker's provenance and produce the exportable
+/// research-object fragment. Always includes, per exported run: final
+/// state, attempt count, and the event list filtered per the policy.
+Json export_provenance(const RunTracker& tracker, const ExportPolicy& policy);
+
+}  // namespace ff::savanna

@@ -1,0 +1,131 @@
+#include "savanna/tracker.hpp"
+
+#include "util/error.hpp"
+
+namespace ff::savanna {
+
+void RunTracker::add_run(const std::string& run_id) {
+  if (!runs_.emplace(run_id, RunRecord{}).second) {
+    throw ValidationError("RunTracker: duplicate run '" + run_id + "'");
+  }
+}
+
+bool RunTracker::has_run(const std::string& run_id) const noexcept {
+  return runs_.count(run_id) > 0;
+}
+
+RunTracker::RunRecord& RunTracker::require(const std::string& run_id) {
+  auto it = runs_.find(run_id);
+  if (it == runs_.end()) throw NotFoundError("RunTracker: unknown run '" + run_id + "'");
+  return it->second;
+}
+
+const RunTracker::RunRecord& RunTracker::require(const std::string& run_id) const {
+  auto it = runs_.find(run_id);
+  if (it == runs_.end()) throw NotFoundError("RunTracker: unknown run '" + run_id + "'");
+  return it->second;
+}
+
+void RunTracker::mark_started(const std::string& run_id, double time, int node) {
+  RunRecord& run = require(run_id);
+  if (run.last_state == "running") {
+    throw StateError("RunTracker: run '" + run_id + "' already running");
+  }
+  run.events.push_back(EventRecord{"start", time, node, ""});
+  run.last_state = "running";
+  ++run.attempts;
+}
+
+void RunTracker::mark_done(const std::string& run_id, double time) {
+  RunRecord& run = require(run_id);
+  if (run.last_state != "running") {
+    throw StateError("RunTracker: run '" + run_id + "' is not running");
+  }
+  run.events.push_back(EventRecord{"done", time, -1, ""});
+  run.last_state = "done";
+}
+
+void RunTracker::mark_failed(const std::string& run_id, double time,
+                             const std::string& reason) {
+  RunRecord& run = require(run_id);
+  if (run.last_state != "running") {
+    throw StateError("RunTracker: run '" + run_id + "' is not running");
+  }
+  run.events.push_back(EventRecord{"failed", time, -1, reason});
+  run.last_state = "failed";
+}
+
+void RunTracker::mark_killed(const std::string& run_id, double time) {
+  RunRecord& run = require(run_id);
+  if (run.last_state != "running") {
+    throw StateError("RunTracker: run '" + run_id + "' is not running");
+  }
+  run.events.push_back(EventRecord{"killed", time, -1, "walltime"});
+  run.last_state = "killed";
+}
+
+std::vector<std::string> RunTracker::needing_rerun() const {
+  std::vector<std::string> out;
+  for (const auto& [run_id, run] : runs_) {
+    if (run.last_state != "done") out.push_back(run_id);
+  }
+  return out;
+}
+
+size_t RunTracker::attempts(const std::string& run_id) const {
+  return require(run_id).attempts;
+}
+
+RunTracker::Counts RunTracker::counts() const {
+  Counts counts;
+  counts.total = runs_.size();
+  for (const auto& [_, run] : runs_) {
+    if (run.last_state == "done") ++counts.done;
+    else if (run.last_state == "failed") ++counts.failed;
+    else if (run.last_state == "killed") ++counts.killed;
+    else if (run.last_state == "pending") ++counts.never_started;
+  }
+  return counts;
+}
+
+Json RunTracker::to_json() const {
+  Json out = Json::object();
+  for (const auto& [run_id, run] : runs_) {
+    Json record = Json::object();
+    record["state"] = run.last_state;
+    record["attempts"] = static_cast<int64_t>(run.attempts);
+    Json events = Json::array();
+    for (const EventRecord& event : run.events) {
+      Json entry = Json::object();
+      entry["kind"] = event.kind;
+      entry["time"] = event.time;
+      if (event.node >= 0) entry["node"] = static_cast<int64_t>(event.node);
+      if (!event.detail.empty()) entry["detail"] = event.detail;
+      events.push_back(std::move(entry));
+    }
+    record["events"] = std::move(events);
+    out[run_id] = std::move(record);
+  }
+  return out;
+}
+
+RunTracker RunTracker::from_json(const Json& json) {
+  RunTracker tracker;
+  for (const auto& [run_id, record] : json.as_object()) {
+    RunRecord run;
+    run.last_state = record["state"].as_string();
+    run.attempts = static_cast<size_t>(record.get_or("attempts", int64_t{0}));
+    for (const Json& entry : record["events"].as_array()) {
+      EventRecord event;
+      event.kind = entry["kind"].as_string();
+      event.time = entry["time"].as_double();
+      event.node = static_cast<int>(entry.get_or("node", int64_t{-1}));
+      event.detail = entry.get_or("detail", "");
+      run.events.push_back(std::move(event));
+    }
+    tracker.runs_[run_id] = std::move(run);
+  }
+  return tracker;
+}
+
+}  // namespace ff::savanna

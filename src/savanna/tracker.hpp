@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ff::savanna {
+
+/// Structured per-run provenance: every state transition with its virtual
+/// timestamp and attempt number. This is the ComponentRecords tier of the
+/// Provenance gauge made concrete — and what frees researchers from
+/// "manually curating a list of failed runs" (paper Section II-B).
+class RunTracker {
+ public:
+  /// Register a run (attempt counter starts at 0).
+  void add_run(const std::string& run_id);
+  bool has_run(const std::string& run_id) const noexcept;
+
+  void mark_started(const std::string& run_id, double time, int node);
+  void mark_done(const std::string& run_id, double time);
+  void mark_failed(const std::string& run_id, double time, const std::string& reason);
+  void mark_killed(const std::string& run_id, double time);
+
+  /// Runs whose latest attempt did not finish (never started, failed, or
+  /// killed) — exactly the set a re-submission must execute.
+  std::vector<std::string> needing_rerun() const;
+
+  size_t attempts(const std::string& run_id) const;
+
+  struct Counts {
+    size_t total = 0;
+    size_t done = 0;
+    size_t failed = 0;
+    size_t killed = 0;
+    size_t never_started = 0;
+  };
+  Counts counts() const;
+
+  /// Full provenance export (one record per run with its event list).
+  Json to_json() const;
+  static RunTracker from_json(const Json& json);
+
+ private:
+  struct EventRecord {
+    std::string kind;  // "start", "done", "failed", "killed"
+    double time = 0;
+    int node = -1;
+    std::string detail;
+  };
+  struct RunRecord {
+    std::vector<EventRecord> events;
+    std::string last_state = "pending";  // pending|running|done|failed|killed
+    size_t attempts = 0;
+  };
+
+  RunRecord& require(const std::string& run_id);
+  const RunRecord& require(const std::string& run_id) const;
+
+  std::map<std::string, RunRecord> runs_;
+};
+
+}  // namespace ff::savanna

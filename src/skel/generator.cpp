@@ -1,0 +1,114 @@
+#include "skel/generator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::skel {
+
+void Generator::add_template(std::string path_template, std::string body,
+                             bool executable) {
+  Entry entry{"", Template::parse(path_template, path_template),
+              Template::parse(body, path_template), executable};
+  entries_.push_back(std::move(entry));
+}
+
+void Generator::add_partial(const std::string& name, std::string body) {
+  partials_.insert_or_assign(name, Template::parse(body, name));
+}
+
+void Generator::add_template_per_item(std::string each_path,
+                                      std::string path_template, std::string body,
+                                      bool executable) {
+  if (each_path.empty()) {
+    throw ValidationError("add_template_per_item: each_path must be non-empty");
+  }
+  Entry entry{std::move(each_path), Template::parse(path_template, path_template),
+              Template::parse(body, path_template), executable};
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<Artifact> Generator::generate(const Model& model) const {
+  std::vector<Artifact> artifacts;
+  for (const Entry& entry : entries_) {
+    if (entry.each_path.empty()) {
+      Artifact artifact;
+      artifact.path = entry.path_template.render(model.json(), partials_);
+      artifact.content = entry.body.render(model.json(), partials_);
+      artifact.executable = entry.executable;
+      artifacts.push_back(std::move(artifact));
+      continue;
+    }
+    const Json* items = model.json().find_path(entry.each_path);
+    if (!items || !items->is_array()) {
+      throw ValidationError("generator '" + name_ + "': model path '" +
+                            entry.each_path + "' must be an array");
+    }
+    for (size_t i = 0; i < items->as_array().size(); ++i) {
+      // Per-item context: the element plus @item_index, with the full model
+      // merged underneath for parent lookups.
+      Json context = model.json();
+      const Json& element = items->as_array()[i];
+      if (element.is_object()) {
+        for (const auto& [key, value] : element.as_object()) context[key] = value;
+      } else {
+        context["item"] = element;
+      }
+      context["item_index"] = static_cast<int64_t>(i);
+      Artifact artifact;
+      artifact.path = entry.path_template.render(context, partials_);
+      artifact.content = entry.body.render(context, partials_);
+      artifact.executable = entry.executable;
+      artifacts.push_back(std::move(artifact));
+    }
+  }
+  // Duplicate output paths are always a bug in the template set.
+  std::vector<std::string> paths;
+  for (const auto& artifact : artifacts) paths.push_back(artifact.path);
+  std::sort(paths.begin(), paths.end());
+  if (std::adjacent_find(paths.begin(), paths.end()) != paths.end()) {
+    throw ValidationError("generator '" + name_ + "': duplicate artifact paths");
+  }
+
+  Json manifest = Json::object();
+  manifest["generator"] = name_;
+  manifest["model"] = model.json();
+  Json list = Json::array();
+  for (const auto& artifact : artifacts) list.push_back(artifact.path);
+  manifest["artifacts"] = std::move(list);
+  artifacts.push_back(Artifact{"manifest.json", manifest.pretty(), false});
+  return artifacts;
+}
+
+void Generator::write_all(const std::vector<Artifact>& artifacts,
+                          const std::string& root_dir) {
+  for (const Artifact& artifact : artifacts) {
+    const std::string path = root_dir + "/" + artifact.path;
+    write_file(path, artifact.content);
+    if (artifact.executable) {
+      std::filesystem::permissions(path,
+                                   std::filesystem::perms::owner_exec |
+                                       std::filesystem::perms::group_exec,
+                                   std::filesystem::perm_options::add);
+    }
+  }
+}
+
+std::vector<std::string> Generator::customization_surface() const {
+  std::vector<std::string> paths;
+  for (const Entry& entry : entries_) {
+    for (auto& path : entry.body.referenced_paths()) paths.push_back(std::move(path));
+    for (auto& path : entry.path_template.referenced_paths()) {
+      paths.push_back(std::move(path));
+    }
+  }
+  for (const auto& [_, partial] : partials_) {
+    for (auto& path : partial.referenced_paths()) paths.push_back(std::move(path));
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  return paths;
+}
+
+}  // namespace ff::skel

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "skel/model.hpp"
+#include "skel/template_engine.hpp"
+
+namespace ff::skel {
+
+/// One file produced by a generation run.
+struct Artifact {
+  std::string path;     // relative path within the generated workflow
+  std::string content;
+  bool executable = false;
+};
+
+/// A generator instantiates a set of templates against one model, producing
+/// the concrete files that implement the action (scripts, campaign specs,
+/// status helpers). "No debt accrues from code that can be efficiently
+/// deleted and regenerated when needed" — so artifacts also carry a
+/// generation manifest for honest regeneration.
+class Generator {
+ public:
+  explicit Generator(std::string name = "skel") : name_(std::move(name)) {}
+
+  /// Register a template for the artifact at `path_template` (itself a
+  /// template so paths can be model-driven, e.g. "jobs/paste_{{@index}}.sh").
+  void add_template(std::string path_template, std::string body,
+                    bool executable = false);
+
+  /// Register a partial usable via {{> name}} from any template.
+  void add_partial(const std::string& name, std::string body);
+
+  /// Register a template that expands once per element of the array at
+  /// `each_path` in the model; the element is the render context (with
+  /// parent fallback to the whole model).
+  void add_template_per_item(std::string each_path, std::string path_template,
+                             std::string body, bool executable = false);
+
+  /// Render everything. Also appends `manifest.json` describing the model
+  /// and artifact list, so regeneration is reproducible.
+  std::vector<Artifact> generate(const Model& model) const;
+
+  /// Write artifacts under root_dir (creating directories).
+  static void write_all(const std::vector<Artifact>& artifacts,
+                        const std::string& root_dir);
+
+  /// The union of model paths referenced by all templates — the generator's
+  /// effective customization surface.
+  std::vector<std::string> customization_surface() const;
+
+ private:
+  struct Entry {
+    std::string each_path;  // empty: render once against whole model
+    Template path_template;
+    Template body;
+    bool executable = false;
+  };
+
+  std::string name_;
+  std::vector<Entry> entries_;
+  std::map<std::string, Template> partials_;
+};
+
+}  // namespace ff::skel

@@ -1,0 +1,120 @@
+#include "skel/model.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::skel {
+
+namespace {
+
+bool type_matches(const Json& value, const std::string& type) {
+  if (type == "int") return value.is_int();
+  if (type == "double") return value.is_number();
+  if (type == "string") return value.is_string();
+  if (type == "bool") return value.is_bool();
+  if (type == "array") return value.is_array();
+  if (type == "object") return value.is_object();
+  if (type == "any") return true;
+  throw ValidationError("ModelSchema: unknown field type '" + type + "'");
+}
+
+/// Set a dotted path in `doc`, creating intermediate objects. Array indices
+/// are not supported for defaults (defaults describe scalars/containers).
+void set_path(Json& doc, std::string_view path, const Json& value) {
+  Json* node = &doc;
+  size_t pos = 0;
+  while (true) {
+    const size_t dot = path.find('.', pos);
+    const std::string key{path.substr(
+        pos, dot == std::string_view::npos ? std::string_view::npos : dot - pos)};
+    if (dot == std::string_view::npos) {
+      (*node)[key] = value;
+      return;
+    }
+    node = &(*node)[key];
+    pos = dot + 1;
+  }
+}
+
+}  // namespace
+
+ModelSchema& ModelSchema::require(std::string path, std::string type,
+                                  std::string description) {
+  fields_.push_back(FieldSpec{std::move(path), std::move(type), true, Json(),
+                              std::move(description)});
+  return *this;
+}
+
+ModelSchema& ModelSchema::optional(std::string path, std::string type,
+                                   Json default_value, std::string description) {
+  fields_.push_back(FieldSpec{std::move(path), std::move(type), false,
+                              std::move(default_value), std::move(description)});
+  return *this;
+}
+
+std::vector<std::string> ModelSchema::validate(const Json& model) const {
+  std::vector<std::string> problems;
+  if (!model.is_object()) {
+    problems.push_back("model must be a JSON object");
+    return problems;
+  }
+  for (const FieldSpec& field : fields_) {
+    const Json* value = model.find_path(field.path);
+    if (!value) {
+      if (field.required) {
+        std::string problem = "missing required field '" + field.path + "' (" +
+                              field.type + ")";
+        if (!field.description.empty()) problem += ": " + field.description;
+        problems.push_back(std::move(problem));
+      }
+      continue;
+    }
+    if (!type_matches(*value, field.type)) {
+      problems.push_back("field '" + field.path + "' must be " + field.type +
+                         ", got " + std::string(Json::type_name(value->type())));
+    }
+  }
+  return problems;
+}
+
+void ModelSchema::validate_or_throw(const Json& model) const {
+  const std::vector<std::string> problems = validate(model);
+  if (!problems.empty()) {
+    throw ValidationError("model validation failed:\n  - " +
+                          join(problems, "\n  - "));
+  }
+}
+
+Json ModelSchema::with_defaults(const Json& model) const {
+  Json out = model;
+  for (const FieldSpec& field : fields_) {
+    if (!field.required && !out.find_path(field.path)) {
+      set_path(out, field.path, field.default_value);
+    }
+  }
+  return out;
+}
+
+std::string ModelSchema::document() const {
+  std::string out;
+  for (const FieldSpec& field : fields_) {
+    out += "- `" + field.path + "` (" + field.type + ", " +
+           (field.required ? "required" : "optional, default " +
+                                              field.default_value.dump()) +
+           ")";
+    if (!field.description.empty()) out += " — " + field.description;
+    out += "\n";
+  }
+  return out;
+}
+
+Model::Model(Json document, const ModelSchema& schema) {
+  schema.validate_or_throw(document);
+  document_ = schema.with_defaults(document);
+}
+
+Model Model::load(const std::string& path, const ModelSchema& schema) {
+  return Model(Json::parse_file(path), schema);
+}
+
+}  // namespace ff::skel

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ff::skel {
+
+/// Declarative description of what a Skel model must contain: the "concise
+/// representation of the user decisions required for an action". Fields are
+/// dotted paths with expected Json types; required fields must exist,
+/// optional fields get defaults. This is what makes the customization
+/// surface machine-checkable (Customizability gauge, Model tier).
+class ModelSchema {
+ public:
+  struct FieldSpec {
+    std::string path;         // "machine.nodes"
+    std::string type;         // "int","double","string","bool","array","object"
+    bool required = true;
+    Json default_value;       // applied when optional and missing
+    std::string description;  // shown in validation errors and docs
+  };
+
+  ModelSchema& require(std::string path, std::string type,
+                       std::string description = "");
+  ModelSchema& optional(std::string path, std::string type, Json default_value,
+                        std::string description = "");
+
+  const std::vector<FieldSpec>& fields() const noexcept { return fields_; }
+
+  /// Validate `model`. Returns the list of problems (empty when valid).
+  std::vector<std::string> validate(const Json& model) const;
+
+  /// Validate and throw ValidationError listing all problems.
+  void validate_or_throw(const Json& model) const;
+
+  /// Copy of `model` with defaults filled in for missing optional fields.
+  /// Only top-level and nested object paths are materialized.
+  Json with_defaults(const Json& model) const;
+
+  /// Markdown-ish documentation of the model surface, one line per field.
+  std::string document() const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+/// A validated model instance: the single point of user interaction for a
+/// generated workflow (paper Section V-A).
+class Model {
+ public:
+  Model(Json document, const ModelSchema& schema);
+
+  /// Load from a JSON file and validate.
+  static Model load(const std::string& path, const ModelSchema& schema);
+
+  const Json& json() const noexcept { return document_; }
+  const Json& at(std::string_view path) const { return document_.at_path(path); }
+
+ private:
+  Json document_;
+};
+
+}  // namespace ff::skel

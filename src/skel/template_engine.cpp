@@ -1,0 +1,328 @@
+#include "skel/template_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::skel {
+
+struct Template::Node {
+  enum class Kind { Text, Substitute, Each, If, Partial } kind = Kind::Text;
+  std::string text;    // Text: literal; Substitute/Each/If: path; Partial: name
+  std::string filter;  // Substitute only
+  std::vector<Node> children;       // Each body / If then-branch
+  std::vector<Node> else_children;  // If else-branch
+  size_t line = 1;
+};
+
+namespace {
+
+using Node = Template::Node;
+
+class TemplateParser {
+ public:
+  TemplateParser(std::string_view text, const std::string& name)
+      : text_(text), name_(name) {}
+
+  std::vector<Node> parse() {
+    std::vector<Node> nodes = parse_block(/*terminators=*/{});
+    if (pos_ != text_.size()) fail("unexpected '{{/'-style close tag");
+    return nodes;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("template '" + name_ + "': " + message, line_, 1);
+  }
+
+  void count_lines(std::string_view chunk) {
+    line_ += static_cast<size_t>(std::count(chunk.begin(), chunk.end(), '\n'));
+  }
+
+  /// Parse nodes until EOF or until one of `terminators` ("else", "/each",
+  /// "/if") appears; the terminator tag is consumed and reported.
+  std::vector<Node> parse_block(const std::vector<std::string>& terminators,
+                                std::string* hit = nullptr) {
+    std::vector<Node> nodes;
+    while (pos_ < text_.size()) {
+      const size_t open = text_.find("{{", pos_);
+      if (open == std::string_view::npos) {
+        append_text(nodes, text_.substr(pos_));
+        pos_ = text_.size();
+        break;
+      }
+      append_text(nodes, text_.substr(pos_, open - pos_));
+      count_lines(text_.substr(pos_, open - pos_));
+      const size_t close = text_.find("}}", open);
+      if (close == std::string_view::npos) fail("unterminated '{{' tag");
+      std::string tag{trim(text_.substr(open + 2, close - open - 2))};
+      pos_ = close + 2;
+      if (tag.empty()) fail("empty '{{}}' tag");
+
+      if (std::find(terminators.begin(), terminators.end(), tag) !=
+          terminators.end()) {
+        if (hit) *hit = tag;
+        return nodes;
+      }
+      if (tag[0] == '!') continue;  // comment
+      if (tag[0] == '>') {
+        Node node;
+        node.kind = Node::Kind::Partial;
+        node.text = std::string(trim(std::string_view(tag).substr(1)));
+        node.line = line_;
+        if (node.text.empty()) fail("'{{>' requires a partial name");
+        nodes.push_back(std::move(node));
+        continue;
+      }
+      if (starts_with(tag, "#each")) {
+        Node node;
+        node.kind = Node::Kind::Each;
+        node.text = std::string(trim(std::string_view(tag).substr(5)));
+        node.line = line_;
+        if (node.text.empty()) fail("'#each' requires a path");
+        std::string terminator;
+        node.children = parse_block({"/each"}, &terminator);
+        if (terminator != "/each") fail("'#each' missing '{{/each}}'");
+        nodes.push_back(std::move(node));
+        continue;
+      }
+      if (starts_with(tag, "#if")) {
+        Node node;
+        node.kind = Node::Kind::If;
+        node.text = std::string(trim(std::string_view(tag).substr(3)));
+        node.line = line_;
+        if (node.text.empty()) fail("'#if' requires a path");
+        std::string terminator;
+        node.children = parse_block({"else", "/if"}, &terminator);
+        if (terminator == "else") {
+          node.else_children = parse_block({"/if"}, &terminator);
+        }
+        if (terminator != "/if") fail("'#if' missing '{{/if}}'");
+        nodes.push_back(std::move(node));
+        continue;
+      }
+      if (tag[0] == '#' || tag[0] == '/') {
+        fail("unknown block tag '{{" + tag + "}}'");
+      }
+      // Plain substitution, possibly with |filter.
+      Node node;
+      node.kind = Node::Kind::Substitute;
+      node.line = line_;
+      const size_t pipe = tag.find('|');
+      if (pipe == std::string::npos) {
+        node.text = std::string(trim(tag));
+      } else {
+        node.text = std::string(trim(std::string_view(tag).substr(0, pipe)));
+        node.filter = std::string(trim(std::string_view(tag).substr(pipe + 1)));
+        static const std::vector<std::string> kFilters = {"upper", "lower", "json",
+                                                          "trim"};
+        if (std::find(kFilters.begin(), kFilters.end(), node.filter) ==
+            kFilters.end()) {
+          fail("unknown filter '" + node.filter + "'");
+        }
+      }
+      if (node.text.empty()) fail("empty substitution path");
+      nodes.push_back(std::move(node));
+    }
+    if (!terminators.empty()) {
+      fail("reached end of template while looking for {{" + terminators.back() + "}}");
+    }
+    return nodes;
+  }
+
+  void append_text(std::vector<Node>& nodes, std::string_view chunk) {
+    if (chunk.empty()) return;
+    if (!nodes.empty() && nodes.back().kind == Node::Kind::Text) {
+      nodes.back().text += chunk;
+    } else {
+      Node node;
+      node.kind = Node::Kind::Text;
+      node.text = std::string(chunk);
+      node.line = line_;
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  std::string_view text_;
+  const std::string& name_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+/// Context stack frame: a value plus loop metadata when inside {{#each}}.
+struct Frame {
+  const Json* value = nullptr;
+  bool in_loop = false;
+  size_t index = 0;
+  size_t total = 0;
+};
+
+class Renderer {
+ public:
+  Renderer(const std::string& name, const Json& model,
+           const std::map<std::string, Template>& partials)
+      : name_(name), partials_(partials) {
+    stack_.push_back(Frame{&model, false, 0, 0});
+  }
+
+  void render_nodes(const std::vector<Node>& nodes, std::string& out) {
+    for (const Node& node : nodes) render_node(node, out);
+  }
+
+ private:
+  [[noreturn]] void fail(const Node& node, const std::string& message) const {
+    throw ValidationError("template '" + name_ + "' line " +
+                          std::to_string(node.line) + ": " + message);
+  }
+
+  const Json* lookup(std::string_view path) const {
+    // Loop metavariables resolve against the innermost loop frame.
+    const Frame& top = stack_.back();
+    if (path == "this") return top.value;
+    // Walk the stack from innermost to outermost so parent scopes are
+    // visible inside loops.
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (const Json* found = it->value->find_path(path)) return found;
+    }
+    return nullptr;
+  }
+
+  Json meta_value(std::string_view path, bool& is_meta) const {
+    is_meta = true;
+    const Frame& top = stack_.back();
+    if (path == "@index" && top.in_loop) return Json(static_cast<int64_t>(top.index));
+    if (path == "@first" && top.in_loop) return Json(top.index == 0);
+    if (path == "@last" && top.in_loop) return Json(top.index + 1 == top.total);
+    is_meta = false;
+    return Json();
+  }
+
+  void render_node(const Node& node, std::string& out) {
+    switch (node.kind) {
+      case Node::Kind::Text:
+        out += node.text;
+        return;
+      case Node::Kind::Substitute: {
+        bool is_meta = false;
+        Json meta = meta_value(node.text, is_meta);
+        const Json* value = is_meta ? &meta : lookup(node.text);
+        if (!value) fail(node, "unknown variable '" + node.text + "'");
+        out += apply_filter(node, *value);
+        return;
+      }
+      case Node::Kind::Each: {
+        const Json* value = lookup(node.text);
+        if (!value) fail(node, "unknown list '" + node.text + "'");
+        if (!value->is_array()) fail(node, "'" + node.text + "' is not an array");
+        const auto& items = value->as_array();
+        for (size_t i = 0; i < items.size(); ++i) {
+          stack_.push_back(Frame{&items[i], true, i, items.size()});
+          render_nodes(node.children, out);
+          stack_.pop_back();
+        }
+        return;
+      }
+      case Node::Kind::If: {
+        bool is_meta = false;
+        Json meta = meta_value(node.text, is_meta);
+        const Json* value = is_meta ? &meta : lookup(node.text);
+        // A missing path is simply falsy for {{#if}} — that is the whole
+        // point of conditionals over optional model fields.
+        const bool condition = value && truthy(*value);
+        render_nodes(condition ? node.children : node.else_children, out);
+        return;
+      }
+      case Node::Kind::Partial: {
+        auto it = partials_.find(node.text);
+        if (it == partials_.end()) fail(node, "unknown partial '" + node.text + "'");
+        // Partials render against the current top-of-stack context.
+        std::string rendered =
+            it->second.render(*stack_.back().value, partials_);
+        out += rendered;
+        return;
+      }
+    }
+  }
+
+  std::string apply_filter(const Node& node, const Json& value) const {
+    if (node.filter == "json") return value.dump();
+    std::string text;
+    if (value.is_array() || value.is_object()) {
+      fail(node, "'" + node.text + "' is an aggregate; use the |json filter");
+    }
+    text = render_scalar(value);
+    if (node.filter == "upper") return to_upper(text);
+    if (node.filter == "lower") return to_lower(text);
+    if (node.filter == "trim") return std::string(trim(text));
+    return text;
+  }
+
+  const std::string& name_;
+  const std::map<std::string, Template>& partials_;
+  std::vector<Frame> stack_;
+};
+
+void collect_paths(const std::vector<Node>& nodes, std::vector<std::string>& out) {
+  for (const Node& node : nodes) {
+    if (node.kind == Node::Kind::Substitute || node.kind == Node::Kind::Each ||
+        node.kind == Node::Kind::If) {
+      if (node.text[0] != '@' && node.text != "this") out.push_back(node.text);
+    }
+    collect_paths(node.children, out);
+    collect_paths(node.else_children, out);
+  }
+}
+
+}  // namespace
+
+Template Template::parse(std::string_view text, std::string name) {
+  Template result;
+  result.name_ = std::move(name);
+  result.nodes_ = std::make_shared<const std::vector<Node>>(
+      TemplateParser(text, result.name_).parse());
+  return result;
+}
+
+std::string Template::render(const Json& model,
+                             const std::map<std::string, Template>& partials) const {
+  std::string out;
+  Renderer renderer(name_, model, partials);
+  renderer.render_nodes(*nodes_, out);
+  return out;
+}
+
+std::vector<std::string> Template::referenced_paths() const {
+  std::vector<std::string> paths;
+  collect_paths(*nodes_, paths);
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  return paths;
+}
+
+bool truthy(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::Null: return false;
+    case Json::Type::Bool: return value.as_bool();
+    case Json::Type::Int: return value.as_int() != 0;
+    case Json::Type::Double: return value.as_double() != 0.0;
+    case Json::Type::String: return !value.as_string().empty();
+    case Json::Type::Array_: return !value.as_array().empty();
+    case Json::Type::Object_: return !value.as_object().empty();
+  }
+  return false;
+}
+
+std::string render_scalar(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::Null: return "";
+    case Json::Type::Bool: return value.as_bool() ? "true" : "false";
+    case Json::Type::Int: return std::to_string(value.as_int());
+    case Json::Type::Double: return format_double(value.as_double());
+    case Json::Type::String: return value.as_string();
+    default:
+      throw ValidationError("render_scalar: aggregate value");
+  }
+}
+
+}  // namespace ff::skel

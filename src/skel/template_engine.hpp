@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ff::skel {
+
+/// The Skel text-template engine: couples "a model of a desired action with
+/// one or more textual templates that drive the creation of files that
+/// implement the action" (paper Section IV). The model is a Json document;
+/// templates are text with mustache-style tags:
+///
+///   {{path.to.value}}          substitution (dotted path, [n] indexing)
+///   {{path|upper}}             filters: upper, lower, json, trim
+///   {{#each items}}...{{/each}} iterate arrays; inside: {{this}}, {{@index}},
+///                              {{@first}}, {{@last}}, and parent-scope
+///                              lookups fall through automatically
+///   {{#if cond}}...{{else}}...{{/if}}  truthiness: null/false/0/""/empty
+///   {{! a comment}}            dropped from output
+///   {{> partial_name}}         include a registered partial template
+///
+/// Templates are parsed once into a node tree; rendering walks the tree with
+/// a context stack. Unknown variables are render errors (not silent empties)
+/// because generated artifacts must never silently lose configuration.
+class Template {
+ public:
+  /// Parse template text; throws ParseError with line information.
+  static Template parse(std::string_view text, std::string name = "template");
+
+  /// Render against a model. `partials` resolves {{> name}} includes.
+  std::string render(const Json& model,
+                     const std::map<std::string, Template>& partials = {}) const;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// All variable paths referenced by this template (for model validation
+  /// and for documenting a template's customization surface).
+  std::vector<std::string> referenced_paths() const;
+
+  struct Node;  // implementation detail, public for the parser
+
+ private:
+  Template() = default;
+  std::shared_ptr<const std::vector<Node>> nodes_;
+  std::string name_;
+};
+
+/// True if a Json value counts as truthy for {{#if}}.
+bool truthy(const Json& value);
+
+/// Render a Json scalar the way substitution does (string unquoted, number
+/// via canonical formatting, bool as true/false). Arrays/objects require the
+/// |json filter; rendering them bare is an error.
+std::string render_scalar(const Json& value);
+
+}  // namespace ff::skel

@@ -1,0 +1,87 @@
+#include "stream/channel.hpp"
+
+#include "util/error.hpp"
+
+namespace ff::stream {
+
+Channel::Channel(size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw ValidationError("Channel: capacity must be > 0");
+}
+
+bool Channel::send(Record record) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(record));
+  ++sent_;
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool Channel::try_send(Record record) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(record));
+    ++sent_;
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Record> Channel::receive() {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Record record = std::move(queue_.front());
+  queue_.pop_front();
+  ++received_;
+  lock.unlock();
+  not_full_.notify_one();
+  return record;
+}
+
+std::optional<Record> Channel::try_receive() {
+  std::optional<Record> record;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    record = std::move(queue_.front());
+    queue_.pop_front();
+    ++received_;
+  }
+  not_full_.notify_one();
+  return record;
+}
+
+void Channel::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool Channel::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+size_t Channel::size() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+uint64_t Channel::sent() const {
+  std::lock_guard lock(mutex_);
+  return sent_;
+}
+
+uint64_t Channel::received() const {
+  std::lock_guard lock(mutex_);
+  return received_;
+}
+
+}  // namespace ff::stream

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "stream/data.hpp"
+
+namespace ff::stream {
+
+/// A bounded multi-producer/multi-consumer channel of Records — the
+/// in-process stand-in for the event-transport middleware the paper's
+/// Fig. 5 workflow rides on (EVPath lineage). Blocking semantics with
+/// backpressure: producers wait when the channel is full, consumers wait
+/// when it is empty, and close() drains cleanly (producers may no longer
+/// send; consumers see the remaining records, then nullopt).
+class Channel {
+ public:
+  explicit Channel(size_t capacity);
+
+  /// Blocking send. Returns false (without enqueueing) iff the channel was
+  /// closed while waiting.
+  bool send(Record record);
+
+  /// Non-blocking send: false when full or closed.
+  bool try_send(Record record);
+
+  /// Blocking receive; nullopt once the channel is closed AND drained.
+  std::optional<Record> receive();
+
+  /// Non-blocking receive; nullopt when currently empty (check closed()
+  /// to distinguish "not yet" from "never again").
+  std::optional<Record> try_receive();
+
+  void close();
+  bool closed() const;
+
+  size_t size() const;
+  size_t capacity() const noexcept { return capacity_; }
+
+  /// Lifetime counters (monotonic).
+  uint64_t sent() const;
+  uint64_t received() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Record> queue_;
+  bool closed_ = false;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+}  // namespace ff::stream

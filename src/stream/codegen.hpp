@@ -1,0 +1,31 @@
+#pragma once
+
+#include "skel/generator.hpp"
+#include "stream/data.hpp"
+
+namespace ff::stream {
+
+/// Model-driven generation of the *communication* half of the Fig. 5
+/// subgraph. Given a stream schema, emit the source of the collection and
+/// forwarding components (marshal/unmarshal glue plus channel plumbing).
+/// The selection policy is deliberately NOT generated — it is installed at
+/// runtime through the control channel — so "code which does not change
+/// often (the communication components)" is reused, while "code which
+/// needs to change at runtime (data scheduling)" stays late-bound.
+///
+/// Artifacts (paths relative to the generated component root):
+///   comm/<name>_marshal.cpp   per-field encode/decode glue
+///   comm/<name>_source.cpp    instrument-side collection loop
+///   comm/<name>_sink.cpp      consumer-side forwarding loop
+///   comm/README.md            regeneration notes
+std::vector<skel::Artifact> generate_comm_code(const StreamSchema& schema);
+
+/// The Skel model document the generator renders from (exposed for tests
+/// and for documenting the customization surface).
+Json comm_model(const StreamSchema& schema);
+
+/// Count the source lines of a generated artifact set (regeneration cost
+/// metric used by the Fig. 5 bench).
+size_t generated_loc(const std::vector<skel::Artifact>& artifacts);
+
+}  // namespace ff::stream

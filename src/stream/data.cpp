@@ -1,0 +1,54 @@
+#include "stream/data.hpp"
+
+#include "util/error.hpp"
+
+namespace ff::stream {
+
+std::string_view value_type_name(const Value& value) noexcept {
+  switch (value.index()) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "string";
+    case 3: return "double[]";
+  }
+  return "?";
+}
+
+core::SchemaDescriptor StreamSchema::to_descriptor() const {
+  core::SchemaDescriptor descriptor;
+  descriptor.name = name;
+  descriptor.version = version;
+  descriptor.container = "ffbin";
+  for (const Field& field : fields) {
+    descriptor.fields.push_back({field.name, field.type});
+  }
+  return descriptor;
+}
+
+StreamSchema StreamSchema::from_descriptor(const core::SchemaDescriptor& descriptor) {
+  StreamSchema schema;
+  schema.name = descriptor.name;
+  schema.version = descriptor.version;
+  for (const auto& field : descriptor.fields) {
+    schema.fields.push_back({field.name, field.type});
+  }
+  return schema;
+}
+
+void validate_record(const Record& record, const StreamSchema& schema) {
+  if (record.values.size() != schema.fields.size()) {
+    throw ValidationError("record for '" + schema.key() + "' has " +
+                          std::to_string(record.values.size()) + " values, schema has " +
+                          std::to_string(schema.fields.size()) + " fields");
+  }
+  for (size_t i = 0; i < record.values.size(); ++i) {
+    const std::string_view got = value_type_name(record.values[i]);
+    if (got != schema.fields[i].type) {
+      throw ValidationError("record field '" + schema.fields[i].name + "' is " +
+                            std::string(got) + ", schema says " +
+                            schema.fields[i].type);
+    }
+  }
+}
+
+}  // namespace ff::stream

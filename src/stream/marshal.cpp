@@ -1,0 +1,179 @@
+#include "stream/marshal.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace ff::stream {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'F', 'B', '1'};
+
+void put_u8(std::vector<uint8_t>& out, uint8_t value) { out.push_back(value); }
+
+void put_u32(std::vector<uint8_t>& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void put_f64(std::vector<uint8_t>& out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::vector<uint8_t>& out, const std::string& value) {
+  put_u32(out, static_cast<uint32_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool at_end() const { return offset_ >= bytes_.size(); }
+
+  uint8_t u8() {
+    need(1);
+    return bytes_[offset_++];
+  }
+  uint32_t u32() {
+    need(4);
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) value |= static_cast<uint32_t>(bytes_[offset_++]) << (8 * i);
+    return value;
+  }
+  uint64_t u64() {
+    need(8);
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) value |= static_cast<uint64_t>(bytes_[offset_++]) << (8 * i);
+    return value;
+  }
+  double f64() {
+    const uint64_t bits = u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+  std::string string() {
+    const uint32_t length = u32();
+    need(length);
+    std::string value(reinterpret_cast<const char*>(bytes_.data() + offset_), length);
+    offset_ += length;
+    return value;
+  }
+
+ private:
+  void need(size_t count) const {
+    if (offset_ + count > bytes_.size()) {
+      throw ParseError("ffbin: truncated stream at offset " + std::to_string(offset_));
+    }
+  }
+  const std::vector<uint8_t>& bytes_;
+  size_t offset_ = 0;
+};
+
+enum class Tag : uint8_t { Int = 1, Double = 2, String = 3, DoubleArray = 4 };
+
+Tag tag_for(const std::string& type) {
+  if (type == "int") return Tag::Int;
+  if (type == "double") return Tag::Double;
+  if (type == "string") return Tag::String;
+  if (type == "double[]") return Tag::DoubleArray;
+  throw ValidationError("ffbin: unsupported field type '" + type + "'");
+}
+
+}  // namespace
+
+Encoder::Encoder(StreamSchema schema) : schema_(std::move(schema)) {
+  for (char c : kMagic) buffer_.push_back(static_cast<uint8_t>(c));
+  put_string(buffer_, schema_.name);
+  put_u32(buffer_, static_cast<uint32_t>(schema_.version));
+  put_u32(buffer_, static_cast<uint32_t>(schema_.fields.size()));
+  for (const auto& field : schema_.fields) {
+    put_string(buffer_, field.name);
+    put_u8(buffer_, static_cast<uint8_t>(tag_for(field.type)));  // validates too
+    put_string(buffer_, field.type);
+  }
+}
+
+void Encoder::append(const Record& record) {
+  validate_record(record, schema_);
+  put_u64(buffer_, record.sequence);
+  put_f64(buffer_, record.timestamp);
+  put_u32(buffer_, static_cast<uint32_t>(record.values.size()));
+  for (const Value& value : record.values) {
+    put_u8(buffer_, static_cast<uint8_t>(value.index() + 1));
+    switch (value.index()) {
+      case 0: put_u64(buffer_, static_cast<uint64_t>(std::get<int64_t>(value))); break;
+      case 1: put_f64(buffer_, std::get<double>(value)); break;
+      case 2: put_string(buffer_, std::get<std::string>(value)); break;
+      case 3: {
+        const auto& array = std::get<std::vector<double>>(value);
+        put_u32(buffer_, static_cast<uint32_t>(array.size()));
+        for (double element : array) put_f64(buffer_, element);
+        break;
+      }
+    }
+  }
+  ++count_;
+}
+
+DecodedStream decode_stream(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(reader.u8());
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw ParseError("ffbin: bad magic");
+  }
+  DecodedStream out;
+  out.schema.name = reader.string();
+  out.schema.version = static_cast<int>(reader.u32());
+  const uint32_t field_count = reader.u32();
+  for (uint32_t i = 0; i < field_count; ++i) {
+    StreamSchema::Field field;
+    field.name = reader.string();
+    reader.u8();  // tag, redundant with the type string
+    field.type = reader.string();
+    out.schema.fields.push_back(std::move(field));
+  }
+  while (!reader.at_end()) {
+    Record record;
+    record.sequence = reader.u64();
+    record.timestamp = reader.f64();
+    const uint32_t value_count = reader.u32();
+    for (uint32_t i = 0; i < value_count; ++i) {
+      const uint8_t tag = reader.u8();
+      switch (static_cast<Tag>(tag)) {
+        case Tag::Int:
+          record.values.emplace_back(static_cast<int64_t>(reader.u64()));
+          break;
+        case Tag::Double:
+          record.values.emplace_back(reader.f64());
+          break;
+        case Tag::String:
+          record.values.emplace_back(reader.string());
+          break;
+        case Tag::DoubleArray: {
+          const uint32_t length = reader.u32();
+          std::vector<double> array;
+          array.reserve(length);
+          for (uint32_t j = 0; j < length; ++j) array.push_back(reader.f64());
+          record.values.emplace_back(std::move(array));
+          break;
+        }
+        default:
+          throw ParseError("ffbin: unknown type tag " + std::to_string(tag));
+      }
+    }
+    validate_record(record, out.schema);
+    out.records.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace ff::stream

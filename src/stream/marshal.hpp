@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/data.hpp"
+
+namespace ff::stream {
+
+/// Self-describing binary marshalling for stream records, in the spirit of
+/// FFS ("given sufficient data description and marshalling support,
+/// complete a priori knowledge is not necessary even in high-performance
+/// binary data exchanges" — paper Section V-C).
+///
+/// Wire layout (little-endian):
+///   stream header:  magic "FFB1", schema blob (name, version, fields)
+///   per record:     sequence u64, timestamp f64, field count u32,
+///                   then per field: type tag u8 + payload
+///
+/// A decoder needs only the bytes: the header reconstructs the schema, so
+/// a receiver compiled without the producer's schema can still unmarshal —
+/// that is what makes the communication components *generated, reusable*
+/// code rather than per-format hand work.
+class Encoder {
+ public:
+  explicit Encoder(StreamSchema schema);
+
+  /// Append one record (validated against the schema).
+  void append(const Record& record);
+
+  size_t records_encoded() const noexcept { return count_; }
+  /// The full stream so far (header + records).
+  const std::vector<uint8_t>& bytes() const noexcept { return buffer_; }
+
+ private:
+  StreamSchema schema_;
+  std::vector<uint8_t> buffer_;
+  size_t count_ = 0;
+};
+
+/// Decode a full stream produced by Encoder. Throws ParseError on any
+/// corruption (bad magic, truncation, unknown type tag).
+struct DecodedStream {
+  StreamSchema schema;
+  std::vector<Record> records;
+};
+DecodedStream decode_stream(const std::vector<uint8_t>& bytes);
+
+}  // namespace ff::stream

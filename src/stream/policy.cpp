@@ -1,0 +1,104 @@
+#include "stream/policy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ff::stream {
+
+SlidingWindowCountPolicy::SlidingWindowCountPolicy(size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw ValidationError("SlidingWindowCountPolicy: capacity must be > 0");
+  }
+}
+
+std::string SlidingWindowCountPolicy::name() const {
+  return "sliding-window-count(" + std::to_string(capacity_) + ")";
+}
+
+std::vector<Record> SlidingWindowCountPolicy::on_item(const Record& record) {
+  window_.push_back(record);
+  if (window_.size() > capacity_) window_.pop_front();
+  return {};
+}
+
+std::vector<Record> SlidingWindowCountPolicy::on_punctuation(const Json&) {
+  return {window_.begin(), window_.end()};
+}
+
+SlidingWindowTimePolicy::SlidingWindowTimePolicy(double horizon) : horizon_(horizon) {
+  if (horizon <= 0) throw ValidationError("SlidingWindowTimePolicy: horizon must be > 0");
+}
+
+std::string SlidingWindowTimePolicy::name() const {
+  return "sliding-window-time(" + std::to_string(horizon_) + "s)";
+}
+
+std::vector<Record> SlidingWindowTimePolicy::on_item(const Record& record) {
+  window_.push_back(record);
+  const double cutoff = record.timestamp - horizon_;
+  while (!window_.empty() && window_.front().timestamp < cutoff) {
+    window_.pop_front();
+  }
+  return {};
+}
+
+std::vector<Record> SlidingWindowTimePolicy::on_punctuation(const Json&) {
+  return {window_.begin(), window_.end()};
+}
+
+DirectSelectionPolicy::DirectSelectionPolicy(size_t max_queue)
+    : max_queue_(max_queue) {
+  if (max_queue == 0) throw ValidationError("DirectSelectionPolicy: max_queue > 0");
+}
+
+std::vector<Record> DirectSelectionPolicy::on_item(const Record& record) {
+  queue_.push_back(record);
+  if (queue_.size() > max_queue_) queue_.pop_front();  // bounded: drop oldest
+  return {};
+}
+
+std::vector<Record> DirectSelectionPolicy::on_punctuation(const Json& argument) {
+  std::vector<Record> released;
+  if (!argument.is_object()) return released;
+  if (argument.get_or("flush", false)) {
+    released.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    return released;
+  }
+  if (argument.contains("drop_before")) {
+    const auto cutoff = static_cast<uint64_t>(argument["drop_before"].as_int());
+    while (!queue_.empty() && queue_.front().sequence < cutoff) queue_.pop_front();
+  }
+  if (argument.contains("select")) {
+    for (const Json& wanted : argument["select"].as_array()) {
+      const auto sequence = static_cast<uint64_t>(wanted.as_int());
+      auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Record& r) {
+        return r.sequence == sequence;
+      });
+      if (it != queue_.end()) {
+        released.push_back(*it);
+        queue_.erase(it);
+      }
+    }
+  }
+  return released;
+}
+
+SampleEveryNPolicy::SampleEveryNPolicy(size_t stride) : stride_(stride) {
+  if (stride == 0) throw ValidationError("SampleEveryNPolicy: stride must be > 0");
+}
+
+std::string SampleEveryNPolicy::name() const {
+  return "sample-every(" + std::to_string(stride_) + ")";
+}
+
+std::vector<Record> SampleEveryNPolicy::on_item(const Record& record) {
+  const bool take = (seen_ % stride_) == 0;
+  ++seen_;
+  if (take) return {record};
+  return {};
+}
+
+}  // namespace ff::stream

@@ -1,0 +1,142 @@
+#include "stream/scheduler.hpp"
+
+#include "util/error.hpp"
+
+namespace ff::stream {
+
+void DataScheduler::install_queue(const std::string& queue,
+                                  std::unique_ptr<SelectionPolicy> policy) {
+  if (!policy) throw ValidationError("install_queue: null policy");
+  if (queues_.count(queue)) {
+    throw ValidationError("install_queue: queue '" + queue + "' already exists");
+  }
+  VirtualQueue entry;
+  entry.policy = std::move(policy);
+  queues_.emplace(queue, std::move(entry));
+}
+
+void DataScheduler::remove_queue(const std::string& queue) {
+  if (queues_.erase(queue) == 0) {
+    throw NotFoundError("remove_queue: no queue '" + queue + "'");
+  }
+}
+
+bool DataScheduler::has_queue(const std::string& queue) const noexcept {
+  return queues_.count(queue) > 0;
+}
+
+std::vector<std::string> DataScheduler::queue_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : queues_) names.push_back(name);
+  return names;
+}
+
+DataScheduler::VirtualQueue& DataScheduler::require(const std::string& queue) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) throw NotFoundError("no queue '" + queue + "'");
+  return it->second;
+}
+
+const DataScheduler::VirtualQueue& DataScheduler::require(
+    const std::string& queue) const {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) throw NotFoundError("no queue '" + queue + "'");
+  return it->second;
+}
+
+void DataScheduler::set_active(const std::string& queue, bool active) {
+  require(queue).active = active;
+}
+
+bool DataScheduler::is_active(const std::string& queue) const {
+  return require(queue).active;
+}
+
+void DataScheduler::subscribe(Consumer consumer) {
+  if (!consumer) throw ValidationError("subscribe: null consumer");
+  consumers_.push_back(std::move(consumer));
+}
+
+void DataScheduler::deliver(const std::string& queue, VirtualQueue& entry,
+                            std::vector<Record> released) {
+  entry.stats.releases += released.size();
+  for (const Record& record : released) {
+    for (const Consumer& consumer : consumers_) consumer(queue, record);
+  }
+}
+
+void DataScheduler::publish(const Record& record) {
+  for (auto& [name, entry] : queues_) {
+    if (!entry.active) continue;
+    ++entry.stats.arrivals;
+    deliver(name, entry, entry.policy->on_item(record));
+  }
+}
+
+void DataScheduler::control(const std::string& queue, const Json& argument) {
+  VirtualQueue& entry = require(queue);
+  deliver(queue, entry, entry.policy->on_punctuation(argument));
+}
+
+void DataScheduler::punctuate(const Json& argument) {
+  for (auto& [name, entry] : queues_) {
+    if (!entry.active) continue;
+    deliver(name, entry, entry.policy->on_punctuation(argument));
+  }
+}
+
+DataScheduler::QueueStats DataScheduler::stats(const std::string& queue) const {
+  return require(queue).stats;
+}
+
+PolicyFactory PolicyFactory::with_builtins() {
+  PolicyFactory factory;
+  factory.register_kind("forward-all", [](const Json&) {
+    return std::make_unique<ForwardAllPolicy>();
+  });
+  factory.register_kind("sliding-window-count", [](const Json& args) {
+    return std::make_unique<SlidingWindowCountPolicy>(
+        static_cast<size_t>(args["capacity"].as_int()));
+  });
+  factory.register_kind("sliding-window-time", [](const Json& args) {
+    return std::make_unique<SlidingWindowTimePolicy>(args["horizon"].as_double());
+  });
+  factory.register_kind("direct-selection", [](const Json& args) {
+    return std::make_unique<DirectSelectionPolicy>(
+        static_cast<size_t>(args.get_or("max_queue", int64_t{4096})));
+  });
+  factory.register_kind("sample-every", [](const Json& args) {
+    return std::make_unique<SampleEveryNPolicy>(
+        static_cast<size_t>(args["stride"].as_int()));
+  });
+  return factory;
+}
+
+void PolicyFactory::register_kind(const std::string& kind, Builder builder) {
+  if (!builder) throw ValidationError("register_kind: null builder");
+  builders_[kind] = std::move(builder);
+}
+
+bool PolicyFactory::knows(const std::string& kind) const noexcept {
+  return builders_.count(kind) > 0;
+}
+
+std::unique_ptr<SelectionPolicy> PolicyFactory::build(const std::string& kind,
+                                                      const Json& args) const {
+  auto it = builders_.find(kind);
+  if (it == builders_.end()) {
+    throw NotFoundError("PolicyFactory: unknown policy kind '" + kind + "'");
+  }
+  return it->second(args);
+}
+
+void PolicyFactory::handle_install(DataScheduler& scheduler,
+                                   const Json& message) const {
+  const Json& install = message["install"];
+  const std::string queue = install["queue"].as_string();
+  const std::string kind = install["kind"].as_string();
+  const Json args = install.contains("args") ? install["args"] : Json::object();
+  scheduler.install_queue(queue, build(kind, args));
+}
+
+}  // namespace ff::stream

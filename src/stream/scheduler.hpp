@@ -1,0 +1,98 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/policy.hpp"
+
+namespace ff::stream {
+
+/// The data-scheduling component of the Fig. 5 workflow: sits between the
+/// instrument (source) and downstream consumers, implementing a set of
+/// *virtual data queues* — "the data scheduler implements a number of
+/// virtual data queues, each defined by its own selection policy".
+///
+/// - publish() feeds a record to every installed queue's policy.
+/// - control() delivers a punctuation/control message, either to one queue
+///   or broadcast; it can also *install* and *activate* policies at
+///   runtime, including policies "unknown at code-generation time"
+///   (registered in the PolicyFactory below).
+/// - Consumers subscribe per queue; releases are delivered synchronously.
+class DataScheduler {
+ public:
+  using Consumer = std::function<void(const std::string& queue, const Record&)>;
+
+  /// Install a virtual queue with a policy. Active on install.
+  void install_queue(const std::string& queue, std::unique_ptr<SelectionPolicy> policy);
+  void remove_queue(const std::string& queue);
+  bool has_queue(const std::string& queue) const noexcept;
+  std::vector<std::string> queue_names() const;
+
+  /// Selectively enable/disable a queue ("policies can be selectively
+  /// invoked using input from the control channel").
+  void set_active(const std::string& queue, bool active);
+  bool is_active(const std::string& queue) const;
+
+  void subscribe(Consumer consumer);
+
+  /// Feed one record from the instrument into all active queues.
+  void publish(const Record& record);
+
+  /// Control-channel message for one queue (punctuation argument forwarded
+  /// to its policy).
+  void control(const std::string& queue, const Json& argument);
+  /// Broadcast punctuation to every active queue.
+  void punctuate(const Json& argument);
+
+  struct QueueStats {
+    uint64_t arrivals = 0;
+    uint64_t releases = 0;
+  };
+  QueueStats stats(const std::string& queue) const;
+
+ private:
+  struct VirtualQueue {
+    std::unique_ptr<SelectionPolicy> policy;
+    bool active = true;
+    QueueStats stats;
+  };
+
+  void deliver(const std::string& queue, VirtualQueue& entry,
+               std::vector<Record> released);
+  VirtualQueue& require(const std::string& queue);
+  const VirtualQueue& require(const std::string& queue) const;
+
+  std::map<std::string, VirtualQueue> queues_;
+  std::vector<Consumer> consumers_;
+};
+
+/// Registry for policies that arrive *after* code generation: a remote
+/// steering process names a policy kind plus arguments, and the factory
+/// builds it. This is the runtime-specialization half of Section V-C.
+class PolicyFactory {
+ public:
+  using Builder = std::function<std::unique_ptr<SelectionPolicy>(const Json& args)>;
+
+  /// A factory preloaded with the built-in policies:
+  /// forward-all, sliding-window-count {capacity}, sliding-window-time
+  /// {horizon}, direct-selection {max_queue?}, sample-every {stride}.
+  static PolicyFactory with_builtins();
+
+  void register_kind(const std::string& kind, Builder builder);
+  bool knows(const std::string& kind) const noexcept;
+  std::unique_ptr<SelectionPolicy> build(const std::string& kind,
+                                         const Json& args) const;
+
+  /// Handle a control-channel install message:
+  ///   {"install": {"queue": "q", "kind": "sliding-window-count",
+  ///                "args": {"capacity": 8}}}
+  void handle_install(DataScheduler& scheduler, const Json& message) const;
+
+ private:
+  std::map<std::string, Builder> builders_;
+};
+
+}  // namespace ff::stream

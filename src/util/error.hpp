@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ff {
+
+/// Base exception for all fairflow errors. Every library in this repo throws
+/// a subclass of Error so callers can catch the whole family at API
+/// boundaries without catching unrelated std exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input text (JSON, CSV, templates, model files).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, size_t line, size_t column)
+      : Error(what + " at line " + std::to_string(line) + ", column " +
+              std::to_string(column)),
+        line_(line),
+        column_(column) {}
+  explicit ParseError(const std::string& what) : Error(what), line_(0), column_(0) {}
+
+  size_t line() const noexcept { return line_; }
+  size_t column() const noexcept { return column_; }
+
+ private:
+  size_t line_;
+  size_t column_;
+};
+
+/// A lookup (key, path, id) that failed.
+class NotFoundError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An operation that is invalid in the current state (e.g. submitting a
+/// campaign twice, reading a port that was never bound).
+class StateError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A value that fails validation against a schema or model constraint.
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// I/O failures surfaced from the host filesystem.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace ff

@@ -1,0 +1,62 @@
+#include "util/fs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ff {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  const fs::path parent = fs::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << content;
+  if (!out) throw IoError("write failed: " + path);
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const fs::path base = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    fs::path candidate =
+        base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec)) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw IoError("TempDir: could not create a unique scratch directory");
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort; never throw from a destructor
+}
+
+std::vector<std::string> list_files(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace ff

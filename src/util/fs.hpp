@@ -1,0 +1,38 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace ff {
+
+/// Read an entire file into a string (throws IoError).
+std::string read_file(const std::string& path);
+
+/// Write `content` to `path`, creating parent directories (throws IoError).
+void write_file(const std::string& path, const std::string& content);
+
+/// Create a unique scratch directory under the system temp dir. The
+/// directory (and everything in it) is removed when the object dies —
+/// tests and benches use this for real on-disk workflow artifacts.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "fairflow");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+  std::string str() const { return path_.string(); }
+  /// Path of a child entry.
+  std::string file(const std::string& name) const { return (path_ / name).string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Sorted list of regular files directly under `dir` (names, not paths).
+std::vector<std::string> list_files(const std::string& dir);
+
+}  // namespace ff

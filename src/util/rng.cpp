@@ -1,0 +1,77 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ff {
+
+uint64_t Rng::below(uint64_t n) {
+  if (n == 0) throw Error("Rng::below: n must be positive");
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  while (true) {
+    uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::range(int64_t lo, int64_t hi) {
+  if (lo > hi) throw Error("Rng::range: lo > hi");
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(below(span));
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw Error("Rng::exponential: mean must be positive");
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::pareto(double xm, double alpha) {
+  if (xm <= 0.0 || alpha <= 0.0) throw Error("Rng::pareto: xm, alpha must be positive");
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) throw Error("Rng::weighted_index: all weights are zero");
+  double target = uniform() * total;
+  double cumulative = 0.0;
+  size_t last_positive = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    cumulative += weights[i];
+    last_positive = i;
+    if (target < cumulative) return i;
+  }
+  return last_positive;  // guards against floating-point edge at target==total
+}
+
+}  // namespace ff

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ff {
+
+/// splitmix64 — used to seed the main generator and as a cheap stateless
+/// hash for deterministic per-entity seeds (node ids, run ids, ...).
+constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256++ — fast, high-quality, deterministic across platforms.
+/// Satisfies UniformRandomBitGenerator so it works with <random>
+/// distributions, but we provide our own distribution helpers because the
+/// libstdc++ distributions are not bit-reproducible across versions and this
+/// repo's simulations must be.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() {
+    const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t below(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi);
+
+  /// Standard normal via Marsaglia polar method (deterministic).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean (inverse-CDF, deterministic).
+  double exponential(double mean);
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Pareto (heavy tail) with scale xm > 0 and shape alpha > 0 — used for
+  /// straggler run-time models.
+  double pareto(double xm, double alpha);
+
+  /// Sample an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive weights are treated as zero; throws if all are zero.
+  size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A new Rng deterministically derived from this one's seed lineage and a
+  /// stream id; lets parallel entities own independent streams.
+  Rng fork(uint64_t stream) {
+    return Rng(splitmix64(state_[0] ^ splitmix64(stream ^ 0xa5a5a5a5a5a5a5a5ULL)));
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace ff

@@ -1,0 +1,159 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - m) * (x - m);
+  return m2 / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw Error("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw Error("percentile: p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw Error("pearson: size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+OlsFit ols(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw Error("ols: size mismatch");
+  if (xs.size() < 2) throw Error("ols: need at least two points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  OlsFit fit;
+  fit.slope = (sxx == 0.0) ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (sxx == 0.0 || syy == 0.0) ? 0.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw Error("Histogram: hi must exceed lo");
+  if (bins == 0) throw Error("Histogram: need at least one bin");
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<long>((x - lo_) / width);
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::render(size_t max_width) const {
+  size_t peak = 1;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out += pad_left(format_fixed(bin_lo(i), 2), 10);
+    out += " .. ";
+    out += pad_left(format_fixed(bin_hi(i), 2), 10);
+    out += " | ";
+    const size_t bar = counts_[i] * max_width / peak;
+    out.append(bar, '#');
+    out += " " + std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ff

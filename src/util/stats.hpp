@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ff {
+
+/// Streaming accumulator (Welford) — numerically stable mean/variance
+/// without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance (n-1)
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+
+/// Pearson correlation; returns 0 when either side has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least squares y = a + b*x; returns {intercept, slope, r2}.
+struct OlsFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+OlsFit ols(std::span<const double> xs, std::span<const double> ys);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside clamp to
+/// the edge bins. Used by benches to print distribution sketches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+  void add(double x);
+  size_t bin_count() const noexcept { return counts_.size(); }
+  size_t count(size_t bin) const { return counts_.at(bin); }
+  size_t total() const noexcept { return total_; }
+  double bin_lo(size_t bin) const;
+  double bin_hi(size_t bin) const;
+  /// Render as rows of "lo..hi | #### count" for terminal output.
+  std::string render(size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace ff

@@ -1,0 +1,262 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff {
+
+Table::Table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {}
+
+size_t Table::column_index(std::string_view name) const {
+  auto it = std::find(columns_.begin(), columns_.end(), name);
+  if (it == columns_.end()) {
+    throw NotFoundError("Table: no column '" + std::string(name) + "'");
+  }
+  return static_cast<size_t>(it - columns_.begin());
+}
+
+bool Table::has_column(std::string_view name) const noexcept {
+  return std::find(columns_.begin(), columns_.end(), name) != columns_.end();
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != columns_.size()) {
+    throw ValidationError("Table: row has " + std::to_string(row.size()) +
+                          " fields, expected " + std::to_string(columns_.size()));
+  }
+  cells_.push_back(std::move(row));
+}
+
+const std::string& Table::cell(size_t row, size_t col) const {
+  return cells_.at(row).at(col);
+}
+
+std::string& Table::cell(size_t row, size_t col) { return cells_.at(row).at(col); }
+
+const std::string& Table::cell(size_t row, std::string_view column) const {
+  return cells_.at(row).at(column_index(column));
+}
+
+const std::vector<std::string>& Table::row(size_t index) const {
+  return cells_.at(index);
+}
+
+std::vector<std::string> Table::column(std::string_view name) const {
+  const size_t index = column_index(name);
+  std::vector<std::string> out;
+  out.reserve(rows());
+  for (const auto& row : cells_) out.push_back(row[index]);
+  return out;
+}
+
+std::vector<double> Table::column_as_double(std::string_view name) const {
+  const size_t index = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows());
+  for (const auto& row : cells_) {
+    const std::string& text = row[index];
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || text.empty()) {
+      throw ParseError("Table: non-numeric cell '" + text + "' in column '" +
+                       std::string(name) + "'");
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+void Table::add_column(std::string name, const std::string& fill) {
+  if (has_column(name)) {
+    throw ValidationError("Table: duplicate column '" + name + "'");
+  }
+  columns_.push_back(std::move(name));
+  for (auto& row : cells_) row.push_back(fill);
+}
+
+void Table::paste(const Table& other) {
+  if (other.rows() != rows()) {
+    throw ValidationError("Table::paste: row count mismatch (" +
+                          std::to_string(rows()) + " vs " +
+                          std::to_string(other.rows()) + ")");
+  }
+  for (const auto& name : other.columns_) {
+    if (has_column(name)) {
+      throw ValidationError("Table::paste: duplicate column '" + name + "'");
+    }
+  }
+  columns_.insert(columns_.end(), other.columns_.begin(), other.columns_.end());
+  for (size_t r = 0; r < rows(); ++r) {
+    cells_[r].insert(cells_[r].end(), other.cells_[r].begin(), other.cells_[r].end());
+  }
+}
+
+Table Table::select(const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) indices.push_back(column_index(name));
+  Table out(names);
+  for (const auto& row : cells_) {
+    std::vector<std::string> picked;
+    picked.reserve(indices.size());
+    for (size_t index : indices) picked.push_back(row[index]);
+    out.add_row(std::move(picked));
+  }
+  return out;
+}
+
+Table Table::slice_rows(size_t begin, size_t end) const {
+  if (begin > end || end > rows()) throw ValidationError("Table::slice_rows: bad range");
+  Table out(columns_);
+  for (size_t r = begin; r < end; ++r) out.add_row(cells_[r]);
+  return out;
+}
+
+namespace {
+
+bool needs_quoting(std::string_view field, char sep) {
+  return field.find_first_of(std::string{sep, '"', '\n', '\r'}) != std::string_view::npos;
+}
+
+void append_field(std::string& out, std::string_view field, char sep) {
+  if (!needs_quoting(field, sep)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+/// Parse one CSV record starting at `pos`; returns fields and advances pos
+/// past the record's newline. Handles quoted fields with embedded newlines.
+std::vector<std::string> parse_record(std::string_view text, size_t& pos, char sep,
+                                      size_t line_number) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool quoted_field = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field += '"';
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field += c;
+        ++pos;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !quoted_field) {
+      in_quotes = true;
+      quoted_field = true;
+      ++pos;
+      continue;
+    }
+    if (c == sep) {
+      fields.push_back(std::move(field));
+      field.clear();
+      quoted_field = false;
+      ++pos;
+      continue;
+    }
+    if (c == '\r') {
+      ++pos;
+      if (pos < text.size() && text[pos] == '\n') ++pos;
+      fields.push_back(std::move(field));
+      return fields;
+    }
+    if (c == '\n') {
+      ++pos;
+      fields.push_back(std::move(field));
+      return fields;
+    }
+    field += c;
+    ++pos;
+  }
+  if (in_quotes) {
+    throw ParseError("CSV: unterminated quoted field", line_number, 1);
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+Table read_csv(std::string_view text, const CsvOptions& options) {
+  size_t pos = 0;
+  size_t line = 1;
+  if (text.empty()) return Table{};
+  std::vector<std::string> header = parse_record(text, pos, options.separator, line);
+  if (options.trim_fields) {
+    for (auto& h : header) h = std::string(trim(h));
+  }
+  Table table(std::move(header));
+  while (pos < text.size()) {
+    ++line;
+    std::vector<std::string> fields = parse_record(text, pos, options.separator, line);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (options.trim_fields) {
+      for (auto& f : fields) f = std::string(trim(f));
+    }
+    if (fields.size() != table.cols()) {
+      throw ParseError("CSV: record has " + std::to_string(fields.size()) +
+                           " fields, expected " + std::to_string(table.cols()),
+                       line, 1);
+    }
+    table.add_row(std::move(fields));
+  }
+  return table;
+}
+
+Table read_csv_file(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_csv(buffer.str(), options);
+}
+
+std::string write_csv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const auto& names = table.column_names();
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (c > 0) out += options.separator;
+    append_field(out, names[c], options.separator);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.rows(); ++r) {
+    const auto& row = table.row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += options.separator;
+      append_field(out, row[c], options.separator);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_csv_file(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << write_csv(table, options);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace ff

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ff {
+
+/// A rectangular table of string cells with named columns. This is the
+/// common currency of the GWAS data-wrangling code paths (Section II-A of
+/// the paper): genotype matrices, phenotype tables, annotation files all
+/// round-trip through it in CSV/TSV form.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> column_names);
+
+  size_t rows() const noexcept { return cells_.size(); }
+  size_t cols() const noexcept { return columns_.size(); }
+
+  const std::vector<std::string>& column_names() const noexcept { return columns_; }
+  /// Index of a named column; throws NotFoundError.
+  size_t column_index(std::string_view name) const;
+  bool has_column(std::string_view name) const noexcept;
+
+  /// Append a row; must match cols(). Throws ValidationError otherwise.
+  void add_row(std::vector<std::string> row);
+
+  const std::string& cell(size_t row, size_t col) const;
+  std::string& cell(size_t row, size_t col);
+  const std::string& cell(size_t row, std::string_view column) const;
+
+  const std::vector<std::string>& row(size_t index) const;
+
+  /// Entire column as strings / doubles (throws ParseError on non-numeric).
+  std::vector<std::string> column(std::string_view name) const;
+  std::vector<double> column_as_double(std::string_view name) const;
+
+  /// Add a column filled with `fill` (or value computed per row later).
+  void add_column(std::string name, const std::string& fill = "");
+
+  /// Column-wise concatenation: append all of `other`'s columns. Row counts
+  /// must match — this is the core "paste" semantic from Section V-A.
+  void paste(const Table& other);
+
+  /// New table with only the named columns, in the given order.
+  Table select(const std::vector<std::string>& names) const;
+
+  /// New table with rows [begin, end).
+  Table slice_rows(size_t begin, size_t end) const;
+
+  bool operator==(const Table& other) const = default;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// CSV/TSV (de)serialization. Quoting follows RFC 4180: fields containing
+/// the separator, quotes, or newlines are double-quoted, embedded quotes
+/// doubled. A header row is always present.
+struct CsvOptions {
+  char separator = ',';
+  bool trim_fields = false;
+};
+
+Table read_csv(std::string_view text, const CsvOptions& options = {});
+Table read_csv_file(const std::string& path, const CsvOptions& options = {});
+std::string write_csv(const Table& table, const CsvOptions& options = {});
+void write_csv_file(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace ff

@@ -1,0 +1,66 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ff {
+
+ThreadPool::ThreadPool(size_t workers) {
+  const size_t count = std::max<size_t>(1, workers);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void parallel_for(ThreadPool& pool, size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t chunks = std::min(n, pool.worker_count() * 4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + n * c / chunks;
+    const size_t hi = begin + n * (c + 1) / chunks;
+    futures.push_back(pool.submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& future : futures) future.get();  // rethrows task exceptions
+}
+
+}  // namespace ff

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ff {
+
+/// A fixed-size worker pool. Used by the Savanna local executor to run real
+/// tasks (iRF fits, paste jobs) concurrently, and by parallel_for below.
+/// Exceptions thrown by tasks propagate through the returned futures.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t workers = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Block until every queued and running task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [begin, end) across the pool; rethrows the first task
+/// exception. With a single-worker pool this degrades to a serial loop, so
+/// results stay deterministic on one-core hosts.
+void parallel_for(ThreadPool& pool, size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn);
+
+}  // namespace ff

@@ -1,0 +1,117 @@
+#include "cheetah/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cheetah/manifest.hpp"
+#include "util/error.hpp"
+
+namespace ff::cheetah {
+namespace {
+
+Campaign irf_campaign() {
+  AppSpec app;
+  app.name = "irf";
+  app.executable = "irf_fit";
+  app.args_template = "--feature {{feature}} --trees {{trees}}";
+  Campaign campaign("irf-loop-census", app);
+  campaign.set_machine("summit").set_objective(Objective::MaximizeThroughput);
+  Sweep sweep("features");
+  sweep.add(Parameter::int_range("feature", ParamLayer::Application, 0, 4))
+      .add(Parameter::values("trees", ParamLayer::Application, {Json(100)}));
+  SweepGroup group("all-features");
+  group.add(std::move(sweep)).set_nodes(20).set_walltime_s(7200);
+  campaign.add_group(std::move(group));
+  return campaign;
+}
+
+TEST(Campaign, BasicComposition) {
+  const Campaign campaign = irf_campaign();
+  EXPECT_EQ(campaign.total_runs(), 5u);
+  EXPECT_EQ(campaign.machine(), "summit");
+  EXPECT_EQ(campaign.objective(), Objective::MaximizeThroughput);
+  EXPECT_EQ(campaign.group("all-features").nodes(), 20);
+  EXPECT_THROW(campaign.group("nope"), NotFoundError);
+}
+
+TEST(Campaign, ConstructionValidates) {
+  AppSpec app;
+  app.name = "x";
+  app.executable = "";
+  EXPECT_THROW(Campaign("c", app), ValidationError);
+  app.executable = "exe";
+  EXPECT_THROW(Campaign("", app), ValidationError);
+  Campaign campaign("c", app);
+  campaign.add_group(SweepGroup("g"));
+  EXPECT_THROW(campaign.add_group(SweepGroup("g")), ValidationError);
+}
+
+TEST(Campaign, CommandForInstantiatesArgsTemplate) {
+  const Campaign campaign = irf_campaign();
+  const auto runs = campaign.group("all-features").generate();
+  EXPECT_EQ(campaign.command_for(runs[3]), "irf_fit --feature 3 --trees 100");
+}
+
+TEST(Campaign, CommandForWithoutTemplateIsExecutable) {
+  AppSpec app;
+  app.name = "x";
+  app.executable = "justrun";
+  Campaign campaign("c", app);
+  EXPECT_EQ(campaign.command_for(RunSpec{}), "justrun");
+}
+
+TEST(Campaign, JsonRoundTrip) {
+  const Campaign campaign = irf_campaign();
+  const Campaign reparsed = Campaign::from_json(campaign.to_json());
+  EXPECT_EQ(reparsed.name(), campaign.name());
+  EXPECT_EQ(reparsed.total_runs(), campaign.total_runs());
+  EXPECT_EQ(reparsed.machine(), "summit");
+  EXPECT_EQ(reparsed.objective(), Objective::MaximizeThroughput);
+  EXPECT_EQ(reparsed.app().args_template, campaign.app().args_template);
+}
+
+TEST(Objective, NamesRoundTrip) {
+  for (Objective objective :
+       {Objective::None, Objective::MinimizeRuntime, Objective::MinimizeStorage,
+        Objective::MinimizeCommunication, Objective::MaximizeThroughput}) {
+    EXPECT_EQ(objective_from_name(objective_name(objective)), objective);
+  }
+  EXPECT_THROW(objective_from_name("maximize-fun"), NotFoundError);
+}
+
+TEST(Manifest, ValidCampaignPassesSchema) {
+  EXPECT_NO_THROW(validate_manifest(to_manifest(irf_campaign())));
+}
+
+TEST(Manifest, RoundTripThroughManifest) {
+  const Json manifest = to_manifest(irf_campaign());
+  const Campaign back = campaign_from_manifest(manifest);
+  EXPECT_EQ(back.total_runs(), 5u);
+  EXPECT_EQ(back.group("all-features").walltime_s(), 7200);
+}
+
+TEST(Manifest, RejectsMalformedDocuments) {
+  EXPECT_THROW(validate_manifest(Json::parse("{}")), ValidationError);
+  // Missing group name.
+  Json manifest = to_manifest(irf_campaign());
+  manifest["groups"].as_array()[0].as_object().erase("name");
+  EXPECT_THROW(validate_manifest(manifest), ValidationError);
+}
+
+TEST(Manifest, RejectsEmptyParameterValues) {
+  Json manifest = to_manifest(irf_campaign());
+  manifest["groups"][size_t{0}]["sweeps"][size_t{0}]["parameters"][size_t{0}]
+          ["values"] = Json::array();
+  EXPECT_THROW(validate_manifest(manifest), ValidationError);
+}
+
+TEST(Manifest, HandEditedManifestStillExecutable) {
+  // The interop layer's promise: a manifest edited by another tool (or a
+  // human) revalidates on the way into Savanna.
+  Json manifest = to_manifest(irf_campaign());
+  manifest["machine"] = "institutional";
+  const Campaign campaign = campaign_from_manifest(manifest);
+  EXPECT_EQ(campaign.machine(), "institutional");
+}
+
+}  // namespace
+}  // namespace ff::cheetah

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "cheetah/campaign.hpp"
+#include "util/error.hpp"
+
+namespace ff::cheetah {
+namespace {
+
+TEST(DerivedParameters, RenderAgainstSweptValues) {
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("feature", ParamLayer::Application, 0, 2))
+      .add_derived("output", "out_{{feature}}.bp");
+  const auto runs = sweep.generate();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].param("output").as_string(), "out_0.bp");
+  EXPECT_EQ(runs[2].param("output").as_string(), "out_2.bp");
+}
+
+TEST(DerivedParameters, IntegerResultsBecomeInts) {
+  Sweep sweep("s");
+  sweep.add(Parameter::values("nodes", ParamLayer::System, {Json(2), Json(4)}))
+      .add_derived("ranks", "{{nodes}}2");  // textual relation: nodes*10+2 style
+  const auto runs = sweep.generate();
+  EXPECT_TRUE(runs[0].param("ranks").is_int());
+  EXPECT_EQ(runs[0].param("ranks").as_int(), 22);
+  EXPECT_EQ(runs[1].param("ranks").as_int(), 42);
+}
+
+TEST(DerivedParameters, ChainedDerivedSeeEarlierOnes) {
+  Sweep sweep("s");
+  sweep.add(Parameter::values("base", ParamLayer::Application, {Json("x")}))
+      .add_derived("dir", "runs/{{base}}")
+      .add_derived("file", "{{dir}}/out.dat");
+  const auto runs = sweep.generate();
+  EXPECT_EQ(runs[0].param("file").as_string(), "runs/x/out.dat");
+}
+
+TEST(DerivedParameters, CollisionsAndBadTemplatesRejected) {
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("a", ParamLayer::Application, 0, 1));
+  EXPECT_THROW(sweep.add_derived("a", "{{a}}"), ValidationError);
+  sweep.add_derived("b", "{{a}}");
+  EXPECT_THROW(sweep.add_derived("b", "other"), ValidationError);
+  EXPECT_THROW(sweep.add_derived("c", "{{unclosed"), ParseError);
+}
+
+TEST(DerivedParameters, UnknownVariableFailsAtGenerate) {
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("a", ParamLayer::Application, 0, 1));
+  sweep.add_derived("bad", "{{missing}}");
+  EXPECT_THROW(sweep.generate(), ValidationError);
+}
+
+TEST(DerivedParameters, SurviveJsonRoundTrip) {
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("n", ParamLayer::System, 1, 2))
+      .add_derived("label", "cfg-{{n}}");
+  const Sweep reparsed = Sweep::from_json(sweep.to_json());
+  const auto runs = reparsed.generate();
+  EXPECT_EQ(runs[1].param("label").as_string(), "cfg-2");
+}
+
+TEST(DerivedParameters, CountedInCampaignCommands) {
+  // Derived parameters are usable in the app args template like any other.
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("nodes", ParamLayer::System, 2, 2))
+      .add_derived("ranks", "{{nodes}}0");
+  AppSpec app;
+  app.name = "sim";
+  app.executable = "sim";
+  app.args_template = "-n {{ranks}}";
+  Campaign campaign("c", app);
+  SweepGroup group("g");
+  group.add(std::move(sweep));
+  campaign.add_group(std::move(group));
+  const auto runs = campaign.group("g").generate();
+  EXPECT_EQ(campaign.command_for(runs[0]), "sim -n 20");
+}
+
+}  // namespace
+}  // namespace ff::cheetah

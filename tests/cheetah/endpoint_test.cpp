@@ -1,0 +1,117 @@
+#include "cheetah/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::cheetah {
+namespace {
+
+Campaign small_campaign() {
+  AppSpec app;
+  app.name = "toy";
+  app.executable = "toy_exe";
+  app.args_template = "--x {{x}}";
+  Campaign campaign("toy-campaign", app);
+  Sweep sweep("xs");
+  sweep.add(Parameter::int_range("x", ParamLayer::Application, 0, 3));
+  SweepGroup group("g1");
+  group.add(std::move(sweep));
+  campaign.add_group(std::move(group));
+  return campaign;
+}
+
+TEST(CampaignEndpoint, CreateBuildsDirectorySchema) {
+  TempDir dir;
+  const CampaignEndpoint endpoint =
+      CampaignEndpoint::create(small_campaign(), dir.str());
+  namespace fs = std::filesystem;
+  EXPECT_TRUE(fs::exists(dir.file("toy-campaign/.campaign/manifest.json")));
+  EXPECT_TRUE(fs::exists(dir.file("toy-campaign/.campaign/status.json")));
+  EXPECT_TRUE(fs::exists(dir.file("toy-campaign/g1/xs/run-0000/params.json")));
+  EXPECT_TRUE(fs::exists(dir.file("toy-campaign/g1/xs/run-0003/run.sh")));
+  const std::string script = read_file(dir.file("toy-campaign/g1/xs/run-0002/run.sh"));
+  EXPECT_NE(script.find("toy_exe --x 2"), std::string::npos);
+}
+
+TEST(CampaignEndpoint, CreateRefusesExistingEndpoint) {
+  TempDir dir;
+  CampaignEndpoint::create(small_campaign(), dir.str());
+  EXPECT_THROW(CampaignEndpoint::create(small_campaign(), dir.str()), StateError);
+}
+
+TEST(CampaignEndpoint, OpenRestoresState) {
+  TempDir dir;
+  {
+    CampaignEndpoint endpoint = CampaignEndpoint::create(small_campaign(), dir.str());
+    endpoint.mark("g1/xs/run-0001", RunState::Done);
+    endpoint.mark("g1/xs/run-0002", RunState::Failed);
+    endpoint.save();
+  }
+  const CampaignEndpoint reopened = CampaignEndpoint::open(dir.str(), "toy-campaign");
+  EXPECT_EQ(reopened.state("g1/xs/run-0001"), RunState::Done);
+  EXPECT_EQ(reopened.state("g1/xs/run-0002"), RunState::Failed);
+  EXPECT_EQ(reopened.state("g1/xs/run-0000"), RunState::Pending);
+  EXPECT_EQ(reopened.campaign().total_runs(), 4u);
+}
+
+TEST(CampaignEndpoint, OpenMissingThrows) {
+  TempDir dir;
+  EXPECT_THROW(CampaignEndpoint::open(dir.str(), "ghost"), NotFoundError);
+}
+
+TEST(CampaignEndpoint, PendingRunsImplementResubmission) {
+  TempDir dir;
+  CampaignEndpoint endpoint = CampaignEndpoint::create(small_campaign(), dir.str());
+  endpoint.mark("g1/xs/run-0000", RunState::Done);
+  endpoint.mark("g1/xs/run-0001", RunState::Failed);
+  endpoint.mark("g1/xs/run-0002", RunState::Killed);
+  // run-0003 stays Pending.
+  const auto pending = endpoint.pending_runs("g1");
+  ASSERT_EQ(pending.size(), 3u);
+  EXPECT_EQ(pending[0].id, "g1/xs/run-0001");
+  EXPECT_EQ(pending[1].id, "g1/xs/run-0002");
+  EXPECT_EQ(pending[2].id, "g1/xs/run-0003");
+}
+
+TEST(CampaignEndpoint, StatusSummaryCounts) {
+  TempDir dir;
+  CampaignEndpoint endpoint = CampaignEndpoint::create(small_campaign(), dir.str());
+  endpoint.mark("g1/xs/run-0000", RunState::Done);
+  endpoint.mark("g1/xs/run-0001", RunState::Running);
+  const auto summary = endpoint.status();
+  EXPECT_EQ(summary.total(), 4u);
+  EXPECT_EQ(summary.done, 1u);
+  EXPECT_EQ(summary.running, 1u);
+  EXPECT_EQ(summary.pending, 2u);
+}
+
+TEST(CampaignEndpoint, MarkUnknownRunThrows) {
+  TempDir dir;
+  CampaignEndpoint endpoint = CampaignEndpoint::create(small_campaign(), dir.str());
+  EXPECT_THROW(endpoint.mark("nope", RunState::Done), NotFoundError);
+  EXPECT_THROW(endpoint.state("nope"), NotFoundError);
+}
+
+TEST(RunStateNames, RoundTrip) {
+  for (RunState state : {RunState::Pending, RunState::Running, RunState::Done,
+                         RunState::Failed, RunState::Killed}) {
+    EXPECT_EQ(run_state_from_name(run_state_name(state)), state);
+  }
+  EXPECT_THROW(run_state_from_name("paused"), NotFoundError);
+}
+
+TEST(CampaignEndpoint, ParamsJsonMatchesRunSpec) {
+  TempDir dir;
+  CampaignEndpoint endpoint = CampaignEndpoint::create(small_campaign(), dir.str());
+  const Json params =
+      Json::parse_file(dir.file("toy-campaign/g1/xs/run-0003/params.json"));
+  EXPECT_EQ(params["id"].as_string(), "g1/xs/run-0003");
+  EXPECT_EQ(params["params"]["x"].as_int(), 3);
+}
+
+}  // namespace
+}  // namespace ff::cheetah

@@ -1,0 +1,102 @@
+#include "cheetah/results.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::cheetah {
+namespace {
+
+RunSpec run_with(const std::string& id, int nodes, const std::string& aggregator) {
+  RunSpec run;
+  run.id = id;
+  run.params["nodes"] = Json(nodes);
+  run.params["aggregator"] = Json(aggregator);
+  return run;
+}
+
+ResultCatalog codesign_catalog() {
+  // A small codesign study: runtime improves with nodes; storage depends
+  // on the aggregation method.
+  ResultCatalog catalog;
+  catalog.record(run_with("r0", 2, "sst"), {{"runtime_s", 100}, {"storage_gb", 10}});
+  catalog.record(run_with("r1", 4, "sst"), {{"runtime_s", 60}, {"storage_gb", 10}});
+  catalog.record(run_with("r2", 8, "sst"), {{"runtime_s", 40}, {"storage_gb", 10}});
+  catalog.record(run_with("r3", 2, "bp4"), {{"runtime_s", 110}, {"storage_gb", 4}});
+  catalog.record(run_with("r4", 4, "bp4"), {{"runtime_s", 70}, {"storage_gb", 4}});
+  catalog.record(run_with("r5", 8, "bp4"), {{"runtime_s", 50}, {"storage_gb", 4}});
+  return catalog;
+}
+
+TEST(ResultCatalog, RecordAndLookup) {
+  const ResultCatalog catalog = codesign_catalog();
+  EXPECT_EQ(catalog.run_count(), 6u);
+  EXPECT_TRUE(catalog.has_run("r3"));
+  EXPECT_DOUBLE_EQ(catalog.metrics("r3").at("storage_gb"), 4);
+  EXPECT_THROW(catalog.metrics("ghost"), NotFoundError);
+  EXPECT_EQ(catalog.metric_names(),
+            (std::vector<std::string>{"runtime_s", "storage_gb"}));
+}
+
+TEST(ResultCatalog, RerecordReplaces) {
+  ResultCatalog catalog;
+  catalog.record(run_with("r0", 2, "sst"), {{"runtime_s", 100}});
+  catalog.record(run_with("r0", 2, "sst"), {{"runtime_s", 80}});
+  EXPECT_EQ(catalog.run_count(), 1u);
+  EXPECT_DOUBLE_EQ(catalog.metrics("r0").at("runtime_s"), 80);
+  RunSpec nameless;
+  EXPECT_THROW(catalog.record(nameless, {}), ValidationError);
+}
+
+TEST(ResultCatalog, BestRespectsObjectiveDirection) {
+  const ResultCatalog catalog = codesign_catalog();
+  const auto fastest = catalog.best("runtime_s", Objective::MinimizeRuntime);
+  ASSERT_TRUE(fastest.has_value());
+  EXPECT_EQ(fastest->id, "r2");
+  const auto smallest = catalog.best("storage_gb", Objective::MinimizeStorage);
+  ASSERT_TRUE(smallest.has_value());
+  EXPECT_EQ(smallest->param("aggregator").as_string(), "bp4");
+  const auto slowest_is_max = catalog.best("runtime_s", Objective::MaximizeThroughput);
+  ASSERT_TRUE(slowest_is_max.has_value());
+  EXPECT_EQ(slowest_is_max->id, "r3");  // maximize picks the largest value
+  EXPECT_FALSE(catalog.best("missing_metric", Objective::None).has_value());
+}
+
+TEST(ResultCatalog, MainEffectAveragesPerValue) {
+  const ResultCatalog catalog = codesign_catalog();
+  const auto by_nodes = catalog.main_effect("nodes", "runtime_s");
+  ASSERT_EQ(by_nodes.size(), 3u);
+  EXPECT_DOUBLE_EQ(by_nodes.at("2"), 105);  // (100+110)/2
+  EXPECT_DOUBLE_EQ(by_nodes.at("8"), 45);
+  const auto by_aggregator = catalog.main_effect("aggregator", "storage_gb");
+  EXPECT_DOUBLE_EQ(by_aggregator.at("\"sst\""), 10);
+  EXPECT_DOUBLE_EQ(by_aggregator.at("\"bp4\""), 4);
+  EXPECT_TRUE(catalog.main_effect("ghost_param", "runtime_s").empty());
+}
+
+TEST(ResultCatalog, EffectRangeAndRanking) {
+  const ResultCatalog catalog = codesign_catalog();
+  EXPECT_DOUBLE_EQ(catalog.effect_range("nodes", "runtime_s"), 60);  // 105-45
+  EXPECT_DOUBLE_EQ(catalog.effect_range("aggregator", "storage_gb"), 6);
+  EXPECT_EQ(catalog.effect_range("ghost", "runtime_s"), 0);
+  // nodes dominates runtime; aggregator dominates storage.
+  const auto runtime_ranking = catalog.rank_parameters("runtime_s");
+  ASSERT_EQ(runtime_ranking.size(), 2u);
+  EXPECT_EQ(runtime_ranking[0].first, "nodes");
+  const auto storage_ranking = catalog.rank_parameters("storage_gb");
+  EXPECT_EQ(storage_ranking[0].first, "aggregator");
+}
+
+TEST(ResultCatalog, JsonRoundTrip) {
+  const ResultCatalog catalog = codesign_catalog();
+  const ResultCatalog reparsed = ResultCatalog::from_json(catalog.to_json());
+  EXPECT_EQ(reparsed.run_count(), 6u);
+  EXPECT_DOUBLE_EQ(reparsed.metrics("r4").at("runtime_s"), 70);
+  EXPECT_DOUBLE_EQ(reparsed.effect_range("nodes", "runtime_s"), 60);
+  const auto best = reparsed.best("runtime_s", Objective::MinimizeRuntime);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->param("nodes").as_int(), 8);
+}
+
+}  // namespace
+}  // namespace ff::cheetah

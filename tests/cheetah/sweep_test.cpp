@@ -1,0 +1,150 @@
+#include "cheetah/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::cheetah {
+namespace {
+
+TEST(Parameter, IntRange) {
+  const Parameter p = Parameter::int_range("nodes", ParamLayer::System, 2, 8, 2);
+  ASSERT_EQ(p.cardinality(), 4u);
+  EXPECT_EQ(p.value_list()[0].as_int(), 2);
+  EXPECT_EQ(p.value_list()[3].as_int(), 8);
+  EXPECT_THROW(Parameter::int_range("x", ParamLayer::System, 5, 1), ValidationError);
+  EXPECT_THROW(Parameter::int_range("x", ParamLayer::System, 1, 5, 0),
+               ValidationError);
+}
+
+TEST(Parameter, Linspace) {
+  const Parameter p = Parameter::linspace("alpha", ParamLayer::Application, 0, 1, 5);
+  ASSERT_EQ(p.cardinality(), 5u);
+  EXPECT_DOUBLE_EQ(p.value_list()[0].as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(p.value_list()[2].as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(p.value_list()[4].as_double(), 1.0);
+  EXPECT_EQ(Parameter::linspace("a", ParamLayer::Application, 3, 9, 1).cardinality(),
+            1u);
+  EXPECT_THROW(Parameter::linspace("a", ParamLayer::Application, 0, 1, 0),
+               ValidationError);
+}
+
+TEST(Parameter, ValuesAndValidation) {
+  EXPECT_THROW(Parameter::values("x", ParamLayer::Middleware, {}), ValidationError);
+  EXPECT_THROW(Parameter::values("", ParamLayer::Middleware, {Json(1)}),
+               ValidationError);
+  const Parameter p =
+      Parameter::values("agg", ParamLayer::Middleware, {Json("sst"), Json("bp4")});
+  EXPECT_EQ(p.cardinality(), 2u);
+}
+
+TEST(Parameter, LayerNamesRoundTrip) {
+  for (ParamLayer layer :
+       {ParamLayer::Application, ParamLayer::Middleware, ParamLayer::System}) {
+    EXPECT_EQ(param_layer_from_name(param_layer_name(layer)), layer);
+  }
+  EXPECT_THROW(param_layer_from_name("firmware"), NotFoundError);
+}
+
+TEST(Parameter, JsonRoundTrip) {
+  const Parameter p = Parameter::int_range("ranks", ParamLayer::System, 1, 3);
+  const Parameter reparsed = Parameter::from_json(p.to_json());
+  EXPECT_EQ(reparsed.name(), "ranks");
+  EXPECT_EQ(reparsed.layer(), ParamLayer::System);
+  EXPECT_EQ(reparsed.cardinality(), 3u);
+}
+
+TEST(Sweep, CrossProductCountAndOrder) {
+  Sweep sweep("s");
+  sweep.add(Parameter::values("a", ParamLayer::Application, {Json(1), Json(2)}))
+      .add(Parameter::values("b", ParamLayer::Application,
+                             {Json("x"), Json("y"), Json("z")}));
+  EXPECT_EQ(sweep.run_count(), 6u);
+  const auto runs = sweep.generate();
+  ASSERT_EQ(runs.size(), 6u);
+  // Last parameter varies fastest.
+  EXPECT_EQ(runs[0].param("a").as_int(), 1);
+  EXPECT_EQ(runs[0].param("b").as_string(), "x");
+  EXPECT_EQ(runs[1].param("b").as_string(), "y");
+  EXPECT_EQ(runs[3].param("a").as_int(), 2);
+  EXPECT_EQ(runs[3].param("b").as_string(), "x");
+  EXPECT_EQ(runs[0].id, "run-0000");
+  EXPECT_EQ(runs[5].id, "run-0005");
+}
+
+TEST(Sweep, EmptySweepIsOneRun) {
+  EXPECT_EQ(Sweep{}.run_count(), 1u);
+  EXPECT_EQ(Sweep{}.generate().size(), 1u);
+}
+
+TEST(Sweep, DuplicateParameterRejected) {
+  Sweep sweep;
+  sweep.add(Parameter::values("a", ParamLayer::Application, {Json(1)}));
+  EXPECT_THROW(sweep.add(Parameter::values("a", ParamLayer::System, {Json(2)})),
+               ValidationError);
+}
+
+TEST(RunSpec, MissingParamThrows) {
+  Sweep sweep;
+  sweep.add(Parameter::values("a", ParamLayer::Application, {Json(1)}));
+  const auto runs = sweep.generate();
+  EXPECT_THROW(runs[0].param("zzz"), NotFoundError);
+  const Json json = runs[0].to_json();
+  EXPECT_EQ(json["params"]["a"].as_int(), 1);
+}
+
+TEST(SweepGroup, AggregatesSweeps) {
+  SweepGroup group("g");
+  Sweep s1("one");
+  s1.add(Parameter::int_range("x", ParamLayer::Application, 1, 2));
+  Sweep s2("two");
+  s2.add(Parameter::int_range("y", ParamLayer::Application, 1, 3));
+  group.add(std::move(s1)).add(std::move(s2)).set_nodes(20).set_walltime_s(7200);
+  EXPECT_EQ(group.run_count(), 5u);
+  const auto runs = group.generate();
+  ASSERT_EQ(runs.size(), 5u);
+  EXPECT_EQ(runs[0].id, "g/one/run-0000");
+  EXPECT_EQ(runs[2].id, "g/two/run-0000");
+}
+
+TEST(SweepGroup, SettersValidate) {
+  SweepGroup group("g");
+  EXPECT_THROW(group.set_nodes(0), ValidationError);
+  EXPECT_THROW(group.set_walltime_s(0), ValidationError);
+  EXPECT_THROW(group.set_max_concurrent(-1), ValidationError);
+  Sweep s("dup");
+  group.add(s);
+  EXPECT_THROW(group.add(s), ValidationError);
+}
+
+TEST(SweepGroup, JsonRoundTrip) {
+  SweepGroup group("g");
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("f", ParamLayer::Application, 0, 9));
+  group.add(std::move(sweep)).set_nodes(20).set_walltime_s(7200).set_max_concurrent(3);
+  const SweepGroup reparsed = SweepGroup::from_json(group.to_json());
+  EXPECT_EQ(reparsed.name(), "g");
+  EXPECT_EQ(reparsed.nodes(), 20);
+  EXPECT_DOUBLE_EQ(reparsed.walltime_s(), 7200);
+  EXPECT_EQ(reparsed.max_concurrent(), 3);
+  EXPECT_EQ(reparsed.run_count(), 10u);
+}
+
+TEST(Sweep, LargeCrossProductEnumeratesAllCombinations) {
+  Sweep sweep;
+  sweep.add(Parameter::int_range("a", ParamLayer::Application, 0, 9))
+      .add(Parameter::int_range("b", ParamLayer::Middleware, 0, 9))
+      .add(Parameter::int_range("c", ParamLayer::System, 0, 9));
+  const auto runs = sweep.generate();
+  ASSERT_EQ(runs.size(), 1000u);
+  std::set<std::string> distinct;
+  for (const auto& run : runs) {
+    distinct.insert(std::to_string(run.param("a").as_int()) + "," +
+                    std::to_string(run.param("b").as_int()) + "," +
+                    std::to_string(run.param("c").as_int()));
+  }
+  EXPECT_EQ(distinct.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace ff::cheetah

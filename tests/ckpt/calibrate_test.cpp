@@ -1,0 +1,79 @@
+#include "ckpt/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::ckpt {
+namespace {
+
+TEST(Calibrate, MeasuresRealKernelSteps) {
+  GrayScott::Params params;
+  params.width = 48;
+  params.height = 48;
+  GrayScott app(params, 1);
+  const KernelCalibration calibration = calibrate_gray_scott(app, 20);
+  EXPECT_EQ(calibration.steps_measured, 20);
+  EXPECT_GT(calibration.mean_step_s, 0.0);
+  EXPECT_GE(calibration.variability, 0.0);
+  EXPECT_EQ(app.current_step(), 20);  // the steps really ran
+}
+
+TEST(Calibrate, LargerGridsTakeLonger) {
+  GrayScott::Params small;
+  small.width = 32;
+  small.height = 32;
+  GrayScott::Params large;
+  large.width = 256;
+  large.height = 256;
+  GrayScott small_app(small, 1);
+  GrayScott large_app(large, 1);
+  const double small_time = calibrate_gray_scott(small_app, 8).mean_step_s;
+  const double large_time = calibrate_gray_scott(large_app, 8).mean_step_s;
+  EXPECT_GT(large_time, small_time * 4);  // 64x the cells; allow slack
+}
+
+TEST(Calibrate, Validation) {
+  GrayScott app(GrayScott::Params{}, 1);
+  EXPECT_THROW(calibrate_gray_scott(app, 1), ValidationError);
+  EXPECT_THROW(scaled_app_config(KernelCalibration{}, 120, 50, 128, 4096, 1e12),
+               ValidationError);
+  KernelCalibration calibration;
+  calibration.steps_measured = 10;
+  calibration.mean_step_s = 0.001;
+  EXPECT_THROW(scaled_app_config(calibration, 0, 50, 128, 4096, 1e12),
+               ValidationError);
+}
+
+TEST(Calibrate, ScaledConfigInheritsVariabilityWithFloor) {
+  KernelCalibration calibration;
+  calibration.steps_measured = 30;
+  calibration.mean_step_s = 0.002;
+  calibration.variability = 0.22;
+  const AppConfig config =
+      scaled_app_config(calibration, 120, 50, 128, 4096, 1e12);
+  EXPECT_DOUBLE_EQ(config.compute_per_step_s, 120);
+  EXPECT_DOUBLE_EQ(config.compute_variability, 0.22);
+  calibration.variability = 0.001;  // dedicated-host smoothness
+  EXPECT_DOUBLE_EQ(
+      scaled_app_config(calibration, 120, 50, 128, 4096, 1e12).compute_variability,
+      0.05);  // floored for a shared machine
+}
+
+TEST(Calibrate, ScaledConfigDrivesHarnessEndToEnd) {
+  GrayScott::Params params;
+  params.width = 48;
+  params.height = 48;
+  GrayScott app(params, 2);
+  const KernelCalibration calibration = calibrate_gray_scott(app, 10);
+  const AppConfig config =
+      scaled_app_config(calibration, 120, 50, 128, 4096, 1e12);
+  const OverheadBoundedPolicy policy(0.10);
+  const RunResult result = run_simulated_app(config, policy, sim::summit(), 3);
+  EXPECT_EQ(result.steps.size(), 50u);
+  EXPECT_GT(result.checkpoints_written, 0);
+  EXPECT_LE(result.overhead_fraction(), 0.12);
+}
+
+}  // namespace
+}  // namespace ff::ckpt

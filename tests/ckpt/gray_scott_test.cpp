@@ -1,0 +1,90 @@
+#include "ckpt/gray_scott.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ff::ckpt {
+namespace {
+
+TEST(GrayScott, InitialConditionsSeeded) {
+  GrayScott app(GrayScott::Params{});
+  EXPECT_EQ(app.current_step(), 0);
+  EXPECT_GT(app.v_mass(), 0.0);  // seeded square of reactant
+}
+
+TEST(GrayScott, RejectsTinyGrids) {
+  GrayScott::Params params;
+  params.width = 2;
+  EXPECT_THROW(GrayScott{params}, ValidationError);
+}
+
+TEST(GrayScott, StepsAdvanceAndStayFinite) {
+  GrayScott app(GrayScott::Params{});
+  app.steps(100);
+  EXPECT_EQ(app.current_step(), 100);
+  for (double value : app.u()) {
+    EXPECT_TRUE(std::isfinite(value));
+    EXPECT_GE(value, -0.5);
+    EXPECT_LE(value, 1.5);
+  }
+  for (double value : app.v()) EXPECT_TRUE(std::isfinite(value));
+}
+
+TEST(GrayScott, PatternEvolves) {
+  GrayScott app(GrayScott::Params{});
+  const double before = app.v_mass();
+  app.steps(200);
+  EXPECT_NE(app.v_mass(), before);
+}
+
+TEST(GrayScott, DeterministicForSeed) {
+  GrayScott a(GrayScott::Params{}, 7);
+  GrayScott b(GrayScott::Params{}, 7);
+  a.steps(50);
+  b.steps(50);
+  EXPECT_EQ(a.u(), b.u());
+  EXPECT_EQ(a.v(), b.v());
+}
+
+TEST(GrayScott, CheckpointRestartResumesExactly) {
+  GrayScott original(GrayScott::Params{}, 9);
+  original.steps(30);
+  const std::vector<uint8_t> blob = original.checkpoint();
+  EXPECT_EQ(blob.size(), original.checkpoint_bytes());
+
+  GrayScott restored = GrayScott::restore(blob);
+  EXPECT_EQ(restored.current_step(), 30);
+  EXPECT_EQ(restored.u(), original.u());
+
+  // Continuing both produces identical trajectories (restart correctness).
+  original.steps(20);
+  restored.steps(20);
+  EXPECT_EQ(restored.u(), original.u());
+  EXPECT_EQ(restored.v(), original.v());
+  EXPECT_EQ(restored.current_step(), 50);
+}
+
+TEST(GrayScott, RestoreRejectsCorruptBlobs) {
+  GrayScott app(GrayScott::Params{}, 1);
+  std::vector<uint8_t> blob = app.checkpoint();
+  std::vector<uint8_t> truncated(blob.begin(), blob.begin() + 10);
+  EXPECT_THROW(GrayScott::restore(truncated), ParseError);
+  std::vector<uint8_t> extended = blob;
+  extended.push_back(0);
+  EXPECT_THROW(GrayScott::restore(extended), ParseError);
+}
+
+TEST(GrayScott, CheckpointSizeScalesWithGrid) {
+  GrayScott::Params small;
+  small.width = 16;
+  small.height = 16;
+  GrayScott::Params large;
+  large.width = 64;
+  large.height = 64;
+  EXPECT_GT(GrayScott(large).checkpoint_bytes(), GrayScott(small).checkpoint_bytes());
+}
+
+}  // namespace
+}  // namespace ff::ckpt

@@ -1,0 +1,144 @@
+#include "ckpt/harness.hpp"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ff::ckpt {
+namespace {
+
+AppConfig paper_config() {
+  AppConfig config;
+  config.steps = 50;
+  config.nodes = 128;
+  config.ranks = 4096;
+  config.bytes_per_step = 1e12;
+  config.compute_per_step_s = 120;
+  return config;
+}
+
+TEST(Harness, FixedIntervalWritesExpectedCount) {
+  const FixedIntervalPolicy policy(10);
+  const RunResult result = run_simulated_app(paper_config(), policy, sim::summit(), 1);
+  EXPECT_EQ(result.checkpoints_written, 5);  // 50 steps / 10
+  EXPECT_EQ(result.steps.size(), 50u);
+  EXPECT_GT(result.total_runtime_s, 0);
+  EXPECT_GT(result.total_io_s, 0);
+}
+
+TEST(Harness, OverheadPolicyRespectsCapApproximately) {
+  for (double cap : {0.05, 0.10, 0.20}) {
+    const OverheadBoundedPolicy policy(cap);
+    const RunResult result =
+        run_simulated_app(paper_config(), policy, sim::summit(), 7);
+    // The policy checks before each write, so the final overhead can only
+    // exceed the cap by at most one write's contribution.
+    EXPECT_LE(result.overhead_fraction(), cap + 0.02) << cap;
+  }
+}
+
+TEST(Harness, MoreOverheadBudgetMoreCheckpoints) {
+  // The monotone shape of Fig. 3.
+  int previous = -1;
+  for (double cap : {0.01, 0.05, 0.10, 0.20, 0.30}) {
+    const OverheadBoundedPolicy policy(cap);
+    const RunResult result =
+        run_simulated_app(paper_config(), policy, sim::summit(), 3);
+    EXPECT_GE(result.checkpoints_written, previous) << cap;
+    previous = result.checkpoints_written;
+  }
+}
+
+TEST(Harness, CheckpointCountBoundedBySteps) {
+  const OverheadBoundedPolicy policy(0.45);
+  const RunResult result = run_simulated_app(paper_config(), policy, sim::summit(), 2);
+  EXPECT_LE(result.checkpoints_written, 50);
+}
+
+TEST(Harness, RunToRunVariationAtFixedCap) {
+  // The phenomenon of Fig. 4: same policy, different seeds (FS load and
+  // app behaviour) => different checkpoint counts.
+  const OverheadBoundedPolicy policy(0.10);
+  std::set<int> distinct;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    AppConfig config = paper_config();
+    config.comm_fraction = 0.1 + 0.05 * static_cast<double>(seed % 4);
+    distinct.insert(
+        run_simulated_app(config, policy, sim::summit(), seed).checkpoints_written);
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Harness, DeterministicForSeed) {
+  const OverheadBoundedPolicy policy(0.10);
+  const RunResult a = run_simulated_app(paper_config(), policy, sim::summit(), 5);
+  const RunResult b = run_simulated_app(paper_config(), policy, sim::summit(), 5);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  EXPECT_DOUBLE_EQ(a.total_runtime_s, b.total_runtime_s);
+}
+
+TEST(Harness, BadConfigThrows) {
+  const FixedIntervalPolicy policy(1);
+  AppConfig config = paper_config();
+  config.steps = 0;
+  EXPECT_THROW(run_simulated_app(config, policy, sim::summit(), 1), ValidationError);
+  config = paper_config();
+  config.bytes_per_step = 0;
+  EXPECT_THROW(run_simulated_app(config, policy, sim::summit(), 1), ValidationError);
+}
+
+TEST(Harness, StepRecordsAreConsistent) {
+  const FixedIntervalPolicy policy(10);
+  const RunResult result = run_simulated_app(paper_config(), policy, sim::summit(), 4);
+  double io = 0;
+  double runtime = 0;
+  int checkpoints = 0;
+  for (const StepRecord& record : result.steps) {
+    runtime += record.compute_s + record.write_s;
+    io += record.write_s;
+    if (record.checkpointed) {
+      ++checkpoints;
+      EXPECT_GT(record.write_s, 0);
+    } else {
+      EXPECT_EQ(record.write_s, 0);
+    }
+  }
+  EXPECT_EQ(checkpoints, result.checkpoints_written);
+  EXPECT_NEAR(io, result.total_io_s, 1e-9);
+  EXPECT_NEAR(runtime, result.total_runtime_s, 1e-9);
+}
+
+TEST(LostWork, ComputedAgainstLastCheckpoint) {
+  RunResult result;
+  result.total_runtime_s = 100;
+  result.checkpoint_times_s = {20, 60};
+  EXPECT_DOUBLE_EQ(lost_work_at(result, 10), 10);   // before first ckpt
+  EXPECT_DOUBLE_EQ(lost_work_at(result, 20), 0);    // exactly at ckpt
+  EXPECT_DOUBLE_EQ(lost_work_at(result, 50), 30);
+  EXPECT_DOUBLE_EQ(lost_work_at(result, 90), 30);
+  EXPECT_DOUBLE_EQ(lost_work_at(result, 500), 40);  // clamped to run end
+  EXPECT_THROW(lost_work_at(result, -1), ValidationError);
+}
+
+TEST(LostWork, ExpectedValueMatchesClosedForm) {
+  RunResult result;
+  result.total_runtime_s = 100;
+  result.checkpoint_times_s = {50};
+  // Two intervals of 50: E = (50^2/2 + 50^2/2)/100 = 25.
+  EXPECT_DOUBLE_EQ(expected_lost_work(result), 25.0);
+  RunResult no_checkpoints;
+  no_checkpoints.total_runtime_s = 100;
+  EXPECT_DOUBLE_EQ(expected_lost_work(no_checkpoints), 50.0);
+}
+
+TEST(LostWork, MoreCheckpointsLessExpectedLoss) {
+  const RunResult few = run_simulated_app(paper_config(),
+                                          FixedIntervalPolicy(25), sim::summit(), 6);
+  const RunResult many = run_simulated_app(paper_config(),
+                                           FixedIntervalPolicy(5), sim::summit(), 6);
+  EXPECT_LT(expected_lost_work(many), expected_lost_work(few));
+}
+
+}  // namespace
+}  // namespace ff::ckpt

@@ -1,0 +1,124 @@
+#include "ckpt/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::ckpt {
+namespace {
+
+CheckpointContext context_at(int step, double now, double cumulative_io,
+                             double estimate) {
+  CheckpointContext context;
+  context.step = step;
+  context.now_s = now;
+  context.cumulative_io_s = cumulative_io;
+  context.estimated_write_s = estimate;
+  return context;
+}
+
+TEST(FixedIntervalPolicy, FiresEveryNSteps) {
+  FixedIntervalPolicy policy(5);
+  int fired = 0;
+  for (int step = 0; step < 50; ++step) {
+    if (policy.should_checkpoint(context_at(step, step * 10.0, 0, 1))) ++fired;
+  }
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(policy.should_checkpoint(context_at(4, 0, 0, 0)));   // step 5
+  EXPECT_FALSE(policy.should_checkpoint(context_at(5, 0, 0, 0)));
+  EXPECT_THROW(FixedIntervalPolicy(0), ValidationError);
+}
+
+TEST(OverheadBoundedPolicy, RespectsBudget) {
+  OverheadBoundedPolicy policy(0.10);
+  // 100 s elapsed, no I/O yet, 5 s write => 5/105 < 10%: write.
+  EXPECT_TRUE(policy.should_checkpoint(context_at(0, 100, 0, 5)));
+  // 100 s elapsed, 9 s I/O already, 5 s write => 14/105 > 10%: skip.
+  EXPECT_FALSE(policy.should_checkpoint(context_at(1, 100, 9, 5)));
+  // Expensive write early in the run is refused...
+  EXPECT_FALSE(policy.should_checkpoint(context_at(0, 10, 0, 5)));
+  // ...but affordable later.
+  EXPECT_TRUE(policy.should_checkpoint(context_at(0, 1000, 0, 5)));
+  EXPECT_THROW(OverheadBoundedPolicy(0.0), ValidationError);
+  EXPECT_THROW(OverheadBoundedPolicy(1.0), ValidationError);
+}
+
+TEST(OverheadBoundedPolicy, HigherBudgetNeverWritesLess) {
+  // Property: for identical contexts, a larger budget is at least as
+  // permissive (monotonicity Fig. 3 depends on).
+  OverheadBoundedPolicy tight(0.05);
+  OverheadBoundedPolicy loose(0.20);
+  for (double now : {10.0, 100.0, 1000.0}) {
+    for (double io : {0.0, 5.0, 50.0}) {
+      for (double estimate : {1.0, 10.0, 100.0}) {
+        const CheckpointContext context = context_at(0, now, io, estimate);
+        if (tight.should_checkpoint(context)) {
+          EXPECT_TRUE(loose.should_checkpoint(context));
+        }
+      }
+    }
+  }
+}
+
+TEST(MinimumFrequencyPolicy, ForcesAfterGap) {
+  MinimumFrequencyPolicy policy(60.0);
+  CheckpointContext context = context_at(3, 100, 0, 1);
+  context.last_checkpoint_s = 50;   // 50 s ago
+  EXPECT_FALSE(policy.should_checkpoint(context));
+  context.last_checkpoint_s = 30;   // 70 s ago
+  EXPECT_TRUE(policy.should_checkpoint(context));
+  EXPECT_THROW(MinimumFrequencyPolicy(0), ValidationError);
+}
+
+TEST(ForcedOnHighCostPolicy, TriggersOnAbnormalCost) {
+  ForcedOnHighCostPolicy policy(10.0, 3.0);
+  CheckpointContext context = context_at(2, 100, 0, 10);
+  context.recent_write_s = 20;  // 2x nominal: not abnormal enough
+  EXPECT_FALSE(policy.should_checkpoint(context));
+  context.recent_write_s = 35;  // 3.5x nominal: system looks sick
+  EXPECT_TRUE(policy.should_checkpoint(context));
+  EXPECT_THROW(ForcedOnHighCostPolicy(0, 2), ValidationError);
+  EXPECT_THROW(ForcedOnHighCostPolicy(10, 1.0), ValidationError);
+}
+
+TEST(Combinators, AnyAndAll) {
+  auto always = std::make_shared<FixedIntervalPolicy>(1);
+  auto never_now = std::make_shared<MinimumFrequencyPolicy>(1e9);
+  const CheckpointContext context = context_at(0, 100, 0, 1);
+  AnyPolicy any({always, never_now});
+  AllPolicy all({always, never_now});
+  EXPECT_TRUE(any.should_checkpoint(context));
+  EXPECT_FALSE(all.should_checkpoint(context));
+  EXPECT_THROW(AnyPolicy({}), ValidationError);
+  EXPECT_THROW(AllPolicy({}), ValidationError);
+}
+
+TEST(Policies, NamesAreDescriptive) {
+  EXPECT_EQ(FixedIntervalPolicy(7).name(), "fixed-interval(7)");
+  EXPECT_EQ(OverheadBoundedPolicy(0.10).name(), "overhead-bounded(10%)");
+  auto a = std::make_shared<FixedIntervalPolicy>(1);
+  auto b = std::make_shared<OverheadBoundedPolicy>(0.05);
+  EXPECT_EQ(AnyPolicy({a, b}).name(),
+            "any(fixed-interval(1), overhead-bounded(5%))");
+}
+
+TEST(Combinators, PaperCompositePolicy) {
+  // The composite the paper sketches: overhead-bounded, but force a write
+  // if the gap grows too large OR the last write looked pathological.
+  auto overhead = std::make_shared<OverheadBoundedPolicy>(0.10);
+  auto min_frequency = std::make_shared<MinimumFrequencyPolicy>(600.0);
+  auto forced = std::make_shared<ForcedOnHighCostPolicy>(5.0, 4.0);
+  AnyPolicy composite({overhead, min_frequency, forced});
+
+  CheckpointContext quiet = context_at(1, 100, 9, 5);
+  quiet.last_checkpoint_s = 50;
+  EXPECT_FALSE(composite.should_checkpoint(quiet));  // over budget, gap small
+
+  CheckpointContext long_gap = quiet;
+  long_gap.now_s = 1000;
+  long_gap.last_checkpoint_s = 100;
+  EXPECT_TRUE(composite.should_checkpoint(long_gap));  // min frequency kicks in
+}
+
+}  // namespace
+}  // namespace ff::ckpt

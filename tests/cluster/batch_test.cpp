@@ -1,0 +1,177 @@
+#include "cluster/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::sim {
+namespace {
+
+MachineSpec no_queue_machine(int nodes) {
+  MachineSpec spec = institutional_cluster();
+  spec.nodes = nodes;
+  spec.queue_wait_mean_s = 0;  // deterministic starts for unit tests
+  return spec;
+}
+
+TEST(BatchSystem, StartsJobImmediatelyWhenFree) {
+  Simulation sim;
+  BatchSystem batch(sim, no_queue_machine(8), 1);
+  bool started = false;
+  BatchSystem::JobRequest request;
+  request.name = "j";
+  request.nodes = 4;
+  request.walltime_s = 100;
+  request.on_start = [&](const Allocation& allocation) {
+    started = true;
+    EXPECT_EQ(allocation.nodes, 4);
+    EXPECT_EQ(allocation.start_time, 0.0);
+    EXPECT_EQ(allocation.deadline(), 100.0);
+  };
+  batch.submit(std::move(request));
+  sim.run();
+  EXPECT_TRUE(started);
+  EXPECT_EQ(batch.jobs_started(), 1u);
+}
+
+TEST(BatchSystem, RejectsImpossibleRequests) {
+  Simulation sim;
+  BatchSystem batch(sim, no_queue_machine(8), 1);
+  BatchSystem::JobRequest too_big;
+  too_big.name = "big";
+  too_big.nodes = 16;
+  EXPECT_THROW(batch.submit(std::move(too_big)), Error);
+  BatchSystem::JobRequest zero;
+  zero.nodes = 0;
+  EXPECT_THROW(batch.submit(std::move(zero)), Error);
+  BatchSystem::JobRequest bad_wall;
+  bad_wall.nodes = 1;
+  bad_wall.walltime_s = 0;
+  EXPECT_THROW(batch.submit(std::move(bad_wall)), Error);
+}
+
+TEST(BatchSystem, SecondJobWaitsForNodes) {
+  Simulation sim;
+  BatchSystem batch(sim, no_queue_machine(8), 1);
+  std::vector<double> starts;
+  auto submit = [&](int nodes, double walltime) {
+    BatchSystem::JobRequest request;
+    request.name = "j";
+    request.nodes = nodes;
+    request.walltime_s = walltime;
+    request.on_start = [&](const Allocation& allocation) {
+      starts.push_back(allocation.start_time);
+    };
+    batch.submit(std::move(request));
+  };
+  submit(6, 50);   // holds 6 of 8 until walltime
+  submit(6, 50);   // must wait for the first to end
+  sim.run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], 0.0);
+  EXPECT_EQ(starts[1], 50.0);  // starts when walltime frees the nodes
+}
+
+TEST(BatchSystem, CompleteReleasesEarly) {
+  Simulation sim;
+  BatchSystem batch(sim, no_queue_machine(4), 1);
+  std::vector<double> starts;
+  Allocation first_allocation;
+  BatchSystem::JobRequest first;
+  first.name = "first";
+  first.nodes = 4;
+  first.walltime_s = 1000;
+  first.on_start = [&](const Allocation& allocation) {
+    starts.push_back(allocation.start_time);
+    first_allocation = allocation;
+    // Finish after 10 s of virtual work, well before walltime.
+    sim.schedule_after(10.0, [&] { batch.complete(first_allocation); });
+  };
+  batch.submit(std::move(first));
+  BatchSystem::JobRequest second;
+  second.name = "second";
+  second.nodes = 4;
+  second.walltime_s = 100;
+  second.on_start = [&](const Allocation& allocation) {
+    starts.push_back(allocation.start_time);
+  };
+  batch.submit(std::move(second));
+  sim.run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[1], 10.0);
+  EXPECT_EQ(batch.free_nodes(), 4);  // all released once every walltime fires
+}
+
+TEST(BatchSystem, WalltimeCallbackFiresOnlyIfStillRunning) {
+  Simulation sim;
+  BatchSystem batch(sim, no_queue_machine(2), 1);
+  int walltime_hits = 0;
+  Allocation held;
+  BatchSystem::JobRequest finishes_early;
+  finishes_early.name = "early";
+  finishes_early.nodes = 1;
+  finishes_early.walltime_s = 100;
+  finishes_early.on_start = [&](const Allocation& allocation) {
+    held = allocation;
+    sim.schedule_after(5.0, [&] { batch.complete(held); });
+  };
+  finishes_early.on_walltime = [&](const Allocation&) { ++walltime_hits; };
+  batch.submit(std::move(finishes_early));
+
+  BatchSystem::JobRequest runs_over;
+  runs_over.name = "over";
+  runs_over.nodes = 1;
+  runs_over.walltime_s = 50;
+  runs_over.on_walltime = [&](const Allocation&) { ++walltime_hits; };
+  batch.submit(std::move(runs_over));
+  sim.run();
+  EXPECT_EQ(walltime_hits, 1);  // only the job that ran past its walltime
+  EXPECT_EQ(batch.free_nodes(), 2);
+}
+
+TEST(BatchSystem, StochasticQueueDelayWhenConfigured) {
+  Simulation sim;
+  MachineSpec spec = no_queue_machine(64);
+  spec.queue_wait_mean_s = 600;
+  BatchSystem batch(sim, spec, 42);
+  std::vector<double> starts;
+  for (int i = 0; i < 20; ++i) {
+    BatchSystem::JobRequest request;
+    request.name = "j";
+    request.nodes = 1;
+    request.walltime_s = 1;
+    request.on_start = [&](const Allocation& allocation) {
+      starts.push_back(allocation.start_time);
+    };
+    batch.submit(std::move(request));
+  }
+  sim.run();
+  ASSERT_EQ(starts.size(), 20u);
+  double total = 0;
+  for (double t : starts) total += t;
+  EXPECT_GT(total, 0.0);  // some nonzero waits
+}
+
+TEST(BatchSystem, FifoHeadBlocksLaterJobs) {
+  // No backfill: a large eligible head job blocks a small one behind it.
+  Simulation sim;
+  BatchSystem batch(sim, no_queue_machine(8), 1);
+  std::vector<std::string> order;
+  auto submit = [&](const std::string& name, int nodes, double walltime) {
+    BatchSystem::JobRequest request;
+    request.name = name;
+    request.nodes = nodes;
+    request.walltime_s = walltime;
+    request.on_start = [&order, name](const Allocation&) { order.push_back(name); };
+    batch.submit(std::move(request));
+  };
+  submit("holder", 8, 30);
+  submit("big", 8, 10);
+  submit("small", 1, 10);
+  sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], "big");  // small did not jump the queue
+}
+
+}  // namespace
+}  // namespace ff::sim

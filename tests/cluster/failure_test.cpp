@@ -1,0 +1,84 @@
+#include "cluster/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace ff::sim {
+namespace {
+
+TEST(FailureModel, NextFailureAlwaysAfterNow) {
+  FailureModel model(summit(), 1);
+  for (double now : {0.0, 100.0, 1e6}) {
+    const auto failure = model.next_failure_after(now, 128);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_GT(*failure, now);
+  }
+}
+
+TEST(FailureModel, MoreNodesFailSooner) {
+  FailureModel model(summit(), 2);
+  RunningStats few;
+  RunningStats many;
+  for (int i = 0; i < 3000; ++i) {
+    few.add(*model.next_failure_after(0.0, 4));
+    many.add(*model.next_failure_after(0.0, 4096));
+  }
+  EXPECT_GT(few.mean(), many.mean() * 100);
+}
+
+TEST(FailureModel, MeanMatchesMttfOverNodes) {
+  MachineSpec spec = summit();
+  spec.node_mttf_hours = 1.0;  // 3600 s
+  FailureModel model(spec, 3);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(*model.next_failure_after(0.0, 10));
+  EXPECT_NEAR(stats.mean(), 360.0, 10.0);
+}
+
+TEST(FailureModel, DisabledWhenMttfNonPositive) {
+  MachineSpec spec = summit();
+  spec.node_mttf_hours = 0;
+  FailureModel model(spec, 4);
+  EXPECT_FALSE(model.next_failure_after(0.0, 100).has_value());
+  EXPECT_EQ(model.survival_probability(100, 1e9), 1.0);
+}
+
+TEST(FailureModel, ZeroNodesNeverFail) {
+  FailureModel model(summit(), 5);
+  EXPECT_FALSE(model.next_failure_after(0.0, 0).has_value());
+}
+
+TEST(FailureModel, SurvivalProbabilityAnalytic) {
+  MachineSpec spec = summit();
+  spec.node_mttf_hours = 1.0;
+  FailureModel model(spec, 6);
+  // 1 node for 3600 s: e^-1.
+  EXPECT_NEAR(model.survival_probability(1, 3600.0), std::exp(-1.0), 1e-12);
+  // Probability decreases with nodes and duration.
+  EXPECT_GT(model.survival_probability(1, 100.0),
+            model.survival_probability(2, 100.0));
+  EXPECT_GT(model.survival_probability(1, 100.0),
+            model.survival_probability(1, 200.0));
+  EXPECT_EQ(model.survival_probability(1, 0.0), 1.0);
+}
+
+TEST(FailureModel, EmpiricalSurvivalMatchesAnalytic) {
+  MachineSpec spec = summit();
+  spec.node_mttf_hours = 2.0;
+  FailureModel model(spec, 7);
+  const double duration = 3600.0;
+  const int nodes = 3;
+  int survived = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (*model.next_failure_after(0.0, nodes) > duration) ++survived;
+  }
+  EXPECT_NEAR(static_cast<double>(survived) / trials,
+              model.survival_probability(nodes, duration), 0.01);
+}
+
+}  // namespace
+}  // namespace ff::sim

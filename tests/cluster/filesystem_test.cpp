@@ -1,0 +1,105 @@
+#include "cluster/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::sim {
+namespace {
+
+TEST(SharedFilesystem, WriteTimeScalesWithSize) {
+  SharedFilesystem fs(summit(), 1);
+  const double small = fs.write_seconds(1e9, 0.0);
+  const double large = fs.write_seconds(1e12, 0.0);
+  EXPECT_GT(large, small);
+  // At the same instant the load factor is identical, so the ratio is the
+  // size ratio (after subtracting fixed latency).
+  const double latency = summit().fs_latency_s;
+  EXPECT_NEAR((large - latency) / (small - latency), 1000.0, 1e-6);
+}
+
+TEST(SharedFilesystem, DeterministicForSeed) {
+  SharedFilesystem a(summit(), 42);
+  SharedFilesystem b(summit(), 42);
+  for (double t : {0.0, 100.0, 5000.0, 86400.0}) {
+    EXPECT_EQ(a.write_seconds(1e12, t), b.write_seconds(1e12, t));
+  }
+}
+
+TEST(SharedFilesystem, DifferentSeedsDifferentLoads) {
+  SharedFilesystem a(summit(), 1);
+  SharedFilesystem b(summit(), 2);
+  bool any_different = false;
+  for (double t = 0; t < 10000; t += 500) {
+    if (a.load_factor(t) != b.load_factor(t)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SharedFilesystem, LoadFactorVariesOverTime) {
+  SharedFilesystem fs(summit(), 7);
+  RunningStats stats;
+  for (double t = 0; t < 864000; t += 600) stats.add(fs.load_factor(t));
+  EXPECT_GT(stats.stddev(), 0.05);   // fluctuates
+  EXPECT_GT(stats.min(), 0.19);      // floor respected
+  EXPECT_NEAR(stats.mean(), 1.0, 0.35);  // mean-reverting around nominal
+}
+
+TEST(SharedFilesystem, LoadQueriesAreTimeConsistent) {
+  // Querying t=5000 then t=100 must give the same answer as querying in
+  // increasing order (the grid is materialized deterministically).
+  SharedFilesystem forward(summit(), 9);
+  SharedFilesystem backward(summit(), 9);
+  const double late_f = forward.load_factor(100.0);
+  const double early_f = forward.load_factor(5000.0);
+  const double early_b = backward.load_factor(5000.0);
+  const double late_b = backward.load_factor(100.0);
+  EXPECT_EQ(late_f, late_b);
+  EXPECT_EQ(early_f, early_b);
+}
+
+TEST(SharedFilesystem, CongestionWindowSlowsWrites) {
+  SharedFilesystem fs(summit(), 3);
+  const double before = fs.write_seconds(1e12, 1000.0);
+  fs.add_congestion_window(900.0, 1100.0, 4.0);
+  const double during = fs.write_seconds(1e12, 1000.0);
+  EXPECT_GT(during, before * 2.0);
+  const double outside = fs.write_seconds(1e12, 2000.0);
+  fs.add_congestion_window(1900.0, 2100.0, 4.0);
+  EXPECT_GT(fs.write_seconds(1e12, 2000.0), outside);
+}
+
+TEST(SharedFilesystem, InvalidInputsThrow) {
+  SharedFilesystem fs(summit(), 3);
+  EXPECT_THROW(fs.write_seconds(-1.0, 0.0), Error);
+  EXPECT_THROW(fs.add_congestion_window(10, 5, 2.0), Error);
+  EXPECT_THROW(fs.add_congestion_window(0, 5, -1.0), Error);
+  MachineSpec broken = summit();
+  broken.fs_bandwidth_gbps = 0;
+  EXPECT_THROW(SharedFilesystem(broken, 1), Error);
+}
+
+TEST(SharedFilesystem, StatsAccumulate) {
+  SharedFilesystem fs(summit(), 3);
+  fs.write_seconds(1e9, 0.0);
+  fs.write_seconds(1e9, 60.0);
+  EXPECT_EQ(fs.write_stats().count(), 2u);
+}
+
+TEST(MachineSpec, JsonRoundTrip) {
+  const MachineSpec spec = summit();
+  const MachineSpec reparsed = MachineSpec::from_json(spec.to_json());
+  EXPECT_EQ(reparsed.name, "summit");
+  EXPECT_EQ(reparsed.nodes, 4608);
+  EXPECT_DOUBLE_EQ(reparsed.fs_bandwidth_gbps, spec.fs_bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(reparsed.node_mttf_hours, spec.node_mttf_hours);
+}
+
+TEST(MachineSpec, PresetsAreOrdered) {
+  EXPECT_GT(summit().nodes, institutional_cluster().nodes);
+  EXPECT_GT(institutional_cluster().nodes, workstation().nodes);
+  EXPECT_GT(summit().fs_bandwidth_gbps, institutional_cluster().fs_bandwidth_gbps);
+}
+
+}  // namespace
+}  // namespace ff::sim

@@ -1,0 +1,142 @@
+#include "cluster/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulation, EqualTimesFireInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents) {
+  Simulation sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.schedule_after(1.5, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{0.0, 1.5, 3.0, 4.5}));
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), Error);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), Error);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const uint64_t id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulation, CancelAfterFireReturnsFalse) {
+  Simulation sim;
+  const uint64_t id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(9999));  // unknown id
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Simulation, RunUntilFiresEventsAtExactDeadline) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, RunUntilAdvancesTimeWithEmptyQueue) {
+  Simulation sim;
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulation, RunUntilSkipsCancelledHead) {
+  Simulation sim;
+  const uint64_t id = sim.schedule_at(1.0, [] {});
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StepFiresSingleEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, ManyEventsStressDeterminism) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<uint64_t> fired;
+    for (uint64_t i = 0; i < 1000; ++i) {
+      const double t = static_cast<double>((i * 7919) % 101);
+      sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
+    }
+    sim.run();
+    return fired;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ff::sim

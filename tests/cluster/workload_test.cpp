@@ -1,0 +1,96 @@
+#include "cluster/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ff::sim {
+namespace {
+
+TEST(DurationModel, SamplesArePositive) {
+  DurationModel model;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(model.sample(rng), 0.0);
+}
+
+TEST(DurationModel, MedianApproximatelyHonored) {
+  DurationModel model;
+  model.median_s = 200;
+  model.straggler_fraction = 0;  // pure lognormal: median is exact
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(model.sample(rng));
+  EXPECT_NEAR(median(samples), 200.0, 6.0);
+}
+
+TEST(DurationModel, StragglersCreateHeavyTail) {
+  DurationModel skewed;
+  skewed.straggler_fraction = 0.10;
+  DurationModel clean = skewed;
+  clean.straggler_fraction = 0.0;
+  Rng rng1(3);
+  Rng rng2(3);
+  std::vector<double> with_tail;
+  std::vector<double> without_tail;
+  for (int i = 0; i < 20000; ++i) {
+    with_tail.push_back(skewed.sample(rng1));
+    without_tail.push_back(clean.sample(rng2));
+  }
+  EXPECT_GT(percentile(with_tail, 99), percentile(without_tail, 99) * 1.3);
+}
+
+TEST(DurationModel, InvalidMedianThrows) {
+  DurationModel model;
+  model.median_s = 0;
+  Rng rng(1);
+  EXPECT_THROW(model.sample(rng), Error);
+}
+
+TEST(MakeEnsemble, DeterministicAndWellFormed) {
+  DurationModel model;
+  const auto a = make_ensemble(50, model, 42);
+  const auto b = make_ensemble(50, model, 42);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_EQ(a[0].id, "run-0000");
+  EXPECT_EQ(a[49].id, "run-0049");
+  EXPECT_EQ(a[7].feature_index, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].duration_s, b[i].duration_s);
+    EXPECT_GT(a[i].duration_s, 0.0);
+  }
+  const auto c = make_ensemble(50, model, 43);
+  EXPECT_NE(a[0].duration_s, c[0].duration_s);
+}
+
+TEST(MakeEnsemble, EmptyCount) {
+  EXPECT_TRUE(make_ensemble(0, DurationModel{}, 1).empty());
+}
+
+TEST(SummarizeEnsemble, MatchesDirectComputation) {
+  DurationModel model;
+  const auto tasks = make_ensemble(200, model, 5);
+  const EnsembleSummary summary = summarize_ensemble(tasks);
+  double total = 0;
+  double longest = 0;
+  for (const auto& task : tasks) {
+    total += task.duration_s;
+    longest = std::max(longest, task.duration_s);
+  }
+  EXPECT_NEAR(summary.total_core_seconds, total, 1e-9);
+  EXPECT_DOUBLE_EQ(summary.max_s, longest);
+  EXPECT_LE(summary.min_s, summary.mean_s);
+  EXPECT_LE(summary.mean_s, summary.max_s);
+  EXPECT_LE(summary.p95_s, summary.max_s);
+}
+
+TEST(SummarizeEnsemble, EmptyIsZeros) {
+  const EnsembleSummary summary = summarize_ensemble({});
+  EXPECT_EQ(summary.total_core_seconds, 0.0);
+  EXPECT_EQ(summary.max_s, 0.0);
+}
+
+}  // namespace
+}  // namespace ff::sim

@@ -1,0 +1,120 @@
+#include "core/assessment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ff::core {
+namespace {
+
+WorkflowGraph legacy_gwas_workflow() {
+  // Mirrors Section V-A before refactoring: everything hand-run, hard-coded.
+  WorkflowGraph graph("gwas-legacy");
+  Component paste("paste", ComponentKind::Executable);
+  paste.profile() = make_profile(1, 1, 0, 1, 1, 1);
+  paste.add_config(ConfigVariable{"walltime", "string", Json("2:00"), false, ""});
+  paste.add_config(ConfigVariable{"account", "string", Json("BIF101"), false, ""});
+  graph.add_component(std::move(paste));
+  Component assoc("assoc", ComponentKind::Executable);
+  assoc.profile() = make_profile(1, 2, 0, 1, 1, 1);
+  graph.add_component(std::move(assoc));
+  return graph;
+}
+
+std::vector<ReuseContext> typical_contexts() {
+  ReuseContext machine;
+  machine.new_machine = true;
+  ReuseContext dataset;
+  dataset.new_dataset = true;
+  dataset.new_data_format = true;
+  return {machine, dataset};
+}
+
+TEST(Assessment, ReportsDebtAndRecommendations) {
+  const AssessmentReport report =
+      assess(legacy_gwas_workflow(), typical_contexts());
+  EXPECT_EQ(report.workflow_name, "gwas-legacy");
+  EXPECT_GT(report.total_debt.manual_count, 0u);
+  EXPECT_GT(report.total_debt.manual_minutes, 0.0);
+  ASSERT_FALSE(report.recommendations.empty());
+  // Recommendations sorted by savings, descending.
+  for (size_t i = 1; i < report.recommendations.size(); ++i) {
+    EXPECT_GE(report.recommendations[i - 1].manual_minutes_saved,
+              report.recommendations[i].manual_minutes_saved);
+  }
+  // Each recommendation is exactly one tier up.
+  for (const auto& recommendation : report.recommendations) {
+    EXPECT_EQ(recommendation.recommended_tier, recommendation.current_tier + 1);
+    EXPECT_GT(recommendation.manual_minutes_saved, 0.0);
+    EXPECT_FALSE(recommendation.rationale.empty());
+  }
+}
+
+TEST(Assessment, AggregateIsWeakestLink) {
+  const AssessmentReport report =
+      assess(legacy_gwas_workflow(), typical_contexts());
+  EXPECT_EQ(report.aggregate.tier(Gauge::DataSemantics), 0);
+  EXPECT_EQ(report.aggregate.tier(Gauge::DataSchema), 1);
+}
+
+TEST(Assessment, FullyUpgradedWorkflowHasNoManualDebt) {
+  WorkflowGraph graph("modern");
+  Component component("model-driven", ComponentKind::Executable);
+  component.profile() = make_profile(4, 4, 4, 4, 4, 4);
+  graph.add_component(std::move(component));
+  const AssessmentReport report = assess(graph, typical_contexts());
+  EXPECT_EQ(report.total_debt.manual_count, 0u);
+  EXPECT_TRUE(report.recommendations.empty());
+  EXPECT_GT(report.total_debt.automated_count, 0u);
+}
+
+TEST(Assessment, NoContextsMeansNoDebt) {
+  const AssessmentReport report = assess(legacy_gwas_workflow(), {});
+  EXPECT_EQ(report.total_debt.manual_count, 0u);
+  EXPECT_TRUE(report.recommendations.empty());
+}
+
+TEST(Assessment, RenderIncludesKeySections) {
+  const std::string text =
+      assess(legacy_gwas_workflow(), typical_contexts()).render();
+  EXPECT_NE(text.find("Assessment of workflow 'gwas-legacy'"), std::string::npos);
+  EXPECT_NE(text.find("Technical debt"), std::string::npos);
+  EXPECT_NE(text.find("Upgrade plan"), std::string::npos);
+}
+
+TEST(Assessment, JsonExportCarriesWholeReport) {
+  const AssessmentReport report =
+      assess(legacy_gwas_workflow(), typical_contexts());
+  const Json json = report.to_json();
+  EXPECT_EQ(json["workflow"].as_string(), "gwas-legacy");
+  EXPECT_EQ(json["debt"]["manual_steps"].as_int(),
+            static_cast<int64_t>(report.total_debt.manual_count));
+  EXPECT_DOUBLE_EQ(json["debt"]["manual_minutes"].as_double(),
+                   report.total_debt.manual_minutes);
+  ASSERT_EQ(json["upgrade_plan"].size(), report.recommendations.size());
+  const Json& top = json["upgrade_plan"][size_t{0}];
+  EXPECT_EQ(top["component"].as_string(),
+            report.recommendations[0].component_id);
+  EXPECT_EQ(top["to_tier"].as_int(), top["from_tier"].as_int() + 1);
+  // Aggregate profile round-trips through its own serialization.
+  EXPECT_EQ(GaugeProfile::from_json(json["aggregate"]), report.aggregate);
+  // The whole document survives dump/parse.
+  EXPECT_EQ(Json::parse(json.dump()), json);
+}
+
+TEST(Assessment, RecommendationActuallyReducesDebtWhenApplied) {
+  // Apply the top recommendation and re-assess: total manual minutes must
+  // drop by at least the promised savings for that component.
+  WorkflowGraph graph = legacy_gwas_workflow();
+  const auto contexts = typical_contexts();
+  const AssessmentReport before = assess(graph, contexts);
+  ASSERT_FALSE(before.recommendations.empty());
+  const Recommendation& top = before.recommendations.front();
+  graph.component(top.component_id)
+      .profile()
+      .set_tier(top.gauge, top.recommended_tier);
+  const AssessmentReport after = assess(graph, contexts);
+  EXPECT_NEAR(before.total_debt.manual_minutes - after.total_debt.manual_minutes,
+              top.manual_minutes_saved, 1e-9);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,126 @@
+// The Composable-tier operation: re-partitioning workflow granularity by
+// collapsing subgraphs into BundledWorkflow components.
+
+#include <gtest/gtest.h>
+
+#include "core/workflow_graph.hpp"
+#include "util/error.hpp"
+
+namespace ff::core {
+namespace {
+
+Port in(const std::string& name, const std::string& schema = "") {
+  return Port{name, PortDirection::Input, schema, "", ConsumptionSemantics::Unknown};
+}
+Port out(const std::string& name, const std::string& schema = "") {
+  return Port{name, PortDirection::Output, schema, "", ConsumptionSemantics::Unknown};
+}
+
+Component node(const std::string& id, std::initializer_list<Port> ports,
+               const GaugeProfile& profile = {}) {
+  Component component(id, ComponentKind::Executable);
+  for (const Port& port : ports) component.add_port(port);
+  component.profile() = profile;
+  return component;
+}
+
+/// a -> b -> c -> d, with b,c the collapse candidates.
+WorkflowGraph chain() {
+  WorkflowGraph graph("chain");
+  graph.add_component(node("a", {out("o", "s1")}, make_profile(3, 3, 3, 3, 3, 3)));
+  graph.add_component(node("b", {in("i", "s1"), out("o", "s2")},
+                           make_profile(2, 2, 2, 2, 2, 2)));
+  graph.add_component(node("c", {in("i", "s2"), out("o", "s3")},
+                           make_profile(1, 2, 3, 1, 2, 3)));
+  graph.add_component(node("d", {in("i", "s3")}, make_profile(4, 4, 4, 4, 4, 4)));
+  graph.connect("a", "o", "b", "i");
+  graph.connect("b", "o", "c", "i");
+  graph.connect("c", "o", "d", "i");
+  return graph;
+}
+
+TEST(Collapse, MergesChainMiddleIntoBundle) {
+  const WorkflowGraph collapsed = chain().collapse({"b", "c"}, "bc");
+  EXPECT_EQ(collapsed.component_count(), 3u);  // a, bc, d
+  EXPECT_TRUE(collapsed.has_component("bc"));
+  EXPECT_FALSE(collapsed.has_component("b"));
+  const Component& bundle = collapsed.component("bc");
+  EXPECT_EQ(bundle.kind(), ComponentKind::BundledWorkflow);
+  // Boundary ports: b.i (input) and c.o (output); the internal b->c edge
+  // is absorbed.
+  EXPECT_TRUE(bundle.has_port("b.i"));
+  EXPECT_TRUE(bundle.has_port("c.o"));
+  EXPECT_EQ(bundle.ports().size(), 2u);
+  EXPECT_EQ(collapsed.edges().size(), 2u);
+  EXPECT_FALSE(collapsed.has_cycle());
+  // Data still flows a -> bc -> d in topological order.
+  const auto order = collapsed.topological_order();
+  EXPECT_EQ(order.front(), "a");
+  EXPECT_EQ(order.back(), "d");
+}
+
+TEST(Collapse, BundleProfileIsWeakestLinkOfMembers) {
+  const WorkflowGraph collapsed = chain().collapse({"b", "c"}, "bc");
+  const GaugeProfile& profile = collapsed.component("bc").profile();
+  EXPECT_EQ(profile, make_profile(1, 2, 2, 1, 2, 2));
+}
+
+TEST(Collapse, PortSchemasSurviveAtTheBoundary) {
+  const WorkflowGraph collapsed = chain().collapse({"b", "c"}, "bc");
+  EXPECT_EQ(collapsed.component("bc").port("b.i").schema, "s1");
+  EXPECT_EQ(collapsed.component("bc").port("c.o").schema, "s3");
+}
+
+TEST(Collapse, WholeGraphCollapsesToSingleComponent) {
+  const WorkflowGraph collapsed = chain().collapse({"a", "b", "c", "d"}, "all");
+  EXPECT_EQ(collapsed.component_count(), 1u);
+  EXPECT_TRUE(collapsed.edges().empty());
+  EXPECT_TRUE(collapsed.component("all").ports().empty());
+}
+
+TEST(Collapse, FanOutSharedBoundaryPortDeduplicated) {
+  WorkflowGraph graph("fan");
+  graph.add_component(node("src", {out("o")}));
+  graph.add_component(node("w1", {in("i")}));
+  graph.add_component(node("w2", {in("i")}));
+  graph.connect("src", "o", "w1", "i");
+  graph.connect("src", "o", "w2", "i");
+  const WorkflowGraph collapsed = graph.collapse({"w1", "w2"}, "workers");
+  // Two incoming edges, two distinct boundary ports (w1.i, w2.i).
+  EXPECT_EQ(collapsed.component("workers").ports().size(), 2u);
+  EXPECT_EQ(collapsed.edges_from("src").size(), 2u);
+}
+
+TEST(Collapse, NonConvexMemberSetRejected) {
+  // Collapsing {a, c} in a->b->c creates a cycle through the bundle.
+  const WorkflowGraph graph = chain();
+  EXPECT_THROW(graph.collapse({"a", "c"}, "ac"), ValidationError);
+}
+
+TEST(Collapse, Validation) {
+  const WorkflowGraph graph = chain();
+  EXPECT_THROW(graph.collapse({}, "x"), ValidationError);
+  EXPECT_THROW(graph.collapse({"ghost"}, "x"), ValidationError);
+  EXPECT_THROW(graph.collapse({"b"}, "a"), ValidationError);  // id collision
+  // Reusing a member's id for the bundle is allowed (it disappears).
+  EXPECT_NO_THROW(graph.collapse({"b", "c"}, "b"));
+}
+
+TEST(Collapse, RepeatedRolesFeedCollapse) {
+  // The intended pipeline: detect repeated roles, then bundle them.
+  WorkflowGraph graph("fan");
+  graph.add_component(node("src", {out("o", "s")}));
+  for (const std::string id : {"w1", "w2", "w3"}) {
+    graph.add_component(node(id, {in("i", "s")}));
+    graph.connect("src", "o", id, "i");
+  }
+  const auto groups = graph.repeated_roles(2);
+  ASSERT_EQ(groups.size(), 1u);
+  const WorkflowGraph collapsed = graph.collapse(groups[0], "worker-pool");
+  EXPECT_EQ(collapsed.component_count(), 2u);
+  EXPECT_EQ(collapsed.component("worker-pool").kind(),
+            ComponentKind::BundledWorkflow);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,96 @@
+#include "core/component.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::core {
+namespace {
+
+Component sample_component() {
+  Component component("paste-step", ComponentKind::Executable);
+  component.set_description("column-wise paste of genotype shards");
+  component.add_port(Port{"shards", PortDirection::Input, "csv:genotype:v1",
+                          "posix-file", ConsumptionSemantics::WholeDataset});
+  component.add_port(Port{"merged", PortDirection::Output, "csv:genotype:v1",
+                          "posix-file", ConsumptionSemantics::Unknown});
+  component.add_config(ConfigVariable{"fan_in", "int", Json(16), true,
+                                      "files merged per sub-paste"});
+  component.add_config(ConfigVariable{"scratch_dir", "path", Json("/tmp"), false, ""});
+  return component;
+}
+
+TEST(ComponentKind, NameRoundTrip) {
+  for (ComponentKind kind : {ComponentKind::CodeFragment, ComponentKind::Executable,
+                             ComponentKind::BundledWorkflow,
+                             ComponentKind::InternalService}) {
+    EXPECT_EQ(component_kind_from_name(component_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(component_kind_from_name("mystery"), NotFoundError);
+}
+
+TEST(ConsumptionSemantics, NameRoundTrip) {
+  for (ConsumptionSemantics semantics :
+       {ConsumptionSemantics::Unknown, ConsumptionSemantics::ElementWise,
+        ConsumptionSemantics::Windowed, ConsumptionSemantics::WholeDataset,
+        ConsumptionSemantics::FirstPrecious}) {
+    EXPECT_EQ(consumption_from_name(consumption_name(semantics)), semantics);
+  }
+  EXPECT_THROW(consumption_from_name("psychic"), NotFoundError);
+}
+
+TEST(Component, PortLookup) {
+  const Component component = sample_component();
+  EXPECT_TRUE(component.has_port("shards"));
+  EXPECT_EQ(component.port("merged").direction, PortDirection::Output);
+  EXPECT_THROW(component.port("nope"), NotFoundError);
+  EXPECT_EQ(component.input_ports().size(), 1u);
+  EXPECT_EQ(component.output_ports().size(), 1u);
+}
+
+TEST(Component, DuplicatePortRejected) {
+  Component component = sample_component();
+  EXPECT_THROW(component.add_port(Port{"shards", PortDirection::Input, "", "",
+                                       ConsumptionSemantics::Unknown}),
+               ValidationError);
+}
+
+TEST(Component, ConfigVariables) {
+  const Component component = sample_component();
+  EXPECT_EQ(component.config().size(), 2u);
+  EXPECT_EQ(component.exposed_config_count(), 1u);
+  EXPECT_EQ(component.config_variable("fan_in").default_value.as_int(), 16);
+  EXPECT_THROW(component.config_variable("missing"), NotFoundError);
+}
+
+TEST(Component, DuplicateConfigRejected) {
+  Component component = sample_component();
+  EXPECT_THROW(
+      component.add_config(ConfigVariable{"fan_in", "int", Json(1), true, ""}),
+      ValidationError);
+}
+
+TEST(Component, JsonRoundTrip) {
+  Component component = sample_component();
+  component.profile().set_tier(Gauge::SoftwareCustomizability, 2);
+  const Component reparsed = Component::from_json(component.to_json());
+  EXPECT_EQ(reparsed.id(), component.id());
+  EXPECT_EQ(reparsed.kind(), component.kind());
+  EXPECT_EQ(reparsed.description(), component.description());
+  EXPECT_EQ(reparsed.ports(), component.ports());
+  EXPECT_EQ(reparsed.config(), component.config());
+  EXPECT_EQ(reparsed.profile(), component.profile());
+}
+
+TEST(Component, FirstPreciousSemanticsSurviveSerialization) {
+  // The paper's "first precious" example: the first element seeds deltas for
+  // all later elements, so the semantics annotation must not be lost.
+  Component component("delta-calc", ComponentKind::CodeFragment);
+  component.add_port(Port{"in", PortDirection::Input, "", "channel",
+                          ConsumptionSemantics::FirstPrecious});
+  const Component reparsed = Component::from_json(component.to_json());
+  EXPECT_EQ(reparsed.port("in").semantics, ConsumptionSemantics::FirstPrecious);
+}
+
+}  // namespace
+}  // namespace ff::core

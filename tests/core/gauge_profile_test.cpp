@@ -1,0 +1,83 @@
+#include "core/gauge_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::core {
+namespace {
+
+TEST(GaugeProfile, DefaultIsAllUnknown) {
+  const GaugeProfile profile;
+  for (Gauge gauge : kAllGauges) EXPECT_EQ(profile.tier(gauge), 0);
+  EXPECT_EQ(profile.min_tier(), 0);
+  EXPECT_EQ(profile.total_progress(), 0);
+}
+
+TEST(GaugeProfile, SetAndRaise) {
+  GaugeProfile profile;
+  profile.set_tier(Gauge::DataSchema, 3);
+  EXPECT_EQ(profile.tier(Gauge::DataSchema), 3);
+  profile.raise_to(Gauge::DataSchema, 2);  // no-op, already above
+  EXPECT_EQ(profile.tier(Gauge::DataSchema), 3);
+  profile.raise_to(Gauge::DataSchema, 4);
+  EXPECT_EQ(profile.tier(Gauge::DataSchema), 4);
+  EXPECT_THROW(profile.set_tier(Gauge::DataSchema, 5), ValidationError);
+}
+
+TEST(GaugeProfile, DominatesIsElementWise) {
+  const GaugeProfile high = make_profile(2, 2, 2, 2, 2, 2);
+  const GaugeProfile low = make_profile(1, 1, 1, 1, 1, 1);
+  GaugeProfile mixed = make_profile(3, 0, 2, 2, 2, 2);
+  EXPECT_TRUE(high.dominates(low));
+  EXPECT_FALSE(low.dominates(high));
+  EXPECT_TRUE(high.dominates(high));
+  EXPECT_FALSE(mixed.dominates(low));  // schema 0 < 1
+  EXPECT_FALSE(low.dominates(mixed));  // access 1 < 3
+}
+
+TEST(GaugeProfile, MeetsTreatsUnknownAsUnconstrained) {
+  GaugeProfile required;
+  required.set_tier(Gauge::DataSchema, 2);  // only schema constrained
+  const GaugeProfile candidate = make_profile(0, 2, 0, 0, 0, 0);
+  EXPECT_TRUE(candidate.meets(required));
+  const GaugeProfile weak = make_profile(4, 1, 4, 4, 4, 4);
+  EXPECT_FALSE(weak.meets(required));
+}
+
+TEST(GaugeProfile, MinTiersByFamily) {
+  const GaugeProfile profile = make_profile(3, 2, 4, 1, 2, 0);
+  EXPECT_EQ(profile.min_data_tier(), 2);
+  EXPECT_EQ(profile.min_software_tier(), 0);
+  EXPECT_EQ(profile.min_tier(), 0);
+  EXPECT_EQ(profile.total_progress(), 12);
+}
+
+TEST(GaugeProfile, JsonRoundTripWithEvidence) {
+  GaugeProfile profile = make_profile(1, 2, 3, 4, 0, 2);
+  profile.set_evidence(Gauge::DataSchema, "columns documented in README");
+  const GaugeProfile reparsed = GaugeProfile::from_json(profile.to_json());
+  EXPECT_EQ(reparsed, profile);
+  EXPECT_EQ(reparsed.evidence(Gauge::DataSchema), "columns documented in README");
+}
+
+TEST(GaugeProfile, FromJsonAcceptsShorthands) {
+  // Integers and tier names are both accepted per gauge.
+  const Json doc = Json::parse(
+      R"({"access": 2, "schema": "Format", "granularity": {"tier": 1}})");
+  const GaugeProfile profile = GaugeProfile::from_json(doc);
+  EXPECT_EQ(profile.tier(Gauge::DataAccess), 2);
+  EXPECT_EQ(profile.tier(Gauge::DataSchema), 2);
+  EXPECT_EQ(profile.tier(Gauge::SoftwareGranularity), 1);
+  EXPECT_EQ(profile.tier(Gauge::DataSemantics), 0);  // absent stays Unknown
+}
+
+TEST(GaugeProfile, RenderMentionsEveryGauge) {
+  const std::string text = make_profile(1, 1, 1, 1, 1, 1).render();
+  for (Gauge gauge : kAllGauges) {
+    EXPECT_NE(text.find(std::string(gauge_name(gauge))), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ff::core

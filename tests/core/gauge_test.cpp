@@ -1,0 +1,78 @@
+#include "core/gauge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::core {
+namespace {
+
+TEST(Gauge, SixGaugesThreeDataThreeSoftware) {
+  EXPECT_EQ(kAllGauges.size(), 6u);
+  int data = 0;
+  for (Gauge gauge : kAllGauges) {
+    if (is_data_gauge(gauge)) ++data;
+  }
+  EXPECT_EQ(data, 3);
+}
+
+TEST(Gauge, EveryLadderHasFiveTiersStartingUnknown) {
+  for (Gauge gauge : kAllGauges) {
+    EXPECT_EQ(tier_count(gauge), 5u) << gauge_name(gauge);
+    EXPECT_EQ(tier_name(gauge, 0), "Unknown") << gauge_name(gauge);
+  }
+}
+
+TEST(Gauge, TierNamesMatchPaperLadders) {
+  EXPECT_EQ(tier_name(Gauge::DataAccess, 1), "Protocol");
+  EXPECT_EQ(tier_name(Gauge::DataAccess, 2), "Interface");
+  EXPECT_EQ(tier_name(Gauge::DataSchema, 2), "Format");
+  EXPECT_EQ(tier_name(Gauge::DataSchema, 4), "SelfDescribing");
+  EXPECT_EQ(tier_name(Gauge::DataSemantics, 2), "DataFusion");
+  EXPECT_EQ(tier_name(Gauge::DataSemantics, 3), "FormatEvolution");
+  EXPECT_EQ(tier_name(Gauge::SoftwareGranularity, 1), "BlackBox");
+  EXPECT_EQ(tier_name(Gauge::SoftwareGranularity, 3), "IoSemantics");
+  EXPECT_EQ(tier_name(Gauge::SoftwareCustomizability, 3), "Model");
+  EXPECT_EQ(tier_name(Gauge::SoftwareProvenance, 3), "CampaignKnowledge");
+  EXPECT_EQ(tier_name(Gauge::SoftwareProvenance, 4), "Exportable");
+}
+
+TEST(Gauge, TierOutOfRangeThrows) {
+  EXPECT_THROW(tier_name(Gauge::DataAccess, 5), NotFoundError);
+  EXPECT_THROW(tier_description(Gauge::DataSchema, 99), NotFoundError);
+}
+
+TEST(Gauge, TierFromNameIsCaseInsensitiveInverse) {
+  for (Gauge gauge : kAllGauges) {
+    for (uint8_t tier = 0; tier < tier_count(gauge); ++tier) {
+      const std::string name{tier_name(gauge, tier)};
+      EXPECT_EQ(tier_from_name(gauge, name), tier);
+      std::string lower;
+      for (char c : name) lower += static_cast<char>(std::tolower(c));
+      EXPECT_EQ(tier_from_name(gauge, lower), tier);
+    }
+  }
+  EXPECT_THROW(tier_from_name(Gauge::DataAccess, "NoSuchTier"), NotFoundError);
+}
+
+TEST(Gauge, GaugeFromKeyAcceptsKeysAndNames) {
+  EXPECT_EQ(gauge_from_key("access"), Gauge::DataAccess);
+  EXPECT_EQ(gauge_from_key("schema"), Gauge::DataSchema);
+  EXPECT_EQ(gauge_from_key("semantics"), Gauge::DataSemantics);
+  EXPECT_EQ(gauge_from_key("granularity"), Gauge::SoftwareGranularity);
+  EXPECT_EQ(gauge_from_key("customizability"), Gauge::SoftwareCustomizability);
+  EXPECT_EQ(gauge_from_key("provenance"), Gauge::SoftwareProvenance);
+  EXPECT_EQ(gauge_from_key("Data Access"), Gauge::DataAccess);
+  EXPECT_THROW(gauge_from_key("velocity"), NotFoundError);
+}
+
+TEST(Gauge, DescriptionsAreNonEmpty) {
+  for (Gauge gauge : kAllGauges) {
+    for (uint8_t tier = 0; tier < tier_count(gauge); ++tier) {
+      EXPECT_FALSE(tier_description(gauge, tier).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ff::core

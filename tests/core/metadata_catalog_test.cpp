@@ -1,0 +1,145 @@
+#include "core/metadata_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::core {
+namespace {
+
+MetadataCatalog sample_catalog() {
+  MetadataCatalog catalog;
+  Component paste("paste", ComponentKind::Executable);
+  paste.profile() = make_profile(2, 2, 0, 2, 3, 1);
+  catalog.put_component(std::move(paste));
+  Component irf("irf-loop", ComponentKind::BundledWorkflow);
+  irf.profile() = make_profile(1, 2, 1, 1, 1, 1);
+  catalog.put_component(std::move(irf));
+  Component sched("data-scheduler", ComponentKind::InternalService);
+  sched.profile() = make_profile(3, 4, 2, 4, 3, 2);
+  catalog.put_component(std::move(sched));
+  return catalog;
+}
+
+TEST(Catalog, PutAndLookup) {
+  MetadataCatalog catalog = sample_catalog();
+  EXPECT_EQ(catalog.component_count(), 3u);
+  EXPECT_TRUE(catalog.has_component("paste"));
+  EXPECT_THROW(catalog.component("nope"), NotFoundError);
+  // put replaces.
+  Component replacement("paste", ComponentKind::CodeFragment);
+  catalog.put_component(std::move(replacement));
+  EXPECT_EQ(catalog.component("paste").kind(), ComponentKind::CodeFragment);
+  EXPECT_EQ(catalog.component_count(), 3u);
+}
+
+TEST(Catalog, QueryByGaugeTierNumber) {
+  const MetadataCatalog catalog = sample_catalog();
+  EXPECT_EQ(catalog.query("customizability >= 3"),
+            (std::vector<std::string>{"data-scheduler", "paste"}));
+  EXPECT_EQ(catalog.query("schema > 3"), std::vector<std::string>{"data-scheduler"});
+}
+
+TEST(Catalog, QueryByTierName) {
+  const MetadataCatalog catalog = sample_catalog();
+  EXPECT_EQ(catalog.query("customizability >= Model"),
+            (std::vector<std::string>{"data-scheduler", "paste"}));
+  EXPECT_EQ(catalog.query("granularity == BlackBox"),
+            std::vector<std::string>{"irf-loop"});
+}
+
+TEST(Catalog, QueryBooleanOperators) {
+  const MetadataCatalog catalog = sample_catalog();
+  EXPECT_EQ(catalog.query("schema >= 2 and granularity >= 2"),
+            (std::vector<std::string>{"data-scheduler", "paste"}));
+  EXPECT_EQ(catalog.query("kind == internal-service or kind == bundled-workflow"),
+            (std::vector<std::string>{"data-scheduler", "irf-loop"}));
+  EXPECT_EQ(catalog.query("not (customizability >= 3)"),
+            std::vector<std::string>{"irf-loop"});
+  EXPECT_EQ(catalog.query("id == 'paste'"), std::vector<std::string>{"paste"});
+  EXPECT_EQ(catalog.query("id != 'paste' and access >= 1"),
+            (std::vector<std::string>{"data-scheduler", "irf-loop"}));
+}
+
+TEST(Catalog, QueryPrecedenceAndOverOr) {
+  const MetadataCatalog catalog = sample_catalog();
+  // a or b and c  ==  a or (b and c)
+  EXPECT_EQ(
+      catalog.query("id == 'paste' or kind == internal-service and schema >= 4"),
+      (std::vector<std::string>{"data-scheduler", "paste"}));
+}
+
+TEST(Catalog, QueryParseErrors) {
+  EXPECT_THROW(CatalogQuery::parse(""), ParseError);
+  EXPECT_THROW(CatalogQuery::parse("schema >="), ParseError);
+  EXPECT_THROW(CatalogQuery::parse("schema ~ 2"), ParseError);
+  EXPECT_THROW(CatalogQuery::parse("(schema >= 2"), ParseError);
+  EXPECT_THROW(CatalogQuery::parse("schema >= 2 junk"), ParseError);
+  EXPECT_THROW(CatalogQuery::parse("'unterminated"), ParseError);
+}
+
+TEST(Catalog, QueryBadFieldOrTierThrowsOnParseOrMatch) {
+  const MetadataCatalog catalog = sample_catalog();
+  EXPECT_THROW(catalog.query("velocity >= 2"), NotFoundError);
+  EXPECT_THROW(catalog.query("schema >= NoSuchTier"), NotFoundError);
+  EXPECT_THROW(catalog.query("kind >= executable"), ParseError);  // ordering on string
+}
+
+TEST(Catalog, SchemaRegistryAndConflicts) {
+  MetadataCatalog catalog;
+  SchemaDescriptor schema;
+  schema.name = "genotype";
+  schema.version = 1;
+  schema.container = "csv";
+  schema.fields = {{"snp", "string"}, {"dose", "double"}};
+  catalog.put_schema(schema);
+  EXPECT_TRUE(catalog.has_schema("genotype:v1"));
+  EXPECT_EQ(catalog.schema("genotype:v1").container, "csv");
+  catalog.put_schema(schema);  // idempotent re-register is fine
+  SchemaDescriptor conflicting = schema;
+  conflicting.container = "tsv";
+  EXPECT_THROW(catalog.put_schema(conflicting), ValidationError);
+  EXPECT_THROW(catalog.schema("genotype:v9"), NotFoundError);
+}
+
+TEST(Catalog, ConvertiblePaths) {
+  MetadataCatalog catalog;
+  SchemaDescriptor v1{"genotype", 1, "csv", {{"snp", "string"}, {"dose", "double"}}};
+  SchemaDescriptor v2{"genotype", 2, "csv", {{"snp", "string"}, {"dose", "double"}, {"qc", "int"}}};
+  SchemaDescriptor json_twin{"genotype_json", 1, "json", {{"dose", "double"}, {"snp", "string"}}};
+  SchemaDescriptor unrelated{"phenotype", 1, "csv", {{"trait", "double"}}};
+  catalog.put_schema(v1);
+  catalog.put_schema(v2);
+  catalog.put_schema(json_twin);
+  catalog.put_schema(unrelated);
+  EXPECT_TRUE(catalog.convertible("genotype:v1", "genotype:v2"));  // version path
+  EXPECT_TRUE(catalog.convertible("genotype:v1", "genotype_json:v1"));  // transcoding
+  EXPECT_FALSE(catalog.convertible("genotype:v1", "phenotype:v1"));
+}
+
+TEST(Catalog, Annotations) {
+  MetadataCatalog catalog = sample_catalog();
+  catalog.annotate("paste", "campaign", Json::parse(R"({"id":"gwas-2021"})"));
+  ASSERT_NE(catalog.annotation("paste", "campaign"), nullptr);
+  EXPECT_EQ((*catalog.annotation("paste", "campaign"))["id"].as_string(),
+            "gwas-2021");
+  EXPECT_EQ(catalog.annotation("paste", "missing"), nullptr);
+  EXPECT_THROW(catalog.annotate("ghost", "k", Json(1)), NotFoundError);
+}
+
+TEST(Catalog, JsonRoundTrip) {
+  MetadataCatalog catalog = sample_catalog();
+  SchemaDescriptor schema{"genotype", 1, "csv", {{"snp", "string"}}};
+  catalog.put_schema(schema);
+  catalog.annotate("paste", "note", Json("kept"));
+  const MetadataCatalog reparsed = MetadataCatalog::from_json(catalog.to_json());
+  EXPECT_EQ(reparsed.component_count(), 3u);
+  EXPECT_TRUE(reparsed.has_schema("genotype:v1"));
+  ASSERT_NE(reparsed.annotation("paste", "note"), nullptr);
+  EXPECT_EQ(reparsed.annotation("paste", "note")->as_string(), "kept");
+  EXPECT_EQ(reparsed.component("data-scheduler").profile(),
+            catalog.component("data-scheduler").profile());
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,143 @@
+#include "core/technical_debt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ff::core {
+namespace {
+
+Component with_profile(const GaugeProfile& profile) {
+  Component component("c", ComponentKind::Executable);
+  component.profile() = profile;
+  return component;
+}
+
+TEST(TechnicalDebt, NoContextChangesNoInterventions) {
+  const auto interventions =
+      interventions_for(with_profile(GaugeProfile{}), ReuseContext{});
+  EXPECT_TRUE(interventions.empty());
+}
+
+TEST(TechnicalDebt, NewMachineManualWhenUnknown) {
+  ReuseContext context;
+  context.new_machine = true;
+  const auto interventions =
+      interventions_for(with_profile(GaugeProfile{}), context);
+  const DebtSummary summary = summarize(interventions);
+  EXPECT_GE(summary.manual_count, 2u);  // hand edits + undocumented launch
+  EXPECT_EQ(summary.automated_count, 0u);
+  EXPECT_GT(summary.manual_minutes, 0.0);
+}
+
+TEST(TechnicalDebt, NewMachineAutomatedAtModelTier) {
+  ReuseContext context;
+  context.new_machine = true;
+  GaugeProfile profile = make_profile(0, 0, 0, 2, 3, 0);  // Configured + Model
+  const DebtSummary summary =
+      summarize(interventions_for(with_profile(profile), context));
+  EXPECT_EQ(summary.manual_count, 0u);
+  EXPECT_GE(summary.automated_count, 1u);
+  EXPECT_EQ(summary.manual_minutes, 0.0);
+}
+
+TEST(TechnicalDebt, HiddenConfigVariablesMultiplyEditCost) {
+  ReuseContext context;
+  context.new_machine = true;
+  Component few("few", ComponentKind::Executable);
+  few.profile() = make_profile(0, 0, 0, 2, 1, 0);
+  few.add_config(ConfigVariable{"a", "int", Json(1), false, ""});
+  Component many = few;
+  for (const std::string name : {"b", "c", "d", "e"}) {
+    many.add_config(ConfigVariable{name, "int", Json(1), false, ""});
+  }
+  const double few_minutes =
+      summarize(interventions_for(few, context)).manual_minutes;
+  const double many_minutes =
+      summarize(interventions_for(many, context)).manual_minutes;
+  EXPECT_GT(many_minutes, few_minutes);
+}
+
+TEST(TechnicalDebt, NewFormatWorstCaseRequiresReverseEngineering) {
+  ReuseContext context;
+  context.new_data_format = true;
+  const auto interventions =
+      interventions_for(with_profile(GaugeProfile{}), context);
+  bool mentions_reverse_engineering = false;
+  for (const auto& intervention : interventions) {
+    if (intervention.description.find("reverse-engineer") != std::string::npos) {
+      mentions_reverse_engineering = true;
+      EXPECT_TRUE(intervention.manual);
+    }
+  }
+  EXPECT_TRUE(mentions_reverse_engineering);
+}
+
+TEST(TechnicalDebt, TypedSchemaAutomatesConversion) {
+  ReuseContext context;
+  context.new_data_format = true;
+  GaugeProfile profile = make_profile(0, 3, 1, 0, 0, 0);
+  const auto interventions = interventions_for(with_profile(profile), context);
+  for (const auto& intervention : interventions) {
+    if (intervention.gauge == Gauge::DataSchema) {
+      EXPECT_FALSE(intervention.manual);
+    }
+  }
+}
+
+TEST(TechnicalDebt, MonotoneNonIncreasingInEveryGauge) {
+  // Property: raising any single gauge tier never increases manual minutes,
+  // for every context toggle. This is the core invariant the model must
+  // keep for assessments to be meaningful.
+  std::vector<ReuseContext> contexts;
+  for (int bit = 0; bit < 6; ++bit) {
+    ReuseContext context;
+    context.new_machine = bit == 0;
+    context.new_dataset = bit == 1;
+    context.new_data_format = bit == 2;
+    context.new_team = bit == 3;
+    context.new_scale = bit == 4;
+    context.new_policy = bit == 5;
+    contexts.push_back(context);
+  }
+  for (const auto& context : contexts) {
+    for (Gauge gauge : kAllGauges) {
+      for (uint8_t tier = 0; static_cast<size_t>(tier) + 1 < tier_count(gauge);
+           ++tier) {
+        GaugeProfile lower;
+        lower.set_tier(gauge, tier);
+        GaugeProfile upper;
+        upper.set_tier(gauge, static_cast<uint8_t>(tier + 1));
+        const double lower_minutes =
+            summarize(interventions_for(with_profile(lower), context)).manual_minutes;
+        const double upper_minutes =
+            summarize(interventions_for(with_profile(upper), context)).manual_minutes;
+        EXPECT_LE(upper_minutes, lower_minutes)
+            << gauge_name(gauge) << " tier " << int(tier) << " -> " << int(tier + 1);
+      }
+    }
+  }
+}
+
+TEST(TechnicalDebt, DebtForSumsComponents) {
+  ReuseContext context;
+  context.new_dataset = true;
+  std::vector<Component> components = {with_profile(GaugeProfile{}),
+                                       with_profile(GaugeProfile{})};
+  const DebtSummary total = debt_for(components, context);
+  const DebtSummary single =
+      summarize(interventions_for(components[0], context));
+  EXPECT_EQ(total.manual_count, 2 * single.manual_count);
+  EXPECT_DOUBLE_EQ(total.manual_minutes, 2 * single.manual_minutes);
+}
+
+TEST(TechnicalDebt, RenderShowsManualAndAutoMarkers) {
+  ReuseContext context;
+  context.new_machine = true;
+  context.new_policy = true;
+  GaugeProfile profile = make_profile(0, 0, 0, 4, 3, 0);
+  const std::string text =
+      render_interventions(interventions_for(with_profile(profile), context));
+  EXPECT_NE(text.find("[auto"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,169 @@
+#include "core/workflow_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ff::core {
+namespace {
+
+Component node(const std::string& id, ComponentKind kind,
+               std::initializer_list<Port> ports) {
+  Component component(id, kind);
+  for (const Port& port : ports) component.add_port(port);
+  return component;
+}
+
+Port in(const std::string& name, const std::string& schema = "") {
+  return Port{name, PortDirection::Input, schema, "", ConsumptionSemantics::Unknown};
+}
+Port out(const std::string& name, const std::string& schema = "") {
+  return Port{name, PortDirection::Output, schema, "", ConsumptionSemantics::Unknown};
+}
+
+WorkflowGraph linear_graph() {
+  WorkflowGraph graph("linear");
+  graph.add_component(node("a", ComponentKind::Executable, {out("o")}));
+  graph.add_component(node("b", ComponentKind::Executable, {in("i"), out("o")}));
+  graph.add_component(node("c", ComponentKind::Executable, {in("i")}));
+  graph.connect("a", "o", "b", "i");
+  graph.connect("b", "o", "c", "i");
+  return graph;
+}
+
+TEST(WorkflowGraph, AddAndLookup) {
+  WorkflowGraph graph;
+  graph.add_component(node("x", ComponentKind::Executable, {}));
+  EXPECT_TRUE(graph.has_component("x"));
+  EXPECT_THROW(graph.component("y"), NotFoundError);
+  EXPECT_THROW(graph.add_component(node("x", ComponentKind::Executable, {})),
+               ValidationError);
+  EXPECT_THROW(graph.add_component(Component("", ComponentKind::Executable)),
+               ValidationError);
+}
+
+TEST(WorkflowGraph, ConnectValidatesDirections) {
+  WorkflowGraph graph;
+  graph.add_component(node("a", ComponentKind::Executable, {out("o"), in("i")}));
+  graph.add_component(node("b", ComponentKind::Executable, {in("i"), out("o")}));
+  EXPECT_THROW(graph.connect("a", "i", "b", "i"), ValidationError);  // input as source
+  EXPECT_THROW(graph.connect("a", "o", "b", "o"), ValidationError);  // output as target
+  EXPECT_THROW(graph.connect("missing", "o", "b", "i"), NotFoundError);
+}
+
+TEST(WorkflowGraph, ConnectReportsSchemaMismatch) {
+  WorkflowGraph graph;
+  graph.add_component(node("a", ComponentKind::Executable, {out("o", "csv:x:v1")}));
+  graph.add_component(node("b", ComponentKind::Executable,
+                           {in("i", "csv:y:v1"), in("j", ""), in("k", "csv:x:v1")}));
+  EXPECT_FALSE(graph.connect("a", "o", "b", "i"));  // mismatch
+  EXPECT_TRUE(graph.connect("a", "o", "b", "j"));   // unknown schema: advisory ok
+  EXPECT_TRUE(graph.connect("a", "o", "b", "k"));   // exact match
+}
+
+TEST(WorkflowGraph, TopologicalOrderRespectsEdges) {
+  const WorkflowGraph graph = linear_graph();
+  const auto order = graph.topological_order();
+  const auto pos = [&](const std::string& id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos("a"), pos("b"));
+  EXPECT_LT(pos("b"), pos("c"));
+  EXPECT_FALSE(graph.has_cycle());
+}
+
+TEST(WorkflowGraph, CycleDetected) {
+  WorkflowGraph graph;
+  graph.add_component(node("a", ComponentKind::Executable, {in("i"), out("o")}));
+  graph.add_component(node("b", ComponentKind::Executable, {in("i"), out("o")}));
+  graph.connect("a", "o", "b", "i");
+  graph.connect("b", "o", "a", "i");
+  EXPECT_TRUE(graph.has_cycle());
+  EXPECT_THROW(graph.topological_order(), StateError);
+}
+
+TEST(WorkflowGraph, SourcesAndSinks) {
+  const WorkflowGraph graph = linear_graph();
+  EXPECT_EQ(graph.sources(), std::vector<std::string>{"a"});
+  EXPECT_EQ(graph.sinks(), std::vector<std::string>{"c"});
+}
+
+TEST(WorkflowGraph, RepeatedRolesGroupsBySignature) {
+  WorkflowGraph graph("fan-out");
+  graph.add_component(node("src", ComponentKind::Executable, {out("o", "s")}));
+  for (const std::string id : {"w1", "w2", "w3"}) {
+    graph.add_component(node(id, ComponentKind::Executable, {in("i", "s")}));
+    graph.connect("src", "o", id, "i");
+  }
+  const auto groups = graph.repeated_roles(2);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(WorkflowGraph, FindPatternLocatesSubgraph) {
+  // Build: instrument -> scheduler -> {consumer1, consumer2}
+  WorkflowGraph graph("streaming");
+  graph.add_component(node("instrument", ComponentKind::Executable, {out("o")}));
+  graph.add_component(
+      node("sched", ComponentKind::InternalService, {in("i"), out("o")}));
+  graph.add_component(node("consumer1", ComponentKind::Executable, {in("i")}));
+  graph.add_component(node("consumer2", ComponentKind::Executable, {in("i")}));
+  graph.connect("instrument", "o", "sched", "i");
+  graph.connect("sched", "o", "consumer1", "i");
+  graph.connect("sched", "o", "consumer2", "i");
+
+  const auto matches = graph.find_pattern(collection_selection_forwarding_pattern());
+  // Two occurrences: one per consumer; source may also bind to a consumer
+  // with no edges... it cannot, edges must exist. The scheduler is unique.
+  ASSERT_EQ(matches.size(), 2u);
+  for (const auto& match : matches) {
+    EXPECT_EQ(match.at("scheduler"), "sched");
+    EXPECT_EQ(match.at("source"), "instrument");
+  }
+}
+
+TEST(WorkflowGraph, FindPatternNoMatchWhenKindDiffers) {
+  WorkflowGraph graph("no-service");
+  graph.add_component(node("a", ComponentKind::Executable, {out("o")}));
+  graph.add_component(node("b", ComponentKind::Executable, {in("i"), out("o")}));
+  graph.add_component(node("c", ComponentKind::Executable, {in("i")}));
+  graph.connect("a", "o", "b", "i");
+  graph.connect("b", "o", "c", "i");
+  EXPECT_TRUE(graph.find_pattern(collection_selection_forwarding_pattern()).empty());
+}
+
+TEST(WorkflowGraph, AggregateProfileIsWeakestLink) {
+  WorkflowGraph graph;
+  Component strong("strong", ComponentKind::Executable);
+  strong.profile() = make_profile(4, 4, 4, 4, 4, 4);
+  Component weak("weak", ComponentKind::Executable);
+  weak.profile() = make_profile(1, 2, 3, 0, 2, 1);
+  graph.add_component(std::move(strong));
+  graph.add_component(std::move(weak));
+  EXPECT_EQ(graph.aggregate_profile(), make_profile(1, 2, 3, 0, 2, 1));
+}
+
+TEST(WorkflowGraph, AggregateProfileOfEmptyGraphIsUnknown) {
+  EXPECT_EQ(WorkflowGraph{}.aggregate_profile(), GaugeProfile{});
+}
+
+TEST(WorkflowGraph, JsonRoundTrip) {
+  const WorkflowGraph graph = linear_graph();
+  const WorkflowGraph reparsed = WorkflowGraph::from_json(graph.to_json());
+  EXPECT_EQ(reparsed.name(), "linear");
+  EXPECT_EQ(reparsed.component_count(), 3u);
+  EXPECT_EQ(reparsed.edges(), graph.edges());
+}
+
+TEST(Edge, EndpointParsing) {
+  const Edge edge = Edge::from_json(Json::parse(R"({"from":"a.o","to":"b.i"})"));
+  EXPECT_EQ(edge.from_component, "a");
+  EXPECT_EQ(edge.to_port, "i");
+  EXPECT_THROW(Edge::from_json(Json::parse(R"({"from":"nodot","to":"b.i"})")),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,85 @@
+#include "gwas/formats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::gwas {
+namespace {
+
+std::vector<AnnotationRecord> sample_records() {
+  return {
+      {"chr1", 100, 200, "geneA", 5.5, '+'},
+      {"chr2", 0, 50, "geneB", 0.0, '-'},
+      {"chrX", 999, 1000, "geneC", 12.0, '.'},
+  };
+}
+
+TEST(Bed, RoundTrip) {
+  const auto records = sample_records();
+  EXPECT_EQ(parse_bed(write_bed(records)), records);
+}
+
+TEST(Bed, ParsesTypicalContent) {
+  const auto records =
+      parse_bed("# comment line\nchr1\t10\t20\tfeat\t3.5\t+\n\nchr2\t0\t5\tf2\t.\t-\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].chrom, "chr1");
+  EXPECT_EQ(records[0].start, 10);
+  EXPECT_EQ(records[1].score, 0.0);  // '.' score
+}
+
+TEST(Bed, RejectsMalformedLines) {
+  EXPECT_THROW(parse_bed("chr1\t10\t20\n"), ParseError);           // too few fields
+  EXPECT_THROW(parse_bed("chr1\tten\t20\tf\t1\t+\n"), ParseError); // non-numeric
+  EXPECT_THROW(parse_bed("chr1\t30\t20\tf\t1\t+\n"), ParseError);  // end < start
+  EXPECT_THROW(parse_bed("chr1\t10\t20\tf\t1\t?\n"), ParseError);  // bad strand
+}
+
+TEST(Gff3, RoundTrip) {
+  const auto records = sample_records();
+  EXPECT_EQ(parse_gff3(write_gff3(records)), records);
+}
+
+TEST(Gff3, CoordinateConventionIsOneBasedClosed) {
+  // Internal record [100, 200) must appear as 101..200 in GFF3 text.
+  const std::string text = write_gff3({{"chr1", 100, 200, "g", 0, '+'}});
+  EXPECT_NE(text.find("\t101\t200\t"), std::string::npos);
+  EXPECT_NE(text.find("##gff-version 3"), std::string::npos);
+  EXPECT_NE(text.find("ID=g"), std::string::npos);
+}
+
+TEST(Gff3, ParsesAttributesForName) {
+  const auto records = parse_gff3(
+      "##gff-version 3\n"
+      "chr1\tsrc\tgene\t11\t20\t2.5\t+\t.\tNote=x; ID=myGene ;Other=y\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "myGene");
+  EXPECT_EQ(records[0].start, 10);  // converted to 0-based
+  EXPECT_EQ(records[0].end, 20);
+}
+
+TEST(Gff3, RejectsMalformed) {
+  EXPECT_THROW(parse_gff3("chr1\tsrc\tgene\t11\t20\n"), ParseError);
+  EXPECT_THROW(parse_gff3("chr1\tsrc\tgene\t0\t20\t.\t+\t.\tID=x\n"), ParseError);
+}
+
+TEST(Convert, BedToGff3AndBack) {
+  const std::string bed = write_bed(sample_records());
+  const std::string gff3 = convert_annotation(bed, "bed", "gff3");
+  const std::string back = convert_annotation(gff3, "gff3", "bed");
+  EXPECT_EQ(parse_bed(back), sample_records());
+}
+
+TEST(Convert, IdentityConversions) {
+  const std::string bed = write_bed(sample_records());
+  EXPECT_EQ(convert_annotation(bed, "bed", "bed"), bed);
+}
+
+TEST(Convert, UnknownFormatsThrow) {
+  EXPECT_THROW(convert_annotation("", "sam", "bed"), ValidationError);
+  EXPECT_THROW(convert_annotation("", "bed", "gtf9"), ValidationError);
+}
+
+}  // namespace
+}  // namespace ff::gwas

@@ -1,0 +1,107 @@
+#include "gwas/genotype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::gwas {
+namespace {
+
+GwasConfig small_config() {
+  GwasConfig config;
+  config.samples = 100;
+  config.snps = 60;
+  config.causal_snps = 3;
+  config.effect_size = 1.2;
+  config.noise = 0.5;
+  return config;
+}
+
+TEST(MakeGwasData, ShapesAndValues) {
+  const GwasData data = make_gwas_data(small_config(), 1);
+  EXPECT_EQ(data.genotypes.rows(), 100u);
+  EXPECT_EQ(data.genotypes.cols(), 61u);  // sample + 60 SNPs
+  EXPECT_EQ(data.phenotypes.rows(), 100u);
+  EXPECT_EQ(data.causal.size(), 3u);
+  // Dosages are 0/1/2.
+  for (size_t row = 0; row < 20; ++row) {
+    for (size_t col = 1; col < data.genotypes.cols(); ++col) {
+      const std::string& cell = data.genotypes.cell(row, col);
+      EXPECT_TRUE(cell == "0" || cell == "1" || cell == "2") << cell;
+    }
+  }
+  // Sample keys align between tables.
+  EXPECT_EQ(data.genotypes.column("sample"), data.phenotypes.column("sample"));
+}
+
+TEST(MakeGwasData, DeterministicAndSeedSensitive) {
+  const GwasData a = make_gwas_data(small_config(), 7);
+  const GwasData b = make_gwas_data(small_config(), 7);
+  const GwasData c = make_gwas_data(small_config(), 8);
+  EXPECT_EQ(a.genotypes, b.genotypes);
+  EXPECT_EQ(a.causal, b.causal);
+  EXPECT_NE(a.genotypes, c.genotypes);
+}
+
+TEST(MakeGwasData, Validation) {
+  GwasConfig bad = small_config();
+  bad.causal_snps = 1000;
+  EXPECT_THROW(make_gwas_data(bad, 1), ValidationError);
+  bad = small_config();
+  bad.samples = 1;
+  EXPECT_THROW(make_gwas_data(bad, 1), ValidationError);
+}
+
+TEST(Shards, CoverAllSnpColumnsExactlyOnce) {
+  const GwasData data = make_gwas_data(small_config(), 2);
+  TempDir dir;
+  const auto paths = write_genotype_shards(data.genotypes, dir.str(), 7);
+  ASSERT_EQ(paths.size(), 7u);
+  CsvOptions tsv;
+  tsv.separator = '\t';
+  std::set<std::string> seen;
+  for (const std::string& path : paths) {
+    const Table shard = read_csv_file(path, tsv);
+    EXPECT_EQ(shard.rows(), 100u);
+    EXPECT_EQ(shard.column_names()[0], "sample");
+    for (size_t col = 1; col < shard.cols(); ++col) {
+      EXPECT_TRUE(seen.insert(shard.column_names()[col]).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 60u);
+}
+
+TEST(Shards, Validation) {
+  const GwasData data = make_gwas_data(small_config(), 3);
+  TempDir dir;
+  EXPECT_THROW(write_genotype_shards(data.genotypes, dir.str(), 0), ValidationError);
+  EXPECT_THROW(write_genotype_shards(data.genotypes, dir.str(), 61), ValidationError);
+}
+
+TEST(AssociationScan, CausalSnpsRankTop) {
+  const GwasData data = make_gwas_data(small_config(), 4);
+  const auto associations = association_scan(data.genotypes, data.phenotypes);
+  ASSERT_EQ(associations.size(), 60u);
+  // Sorted by descending r².
+  for (size_t i = 1; i < associations.size(); ++i) {
+    EXPECT_GE(associations[i - 1].r2, associations[i].r2);
+  }
+  // All causal SNPs within the top 10 hits for this effect size.
+  std::set<size_t> top;
+  for (size_t i = 0; i < 10; ++i) top.insert(associations[i].index);
+  for (size_t causal : data.causal) EXPECT_TRUE(top.count(causal)) << causal;
+  // Effect direction is positive (causal alleles increase the trait).
+  EXPECT_GT(associations[0].slope, 0);
+}
+
+TEST(AssociationScan, MismatchedSamplesThrow) {
+  const GwasData data = make_gwas_data(small_config(), 5);
+  const Table truncated = data.phenotypes.slice_rows(0, 50);
+  EXPECT_THROW(association_scan(data.genotypes, truncated), ValidationError);
+}
+
+}  // namespace
+}  // namespace ff::gwas

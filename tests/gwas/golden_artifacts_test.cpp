@@ -1,0 +1,84 @@
+// Golden-text regression tests for the Skel-generated paste workflow: the
+// exact artifact bytes for a fixed model. These guard against silent
+// template drift — a generated submit script is an interface to the batch
+// system, and byte changes there are semantic changes.
+
+#include <gtest/gtest.h>
+
+#include "gwas/workflow.hpp"
+
+namespace ff::gwas {
+namespace {
+
+std::vector<skel::Artifact> golden_artifacts() {
+  const Json model_json =
+      make_paste_model("/gpfs/proj/shards", 7, 3, "BIF101", "1:30", 2);
+  const skel::Model model(model_json, paste_model_schema());
+  return make_paste_generator().generate(model);
+}
+
+const skel::Artifact& find(const std::vector<skel::Artifact>& artifacts,
+                           const std::string& path) {
+  for (const auto& artifact : artifacts) {
+    if (artifact.path == path) return artifact;
+  }
+  throw std::runtime_error("missing artifact " + path);
+}
+
+TEST(GoldenArtifacts, SubpasteScriptExactText) {
+  const auto artifacts = golden_artifacts();
+  EXPECT_EQ(find(artifacts, "jobs/subpaste_0.sh").content,
+            "#!/bin/bash\n"
+            "#BSUB -P BIF101\n"
+            "#BSUB -W 1:30\n"
+            "#BSUB -nnodes 2\n"
+            "# sub-paste group 0: 3 shards\n"
+            "paste_tool --key sample \\\n"
+            "  /gpfs/proj/shards/shard_0000.tsv \\\n"
+            "  /gpfs/proj/shards/shard_0001.tsv \\\n"
+            "  /gpfs/proj/shards/shard_0002.tsv \\\n"
+            "  --output scratch/subpaste_0.tsv\n");
+}
+
+TEST(GoldenArtifacts, LastGroupHoldsRemainder) {
+  const auto artifacts = golden_artifacts();
+  EXPECT_EQ(find(artifacts, "jobs/subpaste_2.sh").content,
+            "#!/bin/bash\n"
+            "#BSUB -P BIF101\n"
+            "#BSUB -W 1:30\n"
+            "#BSUB -nnodes 2\n"
+            "# sub-paste group 2: 1 shards\n"
+            "paste_tool --key sample \\\n"
+            "  /gpfs/proj/shards/shard_0006.tsv \\\n"
+            "  --output scratch/subpaste_2.tsv\n");
+}
+
+TEST(GoldenArtifacts, StatusScriptExactText) {
+  const auto artifacts = golden_artifacts();
+  EXPECT_EQ(find(artifacts, "status.sh").content,
+            "#!/bin/bash\n"
+            "# query progress of the paste campaign\n"
+            "ls scratch/subpaste_*.tsv 2>/dev/null | wc -l\n");
+}
+
+TEST(GoldenArtifacts, ArtifactSetIsStable) {
+  const auto artifacts = golden_artifacts();
+  std::vector<std::string> paths;
+  for (const auto& artifact : artifacts) paths.push_back(artifact.path);
+  EXPECT_EQ(paths, (std::vector<std::string>{
+                       "jobs/subpaste_0.sh", "jobs/subpaste_1.sh",
+                       "jobs/subpaste_2.sh", "jobs/final_merge.sh",
+                       "campaign.json", "status.sh", "manifest.json"}));
+}
+
+TEST(GoldenArtifacts, GenerationIsIdempotent) {
+  const auto a = golden_artifacts();
+  const auto b = golden_artifacts();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].content, b[i].content) << a[i].path;
+  }
+}
+
+}  // namespace
+}  // namespace ff::gwas

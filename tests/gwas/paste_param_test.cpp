@@ -1,0 +1,91 @@
+// Parameterized properties of the two-phase paste planner: for every legal
+// (files, fan_in) pair, the plan must partition the inputs exactly, respect
+// the fan-in on both phases, and its modeled cost must beat (or match) the
+// single-paste cost whenever two phases are used.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gwas/paste.hpp"
+#include "util/error.hpp"
+
+namespace ff::gwas {
+namespace {
+
+struct PlanCase {
+  size_t files;
+  size_t fan_in;
+};
+
+class PastePlanSweep : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PastePlanSweep, PartitionsInputsExactly) {
+  const auto [files, fan_in] = GetParam();
+  const PastePlan plan = plan_two_phase_paste(files, fan_in);
+  std::set<size_t> seen;
+  for (const auto& group : plan.groups) {
+    EXPECT_FALSE(group.empty());
+    EXPECT_LE(group.size(), fan_in);
+    for (size_t index : group) {
+      EXPECT_LT(index, files);
+      EXPECT_TRUE(seen.insert(index).second) << "duplicate input " << index;
+    }
+  }
+  EXPECT_EQ(seen.size(), files);
+}
+
+TEST_P(PastePlanSweep, PhaseTwoRespectsFanIn) {
+  const auto [files, fan_in] = GetParam();
+  const PastePlan plan = plan_two_phase_paste(files, fan_in);
+  if (plan.needs_final_merge) {
+    EXPECT_LE(plan.groups.size(), fan_in);
+    EXPECT_GT(plan.groups.size(), 1u);
+  } else {
+    EXPECT_EQ(plan.groups.size(), 1u);
+    EXPECT_LE(files, fan_in);
+  }
+}
+
+TEST_P(PastePlanSweep, ModeledCostNotWorseThanSinglePaste) {
+  const auto [files, fan_in] = GetParam();
+  const PastePlan plan = plan_two_phase_paste(files, fan_in);
+  const double single = paste_cost_model(files, 20, 10000);
+  const double planned = plan_cost_model(plan, 20, 10000, 1);
+  if (plan.needs_final_merge) {
+    // At scale the two-phase plan is the whole point; near the crossover
+    // (files barely above fan_in) a small constant overhead is acceptable.
+    EXPECT_LE(planned, single * 1.5);
+    if (files >= 100) {
+      EXPECT_LT(planned, single);
+    }
+  } else {
+    EXPECT_NEAR(planned, single, single * 0.01);
+  }
+}
+
+TEST_P(PastePlanSweep, MoreWorkersNeverSlower) {
+  const auto [files, fan_in] = GetParam();
+  const PastePlan plan = plan_two_phase_paste(files, fan_in);
+  double previous = plan_cost_model(plan, 20, 10000, 1);
+  for (size_t workers : {2u, 4u, 8u, 32u}) {
+    const double cost = plan_cost_model(plan, 20, 10000, workers);
+    EXPECT_LE(cost, previous + 1e-9) << workers;
+    previous = cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PastePlanSweep,
+    ::testing::Values(PlanCase{1, 2}, PlanCase{2, 2}, PlanCase{4, 2},
+                      PlanCase{10, 16}, PlanCase{16, 16}, PlanCase{17, 16},
+                      PlanCase{100, 16}, PlanCase{255, 16}, PlanCase{256, 16},
+                      PlanCase{1000, 40}, PlanCase{1606, 48},
+                      PlanCase{2500, 50}),
+    [](const ::testing::TestParamInfo<PlanCase>& info) {
+      return "f" + std::to_string(info.param.files) + "_k" +
+             std::to_string(info.param.fan_in);
+    });
+
+}  // namespace
+}  // namespace ff::gwas

@@ -1,0 +1,143 @@
+#include "gwas/paste.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gwas/genotype.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::gwas {
+namespace {
+
+Table table_with(const std::string& column, const std::vector<std::string>& values) {
+  Table table({"sample", column});
+  for (size_t i = 0; i < values.size(); ++i) {
+    table.add_row({"S" + std::to_string(i), values[i]});
+  }
+  return table;
+}
+
+TEST(PasteTables, MergesOnKeyColumn) {
+  const Table merged = paste_tables(
+      {table_with("a", {"1", "2"}), table_with("b", {"3", "4"})});
+  EXPECT_EQ(merged.cols(), 3u);
+  EXPECT_EQ(merged.column_names(), (std::vector<std::string>{"sample", "a", "b"}));
+  EXPECT_EQ(merged.cell(1, "b"), "4");
+}
+
+TEST(PasteTables, RejectsMismatchedKeys) {
+  Table odd({"sample", "x"});
+  odd.add_row({"DIFFERENT", "1"});
+  odd.add_row({"S1", "2"});
+  EXPECT_THROW(paste_tables({table_with("a", {"1", "2"}), odd}), ValidationError);
+  EXPECT_THROW(paste_tables({}), ValidationError);
+  Table keyless({"x"});
+  keyless.add_row({"1"});
+  EXPECT_THROW(paste_tables({keyless}), ValidationError);
+}
+
+TEST(PlanTwoPhase, SinglePhaseWhenFewFiles) {
+  const PastePlan plan = plan_two_phase_paste(10, 16);
+  EXPECT_EQ(plan.groups.size(), 1u);
+  EXPECT_FALSE(plan.needs_final_merge);
+  EXPECT_EQ(plan.subjobs(), 1u);
+  EXPECT_EQ(plan.groups[0].size(), 10u);
+}
+
+TEST(PlanTwoPhase, TwoPhaseCoversAllFilesOnce) {
+  const PastePlan plan = plan_two_phase_paste(100, 16);
+  EXPECT_TRUE(plan.needs_final_merge);
+  EXPECT_EQ(plan.groups.size(), 7u);  // ceil(100/16)
+  std::vector<bool> seen(100, false);
+  for (const auto& group : plan.groups) {
+    EXPECT_LE(group.size(), 16u);
+    for (size_t index : group) {
+      EXPECT_FALSE(seen[index]);
+      seen[index] = true;
+    }
+  }
+  for (bool covered : seen) EXPECT_TRUE(covered);
+  EXPECT_EQ(plan.subjobs(), 8u);
+}
+
+TEST(PlanTwoPhase, Validation) {
+  EXPECT_THROW(plan_two_phase_paste(0, 4), ValidationError);
+  EXPECT_THROW(plan_two_phase_paste(10, 1), ValidationError);
+  // fan_in too small for two phases: 100 files with fan_in 5 => 20 groups > 5.
+  EXPECT_THROW(plan_two_phase_paste(100, 5), ValidationError);
+}
+
+TEST(ExecutePastePlan, EndToEndOnRealFiles) {
+  GwasConfig config;
+  config.samples = 40;
+  config.snps = 30;
+  config.causal_snps = 2;
+  const GwasData data = make_gwas_data(config, 1);
+  TempDir dir;
+  const auto shards = write_genotype_shards(data.genotypes, dir.str(), 12);
+
+  const PastePlan plan = plan_two_phase_paste(shards.size(), 4);
+  EXPECT_TRUE(plan.needs_final_merge);
+  const std::string output = execute_paste_plan(plan, shards, dir.str(),
+                                                dir.file("merged.tsv"), 2);
+  CsvOptions tsv;
+  tsv.separator = '\t';
+  const Table merged = read_csv_file(output, tsv);
+  EXPECT_EQ(merged.rows(), 40u);
+  EXPECT_EQ(merged.cols(), 31u);
+  // Every original column present with identical content.
+  for (const std::string& column : data.genotypes.column_names()) {
+    EXPECT_EQ(merged.column(column), data.genotypes.column(column)) << column;
+  }
+}
+
+TEST(ExecutePastePlan, SinglePhasePath) {
+  GwasConfig config;
+  config.samples = 10;
+  config.snps = 8;
+  config.causal_snps = 1;
+  const GwasData data = make_gwas_data(config, 2);
+  TempDir dir;
+  const auto shards = write_genotype_shards(data.genotypes, dir.str(), 3);
+  const PastePlan plan = plan_two_phase_paste(shards.size(), 8);
+  const std::string output =
+      execute_paste_plan(plan, shards, dir.str(), dir.file("merged.tsv"));
+  CsvOptions tsv;
+  tsv.separator = '\t';
+  EXPECT_EQ(read_csv_file(output, tsv).cols(), 9u);
+}
+
+TEST(ExecutePastePlan, BadPlanReferencesThrow) {
+  PastePlan plan;
+  plan.groups = {{0, 5}};
+  TempDir dir;
+  EXPECT_THROW(execute_paste_plan(plan, {"only_one.tsv"}, dir.str(),
+                                  dir.file("out.tsv")),
+               ValidationError);
+}
+
+TEST(CostModel, SuperlinearInFileCount) {
+  const double one = paste_cost_model(1, 10, 1000);
+  const double hundred = paste_cost_model(100, 10, 1000);
+  EXPECT_GT(hundred, one * 100);  // superlinear file-handling term
+  EXPECT_EQ(paste_cost_model(0, 10, 1000), 0.0);
+}
+
+TEST(CostModel, TwoPhaseBeatsSinglePasteAtScale) {
+  // The reason the workflow exists: pasting 1000 files at once is worse
+  // than two-phase even on one worker.
+  const double single = paste_cost_model(1000, 50, 100000);
+  const PastePlan plan = plan_two_phase_paste(1000, 40);
+  const double two_phase = plan_cost_model(plan, 50, 100000, 1);
+  EXPECT_LT(two_phase, single);
+}
+
+TEST(CostModel, ParallelWorkersReduceMakespan) {
+  const PastePlan plan = plan_two_phase_paste(256, 16);
+  const double serial = plan_cost_model(plan, 50, 100000, 1);
+  const double parallel = plan_cost_model(plan, 50, 100000, 8);
+  EXPECT_LT(parallel, serial);
+}
+
+}  // namespace
+}  // namespace ff::gwas

@@ -1,0 +1,102 @@
+#include "gwas/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assessment.hpp"
+
+namespace ff::gwas {
+namespace {
+
+TEST(PasteModel, SchemaValidatesGeneratedModel) {
+  const Json model = make_paste_model("/data/shards", 100, 16, "BIF101", "2:00", 4);
+  EXPECT_TRUE(paste_model_schema().validate(model).empty());
+  EXPECT_EQ(model.at_path("strategy.fan_in").as_int(), 16);
+  EXPECT_EQ(model["groups"].size(), 7u);  // ceil(100/16)
+  EXPECT_EQ(model["groups"][size_t{0}]["files"].size(), 16u);
+}
+
+TEST(PasteModel, SchemaCatchesMissingFields) {
+  Json broken = make_paste_model("/d", 10, 4, "A", "1:00", 1);
+  broken.as_object().erase("dataset");
+  EXPECT_FALSE(paste_model_schema().validate(broken).empty());
+}
+
+TEST(PasteGenerator, EmitsSubjobPerGroupPlusSupportFiles) {
+  const Json model_json = make_paste_model("/gpfs/proj/shards", 50, 10, "BIF101",
+                                           "1:30", 2);
+  const skel::Model model(model_json, paste_model_schema());
+  const auto artifacts = make_paste_generator().generate(model);
+  // 5 subjobs + final merge + campaign.json + status.sh + manifest.json
+  EXPECT_EQ(artifacts.size(), 9u);
+  EXPECT_EQ(artifacts[0].path, "jobs/subpaste_0.sh");
+  EXPECT_TRUE(artifacts[0].executable);
+  EXPECT_NE(artifacts[0].content.find("#BSUB -P BIF101"), std::string::npos);
+  EXPECT_NE(artifacts[0].content.find("/gpfs/proj/shards/shard_0000.tsv"),
+            std::string::npos);
+  EXPECT_NE(artifacts[0].content.find("#BSUB -W 1:30"), std::string::npos);
+}
+
+TEST(PasteGenerator, NewConfigurationIsOneModelEdit) {
+  // The Fig. 2 claim: a new machine/dataset touches the model only; the
+  // regenerated artifacts pick it up everywhere.
+  Json model_json = make_paste_model("/gpfs/a", 50, 10, "OLD_ACCT", "1:00", 2);
+  model_json["machine"]["account"] = "NEW_ACCT";
+  const skel::Model model(model_json, paste_model_schema());
+  const auto artifacts = make_paste_generator().generate(model);
+  size_t scripts_with_account = 0;
+  for (const auto& artifact : artifacts) {
+    if (artifact.content.find("NEW_ACCT") != std::string::npos) {
+      ++scripts_with_account;
+    }
+    EXPECT_EQ(artifact.content.find("OLD_ACCT"), std::string::npos);
+  }
+  EXPECT_GE(scripts_with_account, 6u);  // every job script
+}
+
+TEST(Interventions, ManualGrowsWithPlanSkelDoesNot) {
+  const PastePlan small = plan_two_phase_paste(32, 16);
+  const PastePlan large = plan_two_phase_paste(512, 32);
+  const InterventionCount manual_small = manual_interventions(small);
+  const InterventionCount manual_large = manual_interventions(large);
+  const InterventionCount skel_small = skel_interventions(small);
+  const InterventionCount skel_large = skel_interventions(large);
+  EXPECT_GT(manual_large.total(), manual_small.total());
+  EXPECT_EQ(skel_small.total(), skel_large.total());
+  EXPECT_EQ(skel_small.total(), 3u);
+  EXPECT_GT(manual_large.total(), 10 * skel_large.total());
+}
+
+TEST(Components, SkelComponentDominatesManual) {
+  const core::Component manual = manual_paste_component();
+  const core::Component skel = skel_paste_component();
+  EXPECT_TRUE(skel.profile().dominates(manual.profile()));
+  EXPECT_GT(skel.exposed_config_count(), manual.exposed_config_count());
+  // Refactored component reaches the Model tier of customizability.
+  EXPECT_GE(skel.profile().tier(core::Gauge::SoftwareCustomizability), 3);
+}
+
+TEST(Workflows, RefactoredReducesAssessedDebt) {
+  core::ReuseContext machine;
+  machine.new_machine = true;
+  core::ReuseContext dataset;
+  dataset.new_dataset = true;
+  dataset.new_data_format = true;
+  const std::vector<core::ReuseContext> contexts = {machine, dataset};
+  const auto legacy = core::assess(legacy_gwas_workflow(), contexts);
+  const auto refactored = core::assess(refactored_gwas_workflow(), contexts);
+  EXPECT_LT(refactored.total_debt.manual_minutes, legacy.total_debt.manual_minutes);
+  EXPECT_GT(refactored.total_debt.automated_count, legacy.total_debt.automated_count);
+}
+
+TEST(Workflows, GraphsAreWellFormedPipelines) {
+  const core::WorkflowGraph legacy = legacy_gwas_workflow();
+  EXPECT_EQ(legacy.component_count(), 3u);
+  EXPECT_FALSE(legacy.has_cycle());
+  EXPECT_EQ(legacy.sources().size(), 1u);
+  EXPECT_EQ(legacy.sinks().size(), 1u);
+  const core::WorkflowGraph refactored = refactored_gwas_workflow();
+  EXPECT_EQ(refactored.topological_order().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ff::gwas

@@ -1,0 +1,217 @@
+// Cross-module integration tests: each test exercises a realistic path
+// through several libraries at once, mirroring how a downstream user would
+// wire them together.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cheetah/endpoint.hpp"
+#include "cheetah/manifest.hpp"
+#include "cheetah/results.hpp"
+#include "core/assessment.hpp"
+#include "core/metadata_catalog.hpp"
+#include "gwas/formats.hpp"
+#include "gwas/genotype.hpp"
+#include "gwas/workflow.hpp"
+#include "irf/irf_loop.hpp"
+#include "savanna/batch_runner.hpp"
+#include "savanna/provenance.hpp"
+#include "stream/codegen.hpp"
+#include "stream/marshal.hpp"
+#include "stream/scheduler.hpp"
+#include "util/fs.hpp"
+
+namespace ff {
+namespace {
+
+TEST(Integration, GwasCampaignEndToEnd) {
+  // 1. Science inputs on disk.
+  gwas::GwasConfig config;
+  config.samples = 50;
+  config.snps = 36;
+  config.causal_snps = 2;
+  config.effect_size = 1.5;
+  const gwas::GwasData data = gwas::make_gwas_data(config, 7);
+  TempDir dir("integration");
+  const auto shards = gwas::write_genotype_shards(data.genotypes, dir.str(), 9);
+
+  // 2. Model-driven generation of the workflow artifacts.
+  const Json model_json =
+      gwas::make_paste_model(dir.str(), shards.size(), 3, "ACC42", "1:00", 2);
+  const skel::Model model(model_json, gwas::paste_model_schema());
+  const auto artifacts = gwas::make_paste_generator().generate(model);
+  skel::Generator::write_all(artifacts, dir.file("generated"));
+  EXPECT_TRUE(std::filesystem::exists(dir.file("generated/manifest.json")));
+
+  // 3. Compose the campaign whose runs are the generated sub-pastes, pass
+  //    it through the manifest interop layer, materialize the endpoint.
+  const gwas::PastePlan plan = gwas::plan_two_phase_paste(shards.size(), 3);
+  cheetah::AppSpec app;
+  app.name = "subpaste";
+  app.executable = "bash";
+  app.args_template = "generated/jobs/subpaste_{{group}}.sh";
+  cheetah::Campaign campaign("gwas-paste-campaign", app);
+  cheetah::Sweep sweep("groups");
+  sweep.add(cheetah::Parameter::int_range("group", cheetah::ParamLayer::Application,
+                                          0, static_cast<int64_t>(plan.groups.size()) - 1));
+  cheetah::SweepGroup group("phase1");
+  group.add(std::move(sweep)).set_nodes(2).set_walltime_s(600);
+  campaign.add_group(std::move(group));
+  const Json manifest = cheetah::to_manifest(campaign);
+  const cheetah::Campaign restored = cheetah::campaign_from_manifest(manifest);
+  cheetah::CampaignEndpoint endpoint =
+      cheetah::CampaignEndpoint::create(restored, dir.file("campaigns"));
+
+  // 4. Execute (simulated) through the batch system with provenance.
+  std::vector<sim::TaskSpec> tasks;
+  for (const auto& run : restored.group("phase1").generate()) {
+    sim::TaskSpec task;
+    task.id = run.id;
+    task.duration_s = 60 + 20 * static_cast<double>(tasks.size() % 3);
+    tasks.push_back(std::move(task));
+  }
+  sim::MachineSpec machine = sim::institutional_cluster();
+  machine.queue_wait_mean_s = 120;
+  sim::Simulation sim;
+  sim::BatchSystem batch(sim, machine, 5);
+  savanna::CampaignRunOptions options;
+  options.execution.nodes = 2;
+  options.execution.walltime_s = 600;
+  savanna::RunTracker tracker;
+  const auto report =
+      savanna::run_campaign_through_batch(sim, batch, tasks, options, &tracker);
+  EXPECT_EQ(report.inner.remaining_runs, 0u);
+
+  // 5. States flow back into the endpoint; status is queryable.
+  for (const auto& task : tasks) endpoint.mark(task.id, cheetah::RunState::Done);
+  endpoint.save();
+  EXPECT_EQ(endpoint.status().done, tasks.size());
+  const auto reopened =
+      cheetah::CampaignEndpoint::open(dir.file("campaigns"), "gwas-paste-campaign");
+  EXPECT_EQ(reopened.status().done, tasks.size());
+
+  // 6. Provenance exports under the public policy without site details.
+  const Json exported =
+      savanna::export_provenance(tracker, savanna::public_release_policy());
+  EXPECT_EQ(exported.size(), tasks.size());
+  for (const auto& [_, record] : exported.as_object()) {
+    for (const Json& event : record["events"].as_array()) {
+      EXPECT_FALSE(event.contains("node"));
+    }
+  }
+
+  // 7. The real data path still works: execute the plan, scan, find causal.
+  const std::string merged = gwas::execute_paste_plan(
+      plan, shards, dir.str(), dir.file("merged.tsv"), 2);
+  CsvOptions tsv;
+  tsv.separator = '\t';
+  const auto hits =
+      gwas::association_scan(read_csv_file(merged, tsv), data.phenotypes);
+  std::set<size_t> top;
+  for (size_t i = 0; i < 6; ++i) top.insert(hits[i].index);
+  for (size_t causal : data.causal) EXPECT_TRUE(top.count(causal));
+}
+
+TEST(Integration, GaugeCatalogGatesFormatConversion) {
+  // The DataSchema metadata decides whether conversion is automatable; the
+  // gwas converters are the mechanism it dispatches to.
+  core::MetadataCatalog catalog;
+  catalog.put_schema(core::SchemaDescriptor{
+      "annotation_bed", 1, "bed", {{"interval", "string"}}});
+  catalog.put_schema(core::SchemaDescriptor{
+      "annotation_gff3", 1, "gff3", {{"interval", "string"}}});
+  ASSERT_TRUE(catalog.convertible("annotation_bed:v1", "annotation_gff3:v1"));
+
+  const std::vector<gwas::AnnotationRecord> records = {
+      {"chr7", 10, 90, "g", 1.0, '+'}};
+  const std::string converted =
+      gwas::convert_annotation(gwas::write_bed(records), "bed", "gff3");
+  EXPECT_EQ(gwas::parse_gff3(converted), records);
+}
+
+TEST(Integration, StreamSchemaSharedAcrossCatalogCodegenAndWire) {
+  // One schema object drives catalog registration, code generation, and
+  // the actual wire format — no drift possible between the three.
+  stream::StreamSchema schema;
+  schema.name = "diagnostic";
+  schema.version = 2;
+  schema.fields = {{"step", "int"}, {"residual", "double"}};
+
+  core::MetadataCatalog catalog;
+  catalog.put_schema(schema.to_descriptor());
+  EXPECT_TRUE(catalog.has_schema("diagnostic:v2"));
+
+  const auto artifacts = stream::generate_comm_code(schema);
+  EXPECT_FALSE(artifacts.empty());
+
+  stream::Encoder encoder(schema);
+  stream::Record record;
+  record.values = {stream::Value{int64_t{3}}, stream::Value{1e-6}};
+  encoder.append(record);
+  const auto decoded = stream::decode_stream(encoder.bytes());
+  EXPECT_EQ(stream::StreamSchema::from_descriptor(
+                catalog.schema("diagnostic:v2")),
+            decoded.schema);
+}
+
+TEST(Integration, AssessmentReflectsActualGeneratorCapabilities) {
+  // The refactored GWAS component claims Customizability=Model; verify the
+  // claim is backed by a generator that actually regenerates everything
+  // from the model (account change touches no template).
+  const core::Component skel_component = gwas::skel_paste_component();
+  ASSERT_GE(skel_component.profile().tier(core::Gauge::SoftwareCustomizability),
+            static_cast<uint8_t>(core::CustomizabilityTier::Model));
+  // And the debt model agrees a machine move is automated.
+  core::ReuseContext context;
+  context.new_machine = true;
+  const auto interventions = core::interventions_for(skel_component, context);
+  for (const auto& intervention : interventions) {
+    if (intervention.gauge == core::Gauge::SoftwareCustomizability) {
+      EXPECT_FALSE(intervention.manual);
+    }
+  }
+  // The generator's surface indeed exposes the machine settings.
+  const auto surface = gwas::make_paste_generator().customization_surface();
+  EXPECT_NE(std::find(surface.begin(), surface.end(), "machine.account"),
+            surface.end());
+  EXPECT_NE(std::find(surface.begin(), surface.end(), "machine.walltime"),
+            surface.end());
+}
+
+TEST(Integration, IrfNetworkIntoResultCatalog) {
+  // iRF-LOOP per-target fits recorded as campaign results: the codesign
+  // catalog then answers "which target was hardest to model".
+  irf::CensusConfig config;
+  config.samples = 80;
+  config.features = 6;
+  const irf::CensusDataset census = irf::make_census_dataset(config, 3);
+  irf::IrfLoopParams params;
+  params.irf.iterations = 2;
+  params.irf.forest.n_trees = 10;
+  const irf::IrfLoopResult network = irf::run_irf_loop(census.data, params, 9);
+
+  cheetah::ResultCatalog results;
+  for (size_t target = 0; target < 6; ++target) {
+    cheetah::RunSpec run;
+    run.id = "fit-" + std::to_string(target);
+    run.params["feature"] = Json(static_cast<int64_t>(target));
+    results.record(run, {{"oob_r2", network.per_target_r2[target]}});
+  }
+  const auto hardest = results.best("oob_r2", cheetah::Objective::None);
+  ASSERT_TRUE(hardest.has_value());
+  // The minimizer of R² is the hardest target; check consistency.
+  double lowest = 1e9;
+  size_t lowest_target = 0;
+  for (size_t target = 0; target < 6; ++target) {
+    if (network.per_target_r2[target] < lowest) {
+      lowest = network.per_target_r2[target];
+      lowest_target = target;
+    }
+  }
+  EXPECT_EQ(hardest->param("feature").as_int(),
+            static_cast<int64_t>(lowest_target));
+}
+
+}  // namespace
+}  // namespace ff

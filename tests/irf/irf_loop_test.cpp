@@ -1,0 +1,167 @@
+#include "irf/irf_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ff::irf {
+namespace {
+
+IrfLoopParams fast_params() {
+  IrfLoopParams params;
+  params.irf.iterations = 2;
+  params.irf.forest.n_trees = 15;
+  params.irf.forest.tree.max_depth = 6;
+  return params;
+}
+
+TEST(Dataset, LeaveOneOutShapes) {
+  CensusConfig config;
+  config.samples = 50;
+  config.features = 6;
+  const CensusDataset census = make_census_dataset(config, 1);
+  const Dataset::LooView view = census.data.leave_one_out(2);
+  EXPECT_EQ(view.predictors.cols(), 5u);
+  EXPECT_EQ(view.y.size(), 50u);
+  EXPECT_EQ(view.predictor_names.size(), 5u);
+  EXPECT_EQ(view.y, census.data.x.column(2));
+  EXPECT_THROW(census.data.leave_one_out(6), Error);
+}
+
+TEST(Dataset, TableRoundTrip) {
+  CensusConfig config;
+  config.samples = 20;
+  config.features = 5;
+  const CensusDataset census = make_census_dataset(config, 2);
+  const Dataset reparsed = Dataset::from_table(census.data.to_table());
+  EXPECT_EQ(reparsed.feature_names, census.data.feature_names);
+  ASSERT_EQ(reparsed.samples(), census.data.samples());
+  for (size_t s = 0; s < reparsed.samples(); ++s) {
+    for (size_t f = 0; f < reparsed.features(); ++f) {
+      EXPECT_DOUBLE_EQ(reparsed.x.at(s, f), census.data.x.at(s, f));
+    }
+  }
+}
+
+TEST(Census, GeneratorShapeAndDeterminism) {
+  CensusConfig config;
+  config.samples = 100;
+  config.features = 16;
+  const CensusDataset a = make_census_dataset(config, 5);
+  const CensusDataset b = make_census_dataset(config, 5);
+  EXPECT_EQ(a.data.samples(), 100u);
+  EXPECT_EQ(a.data.features(), 16u);
+  EXPECT_FALSE(a.true_edges.empty());
+  EXPECT_DOUBLE_EQ(a.data.x.at(3, 7), b.data.x.at(3, 7));
+  EXPECT_EQ(a.true_edges, b.true_edges);
+  const CensusDataset c = make_census_dataset(config, 6);
+  EXPECT_NE(a.data.x.at(3, 7), c.data.x.at(3, 7));
+  CensusConfig bad;
+  bad.features = 2;
+  EXPECT_THROW(make_census_dataset(bad, 1), ValidationError);
+}
+
+TEST(Census, PlantedChildrenCorrelateWithParents) {
+  CensusConfig config;
+  config.samples = 300;
+  config.features = 12;
+  const CensusDataset census = make_census_dataset(config, 7);
+  ASSERT_FALSE(census.true_edges.empty());
+  const auto [parent, child] = census.true_edges[0];
+  const double r = pearson(census.data.x.column(parent), census.data.x.column(child));
+  EXPECT_GT(std::abs(r), 0.4);
+}
+
+TEST(IrfLoop, AdjacencyShapeAndDiagonal) {
+  CensusConfig config;
+  config.samples = 120;
+  config.features = 8;
+  const CensusDataset census = make_census_dataset(config, 3);
+  const IrfLoopResult result = run_irf_loop(census.data, fast_params(), 17);
+  EXPECT_EQ(result.adjacency.rows(), 8u);
+  EXPECT_EQ(result.adjacency.cols(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(result.adjacency.at(i, i), 0.0);
+  // Row normalization: each target column's incoming weights sum to ~1
+  // (or 0 when a target had no splits at all).
+  for (size_t target = 0; target < 8; ++target) {
+    double total = 0;
+    for (size_t source = 0; source < 8; ++source) {
+      total += result.adjacency.at(source, target);
+    }
+    EXPECT_TRUE(std::abs(total - 1.0) < 1e-9 || total == 0.0) << target;
+  }
+}
+
+TEST(IrfLoop, RecoversPlantedEdges) {
+  CensusConfig config;
+  config.samples = 250;
+  config.features = 10;
+  config.planted_fraction = 0.2;
+  const CensusDataset census = make_census_dataset(config, 11);
+  // Recovery needs a real fit: more trees and a third sharpening iteration
+  // than the smoke-test params elsewhere in this file.
+  IrfLoopParams params = fast_params();
+  params.irf.iterations = 3;
+  params.irf.forest.n_trees = 30;
+  const IrfLoopResult result = run_irf_loop(census.data, params, 23);
+  EXPECT_GE(edge_recovery(result, census.true_edges), 0.5);
+}
+
+TEST(IrfLoop, ParallelMatchesSerial) {
+  CensusConfig config;
+  config.samples = 80;
+  config.features = 6;
+  const CensusDataset census = make_census_dataset(config, 13);
+  const IrfLoopResult serial = run_irf_loop(census.data, fast_params(), 29);
+  ThreadPool pool(3);
+  const IrfLoopResult parallel = run_irf_loop(census.data, fast_params(), 29, &pool);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(parallel.adjacency.at(i, j), serial.adjacency.at(i, j));
+    }
+  }
+}
+
+TEST(IrfLoop, MaxNormalization) {
+  CensusConfig config;
+  config.samples = 80;
+  config.features = 6;
+  const CensusDataset census = make_census_dataset(config, 19);
+  IrfLoopParams params = fast_params();
+  params.normalize = IrfLoopParams::Normalize::Max;
+  const IrfLoopResult result = run_irf_loop(census.data, params, 31);
+  double peak = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      peak = std::max(peak, result.adjacency.at(i, j));
+    }
+  }
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+}
+
+TEST(IrfLoop, TopEdgesSortedAndBounded) {
+  CensusConfig config;
+  config.samples = 80;
+  config.features = 6;
+  const CensusDataset census = make_census_dataset(config, 23);
+  const IrfLoopResult result = run_irf_loop(census.data, fast_params(), 37);
+  const auto edges = result.top_edges(5);
+  EXPECT_LE(edges.size(), 5u);
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GE(edges[i - 1].weight, edges[i].weight);
+  }
+  for (const auto& edge : edges) EXPECT_NE(edge.from, edge.to);
+}
+
+TEST(IrfLoop, RejectsSingleFeature) {
+  Dataset tiny;
+  tiny.x = DenseMatrix(10, 1);
+  tiny.feature_names = {"only"};
+  EXPECT_THROW(run_irf_loop(tiny, fast_params(), 1), Error);
+}
+
+}  // namespace
+}  // namespace ff::irf

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "irf/irf_loop.hpp"
+#include "util/fs.hpp"
+
+namespace ff::irf {
+namespace {
+
+IrfLoopResult small_network() {
+  CensusConfig config;
+  config.samples = 80;
+  config.features = 6;
+  const CensusDataset census = make_census_dataset(config, 3);
+  IrfLoopParams params;
+  params.irf.iterations = 2;
+  params.irf.forest.n_trees = 10;
+  return run_irf_loop(census.data, params, 9);
+}
+
+TEST(NetworkExport, AdjacencyTableShape) {
+  const IrfLoopResult network = small_network();
+  const Table table = adjacency_table(network);
+  EXPECT_EQ(table.rows(), 6u);
+  EXPECT_EQ(table.cols(), 7u);  // feature column + 6 targets
+  EXPECT_EQ(table.column_names()[0], "feature");
+  EXPECT_EQ(table.cell(2, 0), network.feature_names[2]);
+  // Diagonal entries are zero.
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(table.cell(i, i + 1), "0.0");
+  }
+}
+
+TEST(NetworkExport, AdjacencyTableRoundTripsThroughCsv) {
+  const IrfLoopResult network = small_network();
+  TempDir dir;
+  write_csv_file(adjacency_table(network), dir.file("network.csv"));
+  const Table reloaded = read_csv_file(dir.file("network.csv"));
+  for (size_t i = 0; i < 6; ++i) {
+    const auto values = reloaded.column_as_double(network.feature_names[i]);
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(values[j], network.adjacency.at(j, i));
+    }
+  }
+}
+
+TEST(NetworkExport, EdgeTableThresholdAndOrder) {
+  const IrfLoopResult network = small_network();
+  const Table all_edges = edge_table(network, 0.0);
+  const Table strong_edges = edge_table(network, 0.3);
+  EXPECT_LE(strong_edges.rows(), all_edges.rows());
+  // Sorted by descending weight.
+  const auto weights = all_edges.column_as_double("weight");
+  for (size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_GE(weights[i - 1], weights[i]);
+  }
+  for (double weight : strong_edges.column_as_double("weight")) {
+    EXPECT_GE(weight, 0.3);
+  }
+  // No self-edges.
+  for (size_t r = 0; r < all_edges.rows(); ++r) {
+    EXPECT_NE(all_edges.cell(r, "from"), all_edges.cell(r, "to"));
+  }
+}
+
+TEST(NetworkExport, EmptyThresholdAboveMaxGivesEmptyTable) {
+  const IrfLoopResult network = small_network();
+  EXPECT_EQ(edge_table(network, 2.0).rows(), 0u);
+}
+
+}  // namespace
+}  // namespace ff::irf

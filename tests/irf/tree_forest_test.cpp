@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "irf/forest.hpp"
+#include "util/error.hpp"
+
+namespace ff::irf {
+namespace {
+
+/// y = 3*x0 + noise; x1, x2 pure noise.
+struct Toy {
+  DenseMatrix x;
+  std::vector<double> y;
+};
+
+Toy make_toy(size_t samples, uint64_t seed) {
+  Rng rng(seed);
+  Toy toy;
+  toy.x = DenseMatrix(samples, 3);
+  for (size_t i = 0; i < samples; ++i) {
+    toy.x.at(i, 0) = rng.uniform(-1, 1);
+    toy.x.at(i, 1) = rng.uniform(-1, 1);
+    toy.x.at(i, 2) = rng.uniform(-1, 1);
+    toy.y.push_back(3.0 * toy.x.at(i, 0) + 0.1 * rng.normal());
+  }
+  return toy;
+}
+
+TEST(DenseMatrix, AccessAndBounds) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = 7;
+  EXPECT_EQ(m.column(1), (std::vector<double>{7, 1.5}));
+  EXPECT_EQ(m.row(0), (std::vector<double>{1.5, 7, 1.5}));
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 3), Error);
+}
+
+TEST(DenseMatrix, DropColumn) {
+  DenseMatrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = static_cast<double>(10 * r + c);
+  }
+  const DenseMatrix dropped = m.drop_column(1);
+  EXPECT_EQ(dropped.cols(), 2u);
+  EXPECT_EQ(dropped.at(1, 0), 10);
+  EXPECT_EQ(dropped.at(1, 1), 12);
+  EXPECT_THROW(m.drop_column(3), Error);
+}
+
+TEST(RegressionTree, FitsSimpleSignal) {
+  const Toy toy = make_toy(200, 1);
+  std::vector<size_t> indices(200);
+  std::iota(indices.begin(), indices.end(), 0);
+  RegressionTree tree;
+  Rng rng(2);
+  TreeParams params;
+  params.max_depth = 6;
+  params.mtry = 3;
+  tree.fit(toy.x, toy.y, indices, {}, params, rng);
+  EXPECT_TRUE(tree.fitted());
+  EXPECT_GT(tree.node_count(), 5u);
+  // Prediction tracks the signal reasonably.
+  double sse = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    const double prediction = tree.predict(toy.x.row(i));
+    sse += (prediction - toy.y[i]) * (prediction - toy.y[i]);
+  }
+  EXPECT_LT(sse / 200.0, 1.0);
+  // The informative feature dominates importance.
+  EXPECT_GT(tree.importance()[0], tree.importance()[1] * 5);
+  EXPECT_GT(tree.importance()[0], tree.importance()[2] * 5);
+}
+
+TEST(RegressionTree, InputValidation) {
+  RegressionTree tree;
+  Rng rng(1);
+  DenseMatrix x(3, 1);
+  std::vector<double> wrong_y = {1.0};
+  std::vector<size_t> indices = {0, 1, 2};
+  EXPECT_THROW(tree.fit(x, wrong_y, indices, {}, {}, rng), Error);
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(tree.fit(x, y, {}, {}, {}, rng), Error);
+  std::vector<double> bad_weights = {1.0, 2.0};
+  EXPECT_THROW(tree.fit(x, y, indices, bad_weights, {}, rng), Error);
+  EXPECT_THROW(tree.predict({0.0}), Error);  // not fitted
+}
+
+TEST(RegressionTree, ConstantTargetIsSingleLeaf) {
+  DenseMatrix x(10, 2);
+  std::vector<double> y(10, 5.0);
+  std::vector<size_t> indices(10);
+  std::iota(indices.begin(), indices.end(), 0);
+  RegressionTree tree;
+  Rng rng(3);
+  tree.fit(x, y, indices, {}, {}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({0, 0}), 5.0);
+}
+
+TEST(RandomForest, BeatsSingleTreeOnNoise) {
+  const Toy toy = make_toy(300, 4);
+  ForestParams params;
+  params.n_trees = 40;
+  RandomForest forest;
+  forest.fit(toy.x, toy.y, params, 5);
+  EXPECT_EQ(forest.tree_count(), 40u);
+  // OOB R² should be high for this easy signal.
+  EXPECT_GT(forest.oob_r2(), 0.7);
+  // Importance concentrates on feature 0 and is normalized.
+  const auto& importance = forest.importance();
+  EXPECT_GT(importance[0], 0.6);
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  const Toy toy = make_toy(100, 6);
+  ForestParams params;
+  params.n_trees = 10;
+  RandomForest a;
+  RandomForest b;
+  a.fit(toy.x, toy.y, params, 9);
+  b.fit(toy.x, toy.y, params, 9);
+  EXPECT_EQ(a.importance(), b.importance());
+  EXPECT_EQ(a.predict(toy.x.row(0)), b.predict(toy.x.row(0)));
+}
+
+TEST(RandomForest, FeatureWeightsSteerSplits) {
+  const Toy toy = make_toy(200, 7);
+  ForestParams params;
+  params.n_trees = 20;
+  params.tree.mtry = 1;  // forced choice makes weights decisive
+  // Zero weight on the informative feature: the forest cannot use it.
+  std::vector<double> anti_weights = {1e-9, 1.0, 1.0};
+  RandomForest crippled;
+  crippled.fit(toy.x, toy.y, params, 11, anti_weights);
+  RandomForest free;
+  free.fit(toy.x, toy.y, params, 11);
+  EXPECT_LT(crippled.importance()[0], 0.3);
+  EXPECT_GT(free.importance()[0], 0.6);
+}
+
+TEST(RandomForest, Validation) {
+  RandomForest forest;
+  DenseMatrix x(2, 1);
+  std::vector<double> y = {1, 2};
+  ForestParams zero_trees;
+  zero_trees.n_trees = 0;
+  EXPECT_THROW(forest.fit(x, y, zero_trees, 1), Error);
+  EXPECT_THROW(forest.predict({1.0}), Error);  // unfitted
+}
+
+TEST(Irf, IterationsSharpenImportance) {
+  const Toy toy = make_toy(250, 8);
+  IrfParams params;
+  params.iterations = 3;
+  params.forest.n_trees = 25;
+  params.forest.tree.mtry = 2;
+  const IrfResult result = fit_irf(toy.x, toy.y, params, 13);
+  ASSERT_EQ(result.importance_history.size(), 3u);
+  // The informative feature's share does not shrink across iterations.
+  EXPECT_GE(result.importance_history.back()[0],
+            result.importance_history.front()[0] - 0.05);
+  EXPECT_GT(result.importance()[0], 0.6);
+  EXPECT_TRUE(result.final_forest.fitted());
+  IrfParams bad;
+  bad.iterations = 0;
+  EXPECT_THROW(fit_irf(toy.x, toy.y, bad, 1), Error);
+}
+
+}  // namespace
+}  // namespace ff::irf

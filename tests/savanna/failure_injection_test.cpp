@@ -1,0 +1,92 @@
+#include "savanna/failure_injection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ff::savanna {
+namespace {
+
+sim::TaskSpec task_with(const std::string& id, double duration) {
+  sim::TaskSpec task;
+  task.id = id;
+  task.duration_s = duration;
+  return task;
+}
+
+TEST(FailureInjector, DeterministicPerRunId) {
+  sim::MachineSpec machine = sim::summit();
+  machine.node_mttf_hours = 0.5;
+  const auto injector = make_failure_injector(machine, 42);
+  const auto again = make_failure_injector(machine, 42);
+  for (int i = 0; i < 50; ++i) {
+    const auto task = task_with("run-" + std::to_string(i), 600);
+    EXPECT_EQ(injector(task, 0), again(task, 3));  // node does not matter
+  }
+}
+
+TEST(FailureInjector, SeedChangesFates) {
+  sim::MachineSpec machine = sim::summit();
+  machine.node_mttf_hours = 0.3;
+  const auto a = make_failure_injector(machine, 1);
+  const auto b = make_failure_injector(machine, 2);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto task = task_with("run-" + std::to_string(i), 600);
+    if (a(task, 0) != b(task, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(FailureInjector, RateMatchesExponentialModel) {
+  sim::MachineSpec machine = sim::summit();
+  machine.node_mttf_hours = 1.0;  // 3600 s
+  const auto injector = make_failure_injector(machine, 7);
+  const double duration = 1800;  // p = 1 - e^-0.5 ~ 0.393
+  int failures = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (injector(task_with("t" + std::to_string(i), duration), 0)) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / trials, 0.393, 0.03);
+}
+
+TEST(FailureInjector, LongerRunsFailMore) {
+  sim::MachineSpec machine = sim::summit();
+  machine.node_mttf_hours = 1.0;
+  const auto injector = make_failure_injector(machine, 9);
+  int short_failures = 0;
+  int long_failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string id = "t" + std::to_string(i);
+    if (injector(task_with(id, 60), 0)) ++short_failures;
+    if (injector(task_with(id, 6000), 0)) ++long_failures;
+  }
+  EXPECT_GT(long_failures, short_failures * 3);
+}
+
+TEST(FailureInjector, DisabledMachineNeverFails) {
+  sim::MachineSpec machine = sim::summit();
+  machine.node_mttf_hours = 0;
+  const auto injector = make_failure_injector(machine, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector(task_with("t" + std::to_string(i), 1e9), 0));
+  }
+}
+
+TEST(FailureInjector, ComposesWithExecutors) {
+  sim::MachineSpec machine = sim::summit();
+  machine.node_mttf_hours = 0.05;  // runs almost always fail
+  ExecutionOptions options;
+  options.nodes = 2;
+  options.fails = make_failure_injector(machine, 3);
+  std::vector<sim::TaskSpec> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(task_with("t" + std::to_string(i), 3600));
+  }
+  sim::Simulation sim;
+  const auto report = run_pilot(sim, tasks, options);
+  EXPECT_GT(report.failed.size(), 5u);
+  EXPECT_EQ(report.failed.size() + report.completed.size(), 10u);
+}
+
+}  // namespace
+}  // namespace ff::savanna

@@ -1,0 +1,61 @@
+#include "savanna/local_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace ff::savanna {
+namespace {
+
+TEST(LocalExecutor, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  std::vector<LocalTask> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(LocalTask{"t" + std::to_string(i),
+                              [&counter] { counter.fetch_add(1); }});
+  }
+  const LocalReport report = run_local(tasks, 4);
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_EQ(report.completed.size(), 20u);
+  EXPECT_TRUE(report.failed.empty());
+  EXPECT_GE(report.wall_seconds, 0.0);
+}
+
+TEST(LocalExecutor, FailuresAreCollectedNotPropagated) {
+  std::vector<LocalTask> tasks;
+  tasks.push_back(LocalTask{"ok", [] {}});
+  tasks.push_back(LocalTask{"bad", [] { throw std::runtime_error("boom"); }});
+  tasks.push_back(LocalTask{"weird", [] { throw 42; }});
+  const LocalReport report = run_local(tasks, 2);
+  EXPECT_EQ(report.completed.size(), 1u);
+  ASSERT_EQ(report.failed.size(), 2u);
+  bool saw_boom = false;
+  for (const auto& [id, message] : report.failed) {
+    if (id == "bad") {
+      saw_boom = true;
+      EXPECT_EQ(message, "boom");
+    }
+  }
+  EXPECT_TRUE(saw_boom);
+}
+
+TEST(LocalExecutor, EmptyTaskList) {
+  const LocalReport report = run_local({}, 2);
+  EXPECT_TRUE(report.completed.empty());
+  EXPECT_TRUE(report.failed.empty());
+}
+
+TEST(LocalExecutor, SingleWorkerIsSerial) {
+  std::vector<int> order;
+  std::vector<LocalTask> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(LocalTask{"t" + std::to_string(i),
+                              [&order, i] { order.push_back(i); }});
+  }
+  run_local(tasks, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace ff::savanna

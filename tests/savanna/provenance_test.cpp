@@ -1,0 +1,81 @@
+#include "savanna/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ff::savanna {
+namespace {
+
+RunTracker populated_tracker() {
+  RunTracker tracker;
+  tracker.add_run("done-run");
+  tracker.mark_started("done-run", 10.0, 3);
+  tracker.mark_done("done-run", 20.0);
+  tracker.add_run("failed-run");
+  tracker.mark_started("failed-run", 5.0, 7);
+  tracker.mark_failed("failed-run", 9.0, "/gpfs/host42/core.1234");
+  tracker.add_run("never-started");
+  return tracker;
+}
+
+TEST(Provenance, SameSitePolicyKeepsEverything) {
+  const Json exported =
+      export_provenance(populated_tracker(), same_site_policy());
+  EXPECT_EQ(exported.size(), 3u);
+  EXPECT_TRUE(exported.contains("never-started"));
+  const Json& failure = exported["failed-run"]["events"][size_t{1}];
+  EXPECT_EQ(failure["detail"].as_string(), "/gpfs/host42/core.1234");
+  EXPECT_DOUBLE_EQ(exported["done-run"]["events"][size_t{0}]["time"].as_double(),
+                   10.0);
+  EXPECT_EQ(exported["done-run"]["events"][size_t{0}]["node"].as_int(), 3);
+}
+
+TEST(Provenance, PublicReleasePolicyStripsSensitiveFields) {
+  const Json exported =
+      export_provenance(populated_tracker(), public_release_policy());
+  // Never-started runs dropped.
+  EXPECT_EQ(exported.size(), 2u);
+  EXPECT_FALSE(exported.contains("never-started"));
+  // States and attempts always survive.
+  EXPECT_EQ(exported["failed-run"]["state"].as_string(), "failed");
+  EXPECT_EQ(exported["failed-run"]["attempts"].as_int(), 1);
+  // Timestamps, nodes and failure details do not.
+  for (const Json& event : exported["failed-run"]["events"].as_array()) {
+    EXPECT_FALSE(event.contains("time"));
+    EXPECT_FALSE(event.contains("node"));
+    EXPECT_FALSE(event.contains("detail"));
+    EXPECT_TRUE(event.contains("kind"));
+  }
+}
+
+TEST(Provenance, CustomPolicyMix) {
+  ExportPolicy policy;
+  policy.include_timestamps = true;
+  policy.include_nodes = false;
+  policy.include_failure_details = false;
+  policy.include_never_started = true;
+  const Json exported = export_provenance(populated_tracker(), policy);
+  EXPECT_EQ(exported.size(), 3u);
+  const Json& start = exported["done-run"]["events"][size_t{0}];
+  EXPECT_TRUE(start.contains("time"));
+  EXPECT_FALSE(start.contains("node"));
+}
+
+TEST(Provenance, ExportIsValidTrackerSubset) {
+  // The exported fragment must still parse as structured provenance (what
+  // a downstream consumer loads) — attempt counts and states intact.
+  const Json exported =
+      export_provenance(populated_tracker(), same_site_policy());
+  const RunTracker reloaded = RunTracker::from_json(exported);
+  EXPECT_EQ(reloaded.counts().done, 1u);
+  EXPECT_EQ(reloaded.counts().failed, 1u);
+  EXPECT_EQ(reloaded.attempts("failed-run"), 1u);
+}
+
+TEST(Provenance, EmptyTrackerExportsEmptyObject) {
+  const Json exported = export_provenance(RunTracker{}, public_release_policy());
+  EXPECT_TRUE(exported.is_object());
+  EXPECT_EQ(exported.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ff::savanna

@@ -1,0 +1,99 @@
+#include "savanna/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::savanna {
+namespace {
+
+TEST(RunTracker, LifecycleHappyPath) {
+  RunTracker tracker;
+  tracker.add_run("r1");
+  EXPECT_TRUE(tracker.has_run("r1"));
+  tracker.mark_started("r1", 0.0, 3);
+  tracker.mark_done("r1", 10.0);
+  EXPECT_EQ(tracker.attempts("r1"), 1u);
+  EXPECT_TRUE(tracker.needing_rerun().empty());
+  const auto counts = tracker.counts();
+  EXPECT_EQ(counts.total, 1u);
+  EXPECT_EQ(counts.done, 1u);
+}
+
+TEST(RunTracker, DuplicateAddThrows) {
+  RunTracker tracker;
+  tracker.add_run("r1");
+  EXPECT_THROW(tracker.add_run("r1"), ValidationError);
+}
+
+TEST(RunTracker, UnknownRunThrows) {
+  RunTracker tracker;
+  EXPECT_THROW(tracker.mark_started("ghost", 0, 0), NotFoundError);
+  EXPECT_THROW(tracker.attempts("ghost"), NotFoundError);
+}
+
+TEST(RunTracker, IllegalTransitionsThrow) {
+  RunTracker tracker;
+  tracker.add_run("r1");
+  EXPECT_THROW(tracker.mark_done("r1", 1.0), StateError);  // not running
+  tracker.mark_started("r1", 0.0, 0);
+  EXPECT_THROW(tracker.mark_started("r1", 1.0, 0), StateError);  // double start
+  tracker.mark_failed("r1", 2.0, "oom");
+  EXPECT_THROW(tracker.mark_killed("r1", 3.0), StateError);
+}
+
+TEST(RunTracker, RetryAfterFailureCountsAttempts) {
+  RunTracker tracker;
+  tracker.add_run("r1");
+  tracker.mark_started("r1", 0.0, 0);
+  tracker.mark_failed("r1", 5.0, "node crash");
+  EXPECT_EQ(tracker.needing_rerun(), std::vector<std::string>{"r1"});
+  tracker.mark_started("r1", 10.0, 1);  // re-submission
+  tracker.mark_done("r1", 20.0);
+  EXPECT_EQ(tracker.attempts("r1"), 2u);
+  EXPECT_TRUE(tracker.needing_rerun().empty());
+}
+
+TEST(RunTracker, NeedingRerunCoversAllIncompleteStates) {
+  RunTracker tracker;
+  for (const std::string id : {"pending", "failed", "killed", "done", "running"}) {
+    tracker.add_run(id);
+  }
+  tracker.mark_started("failed", 0, 0);
+  tracker.mark_failed("failed", 1, "x");
+  tracker.mark_started("killed", 0, 1);
+  tracker.mark_killed("killed", 1);
+  tracker.mark_started("done", 0, 2);
+  tracker.mark_done("done", 1);
+  tracker.mark_started("running", 0, 3);
+  const auto rerun = tracker.needing_rerun();
+  EXPECT_EQ(rerun.size(), 4u);  // everything but "done"
+  const auto counts = tracker.counts();
+  EXPECT_EQ(counts.never_started, 1u);
+  EXPECT_EQ(counts.failed, 1u);
+  EXPECT_EQ(counts.killed, 1u);
+  EXPECT_EQ(counts.done, 1u);
+}
+
+TEST(RunTracker, JsonRoundTripPreservesProvenance) {
+  RunTracker tracker;
+  tracker.add_run("r1");
+  tracker.mark_started("r1", 1.5, 7);
+  tracker.mark_failed("r1", 9.0, "segfault");
+  tracker.mark_started("r1", 12.0, 2);
+  tracker.mark_done("r1", 30.0);
+
+  const Json json = tracker.to_json();
+  EXPECT_EQ(json["r1"]["state"].as_string(), "done");
+  EXPECT_EQ(json["r1"]["attempts"].as_int(), 2);
+  EXPECT_EQ(json["r1"]["events"].size(), 4u);
+  EXPECT_EQ(json["r1"]["events"][size_t{1}]["detail"].as_string(), "segfault");
+
+  const RunTracker reparsed = RunTracker::from_json(json);
+  EXPECT_EQ(reparsed.attempts("r1"), 2u);
+  EXPECT_TRUE(reparsed.needing_rerun().empty());
+  EXPECT_EQ(reparsed.to_json(), json);
+}
+
+}  // namespace
+}  // namespace ff::savanna

@@ -1,0 +1,116 @@
+#include "skel/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::skel {
+namespace {
+
+ModelSchema any_schema() { return ModelSchema{}; }
+
+Model make_model(const char* text) { return Model(Json::parse(text), any_schema()); }
+
+TEST(Generator, SingleArtifact) {
+  Generator generator("test");
+  generator.add_template("run.sh", "#!/bin/bash\necho {{msg}}\n", true);
+  const auto artifacts = generator.generate(make_model(R"({"msg":"hi"})"));
+  ASSERT_EQ(artifacts.size(), 2u);  // run.sh + manifest.json
+  EXPECT_EQ(artifacts[0].path, "run.sh");
+  EXPECT_EQ(artifacts[0].content, "#!/bin/bash\necho hi\n");
+  EXPECT_TRUE(artifacts[0].executable);
+  EXPECT_EQ(artifacts[1].path, "manifest.json");
+}
+
+TEST(Generator, ManifestRecordsModelAndArtifacts) {
+  Generator generator("gwas-paste");
+  generator.add_template("a.txt", "x");
+  const auto artifacts = generator.generate(make_model(R"({"k":1})"));
+  const Json manifest = Json::parse(artifacts.back().content);
+  EXPECT_EQ(manifest["generator"].as_string(), "gwas-paste");
+  EXPECT_EQ(manifest["model"]["k"].as_int(), 1);
+  EXPECT_EQ(manifest["artifacts"][0].as_string(), "a.txt");
+}
+
+TEST(Generator, PerItemTemplatesExpandPerElement) {
+  Generator generator;
+  generator.add_template_per_item(
+      "groups", "jobs/paste_{{item_index}}.sh",
+      "#!/bin/bash\n# group {{name}} of {{total}}\npaste {{files|json}}\n", true);
+  const auto artifacts = generator.generate(make_model(
+      R"({"total":2,
+          "groups":[{"name":"g0","files":["a","b"]},{"name":"g1","files":["c"]}]})"));
+  ASSERT_EQ(artifacts.size(), 3u);
+  EXPECT_EQ(artifacts[0].path, "jobs/paste_0.sh");
+  EXPECT_EQ(artifacts[1].path, "jobs/paste_1.sh");
+  EXPECT_NE(artifacts[0].content.find("group g0 of 2"), std::string::npos);
+  EXPECT_NE(artifacts[1].content.find("paste [\"c\"]"), std::string::npos);
+}
+
+TEST(Generator, PerItemScalarElements) {
+  Generator generator;
+  generator.add_template_per_item("files", "f{{item_index}}", "{{item}}");
+  const auto artifacts = generator.generate(make_model(R"({"files":["x","y"]})"));
+  EXPECT_EQ(artifacts[0].content, "x");
+  EXPECT_EQ(artifacts[1].content, "y");
+}
+
+TEST(Generator, PerItemMissingArrayThrows) {
+  Generator generator;
+  generator.add_template_per_item("nope", "f", "x");
+  EXPECT_THROW(generator.generate(make_model("{}")), ValidationError);
+  EXPECT_THROW(Generator{}.add_template_per_item("", "f", "x"), ValidationError);
+}
+
+TEST(Generator, DuplicatePathsRejected) {
+  Generator generator;
+  generator.add_template("same.txt", "a");
+  generator.add_template("same.txt", "b");
+  EXPECT_THROW(generator.generate(make_model("{}")), ValidationError);
+}
+
+TEST(Generator, PartialsSharedAcrossTemplates) {
+  Generator generator;
+  generator.add_partial("hdr", "# account {{account}}\n");
+  generator.add_template("a.sh", "{{> hdr}}echo a\n");
+  generator.add_template("b.sh", "{{> hdr}}echo b\n");
+  const auto artifacts = generator.generate(make_model(R"({"account":"Z9"})"));
+  EXPECT_NE(artifacts[0].content.find("# account Z9"), std::string::npos);
+  EXPECT_NE(artifacts[1].content.find("# account Z9"), std::string::npos);
+}
+
+TEST(Generator, WriteAllCreatesFilesAndDirectories) {
+  Generator generator;
+  generator.add_template("nested/dir/run.sh", "#!/bin/bash\n", true);
+  const auto artifacts = generator.generate(make_model("{}"));
+  TempDir dir;
+  Generator::write_all(artifacts, dir.str());
+  EXPECT_EQ(read_file(dir.file("nested/dir/run.sh")), "#!/bin/bash\n");
+  const auto perms =
+      std::filesystem::status(dir.file("nested/dir/run.sh")).permissions();
+  EXPECT_NE(perms & std::filesystem::perms::owner_exec,
+            std::filesystem::perms::none);
+  EXPECT_TRUE(std::filesystem::exists(dir.file("manifest.json")));
+}
+
+TEST(Generator, CustomizationSurfaceUnionsTemplatePaths) {
+  Generator generator;
+  generator.add_template("{{name}}.sh", "{{account}} {{#each jobs}}{{id}}{{/each}}");
+  generator.add_template("fixed.txt", "{{account}}");
+  const auto surface = generator.customization_surface();
+  EXPECT_EQ(surface,
+            (std::vector<std::string>{"account", "id", "jobs", "name"}));
+}
+
+TEST(Generator, ModelDrivenPathTemplates) {
+  Generator generator;
+  generator.add_template("{{campaign}}/run.sh", "x");
+  const auto artifacts = generator.generate(make_model(R"({"campaign":"c042"})"));
+  EXPECT_EQ(artifacts[0].path, "c042/run.sh");
+}
+
+}  // namespace
+}  // namespace ff::skel

@@ -1,0 +1,96 @@
+#include "skel/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::skel {
+namespace {
+
+ModelSchema paste_schema() {
+  ModelSchema schema;
+  schema.require("dataset.path", "string", "directory containing input shards")
+      .require("dataset.count", "int", "number of shard files")
+      .require("machine.account", "string")
+      .optional("machine.nodes", "int", Json(1))
+      .optional("strategy.fan_in", "int", Json(16), "files per sub-paste");
+  return schema;
+}
+
+TEST(ModelSchema, ValidModelPasses) {
+  const Json doc = Json::parse(
+      R"({"dataset":{"path":"/data","count":100},"machine":{"account":"X"}})");
+  EXPECT_TRUE(paste_schema().validate(doc).empty());
+}
+
+TEST(ModelSchema, MissingRequiredFieldReported) {
+  const Json doc = Json::parse(R"({"dataset":{"path":"/data"}})");
+  const auto problems = paste_schema().validate(doc);
+  ASSERT_EQ(problems.size(), 2u);  // dataset.count and machine.account
+  EXPECT_NE(problems[0].find("dataset.count"), std::string::npos);
+}
+
+TEST(ModelSchema, TypeMismatchReported) {
+  const Json doc = Json::parse(
+      R"({"dataset":{"path":7,"count":100},"machine":{"account":"X"}})");
+  const auto problems = paste_schema().validate(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("must be string"), std::string::npos);
+}
+
+TEST(ModelSchema, NonObjectModelReported) {
+  EXPECT_FALSE(paste_schema().validate(Json::parse("[1,2]")).empty());
+}
+
+TEST(ModelSchema, DoubleAcceptsInt) {
+  ModelSchema schema;
+  schema.require("x", "double");
+  EXPECT_TRUE(schema.validate(Json::parse(R"({"x":3})")).empty());
+  EXPECT_TRUE(schema.validate(Json::parse(R"({"x":3.5})")).empty());
+}
+
+TEST(ModelSchema, UnknownTypeThrows) {
+  ModelSchema schema;
+  schema.require("x", "quaternion");
+  EXPECT_THROW(schema.validate(Json::parse(R"({"x":1})")), ValidationError);
+}
+
+TEST(ModelSchema, WithDefaultsFillsMissingOptionals) {
+  const Json doc = Json::parse(
+      R"({"dataset":{"path":"/d","count":2},"machine":{"account":"X"}})");
+  const Json filled = paste_schema().with_defaults(doc);
+  EXPECT_EQ(filled.at_path("machine.nodes").as_int(), 1);
+  EXPECT_EQ(filled.at_path("strategy.fan_in").as_int(), 16);
+  // Existing values are never overwritten.
+  const Json doc2 = Json::parse(
+      R"({"dataset":{"path":"/d","count":2},"machine":{"account":"X","nodes":8}})");
+  EXPECT_EQ(paste_schema().with_defaults(doc2).at_path("machine.nodes").as_int(), 8);
+}
+
+TEST(ModelSchema, DocumentListsEveryField) {
+  const std::string text = paste_schema().document();
+  EXPECT_NE(text.find("`dataset.path`"), std::string::npos);
+  EXPECT_NE(text.find("optional, default 16"), std::string::npos);
+  EXPECT_NE(text.find("files per sub-paste"), std::string::npos);
+}
+
+TEST(Model, ConstructionValidatesAndFillsDefaults) {
+  const Model model(Json::parse(R"({"dataset":{"path":"/d","count":2},
+                                    "machine":{"account":"X"}})"),
+                    paste_schema());
+  EXPECT_EQ(model.at("strategy.fan_in").as_int(), 16);
+  EXPECT_THROW(Model(Json::parse("{}"), paste_schema()), ValidationError);
+}
+
+TEST(Model, LoadFromFile) {
+  TempDir dir;
+  write_file(dir.file("model.json"),
+             R"({"dataset":{"path":"/d","count":5},"machine":{"account":"A"}})");
+  const Model model = Model::load(dir.file("model.json"), paste_schema());
+  EXPECT_EQ(model.at("dataset.count").as_int(), 5);
+  EXPECT_THROW(Model::load(dir.file("missing.json"), paste_schema()), IoError);
+}
+
+}  // namespace
+}  // namespace ff::skel

@@ -1,0 +1,179 @@
+#include "skel/template_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::skel {
+namespace {
+
+Json model(const char* text) { return Json::parse(text); }
+
+TEST(Template, PlainTextPassesThrough) {
+  EXPECT_EQ(Template::parse("#!/bin/bash\necho hi\n").render(model("{}")),
+            "#!/bin/bash\necho hi\n");
+}
+
+TEST(Template, SimpleSubstitution) {
+  EXPECT_EQ(Template::parse("hello {{name}}!").render(model(R"({"name":"world"})")),
+            "hello world!");
+}
+
+TEST(Template, DottedPathAndIndexing) {
+  const Json m = model(R"({"machine":{"queues":[{"name":"batch"}]}})");
+  EXPECT_EQ(Template::parse("{{machine.queues[0].name}}").render(m), "batch");
+}
+
+TEST(Template, NumberRendering) {
+  const Json m = model(R"({"n":16,"x":2.5,"flag":true})");
+  EXPECT_EQ(Template::parse("{{n}} {{x}} {{flag}}").render(m), "16 2.5 true");
+}
+
+TEST(Template, UnknownVariableIsAnError) {
+  EXPECT_THROW(Template::parse("{{missing}}").render(model("{}")), ValidationError);
+}
+
+TEST(Template, Filters) {
+  const Json m = model(R"({"s":" MiXeD ","l":[1,2]})");
+  EXPECT_EQ(Template::parse("{{s|upper}}").render(m), " MIXED ");
+  EXPECT_EQ(Template::parse("{{s|lower}}").render(m), " mixed ");
+  EXPECT_EQ(Template::parse("{{s|trim}}").render(m), "MiXeD");
+  EXPECT_EQ(Template::parse("{{l|json}}").render(m), "[1,2]");
+}
+
+TEST(Template, AggregateWithoutJsonFilterIsAnError) {
+  EXPECT_THROW(Template::parse("{{l}}").render(model(R"({"l":[1]})")),
+               ValidationError);
+}
+
+TEST(Template, UnknownFilterIsAParseError) {
+  EXPECT_THROW(Template::parse("{{x|rot13}}"), ParseError);
+}
+
+TEST(Template, EachIteratesWithMetavariables) {
+  const Json m = model(R"({"jobs":[{"id":"a"},{"id":"b"},{"id":"c"}]})");
+  const std::string out = Template::parse(
+      "{{#each jobs}}{{@index}}:{{id}}{{#if @last}}.{{else}},{{/if}}{{/each}}")
+      .render(m);
+  EXPECT_EQ(out, "0:a,1:b,2:c.");
+}
+
+TEST(Template, EachOverScalarsUsesThis) {
+  const Json m = model(R"({"files":["x.csv","y.csv"]})");
+  EXPECT_EQ(Template::parse("{{#each files}}[{{this}}]{{/each}}").render(m),
+            "[x.csv][y.csv]");
+}
+
+TEST(Template, EachFirstMetavariable) {
+  const Json m = model(R"({"v":[1,2,3]})");
+  EXPECT_EQ(
+      Template::parse("{{#each v}}{{#if @first}}^{{/if}}{{this}}{{/each}}").render(m),
+      "^123");
+}
+
+TEST(Template, ParentScopeVisibleInsideEach) {
+  const Json m = model(R"({"account":"BIF101","jobs":[{"id":1},{"id":2}]})");
+  EXPECT_EQ(
+      Template::parse("{{#each jobs}}{{id}}@{{account}} {{/each}}").render(m),
+      "1@BIF101 2@BIF101 ");
+}
+
+TEST(Template, NestedEach) {
+  const Json m = model(R"({"groups":[{"items":[1,2]},{"items":[3]}]})");
+  EXPECT_EQ(
+      Template::parse("{{#each groups}}({{#each items}}{{this}}{{/each}}){{/each}}")
+          .render(m),
+      "(12)(3)");
+}
+
+TEST(Template, IfElseBranches) {
+  const Template t = Template::parse("{{#if debug}}DBG{{else}}REL{{/if}}");
+  EXPECT_EQ(t.render(model(R"({"debug":true})")), "DBG");
+  EXPECT_EQ(t.render(model(R"({"debug":false})")), "REL");
+  EXPECT_EQ(t.render(model("{}")), "REL");  // missing path is falsy
+}
+
+TEST(Template, Truthiness) {
+  EXPECT_FALSE(truthy(Json()));
+  EXPECT_FALSE(truthy(Json(0)));
+  EXPECT_FALSE(truthy(Json(0.0)));
+  EXPECT_FALSE(truthy(Json("")));
+  EXPECT_FALSE(truthy(Json::array()));
+  EXPECT_FALSE(truthy(Json::object()));
+  EXPECT_TRUE(truthy(Json(1)));
+  EXPECT_TRUE(truthy(Json("x")));
+  EXPECT_TRUE(truthy(Json::array({1})));
+}
+
+TEST(Template, CommentsAreDropped) {
+  EXPECT_EQ(Template::parse("a{{! ignore me }}b").render(model("{}")), "ab");
+}
+
+TEST(Template, PartialsRenderInCurrentContext) {
+  std::map<std::string, Template> partials;
+  partials.emplace("header", Template::parse("#SBATCH -A {{account}}\n"));
+  const Json m = model(R"({"account":"CSC123"})");
+  EXPECT_EQ(Template::parse("{{> header}}srun ...\n").render(m, partials),
+            "#SBATCH -A CSC123\nsrun ...\n");
+}
+
+TEST(Template, MissingPartialIsAnError) {
+  EXPECT_THROW(Template::parse("{{> nope}}").render(model("{}")), ValidationError);
+}
+
+TEST(Template, ParseErrors) {
+  EXPECT_THROW(Template::parse("{{unclosed"), ParseError);
+  EXPECT_THROW(Template::parse("{{}}"), ParseError);
+  EXPECT_THROW(Template::parse("{{#each}}{{/each}}"), ParseError);
+  EXPECT_THROW(Template::parse("{{#each x}}no close"), ParseError);
+  EXPECT_THROW(Template::parse("{{#if x}}no close"), ParseError);
+  EXPECT_THROW(Template::parse("{{/each}}"), ParseError);
+  EXPECT_THROW(Template::parse("{{#unknown x}}{{/unknown}}"), ParseError);
+  EXPECT_THROW(Template::parse("{{>}}"), ParseError);
+}
+
+TEST(Template, ErrorsCarryLineNumbers) {
+  try {
+    Template::parse("line1\nline2\n{{oops").render(model("{}"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Template, ReferencedPathsAreSortedUnique) {
+  const Template t = Template::parse(
+      "{{a}} {{#each list}}{{x}}{{/each}} {{#if a}}{{b.c}}{{/if}} {{a}}");
+  EXPECT_EQ(t.referenced_paths(),
+            (std::vector<std::string>{"a", "b.c", "list", "x"}));
+}
+
+TEST(Template, RenderScalarForms) {
+  EXPECT_EQ(render_scalar(Json()), "");
+  EXPECT_EQ(render_scalar(Json(true)), "true");
+  EXPECT_EQ(render_scalar(Json(7)), "7");
+  EXPECT_EQ(render_scalar(Json("s")), "s");
+  EXPECT_THROW(render_scalar(Json::array()), ValidationError);
+}
+
+TEST(Template, RealisticSubmitScript) {
+  // A representative Skel use: generate an LSF-style submit script.
+  const char* body =
+      "#!/bin/bash\n"
+      "#BSUB -P {{machine.account}}\n"
+      "#BSUB -nnodes {{machine.nodes}}\n"
+      "#BSUB -W {{machine.walltime}}\n"
+      "{{#each tasks}}jsrun -n {{ranks}} {{exe}} {{args}}\n{{/each}}";
+  const Json m = model(R"({
+    "machine": {"account": "BIF101", "nodes": 4, "walltime": "2:00"},
+    "tasks": [
+      {"ranks": 32, "exe": "paste_subset", "args": "--group 0"},
+      {"ranks": 32, "exe": "paste_subset", "args": "--group 1"}
+    ]})");
+  const std::string out = Template::parse(body).render(m);
+  EXPECT_NE(out.find("#BSUB -P BIF101"), std::string::npos);
+  EXPECT_NE(out.find("jsrun -n 32 paste_subset --group 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff::skel

@@ -1,0 +1,121 @@
+#include "stream/marshal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::stream {
+namespace {
+
+StreamSchema instrument_schema() {
+  StreamSchema schema;
+  schema.name = "instrument";
+  schema.version = 2;
+  schema.fields = {{"shot", "int"},
+                   {"energy", "double"},
+                   {"detector", "string"},
+                   {"spectrum", "double[]"}};
+  return schema;
+}
+
+Record sample_record(uint64_t sequence) {
+  Record record;
+  record.sequence = sequence;
+  record.timestamp = 0.5 * static_cast<double>(sequence);
+  record.values = {Value{int64_t{42}}, Value{3.14}, Value{std::string("d7")},
+                   Value{std::vector<double>{1.0, 2.5, -3.0}}};
+  return record;
+}
+
+TEST(Marshal, RoundTripsRecordsAndSchema) {
+  Encoder encoder(instrument_schema());
+  for (uint64_t i = 0; i < 5; ++i) encoder.append(sample_record(i));
+  EXPECT_EQ(encoder.records_encoded(), 5u);
+
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  EXPECT_EQ(decoded.schema, instrument_schema());
+  ASSERT_EQ(decoded.records.size(), 5u);
+  EXPECT_EQ(decoded.records[3], sample_record(3));
+}
+
+TEST(Marshal, SelfDescribing) {
+  // A receiver with no compiled-in schema reconstructs it from the bytes.
+  Encoder encoder(instrument_schema());
+  encoder.append(sample_record(0));
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  EXPECT_EQ(decoded.schema.key(), "instrument:v2");
+  EXPECT_EQ(decoded.schema.fields[3].type, "double[]");
+}
+
+TEST(Marshal, EmptyStreamHasSchemaOnly) {
+  Encoder encoder(instrument_schema());
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  EXPECT_TRUE(decoded.records.empty());
+  EXPECT_EQ(decoded.schema, instrument_schema());
+}
+
+TEST(Marshal, ValidatesRecordsAgainstSchema) {
+  Encoder encoder(instrument_schema());
+  Record wrong_arity;
+  wrong_arity.values = {Value{int64_t{1}}};
+  EXPECT_THROW(encoder.append(wrong_arity), ValidationError);
+  Record wrong_type = sample_record(0);
+  wrong_type.values[0] = Value{2.5};  // double where int expected
+  EXPECT_THROW(encoder.append(wrong_type), ValidationError);
+}
+
+TEST(Marshal, RejectsUnsupportedSchemaTypes) {
+  StreamSchema bad;
+  bad.name = "bad";
+  bad.fields = {{"x", "quaternion"}};
+  EXPECT_THROW(Encoder{bad}, ValidationError);
+}
+
+TEST(Marshal, DetectsCorruption) {
+  Encoder encoder(instrument_schema());
+  encoder.append(sample_record(0));
+  std::vector<uint8_t> bytes = encoder.bytes();
+  // Bad magic.
+  std::vector<uint8_t> bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode_stream(bad_magic), ParseError);
+  // Truncated mid-record.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 7);
+  EXPECT_THROW(decode_stream(truncated), ParseError);
+}
+
+TEST(Marshal, NegativeIntsAndSpecialDoublesRoundTrip) {
+  StreamSchema schema;
+  schema.name = "edge";
+  schema.fields = {{"i", "int"}, {"d", "double"}};
+  Encoder encoder(schema);
+  Record record;
+  record.values = {Value{int64_t{-123456789}}, Value{-0.0}};
+  encoder.append(record);
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  EXPECT_EQ(std::get<int64_t>(decoded.records[0].values[0]), -123456789);
+  EXPECT_EQ(std::get<double>(decoded.records[0].values[1]), 0.0);
+}
+
+TEST(StreamSchema, CatalogDescriptorRoundTrip) {
+  const StreamSchema schema = instrument_schema();
+  const core::SchemaDescriptor descriptor = schema.to_descriptor();
+  EXPECT_EQ(descriptor.container, "ffbin");
+  EXPECT_EQ(descriptor.key(), "instrument:v2");
+  EXPECT_EQ(StreamSchema::from_descriptor(descriptor), schema);
+}
+
+TEST(StreamSchema, RegistersInMetadataCatalog) {
+  core::MetadataCatalog catalog;
+  catalog.put_schema(instrument_schema().to_descriptor());
+  EXPECT_TRUE(catalog.has_schema("instrument:v2"));
+  // Version evolution counts as convertible.
+  StreamSchema v3 = instrument_schema();
+  v3.version = 3;
+  v3.fields.push_back({"gain", "double"});
+  catalog.put_schema(v3.to_descriptor());
+  EXPECT_TRUE(catalog.convertible("instrument:v2", "instrument:v3"));
+}
+
+}  // namespace
+}  // namespace ff::stream

@@ -1,0 +1,50 @@
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace ff {
+namespace {
+
+TEST(Fs, WriteAndReadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.file("sub/dir/file.txt");
+  write_file(path, "hello\nworld");
+  EXPECT_EQ(read_file(path), "hello\nworld");
+}
+
+TEST(Fs, ReadMissingFileThrows) {
+  TempDir dir;
+  EXPECT_THROW(read_file(dir.file("missing")), IoError);
+}
+
+TEST(TempDir, CreatesUniqueDirectories) {
+  TempDir a;
+  TempDir b;
+  EXPECT_NE(a.str(), b.str());
+  EXPECT_TRUE(std::filesystem::exists(a.path()));
+}
+
+TEST(TempDir, CleansUpOnDestruction) {
+  std::filesystem::path kept;
+  {
+    TempDir dir;
+    kept = dir.path();
+    write_file(dir.file("x.txt"), "data");
+  }
+  EXPECT_FALSE(std::filesystem::exists(kept));
+}
+
+TEST(Fs, ListFilesSortedAndFilesOnly) {
+  TempDir dir;
+  write_file(dir.file("b.txt"), "1");
+  write_file(dir.file("a.txt"), "2");
+  write_file(dir.file("nested/c.txt"), "3");  // nested dir should not appear
+  EXPECT_EQ(list_files(dir.str()), (std::vector<std::string>{"a.txt", "b.txt"}));
+}
+
+}  // namespace
+}  // namespace ff

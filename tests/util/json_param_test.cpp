@@ -1,0 +1,97 @@
+// Parameterized round-trip properties for the JSON layer: for a corpus of
+// documents, parse → dump → parse must be identity, pretty form must
+// reparse equal, and path lookups must agree before and after a round
+// trip. Also a randomized-document generator sweep.
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace ff {
+namespace {
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, DumpReparsesEqual) {
+  const Json document = Json::parse(GetParam());
+  EXPECT_EQ(Json::parse(document.dump()), document);
+}
+
+TEST_P(JsonRoundTrip, PrettyReparsesEqual) {
+  const Json document = Json::parse(GetParam());
+  EXPECT_EQ(Json::parse(document.pretty(2)), document);
+  EXPECT_EQ(Json::parse(document.pretty(7)), document);
+}
+
+TEST_P(JsonRoundTrip, DumpIsStable) {
+  // dump(parse(dump(x))) == dump(x): canonical form is a fixed point.
+  const Json document = Json::parse(GetParam());
+  const std::string once = document.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "0", "-1", "3.5", "1e-3", "\"\"", "\"text\"", "[]",
+        "{}", "[1,2,3]", R"({"a":1})",
+        R"({"nested":{"deep":{"deeper":[{"x":null},{"y":[[],[{}]]}]}}})",
+        R"(["mixed",1,2.5,true,null,{"k":[false]}])",
+        R"({"unicode":"héllo é 😀","escapes":"a\"b\\c\nd\te"})",
+        R"({"numbers":[0.1,1e10,-2.5e-8,9007199254740993,-0.0]})",
+        R"({"campaign":{"groups":[{"name":"g","sweeps":[{"parameters":
+            [{"name":"x","values":[1,2,3]}]}]}]}})"));
+
+/// Randomized documents: build random Json values and round-trip them.
+class JsonFuzz : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static Json random_value(Rng& rng, int depth) {
+    const uint64_t kind = rng.below(depth > 3 ? 5 : 7);
+    switch (kind) {
+      case 0: return Json();
+      case 1: return Json(rng.chance(0.5));
+      case 2: return Json(static_cast<int64_t>(rng.range(-1000000, 1000000)));
+      case 3: return Json(rng.uniform(-1e6, 1e6));
+      case 4: {
+        std::string text;
+        const uint64_t length = rng.below(12);
+        for (uint64_t i = 0; i < length; ++i) {
+          text += static_cast<char>(' ' + rng.below(95));
+        }
+        return Json(text);
+      }
+      case 5: {
+        Json array = Json::array();
+        const uint64_t count = rng.below(5);
+        for (uint64_t i = 0; i < count; ++i) {
+          array.push_back(random_value(rng, depth + 1));
+        }
+        return array;
+      }
+      default: {
+        Json object = Json::object();
+        const uint64_t count = rng.below(5);
+        for (uint64_t i = 0; i < count; ++i) {
+          object["k" + std::to_string(rng.below(100))] = random_value(rng, depth + 1);
+        }
+        return object;
+      }
+    }
+  }
+};
+
+TEST_P(JsonFuzz, RandomDocumentsRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Json document = random_value(rng, 0);
+    EXPECT_EQ(Json::parse(document.dump()), document);
+    EXPECT_EQ(Json::parse(document.pretty()), document);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace ff

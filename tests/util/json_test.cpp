@@ -1,0 +1,180 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntVsDoubleTyping) {
+  EXPECT_TRUE(Json::parse("3").is_int());
+  EXPECT_TRUE(Json::parse("3.0").is_double());
+  EXPECT_TRUE(Json::parse("3e0").is_double());
+  // as_double accepts int; as_int accepts integral double.
+  EXPECT_DOUBLE_EQ(Json::parse("3").as_double(), 3.0);
+  EXPECT_EQ(Json::parse("3.0").as_int(), 3);
+  EXPECT_THROW(Json::parse("3.5").as_int(), Error);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Json doc = Json::parse(R"({"a": [1, {"b": true}], "c": {"d": null}})");
+  EXPECT_EQ(doc["a"][0].as_int(), 1);
+  EXPECT_TRUE(doc["a"][1]["b"].as_bool());
+  EXPECT_TRUE(doc["c"]["d"].is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(Json::parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(Json::parse(R"("a\nb\tc")").as_string(), "a\nb\tc");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonParse, Whitespace) {
+  EXPECT_EQ(Json::parse(" \n\t{ \"a\" : 1 } \r\n")["a"].as_int(), 1);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(Json::parse("[]").is_array());
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_TRUE(Json::parse("{}").is_object());
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+}
+
+TEST(JsonParse, ErrorsCarryLocation) {
+  try {
+    Json::parse("{\n  \"a\": @\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(Json::parse("tru"), ParseError);
+  EXPECT_THROW(Json::parse("1 2"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Json::parse("01"), ParseError);
+  EXPECT_THROW(Json::parse("1."), ParseError);
+  EXPECT_THROW(Json::parse("\"\\u12\""), ParseError);
+  EXPECT_THROW(Json::parse("\"\\ud800x\""), ParseError);  // unpaired surrogate
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string text =
+      R"({"arr":[1,2.5,"s"],"b":true,"n":null,"nested":{"x":-3}})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.dump(), text);
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  Json doc = Json::object();
+  doc["k"] = std::string("a\x01" "b\n");
+  EXPECT_EQ(doc.dump(), "{\"k\":\"a\\u0001b\\n\"}");
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+}
+
+TEST(JsonDump, PrettyIsIndentedAndReparses) {
+  const Json doc = Json::parse(R"({"a":[1,2],"b":{"c":3}})");
+  const std::string pretty = doc.pretty(2);
+  EXPECT_NE(pretty.find("\n  \"a\": [\n    1,"), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), doc);
+}
+
+TEST(JsonBuild, MutableAccessCreatesStructure) {
+  Json doc;  // starts null
+  doc["outer"]["inner"] = 5;
+  doc["list"].push_back(1);
+  doc["list"].push_back("two");
+  EXPECT_EQ(doc["outer"]["inner"].as_int(), 5);
+  EXPECT_EQ(doc["list"][1].as_string(), "two");
+}
+
+TEST(JsonAccess, MissingKeyThrows) {
+  const Json doc = Json::parse(R"({"a":1})");
+  EXPECT_THROW(doc["b"], NotFoundError);
+  EXPECT_THROW(doc["a"].as_string(), Error);  // wrong type
+}
+
+TEST(JsonAccess, ArrayOutOfRangeThrows) {
+  const Json doc = Json::parse("[1]");
+  EXPECT_THROW(doc[size_t{1}], NotFoundError);
+}
+
+TEST(JsonAccess, GetOrDefaults) {
+  const Json doc = Json::parse(R"({"i":2,"s":"x","b":true,"d":1.5})");
+  EXPECT_EQ(doc.get_or("i", 9), 2);
+  EXPECT_EQ(doc.get_or("missing", 9), 9);
+  EXPECT_EQ(doc.get_or("s", "y"), "x");
+  EXPECT_EQ(doc.get_or("missing", "y"), "y");
+  EXPECT_EQ(doc.get_or("b", false), true);
+  EXPECT_DOUBLE_EQ(doc.get_or("d", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(doc.get_or("missing", 0.25), 0.25);
+}
+
+TEST(JsonPath, FindsNestedValues) {
+  const Json doc =
+      Json::parse(R"({"machine":{"queues":[{"name":"batch"},{"name":"debug"}]}})");
+  ASSERT_NE(doc.find_path("machine.queues[1].name"), nullptr);
+  EXPECT_EQ(doc.find_path("machine.queues[1].name")->as_string(), "debug");
+  EXPECT_EQ(doc.find_path("machine.missing"), nullptr);
+  EXPECT_EQ(doc.find_path("machine.queues[7]"), nullptr);
+  EXPECT_EQ(doc.find_path("machine.queues[x]"), nullptr);
+  EXPECT_EQ(doc.at_path("machine.queues[0].name").as_string(), "batch");
+  EXPECT_THROW(doc.at_path("nope"), NotFoundError);
+}
+
+TEST(JsonPath, DoubleIndexing) {
+  const Json doc = Json::parse(R"({"m":[[1,2],[3,4]]})");
+  EXPECT_EQ(doc.at_path("m[1][0]").as_int(), 3);
+}
+
+TEST(JsonEquality, NumbersCompareAcrossTypes) {
+  EXPECT_EQ(Json::parse("1"), Json::parse("1.0"));
+  EXPECT_NE(Json::parse("1"), Json::parse("2"));
+  EXPECT_NE(Json::parse("1"), Json::parse("\"1\""));
+}
+
+TEST(JsonFile, WriteAndParseRoundTrip) {
+  TempDir dir;
+  Json doc = Json::object();
+  doc["x"] = 1;
+  doc["y"] = Json::array({1, 2, 3});
+  const std::string path = dir.file("doc.json");
+  doc.write_file(path);
+  EXPECT_EQ(Json::parse_file(path), doc);
+}
+
+TEST(JsonFile, MissingFileThrowsIoError) {
+  EXPECT_THROW(Json::parse_file("/nonexistent/path.json"), IoError);
+}
+
+TEST(JsonParse, BigIntegerOverflowFallsBackToDouble) {
+  const Json doc = Json::parse("123456789012345678901234567890");
+  EXPECT_TRUE(doc.is_double());
+  EXPECT_GT(doc.as_double(), 1e29);
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ff {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), variance(xs), 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i < 20 ? left : right).add(x);
+    whole.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 7.0);
+}
+
+TEST(Percentile, RejectsBadInputs) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile({}, 50), Error);
+  EXPECT_THROW(percentile(xs, -1), Error);
+  EXPECT_THROW(percentile(xs, 101), Error);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Ols, RecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 0.5 * i);
+  }
+  const OlsFit fit = ols(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Ols, RequiresTwoPoints) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(ols(one, one), Error);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);    // bin 0
+  hist.add(9.9);    // bin 4
+  hist.add(-3.0);   // clamps to bin 0
+  hist.add(15.0);   // clamps to bin 4
+  hist.add(5.0);    // bin 2
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(2), 1u);
+  EXPECT_EQ(hist.count(4), 2u);
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.add(0.5);
+  hist.add(1.5);
+  hist.add(1.6);
+  const std::string text = hist.render(10);
+  EXPECT_NE(text.find("| "), std::string::npos);
+  EXPECT_NE(text.find(" 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff

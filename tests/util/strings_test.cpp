@@ -1,0 +1,110 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Split, SingleFieldWhenNoSeparator) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Split, TrailingSeparatorGivesTrailingEmpty) {
+  EXPECT_EQ(split("a,b,", ','), (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(SplitNonempty, DropsEmptyFields) {
+  EXPECT_EQ(split_nonempty(" a  b ", ' '), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Join, EmptyVectorGivesEmptyString) {
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(ReplaceAll, ReplacesEveryOccurrence) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");  // non-overlapping, left to right
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");   // empty pattern is a no-op
+}
+
+TEST(CaseConversion, Basics) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_EQ(to_upper("MiXeD"), "MIXED");
+}
+
+TEST(IsInteger, AcceptsSignedDecimals) {
+  EXPECT_TRUE(is_integer("0"));
+  EXPECT_TRUE(is_integer("-42"));
+  EXPECT_FALSE(is_integer(""));
+  EXPECT_FALSE(is_integer("-"));
+  EXPECT_FALSE(is_integer("1.5"));
+  EXPECT_FALSE(is_integer("12a"));
+}
+
+TEST(FormatDouble, RoundTripsExactly) {
+  for (double value : {0.1, 1.0 / 3.0, 12345.6789, -2.5e-8, 1e20}) {
+    const std::string text = format_double(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+  }
+}
+
+TEST(FormatDouble, IntegralValuesKeepFloatMarker) {
+  EXPECT_EQ(format_double(3.0), "3.0");
+  EXPECT_EQ(format_double(-10.0), "-10.0");
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 4), "abcde");  // no truncation
+}
+
+TEST(FormatDuration, Ranges) {
+  EXPECT_EQ(format_duration(5.25), "5.2s");
+  EXPECT_EQ(format_duration(65), "1m05s");
+  EXPECT_EQ(format_duration(3723), "1h02m03s");
+  EXPECT_EQ(format_duration(-65), "-1m05s");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024 * 1024), "1.50 GB");
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,152 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff {
+namespace {
+
+Table sample_table() {
+  Table table({"id", "value"});
+  table.add_row({"a", "1.5"});
+  table.add_row({"b", "2.5"});
+  return table;
+}
+
+TEST(Table, BasicShapeAndAccess) {
+  const Table table = sample_table();
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.cols(), 2u);
+  EXPECT_EQ(table.cell(0, 0), "a");
+  EXPECT_EQ(table.cell(1, "value"), "2.5");
+  EXPECT_EQ(table.column_index("value"), 1u);
+  EXPECT_TRUE(table.has_column("id"));
+  EXPECT_FALSE(table.has_column("nope"));
+  EXPECT_THROW(table.column_index("nope"), NotFoundError);
+}
+
+TEST(Table, RowArityIsValidated) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ValidationError);
+}
+
+TEST(Table, ColumnAsDouble) {
+  const Table table = sample_table();
+  EXPECT_EQ(table.column_as_double("value"), (std::vector<double>{1.5, 2.5}));
+  EXPECT_THROW(table.column_as_double("id"), ParseError);
+}
+
+TEST(Table, AddColumnFills) {
+  Table table = sample_table();
+  table.add_column("extra", "x");
+  EXPECT_EQ(table.cell(1, "extra"), "x");
+  EXPECT_THROW(table.add_column("extra"), ValidationError);
+}
+
+TEST(Table, PasteConcatenatesColumns) {
+  Table left = sample_table();
+  Table right({"score"});
+  right.add_row({"10"});
+  right.add_row({"20"});
+  left.paste(right);
+  EXPECT_EQ(left.cols(), 3u);
+  EXPECT_EQ(left.cell(0, "score"), "10");
+}
+
+TEST(Table, PasteRejectsRowMismatch) {
+  Table left = sample_table();
+  Table right({"score"});
+  right.add_row({"10"});
+  EXPECT_THROW(left.paste(right), ValidationError);
+}
+
+TEST(Table, PasteRejectsDuplicateColumns) {
+  Table left = sample_table();
+  Table right({"value"});
+  right.add_row({"9"});
+  right.add_row({"9"});
+  EXPECT_THROW(left.paste(right), ValidationError);
+}
+
+TEST(Table, SelectReordersColumns) {
+  const Table table = sample_table();
+  const Table picked = table.select({"value", "id"});
+  EXPECT_EQ(picked.column_names(), (std::vector<std::string>{"value", "id"}));
+  EXPECT_EQ(picked.cell(0, 0), "1.5");
+}
+
+TEST(Table, SliceRows) {
+  const Table table = sample_table();
+  const Table slice = table.slice_rows(1, 2);
+  EXPECT_EQ(slice.rows(), 1u);
+  EXPECT_EQ(slice.cell(0, "id"), "b");
+  EXPECT_THROW(table.slice_rows(2, 1), ValidationError);
+  EXPECT_THROW(table.slice_rows(0, 3), ValidationError);
+}
+
+TEST(Csv, RoundTripSimple) {
+  const Table table = sample_table();
+  const Table parsed = read_csv(write_csv(table));
+  EXPECT_EQ(parsed, table);
+}
+
+TEST(Csv, QuotingRules) {
+  Table table({"text"});
+  table.add_row({"has,comma"});
+  table.add_row({"has\"quote"});
+  table.add_row({"has\nnewline"});
+  const std::string text = write_csv(table);
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_EQ(read_csv(text), table);
+}
+
+TEST(Csv, ParsesCrLfAndBlankLines) {
+  const Table table = read_csv("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.cell(1, "b"), "4");
+}
+
+TEST(Csv, FieldCountMismatchIsAnError) {
+  EXPECT_THROW(read_csv("a,b\n1\n"), ParseError);
+}
+
+TEST(Csv, UnterminatedQuoteIsAnError) {
+  EXPECT_THROW(read_csv("a\n\"unclosed\n"), ParseError);
+}
+
+TEST(Csv, TsvSeparator) {
+  CsvOptions options;
+  options.separator = '\t';
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(read_csv(write_csv(table, options), options), table);
+}
+
+TEST(Csv, TrimOption) {
+  CsvOptions options;
+  options.trim_fields = true;
+  const Table table = read_csv(" a , b \n 1 , 2 \n", options);
+  EXPECT_EQ(table.column_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(table.cell(0, "a"), "1");
+}
+
+TEST(Csv, EmptyInputGivesEmptyTable) {
+  const Table table = read_csv("");
+  EXPECT_EQ(table.rows(), 0u);
+  EXPECT_EQ(table.cols(), 0u);
+}
+
+TEST(Csv, FileRoundTrip) {
+  TempDir dir;
+  const Table table = sample_table();
+  const std::string path = dir.file("t.csv");
+  write_csv_file(table, path);
+  EXPECT_EQ(read_csv_file(path), table);
+  EXPECT_THROW(read_csv_file(dir.file("missing.csv")), IoError);
+}
+
+}  // namespace
+}  // namespace ff
