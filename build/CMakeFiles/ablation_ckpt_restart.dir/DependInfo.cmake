@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_ckpt_restart.cpp" "CMakeFiles/ablation_ckpt_restart.dir/bench/ablation_ckpt_restart.cpp.o" "gcc" "CMakeFiles/ablation_ckpt_restart.dir/bench/ablation_ckpt_restart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckpt/CMakeFiles/ff_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ckpt_restart.dir/bench/ablation_ckpt_restart.cpp.o"
+  "CMakeFiles/ablation_ckpt_restart.dir/bench/ablation_ckpt_restart.cpp.o.d"
+  "bench/ablation_ckpt_restart"
+  "bench/ablation_ckpt_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ckpt_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

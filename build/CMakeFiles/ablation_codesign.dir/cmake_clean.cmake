@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codesign.dir/bench/ablation_codesign.cpp.o"
+  "CMakeFiles/ablation_codesign.dir/bench/ablation_codesign.cpp.o.d"
+  "bench/ablation_codesign"
+  "bench/ablation_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_gwas_paste.cpp" "CMakeFiles/fig2_gwas_paste.dir/bench/fig2_gwas_paste.cpp.o" "gcc" "CMakeFiles/fig2_gwas_paste.dir/bench/fig2_gwas_paste.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gwas/CMakeFiles/ff_gwas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cheetah/CMakeFiles/ff_cheetah.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/savanna/CMakeFiles/ff_savanna.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/skel/CMakeFiles/ff_skel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

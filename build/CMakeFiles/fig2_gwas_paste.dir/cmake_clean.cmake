@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_gwas_paste.dir/bench/fig2_gwas_paste.cpp.o"
+  "CMakeFiles/fig2_gwas_paste.dir/bench/fig2_gwas_paste.cpp.o.d"
+  "bench/fig2_gwas_paste"
+  "bench/fig2_gwas_paste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_gwas_paste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ckpt_overhead.dir/bench/fig3_ckpt_overhead.cpp.o"
+  "CMakeFiles/fig3_ckpt_overhead.dir/bench/fig3_ckpt_overhead.cpp.o.d"
+  "bench/fig3_ckpt_overhead"
+  "bench/fig3_ckpt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ckpt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ckpt_variation.dir/bench/fig4_ckpt_variation.cpp.o"
+  "CMakeFiles/fig4_ckpt_variation.dir/bench/fig4_ckpt_variation.cpp.o.d"
+  "bench/fig4_ckpt_variation"
+  "bench/fig4_ckpt_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ckpt_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stream_policies.dir/bench/fig5_stream_policies.cpp.o"
+  "CMakeFiles/fig5_stream_policies.dir/bench/fig5_stream_policies.cpp.o.d"
+  "bench/fig5_stream_policies"
+  "bench/fig5_stream_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stream_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

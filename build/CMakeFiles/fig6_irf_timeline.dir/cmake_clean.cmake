@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_irf_timeline.dir/bench/fig6_irf_timeline.cpp.o"
+  "CMakeFiles/fig6_irf_timeline.dir/bench/fig6_irf_timeline.cpp.o.d"
+  "bench/fig6_irf_timeline"
+  "bench/fig6_irf_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_irf_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_irf_campaign.dir/bench/fig7_irf_campaign.cpp.o"
+  "CMakeFiles/fig7_irf_campaign.dir/bench/fig7_irf_campaign.cpp.o.d"
+  "bench/fig7_irf_campaign"
+  "bench/fig7_irf_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_irf_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_gauge_assessment.dir/bench/tab1_gauge_assessment.cpp.o"
+  "CMakeFiles/tab1_gauge_assessment.dir/bench/tab1_gauge_assessment.cpp.o.d"
+  "bench/tab1_gauge_assessment"
+  "bench/tab1_gauge_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_gauge_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_policies.dir/checkpoint_policies.cpp.o"
+  "CMakeFiles/checkpoint_policies.dir/checkpoint_policies.cpp.o.d"
+  "checkpoint_policies"
+  "checkpoint_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

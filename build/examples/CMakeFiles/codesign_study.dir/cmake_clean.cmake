@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_study.dir/codesign_study.cpp.o"
+  "CMakeFiles/codesign_study.dir/codesign_study.cpp.o.d"
+  "codesign_study"
+  "codesign_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwas_pipeline.dir/gwas_pipeline.cpp.o"
+  "CMakeFiles/gwas_pipeline.dir/gwas_pipeline.cpp.o.d"
+  "gwas_pipeline"
+  "gwas_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwas_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

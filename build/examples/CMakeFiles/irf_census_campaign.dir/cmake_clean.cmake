@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_census_campaign.dir/irf_census_campaign.cpp.o"
+  "CMakeFiles/irf_census_campaign.dir/irf_census_campaign.cpp.o.d"
+  "irf_census_campaign"
+  "irf_census_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_census_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

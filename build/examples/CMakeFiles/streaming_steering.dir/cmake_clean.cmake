@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_steering.dir/streaming_steering.cpp.o"
+  "CMakeFiles/streaming_steering.dir/streaming_steering.cpp.o.d"
+  "streaming_steering"
+  "streaming_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

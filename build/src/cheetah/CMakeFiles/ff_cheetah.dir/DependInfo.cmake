@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cheetah/campaign.cpp" "src/cheetah/CMakeFiles/ff_cheetah.dir/campaign.cpp.o" "gcc" "src/cheetah/CMakeFiles/ff_cheetah.dir/campaign.cpp.o.d"
+  "/root/repo/src/cheetah/endpoint.cpp" "src/cheetah/CMakeFiles/ff_cheetah.dir/endpoint.cpp.o" "gcc" "src/cheetah/CMakeFiles/ff_cheetah.dir/endpoint.cpp.o.d"
+  "/root/repo/src/cheetah/manifest.cpp" "src/cheetah/CMakeFiles/ff_cheetah.dir/manifest.cpp.o" "gcc" "src/cheetah/CMakeFiles/ff_cheetah.dir/manifest.cpp.o.d"
+  "/root/repo/src/cheetah/parameter.cpp" "src/cheetah/CMakeFiles/ff_cheetah.dir/parameter.cpp.o" "gcc" "src/cheetah/CMakeFiles/ff_cheetah.dir/parameter.cpp.o.d"
+  "/root/repo/src/cheetah/results.cpp" "src/cheetah/CMakeFiles/ff_cheetah.dir/results.cpp.o" "gcc" "src/cheetah/CMakeFiles/ff_cheetah.dir/results.cpp.o.d"
+  "/root/repo/src/cheetah/sweep.cpp" "src/cheetah/CMakeFiles/ff_cheetah.dir/sweep.cpp.o" "gcc" "src/cheetah/CMakeFiles/ff_cheetah.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/skel/CMakeFiles/ff_skel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_cheetah.dir/campaign.cpp.o"
+  "CMakeFiles/ff_cheetah.dir/campaign.cpp.o.d"
+  "CMakeFiles/ff_cheetah.dir/endpoint.cpp.o"
+  "CMakeFiles/ff_cheetah.dir/endpoint.cpp.o.d"
+  "CMakeFiles/ff_cheetah.dir/manifest.cpp.o"
+  "CMakeFiles/ff_cheetah.dir/manifest.cpp.o.d"
+  "CMakeFiles/ff_cheetah.dir/parameter.cpp.o"
+  "CMakeFiles/ff_cheetah.dir/parameter.cpp.o.d"
+  "CMakeFiles/ff_cheetah.dir/results.cpp.o"
+  "CMakeFiles/ff_cheetah.dir/results.cpp.o.d"
+  "CMakeFiles/ff_cheetah.dir/sweep.cpp.o"
+  "CMakeFiles/ff_cheetah.dir/sweep.cpp.o.d"
+  "libff_cheetah.a"
+  "libff_cheetah.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_cheetah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

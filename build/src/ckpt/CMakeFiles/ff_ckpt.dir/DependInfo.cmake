@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/calibrate.cpp" "src/ckpt/CMakeFiles/ff_ckpt.dir/calibrate.cpp.o" "gcc" "src/ckpt/CMakeFiles/ff_ckpt.dir/calibrate.cpp.o.d"
+  "/root/repo/src/ckpt/gray_scott.cpp" "src/ckpt/CMakeFiles/ff_ckpt.dir/gray_scott.cpp.o" "gcc" "src/ckpt/CMakeFiles/ff_ckpt.dir/gray_scott.cpp.o.d"
+  "/root/repo/src/ckpt/harness.cpp" "src/ckpt/CMakeFiles/ff_ckpt.dir/harness.cpp.o" "gcc" "src/ckpt/CMakeFiles/ff_ckpt.dir/harness.cpp.o.d"
+  "/root/repo/src/ckpt/policy.cpp" "src/ckpt/CMakeFiles/ff_ckpt.dir/policy.cpp.o" "gcc" "src/ckpt/CMakeFiles/ff_ckpt.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

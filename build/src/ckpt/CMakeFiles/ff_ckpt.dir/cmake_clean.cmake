@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_ckpt.dir/calibrate.cpp.o"
+  "CMakeFiles/ff_ckpt.dir/calibrate.cpp.o.d"
+  "CMakeFiles/ff_ckpt.dir/gray_scott.cpp.o"
+  "CMakeFiles/ff_ckpt.dir/gray_scott.cpp.o.d"
+  "CMakeFiles/ff_ckpt.dir/harness.cpp.o"
+  "CMakeFiles/ff_ckpt.dir/harness.cpp.o.d"
+  "CMakeFiles/ff_ckpt.dir/policy.cpp.o"
+  "CMakeFiles/ff_ckpt.dir/policy.cpp.o.d"
+  "libff_ckpt.a"
+  "libff_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/batch.cpp" "src/cluster/CMakeFiles/ff_cluster.dir/batch.cpp.o" "gcc" "src/cluster/CMakeFiles/ff_cluster.dir/batch.cpp.o.d"
+  "/root/repo/src/cluster/failure.cpp" "src/cluster/CMakeFiles/ff_cluster.dir/failure.cpp.o" "gcc" "src/cluster/CMakeFiles/ff_cluster.dir/failure.cpp.o.d"
+  "/root/repo/src/cluster/filesystem.cpp" "src/cluster/CMakeFiles/ff_cluster.dir/filesystem.cpp.o" "gcc" "src/cluster/CMakeFiles/ff_cluster.dir/filesystem.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/cluster/CMakeFiles/ff_cluster.dir/machine.cpp.o" "gcc" "src/cluster/CMakeFiles/ff_cluster.dir/machine.cpp.o.d"
+  "/root/repo/src/cluster/sim.cpp" "src/cluster/CMakeFiles/ff_cluster.dir/sim.cpp.o" "gcc" "src/cluster/CMakeFiles/ff_cluster.dir/sim.cpp.o.d"
+  "/root/repo/src/cluster/workload.cpp" "src/cluster/CMakeFiles/ff_cluster.dir/workload.cpp.o" "gcc" "src/cluster/CMakeFiles/ff_cluster.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_cluster.dir/batch.cpp.o"
+  "CMakeFiles/ff_cluster.dir/batch.cpp.o.d"
+  "CMakeFiles/ff_cluster.dir/failure.cpp.o"
+  "CMakeFiles/ff_cluster.dir/failure.cpp.o.d"
+  "CMakeFiles/ff_cluster.dir/filesystem.cpp.o"
+  "CMakeFiles/ff_cluster.dir/filesystem.cpp.o.d"
+  "CMakeFiles/ff_cluster.dir/machine.cpp.o"
+  "CMakeFiles/ff_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/ff_cluster.dir/sim.cpp.o"
+  "CMakeFiles/ff_cluster.dir/sim.cpp.o.d"
+  "CMakeFiles/ff_cluster.dir/workload.cpp.o"
+  "CMakeFiles/ff_cluster.dir/workload.cpp.o.d"
+  "libff_cluster.a"
+  "libff_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assessment.cpp" "src/core/CMakeFiles/ff_core.dir/assessment.cpp.o" "gcc" "src/core/CMakeFiles/ff_core.dir/assessment.cpp.o.d"
+  "/root/repo/src/core/component.cpp" "src/core/CMakeFiles/ff_core.dir/component.cpp.o" "gcc" "src/core/CMakeFiles/ff_core.dir/component.cpp.o.d"
+  "/root/repo/src/core/gauge.cpp" "src/core/CMakeFiles/ff_core.dir/gauge.cpp.o" "gcc" "src/core/CMakeFiles/ff_core.dir/gauge.cpp.o.d"
+  "/root/repo/src/core/gauge_profile.cpp" "src/core/CMakeFiles/ff_core.dir/gauge_profile.cpp.o" "gcc" "src/core/CMakeFiles/ff_core.dir/gauge_profile.cpp.o.d"
+  "/root/repo/src/core/metadata_catalog.cpp" "src/core/CMakeFiles/ff_core.dir/metadata_catalog.cpp.o" "gcc" "src/core/CMakeFiles/ff_core.dir/metadata_catalog.cpp.o.d"
+  "/root/repo/src/core/technical_debt.cpp" "src/core/CMakeFiles/ff_core.dir/technical_debt.cpp.o" "gcc" "src/core/CMakeFiles/ff_core.dir/technical_debt.cpp.o.d"
+  "/root/repo/src/core/workflow_graph.cpp" "src/core/CMakeFiles/ff_core.dir/workflow_graph.cpp.o" "gcc" "src/core/CMakeFiles/ff_core.dir/workflow_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_core.dir/assessment.cpp.o"
+  "CMakeFiles/ff_core.dir/assessment.cpp.o.d"
+  "CMakeFiles/ff_core.dir/component.cpp.o"
+  "CMakeFiles/ff_core.dir/component.cpp.o.d"
+  "CMakeFiles/ff_core.dir/gauge.cpp.o"
+  "CMakeFiles/ff_core.dir/gauge.cpp.o.d"
+  "CMakeFiles/ff_core.dir/gauge_profile.cpp.o"
+  "CMakeFiles/ff_core.dir/gauge_profile.cpp.o.d"
+  "CMakeFiles/ff_core.dir/metadata_catalog.cpp.o"
+  "CMakeFiles/ff_core.dir/metadata_catalog.cpp.o.d"
+  "CMakeFiles/ff_core.dir/technical_debt.cpp.o"
+  "CMakeFiles/ff_core.dir/technical_debt.cpp.o.d"
+  "CMakeFiles/ff_core.dir/workflow_graph.cpp.o"
+  "CMakeFiles/ff_core.dir/workflow_graph.cpp.o.d"
+  "libff_core.a"
+  "libff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

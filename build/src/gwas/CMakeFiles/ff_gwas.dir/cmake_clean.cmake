@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_gwas.dir/formats.cpp.o"
+  "CMakeFiles/ff_gwas.dir/formats.cpp.o.d"
+  "CMakeFiles/ff_gwas.dir/genotype.cpp.o"
+  "CMakeFiles/ff_gwas.dir/genotype.cpp.o.d"
+  "CMakeFiles/ff_gwas.dir/paste.cpp.o"
+  "CMakeFiles/ff_gwas.dir/paste.cpp.o.d"
+  "CMakeFiles/ff_gwas.dir/workflow.cpp.o"
+  "CMakeFiles/ff_gwas.dir/workflow.cpp.o.d"
+  "libff_gwas.a"
+  "libff_gwas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_gwas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irf/dataset.cpp" "src/irf/CMakeFiles/ff_irf.dir/dataset.cpp.o" "gcc" "src/irf/CMakeFiles/ff_irf.dir/dataset.cpp.o.d"
+  "/root/repo/src/irf/forest.cpp" "src/irf/CMakeFiles/ff_irf.dir/forest.cpp.o" "gcc" "src/irf/CMakeFiles/ff_irf.dir/forest.cpp.o.d"
+  "/root/repo/src/irf/irf_loop.cpp" "src/irf/CMakeFiles/ff_irf.dir/irf_loop.cpp.o" "gcc" "src/irf/CMakeFiles/ff_irf.dir/irf_loop.cpp.o.d"
+  "/root/repo/src/irf/tree.cpp" "src/irf/CMakeFiles/ff_irf.dir/tree.cpp.o" "gcc" "src/irf/CMakeFiles/ff_irf.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

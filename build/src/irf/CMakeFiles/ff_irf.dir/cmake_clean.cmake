@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_irf.dir/dataset.cpp.o"
+  "CMakeFiles/ff_irf.dir/dataset.cpp.o.d"
+  "CMakeFiles/ff_irf.dir/forest.cpp.o"
+  "CMakeFiles/ff_irf.dir/forest.cpp.o.d"
+  "CMakeFiles/ff_irf.dir/irf_loop.cpp.o"
+  "CMakeFiles/ff_irf.dir/irf_loop.cpp.o.d"
+  "CMakeFiles/ff_irf.dir/tree.cpp.o"
+  "CMakeFiles/ff_irf.dir/tree.cpp.o.d"
+  "libff_irf.a"
+  "libff_irf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_irf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/savanna/batch_runner.cpp" "src/savanna/CMakeFiles/ff_savanna.dir/batch_runner.cpp.o" "gcc" "src/savanna/CMakeFiles/ff_savanna.dir/batch_runner.cpp.o.d"
+  "/root/repo/src/savanna/campaign_runner.cpp" "src/savanna/CMakeFiles/ff_savanna.dir/campaign_runner.cpp.o" "gcc" "src/savanna/CMakeFiles/ff_savanna.dir/campaign_runner.cpp.o.d"
+  "/root/repo/src/savanna/executor.cpp" "src/savanna/CMakeFiles/ff_savanna.dir/executor.cpp.o" "gcc" "src/savanna/CMakeFiles/ff_savanna.dir/executor.cpp.o.d"
+  "/root/repo/src/savanna/failure_injection.cpp" "src/savanna/CMakeFiles/ff_savanna.dir/failure_injection.cpp.o" "gcc" "src/savanna/CMakeFiles/ff_savanna.dir/failure_injection.cpp.o.d"
+  "/root/repo/src/savanna/local_executor.cpp" "src/savanna/CMakeFiles/ff_savanna.dir/local_executor.cpp.o" "gcc" "src/savanna/CMakeFiles/ff_savanna.dir/local_executor.cpp.o.d"
+  "/root/repo/src/savanna/provenance.cpp" "src/savanna/CMakeFiles/ff_savanna.dir/provenance.cpp.o" "gcc" "src/savanna/CMakeFiles/ff_savanna.dir/provenance.cpp.o.d"
+  "/root/repo/src/savanna/tracker.cpp" "src/savanna/CMakeFiles/ff_savanna.dir/tracker.cpp.o" "gcc" "src/savanna/CMakeFiles/ff_savanna.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

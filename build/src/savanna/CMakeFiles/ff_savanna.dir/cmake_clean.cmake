@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_savanna.dir/batch_runner.cpp.o"
+  "CMakeFiles/ff_savanna.dir/batch_runner.cpp.o.d"
+  "CMakeFiles/ff_savanna.dir/campaign_runner.cpp.o"
+  "CMakeFiles/ff_savanna.dir/campaign_runner.cpp.o.d"
+  "CMakeFiles/ff_savanna.dir/executor.cpp.o"
+  "CMakeFiles/ff_savanna.dir/executor.cpp.o.d"
+  "CMakeFiles/ff_savanna.dir/failure_injection.cpp.o"
+  "CMakeFiles/ff_savanna.dir/failure_injection.cpp.o.d"
+  "CMakeFiles/ff_savanna.dir/local_executor.cpp.o"
+  "CMakeFiles/ff_savanna.dir/local_executor.cpp.o.d"
+  "CMakeFiles/ff_savanna.dir/provenance.cpp.o"
+  "CMakeFiles/ff_savanna.dir/provenance.cpp.o.d"
+  "CMakeFiles/ff_savanna.dir/tracker.cpp.o"
+  "CMakeFiles/ff_savanna.dir/tracker.cpp.o.d"
+  "libff_savanna.a"
+  "libff_savanna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_savanna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skel/generator.cpp" "src/skel/CMakeFiles/ff_skel.dir/generator.cpp.o" "gcc" "src/skel/CMakeFiles/ff_skel.dir/generator.cpp.o.d"
+  "/root/repo/src/skel/model.cpp" "src/skel/CMakeFiles/ff_skel.dir/model.cpp.o" "gcc" "src/skel/CMakeFiles/ff_skel.dir/model.cpp.o.d"
+  "/root/repo/src/skel/template_engine.cpp" "src/skel/CMakeFiles/ff_skel.dir/template_engine.cpp.o" "gcc" "src/skel/CMakeFiles/ff_skel.dir/template_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

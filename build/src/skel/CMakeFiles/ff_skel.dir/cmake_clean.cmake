@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_skel.dir/generator.cpp.o"
+  "CMakeFiles/ff_skel.dir/generator.cpp.o.d"
+  "CMakeFiles/ff_skel.dir/model.cpp.o"
+  "CMakeFiles/ff_skel.dir/model.cpp.o.d"
+  "CMakeFiles/ff_skel.dir/template_engine.cpp.o"
+  "CMakeFiles/ff_skel.dir/template_engine.cpp.o.d"
+  "libff_skel.a"
+  "libff_skel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_skel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

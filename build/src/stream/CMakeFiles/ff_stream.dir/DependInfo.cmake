@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/channel.cpp" "src/stream/CMakeFiles/ff_stream.dir/channel.cpp.o" "gcc" "src/stream/CMakeFiles/ff_stream.dir/channel.cpp.o.d"
+  "/root/repo/src/stream/codegen.cpp" "src/stream/CMakeFiles/ff_stream.dir/codegen.cpp.o" "gcc" "src/stream/CMakeFiles/ff_stream.dir/codegen.cpp.o.d"
+  "/root/repo/src/stream/data.cpp" "src/stream/CMakeFiles/ff_stream.dir/data.cpp.o" "gcc" "src/stream/CMakeFiles/ff_stream.dir/data.cpp.o.d"
+  "/root/repo/src/stream/marshal.cpp" "src/stream/CMakeFiles/ff_stream.dir/marshal.cpp.o" "gcc" "src/stream/CMakeFiles/ff_stream.dir/marshal.cpp.o.d"
+  "/root/repo/src/stream/policy.cpp" "src/stream/CMakeFiles/ff_stream.dir/policy.cpp.o" "gcc" "src/stream/CMakeFiles/ff_stream.dir/policy.cpp.o.d"
+  "/root/repo/src/stream/scheduler.cpp" "src/stream/CMakeFiles/ff_stream.dir/scheduler.cpp.o" "gcc" "src/stream/CMakeFiles/ff_stream.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/skel/CMakeFiles/ff_skel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_stream.dir/channel.cpp.o"
+  "CMakeFiles/ff_stream.dir/channel.cpp.o.d"
+  "CMakeFiles/ff_stream.dir/codegen.cpp.o"
+  "CMakeFiles/ff_stream.dir/codegen.cpp.o.d"
+  "CMakeFiles/ff_stream.dir/data.cpp.o"
+  "CMakeFiles/ff_stream.dir/data.cpp.o.d"
+  "CMakeFiles/ff_stream.dir/marshal.cpp.o"
+  "CMakeFiles/ff_stream.dir/marshal.cpp.o.d"
+  "CMakeFiles/ff_stream.dir/policy.cpp.o"
+  "CMakeFiles/ff_stream.dir/policy.cpp.o.d"
+  "CMakeFiles/ff_stream.dir/scheduler.cpp.o"
+  "CMakeFiles/ff_stream.dir/scheduler.cpp.o.d"
+  "libff_stream.a"
+  "libff_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

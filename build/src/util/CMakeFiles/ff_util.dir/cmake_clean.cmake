@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_util.dir/fs.cpp.o"
+  "CMakeFiles/ff_util.dir/fs.cpp.o.d"
+  "CMakeFiles/ff_util.dir/json.cpp.o"
+  "CMakeFiles/ff_util.dir/json.cpp.o.d"
+  "CMakeFiles/ff_util.dir/rng.cpp.o"
+  "CMakeFiles/ff_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ff_util.dir/stats.cpp.o"
+  "CMakeFiles/ff_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ff_util.dir/strings.cpp.o"
+  "CMakeFiles/ff_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ff_util.dir/table.cpp.o"
+  "CMakeFiles/ff_util.dir/table.cpp.o.d"
+  "CMakeFiles/ff_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ff_util.dir/thread_pool.cpp.o.d"
+  "libff_util.a"
+  "libff_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

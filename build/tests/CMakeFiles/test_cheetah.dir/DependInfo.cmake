@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cheetah/campaign_test.cpp" "tests/CMakeFiles/test_cheetah.dir/cheetah/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/test_cheetah.dir/cheetah/campaign_test.cpp.o.d"
+  "/root/repo/tests/cheetah/derived_param_test.cpp" "tests/CMakeFiles/test_cheetah.dir/cheetah/derived_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_cheetah.dir/cheetah/derived_param_test.cpp.o.d"
+  "/root/repo/tests/cheetah/endpoint_test.cpp" "tests/CMakeFiles/test_cheetah.dir/cheetah/endpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_cheetah.dir/cheetah/endpoint_test.cpp.o.d"
+  "/root/repo/tests/cheetah/results_test.cpp" "tests/CMakeFiles/test_cheetah.dir/cheetah/results_test.cpp.o" "gcc" "tests/CMakeFiles/test_cheetah.dir/cheetah/results_test.cpp.o.d"
+  "/root/repo/tests/cheetah/sweep_test.cpp" "tests/CMakeFiles/test_cheetah.dir/cheetah/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_cheetah.dir/cheetah/sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cheetah/CMakeFiles/ff_cheetah.dir/DependInfo.cmake"
+  "/root/repo/build/src/skel/CMakeFiles/ff_skel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cheetah.dir/cheetah/campaign_test.cpp.o"
+  "CMakeFiles/test_cheetah.dir/cheetah/campaign_test.cpp.o.d"
+  "CMakeFiles/test_cheetah.dir/cheetah/derived_param_test.cpp.o"
+  "CMakeFiles/test_cheetah.dir/cheetah/derived_param_test.cpp.o.d"
+  "CMakeFiles/test_cheetah.dir/cheetah/endpoint_test.cpp.o"
+  "CMakeFiles/test_cheetah.dir/cheetah/endpoint_test.cpp.o.d"
+  "CMakeFiles/test_cheetah.dir/cheetah/results_test.cpp.o"
+  "CMakeFiles/test_cheetah.dir/cheetah/results_test.cpp.o.d"
+  "CMakeFiles/test_cheetah.dir/cheetah/sweep_test.cpp.o"
+  "CMakeFiles/test_cheetah.dir/cheetah/sweep_test.cpp.o.d"
+  "test_cheetah"
+  "test_cheetah.pdb"
+  "test_cheetah[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cheetah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ckpt/calibrate_test.cpp" "tests/CMakeFiles/test_ckpt.dir/ckpt/calibrate_test.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/ckpt/calibrate_test.cpp.o.d"
+  "/root/repo/tests/ckpt/gray_scott_test.cpp" "tests/CMakeFiles/test_ckpt.dir/ckpt/gray_scott_test.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/ckpt/gray_scott_test.cpp.o.d"
+  "/root/repo/tests/ckpt/harness_test.cpp" "tests/CMakeFiles/test_ckpt.dir/ckpt/harness_test.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/ckpt/harness_test.cpp.o.d"
+  "/root/repo/tests/ckpt/policy_param_test.cpp" "tests/CMakeFiles/test_ckpt.dir/ckpt/policy_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/ckpt/policy_param_test.cpp.o.d"
+  "/root/repo/tests/ckpt/policy_test.cpp" "tests/CMakeFiles/test_ckpt.dir/ckpt/policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/ckpt/policy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckpt/CMakeFiles/ff_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

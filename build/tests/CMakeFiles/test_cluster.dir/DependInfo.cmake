@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/batch_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/batch_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/batch_test.cpp.o.d"
+  "/root/repo/tests/cluster/failure_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/failure_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/failure_test.cpp.o.d"
+  "/root/repo/tests/cluster/filesystem_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/filesystem_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/filesystem_test.cpp.o.d"
+  "/root/repo/tests/cluster/sim_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/sim_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/sim_test.cpp.o.d"
+  "/root/repo/tests/cluster/workload_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/assessment_test.cpp" "tests/CMakeFiles/test_core.dir/core/assessment_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/assessment_test.cpp.o.d"
+  "/root/repo/tests/core/collapse_test.cpp" "tests/CMakeFiles/test_core.dir/core/collapse_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/collapse_test.cpp.o.d"
+  "/root/repo/tests/core/component_test.cpp" "tests/CMakeFiles/test_core.dir/core/component_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/component_test.cpp.o.d"
+  "/root/repo/tests/core/gauge_profile_test.cpp" "tests/CMakeFiles/test_core.dir/core/gauge_profile_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/gauge_profile_test.cpp.o.d"
+  "/root/repo/tests/core/gauge_test.cpp" "tests/CMakeFiles/test_core.dir/core/gauge_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/gauge_test.cpp.o.d"
+  "/root/repo/tests/core/metadata_catalog_test.cpp" "tests/CMakeFiles/test_core.dir/core/metadata_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metadata_catalog_test.cpp.o.d"
+  "/root/repo/tests/core/technical_debt_test.cpp" "tests/CMakeFiles/test_core.dir/core/technical_debt_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/technical_debt_test.cpp.o.d"
+  "/root/repo/tests/core/workflow_graph_test.cpp" "tests/CMakeFiles/test_core.dir/core/workflow_graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/workflow_graph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

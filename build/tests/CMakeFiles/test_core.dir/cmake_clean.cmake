@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/assessment_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/assessment_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/collapse_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/collapse_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/component_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/component_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/gauge_profile_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/gauge_profile_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/gauge_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/gauge_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metadata_catalog_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metadata_catalog_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/technical_debt_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/technical_debt_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/workflow_graph_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/workflow_graph_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gwas/formats_extra_test.cpp" "tests/CMakeFiles/test_gwas.dir/gwas/formats_extra_test.cpp.o" "gcc" "tests/CMakeFiles/test_gwas.dir/gwas/formats_extra_test.cpp.o.d"
+  "/root/repo/tests/gwas/formats_test.cpp" "tests/CMakeFiles/test_gwas.dir/gwas/formats_test.cpp.o" "gcc" "tests/CMakeFiles/test_gwas.dir/gwas/formats_test.cpp.o.d"
+  "/root/repo/tests/gwas/genotype_test.cpp" "tests/CMakeFiles/test_gwas.dir/gwas/genotype_test.cpp.o" "gcc" "tests/CMakeFiles/test_gwas.dir/gwas/genotype_test.cpp.o.d"
+  "/root/repo/tests/gwas/golden_artifacts_test.cpp" "tests/CMakeFiles/test_gwas.dir/gwas/golden_artifacts_test.cpp.o" "gcc" "tests/CMakeFiles/test_gwas.dir/gwas/golden_artifacts_test.cpp.o.d"
+  "/root/repo/tests/gwas/paste_param_test.cpp" "tests/CMakeFiles/test_gwas.dir/gwas/paste_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_gwas.dir/gwas/paste_param_test.cpp.o.d"
+  "/root/repo/tests/gwas/paste_test.cpp" "tests/CMakeFiles/test_gwas.dir/gwas/paste_test.cpp.o" "gcc" "tests/CMakeFiles/test_gwas.dir/gwas/paste_test.cpp.o.d"
+  "/root/repo/tests/gwas/workflow_test.cpp" "tests/CMakeFiles/test_gwas.dir/gwas/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/test_gwas.dir/gwas/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gwas/CMakeFiles/ff_gwas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/skel/CMakeFiles/ff_skel.dir/DependInfo.cmake"
+  "/root/repo/build/src/savanna/CMakeFiles/ff_savanna.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

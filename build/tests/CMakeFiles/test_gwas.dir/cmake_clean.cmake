@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gwas.dir/gwas/formats_extra_test.cpp.o"
+  "CMakeFiles/test_gwas.dir/gwas/formats_extra_test.cpp.o.d"
+  "CMakeFiles/test_gwas.dir/gwas/formats_test.cpp.o"
+  "CMakeFiles/test_gwas.dir/gwas/formats_test.cpp.o.d"
+  "CMakeFiles/test_gwas.dir/gwas/genotype_test.cpp.o"
+  "CMakeFiles/test_gwas.dir/gwas/genotype_test.cpp.o.d"
+  "CMakeFiles/test_gwas.dir/gwas/golden_artifacts_test.cpp.o"
+  "CMakeFiles/test_gwas.dir/gwas/golden_artifacts_test.cpp.o.d"
+  "CMakeFiles/test_gwas.dir/gwas/paste_param_test.cpp.o"
+  "CMakeFiles/test_gwas.dir/gwas/paste_param_test.cpp.o.d"
+  "CMakeFiles/test_gwas.dir/gwas/paste_test.cpp.o"
+  "CMakeFiles/test_gwas.dir/gwas/paste_test.cpp.o.d"
+  "CMakeFiles/test_gwas.dir/gwas/workflow_test.cpp.o"
+  "CMakeFiles/test_gwas.dir/gwas/workflow_test.cpp.o.d"
+  "test_gwas"
+  "test_gwas.pdb"
+  "test_gwas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gwas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/irf/irf_loop_test.cpp" "tests/CMakeFiles/test_irf.dir/irf/irf_loop_test.cpp.o" "gcc" "tests/CMakeFiles/test_irf.dir/irf/irf_loop_test.cpp.o.d"
+  "/root/repo/tests/irf/network_export_test.cpp" "tests/CMakeFiles/test_irf.dir/irf/network_export_test.cpp.o" "gcc" "tests/CMakeFiles/test_irf.dir/irf/network_export_test.cpp.o.d"
+  "/root/repo/tests/irf/tree_forest_test.cpp" "tests/CMakeFiles/test_irf.dir/irf/tree_forest_test.cpp.o" "gcc" "tests/CMakeFiles/test_irf.dir/irf/tree_forest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/irf/CMakeFiles/ff_irf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irf.dir/irf/irf_loop_test.cpp.o"
+  "CMakeFiles/test_irf.dir/irf/irf_loop_test.cpp.o.d"
+  "CMakeFiles/test_irf.dir/irf/network_export_test.cpp.o"
+  "CMakeFiles/test_irf.dir/irf/network_export_test.cpp.o.d"
+  "CMakeFiles/test_irf.dir/irf/tree_forest_test.cpp.o"
+  "CMakeFiles/test_irf.dir/irf/tree_forest_test.cpp.o.d"
+  "test_irf"
+  "test_irf.pdb"
+  "test_irf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/savanna/batch_runner_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/batch_runner_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/batch_runner_test.cpp.o.d"
+  "/root/repo/tests/savanna/campaign_runner_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/campaign_runner_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/campaign_runner_test.cpp.o.d"
+  "/root/repo/tests/savanna/executor_param_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/executor_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/executor_param_test.cpp.o.d"
+  "/root/repo/tests/savanna/executor_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/executor_test.cpp.o.d"
+  "/root/repo/tests/savanna/failure_injection_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/savanna/local_executor_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/local_executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/local_executor_test.cpp.o.d"
+  "/root/repo/tests/savanna/provenance_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/provenance_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/provenance_test.cpp.o.d"
+  "/root/repo/tests/savanna/tracker_test.cpp" "tests/CMakeFiles/test_savanna.dir/savanna/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/test_savanna.dir/savanna/tracker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/savanna/CMakeFiles/ff_savanna.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_savanna.dir/savanna/batch_runner_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/batch_runner_test.cpp.o.d"
+  "CMakeFiles/test_savanna.dir/savanna/campaign_runner_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/campaign_runner_test.cpp.o.d"
+  "CMakeFiles/test_savanna.dir/savanna/executor_param_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/executor_param_test.cpp.o.d"
+  "CMakeFiles/test_savanna.dir/savanna/executor_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/executor_test.cpp.o.d"
+  "CMakeFiles/test_savanna.dir/savanna/failure_injection_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/failure_injection_test.cpp.o.d"
+  "CMakeFiles/test_savanna.dir/savanna/local_executor_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/local_executor_test.cpp.o.d"
+  "CMakeFiles/test_savanna.dir/savanna/provenance_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/provenance_test.cpp.o.d"
+  "CMakeFiles/test_savanna.dir/savanna/tracker_test.cpp.o"
+  "CMakeFiles/test_savanna.dir/savanna/tracker_test.cpp.o.d"
+  "test_savanna"
+  "test_savanna.pdb"
+  "test_savanna[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_savanna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

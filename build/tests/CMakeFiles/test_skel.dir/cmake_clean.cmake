@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skel.dir/skel/generator_test.cpp.o"
+  "CMakeFiles/test_skel.dir/skel/generator_test.cpp.o.d"
+  "CMakeFiles/test_skel.dir/skel/model_test.cpp.o"
+  "CMakeFiles/test_skel.dir/skel/model_test.cpp.o.d"
+  "CMakeFiles/test_skel.dir/skel/template_engine_test.cpp.o"
+  "CMakeFiles/test_skel.dir/skel/template_engine_test.cpp.o.d"
+  "test_skel"
+  "test_skel.pdb"
+  "test_skel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

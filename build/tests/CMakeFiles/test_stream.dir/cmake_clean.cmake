@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream.dir/stream/channel_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/channel_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/codegen_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/codegen_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/marshal_param_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/marshal_param_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/marshal_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/marshal_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/scheduler_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/scheduler_test.cpp.o.d"
+  "test_stream"
+  "test_stream.pdb"
+  "test_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

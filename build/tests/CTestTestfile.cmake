@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_skel[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_cheetah[1]_include.cmake")
+include("/root/repo/build/tests/test_savanna[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt[1]_include.cmake")
+include("/root/repo/build/tests/test_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_irf[1]_include.cmake")
+include("/root/repo/build/tests/test_gwas[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
