@@ -21,3 +21,15 @@ ff_add_bench(ablation_ckpt_restart ff_ckpt ff_cluster)
 ff_add_bench(ablation_codesign ff_cheetah ff_gwas)
 ff_add_bench(micro_bench ff_util ff_skel ff_stream ff_cluster ff_irf ff_gwas
              benchmark::benchmark benchmark::benchmark_main)
+
+# `cmake --build build --target bench_irf` reruns the iRF engine micro
+# benches (forest fit + full iRF-LOOP sweeps) and refreshes BENCH_irf.json
+# at the repo root — the committed record of engine performance.
+add_custom_target(bench_irf
+  COMMAND $<TARGET_FILE:micro_bench>
+          "--benchmark_filter=BM_ForestFit|BM_IrfLoop"
+          --benchmark_out=${CMAKE_SOURCE_DIR}/BENCH_irf.json
+          --benchmark_out_format=json
+  DEPENDS micro_bench
+  COMMENT "iRF engine benches -> BENCH_irf.json"
+  VERBATIM)

@@ -4,13 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "cluster/sim.hpp"
 #include "gwas/paste.hpp"
 #include "irf/forest.hpp"
+#include "irf/irf_loop.hpp"
 #include "skel/template_engine.hpp"
 #include "stream/marshal.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace ff;
 
@@ -117,9 +121,12 @@ void BM_TablePaste(benchmark::State& state) {
 }
 BENCHMARK(BM_TablePaste)->Arg(100)->Arg(1000);
 
+/// Args: {n_trees, samples, features, pool workers (0 = serial)}.
 void BM_ForestFit(benchmark::State& state) {
-  const size_t samples = 200;
-  const size_t features = 10;
+  const auto n_trees = static_cast<size_t>(state.range(0));
+  const auto samples = static_cast<size_t>(state.range(1));
+  const auto features = static_cast<size_t>(state.range(2));
+  const auto workers = static_cast<size_t>(state.range(3));
   Rng rng(1);
   irf::DenseMatrix x(samples, features);
   std::vector<double> y;
@@ -128,13 +135,51 @@ void BM_ForestFit(benchmark::State& state) {
     y.push_back(2.0 * x.at(s, 0) - x.at(s, 3) + 0.1 * rng.normal());
   }
   irf::ForestParams params;
-  params.n_trees = static_cast<size_t>(state.range(0));
+  params.n_trees = n_trees;
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
   for (auto _ : state) {
     irf::RandomForest forest;
-    forest.fit(x, y, params, 42);
+    forest.fit(x, y, params, 42, {}, pool.get());
     benchmark::DoNotOptimize(forest.importance());
   }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n_trees));
 }
-BENCHMARK(BM_ForestFit)->Arg(10)->Arg(40);
+BENCHMARK(BM_ForestFit)
+    ->Args({10, 200, 10, 0})
+    ->Args({40, 200, 10, 0})
+    ->Args({20, 800, 64, 0})
+    ->Args({20, 3220, 256, 0})   // census scale (paper Fig. 7 per-target fit)
+    ->Args({20, 3220, 256, 4})  // same, tree-parallel on 4 workers
+    ->Unit(benchmark::kMillisecond);
+
+/// Full iRF-LOOP (one iRF model per feature -> adjacency matrix).
+/// Args: {features, samples, pool workers (0 = serial)}.
+void BM_IrfLoop(benchmark::State& state) {
+  const auto features = static_cast<size_t>(state.range(0));
+  const auto samples = static_cast<size_t>(state.range(1));
+  const auto workers = static_cast<size_t>(state.range(2));
+  irf::CensusConfig config;
+  config.samples = samples;
+  config.features = features;
+  const irf::CensusDataset census = irf::make_census_dataset(config, 7);
+  irf::IrfLoopParams params;
+  params.irf.iterations = 2;
+  params.irf.forest.n_trees = 15;
+  params.irf.forest.tree.max_depth = 6;
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+  for (auto _ : state) {
+    const irf::IrfLoopResult result =
+        irf::run_irf_loop(census.data, params, 42, pool.get());
+    benchmark::DoNotOptimize(result.adjacency.at(0, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(features));
+}
+BENCHMARK(BM_IrfLoop)
+    ->Args({12, 150, 0})
+    ->Args({24, 300, 0})
+    ->Args({24, 300, 4})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include "irf/dataset.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -48,10 +51,72 @@ DenseMatrix DenseMatrix::drop_column(size_t col) const {
   return out;
 }
 
-Dataset::LooView Dataset::leave_one_out(size_t target) const {
+MatrixView::MatrixView(const DenseMatrix& m)
+    : data_(m.data()), rows_(m.rows()), stride_(m.cols()) {
+  map_.resize(m.cols());
+  std::iota(map_.begin(), map_.end(), 0u);
+}
+
+MatrixView MatrixView::drop_column(const DenseMatrix& m, size_t col) {
+  if (col >= m.cols()) throw Error("MatrixView::drop_column: out of range");
+  MatrixView view;
+  view.data_ = m.data();
+  view.rows_ = m.rows();
+  view.stride_ = m.cols();
+  view.map_.reserve(m.cols() - 1);
+  for (size_t c = 0; c < m.cols(); ++c) {
+    if (c != col) view.map_.push_back(static_cast<uint32_t>(c));
+  }
+  return view;
+}
+
+std::vector<double> MatrixView::column(size_t col) const {
+  std::vector<double> out(rows_);
+  for (size_t row = 0; row < rows_; ++row) out[row] = at(row, col);
+  return out;
+}
+
+std::vector<double> MatrixView::row(size_t row) const {
+  std::vector<double> out(map_.size());
+  for (size_t col = 0; col < map_.size(); ++col) out[col] = at(row, col);
+  return out;
+}
+
+MatrixView MatrixView::with_orders(const FeatureOrderCache* orders) const {
+  MatrixView view = *this;
+  view.orders_ = orders;
+  return view;
+}
+
+FeatureOrderCache FeatureOrderCache::build(const MatrixView& x) {
+  if (x.rows() > std::numeric_limits<uint32_t>::max()) {
+    throw Error("FeatureOrderCache: too many rows");
+  }
+  FeatureOrderCache cache;
+  cache.columns_.resize(x.storage_cols());
+  const size_t m = x.rows();
+  std::vector<std::pair<double, uint32_t>> sorted(m);
+  for (size_t col = 0; col < x.cols(); ++col) {
+    for (size_t row = 0; row < m; ++row) {
+      sorted[row] = {x.at(row, col), static_cast<uint32_t>(row)};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    ColumnOrder& order = cache.columns_[x.storage_column(col)];
+    order.rows.resize(m);
+    order.values.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      order.values[i] = sorted[i].first;
+      order.rows[i] = sorted[i].second;
+    }
+  }
+  return cache;
+}
+
+Dataset::LooView Dataset::leave_one_out(size_t target,
+                                        const FeatureOrderCache* orders) const {
   if (target >= features()) throw Error("leave_one_out: target out of range");
   LooView view;
-  view.predictors = x.drop_column(target);
+  view.predictors = MatrixView::drop_column(x, target).with_orders(orders);
   view.y = x.column(target);
   for (size_t i = 0; i < feature_names.size(); ++i) {
     if (i != target) view.predictor_names.push_back(feature_names[i]);

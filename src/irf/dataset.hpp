@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,18 +21,97 @@ class DenseMatrix {
   double& at(size_t row, size_t col);
   double at(size_t row, size_t col) const;
 
+  /// Raw row-major storage (rows() × cols() doubles).
+  const double* data() const noexcept { return data_.data(); }
+
   /// Copy of one column.
   std::vector<double> column(size_t col) const;
   /// Copy of one row.
   std::vector<double> row(size_t row) const;
 
-  /// New matrix without column `col` (used by the leave-one-out driver).
+  /// New matrix without column `col` (materialized copy; the iRF-LOOP
+  /// driver uses the zero-copy MatrixView::drop_column instead).
   DenseMatrix drop_column(size_t col) const;
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<double> data_;
+};
+
+class FeatureOrderCache;
+
+/// A lightweight column-remapping view over a DenseMatrix's row-major
+/// storage: `at(r, c)` reads storage column `map[c]` of row `r` without
+/// copying anything. This is what makes the iRF-LOOP leave-one-out driver
+/// zero-copy — each target's predictor matrix is a view that skips one
+/// column of the shared dataset. The view does not own the storage (or the
+/// optional order cache); it must not outlive the DenseMatrix it was built
+/// from.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  /// Identity view over every column (intentionally implicit so existing
+  /// DenseMatrix call sites convert transparently).
+  MatrixView(const DenseMatrix& m);  // NOLINT(google-explicit-constructor)
+  /// View over all columns of `m` except `col`.
+  static MatrixView drop_column(const DenseMatrix& m, size_t col);
+
+  size_t rows() const noexcept { return rows_; }
+  size_t cols() const noexcept { return map_.size(); }
+  /// Columns of the underlying storage (the stride between rows).
+  size_t storage_cols() const noexcept { return stride_; }
+  /// Storage column backing view column `col`.
+  size_t storage_column(size_t col) const { return map_[col]; }
+
+  /// Unchecked element access (hot path; callers validate shapes up front).
+  double at(size_t row, size_t col) const {
+    return data_[row * stride_ + map_[col]];
+  }
+
+  /// Copy of view column `col`.
+  std::vector<double> column(size_t col) const;
+  /// Copy of one row, gathered through the column map.
+  std::vector<double> row(size_t row) const;
+
+  /// Same view annotated with a presorted-column cache (indexed by storage
+  /// column, so one cache built on the full matrix serves every
+  /// drop_column view of it). Pass nullptr to detach.
+  MatrixView with_orders(const FeatureOrderCache* orders) const;
+  const FeatureOrderCache* orders() const noexcept { return orders_; }
+
+ private:
+  const double* data_ = nullptr;
+  size_t rows_ = 0;
+  size_t stride_ = 0;
+  std::vector<uint32_t> map_;  // view column -> storage column
+  const FeatureOrderCache* orders_ = nullptr;
+};
+
+/// Presorted per-column sample orderings: for each storage column, the
+/// sample indices (and their values) sorted ascending by (value, index).
+/// Computed once per matrix — O(p·m·log m) — and shared read-only by every
+/// tree of every forest fit on that matrix, replacing the former per-node
+/// per-candidate std::sort in the split search. Indexed by *storage*
+/// column, so the cache built on a full dataset is valid for all of its
+/// leave-one-out views.
+class FeatureOrderCache {
+ public:
+  struct ColumnOrder {
+    std::vector<uint32_t> rows;   // sample indices, ascending by (value, index)
+    std::vector<double> values;   // matching values, ascending
+  };
+
+  FeatureOrderCache() = default;
+  static FeatureOrderCache build(const MatrixView& x);
+
+  bool empty() const noexcept { return columns_.empty(); }
+  const ColumnOrder& column(size_t storage_col) const {
+    return columns_[storage_col];
+  }
+
+ private:
+  std::vector<ColumnOrder> columns_;  // indexed by storage column
 };
 
 /// A named feature matrix: the iRF-LOOP input ("a matrix with n features
@@ -44,13 +124,17 @@ struct Dataset {
   size_t features() const noexcept { return x.cols(); }
 
   /// Leave-one-out view for target feature `target`: y = column(target),
-  /// predictors = all other columns, names adjusted.
+  /// predictors = all other columns (a zero-copy view into this dataset's
+  /// storage — keep the Dataset alive while using it), names adjusted.
   struct LooView {
-    DenseMatrix predictors;
+    MatrixView predictors;
     std::vector<double> y;
     std::vector<std::string> predictor_names;
   };
-  LooView leave_one_out(size_t target) const;
+  /// `orders` (optional) attaches a presorted-column cache built on the
+  /// full matrix, shared across all targets by the iRF-LOOP driver.
+  LooView leave_one_out(size_t target,
+                        const FeatureOrderCache* orders = nullptr) const;
 
   static Dataset from_table(const Table& table);
   Table to_table() const;

@@ -1,6 +1,7 @@
 #include "irf/forest.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "util/error.hpp"
@@ -8,44 +9,82 @@
 
 namespace ff::irf {
 
-void RandomForest::fit(const DenseMatrix& x, const std::vector<double>& y,
+void RandomForest::fit(const MatrixView& x, const std::vector<double>& y,
                        const ForestParams& params, uint64_t seed,
-                       const std::vector<double>& feature_weights) {
+                       const std::vector<double>& feature_weights,
+                       ThreadPool* pool) {
   if (params.n_trees == 0) throw Error("RandomForest: n_trees must be > 0");
   if (x.rows() != y.size()) throw Error("RandomForest: x/y size mismatch");
   if (x.rows() == 0) throw Error("RandomForest: empty dataset");
 
+  // Presort every column once; all trees share the cache read-only. The
+  // iRF-LOOP driver passes a view that already carries the dataset-wide
+  // cache, in which case this is free.
+  FeatureOrderCache local_orders;
+  MatrixView xv = x;
+  if (!xv.orders()) {
+    local_orders = FeatureOrderCache::build(xv);
+    xv = xv.with_orders(&local_orders);
+  }
+
+  const size_t m = xv.rows();
   trees_.assign(params.n_trees, RegressionTree{});
-  importance_.assign(x.cols(), 0.0);
 
-  std::vector<double> oob_sum(x.rows(), 0.0);
-  std::vector<int> oob_count(x.rows(), 0);
+  // Per-tree OOB buffers: each tree records its own out-of-bag votes so
+  // trees can fit concurrently; the reduction below walks trees in order,
+  // keeping the result bit-identical to a serial fit.
+  struct TreeOob {
+    std::vector<uint8_t> in_bag;
+    std::vector<double> prediction;  // valid where !in_bag
+  };
+  std::vector<TreeOob> oob(params.bootstrap ? params.n_trees : 0);
 
-  Rng base(splitmix64(seed ^ 0xf03e57ULL));
-  for (size_t t = 0; t < params.n_trees; ++t) {
+  const Rng base(splitmix64(seed ^ 0xf03e57ULL));
+  auto fit_tree = [&](size_t t) {
     Rng rng = base.fork(t);
     std::vector<size_t> indices;
-    std::vector<bool> in_bag(x.rows(), false);
-    indices.reserve(x.rows());
+    indices.reserve(m);
+    std::vector<uint8_t> in_bag(m, 0);
     if (params.bootstrap) {
-      for (size_t i = 0; i < x.rows(); ++i) {
-        const size_t pick = static_cast<size_t>(rng.below(x.rows()));
+      for (size_t i = 0; i < m; ++i) {
+        const size_t pick = static_cast<size_t>(rng.below(m));
         indices.push_back(pick);
-        in_bag[pick] = true;
+        in_bag[pick] = 1;
       }
     } else {
-      indices.resize(x.rows());
+      indices.resize(m);
       std::iota(indices.begin(), indices.end(), 0);
-      in_bag.assign(x.rows(), true);
+      in_bag.assign(m, 1);
     }
-    trees_[t].fit(x, y, indices, feature_weights, params.tree, rng);
+    trees_[t].fit(xv, y, indices, feature_weights, params.tree, rng);
+    if (params.bootstrap) {
+      TreeOob& mine = oob[t];
+      mine.prediction.assign(m, 0.0);
+      for (size_t i = 0; i < m; ++i) {
+        if (!in_bag[i]) mine.prediction[i] = trees_[t].predict_at(xv, i);
+      }
+      mine.in_bag = std::move(in_bag);
+    }
+  };
+
+  if (pool && params.n_trees > 1) {
+    parallel_for(*pool, 0, params.n_trees, fit_tree);
+  } else {
+    for (size_t t = 0; t < params.n_trees; ++t) fit_tree(t);
+  }
+
+  // Deterministic reduction in tree order.
+  importance_.assign(x.cols(), 0.0);
+  std::vector<double> oob_sum(m, 0.0);
+  std::vector<int> oob_count(m, 0);
+  for (size_t t = 0; t < params.n_trees; ++t) {
     for (size_t f = 0; f < x.cols(); ++f) {
       importance_[f] += trees_[t].importance()[f];
     }
     if (params.bootstrap) {
-      for (size_t i = 0; i < x.rows(); ++i) {
-        if (in_bag[i]) continue;
-        oob_sum[i] += trees_[t].predict(x.row(i));
+      for (size_t i = 0; i < m; ++i) {
+        if (oob[t].in_bag[i]) continue;
+        oob_sum[i] += oob[t].prediction[i];
         ++oob_count[i];
       }
     }
@@ -60,7 +99,7 @@ void RandomForest::fit(const DenseMatrix& x, const std::vector<double>& y,
   // OOB R² over samples with at least one out-of-bag vote.
   std::vector<double> truth;
   std::vector<double> predicted;
-  for (size_t i = 0; i < x.rows(); ++i) {
+  for (size_t i = 0; i < m; ++i) {
     if (oob_count[i] == 0) continue;
     truth.push_back(y[i]);
     predicted.push_back(oob_sum[i] / oob_count[i]);
@@ -79,28 +118,43 @@ void RandomForest::fit(const DenseMatrix& x, const std::vector<double>& y,
   }
 }
 
-double RandomForest::predict(const std::vector<double>& row) const {
+double RandomForest::predict(const double* row, size_t size) const {
   if (trees_.empty()) throw Error("RandomForest: not fitted");
   double total = 0;
-  for (const RegressionTree& tree : trees_) total += tree.predict(row);
+  for (const RegressionTree& tree : trees_) total += tree.predict(row, size);
   return total / static_cast<double>(trees_.size());
 }
 
-std::vector<double> RandomForest::predict_all(const DenseMatrix& x) const {
+double RandomForest::predict_at(const MatrixView& x, size_t row) const {
+  if (trees_.empty()) throw Error("RandomForest: not fitted");
+  double total = 0;
+  for (const RegressionTree& tree : trees_) total += tree.predict_at(x, row);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_all(const MatrixView& x) const {
   std::vector<double> out;
   out.reserve(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));
+  for (size_t i = 0; i < x.rows(); ++i) out.push_back(predict_at(x, i));
   return out;
 }
 
-IrfResult fit_irf(const DenseMatrix& x, const std::vector<double>& y,
-                  const IrfParams& params, uint64_t seed) {
+IrfResult fit_irf(const MatrixView& x, const std::vector<double>& y,
+                  const IrfParams& params, uint64_t seed, ThreadPool* pool) {
   if (params.iterations == 0) throw Error("fit_irf: iterations must be > 0");
+  // Build the presorted-column cache once; every iteration's forest (and
+  // each of its trees) reuses it.
+  FeatureOrderCache local_orders;
+  MatrixView xv = x;
+  if (!xv.orders()) {
+    local_orders = FeatureOrderCache::build(xv);
+    xv = xv.with_orders(&local_orders);
+  }
   IrfResult result;
   std::vector<double> weights;  // uniform first round
   for (size_t iteration = 0; iteration < params.iterations; ++iteration) {
     RandomForest forest;
-    forest.fit(x, y, params.forest, seed + iteration, weights);
+    forest.fit(xv, y, params.forest, seed + iteration, weights, pool);
     result.importance_history.push_back(forest.importance());
     // Re-weight: next round samples features proportionally to importance,
     // floored so nothing is irrecoverably dropped mid-way.

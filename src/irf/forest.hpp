@@ -1,6 +1,7 @@
 #pragma once
 
 #include "irf/tree.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ff::irf {
 
@@ -11,17 +12,30 @@ struct ForestParams {
 };
 
 /// Random-forest regressor with weighted feature sampling (the building
-/// block of iRF). Deterministic in the seed.
+/// block of iRF). Deterministic in the seed — including across thread
+/// counts: trees fit concurrently on the pool into per-tree buffers, and
+/// importances/OOB votes are reduced in tree order afterwards, so the
+/// result is bit-identical to a serial fit (each tree's RNG is an
+/// independent fork of the seed, so execution order cannot matter).
 class RandomForest {
  public:
   /// `feature_weights` biases split candidates in every tree (empty =
   /// uniform). Out-of-bag predictions are accumulated when bootstrapping.
-  void fit(const DenseMatrix& x, const std::vector<double>& y,
+  /// `pool` (optional) fits trees concurrently; null fits serially. If `x`
+  /// carries no FeatureOrderCache one is built here and shared by all
+  /// trees.
+  void fit(const MatrixView& x, const std::vector<double>& y,
            const ForestParams& params, uint64_t seed,
-           const std::vector<double>& feature_weights = {});
+           const std::vector<double>& feature_weights = {},
+           ThreadPool* pool = nullptr);
 
-  double predict(const std::vector<double>& row) const;
-  std::vector<double> predict_all(const DenseMatrix& x) const;
+  double predict(const double* row, size_t size) const;
+  double predict(const std::vector<double>& row) const {
+    return predict(row.data(), row.size());
+  }
+  /// Predict row `row` of a view without copying the row out.
+  double predict_at(const MatrixView& x, size_t row) const;
+  std::vector<double> predict_all(const MatrixView& x) const;
 
   /// MDI importance, normalized to sum to 1 (all-zero if no splits).
   const std::vector<double>& importance() const noexcept { return importance_; }
@@ -59,7 +73,11 @@ struct IrfResult {
   }
 };
 
-IrfResult fit_irf(const DenseMatrix& x, const std::vector<double>& y,
-                  const IrfParams& params, uint64_t seed);
+/// If `x` carries no FeatureOrderCache, one is built once here and shared
+/// by every iteration's forest. `pool` (optional) parallelizes each
+/// forest's tree fits.
+IrfResult fit_irf(const MatrixView& x, const std::vector<double>& y,
+                  const IrfParams& params, uint64_t seed,
+                  ThreadPool* pool = nullptr);
 
 }  // namespace ff::irf

@@ -18,10 +18,16 @@ IrfLoopResult run_irf_loop(const Dataset& dataset, const IrfLoopParams& params,
   result.feature_names = dataset.feature_names;
   result.per_target_r2.assign(n, 0.0);
 
+  // One presort of every column serves all n leave-one-out fits (the cache
+  // is indexed by storage column, which drop-column views preserve).
+  const FeatureOrderCache orders = FeatureOrderCache::build(MatrixView(dataset.x));
+
   auto fit_target = [&](size_t target) {
-    const Dataset::LooView view = dataset.leave_one_out(target);
-    const IrfResult fit =
-        fit_irf(view.predictors, view.y, params.irf, splitmix64(seed) + target * 1009);
+    // Zero-copy leave-one-out: predictors are a column-remapping view over
+    // the shared dataset storage, not a copy.
+    const Dataset::LooView view = dataset.leave_one_out(target, &orders);
+    const IrfResult fit = fit_irf(view.predictors, view.y, params.irf,
+                                  splitmix64(seed) + target * 1009, pool);
     std::vector<double> row = fit.importance();
     if (params.normalize == IrfLoopParams::Normalize::Row) {
       double total = 0;

@@ -10,57 +10,145 @@ namespace ff::irf {
 
 namespace {
 
-double mean_of(const std::vector<double>& y, const std::vector<size_t>& indices,
-               size_t begin, size_t end) {
-  double total = 0;
-  for (size_t i = begin; i < end; ++i) total += y[indices[i]];
-  return total / static_cast<double>(end - begin);
-}
+/// Streaming best-split scan over one candidate column's samples, visited
+/// in ascending (value, sample) order. Fed one (value, target) pair at a
+/// time so neither scan path has to materialize the sorted column; split
+/// positions are evaluated against node-level y totals with O(1) prefix
+/// sums.
+struct SplitScan {
+  // Node-level constants.
+  double node_sse = 0;
+  double total_sum = 0;
+  double total_sq = 0;
+  size_t count = 0;
+  size_t min_leaf = 1;
 
-double sse_of(const std::vector<double>& y, const std::vector<size_t>& indices,
-              size_t begin, size_t end, double mean) {
-  double sse = 0;
-  for (size_t i = begin; i < end; ++i) {
-    const double d = y[indices[i]] - mean;
-    sse += d * d;
+  // Running prefix state.
+  double left_sum = 0;
+  double left_sq = 0;
+  size_t seen = 0;
+  double prev_value = 0;
+
+  // Best split for this candidate so far.
+  double best_gain;
+  double best_threshold = 0;
+  bool found = false;
+
+  explicit SplitScan(double gain_floor) : best_gain(gain_floor) {}
+
+  void start_feature() {
+    left_sum = 0;
+    left_sq = 0;
+    seen = 0;
+    found = false;
   }
-  return sse;
-}
+
+  void step(double value, double target) {
+    // A split between the previous sample and this one is legal when the
+    // feature value actually changes and both sides are big enough.
+    if (seen > 0 && value != prev_value) {
+      const size_t left_n = seen;
+      const size_t right_n = count - left_n;
+      if (left_n >= min_leaf && right_n >= min_leaf) {
+        const double right_sum = total_sum - left_sum;
+        const double right_sq = total_sq - left_sq;
+        const double left_sse =
+            left_sq - left_sum * left_sum / static_cast<double>(left_n);
+        const double right_sse =
+            right_sq - right_sum * right_sum / static_cast<double>(right_n);
+        const double gain = node_sse - left_sse - right_sse;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_threshold = (prev_value + value) / 2.0;
+          found = true;
+        }
+      }
+    }
+    left_sum += target;
+    left_sq += target * target;
+    prev_value = value;
+    ++seen;
+  }
+};
 
 /// Sample `count` distinct feature indices weighted by `weights` (uniform
-/// when weights is empty). Deterministic in rng.
+/// when weights is empty). Deterministic in rng. The uniform path is a
+/// partial Fisher–Yates draw: `count` swaps instead of a full shuffle of
+/// all `total` entries. The weighted path draws against `working` (a
+/// caller-owned mutable copy of `weights`) with a running total, so each
+/// pick is one prefix walk instead of three full passes; picked entries are
+/// zeroed during the draw and restored from `weights` before returning.
 std::vector<size_t> sample_features(size_t total, size_t count,
-                                    const std::vector<double>& weights, Rng& rng) {
+                                    const std::vector<double>& weights,
+                                    std::vector<double>& working, Rng& rng) {
   count = std::min(count, total);
-  std::vector<size_t> chosen;
-  chosen.reserve(count);
   if (weights.empty()) {
     std::vector<size_t> all(total);
     std::iota(all.begin(), all.end(), 0);
-    rng.shuffle(all);
+    for (size_t pick = 0; pick < count; ++pick) {
+      const size_t j = pick + static_cast<size_t>(rng.below(total - pick));
+      std::swap(all[pick], all[j]);
+    }
     all.resize(count);
     return all;
   }
-  std::vector<double> working = weights;
-  for (size_t pick = 0; pick < count; ++pick) {
-    bool any_positive = false;
-    for (double w : working) {
-      if (w > 0) {
-        any_positive = true;
-        break;
-      }
-    }
-    if (!any_positive) break;
-    const size_t index = rng.weighted_index(working);
-    chosen.push_back(index);
-    working[index] = 0;  // without replacement
+  std::vector<size_t> chosen;
+  chosen.reserve(count);
+  double remaining = 0.0;
+  for (double w : working) {
+    if (w > 0.0) remaining += w;
   }
+  for (size_t pick = 0; pick < count && remaining > 0.0; ++pick) {
+    const double target = rng.uniform() * remaining;
+    double cumulative = 0.0;
+    size_t index = 0;
+    bool any_positive = false;
+    for (size_t i = 0; i < working.size(); ++i) {
+      const double w = working[i];
+      if (w <= 0.0) continue;
+      cumulative += w;
+      index = i;  // last positive so far: guards the target==total FP edge
+      any_positive = true;
+      if (target < cumulative) break;
+    }
+    if (!any_positive) break;  // running total drifted past exhaustion
+    chosen.push_back(index);
+    remaining -= working[index];
+    working[index] = 0.0;  // without replacement
+  }
+  for (const size_t index : chosen) working[index] = weights[index];
   return chosen;
+}
+
+size_t floor_log2(size_t n) {
+  size_t log = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++log;
+  }
+  return log;
 }
 
 }  // namespace
 
-void RegressionTree::fit(const DenseMatrix& x, const std::vector<double>& y,
+/// Per-fit scratch shared across the whole recursion, so no node allocates.
+struct RegressionTree::BuildContext {
+  const MatrixView& x;
+  const std::vector<double>& y;
+  const std::vector<double>& feature_weights;
+  const TreeParams& params;
+  const FeatureOrderCache* orders;  // may be null: always local-sort
+
+  /// Node sample multiplicities (bootstrap bags repeat samples), used by
+  /// the presorted-filter scan. Sized rows, zeroed outside any node scan.
+  std::vector<uint32_t> multiplicity;
+  std::vector<std::pair<double, size_t>> sort_scratch;
+  /// Mutable copy of feature_weights consumed (and restored) by each
+  /// node's weighted feature draw.
+  std::vector<double> weight_scratch;
+};
+
+void RegressionTree::fit(const MatrixView& x, const std::vector<double>& y,
                          const std::vector<size_t>& sample_indices,
                          const std::vector<double>& feature_weights,
                          const TreeParams& params, Rng& rng) {
@@ -71,82 +159,104 @@ void RegressionTree::fit(const DenseMatrix& x, const std::vector<double>& y,
   }
   nodes_.clear();
   importance_.assign(x.cols(), 0.0);
+  BuildContext ctx{x, y, feature_weights, params, x.orders(), {}, {}, feature_weights};
+  if (ctx.orders) ctx.multiplicity.assign(x.rows(), 0);
   std::vector<size_t> indices = sample_indices;
-  build(x, y, indices, 0, indices.size(), 0, feature_weights, params, rng);
+  build(ctx, indices, 0, indices.size(), 0, rng);
 }
 
-int RegressionTree::build(const DenseMatrix& x, const std::vector<double>& y,
-                          std::vector<size_t>& indices, size_t begin, size_t end,
-                          int depth, const std::vector<double>& feature_weights,
-                          const TreeParams& params, Rng& rng) {
+int RegressionTree::build(BuildContext& ctx, std::vector<size_t>& indices,
+                          size_t begin, size_t end, int depth, Rng& rng) {
+  const MatrixView& x = ctx.x;
+  const std::vector<double>& y = ctx.y;
   const size_t count = end - begin;
-  const double node_mean = mean_of(y, indices, begin, end);
-  const double node_sse = sse_of(y, indices, begin, end, node_mean);
+
+  // Node y totals in one pass; every candidate's scan reuses them.
+  double total_sum = 0;
+  double total_sq = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const double yi = y[indices[i]];
+    total_sum += yi;
+    total_sq += yi * yi;
+  }
+  const double node_mean = total_sum / static_cast<double>(count);
+  const double node_sse =
+      total_sq - total_sum * total_sum / static_cast<double>(count);
 
   const int node_index = static_cast<int>(nodes_.size());
   nodes_.push_back(Node{});
   nodes_[static_cast<size_t>(node_index)].value = node_mean;
 
-  if (depth >= params.max_depth || count < 2 * params.min_samples_leaf ||
+  if (depth >= ctx.params.max_depth || count < 2 * ctx.params.min_samples_leaf ||
       node_sse <= 1e-12) {
     return node_index;  // leaf
   }
 
-  const size_t mtry = params.mtry > 0
-                          ? params.mtry
+  const size_t mtry = ctx.params.mtry > 0
+                          ? ctx.params.mtry
                           : static_cast<size_t>(
                                 std::ceil(std::sqrt(static_cast<double>(x.cols()))));
   const std::vector<size_t> candidates =
-      sample_features(x.cols(), mtry, feature_weights, rng);
+      sample_features(x.cols(), mtry, ctx.feature_weights, ctx.weight_scratch, rng);
+
+  // Scan-path choice (identical output either way): the presorted filter
+  // touches all m cached entries; the local sort costs ~c·log c with a
+  // larger constant. Prefer the filter for the big shallow nodes where the
+  // bulk of the work lives.
+  const size_t total_rows = x.rows();
+  const bool use_filter =
+      ctx.orders != nullptr && total_rows <= 4 * count * (floor_log2(count) + 2);
+  if (use_filter) {
+    for (size_t i = begin; i < end; ++i) ++ctx.multiplicity[indices[i]];
+  }
 
   int best_feature = -1;
-  double best_threshold = 0;
-  double best_gain = 1e-12;
+  SplitScan scan(/*gain_floor=*/1e-12);
+  scan.node_sse = node_sse;
+  scan.total_sum = total_sum;
+  scan.total_sq = total_sq;
+  scan.count = count;
+  scan.min_leaf = ctx.params.min_samples_leaf;
 
-  std::vector<std::pair<double, size_t>> sorted;
-  sorted.reserve(count);
   for (const size_t feature : candidates) {
-    sorted.clear();
-    for (size_t i = begin; i < end; ++i) {
-      sorted.emplace_back(x.at(indices[i], feature), indices[i]);
-    }
-    std::sort(sorted.begin(), sorted.end());
-    // Prefix sums over the sorted order let every split be evaluated in O(1).
-    double left_sum = 0;
-    double left_sq = 0;
-    double total_sum = 0;
-    double total_sq = 0;
-    for (const auto& [value, index] : sorted) {
-      total_sum += y[index];
-      total_sq += y[index] * y[index];
-      (void)value;
-    }
-    for (size_t i = 0; i + 1 < count; ++i) {
-      const double yi = y[sorted[i].second];
-      left_sum += yi;
-      left_sq += yi * yi;
-      // Cannot split between equal feature values.
-      if (sorted[i].first == sorted[i + 1].first) continue;
-      const size_t left_n = i + 1;
-      const size_t right_n = count - left_n;
-      if (left_n < params.min_samples_leaf || right_n < params.min_samples_leaf) {
-        continue;
+    scan.start_feature();
+    if (use_filter) {
+      // Stable filter of the presorted column order against the node's
+      // sample multiset: visits the node's samples in ascending (value,
+      // sample) order, duplicates (bootstrap) adjacent.
+      const FeatureOrderCache::ColumnOrder& order =
+          ctx.orders->column(x.storage_column(feature));
+      const uint32_t* rows = order.rows.data();
+      const double* col_values = order.values.data();
+      const uint32_t* mult = ctx.multiplicity.data();
+      for (size_t k = 0; k < total_rows; ++k) {
+        const uint32_t row = rows[k];
+        const uint32_t times = mult[row];
+        if (times == 0) continue;
+        const double value = col_values[k];
+        const double target = y[row];
+        for (uint32_t r = 0; r < times; ++r) scan.step(value, target);
       }
-      const double right_sum = total_sum - left_sum;
-      const double right_sq = total_sq - left_sq;
-      const double left_sse = left_sq - left_sum * left_sum / static_cast<double>(left_n);
-      const double right_sse =
-          right_sq - right_sum * right_sum / static_cast<double>(right_n);
-      const double gain = node_sse - left_sse - right_sse;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = static_cast<int>(feature);
-        best_threshold = (sorted[i].first + sorted[i + 1].first) / 2.0;
+    } else {
+      std::vector<std::pair<double, size_t>>& pairs = ctx.sort_scratch;
+      pairs.clear();
+      for (size_t i = begin; i < end; ++i) {
+        pairs.emplace_back(x.at(indices[i], feature), indices[i]);
       }
+      std::sort(pairs.begin(), pairs.end());
+      for (const auto& [value, index] : pairs) scan.step(value, y[index]);
     }
+    // scan.best_gain is global across candidates, so found means this
+    // feature holds the best split so far.
+    if (scan.found) best_feature = static_cast<int>(feature);
+  }
+
+  if (use_filter) {
+    for (size_t i = begin; i < end; ++i) ctx.multiplicity[indices[i]] = 0;
   }
 
   if (best_feature < 0) return node_index;  // no usable split: leaf
+  const double best_threshold = scan.best_threshold;
 
   // Partition indices[begin, end) in place around the threshold.
   auto middle = std::partition(
@@ -157,11 +267,9 @@ int RegressionTree::build(const DenseMatrix& x, const std::vector<double>& y,
   const size_t split = static_cast<size_t>(middle - indices.begin());
   if (split == begin || split == end) return node_index;  // degenerate
 
-  importance_[static_cast<size_t>(best_feature)] += best_gain;
-  const int left = build(x, y, indices, begin, split, depth + 1, feature_weights,
-                         params, rng);
-  const int right =
-      build(x, y, indices, split, end, depth + 1, feature_weights, params, rng);
+  importance_[static_cast<size_t>(best_feature)] += scan.best_gain;
+  const int left = build(ctx, indices, begin, split, depth + 1, rng);
+  const int right = build(ctx, indices, split, end, depth + 1, rng);
   Node& node = nodes_[static_cast<size_t>(node_index)];
   node.feature = best_feature;
   node.threshold = best_threshold;
@@ -170,18 +278,34 @@ int RegressionTree::build(const DenseMatrix& x, const std::vector<double>& y,
   return node_index;
 }
 
-double RegressionTree::predict(const std::vector<double>& row) const {
+double RegressionTree::predict(const double* row, size_t size) const {
   if (nodes_.empty()) throw Error("RegressionTree: not fitted");
   int index = 0;
   while (true) {
     const Node& node = nodes_[static_cast<size_t>(index)];
     if (node.feature < 0) return node.value;
-    if (static_cast<size_t>(node.feature) >= row.size()) {
+    if (static_cast<size_t>(node.feature) >= size) {
       throw Error("RegressionTree: row too short for feature " +
                   std::to_string(node.feature));
     }
     index = row[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
                                                                      : node.right;
+  }
+}
+
+double RegressionTree::predict_at(const MatrixView& x, size_t row) const {
+  if (nodes_.empty()) throw Error("RegressionTree: not fitted");
+  int index = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.feature < 0) return node.value;
+    if (static_cast<size_t>(node.feature) >= x.cols()) {
+      throw Error("RegressionTree: view too narrow for feature " +
+                  std::to_string(node.feature));
+    }
+    index = x.at(row, static_cast<size_t>(node.feature)) <= node.threshold
+                ? node.left
+                : node.right;
   }
 }
 

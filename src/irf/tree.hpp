@@ -19,17 +19,34 @@ struct TreeParams {
 /// A CART-style regression tree with *weighted* feature sampling at each
 /// split — the mechanism iterative random forests use to focus later
 /// iterations on previously important features.
+///
+/// Split search is cache-aware: when the matrix view carries a
+/// FeatureOrderCache (presorted per-column sample orderings, computed once
+/// per dataset), a node's sorted scan of a candidate column is derived by a
+/// stable filter of the presorted order against the node's sample
+/// multiset — O(m) — instead of extracting and sorting the column slice at
+/// every node — O(c·log c). Small deep nodes, where the filter's O(m) pass
+/// would dominate, fall back to the local sort; both paths emit the exact
+/// same (value, sample) sequence, so the fitted tree is bit-identical
+/// either way.
 class RegressionTree {
  public:
   /// Fit on rows `sample_indices` of `x` against `y`. `feature_weights`
   /// biases which features are candidates at each split (uniform when
   /// empty). Deterministic in `rng`.
-  void fit(const DenseMatrix& x, const std::vector<double>& y,
+  void fit(const MatrixView& x, const std::vector<double>& y,
            const std::vector<size_t>& sample_indices,
            const std::vector<double>& feature_weights, const TreeParams& params,
            Rng& rng);
 
-  double predict(const std::vector<double>& row) const;
+  /// Predict from a contiguous row of `size` feature values.
+  double predict(const double* row, size_t size) const;
+  double predict(const std::vector<double>& row) const {
+    return predict(row.data(), row.size());
+  }
+  /// Predict row `row` of a (possibly column-remapped) view without copying
+  /// the row out — the OOB pass and predict_all use this.
+  double predict_at(const MatrixView& x, size_t row) const;
 
   /// Total SSE reduction credited to each feature (MDI importance).
   const std::vector<double>& importance() const noexcept { return importance_; }
@@ -46,10 +63,10 @@ class RegressionTree {
     int right = -1;
   };
 
-  int build(const DenseMatrix& x, const std::vector<double>& y,
-            std::vector<size_t>& indices, size_t begin, size_t end, int depth,
-            const std::vector<double>& feature_weights, const TreeParams& params,
-            Rng& rng);
+  struct BuildContext;  // per-fit scratch buffers (tree.cpp)
+
+  int build(BuildContext& ctx, std::vector<size_t>& indices, size_t begin,
+            size_t end, int depth, Rng& rng);
 
   std::vector<Node> nodes_;
   std::vector<double> importance_;

@@ -96,7 +96,7 @@ class Rng {
 
   /// A new Rng deterministically derived from this one's seed lineage and a
   /// stream id; lets parallel entities own independent streams.
-  Rng fork(uint64_t stream) {
+  Rng fork(uint64_t stream) const {
     return Rng(splitmix64(state_[0] ^ splitmix64(stream ^ 0xa5a5a5a5a5a5a5a5ULL)));
   }
 

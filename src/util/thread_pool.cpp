@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
 
 namespace ff {
 
@@ -21,6 +24,39 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::take_locked(bool newest_first) {
+  std::function<void()> task;
+  if (newest_first) {
+    task = std::move(queue_.back());
+    queue_.pop_back();
+  } else {
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  ++active_;
+  return task;
+}
+
+void ThreadPool::finish_task() {
+  {
+    std::lock_guard lock(mutex_);
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  // Wake helpers so they re-evaluate their done() predicates: any task that
+  // just completed may have been the one a helper was waiting on.
+  cv_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
@@ -28,16 +64,37 @@ void ThreadPool::worker_loop() {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      task = take_locked(/*newest_first=*/false);
     }
     task();
+    finish_task();
+  }
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = take_locked(/*newest_first=*/true);
+  }
+  task();
+  finish_task();
+  return true;
+}
+
+void ThreadPool::help_until(const std::function<bool()>& done) {
+  while (true) {
+    std::function<void()> task;
     {
-      std::lock_guard lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return done() || !queue_.empty() || stopping_; });
+      if (done()) return;
+      if (queue_.empty()) return;  // stopping with work that will never run
+      task = take_locked(/*newest_first=*/true);
     }
+    task();
+    finish_task();
   }
 }
 
@@ -46,21 +103,40 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+namespace {
+
+struct ParallelForState {
+  std::atomic<size_t> remaining{0};
+  std::mutex mutex;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, size_t begin, size_t end,
                   const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
   const size_t n = end - begin;
   const size_t chunks = std::min(n, pool.worker_count() * 4);
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  auto state = std::make_shared<ParallelForState>();
+  state->remaining.store(chunks, std::memory_order_relaxed);
   for (size_t c = 0; c < chunks; ++c) {
     const size_t lo = begin + n * c / chunks;
     const size_t hi = begin + n * (c + 1) / chunks;
-    futures.push_back(pool.submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    }));
+    pool.post([lo, hi, &fn, state] {
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      state->remaining.fetch_sub(1, std::memory_order_acq_rel);
+    });
   }
-  for (auto& future : futures) future.get();  // rethrows task exceptions
+  pool.help_until([&state] {
+    return state->remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace ff

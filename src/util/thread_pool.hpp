@@ -13,6 +13,14 @@ namespace ff {
 /// A fixed-size worker pool. Used by the Savanna local executor to run real
 /// tasks (iRF fits, paste jobs) concurrently, and by parallel_for below.
 /// Exceptions thrown by tasks propagate through the returned futures.
+///
+/// The pool is *work-helping*: a thread that blocks waiting for pool work to
+/// finish (`parallel_for`, `help_until`) drains queued tasks itself instead
+/// of sleeping. This makes nested parallelism safe — a task running on a
+/// pool worker may itself call `parallel_for` on the same pool without
+/// deadlocking, even on a single-worker pool. Helpers pop from the *back*
+/// of the queue (newest first) so a blocked parent tends to pick up its own
+/// children rather than unrelated coarse-grained work.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t workers = std::thread::hardware_concurrency());
@@ -29,20 +37,32 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> result = packaged->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace_back([packaged] { (*packaged)(); });
-    }
-    cv_.notify_one();
+    post([packaged] { (*packaged)(); });
     return result;
   }
+
+  /// Enqueue a fire-and-forget task. The task must not throw (submit wraps
+  /// tasks in a packaged_task for exception transport; post does not).
+  void post(std::function<void()> task);
+
+  /// Run one queued task on the calling thread (newest first). Returns
+  /// false without blocking when the queue is empty.
+  bool run_one();
+
+  /// Work-helping wait: run queued tasks on the calling thread until
+  /// `done()` returns true; sleeps only while the queue is empty. Every
+  /// task completion re-checks `done`, so a condition flipped by a task
+  /// (e.g. a batch counter reaching zero) wakes the helper promptly.
+  void help_until(const std::function<bool()>& done);
 
   /// Block until every queued and running task has finished.
   void wait_idle();
 
  private:
   void worker_loop();
+  /// Pop (front=worker FIFO, back=helper LIFO) under an already-held lock.
+  std::function<void()> take_locked(bool newest_first);
+  void finish_task();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -54,8 +74,10 @@ class ThreadPool {
 };
 
 /// Run fn(i) for i in [begin, end) across the pool; rethrows the first task
-/// exception. With a single-worker pool this degrades to a serial loop, so
-/// results stay deterministic on one-core hosts.
+/// exception. The calling thread helps drain the pool while waiting, so
+/// nesting parallel_for inside a pool task is safe. Iteration chunks are
+/// contiguous and every index runs exactly once regardless of worker count,
+/// so any fn whose per-index work is independent stays deterministic.
 void parallel_for(ThreadPool& pool, size_t begin, size_t end,
                   const std::function<void(size_t)>& fn);
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -108,6 +110,41 @@ TEST(IrfLoop, RecoversPlantedEdges) {
   params.irf.forest.n_trees = 30;
   const IrfLoopResult result = run_irf_loop(census.data, params, 23);
   EXPECT_GE(edge_recovery(result, census.true_edges), 0.5);
+}
+
+/// Bitwise equality, so NaNs (e.g. undefined OOB R²) compare equal too.
+void expect_bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i]), std::bit_cast<uint64_t>(b[i]))
+        << "index " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+// The engine's determinism guarantee: the worker count is not allowed to
+// leak into the numbers. Serial, single-worker, and oversubscribed pools
+// must produce bit-identical adjacency matrices and per-target OOB R².
+TEST(IrfLoop, PoolSizeInvariance) {
+  CensusConfig config;
+  config.samples = 80;
+  config.features = 6;
+  const CensusDataset census = make_census_dataset(config, 41);
+  const IrfLoopResult serial = run_irf_loop(census.data, fast_params(), 43);
+  ThreadPool one(1);
+  const IrfLoopResult with_one = run_irf_loop(census.data, fast_params(), 43, &one);
+  ThreadPool eight(8);
+  const IrfLoopResult with_eight =
+      run_irf_loop(census.data, fast_params(), 43, &eight);
+  for (const IrfLoopResult* result : {&with_one, &with_eight}) {
+    for (size_t i = 0; i < 6; ++i) {
+      for (size_t j = 0; j < 6; ++j) {
+        EXPECT_EQ(std::bit_cast<uint64_t>(result->adjacency.at(i, j)),
+                  std::bit_cast<uint64_t>(serial.adjacency.at(i, j)))
+            << i << "," << j;
+      }
+    }
+    expect_bits_equal(result->per_target_r2, serial.per_target_r2);
+  }
 }
 
 TEST(IrfLoop, ParallelMatchesSerial) {

@@ -52,6 +52,54 @@ TEST(DenseMatrix, DropColumn) {
   EXPECT_THROW(m.drop_column(3), Error);
 }
 
+TEST(MatrixView, DropColumnRemapsWithoutCopy) {
+  DenseMatrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = static_cast<double>(10 * r + c);
+  }
+  const MatrixView view = MatrixView::drop_column(m, 1);
+  EXPECT_EQ(view.rows(), 2u);
+  EXPECT_EQ(view.cols(), 2u);
+  // Visible column 1 is storage column 2: same values as the copying drop.
+  EXPECT_EQ(view.storage_column(0), 0u);
+  EXPECT_EQ(view.storage_column(1), 2u);
+  const DenseMatrix copied = m.drop_column(1);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(view.at(r, c), copied.at(r, c));
+    }
+  }
+  EXPECT_EQ(view.column(1), copied.column(1));
+  EXPECT_EQ(view.row(1), copied.row(1));
+}
+
+TEST(MatrixView, FitOnViewMatchesFitOnCopy) {
+  const Toy toy = make_toy(150, 21);
+  // Widen to 4 columns with a junk column 2 so dropping it is meaningful.
+  DenseMatrix wide(150, 4);
+  Rng noise(22);
+  std::vector<double> y;
+  for (size_t i = 0; i < 150; ++i) {
+    wide.at(i, 0) = toy.x.at(i, 0);
+    wide.at(i, 1) = toy.x.at(i, 1);
+    wide.at(i, 2) = noise.uniform(-1, 1);
+    wide.at(i, 3) = toy.x.at(i, 2);
+    y.push_back(toy.y[i]);
+  }
+  ForestParams params;
+  params.n_trees = 12;
+  RandomForest on_view;
+  on_view.fit(MatrixView::drop_column(wide, 2), y, params, 33);
+  RandomForest on_copy;
+  on_copy.fit(wide.drop_column(2), y, params, 33);
+  EXPECT_EQ(on_view.importance(), on_copy.importance());
+  EXPECT_EQ(on_view.oob_r2(), on_copy.oob_r2());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(on_view.predict_at(MatrixView::drop_column(wide, 2), i),
+              on_copy.predict_at(wide.drop_column(2), i));
+  }
+}
+
 TEST(RegressionTree, FitsSimpleSignal) {
   const Toy toy = make_toy(200, 1);
   std::vector<size_t> indices(200);
@@ -127,6 +175,38 @@ TEST(RandomForest, DeterministicForSeed) {
   b.fit(toy.x, toy.y, params, 9);
   EXPECT_EQ(a.importance(), b.importance());
   EXPECT_EQ(a.predict(toy.x.row(0)), b.predict(toy.x.row(0)));
+}
+
+TEST(RandomForest, SpanPredictMatchesVectorPredict) {
+  const Toy toy = make_toy(120, 17);
+  ForestParams params;
+  params.n_trees = 10;
+  RandomForest forest;
+  forest.fit(toy.x, toy.y, params, 19);
+  for (size_t i = 0; i < 20; ++i) {
+    const std::vector<double> row = toy.x.row(i);
+    EXPECT_EQ(forest.predict(row.data(), row.size()), forest.predict(row));
+    EXPECT_EQ(forest.predict_at(toy.x, i), forest.predict(row));
+  }
+  const std::vector<double> all = forest.predict_all(toy.x);
+  ASSERT_EQ(all.size(), 120u);
+  EXPECT_EQ(all[7], forest.predict(toy.x.row(7)));
+}
+
+TEST(RandomForest, ParallelFitBitIdenticalToSerial) {
+  const Toy toy = make_toy(200, 14);
+  ForestParams params;
+  params.n_trees = 16;
+  RandomForest serial;
+  serial.fit(toy.x, toy.y, params, 15);
+  for (const size_t workers : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(workers);
+    RandomForest parallel;
+    parallel.fit(toy.x, toy.y, params, 15, {}, &pool);
+    EXPECT_EQ(parallel.importance(), serial.importance());
+    EXPECT_EQ(parallel.oob_r2(), serial.oob_r2());
+    EXPECT_EQ(parallel.predict(toy.x.row(3)), serial.predict(toy.x.row(3)));
+  }
 }
 
 TEST(RandomForest, FeatureWeightsSteerSplits) {

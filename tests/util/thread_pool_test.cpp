@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 namespace ff {
 namespace {
@@ -69,6 +70,46 @@ TEST(ParallelFor, PropagatesTaskException) {
                               if (i == 7) throw std::runtime_error("bad index");
                             }),
                std::runtime_error);
+}
+
+// A task already running on the pool's only worker issues a parallel_for on
+// the same pool. Without work-helping the worker would block forever waiting
+// for itself; with it, the blocked task drains the queue and completes.
+TEST(ParallelFor, NestedInsidePoolTaskCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  auto future = pool.submit([&] {
+    parallel_for(pool, 0, 16, [&](size_t) { inner.fetch_add(1); });
+    return inner.load();
+  });
+  EXPECT_EQ(future.get(), 16);
+}
+
+TEST(ParallelFor, NestedTwoLevelsCoversEverything) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 0, 8, [&](size_t outer) {
+    parallel_for(pool, 0, 8, [&](size_t j) { hits[outer * 8 + j].fetch_add(1); });
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, HelpUntilDrainsQueuedWork) {
+  ThreadPool pool(1);
+  // Occupy the lone worker so posted work stays queued, then help from the
+  // calling thread until the target count is reached.
+  std::atomic<bool> release{false};
+  pool.post([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.post([&done] { done.fetch_add(1); });
+  }
+  pool.help_until([&] { return done.load() == 10; });
+  EXPECT_EQ(done.load(), 10);
+  release.store(true);
+  pool.wait_idle();
 }
 
 }  // namespace
