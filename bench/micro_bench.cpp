@@ -10,6 +10,7 @@
 #include "gwas/paste.hpp"
 #include "irf/forest.hpp"
 #include "irf/irf_loop.hpp"
+#include "obs/trace.hpp"
 #include "skel/template_engine.hpp"
 #include "stream/marshal.hpp"
 #include "util/json.hpp"
@@ -151,6 +152,41 @@ BENCHMARK(BM_ForestFit)
     ->Args({20, 800, 64, 0})
     ->Args({20, 3220, 256, 0})   // census scale (paper Fig. 7 per-target fit)
     ->Args({20, 3220, 256, 4})  // same, tree-parallel on 4 workers
+    ->Unit(benchmark::kMillisecond);
+
+/// Same fit with the trace recorder live — the overhead budget of
+/// DESIGN.md §3.2 (<2% vs the matching BM_ForestFit args; numbers in
+/// EXPERIMENTS.md). Every tree fit emits a span, and pool runs add
+/// queue-depth counters, so this is the instrumentation-dense worst case.
+void BM_ForestFitTraced(benchmark::State& state) {
+  const auto n_trees = static_cast<size_t>(state.range(0));
+  const auto samples = static_cast<size_t>(state.range(1));
+  const auto features = static_cast<size_t>(state.range(2));
+  const auto workers = static_cast<size_t>(state.range(3));
+  Rng rng(1);
+  irf::DenseMatrix x(samples, features);
+  std::vector<double> y;
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t f = 0; f < features; ++f) x.at(s, f) = rng.uniform(-1, 1);
+    y.push_back(2.0 * x.at(s, 0) - x.at(s, 3) + 0.1 * rng.normal());
+  }
+  irf::ForestParams params;
+  params.n_trees = n_trees;
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+  obs::set_tracing(true);
+  for (auto _ : state) {
+    irf::RandomForest forest;
+    forest.fit(x, y, params, 42, {}, pool.get());
+    benchmark::DoNotOptimize(forest.importance());
+  }
+  obs::set_tracing(false);
+  obs::TraceRecorder::instance().clear();
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n_trees));
+}
+BENCHMARK(BM_ForestFitTraced)
+    ->Args({20, 800, 64, 0})
+    ->Args({20, 3220, 256, 4})
     ->Unit(benchmark::kMillisecond);
 
 /// Full iRF-LOOP (one iRF model per feature -> adjacency matrix).

@@ -1,19 +1,169 @@
-// Quickstart: the reusability-gauge abstraction in ~80 lines.
+// Quickstart: the reusability-gauge abstraction in ~80 lines, plus the
+// provenance trace layer in one flag.
 //
 // Build a two-component workflow, attach gauge profiles (Box I of the
 // paper), assess its technical debt for the reuse scenarios you care
 // about, and ask the metadata catalog machine-actionable questions.
 //
 //   ./quickstart
+//
+// With --trace, run a short tour of every instrumented subsystem (Savanna
+// campaign with a retried run, local executor, checkpoint harness, stream
+// scheduler, iRF fit on the thread pool) with tracing enabled and export
+// the collected events:
+//
+//   ./quickstart --trace out.jsonl [out.trace.json]
+//
+// out.jsonl is one event per line (the contract of docs/trace_schema.md,
+// enforced by the trace_lint ctest); out.trace.json loads directly in
+// https://ui.perfetto.dev or chrome://tracing.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/assessment.hpp"
 #include "core/metadata_catalog.hpp"
 
+#include "ckpt/harness.hpp"
+#include "irf/irf_loop.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "savanna/campaign_runner.hpp"
+#include "savanna/local_executor.hpp"
+#include "stream/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
 using namespace ff::core;
 
-int main() {
+namespace {
+
+/// Exercise every instrumented subsystem once, then export the trace.
+int provenance_tour(const std::string& jsonl_path,
+                    const std::string& chrome_path) {
+  using namespace ff;
+
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.set_ring_capacity(1 << 16);
+  recorder.clear();
+  obs::set_tracing(true);
+
+  // 1. Savanna campaign with re-submission: run "t1" fails its first
+  //    attempt, so the trace shows the full retry lifecycle
+  //    (submit -> start -> end(failed) -> retry -> submit -> ... -> done).
+  {
+    std::vector<sim::TaskSpec> tasks;
+    for (int i = 0; i < 6; ++i) {
+      sim::TaskSpec task;
+      task.id = "t" + std::to_string(i);
+      task.duration_s = 30 + 10 * i;
+      task.feature_index = i;
+      tasks.push_back(std::move(task));
+    }
+    savanna::CampaignRunOptions options;
+    options.execution.nodes = 2;
+    int t1_attempts = 0;
+    options.execution.fails = [&](const sim::TaskSpec& task, int) {
+      return task.id == "t1" && t1_attempts++ == 0;
+    };
+    savanna::RunTracker tracker;
+    sim::Simulation sim;
+    savanna::run_with_resubmission(sim, tasks, options, &tracker);
+  }
+
+  // 2. Local (non-simulated) executor: one task throws.
+  {
+    std::vector<savanna::LocalTask> tasks;
+    tasks.push_back({"paste-0", [] {}});
+    tasks.push_back({"paste-1", [] { throw Error("injected failure"); }});
+    savanna::run_local(tasks, 2);
+  }
+
+  // 3. Checkpoint harness: a short overhead-bounded run.
+  {
+    ckpt::AppConfig config;
+    config.steps = 6;
+    config.nodes = 4;
+    config.ranks = 16;
+    config.bytes_per_step = 1e9;
+    config.compute_per_step_s = 10;
+    const ckpt::OverheadBoundedPolicy policy(0.10);
+    ckpt::run_simulated_app(config, policy, sim::MachineSpec{}, 7);
+  }
+
+  // 4. Stream scheduler: install/activate/steer virtual data queues.
+  {
+    stream::DataScheduler scheduler;
+    scheduler.subscribe([](const std::string&, const stream::Record&) {});
+    scheduler.install_queue("monitor",
+                            std::make_unique<stream::ForwardAllPolicy>());
+    scheduler.install_queue(
+        "window", std::make_unique<stream::SlidingWindowCountPolicy>(4));
+    for (uint64_t i = 0; i < 8; ++i) {
+      stream::Record record;
+      record.sequence = i;
+      record.timestamp = static_cast<double>(i);
+      scheduler.publish(record);
+    }
+    scheduler.control("window", Json::object());
+    scheduler.punctuate(Json::object());
+    scheduler.set_active("monitor", false);
+    const auto factory = stream::PolicyFactory::with_builtins();
+    factory.handle_install(scheduler, Json::parse(R"({"install": {
+        "queue": "steered", "kind": "sample-every",
+        "args": {"stride": 2}}})"));
+    scheduler.remove_queue("monitor");
+  }
+
+  // 5. iRF on the work-helping thread pool (queue-depth counters ride
+  //    along with the fit spans).
+  {
+    irf::CensusConfig config;
+    config.samples = 80;
+    config.features = 6;
+    const auto census = irf::make_census_dataset(config, 11);
+    irf::IrfLoopParams params;
+    params.irf.iterations = 2;
+    params.irf.forest.n_trees = 8;
+    ThreadPool pool(2);
+    irf::run_irf_loop(census.data, params, 3, &pool);
+  }
+
+  obs::set_tracing(false);
+  const auto events = recorder.flush();
+  obs::write_jsonl(jsonl_path, events);
+  if (!chrome_path.empty()) obs::write_chrome_trace(chrome_path, events);
+
+  size_t wall = 0;
+  for (const auto& event : events) {
+    if (event.clock == obs::ClockDomain::Wall) ++wall;
+  }
+  std::printf("provenance tour: %zu events (%zu wall, %zu virtual), "
+              "%llu dropped\n",
+              events.size(), wall, events.size() - wall,
+              static_cast<unsigned long long>(recorder.dropped()));
+  std::printf("  jsonl:  %s\n", jsonl_path.c_str());
+  if (!chrome_path.empty()) {
+    std::printf("  chrome: %s  (load in ui.perfetto.dev)\n",
+                chrome_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: quickstart --trace <out.jsonl> [<out.trace.json>]\n");
+      return 2;
+    }
+    return provenance_tour(argv[2], argc >= 4 ? argv[3] : "");
+  }
+
   // 1. Describe the workflow as components with ports.
   WorkflowGraph workflow("sensor-pipeline");
 

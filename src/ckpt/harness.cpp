@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ff::ckpt {
@@ -53,7 +54,12 @@ RunResult run_simulated_app(const AppConfig& config,
         fs.write_seconds(config.bytes_per_step, now) * share_penalty;
     context.recent_write_s = recent_write;
 
-    if (policy.should_checkpoint(context)) {
+    const bool write = policy.should_checkpoint(context);
+    obs::trace_instant_at(now, "ckpt", "ckpt.decision",
+                          {{"step", step},
+                           {"write", write},
+                           {"estimated_write_s", context.estimated_write_s}});
+    if (write) {
       // The actual write may cost slightly differently than the estimate
       // (load moves while writing); sample at the post-write time frontier.
       const double write_s = context.estimated_write_s;
@@ -65,8 +71,13 @@ RunResult run_simulated_app(const AppConfig& config,
       recent_write = write_s;
       record.write_s = write_s;
       record.checkpointed = true;
+      obs::trace_instant_at(now, "ckpt", "ckpt.write",
+                            {{"step", step},
+                             {"write_s", write_s},
+                             {"bytes", config.bytes_per_step}});
     }
     record.overhead_so_far = now > 0 ? result.total_io_s / now : 0;
+    obs::trace_counter_at(now, "ckpt", "ckpt.overhead", record.overhead_so_far);
     result.steps.push_back(record);
   }
   result.total_runtime_s = now;

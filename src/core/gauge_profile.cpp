@@ -124,4 +124,40 @@ GaugeProfile make_profile(uint8_t access, uint8_t schema, uint8_t semantics,
   return profile;
 }
 
+GaugeProfile fairflow_self_profile() {
+  GaugeProfile profile;
+  profile.set_tier(Gauge::DataAccess,
+                   static_cast<uint8_t>(DataAccessTier::Interface));
+  profile.set_evidence(Gauge::DataAccess,
+                       "CSV/JSON/JSONL via util/table + util/json; "
+                       "binary stream marshalling in stream/marshal");
+  profile.set_tier(Gauge::DataSchema,
+                   static_cast<uint8_t>(DataSchemaTier::TypedStructure));
+  profile.set_evidence(Gauge::DataSchema,
+                       "stream::StreamSchema field names/types; trace event "
+                       "fields typed in docs/trace_schema.md");
+  profile.set_tier(Gauge::DataSemantics,
+                   static_cast<uint8_t>(DataSemanticsTier::DataFusion));
+  profile.set_evidence(Gauge::DataSemantics,
+                       "per-port ConsumptionSemantics; windowed vs "
+                       "element-wise stream policies");
+  profile.set_tier(Gauge::SoftwareGranularity,
+                   static_cast<uint8_t>(GranularityTier::IoSemantics));
+  profile.set_evidence(Gauge::SoftwareGranularity,
+                       "subsystem libraries with explicit ports and "
+                       "component descriptors (core/component)");
+  profile.set_tier(Gauge::SoftwareCustomizability,
+                   static_cast<uint8_t>(CustomizabilityTier::Model));
+  profile.set_evidence(Gauge::SoftwareCustomizability,
+                       "Skel-style models drive generation "
+                       "(skel/model + skel/generator)");
+  profile.set_tier(Gauge::SoftwareProvenance,
+                   static_cast<uint8_t>(ProvenanceTier::Exportable));
+  profile.set_evidence(Gauge::SoftwareProvenance,
+                       "structured trace layer (src/obs/) with documented "
+                       "JSONL/Chrome export, schema enforced by trace_lint "
+                       "(docs/trace_schema.md)");
+  return profile;
+}
+
 }  // namespace ff::core

@@ -70,4 +70,13 @@ GaugeProfile make_profile(uint8_t access, uint8_t schema, uint8_t semantics,
                           uint8_t granularity, uint8_t customizability,
                           uint8_t provenance);
 
+/// This repository's own gauge profile — the paper's model applied to the
+/// codebase that implements it, with evidence notes naming the artifacts
+/// that justify each tier. The Provenance gauge sits at Exportable: the
+/// structured trace layer (src/obs/) emits documented, schema-checked
+/// events for every subsystem, and the JSONL/Chrome exporters are exactly
+/// the "export policies" of that tier (contract: docs/trace_schema.md,
+/// enforced by the trace_lint ctest).
+GaugeProfile fairflow_self_profile();
+
 }  // namespace ff::core

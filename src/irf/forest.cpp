@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -16,6 +17,11 @@ void RandomForest::fit(const MatrixView& x, const std::vector<double>& y,
   if (params.n_trees == 0) throw Error("RandomForest: n_trees must be > 0");
   if (x.rows() != y.size()) throw Error("RandomForest: x/y size mismatch");
   if (x.rows() == 0) throw Error("RandomForest: empty dataset");
+
+  obs::Span fit_span("irf", "irf.forest.fit",
+                     {{"trees", params.n_trees},
+                      {"rows", x.rows()},
+                      {"cols", x.cols()}});
 
   // Presort every column once; all trees share the cache read-only. The
   // iRF-LOOP driver passes a view that already carries the dataset-wide
@@ -41,6 +47,7 @@ void RandomForest::fit(const MatrixView& x, const std::vector<double>& y,
 
   const Rng base(splitmix64(seed ^ 0xf03e57ULL));
   auto fit_tree = [&](size_t t) {
+    obs::Span tree_span("irf", "irf.tree.fit", {{"tree", t}});
     Rng rng = base.fork(t);
     std::vector<size_t> indices;
     indices.reserve(m);
@@ -153,6 +160,8 @@ IrfResult fit_irf(const MatrixView& x, const std::vector<double>& y,
   IrfResult result;
   std::vector<double> weights;  // uniform first round
   for (size_t iteration = 0; iteration < params.iterations; ++iteration) {
+    obs::Span iteration_span("irf", "irf.iteration",
+                             {{"iteration", iteration}});
     RandomForest forest;
     forest.fit(xv, y, params.forest, seed + iteration, weights, pool);
     result.importance_history.push_back(forest.importance());

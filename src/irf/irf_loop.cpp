@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -23,6 +24,7 @@ IrfLoopResult run_irf_loop(const Dataset& dataset, const IrfLoopParams& params,
   const FeatureOrderCache orders = FeatureOrderCache::build(MatrixView(dataset.x));
 
   auto fit_target = [&](size_t target) {
+    obs::Span target_span("irf", "irf.loop.target", {{"target", target}});
     // Zero-copy leave-one-out: predictors are a column-remapping view over
     // the shared dataset storage, not a copy.
     const Dataset::LooView view = dataset.leave_one_out(target, &orders);

@@ -1,0 +1,163 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ff::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const char* text) {
+  out += '"';
+  for (const char* p = text; *p; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  append_escaped(out, text.c_str());
+}
+
+void append_number(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out += buf;
+}
+
+void append_number(std::string& out, int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  out += buf;
+}
+
+void append_arg_value(std::string& out, const Arg& arg) {
+  switch (arg.type) {
+    case Arg::Type::Int: append_number(out, arg.int_value); break;
+    case Arg::Type::Float: append_number(out, arg.float_value); break;
+    case Arg::Type::Str: append_escaped(out, arg.str_value); break;
+  }
+}
+
+void append_args_object(std::string& out, const TraceEvent& event) {
+  out += '{';
+  for (size_t i = 0; i < event.arg_count; ++i) {
+    if (i) out += ',';
+    append_escaped(out, event.args[i].key);
+    out += ':';
+    append_arg_value(out, event.args[i]);
+  }
+  out += '}';
+}
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Begin: return "begin";
+    case EventKind::End: return "end";
+    case EventKind::Instant: return "instant";
+    case EventKind::Counter: return "counter";
+  }
+  return "?";
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("obs: cannot open '" + path + "'");
+  out << content;
+  if (!out) throw std::runtime_error("obs: write failed for '" + path + "'");
+}
+
+}  // namespace
+
+std::string to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (const TraceEvent& event : events) {
+    out += "{\"seq\":";
+    append_number(out, static_cast<int64_t>(event.seq));
+    out += ",\"ts\":";
+    append_number(out, event.ts_s);
+    out += ",\"clock\":";
+    out += event.clock == ClockDomain::Wall ? "\"wall\"" : "\"virtual\"";
+    out += ",\"kind\":\"";
+    out += kind_name(event.kind);
+    out += "\",\"cat\":";
+    append_escaped(out, event.category);
+    out += ",\"name\":";
+    append_escaped(out, event.name);
+    out += ",\"tid\":";
+    append_number(out, static_cast<int64_t>(event.thread));
+    // Always present (possibly empty) so consumers never branch on it.
+    out += ",\"args\":";
+    append_args_object(out, event);
+    out += "}\n";
+  }
+  return out;
+}
+
+void write_jsonl(const std::string& path,
+                 const std::vector<TraceEvent>& events) {
+  write_file(path, to_jsonl(events));
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::string out = "[";
+  // Name the two clock-domain tracks so Perfetto labels them.
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wall clock\"}},\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"virtual time\"}}";
+  for (const TraceEvent& event : events) {
+    out += ",\n{\"ph\":\"";
+    switch (event.kind) {
+      case EventKind::Begin: out += 'B'; break;
+      case EventKind::End: out += 'E'; break;
+      case EventKind::Instant: out += 'i'; break;
+      case EventKind::Counter: out += 'C'; break;
+    }
+    out += "\",\"pid\":";
+    out += event.clock == ClockDomain::Wall ? '1' : '2';
+    out += ",\"tid\":";
+    append_number(out, static_cast<int64_t>(event.thread));
+    out += ",\"ts\":";
+    append_number(out, event.ts_s * 1e6);  // trace_event wants microseconds
+    out += ",\"cat\":";
+    append_escaped(out, event.category);
+    out += ",\"name\":";
+    append_escaped(out, event.name);
+    if (event.kind == EventKind::Instant) out += ",\"s\":\"t\"";
+    if (event.arg_count > 0 || event.kind == EventKind::Counter) {
+      out += ",\"args\":";
+      append_args_object(out, event);
+    }
+    out += '}';
+  }
+  out += "]\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  write_file(path, to_chrome_trace(events));
+}
+
+}  // namespace ff::obs

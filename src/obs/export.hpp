@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ff::obs {
+
+/// JSONL export: one JSON object per event, one event per line, in the
+/// order given (flush() order = emission order). The envelope and every
+/// event's fields are the documented contract of docs/trace_schema.md:
+///
+///   {"seq":12,"ts":0.001834,"clock":"wall","kind":"begin","cat":"irf",
+///    "name":"irf.forest.fit","tid":0,"args":{"trees":20,"rows":200}}
+std::string to_jsonl(const std::vector<TraceEvent>& events);
+void write_jsonl(const std::string& path, const std::vector<TraceEvent>& events);
+
+/// Chrome trace_event export (JSON array form), loadable directly in
+/// chrome://tracing or https://ui.perfetto.dev. Wall-clock events land on
+/// pid 1 ("wall clock"), virtual-clock events on pid 2 ("virtual time");
+/// both use the event's microsecond timestamp so span nesting, instants
+/// ("i"), and counters ("C") render on their native tracks.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace ff::obs

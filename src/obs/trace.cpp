@@ -1,0 +1,183 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace ff::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}
+
+thread_local TraceRecorder::ThreadBuffer* TraceRecorder::t_buffer_ = nullptr;
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+void TraceRecorder::set_ring_capacity(size_t events) {
+  const size_t capacity = std::max<size_t>(1, events);
+  std::lock_guard registry_lock(registry_mutex_);
+  ring_capacity_ = capacity;
+  for (auto& buffer : buffers_) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->ring.shrink_to_fit();
+    buffer->head = 0;
+    buffer->capacity = capacity;
+  }
+}
+
+size_t TraceRecorder::ring_capacity() const {
+  std::lock_guard lock(registry_mutex_);
+  return ring_capacity_;
+}
+
+double TraceRecorder::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  if (t_buffer_) return *t_buffer_;
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard lock(registry_mutex_);
+    buffer->capacity = ring_capacity_;
+    buffer->index = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  t_buffer_ = buffer.get();
+  return *t_buffer_;
+}
+
+void TraceRecorder::record(ClockDomain clock, double ts_s, EventKind kind,
+                           const char* category, const char* name,
+                           std::initializer_list<Arg> args) {
+  TraceEvent event;
+  event.kind = kind;
+  event.clock = clock;
+  event.ts_s = ts_s;
+  event.category = category;
+  event.name = name;
+  event.arg_count = static_cast<uint8_t>(std::min(args.size(), kMaxArgs));
+  size_t i = 0;
+  for (const Arg& arg : args) {
+    if (i >= kMaxArgs) break;
+    event.args[i++] = arg;
+  }
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+
+  ThreadBuffer& buffer = local_buffer();
+  event.thread = buffer.index;
+  std::lock_guard lock(buffer.mutex);
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.push_back(std::move(event));
+  } else {
+    buffer.ring[buffer.head] = std::move(event);
+    buffer.head = (buffer.head + 1) % buffer.capacity;
+    ++buffer.dropped;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TraceRecorder::emit(EventKind kind, const char* category,
+                         const char* name, std::initializer_list<Arg> args) {
+  record(ClockDomain::Wall, now_s(), kind, category, name, args);
+}
+
+void TraceRecorder::emit_at(double virtual_ts_s, EventKind kind,
+                            const char* category, const char* name,
+                            std::initializer_list<Arg> args) {
+  record(ClockDomain::Virtual, virtual_ts_s, kind, category, name, args);
+}
+
+std::vector<TraceEvent> TraceRecorder::flush() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    // Ring order: oldest first. Once wrapped, head points at the oldest.
+    const size_t n = buffer->ring.size();
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(buffer->ring[(buffer->head + i) % n]));
+    }
+    buffer->ring.clear();
+    buffer->head = 0;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard registry_lock(registry_mutex_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->head = 0;
+    buffer->dropped = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void trace_counter(const char* category, const char* name, double value,
+                   std::initializer_list<Arg> extra) {
+  if (!tracing_enabled()) return;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  switch (extra.size()) {
+    case 0:
+      recorder.emit(EventKind::Counter, category, name, {Arg("value", value)});
+      break;
+    case 1:
+      recorder.emit(EventKind::Counter, category, name,
+                    {Arg("value", value), *extra.begin()});
+      break;
+    default:
+      recorder.emit(EventKind::Counter, category, name,
+                    {Arg("value", value), *extra.begin(),
+                     *(extra.begin() + 1)});
+      break;
+  }
+}
+
+void trace_counter_at(double virtual_ts_s, const char* category,
+                      const char* name, double value,
+                      std::initializer_list<Arg> extra) {
+  if (!tracing_enabled()) return;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  switch (extra.size()) {
+    case 0:
+      recorder.emit_at(virtual_ts_s, EventKind::Counter, category, name,
+                       {Arg("value", value)});
+      break;
+    case 1:
+      recorder.emit_at(virtual_ts_s, EventKind::Counter, category, name,
+                       {Arg("value", value), *extra.begin()});
+      break;
+    default:
+      recorder.emit_at(virtual_ts_s, EventKind::Counter, category, name,
+                       {Arg("value", value), *extra.begin(),
+                        *(extra.begin() + 1)});
+      break;
+  }
+}
+
+}  // namespace ff::obs

@@ -1,0 +1,209 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// Structured tracing for the whole runtime — the machine-actionable half of
+/// the paper's Provenance gauge. Every subsystem (Savanna executors, the
+/// thread pool, the checkpoint harness, the stream scheduler, the iRF
+/// engine) emits typed events into per-thread ring buffers owned by a
+/// process-wide TraceRecorder; exporters (obs/export.hpp) turn a flushed
+/// stream into JSONL or Chrome trace_event JSON. Event names, fields, and
+/// units are a documented contract: docs/trace_schema.md (enforced by the
+/// `trace_lint` ctest).
+///
+/// This library deliberately depends on nothing but the standard library so
+/// that ff_util (which hosts the instrumented thread pool) can sit above it.
+namespace ff::obs {
+
+/// One typed key/value attached to an event. Keys must be string literals
+/// (they are stored as pointers); string values are copied, since run ids
+/// and the like are usually ephemeral. Short ids stay in SSO storage, so
+/// the common emit path does not allocate.
+struct Arg {
+  enum class Type : uint8_t { Int, Float, Str };
+
+  const char* key = "";
+  Type type = Type::Int;
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string str_value;
+
+  Arg() = default;
+  Arg(const char* k, int64_t v) : key(k), type(Type::Int), int_value(v) {}
+  Arg(const char* k, int v) : Arg(k, static_cast<int64_t>(v)) {}
+  Arg(const char* k, unsigned v) : Arg(k, static_cast<int64_t>(v)) {}
+  Arg(const char* k, unsigned long v) : Arg(k, static_cast<int64_t>(v)) {}
+  Arg(const char* k, unsigned long long v) : Arg(k, static_cast<int64_t>(v)) {}
+  Arg(const char* k, bool v) : Arg(k, static_cast<int64_t>(v ? 1 : 0)) {}
+  Arg(const char* k, double v) : key(k), type(Type::Float), float_value(v) {}
+  Arg(const char* k, std::string v)
+      : key(k), type(Type::Str), str_value(std::move(v)) {}
+  Arg(const char* k, const char* v) : Arg(k, std::string(v)) {}
+};
+
+enum class EventKind : uint8_t { Begin, End, Instant, Counter };
+
+/// Which clock an event's timestamp lives on. Wall events carry seconds
+/// since the recorder's epoch (steady clock); Virtual events carry the
+/// emitting simulation's virtual seconds. The two domains never interleave
+/// meaningfully — consumers must group by clock before ordering by ts.
+enum class ClockDomain : uint8_t { Wall, Virtual };
+
+inline constexpr size_t kMaxArgs = 4;
+
+struct TraceEvent {
+  EventKind kind = EventKind::Instant;
+  ClockDomain clock = ClockDomain::Wall;
+  uint8_t arg_count = 0;
+  uint32_t thread = 0;  // recorder-assigned dense thread index
+  uint64_t seq = 0;     // process-global emission order
+  double ts_s = 0;      // seconds (see ClockDomain)
+  const char* category = "";
+  const char* name = "";
+  std::array<Arg, kMaxArgs> args;
+};
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}
+
+/// The hot-path gate: one relaxed atomic load. Instrumentation sites check
+/// this (directly or through Span/trace_* helpers) before paying anything.
+inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide recorder. Each emitting thread lazily registers a ring
+/// buffer (default 8192 events) guarded by its own uncontended mutex; the
+/// only shared state touched per event is a relaxed sequence counter. When
+/// a ring is full the oldest event is overwritten and counted in dropped().
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void set_enabled(bool on);
+
+  /// Resize every thread's ring (current contents are discarded) and use
+  /// `events` for rings registered later. Intended for tests and tools.
+  void set_ring_capacity(size_t events);
+  size_t ring_capacity() const;
+
+  /// Wall-clock emission (timestamp taken here). Unconditional — the
+  /// tracing_enabled() gate lives in the trace_* helpers and Span, which
+  /// is what lets an armed Span close after a set_tracing(false).
+  void emit(EventKind kind, const char* category, const char* name,
+            std::initializer_list<Arg> args = {});
+  /// Virtual-clock emission at an explicit simulation time (seconds).
+  void emit_at(double virtual_ts_s, EventKind kind, const char* category,
+               const char* name, std::initializer_list<Arg> args = {});
+
+  /// Drain every thread's buffer; events come back in emission (seq) order.
+  /// Buffers are left empty but registered.
+  std::vector<TraceEvent> flush();
+
+  /// Drop all buffered events and reset the dropped() counter.
+  void clear();
+
+  /// Events overwritten by ring wrap-around since the last clear().
+  uint64_t dropped() const;
+
+  /// Seconds since the recorder's wall-clock epoch.
+  double now_s() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> ring;  // grows to capacity, then wraps
+    size_t head = 0;               // next write position once full
+    size_t capacity = 0;
+    uint64_t dropped = 0;
+    uint32_t index = 0;
+  };
+
+  TraceRecorder();
+  ThreadBuffer& local_buffer();
+
+  // Cached pointer into the registry. The recorder is a static singleton
+  // and buffers are shared_ptr-owned, so the cache never dangles even after
+  // its thread's pool is destroyed.
+  static thread_local ThreadBuffer* t_buffer_;
+  void record(ClockDomain clock, double ts_s, EventKind kind,
+              const char* category, const char* name,
+              std::initializer_list<Arg> args);
+
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  size_t ring_capacity_ = 8192;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Convenience free functions — what instrumentation sites actually call.
+/// All are no-ops (one branch) while tracing is disabled.
+
+inline void set_tracing(bool on) { TraceRecorder::instance().set_enabled(on); }
+
+inline void trace_instant(const char* category, const char* name,
+                          std::initializer_list<Arg> args = {}) {
+  if (tracing_enabled()) {
+    TraceRecorder::instance().emit(EventKind::Instant, category, name, args);
+  }
+}
+
+inline void trace_instant_at(double virtual_ts_s, const char* category,
+                             const char* name,
+                             std::initializer_list<Arg> args = {}) {
+  if (tracing_enabled()) {
+    TraceRecorder::instance().emit_at(virtual_ts_s, EventKind::Instant,
+                                      category, name, args);
+  }
+}
+
+/// Counters: the sampled value rides as the `value` arg; extra args (e.g. a
+/// queue name) follow it.
+void trace_counter(const char* category, const char* name, double value,
+                   std::initializer_list<Arg> extra = {});
+void trace_counter_at(double virtual_ts_s, const char* category,
+                      const char* name, double value,
+                      std::initializer_list<Arg> extra = {});
+
+/// RAII wall-clock span. Arms itself only if tracing is enabled at
+/// construction, so a span whose scope outlives a set_tracing(false) still
+/// closes cleanly (and one constructed while disabled costs one branch).
+class Span {
+ public:
+  Span(const char* category, const char* name,
+       std::initializer_list<Arg> args = {})
+      : armed_(tracing_enabled()), category_(category), name_(name) {
+    if (armed_) {
+      TraceRecorder::instance().emit(EventKind::Begin, category_, name_, args);
+    }
+  }
+  ~Span() {
+    if (armed_) {
+      TraceRecorder::instance().emit(EventKind::End, category_, name_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool armed_;
+  const char* category_;
+  const char* name_;
+};
+
+}  // namespace ff::obs

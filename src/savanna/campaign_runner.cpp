@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ff::savanna {
@@ -18,12 +19,28 @@ CampaignRunResult run_with_resubmission(sim::Simulation& sim,
   }
 
   std::vector<sim::TaskSpec> remaining = tasks;
+  std::map<std::string, int> submissions;  // per-run submission count (trace)
   while (!remaining.empty()) {
     if (options.max_allocations > 0 &&
         result.allocations_used >= options.max_allocations) {
       break;
     }
     const double allocation_start = sim.now();
+    if (obs::tracing_enabled()) {
+      // Everything entering this allocation is a submission; a run seen
+      // before is a retry (its earlier attempt failed, was killed, or never
+      // started).
+      for (const sim::TaskSpec& task : remaining) {
+        const int attempt = submissions[task.id]++;
+        if (attempt > 0) {
+          obs::trace_instant_at(allocation_start, "savanna",
+                                "savanna.job.retry",
+                                {{"run", task.id}, {"attempt", attempt}});
+        }
+        obs::trace_instant_at(allocation_start, "savanna", "savanna.job.submit",
+                              {{"run", task.id}, {"attempt", attempt}});
+      }
+    }
     ExecutionReport report =
         options.backend == Backend::Pilot
             ? run_pilot(sim, remaining, options.execution)

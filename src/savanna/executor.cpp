@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -17,21 +18,38 @@ void validate(const ExecutionOptions& options) {
   if (options.set_size < 0) throw Error("executor: negative set size");
 }
 
-/// Shared bookkeeping for both runners.
+/// Shared bookkeeping for both runners. Times passed to record() are
+/// *absolute* virtual times (so emitted trace events order correctly across
+/// re-submitted allocations); intervals are stored relative to t0 as before.
 struct Recorder {
-  explicit Recorder(const ExecutionOptions& options) : options(options) {
+  Recorder(const ExecutionOptions& options, double t0, const char* backend)
+      : options(options), t0(t0), backend(backend) {
     report.node_timeline.resize(static_cast<size_t>(options.nodes));
+    obs::trace_instant_at(t0, "savanna", "savanna.allocation.begin",
+                          {{"backend", backend}, {"nodes", options.nodes}});
   }
 
-  /// Record a run occupying `node` over [start, end_nominal), clipped at
-  /// walltime. Returns true if the run finished before the walltime.
-  bool record(int node, double start, double end_nominal, const std::string& id) {
-    const double end = std::min(end_nominal, options.walltime_s);
+  /// Record a run occupying `node` over absolute [start, end_nominal),
+  /// clipped at walltime, emitting savanna.job.start/end trace events.
+  /// Returns true if the run finished before the walltime.
+  bool record(int node, double start, double end_nominal,
+              const std::string& id, bool failed) {
+    const double end = std::min(end_nominal, t0 + options.walltime_s);
     report.node_timeline[static_cast<size_t>(node)].push_back(
-        Interval{start, end, id});
+        Interval{start - t0, end - t0, id});
     report.busy_node_seconds += end - start;
-    report.makespan_s = std::max(report.makespan_s, end);
-    return end_nominal <= options.walltime_s;
+    report.makespan_s = std::max(report.makespan_s, end - t0);
+    const bool fits = end_nominal <= t0 + options.walltime_s;
+    if (obs::tracing_enabled()) {
+      obs::trace_instant_at(start, "savanna", "savanna.job.start",
+                            {{"run", id}, {"node", node}});
+      obs::trace_instant_at(
+          end, "savanna", "savanna.job.end",
+          {{"run", id},
+           {"node", node},
+           {"outcome", !fits ? "killed" : (failed ? "failed" : "done")}});
+    }
+    return fits;
   }
 
   void finalize() {
@@ -39,9 +57,19 @@ struct Recorder {
                                ? std::min(report.makespan_s, options.walltime_s)
                                : report.makespan_s;
     report.allocation_node_seconds = horizon * options.nodes;
+    if (obs::tracing_enabled()) {
+      obs::trace_instant_at(t0 + report.makespan_s, "savanna",
+                            "savanna.allocation.end",
+                            {{"backend", backend},
+                             {"completed", report.completed.size()},
+                             {"failed", report.failed.size()},
+                             {"killed", report.killed.size()}});
+    }
   }
 
   const ExecutionOptions& options;
+  const double t0;
+  const char* backend;
   ExecutionReport report;
 };
 
@@ -54,9 +82,8 @@ ExecutionReport run_set_synchronized(sim::Simulation& sim,
   const int set_size =
       options.set_size > 0 ? std::min(options.set_size, options.nodes)
                            : options.nodes;
-  Recorder recorder(options);
-
   const double t0 = sim.now();
+  Recorder recorder(options, t0, "set");
   double set_start = t0;
   size_t next = 0;
   while (next < tasks.size()) {
@@ -69,9 +96,8 @@ ExecutionReport run_set_synchronized(sim::Simulation& sim,
       const int node = static_cast<int>(i - next);
       const double start = set_start;
       const double end = start + options.startup_cost_s + task.duration_s;
-      const bool fits =
-          recorder.record(node, start - t0, end - t0, task.id);
       const bool failed = options.fails && options.fails(task, node);
+      const bool fits = recorder.record(node, start, end, task.id, failed);
       if (!fits) {
         recorder.report.killed.push_back(task.id);
       } else if (failed) {
@@ -99,8 +125,8 @@ ExecutionReport run_pilot(sim::Simulation& sim,
                           const std::vector<sim::TaskSpec>& tasks,
                           const ExecutionOptions& options) {
   validate(options);
-  Recorder recorder(options);
   const double t0 = sim.now();
+  Recorder recorder(options, t0, "pilot");
 
   // Event-driven greedy list scheduling: every node pulls the next pending
   // task the moment it frees.
@@ -114,8 +140,8 @@ ExecutionReport run_pilot(sim::Simulation& sim,
     ++in_flight;
     const double start = sim.now();
     const double end = start + options.startup_cost_s + task.duration_s;
-    const bool fits = recorder.record(node, start - t0, end - t0, task.id);
     const bool failed = options.fails && options.fails(task, node);
+    const bool fits = recorder.record(node, start, end, task.id, failed);
     if (!fits) {
       recorder.report.killed.push_back(task.id);
       // Node is lost to the walltime; no completion event needed.
@@ -144,24 +170,6 @@ ExecutionReport run_pilot(sim::Simulation& sim,
   }
   recorder.finalize();
   return recorder.report;
-}
-
-std::string ExecutionReport::render_timeline(size_t columns) const {
-  if (columns == 0 || makespan_s <= 0) return "";
-  std::string out;
-  const double bucket = makespan_s / static_cast<double>(columns);
-  for (size_t node = 0; node < node_timeline.size(); ++node) {
-    out += "node " + pad_left(std::to_string(node), 3) + " |";
-    std::string row(columns, '.');
-    for (const Interval& interval : node_timeline[node]) {
-      const auto first = static_cast<size_t>(interval.start / bucket);
-      auto last = static_cast<size_t>(std::ceil(interval.end / bucket));
-      last = std::min(last, columns);
-      for (size_t c = first; c < last; ++c) row[c] = '#';
-    }
-    out += row + "|\n";
-  }
-  return out;
 }
 
 }  // namespace ff::savanna

@@ -50,9 +50,9 @@ struct ExecutionReport {
                                        : 0.0;
   }
 
-  /// ASCII Gantt chart: one row per node, '#' busy, '.' idle, `columns`
-  /// buckets across the makespan. The visual analogue of Fig. 6.
-  std::string render_timeline(size_t columns = 72) const;
+  // The ASCII Gantt rendering lives in savanna/timeline.hpp
+  // (render_timeline), which also rebuilds timelines from the structured
+  // trace stream — the executors emit savanna.job.* events for that.
 };
 
 /// The *original* iRF-LOOP workflow of Section V-D: runs are submitted in

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ff::savanna {
@@ -10,19 +11,26 @@ namespace ff::savanna {
 LocalReport run_local(const std::vector<LocalTask>& tasks, size_t workers) {
   LocalReport report;
   std::mutex mutex;
+  obs::Span batch("savanna", "savanna.local.batch",
+                  {{"tasks", tasks.size()}, {"workers", workers}});
   const auto start = std::chrono::steady_clock::now();
   {
     ThreadPool pool(workers);
     for (const LocalTask& task : tasks) {
       pool.submit([&task, &report, &mutex] {
+        obs::Span span("savanna", "savanna.local.task", {{"run", task.id}});
         try {
           task.work();
           std::lock_guard lock(mutex);
           report.completed.push_back(task.id);
         } catch (const std::exception& e) {
+          obs::trace_instant("savanna", "savanna.local.task.fail",
+                             {{"run", task.id}, {"error", e.what()}});
           std::lock_guard lock(mutex);
           report.failed.emplace_back(task.id, e.what());
         } catch (...) {
+          obs::trace_instant("savanna", "savanna.local.task.fail",
+                             {{"run", task.id}, {"error", "unknown error"}});
           std::lock_guard lock(mutex);
           report.failed.emplace_back(task.id, "unknown error");
         }

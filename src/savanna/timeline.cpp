@@ -1,0 +1,102 @@
+#include "savanna/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::savanna {
+
+namespace {
+
+const obs::Arg* find_arg(const obs::TraceEvent& event, const char* key) {
+  for (size_t i = 0; i < event.arg_count; ++i) {
+    if (std::strcmp(event.args[i].key, key) == 0) return &event.args[i];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TraceTimeline timeline_from_trace(const std::vector<obs::TraceEvent>& events,
+                                  double origin_s) {
+  TraceTimeline timeline;
+  struct Open {
+    double start = 0;
+    int node = -1;
+  };
+  // A run id can recur across allocations (retries), but never overlaps
+  // itself, so one open slot per id suffices.
+  std::map<std::string, Open> open;
+
+  for (const obs::TraceEvent& event : events) {
+    if (std::strcmp(event.category, "savanna") != 0) continue;
+    const bool is_start = std::strcmp(event.name, "savanna.job.start") == 0;
+    const bool is_end = std::strcmp(event.name, "savanna.job.end") == 0;
+    if (!is_start && !is_end) continue;
+    const obs::Arg* run = find_arg(event, "run");
+    const obs::Arg* node = find_arg(event, "node");
+    if (!run || !node || run->type != obs::Arg::Type::Str ||
+        node->type != obs::Arg::Type::Int) {
+      throw ValidationError("timeline_from_trace: malformed savanna.job event");
+    }
+    if (is_start) {
+      ++timeline.started;
+      open[run->str_value] =
+          Open{event.ts_s - origin_s, static_cast<int>(node->int_value)};
+      continue;
+    }
+    auto it = open.find(run->str_value);
+    if (it == open.end()) {
+      throw ValidationError("timeline_from_trace: end without start for run '" +
+                            run->str_value + "'");
+    }
+    const Open started = it->second;
+    open.erase(it);
+    const double end = event.ts_s - origin_s;
+    const size_t node_index = static_cast<size_t>(started.node);
+    if (timeline.node_timeline.size() <= node_index) {
+      timeline.node_timeline.resize(node_index + 1);
+    }
+    timeline.node_timeline[node_index].push_back(
+        Interval{started.start, end, run->str_value});
+    timeline.busy_node_seconds += end - started.start;
+    timeline.makespan_s = std::max(timeline.makespan_s, end);
+    if (const obs::Arg* outcome = find_arg(event, "outcome")) {
+      if (outcome->str_value == "done") ++timeline.done;
+      else if (outcome->str_value == "failed") ++timeline.failed;
+      else if (outcome->str_value == "killed") ++timeline.killed;
+    }
+  }
+  if (!open.empty()) {
+    throw ValidationError("timeline_from_trace: " +
+                          std::to_string(open.size()) +
+                          " job(s) started but never ended");
+  }
+  return timeline;
+}
+
+std::string render_timeline(
+    const std::vector<std::vector<Interval>>& node_timeline, double makespan_s,
+    size_t columns) {
+  if (columns == 0 || makespan_s <= 0) return "";
+  std::string out;
+  const double bucket = makespan_s / static_cast<double>(columns);
+  for (size_t node = 0; node < node_timeline.size(); ++node) {
+    out += "node " + pad_left(std::to_string(node), 3) + " |";
+    std::string row(columns, '.');
+    for (const Interval& interval : node_timeline[node]) {
+      const auto first = static_cast<size_t>(interval.start / bucket);
+      auto last = static_cast<size_t>(std::ceil(interval.end / bucket));
+      last = std::min(last, columns);
+      for (size_t c = first; c < last; ++c) row[c] = '#';
+    }
+    out += row + "|\n";
+  }
+  return out;
+}
+
+}  // namespace ff::savanna

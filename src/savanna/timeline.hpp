@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "savanna/executor.hpp"
+
+namespace ff::savanna {
+
+/// Node-occupancy reconstruction from the structured trace stream — the
+/// Fig. 6 timelines built from `savanna.job.start` / `savanna.job.end`
+/// events instead of executor-private bookkeeping. Any trace consumer
+/// (benches, external tools reading the JSONL export) can recover exactly
+/// what the executor saw, which is the point of the machine-actionable
+/// provenance layer.
+struct TraceTimeline {
+  std::vector<std::vector<Interval>> node_timeline;  // [node] -> intervals
+  double makespan_s = 0;           // latest job end observed
+  double busy_node_seconds = 0;    // sum of interval lengths
+  size_t started = 0;
+  size_t done = 0;
+  size_t failed = 0;
+  size_t killed = 0;
+
+  /// Utilization against `nodes * makespan` (the Fig. 6 denominator for an
+  /// allocation that runs to completion).
+  double utilization() const {
+    const double total = makespan_s * static_cast<double>(node_timeline.size());
+    return total > 0 ? busy_node_seconds / total : 0.0;
+  }
+};
+
+/// Pair up savanna.job.start/end events (matching on run id) into per-node
+/// busy intervals. Events from other categories/names are ignored, so a
+/// flush() of a whole mixed-subsystem trace works as input. Timestamps are
+/// kept as emitted (absolute virtual time); pass the allocation's t0 as
+/// `origin_s` to rebase (the executors start fresh Simulations at 0 in the
+/// benches, so the default is usually right).
+TraceTimeline timeline_from_trace(const std::vector<obs::TraceEvent>& events,
+                                  double origin_s = 0);
+
+/// ASCII Gantt chart: one row per node, '#' busy, '.' idle, `columns`
+/// buckets across the makespan. The visual analogue of Fig. 6; shared by
+/// the trace-driven bench and the ExecutionReport-based tests.
+std::string render_timeline(
+    const std::vector<std::vector<Interval>>& node_timeline, double makespan_s,
+    size_t columns = 72);
+
+}  // namespace ff::savanna

@@ -1,8 +1,26 @@
 #include "savanna/tracker.hpp"
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ff::savanna {
+
+namespace {
+
+/// The tracker is the ComponentRecords tier made concrete, so its state
+/// transitions are themselves trace events: one savanna.run.state per
+/// mark_* call, at the transition's virtual time.
+void trace_state(const std::string& run_id, const char* state, double time,
+                 int node, size_t attempt) {
+  if (!obs::tracing_enabled()) return;
+  obs::trace_instant_at(time, "savanna", "savanna.run.state",
+                        {{"run", run_id},
+                         {"state", state},
+                         {"node", node},
+                         {"attempt", attempt}});
+}
+
+}  // namespace
 
 void RunTracker::add_run(const std::string& run_id) {
   if (!runs_.emplace(run_id, RunRecord{}).second) {
@@ -34,6 +52,7 @@ void RunTracker::mark_started(const std::string& run_id, double time, int node) 
   run.events.push_back(EventRecord{"start", time, node, ""});
   run.last_state = "running";
   ++run.attempts;
+  trace_state(run_id, "start", time, node, run.attempts - 1);
 }
 
 void RunTracker::mark_done(const std::string& run_id, double time) {
@@ -43,6 +62,7 @@ void RunTracker::mark_done(const std::string& run_id, double time) {
   }
   run.events.push_back(EventRecord{"done", time, -1, ""});
   run.last_state = "done";
+  trace_state(run_id, "done", time, -1, run.attempts - 1);
 }
 
 void RunTracker::mark_failed(const std::string& run_id, double time,
@@ -53,6 +73,7 @@ void RunTracker::mark_failed(const std::string& run_id, double time,
   }
   run.events.push_back(EventRecord{"failed", time, -1, reason});
   run.last_state = "failed";
+  trace_state(run_id, "failed", time, -1, run.attempts - 1);
 }
 
 void RunTracker::mark_killed(const std::string& run_id, double time) {
@@ -62,6 +83,7 @@ void RunTracker::mark_killed(const std::string& run_id, double time) {
   }
   run.events.push_back(EventRecord{"killed", time, -1, "walltime"});
   run.last_state = "killed";
+  trace_state(run_id, "killed", time, -1, run.attempts - 1);
 }
 
 std::vector<std::string> RunTracker::needing_rerun() const {

@@ -1,5 +1,6 @@
 #include "stream/scheduler.hpp"
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ff::stream {
@@ -13,12 +14,14 @@ void DataScheduler::install_queue(const std::string& queue,
   VirtualQueue entry;
   entry.policy = std::move(policy);
   queues_.emplace(queue, std::move(entry));
+  obs::trace_instant("stream", "stream.queue.install", {{"queue", queue}});
 }
 
 void DataScheduler::remove_queue(const std::string& queue) {
   if (queues_.erase(queue) == 0) {
     throw NotFoundError("remove_queue: no queue '" + queue + "'");
   }
+  obs::trace_instant("stream", "stream.queue.remove", {{"queue", queue}});
 }
 
 bool DataScheduler::has_queue(const std::string& queue) const noexcept {
@@ -46,6 +49,8 @@ const DataScheduler::VirtualQueue& DataScheduler::require(
 
 void DataScheduler::set_active(const std::string& queue, bool active) {
   require(queue).active = active;
+  obs::trace_instant("stream", "stream.queue.active",
+                     {{"queue", queue}, {"active", active}});
 }
 
 bool DataScheduler::is_active(const std::string& queue) const {
@@ -60,6 +65,10 @@ void DataScheduler::subscribe(Consumer consumer) {
 void DataScheduler::deliver(const std::string& queue, VirtualQueue& entry,
                             std::vector<Record> released) {
   entry.stats.releases += released.size();
+  if (!released.empty()) {
+    obs::trace_instant("stream", "stream.release",
+                       {{"queue", queue}, {"count", released.size()}});
+  }
   for (const Record& record : released) {
     for (const Consumer& consumer : consumers_) consumer(queue, record);
   }
@@ -70,15 +79,24 @@ void DataScheduler::publish(const Record& record) {
     if (!entry.active) continue;
     ++entry.stats.arrivals;
     deliver(name, entry, entry.policy->on_item(record));
+    if (obs::tracing_enabled()) {
+      // Backlog = records the policy is still holding (arrived, unreleased).
+      obs::trace_counter(
+          "stream", "stream.queue.backlog",
+          static_cast<double>(entry.stats.arrivals - entry.stats.releases),
+          {{"queue", name}});
+    }
   }
 }
 
 void DataScheduler::control(const std::string& queue, const Json& argument) {
   VirtualQueue& entry = require(queue);
+  obs::trace_instant("stream", "stream.control", {{"queue", queue}});
   deliver(queue, entry, entry.policy->on_punctuation(argument));
 }
 
 void DataScheduler::punctuate(const Json& argument) {
+  obs::trace_instant("stream", "stream.punctuate");
   for (auto& [name, entry] : queues_) {
     if (!entry.active) continue;
     deliver(name, entry, entry.policy->on_punctuation(argument));
@@ -136,6 +154,8 @@ void PolicyFactory::handle_install(DataScheduler& scheduler,
   const std::string queue = install["queue"].as_string();
   const std::string kind = install["kind"].as_string();
   const Json args = install.contains("args") ? install["args"] : Json::object();
+  obs::trace_instant("stream", "stream.policy.install",
+                     {{"queue", queue}, {"kind", kind}});
   scheduler.install_queue(queue, build(kind, args));
 }
 

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace ff {
 
 ThreadPool::ThreadPool(size_t workers) {
@@ -25,12 +27,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard lock(mutex_);
     if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  obs::trace_counter("pool", "pool.queue_depth", static_cast<double>(depth));
 }
 
 std::function<void()> ThreadPool::take_locked(bool newest_first) {
@@ -43,6 +48,18 @@ std::function<void()> ThreadPool::take_locked(bool newest_first) {
     queue_.pop_front();
   }
   ++active_;
+  if (obs::tracing_enabled()) {
+    // The trace buffer mutex is a leaf lock, so emitting under mutex_ is
+    // deadlock-free; the newest-first path is exactly the work-helping one.
+    obs::trace_counter("pool", "pool.queue_depth",
+                       static_cast<double>(queue_.size()));
+    if (newest_first) {
+      obs::trace_counter(
+          "pool", "pool.helped",
+          static_cast<double>(
+              helped_.fetch_add(1, std::memory_order_relaxed) + 1));
+    }
+  }
   return task;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -58,6 +59,13 @@ class ThreadPool {
   /// Block until every queued and running task has finished.
   void wait_idle();
 
+  /// Tasks drained by helping threads (run_one / help_until / a blocked
+  /// parallel_for caller) rather than pool workers, over the pool's life.
+  /// Also published as the `pool.helped` trace counter when tracing is on.
+  uint64_t helped_count() const noexcept {
+    return helped_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
   /// Pop (front=worker FIFO, back=helper LIFO) under an already-held lock.
@@ -71,6 +79,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   size_t active_ = 0;
   bool stopping_ = false;
+  std::atomic<uint64_t> helped_{0};
 };
 
 /// Run fn(i) for i in [begin, end) across the pool; rethrows the first task

@@ -72,6 +72,23 @@ TEST(GaugeProfile, FromJsonAcceptsShorthands) {
   EXPECT_EQ(profile.tier(Gauge::DataSemantics), 0);  // absent stays Unknown
 }
 
+TEST(GaugeProfile, SelfProfileReachesExportableProvenance) {
+  // Dog-fooding: the repo's own profile. The trace layer (src/obs/) is what
+  // lifts Provenance to the top of its ladder, and every gauge carries
+  // evidence naming the artifact that justifies its tier.
+  const GaugeProfile self = fairflow_self_profile();
+  EXPECT_EQ(self.tier(Gauge::SoftwareProvenance),
+            static_cast<uint8_t>(ProvenanceTier::Exportable));
+  EXPECT_NE(self.evidence(Gauge::SoftwareProvenance).find("trace"),
+            std::string::npos);
+  for (Gauge gauge : kAllGauges) {
+    EXPECT_GE(self.tier(gauge), 2) << gauge_name(gauge);
+    EXPECT_FALSE(self.evidence(gauge).empty()) << gauge_name(gauge);
+  }
+  // Round-trips through JSON like any other profile.
+  EXPECT_EQ(GaugeProfile::from_json(self.to_json()), self);
+}
+
 TEST(GaugeProfile, RenderMentionsEveryGauge) {
   const std::string text = make_profile(1, 1, 1, 1, 1, 1).render();
   for (Gauge gauge : kAllGauges) {

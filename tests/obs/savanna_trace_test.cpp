@@ -1,0 +1,154 @@
+// Integration: the Savanna campaign runner's trace stream is a faithful,
+// machine-actionable record of the job lifecycle — including retries —
+// and reconstructs exactly the node timelines the executor reported.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "savanna/campaign_runner.hpp"
+#include "savanna/timeline.hpp"
+#include "util/error.hpp"
+
+namespace ff::savanna {
+namespace {
+
+std::vector<sim::TaskSpec> tasks_with_durations(
+    const std::vector<double>& durations) {
+  std::vector<sim::TaskSpec> tasks;
+  for (size_t i = 0; i < durations.size(); ++i) {
+    sim::TaskSpec task;
+    task.id = "t" + std::to_string(i);
+    task.duration_s = durations[i];
+    task.feature_index = static_cast<int>(i);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+const obs::Arg* find_arg(const obs::TraceEvent& event, const char* key) {
+  for (size_t i = 0; i < event.arg_count; ++i) {
+    if (std::strcmp(event.args[i].key, key) == 0) return &event.args[i];
+  }
+  return nullptr;
+}
+
+class SavannaTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceRecorder::instance().set_ring_capacity(8192);
+    obs::TraceRecorder::instance().clear();
+    obs::set_tracing(true);
+  }
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::TraceRecorder::instance().clear();
+  }
+};
+
+TEST_F(SavannaTraceTest, RetriedJobEmitsFullLifecycleSequence) {
+  // t1 fails its first attempt, so the campaign needs a second allocation.
+  CampaignRunOptions options;
+  options.execution.nodes = 2;
+  int t1_attempts = 0;
+  options.execution.fails = [&](const sim::TaskSpec& task, int) {
+    return task.id == "t1" && t1_attempts++ == 0;
+  };
+  RunTracker tracker;
+  sim::Simulation sim;
+  const auto result = run_with_resubmission(
+      sim, tasks_with_durations({10, 20, 10, 10}), options, &tracker);
+  ASSERT_EQ(result.allocations_used, 2u);
+  ASSERT_EQ(result.completed_runs, 4u);
+
+  // Project the trace onto run t1: the exact lifecycle, in order.
+  std::vector<std::string> lifecycle;
+  for (const auto& event : obs::TraceRecorder::instance().flush()) {
+    const obs::Arg* run = find_arg(event, "run");
+    if (!run || run->str_value != "t1") continue;
+    std::string step = event.name;
+    if (std::strcmp(event.name, "savanna.job.submit") == 0 ||
+        std::strcmp(event.name, "savanna.job.retry") == 0) {
+      step += "@" + std::to_string(find_arg(event, "attempt")->int_value);
+    } else if (std::strcmp(event.name, "savanna.job.end") == 0) {
+      step += ":" + find_arg(event, "outcome")->str_value;
+    } else if (std::strcmp(event.name, "savanna.run.state") == 0) {
+      continue;  // tracker's view, asserted separately below
+    }
+    lifecycle.push_back(step);
+  }
+  const std::vector<std::string> expected = {
+      "savanna.job.submit@0", "savanna.job.start", "savanna.job.end:failed",
+      "savanna.job.retry@1",  "savanna.job.submit@1",
+      "savanna.job.start",    "savanna.job.end:done",
+  };
+  EXPECT_EQ(lifecycle, expected);
+  EXPECT_EQ(tracker.attempts("t1"), 2u);
+}
+
+TEST_F(SavannaTraceTest, TrackerStateEventsMirrorProvenance) {
+  CampaignRunOptions options;
+  options.execution.nodes = 1;
+  RunTracker tracker;
+  sim::Simulation sim;
+  run_with_resubmission(sim, tasks_with_durations({5, 5}), options, &tracker);
+
+  size_t started = 0;
+  size_t done = 0;
+  for (const auto& event : obs::TraceRecorder::instance().flush()) {
+    if (std::strcmp(event.name, "savanna.run.state") != 0) continue;
+    const obs::Arg* state = find_arg(event, "state");
+    ASSERT_NE(state, nullptr);
+    EXPECT_EQ(event.clock, obs::ClockDomain::Virtual);
+    if (state->str_value == "start") ++started;
+    if (state->str_value == "done") ++done;
+  }
+  EXPECT_EQ(started, 2u);
+  EXPECT_EQ(done, 2u);
+}
+
+TEST_F(SavannaTraceTest, TraceTimelineMatchesExecutionReport) {
+  // The reconstruction from savanna.job.* events must agree with the
+  // executor's own report — same intervals, same makespan, same busy time.
+  const auto tasks = sim::make_ensemble(40, sim::DurationModel{}, 17);
+  ExecutionOptions options;
+  options.nodes = 5;
+  sim::Simulation sim;
+  const auto report = run_pilot(sim, tasks, options);
+  const auto timeline =
+      timeline_from_trace(obs::TraceRecorder::instance().flush());
+
+  EXPECT_DOUBLE_EQ(timeline.makespan_s, report.makespan_s);
+  EXPECT_NEAR(timeline.busy_node_seconds, report.busy_node_seconds, 1e-9);
+  EXPECT_EQ(timeline.started, tasks.size());
+  EXPECT_EQ(timeline.done, report.completed.size());
+  ASSERT_EQ(timeline.node_timeline.size(), report.node_timeline.size());
+  for (size_t node = 0; node < report.node_timeline.size(); ++node) {
+    const auto& expected = report.node_timeline[node];
+    const auto& actual = timeline.node_timeline[node];
+    ASSERT_EQ(actual.size(), expected.size()) << "node " << node;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(actual[i].start, expected[i].start);
+      EXPECT_DOUBLE_EQ(actual[i].end, expected[i].end);
+      EXPECT_EQ(actual[i].run_id, expected[i].run_id);
+    }
+  }
+}
+
+TEST_F(SavannaTraceTest, MalformedStreamsAreRejected) {
+  std::vector<obs::TraceEvent> events(1);
+  events[0].category = "savanna";
+  events[0].name = "savanna.job.end";
+  events[0].arg_count = 2;
+  events[0].args[0] = obs::Arg("run", "ghost");
+  events[0].args[1] = obs::Arg("node", 0);
+  EXPECT_THROW(timeline_from_trace(events), ValidationError);
+
+  events[0].name = "savanna.job.start";
+  EXPECT_THROW(timeline_from_trace(events), ValidationError);  // never ends
+}
+
+}  // namespace
+}  // namespace ff::savanna

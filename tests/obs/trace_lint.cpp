@@ -1,0 +1,146 @@
+// trace_lint: the executable behind the `trace_lint` ctest. Runs the
+// quickstart provenance tour, then validates every emitted event against
+// docs/trace_schema.md — the schema doc is a *contract*, so an event name
+// or argument key that is emitted but not documented fails the build's
+// test suite (and so does a malformed envelope).
+//
+//   trace_lint <quickstart-binary> <out.jsonl> <trace_schema.md>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void fail(const std::string& message) {
+  std::fprintf(stderr, "trace_lint: %s\n", message.c_str());
+  ++g_failures;
+}
+
+/// Every `backticked` token in the markdown doc. Event names and argument
+/// keys must each appear as one to count as documented.
+std::set<std::string> backticked_tokens(const std::string& text) {
+  std::set<std::string> tokens;
+  size_t pos = 0;
+  while ((pos = text.find('`', pos)) != std::string::npos) {
+    const size_t end = text.find('`', pos + 1);
+    if (end == std::string::npos) break;
+    tokens.insert(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return tokens;
+}
+
+bool has_string(const ff::Json& object, const char* key) {
+  return object.contains(key) && object[key].is_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: trace_lint <quickstart> <out.jsonl> <schema.md>\n");
+    return 2;
+  }
+  const std::string quickstart = argv[1];
+  const std::string jsonl_path = argv[2];
+  const std::string schema_path = argv[3];
+
+  const std::string command =
+      "\"" + quickstart + "\" --trace \"" + jsonl_path + "\"";
+  if (std::system(command.c_str()) != 0) {
+    fail("quickstart --trace failed: " + command);
+    return 1;
+  }
+
+  const std::set<std::string> documented =
+      backticked_tokens(ff::read_file(schema_path));
+  const std::set<std::string> valid_clocks = {"wall", "virtual"};
+  const std::set<std::string> valid_kinds = {"begin", "end", "instant",
+                                             "counter"};
+
+  std::istringstream lines(ff::read_file(jsonl_path));
+  std::string line;
+  size_t count = 0;
+  int64_t last_seq = -1;
+  std::set<std::string> names_seen;
+  std::set<std::string> undocumented;
+
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++count;
+    ff::Json event;
+    try {
+      event = ff::Json::parse(line);
+    } catch (const std::exception& error) {
+      fail("line " + std::to_string(count) + ": not JSON (" + error.what() +
+           ")");
+      continue;
+    }
+    if (!event.is_object()) {
+      fail("line " + std::to_string(count) + ": not an object");
+      continue;
+    }
+
+    // Envelope: exactly the fields the schema doc promises.
+    if (!event.contains("seq") || !event["seq"].is_int() ||
+        !event.contains("ts") || !event["ts"].is_number() ||
+        !has_string(event, "clock") || !has_string(event, "kind") ||
+        !has_string(event, "cat") || !has_string(event, "name") ||
+        !event.contains("tid") || !event["tid"].is_int() ||
+        !event.contains("args") || !event["args"].is_object()) {
+      fail("line " + std::to_string(count) + ": bad envelope: " + line);
+      continue;
+    }
+    if (event["seq"].as_int() <= last_seq) {
+      fail("line " + std::to_string(count) + ": seq not increasing");
+    }
+    last_seq = event["seq"].as_int();
+    if (!valid_clocks.count(event["clock"].as_string())) {
+      fail("line " + std::to_string(count) + ": unknown clock '" +
+           event["clock"].as_string() + "'");
+    }
+    const std::string kind = event["kind"].as_string();
+    if (!valid_kinds.count(kind)) {
+      fail("line " + std::to_string(count) + ": unknown kind '" + kind + "'");
+    }
+
+    const std::string name = event["name"].as_string();
+    names_seen.insert(name);
+    if (!documented.count(name) && undocumented.insert(name).second) {
+      fail("event `" + name + "` is emitted but not documented in " +
+           schema_path);
+    }
+    for (const auto& [key, value] : event["args"].as_object()) {
+      (void)value;
+      if (!documented.count(key)) {
+        const std::string qualified = name + "/" + key;
+        if (undocumented.insert(qualified).second) {
+          fail("argument `" + key + "` of `" + name +
+               "` is not documented in " + schema_path);
+        }
+      }
+    }
+    if (kind == "counter" && !event["args"].contains("value")) {
+      fail("line " + std::to_string(count) + ": counter without `value` arg");
+    }
+  }
+
+  if (count == 0) fail("no events in " + jsonl_path);
+  if (g_failures > 0) {
+    std::fprintf(stderr, "trace_lint: %d failure(s) over %zu events\n",
+                 g_failures, count);
+    return 1;
+  }
+  std::printf("trace_lint: %zu events, %zu distinct names, all documented\n",
+              count, names_seen.size());
+  return 0;
+}

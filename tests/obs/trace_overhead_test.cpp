@@ -1,0 +1,69 @@
+// Smoke bounds on the tracing hot paths. These are deliberately generous
+// (an order of magnitude above what a healthy build measures) so they only
+// fire on a real regression — the precise numbers live in EXPERIMENTS.md,
+// measured by bench/micro_bench.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+
+#include "obs/trace.hpp"
+
+namespace ff::obs {
+namespace {
+
+// Sanitizers (FF_SANITIZE=thread|address) slow every memory access ~10x,
+// which breaks wall-clock budgets without saying anything about the code.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr double kSlowdown = 20.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kSlowdown = 20.0;
+#else
+constexpr double kSlowdown = 1.0;
+#endif
+#else
+constexpr double kSlowdown = 1.0;
+#endif
+
+double ns_per_call(int iterations, const std::function<void(int)>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) body(i);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         iterations;
+}
+
+TEST(TraceOverhead, DisabledPathIsBranchCheap) {
+  set_tracing(false);
+  TraceRecorder::instance().clear();
+  // Warm up, then measure: a disabled instant is one relaxed atomic load
+  // and a branch. Budget 200 ns/call — two orders above the measured cost
+  // on any machine this runs on, but far below an accidental mutex or
+  // allocation sneaking into the gate.
+  ns_per_call(10000, [](int i) { trace_instant("bench", "b.off", {{"i", i}}); });
+  const double ns =
+      ns_per_call(200000, [](int i) { trace_instant("bench", "b.off", {{"i", i}}); });
+  EXPECT_LT(ns, 200.0 * kSlowdown);
+  EXPECT_TRUE(TraceRecorder::instance().flush().empty());
+}
+
+TEST(TraceOverhead, EnabledEmitStaysMicrosecondScale) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_ring_capacity(1 << 15);
+  recorder.clear();
+  set_tracing(true);
+  ns_per_call(10000, [](int i) { trace_instant("bench", "b.on", {{"i", i}}); });
+  recorder.clear();
+  // One emit = uncontended lock + ring write + relaxed seq increment.
+  // Budget 5 µs/call: roomy enough for CI noise, tight enough to catch an
+  // accidental flush or allocation per event.
+  const double ns =
+      ns_per_call(20000, [](int i) { trace_instant("bench", "b.on", {{"i", i}}); });
+  EXPECT_LT(ns, 5000.0 * kSlowdown);
+  set_tracing(false);
+  recorder.clear();
+}
+
+}  // namespace
+}  // namespace ff::obs

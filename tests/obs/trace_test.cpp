@@ -1,0 +1,268 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "util/json.hpp"
+
+namespace ff::obs {
+namespace {
+
+/// Every test owns the process-global recorder for its duration.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing(false);
+    TraceRecorder::instance().set_ring_capacity(8192);
+    TraceRecorder::instance().clear();
+  }
+  void TearDown() override {
+    set_tracing(false);
+    TraceRecorder::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  trace_instant("test", "test.instant");
+  trace_counter("test", "test.counter", 1.0);
+  { Span span("test", "test.span"); }
+  EXPECT_TRUE(TraceRecorder::instance().flush().empty());
+}
+
+TEST_F(TraceTest, SpanNestingProducesBalancedBeginEnd) {
+  set_tracing(true);
+  {
+    Span outer("test", "test.outer", {{"depth", 0}});
+    {
+      Span inner("test", "test.inner", {{"depth", 1}});
+      trace_instant("test", "test.leaf");
+    }
+  }
+  const auto events = TraceRecorder::instance().flush();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, EventKind::Begin);
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[1].kind, EventKind::Begin);
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[2].kind, EventKind::Instant);
+  EXPECT_EQ(events[3].kind, EventKind::End);
+  EXPECT_STREQ(events[3].name, "test.inner");
+  EXPECT_EQ(events[4].kind, EventKind::End);
+  EXPECT_STREQ(events[4].name, "test.outer");
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);   // emission order
+    EXPECT_GE(events[i].ts_s, events[i - 1].ts_s); // monotone wall clock
+  }
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableStillCloses) {
+  set_tracing(true);
+  {
+    Span span("test", "test.span");
+    set_tracing(false);  // e.g. a tool stopping capture mid-flight
+  }
+  const auto events = TraceRecorder::instance().flush();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::Begin);
+  EXPECT_EQ(events[1].kind, EventKind::End);
+}
+
+TEST_F(TraceTest, ArgsCarryTypedValues) {
+  set_tracing(true);
+  trace_instant("test", "test.args",
+                {{"count", 42}, {"ratio", 0.5}, {"id", "run-7"}});
+  trace_counter("test", "test.gauge", 3.25, {{"queue", "q0"}});
+  const auto events = TraceRecorder::instance().flush();
+  ASSERT_EQ(events.size(), 2u);
+
+  const TraceEvent& instant = events[0];
+  ASSERT_EQ(instant.arg_count, 3u);
+  EXPECT_EQ(instant.args[0].type, Arg::Type::Int);
+  EXPECT_EQ(instant.args[0].int_value, 42);
+  EXPECT_EQ(instant.args[1].type, Arg::Type::Float);
+  EXPECT_DOUBLE_EQ(instant.args[1].float_value, 0.5);
+  EXPECT_EQ(instant.args[2].type, Arg::Type::Str);
+  EXPECT_EQ(instant.args[2].str_value, "run-7");
+
+  const TraceEvent& counter = events[1];
+  EXPECT_EQ(counter.kind, EventKind::Counter);
+  ASSERT_EQ(counter.arg_count, 2u);
+  EXPECT_STREQ(counter.args[0].key, "value");
+  EXPECT_DOUBLE_EQ(counter.args[0].float_value, 3.25);
+  EXPECT_EQ(counter.args[1].str_value, "q0");
+}
+
+TEST_F(TraceTest, VirtualClockEventsKeepExplicitTimestamps) {
+  set_tracing(true);
+  trace_instant_at(120.0, "test", "test.virtual", {{"step", 1}});
+  trace_counter_at(240.0, "test", "test.virtual.gauge", 7.0);
+  const auto events = TraceRecorder::instance().flush();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].clock, ClockDomain::Virtual);
+  EXPECT_DOUBLE_EQ(events[0].ts_s, 120.0);
+  EXPECT_EQ(events[1].clock, ClockDomain::Virtual);
+  EXPECT_DOUBLE_EQ(events[1].ts_s, 240.0);
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_ring_capacity(16);
+  set_tracing(true);
+  for (int i = 0; i < 100; ++i) {
+    trace_instant("test", "test.flood", {{"i", i}});
+  }
+  const auto events = recorder.flush();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(recorder.dropped(), 84u);
+  // The survivors are the newest 16, still in emission order.
+  EXPECT_EQ(events.front().args[0].int_value, 84);
+  EXPECT_EQ(events.back().args[0].int_value, 99);
+  recorder.clear();
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST_F(TraceTest, ThreadsInterleaveWithDistinctTidsAndGlobalOrder) {
+  set_tracing(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span span("test", "test.worker", {{"worker", t}, {"i", i}});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto events = TraceRecorder::instance().flush();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread * 2));
+  // flush() returns global emission order.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+  // Each worker's events carry one consistent recorder thread index, and
+  // per thread the Begin/End stream is perfectly balanced and in order.
+  std::map<int64_t, uint32_t> tid_of_worker;
+  std::map<uint32_t, int> open_spans;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::Begin) {
+      const int64_t worker = event.args[0].int_value;
+      auto [it, inserted] = tid_of_worker.emplace(worker, event.thread);
+      EXPECT_EQ(it->second, event.thread);
+      ++open_spans[event.thread];
+    } else {
+      --open_spans[event.thread];
+      EXPECT_GE(open_spans[event.thread], 0);
+    }
+  }
+  EXPECT_EQ(tid_of_worker.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, open] : open_spans) EXPECT_EQ(open, 0);
+}
+
+TEST_F(TraceTest, JsonlRoundTripPreservesEveryField) {
+  set_tracing(true);
+  {
+    Span span("roundtrip", "rt.span", {{"n", 3}, {"x", 1.5}, {"s", "abc"}});
+    trace_instant_at(42.0, "roundtrip", "rt.virtual", {{"esc", "a\"b\\c\n"}});
+    trace_counter("roundtrip", "rt.counter", 2.0, {{"k", "v"}});
+  }
+  const auto events = TraceRecorder::instance().flush();
+  const std::string jsonl = to_jsonl(events);
+
+  std::istringstream lines(jsonl);
+  std::string line;
+  size_t index = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(index, events.size());
+    const TraceEvent& event = events[index];
+    const Json parsed = Json::parse(line);
+    ASSERT_TRUE(parsed.is_object()) << line;
+    EXPECT_EQ(parsed["seq"].as_int(), static_cast<int64_t>(event.seq));
+    // ts is serialized with 9 significant digits, not full precision.
+    EXPECT_NEAR(parsed["ts"].as_double(), event.ts_s,
+                1e-9 + 1e-8 * std::abs(event.ts_s));
+    EXPECT_EQ(parsed["clock"].as_string(),
+              event.clock == ClockDomain::Wall ? "wall" : "virtual");
+    EXPECT_EQ(parsed["cat"].as_string(), event.category);
+    EXPECT_EQ(parsed["name"].as_string(), event.name);
+    EXPECT_EQ(parsed["tid"].as_int(), static_cast<int64_t>(event.thread));
+    ASSERT_TRUE(parsed["args"].is_object());
+    EXPECT_EQ(parsed["args"].as_object().size(), event.arg_count);
+    for (size_t a = 0; a < event.arg_count; ++a) {
+      const Arg& arg = event.args[a];
+      const Json& value = parsed["args"][arg.key];
+      switch (arg.type) {
+        case Arg::Type::Int:
+          EXPECT_EQ(value.as_int(), arg.int_value);
+          break;
+        case Arg::Type::Float:
+          EXPECT_DOUBLE_EQ(value.as_double(), arg.float_value);
+          break;
+        case Arg::Type::Str:
+          EXPECT_EQ(value.as_string(), arg.str_value);
+          break;
+      }
+    }
+    ++index;
+  }
+  EXPECT_EQ(index, events.size());
+}
+
+TEST_F(TraceTest, ChromeTraceIsValidJsonWithClockProcesses) {
+  set_tracing(true);
+  {
+    Span span("chrome", "c.span", {{"n", 1}});
+    trace_instant("chrome", "c.instant");
+    trace_counter("chrome", "c.counter", 5.0);
+    trace_instant_at(10.0, "chrome", "c.virtual");
+  }
+  const auto events = TraceRecorder::instance().flush();
+  const Json parsed = Json::parse(to_chrome_trace(events));
+  ASSERT_TRUE(parsed.is_array());
+  const auto& array = parsed.as_array();
+  // Two process_name metadata events label the clock domains.
+  ASSERT_GE(array.size(), 2u);
+  EXPECT_EQ(array[0]["ph"].as_string(), "M");
+  EXPECT_EQ(array[1]["ph"].as_string(), "M");
+
+  std::map<std::string, int> phases;
+  for (size_t i = 2; i < array.size(); ++i) {
+    const Json& entry = array[i];
+    phases[entry["ph"].as_string()]++;
+    if (entry["ph"].as_string() == "i") {
+      EXPECT_EQ(entry["s"].as_string(), "t");
+    }
+    // Wall events on pid 1, virtual on pid 2.
+    EXPECT_EQ(entry["pid"].as_int(),
+              entry["name"].as_string() == "c.virtual" ? 2 : 1);
+  }
+  EXPECT_EQ(phases["B"], 1);
+  EXPECT_EQ(phases["E"], 1);
+  EXPECT_EQ(phases["i"], 2);
+  EXPECT_EQ(phases["C"], 1);
+}
+
+TEST_F(TraceTest, SetRingCapacityAppliesToAllThreads) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_ring_capacity(4);
+  EXPECT_EQ(recorder.ring_capacity(), 4u);
+  set_tracing(true);
+  std::thread other([] {
+    for (int i = 0; i < 10; ++i) trace_instant("test", "test.other");
+  });
+  other.join();
+  for (int i = 0; i < 10; ++i) trace_instant("test", "test.main");
+  const auto events = recorder.flush();
+  EXPECT_EQ(events.size(), 8u);  // 4 per thread survive
+  EXPECT_GT(recorder.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace ff::obs

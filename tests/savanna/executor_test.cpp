@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "savanna/timeline.hpp"
 #include "util/error.hpp"
 
 namespace ff::savanna {
@@ -164,7 +165,8 @@ TEST(Executors, RenderTimelineShowsBusyAndIdle) {
   options.nodes = 2;
   const auto report =
       run_set_synchronized(sim, tasks_with_durations({10, 100}), options);
-  const std::string text = report.render_timeline(20);
+  const std::string text =
+      render_timeline(report.node_timeline, report.makespan_s, 20);
   EXPECT_NE(text.find("node   0 |"), std::string::npos);
   EXPECT_NE(text.find('#'), std::string::npos);
   EXPECT_NE(text.find('.'), std::string::npos);  // node 0 idles after t=10
