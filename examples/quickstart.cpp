@@ -34,6 +34,7 @@
 #include "savanna/local_executor.hpp"
 #include "stream/scheduler.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace ff::core;
@@ -50,12 +51,16 @@ int provenance_tour(const std::string& jsonl_path,
   recorder.clear();
   obs::set_tracing(true);
 
-  // 1. Savanna campaign with re-submission: run "t1" fails its first
-  //    attempt, so the trace shows the full retry lifecycle
-  //    (submit -> start -> end(failed) -> retry -> submit -> ... -> done).
+  // 1. Savanna campaign with journaled re-submission: the walltime kills
+  //    the long runs (full retry lifecycle: submit -> start -> end(killed)
+  //    -> retry -> ... -> done), "t6" fails every attempt and exhausts its
+  //    retry budget, and the campaign is interrupted after one allocation
+  //    and resumed from its crash-consistent journal — so the trace shows
+  //    the whole savanna.journal.* family (open, commit, replay, resume)
+  //    plus savanna.job.exhausted.
   {
     std::vector<sim::TaskSpec> tasks;
-    for (int i = 0; i < 6; ++i) {
+    for (int i = 0; i < 7; ++i) {
       sim::TaskSpec task;
       task.id = "t" + std::to_string(i);
       task.duration_s = 30 + 10 * i;
@@ -64,13 +69,33 @@ int provenance_tour(const std::string& jsonl_path,
     }
     savanna::CampaignRunOptions options;
     options.execution.nodes = 2;
-    int t1_attempts = 0;
-    options.execution.fails = [&](const sim::TaskSpec& task, int) {
-      return task.id == "t1" && t1_attempts++ == 0;
+    options.execution.walltime_s = 120;  // forces re-submission
+    options.retry.max_attempts = 2;
+    options.retry.base_backoff_s = 5;
+    options.execution.fails = [](const sim::TaskSpec& task, int) {
+      // Keyed off nothing but the task: deterministic across resume.
+      return task.id == "t6";
     };
+    TempDir scratch("quickstart-journal");
+    const std::string journal_path = scratch.file("journal.jsonl");
+
+    // First leg: one allocation, then stop (standing in for a crash —
+    // everything committed to the journal survives). The missing journal
+    // is created here, so the trace gets savanna.journal.open + commit.
+    {
+      savanna::RunTracker tracker;
+      sim::Simulation sim;
+      savanna::CampaignRunOptions first_leg = options;
+      first_leg.max_allocations = 1;
+      savanna::resume_campaign(sim, tasks, first_leg, tracker, journal_path,
+                               "quickstart");
+    }
+
+    // Second leg: replay the journal and finish the campaign.
     savanna::RunTracker tracker;
     sim::Simulation sim;
-    savanna::run_with_resubmission(sim, tasks, options, &tracker);
+    savanna::resume_campaign(sim, tasks, options, tracker, journal_path,
+                             "quickstart");
   }
 
   // 2. Local (non-simulated) executor: one task throws.

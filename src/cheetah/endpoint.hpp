@@ -21,8 +21,14 @@ RunState run_state_from_name(std::string_view name);
 ///   <root>/<campaign>/
 ///     .campaign/manifest.json        full campaign description (interop layer)
 ///     .campaign/status.json          per-run states
+///     .campaign/journal.jsonl        crash-consistent execution journal
+///                                    (savanna::CampaignJournal; may be absent
+///                                    until the campaign first executes)
 ///     <group>/<sweep>/run-NNNN/params.json
 ///     <group>/<sweep>/run-NNNN/run.sh
+///
+/// All metadata writers go through atomic tmp-file + rename, so a crash at
+/// any instant leaves every .campaign/ file either absent or complete.
 ///
 /// The user-facing API is create / status / mark / pending_runs; nothing
 /// else needs to know the schema.
@@ -38,6 +44,11 @@ class CampaignEndpoint {
 
   const std::string& directory() const noexcept { return directory_; }
   Campaign campaign() const;
+
+  /// Where the savanna::CampaignJournal for this campaign lives. The file
+  /// is created lazily by the first journaled execution; resume_campaign
+  /// treats a missing journal as "never started".
+  std::string journal_path() const { return directory_ + "/.campaign/journal.jsonl"; }
 
   /// Directory of one run.
   std::string run_dir(const RunSpec& run) const;

@@ -53,20 +53,7 @@ struct Driver {
             : run_set_synchronized(inner, remaining, options->execution);
 
     if (tracker) {
-      std::map<std::string, double> end_time;
-      for (size_t node = 0; node < exec.node_timeline.size(); ++node) {
-        for (const Interval& interval : exec.node_timeline[node]) {
-          tracker->mark_started(interval.run_id,
-                                allocation.start_time + interval.start,
-                                static_cast<int>(node));
-          end_time[interval.run_id] = allocation.start_time + interval.end;
-        }
-      }
-      for (const auto& id : exec.completed) tracker->mark_done(id, end_time.at(id));
-      for (const auto& id : exec.failed) {
-        tracker->mark_failed(id, end_time.at(id), "injected failure");
-      }
-      for (const auto& id : exec.killed) tracker->mark_killed(id, end_time.at(id));
+      apply_report_to_tracker(*tracker, exec, allocation.start_time);
     }
 
     const std::set<std::string> done(exec.completed.begin(), exec.completed.end());

@@ -1,6 +1,6 @@
 #include "savanna/campaign_runner.hpp"
 
-#include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -9,28 +9,200 @@
 
 namespace ff::savanna {
 
+namespace {
+
+/// Absolute per-run end times implied by the recorded intervals.
+std::map<std::string, double> interval_end_times(const ExecutionReport& report,
+                                                 double allocation_start) {
+  std::map<std::string, double> end_time;
+  for (const auto& node : report.node_timeline) {
+    for (const Interval& interval : node) {
+      end_time[interval.run_id] = allocation_start + interval.end;
+    }
+  }
+  return end_time;
+}
+
+double end_or_fallback(const std::map<std::string, double>& end_time,
+                       const std::string& id, double fallback) {
+  auto it = end_time.find(id);
+  return it == end_time.end() ? fallback : it->second;
+}
+
+/// Terminal give-up, applied identically on the live path and on journal
+/// replay so the combined provenance stays byte-identical.
+void mark_run_exhausted(RunTracker* tracker, const std::string& id, double time,
+                        size_t attempts) {
+  if (tracker) tracker->mark_exhausted(id, time, "retry budget exhausted");
+  if (obs::tracing_enabled()) {
+    obs::trace_instant_at(time, "savanna", "savanna.job.exhausted",
+                          {{"run", id}, {"attempts", attempts}});
+  }
+}
+
+Json ids_to_json(const std::vector<std::string>& ids) {
+  Json out = Json::array();
+  for (const std::string& id : ids) out.push_back(id);
+  return out;
+}
+
+std::vector<std::string> ids_from_json(const Json& record,
+                                       std::string_view key) {
+  std::vector<std::string> out;
+  if (!record.contains(key)) return out;
+  for (const Json& id : record[key].as_array()) out.push_back(id.as_string());
+  return out;
+}
+
+/// The journal stores exactly what apply_report_to_tracker consumes; these
+/// two are inverses modulo the fields the tracker never reads.
+Json report_to_json(const ExecutionReport& report) {
+  Json out = Json::object();
+  out["makespan"] = report.makespan_s;
+  Json intervals = Json::array();
+  for (size_t node = 0; node < report.node_timeline.size(); ++node) {
+    for (const Interval& interval : report.node_timeline[node]) {
+      Json entry = Json::object();
+      entry["run"] = interval.run_id;
+      entry["node"] = static_cast<int64_t>(node);
+      entry["start"] = interval.start;
+      entry["end"] = interval.end;
+      intervals.push_back(std::move(entry));
+    }
+  }
+  out["intervals"] = std::move(intervals);
+  out["completed"] = ids_to_json(report.completed);
+  out["failed"] = ids_to_json(report.failed);
+  out["killed"] = ids_to_json(report.killed);
+  return out;
+}
+
+ExecutionReport report_from_json(const Json& record) {
+  ExecutionReport report;
+  report.makespan_s = record["makespan"].as_double();
+  for (const Json& entry : record["intervals"].as_array()) {
+    const size_t node = static_cast<size_t>(entry["node"].as_int());
+    if (report.node_timeline.size() <= node) {
+      report.node_timeline.resize(node + 1);
+    }
+    Interval interval;
+    interval.run_id = entry["run"].as_string();
+    interval.start = entry["start"].as_double();
+    interval.end = entry["end"].as_double();
+    report.node_timeline[node].push_back(std::move(interval));
+  }
+  report.completed = ids_from_json(record, "completed");
+  report.failed = ids_from_json(record, "failed");
+  report.killed = ids_from_json(record, "killed");
+  return report;
+}
+
+}  // namespace
+
+void apply_report_to_tracker(RunTracker& tracker, const ExecutionReport& report,
+                             double allocation_start) {
+  const double allocation_end = allocation_start + report.makespan_s;
+  std::map<std::string, double> end_time;
+  for (size_t node = 0; node < report.node_timeline.size(); ++node) {
+    for (const Interval& interval : report.node_timeline[node]) {
+      tracker.mark_started(interval.run_id, allocation_start + interval.start,
+                           static_cast<int>(node));
+      end_time[interval.run_id] = allocation_start + interval.end;
+    }
+  }
+  // A run reported terminal without a recorded interval still needs a
+  // start/end pair in the provenance; pin it to the allocation bounds
+  // rather than crashing on a missing end time.
+  auto finish = [&](const std::string& id, auto mark) {
+    auto it = end_time.find(id);
+    if (it == end_time.end()) {
+      tracker.mark_started(id, allocation_start, -1);
+      mark(allocation_end);
+    } else {
+      mark(it->second);
+    }
+  };
+  for (const std::string& id : report.completed) {
+    finish(id, [&](double t) { tracker.mark_done(id, t); });
+  }
+  for (const std::string& id : report.failed) {
+    finish(id, [&](double t) { tracker.mark_failed(id, t, "injected failure"); });
+  }
+  for (const std::string& id : report.killed) {
+    finish(id, [&](double t) { tracker.mark_killed(id, t); });
+  }
+}
+
 CampaignRunResult run_with_resubmission(sim::Simulation& sim,
                                         const std::vector<sim::TaskSpec>& tasks,
                                         const CampaignRunOptions& options,
-                                        RunTracker* tracker) {
+                                        RunTracker* tracker,
+                                        CampaignJournal* journal) {
   CampaignRunResult result;
-  if (tracker) {
-    for (const sim::TaskSpec& task : tasks) tracker->add_run(task.id);
+
+  // Retry bookkeeping: failures so far and when the last one ended. Seeded
+  // from the tracker so a resumed campaign schedules retries (backoff,
+  // exhaustion) exactly as the uninterrupted one would have.
+  struct RetryState {
+    size_t failures = 0;
+    double last_end = 0;
+  };
+  std::map<std::string, RetryState> retry_state;
+  std::map<std::string, int> submissions;  // per-run submission count (trace)
+
+  std::vector<sim::TaskSpec> remaining;
+  remaining.reserve(tasks.size());
+  for (const sim::TaskSpec& task : tasks) {
+    if (tracker) {
+      if (!tracker->has_run(task.id)) tracker->add_run(task.id);
+      const RunTracker::RunStatus status = tracker->status(task.id);
+      if (status.state == "done" || status.state == "exhausted") continue;
+      submissions[task.id] = static_cast<int>(status.attempts);
+      if (status.state == "failed" || status.state == "killed") {
+        retry_state[task.id] = RetryState{status.attempts, status.last_time};
+      }
+    }
+    remaining.push_back(task);
   }
 
-  std::vector<sim::TaskSpec> remaining = tasks;
-  std::map<std::string, int> submissions;  // per-run submission count (trace)
   while (!remaining.empty()) {
     if (options.max_allocations > 0 &&
         result.allocations_used >= options.max_allocations) {
       break;
     }
+
+    // Partition by backoff eligibility: a run that failed n times is held
+    // back until last_end + backoff(n).
+    std::vector<sim::TaskSpec> eligible;
+    eligible.reserve(remaining.size());
+    double next_ready = std::numeric_limits<double>::infinity();
+    for (const sim::TaskSpec& task : remaining) {
+      double ready_at = 0;
+      auto it = retry_state.find(task.id);
+      if (it != retry_state.end() && it->second.failures > 0) {
+        ready_at = it->second.last_end +
+                   options.retry.backoff_after(it->second.failures);
+      }
+      if (ready_at > sim.now()) {
+        next_ready = std::min(next_ready, ready_at);
+      } else {
+        eligible.push_back(task);
+      }
+    }
+    if (eligible.empty()) {
+      // Everything is backing off: advance the virtual clock to the first
+      // retry-eligible instant instead of burning an allocation.
+      sim.run_until(next_ready);
+      continue;
+    }
+    const bool all_eligible = eligible.size() == remaining.size();
+
     const double allocation_start = sim.now();
     if (obs::tracing_enabled()) {
       // Everything entering this allocation is a submission; a run seen
       // before is a retry (its earlier attempt failed, was killed, or never
       // started).
-      for (const sim::TaskSpec& task : remaining) {
+      for (const sim::TaskSpec& task : eligible) {
         const int attempt = submissions[task.id]++;
         if (attempt > 0) {
           obs::trace_instant_at(allocation_start, "savanna",
@@ -43,54 +215,164 @@ CampaignRunResult run_with_resubmission(sim::Simulation& sim,
     }
     ExecutionReport report =
         options.backend == Backend::Pilot
-            ? run_pilot(sim, remaining, options.execution)
-            : run_set_synchronized(sim, remaining, options.execution);
+            ? run_pilot(sim, eligible, options.execution)
+            : run_set_synchronized(sim, eligible, options.execution);
+    // A walltime-killed run leaves no completion event, so the pilot can
+    // return with the clock short of the allocation's recorded end; advance
+    // it so allocation N+1 starts where N's provenance says N ended (and so
+    // no run's last_end sits in the future, which would defer it forever).
+    sim.run_until(allocation_start + report.makespan_s);
+    const double allocation_end = sim.now();
     ++result.allocations_used;
     result.completed_runs += report.completed.size();
     result.total_node_seconds += report.allocation_node_seconds;
     result.total_busy_node_seconds += report.busy_node_seconds;
 
-    if (tracker) {
-      // Derive start/end times from the recorded intervals for provenance.
-      std::map<std::string, double> end_time;
-      for (size_t node = 0; node < report.node_timeline.size(); ++node) {
-        for (const Interval& interval : report.node_timeline[node]) {
-          tracker->mark_started(interval.run_id, allocation_start + interval.start,
-                                static_cast<int>(node));
-          end_time[interval.run_id] = allocation_start + interval.end;
-        }
+    if (tracker) apply_report_to_tracker(*tracker, report, allocation_start);
+
+    // Charge each failure against the run's retry budget; a spent budget is
+    // terminal (`exhausted`) and the run is never re-submitted.
+    const double fallback_end = allocation_start + report.makespan_s;
+    const std::map<std::string, double> end_time =
+        interval_end_times(report, allocation_start);
+    std::vector<std::string> newly_exhausted;
+    auto charge_failure = [&](const std::string& id) {
+      RetryState& state = retry_state[id];
+      ++state.failures;
+      state.last_end = end_or_fallback(end_time, id, fallback_end);
+      if (options.retry.max_attempts > 0 &&
+          state.failures >= options.retry.max_attempts) {
+        newly_exhausted.push_back(id);
+        mark_run_exhausted(tracker, id, state.last_end, state.failures);
       }
-      for (const std::string& id : report.completed) {
-        tracker->mark_done(id, end_time.at(id));
-      }
-      for (const std::string& id : report.failed) {
-        tracker->mark_failed(id, end_time.at(id), "injected failure");
-      }
-      for (const std::string& id : report.killed) {
-        tracker->mark_killed(id, end_time.at(id));
-      }
+    };
+    for (const std::string& id : report.failed) charge_failure(id);
+    for (const std::string& id : report.killed) charge_failure(id);
+    result.exhausted.insert(result.exhausted.end(), newly_exhausted.begin(),
+                            newly_exhausted.end());
+
+    // Commit point: once this append returns, the allocation's provenance
+    // is durable and a crash-resume will not re-execute it.
+    if (journal) {
+      Json record = report_to_json(report);
+      record["start"] = allocation_start;
+      record["end"] = allocation_end;
+      record["exhausted"] = ids_to_json(newly_exhausted);
+      journal->append_allocation(std::move(record));
     }
 
-    // Everything not completed goes into the next allocation, preserving
-    // original order (failed and killed runs retry; unstarted runs start).
-    std::set<std::string> done(report.completed.begin(), report.completed.end());
+    // Everything neither completed nor exhausted goes into the next
+    // allocation, preserving original order (failed and killed runs retry;
+    // unstarted runs start).
+    std::set<std::string> finished(report.completed.begin(),
+                                   report.completed.end());
+    finished.insert(newly_exhausted.begin(), newly_exhausted.end());
     std::vector<sim::TaskSpec> next;
-    next.reserve(remaining.size() - report.completed.size());
+    next.reserve(remaining.size());
     for (const sim::TaskSpec& task : remaining) {
-      if (!done.count(task.id)) next.push_back(task);
+      if (!finished.count(task.id)) next.push_back(task);
     }
-    // Guard against no-progress loops (e.g. one task longer than walltime).
-    if (next.size() == remaining.size() && report.completed.empty() &&
-        options.max_allocations == 0) {
-      result.reports.push_back(std::move(report));
-      remaining = std::move(next);
-      break;
-    }
+
+    // Zero-progress guards (an identical re-submission can only repeat
+    // itself): if nothing even started, stop unconditionally; if attempts
+    // were made but nothing completed or exhausted, stop unless retry
+    // budgets are set — with budgets, repeated failures are progress toward
+    // exhaustion, which terminates the loop on its own.
+    const bool nothing_ran = report.completed.empty() &&
+                             report.failed.empty() && report.killed.empty();
+    const bool zero_progress = finished.empty();
     result.reports.push_back(std::move(report));
     remaining = std::move(next);
+    if (all_eligible && nothing_ran) break;
+    if (all_eligible && zero_progress && options.retry.max_attempts == 0) break;
   }
   result.remaining_runs = remaining.size();
   return result;
+}
+
+ResumeReport resume_campaign(sim::Simulation& sim,
+                             const std::vector<sim::TaskSpec>& manifest_tasks,
+                             const CampaignRunOptions& options,
+                             RunTracker& tracker,
+                             const std::string& journal_path,
+                             const std::string& campaign_name) {
+  ResumeReport out;
+  std::set<std::string> manifest_ids;
+  std::vector<std::string> run_ids;
+  run_ids.reserve(manifest_tasks.size());
+  for (const sim::TaskSpec& task : manifest_tasks) {
+    manifest_ids.insert(task.id);
+    run_ids.push_back(task.id);
+  }
+  auto require_known = [&](const std::string& id) {
+    if (!manifest_ids.count(id)) {
+      throw ValidationError("journal " + journal_path + " references run '" +
+                            id + "' absent from the campaign manifest");
+    }
+  };
+
+  CampaignJournal::Replay state = CampaignJournal::replay(journal_path);
+  CampaignJournal journal;
+  if (!state.has_header()) {
+    // No journal (or an atomically-created one never got its header): the
+    // campaign never started. Begin it now.
+    journal = CampaignJournal::create(journal_path, campaign_name, run_ids);
+  } else {
+    out.torn_tail = state.torn_tail;
+    out.allocations_replayed = state.allocations.size();
+    for (const Json& id : state.header["runs"].as_array()) {
+      require_known(id.as_string());
+    }
+    for (const sim::TaskSpec& task : manifest_tasks) {
+      if (!tracker.has_run(task.id)) tracker.add_run(task.id);
+    }
+    // Replay committed allocations through the same code path the live run
+    // used, so the rebuilt provenance is byte-identical.
+    double clock = 0;
+    for (const Json& record : state.allocations) {
+      const ExecutionReport report = report_from_json(record);
+      const double start = record["start"].as_double();
+      for (const auto& node : report.node_timeline) {
+        for (const Interval& interval : node) require_known(interval.run_id);
+      }
+      for (const std::string& id : report.completed) require_known(id);
+      for (const std::string& id : report.failed) require_known(id);
+      for (const std::string& id : report.killed) require_known(id);
+      apply_report_to_tracker(tracker, report, start);
+      const std::map<std::string, double> end_time =
+          interval_end_times(report, start);
+      const double fallback_end = start + report.makespan_s;
+      for (const std::string& id : ids_from_json(record, "exhausted")) {
+        require_known(id);
+        mark_run_exhausted(&tracker, id, end_or_fallback(end_time, id, fallback_end),
+                           tracker.attempts(id));
+      }
+      clock = record.get_or("end", fallback_end);
+    }
+    // Restore the virtual clock: allocation N+1 starts where N ended, so
+    // resumed runs get the timestamps the uninterrupted campaign would have.
+    sim.run_until(clock);
+    journal = CampaignJournal::open_for_append(journal_path, state);
+  }
+
+  std::vector<sim::TaskSpec> incomplete;
+  for (const sim::TaskSpec& task : manifest_tasks) {
+    if (tracker.has_run(task.id)) {
+      const RunTracker::RunStatus status = tracker.status(task.id);
+      if (status.state == "done" || status.state == "exhausted") continue;
+    }
+    incomplete.push_back(task);
+  }
+  out.incomplete = incomplete.size();
+  out.resumed_at_s = sim.now();
+  if (obs::tracing_enabled()) {
+    obs::trace_instant("savanna", "savanna.journal.resume",
+                       {{"incomplete", out.incomplete},
+                        {"replayed", out.allocations_replayed},
+                        {"torn", out.torn_tail}});
+  }
+  out.result = run_with_resubmission(sim, incomplete, options, &tracker, &journal);
+  return out;
 }
 
 }  // namespace ff::savanna

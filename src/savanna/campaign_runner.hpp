@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "savanna/executor.hpp"
+#include "savanna/journal.hpp"
 #include "savanna/tracker.hpp"
 
 namespace ff::savanna {
@@ -12,17 +13,43 @@ namespace ff::savanna {
 /// (Cheetah-Savanna).
 enum class Backend { SetSynchronized, Pilot };
 
+/// Per-run retry budget with exponential backoff — what replaces the old
+/// retry-forever loop. A run that fails or is killed at walltime is retried
+/// until `max_attempts`, then marked terminally `exhausted`; between
+/// attempts it is held back for backoff(n) = min(max_backoff_s,
+/// base_backoff_s * growth^(n-1)) virtual seconds after its n-th failure.
+struct RetryPolicy {
+  /// Attempts allowed per run; 0 = unlimited (the legacy behaviour).
+  size_t max_attempts = 0;
+  /// Backoff after the first failure; 0 disables backoff entirely.
+  double base_backoff_s = 0;
+  double growth = 2.0;
+  double max_backoff_s = 3600;
+
+  double backoff_after(size_t failures) const {
+    if (base_backoff_s <= 0 || failures == 0) return 0;
+    double delay = base_backoff_s;
+    for (size_t i = 1; i < failures && delay < max_backoff_s; ++i) {
+      delay *= growth;
+    }
+    return std::min(delay, max_backoff_s);
+  }
+};
+
 struct CampaignRunOptions {
   ExecutionOptions execution;
   Backend backend = Backend::Pilot;
   /// Max allocations (re-submissions) to attempt; 0 = until done.
   size_t max_allocations = 0;
+  RetryPolicy retry;
 };
 
 struct CampaignRunResult {
   size_t allocations_used = 0;
   size_t completed_runs = 0;
-  size_t remaining_runs = 0;
+  size_t remaining_runs = 0;  // incomplete and still retryable
+  /// Runs whose retry budget was spent — terminal, never re-submitted.
+  std::vector<std::string> exhausted;
   double total_node_seconds = 0;  // across all allocations
   double total_busy_node_seconds = 0;
   std::vector<ExecutionReport> reports;  // one per allocation
@@ -33,15 +60,57 @@ struct CampaignRunResult {
   }
 };
 
+/// Record one allocation's provenance in `tracker`: a start per recorded
+/// interval, then the terminal mark for every completed/failed/killed run.
+/// A run reported failed or killed *without* a recorded interval (so no
+/// per-run end time exists) falls back to the allocation end time,
+/// `allocation_start + report.makespan_s`, instead of crashing.
+void apply_report_to_tracker(RunTracker& tracker, const ExecutionReport& report,
+                             double allocation_start);
+
 /// Execute a task ensemble with re-submission semantics: each allocation
 /// runs whatever is still incomplete; "the SweepGroup is simply
 /// re-submitted, and Savanna resumes execution of the experiments". The
 /// optional tracker receives full provenance. Virtual time accumulates in
 /// `sim` across allocations (queue wait is not modelled here; see
 /// sim::BatchSystem for that).
+///
+/// With a journal, every allocation is committed (append + fsync) after it
+/// is applied to the tracker, making the campaign crash-consistent: kill
+/// the process at any instant and resume_campaign() continues from the
+/// last committed allocation. Runs already tracked in `tracker` (the
+/// resume path) keep their attempt counts and backoff eligibility.
 CampaignRunResult run_with_resubmission(sim::Simulation& sim,
                                         const std::vector<sim::TaskSpec>& tasks,
                                         const CampaignRunOptions& options,
-                                        RunTracker* tracker = nullptr);
+                                        RunTracker* tracker = nullptr,
+                                        CampaignJournal* journal = nullptr);
+
+/// What resume_campaign recovered before re-entering the runner.
+struct ResumeReport {
+  size_t allocations_replayed = 0;
+  bool torn_tail = false;          // a torn final journal line was dropped
+  size_t incomplete = 0;           // runs handed back to the runner
+  double resumed_at_s = 0;         // virtual clock restored to this time
+  CampaignRunResult result;        // the re-entered runner's result
+};
+
+/// Crash-consistent campaign resumption: replay the journal at
+/// `journal_path`, reconcile it against the campaign's task list (from the
+/// manifest), rebuild `tracker`, restore the virtual clock, and re-enter
+/// run_with_resubmission with only the incomplete runs. The combined
+/// provenance in `tracker` is byte-identical to an uninterrupted run
+/// (enforced by tests/savanna/crash_resume_test).
+///
+/// A missing or headerless journal means the campaign never started: the
+/// journal is (re)created and every run executes. A journal referencing
+/// runs absent from `manifest_tasks` throws ValidationError — the journal
+/// and manifest belong to different campaigns.
+ResumeReport resume_campaign(sim::Simulation& sim,
+                             const std::vector<sim::TaskSpec>& manifest_tasks,
+                             const CampaignRunOptions& options,
+                             RunTracker& tracker,
+                             const std::string& journal_path,
+                             const std::string& campaign_name = "campaign");
 
 }  // namespace ff::savanna

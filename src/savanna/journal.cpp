@@ -1,0 +1,226 @@
+#include "savanna/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::savanna {
+
+namespace {
+
+CampaignJournal::WriteHook g_write_hook;
+
+void run_hook(CampaignJournal::WritePhase phase, size_t write_index) {
+  if (g_write_hook) g_write_hook(phase, write_index);
+}
+
+/// Append `line` (newline included) to `fd` and fsync. With a test hook
+/// installed the line is committed in two halves with an fsync between, so
+/// a hook that kills the process at MidWrite leaves a genuine torn write
+/// on disk; without a hook it is a single write + fsync.
+void durable_append(int fd, const std::string& line, const std::string& path,
+                    size_t write_index) {
+  run_hook(CampaignJournal::WritePhase::BeforeWrite, write_index);
+  const size_t half = g_write_hook ? line.size() / 2 : line.size();
+  auto write_range = [&](size_t begin, size_t end) {
+    size_t at = begin;
+    while (at < end) {
+      const ssize_t n = ::write(fd, line.data() + at, end - at);
+      if (n < 0) throw IoError("journal append failed: " + path);
+      at += static_cast<size_t>(n);
+    }
+  };
+  write_range(0, half);
+  if (g_write_hook) {
+    ::fsync(fd);
+    run_hook(CampaignJournal::WritePhase::MidWrite, write_index);
+    write_range(half, line.size());
+  }
+  if (::fsync(fd) != 0) throw IoError("journal fsync failed: " + path);
+  run_hook(CampaignJournal::WritePhase::AfterSync, write_index);
+}
+
+}  // namespace
+
+void CampaignJournal::set_test_write_hook(WriteHook hook) {
+  g_write_hook = std::move(hook);
+}
+
+CampaignJournal::~CampaignJournal() { close(); }
+
+CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      next_index_(other.next_index_),
+      write_index_(other.write_index_) {}
+
+CampaignJournal& CampaignJournal::operator=(CampaignJournal&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    next_index_ = other.next_index_;
+    write_index_ = other.write_index_;
+  }
+  return *this;
+}
+
+void CampaignJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+CampaignJournal CampaignJournal::create(
+    const std::string& path, const std::string& campaign_name,
+    const std::vector<std::string>& run_ids) {
+  Json header = Json::object();
+  header["kind"] = "header";
+  header["schema"] = kJournalSchemaVersion;
+  header["campaign"] = campaign_name;
+  Json runs = Json::array();
+  for (const std::string& id : run_ids) runs.push_back(id);
+  header["runs"] = std::move(runs);
+
+  // The header is the file's birth certificate: tmp + rename makes its
+  // creation atomic, so a journal on disk always has a complete header.
+  // The hook phases mirror durable_append's so the fault harness can kill
+  // journal creation too (MidWrite = tmp written, rename not reached).
+  // MidWrite here means "tmp file partially written, rename not reached":
+  // indistinguishable from BeforeWrite for readers, since they never look
+  // at tmp files — exactly the point of the atomic create.
+  run_hook(WritePhase::BeforeWrite, 0);
+  run_hook(WritePhase::MidWrite, 0);
+  write_file_atomic(path, header.dump() + "\n");
+  run_hook(WritePhase::AfterSync, 0);
+
+  CampaignJournal journal;
+  journal.path_ = path;
+  journal.next_index_ = 0;
+  journal.write_index_ = 1;
+  journal.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (journal.fd_ < 0) throw IoError("cannot open journal for append: " + path);
+  obs::trace_instant("savanna", "savanna.journal.open",
+                     {{"runs", run_ids.size()},
+                      {"schema", kJournalSchemaVersion}});
+  return journal;
+}
+
+CampaignJournal::Replay CampaignJournal::replay(const std::string& path) {
+  Replay out;
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const IoError&) {
+    return out;  // no journal — campaign never started
+  }
+
+  size_t pos = 0;
+  size_t line_number = 0;
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    const bool unterminated = newline == std::string::npos;
+    const std::string line =
+        text.substr(pos, unterminated ? std::string::npos : newline - pos);
+    const size_t line_end = unterminated ? text.size() : newline + 1;
+    ++line_number;
+
+    Json record;
+    bool parsed = false;
+    if (!line.empty()) {
+      try {
+        record = Json::parse(line);
+        parsed = record.is_object();
+      } catch (const std::exception&) {
+        parsed = false;
+      }
+    }
+
+    if (!parsed || unterminated) {
+      // A bad *final* line is a torn write from a crash mid-append — drop
+      // it. A bad line with committed records after it means the file was
+      // corrupted some other way; refuse to guess.
+      if (line_end >= text.size()) {
+        out.torn_tail = true;
+        break;
+      }
+      throw ValidationError("journal " + path + ": corrupt line " +
+                            std::to_string(line_number));
+    }
+
+    const std::string kind = record.get_or("kind", "");
+    if (line_number == 1) {
+      if (kind != "header") {
+        throw ValidationError("journal " + path + ": missing header record");
+      }
+      const int64_t schema = record.get_or("schema", int64_t{-1});
+      if (schema != kJournalSchemaVersion) {
+        throw ValidationError("journal " + path + ": unknown schema version " +
+                              std::to_string(schema) + " (this build reads " +
+                              std::to_string(kJournalSchemaVersion) + ")");
+      }
+      out.header = std::move(record);
+    } else if (kind == "alloc") {
+      out.allocations.push_back(std::move(record));
+    }
+    // Unknown record kinds after the header are skipped (forward compat
+    // within one schema version).
+
+    out.committed_bytes = line_end;
+    pos = line_end;
+  }
+
+  if (obs::tracing_enabled()) {
+    obs::trace_instant("savanna", "savanna.journal.replay",
+                       {{"entries", out.allocations.size()},
+                        {"torn", out.torn_tail}});
+  }
+  return out;
+}
+
+CampaignJournal CampaignJournal::open_for_append(const std::string& path,
+                                                 const Replay& state) {
+  if (!state.has_header()) {
+    throw StateError("journal " + path + ": cannot append without a header");
+  }
+  if (state.torn_tail) {
+    // Atomically rewrite the committed prefix so the torn bytes can never
+    // be misread as the start of the next record.
+    const std::string text = read_file(path);
+    write_file_atomic(path, text.substr(0, state.committed_bytes));
+  }
+  CampaignJournal journal;
+  journal.path_ = path;
+  journal.next_index_ = state.allocations.size();
+  journal.write_index_ = 1 + state.allocations.size();
+  journal.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (journal.fd_ < 0) throw IoError("cannot open journal for append: " + path);
+  return journal;
+}
+
+size_t CampaignJournal::append_allocation(Json record) {
+  if (fd_ < 0) throw StateError("journal is not open for append");
+  const size_t index = next_index_;
+  record["kind"] = "alloc";
+  record["index"] = index;
+  const std::string line = record.dump() + "\n";
+  durable_append(fd_, line, path_, write_index_);
+  ++write_index_;
+  ++next_index_;
+  if (obs::tracing_enabled()) {
+    const size_t done =
+        record.contains("completed") ? record["completed"].size() : 0;
+    obs::trace_instant(
+        "savanna", "savanna.journal.commit",
+        {{"alloc", index}, {"done", done}, {"bytes", line.size()}});
+  }
+  return index;
+}
+
+}  // namespace ff::savanna

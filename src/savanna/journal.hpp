@@ -1,0 +1,113 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ff::savanna {
+
+/// On-disk journal schema version. Bump when the record shapes change;
+/// replay() refuses journals written by a newer (unknown) schema rather
+/// than silently misreading them.
+inline constexpr int64_t kJournalSchemaVersion = 1;
+
+/// Crash-consistent, append-only JSONL journal of campaign execution state
+/// — the durable half of "partially completed SweepGroups are re-submitted,
+/// and Savanna resumes execution of the experiments" (paper Section IV).
+///
+/// File layout (one JSON object per line):
+///
+///   {"kind":"header","schema":1,"campaign":"...","runs":["id",...]}
+///   {"kind":"alloc","index":0,"start":0.0,"end":40.0,...}   one per
+///   {"kind":"alloc","index":1,...}                           allocation
+///
+/// Consistency contract (what resume_campaign relies on):
+///
+/// * The header is written via atomic tmp-file + rename + fsync, so the
+///   journal either exists with a complete header or not at all.
+/// * Each allocation record is appended with a single write and fsync'd
+///   before append() returns — an allocation record on disk means that
+///   allocation's provenance is durable. The fsync is the *commit point*:
+///   a campaign killed before it simply re-executes that allocation on
+///   resume (nothing outside the journal was made durable either).
+/// * A crash mid-append leaves at most one torn (partial) final line.
+///   replay() detects and drops it; open() truncates it away via an
+///   atomic rewrite before appending resumes.
+///
+/// The journal stores exactly what apply_report_to_tracker() consumes, so
+/// replaying it rebuilds a RunTracker byte-identical to the tracker of an
+/// uninterrupted run (enforced by tests/savanna/crash_resume_test).
+class CampaignJournal {
+ public:
+  CampaignJournal() = default;
+  ~CampaignJournal();
+
+  CampaignJournal(CampaignJournal&& other) noexcept;
+  CampaignJournal& operator=(CampaignJournal&& other) noexcept;
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  /// Create a fresh journal at `path` (overwriting any existing file) with
+  /// a schema-versioned header registering `run_ids`, and open it for
+  /// appending. Emits `savanna.journal.open`.
+  static CampaignJournal create(const std::string& path,
+                                const std::string& campaign_name,
+                                const std::vector<std::string>& run_ids);
+
+  /// What replay() recovered from a journal file.
+  struct Replay {
+    Json header;                    // null when the file is missing/empty
+    std::vector<Json> allocations;  // committed "alloc" records, in order
+    bool torn_tail = false;         // a partial final line was dropped
+    size_t committed_bytes = 0;     // file offset after the last good line
+    bool has_header() const { return header.is_object(); }
+  };
+
+  /// Parse a journal file, tolerating a torn final line (dropped, flagged).
+  /// A missing or empty file yields an empty Replay with no header — the
+  /// caller treats that as "campaign never started". Throws ValidationError
+  /// on an unknown schema version or a corrupt non-final line.
+  static Replay replay(const std::string& path);
+
+  /// Open an existing journal for appending. If `state.torn_tail`, the
+  /// torn bytes are first truncated away (atomic rewrite of the committed
+  /// prefix). `state` must come from replay() of the same path.
+  static CampaignJournal open_for_append(const std::string& path,
+                                         const Replay& state);
+
+  /// Append one allocation record (adds "kind" and "index") and fsync it.
+  /// Returns the record's allocation index.
+  size_t append_allocation(Json record);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+  /// Index the next appended allocation record will get (== header + alloc
+  /// records ever committed to this journal).
+  size_t next_allocation_index() const noexcept { return next_index_; }
+
+  void close();
+
+  /// Test-only fault hook, called at phases of every durable write (the
+  /// header counts as write #0, each append as the next). The crash/resume
+  /// harness uses it to SIGKILL the process at fuzzer-chosen points,
+  /// including mid-line to manufacture genuine torn writes.
+  enum class WritePhase {
+    BeforeWrite,  // nothing of this record on disk yet
+    MidWrite,     // a partial line is on disk (fsync'd) — a torn write
+    AfterSync,    // the record is fully committed
+  };
+  using WriteHook = std::function<void(WritePhase, size_t write_index)>;
+  static void set_test_write_hook(WriteHook hook);
+
+ private:
+  void append_line(const std::string& line);
+
+  int fd_ = -1;
+  std::string path_;
+  size_t next_index_ = 0;   // next allocation record index
+  size_t write_index_ = 0;  // durable writes issued through this handle
+};
+
+}  // namespace ff::savanna

@@ -86,16 +86,39 @@ void RunTracker::mark_killed(const std::string& run_id, double time) {
   trace_state(run_id, "killed", time, -1, run.attempts - 1);
 }
 
+void RunTracker::mark_exhausted(const std::string& run_id, double time,
+                                const std::string& reason) {
+  RunRecord& run = require(run_id);
+  if (run.last_state != "failed" && run.last_state != "killed") {
+    throw StateError("RunTracker: run '" + run_id +
+                     "' cannot be exhausted from state '" + run.last_state + "'");
+  }
+  run.events.push_back(EventRecord{"exhausted", time, -1, reason});
+  run.last_state = "exhausted";
+  trace_state(run_id, "exhausted", time, -1, run.attempts - 1);
+}
+
 std::vector<std::string> RunTracker::needing_rerun() const {
   std::vector<std::string> out;
   for (const auto& [run_id, run] : runs_) {
-    if (run.last_state != "done") out.push_back(run_id);
+    if (run.last_state != "done" && run.last_state != "exhausted") {
+      out.push_back(run_id);
+    }
   }
   return out;
 }
 
 size_t RunTracker::attempts(const std::string& run_id) const {
   return require(run_id).attempts;
+}
+
+RunTracker::RunStatus RunTracker::status(const std::string& run_id) const {
+  const RunRecord& run = require(run_id);
+  RunStatus status;
+  status.state = run.last_state;
+  status.attempts = run.attempts;
+  status.last_time = run.events.empty() ? 0 : run.events.back().time;
+  return status;
 }
 
 RunTracker::Counts RunTracker::counts() const {
@@ -105,6 +128,7 @@ RunTracker::Counts RunTracker::counts() const {
     if (run.last_state == "done") ++counts.done;
     else if (run.last_state == "failed") ++counts.failed;
     else if (run.last_state == "killed") ++counts.killed;
+    else if (run.last_state == "exhausted") ++counts.exhausted;
     else if (run.last_state == "pending") ++counts.never_started;
   }
   return counts;

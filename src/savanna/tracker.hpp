@@ -22,18 +22,33 @@ class RunTracker {
   void mark_done(const std::string& run_id, double time);
   void mark_failed(const std::string& run_id, double time, const std::string& reason);
   void mark_killed(const std::string& run_id, double time);
+  /// Terminal give-up: the run's retry budget is spent. Only legal from
+  /// `failed` or `killed`; an exhausted run is never re-submitted.
+  void mark_exhausted(const std::string& run_id, double time,
+                      const std::string& reason);
 
   /// Runs whose latest attempt did not finish (never started, failed, or
-  /// killed) — exactly the set a re-submission must execute.
+  /// killed) — exactly the set a re-submission must execute. Excludes
+  /// `done` and the terminal `exhausted` state.
   std::vector<std::string> needing_rerun() const;
 
   size_t attempts(const std::string& run_id) const;
+
+  /// Snapshot of one run's current position in the lifecycle — what the
+  /// retry/backoff scheduler needs to decide eligibility after a resume.
+  struct RunStatus {
+    std::string state;      // pending|running|done|failed|killed|exhausted
+    size_t attempts = 0;
+    double last_time = 0;   // time of the latest event (0 if none)
+  };
+  RunStatus status(const std::string& run_id) const;
 
   struct Counts {
     size_t total = 0;
     size_t done = 0;
     size_t failed = 0;
     size_t killed = 0;
+    size_t exhausted = 0;
     size_t never_started = 0;
   };
   Counts counts() const;
@@ -44,14 +59,15 @@ class RunTracker {
 
  private:
   struct EventRecord {
-    std::string kind;  // "start", "done", "failed", "killed"
+    std::string kind;  // "start", "done", "failed", "killed", "exhausted"
     double time = 0;
     int node = -1;
     std::string detail;
   };
   struct RunRecord {
     std::vector<EventRecord> events;
-    std::string last_state = "pending";  // pending|running|done|failed|killed
+    // pending|running|done|failed|killed|exhausted
+    std::string last_state = "pending";
     size_t attempts = 0;
   };
 

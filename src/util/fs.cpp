@@ -1,5 +1,8 @@
 #include "util/fs.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <fstream>
@@ -20,13 +23,62 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, const std::string& content) {
+  write_file_atomic(path, content);
+}
+
+namespace {
+
+void write_all(int fd, const char* data, size_t size, const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      ::close(fd);
+      throw IoError("write failed: " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+/// Make the rename itself durable: fsync the containing directory so the
+/// new entry survives a crash. Best effort — some filesystems refuse.
+void fsync_parent_dir(const fs::path& target) {
+  const fs::path parent =
+      target.parent_path().empty() ? fs::path(".") : target.parent_path();
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
   const fs::path parent = fs::path(path).parent_path();
   std::error_code ec;
   if (!parent.empty()) fs::create_directories(parent, ec);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open for writing: " + path);
-  out << content;
-  if (!out) throw IoError("write failed: " + path);
+
+  // Unique within the process so concurrent writers of the same path (or a
+  // leftover tmp from a crashed run) never collide; same directory so the
+  // rename stays atomic (no cross-device moves).
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) throw IoError("cannot open for writing: " + tmp);
+  write_all(fd, content.data(), content.size(), tmp);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw IoError("fsync failed: " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw IoError("rename failed: " + tmp + " -> " + path);
+  }
+  fsync_parent_dir(path);
 }
 
 TempDir::TempDir(const std::string& prefix) {

@@ -10,7 +10,15 @@ namespace ff {
 std::string read_file(const std::string& path);
 
 /// Write `content` to `path`, creating parent directories (throws IoError).
+/// Routed through write_file_atomic: a crash mid-write can never leave a
+/// corrupt partial file at `path`.
 void write_file(const std::string& path, const std::string& content);
+
+/// Crash-consistent write: `content` goes to a temporary file in the same
+/// directory, is fsync'd, and is renamed over `path` (atomic on POSIX).
+/// After a crash, `path` holds either the old bytes or the new bytes,
+/// never a mixture. The directory entry is fsync'd best-effort.
+void write_file_atomic(const std::string& path, const std::string& content);
 
 /// Create a unique scratch directory under the system temp dir. The
 /// directory (and everything in it) is removed when the object dies —

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace ff {
@@ -521,10 +522,9 @@ std::string Json::pretty(int indent) const {
 }
 
 void Json::write_file(const std::string& path, int indent) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open for writing: " + path);
-  out << pretty(indent);
-  if (!out) throw IoError("write failed: " + path);
+  // Atomic tmp+rename: a crash mid-write never leaves a truncated document
+  // (manifests and status files are re-read by campaign resumption).
+  ff::write_file_atomic(path, pretty(indent));
 }
 
 bool Json::operator==(const Json& other) const {

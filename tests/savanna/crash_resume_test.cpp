@@ -1,0 +1,171 @@
+// Kill/resume fault harness: fork a child that runs a journaled campaign
+// and SIGKILLs itself at a fuzzer-chosen journal write (before the write,
+// mid-line with the partial bytes fsync'd, or after the commit fsync), then
+// resume the campaign in the parent from whatever survived on disk.
+//
+// Invariants asserted for every kill point:
+//   * the resumed campaign completes;
+//   * no run is executed twice (each run appears in exactly one committed
+//     "completed" record);
+//   * the final RunTracker provenance is byte-identical to an
+//     uninterrupted run's, and so is the journal file itself.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "savanna/campaign_runner.hpp"
+#include "savanna/journal.hpp"
+#include "util/fs.hpp"
+#include "util/rng.hpp"
+
+namespace ff::savanna {
+namespace {
+
+std::vector<sim::TaskSpec> campaign_tasks() {
+  std::vector<sim::TaskSpec> tasks;
+  for (int i = 0; i < 8; ++i) {
+    sim::TaskSpec task;
+    task.id = "t" + std::to_string(i);
+    task.duration_s = 10.0 + 10.0 * i;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+CampaignRunOptions campaign_options(const RunTracker& tracker) {
+  CampaignRunOptions options;
+  options.execution.nodes = 2;
+  options.execution.walltime_s = 100;  // forces several re-submissions
+  options.retry.max_attempts = 2;     // "t7" exhausts, the rest complete
+  options.retry.base_backoff_s = 7;
+  // Failure fates must be identical in the original and resumed processes,
+  // so key them off durable state only: the task id and the attempt count
+  // already committed to the journal (the tracker is rebuilt from it).
+  options.execution.fails = [&tracker](const sim::TaskSpec& task, int) {
+    if (task.id == "t7") return true;  // fails every attempt -> exhausted
+    if (task.id == "t2") {
+      // Fails its first attempt only.
+      return tracker.has_run(task.id) && tracker.attempts(task.id) == 0;
+    }
+    return false;
+  };
+  return options;
+}
+
+struct CampaignOutcome {
+  std::string provenance;  // RunTracker::to_json().dump()
+  std::string journal_bytes;
+  CampaignRunResult result;
+};
+
+/// Run (or resume) the campaign at `journal_path` to completion.
+CampaignOutcome drive_to_completion(const std::string& journal_path) {
+  sim::Simulation sim;
+  RunTracker tracker;
+  const auto tasks = campaign_tasks();
+  const auto options = campaign_options(tracker);
+  CampaignOutcome outcome;
+  outcome.result =
+      resume_campaign(sim, tasks, options, tracker, journal_path, "crash-test")
+          .result;
+  outcome.provenance = tracker.to_json().dump();
+  outcome.journal_bytes = read_file(journal_path);
+  return outcome;
+}
+
+/// Fork a child that runs the campaign and SIGKILLs itself at the given
+/// write/phase. Returns true if the child died by SIGKILL (it always
+/// should: every chosen write index is reached by the full campaign).
+bool run_child_killed_at(const std::string& journal_path, size_t kill_write,
+                         CampaignJournal::WritePhase kill_phase) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    CampaignJournal::set_test_write_hook(
+        [kill_write, kill_phase](CampaignJournal::WritePhase phase,
+                                 size_t write_index) {
+          if (write_index == kill_write && phase == kill_phase) {
+            ::kill(::getpid(), SIGKILL);
+          }
+        });
+    drive_to_completion(journal_path);
+    ::_exit(0);  // only reached if the kill point was never hit
+  }
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+TEST(CrashResume, FiftyRandomizedKillPointsAllResumeExactlyOnce) {
+  // Uninterrupted baseline: the ground truth every resumed campaign must
+  // reproduce byte-for-byte.
+  TempDir baseline_dir("crash-baseline");
+  const CampaignOutcome baseline =
+      drive_to_completion(baseline_dir.file("journal.jsonl"));
+  ASSERT_EQ(baseline.result.remaining_runs, 0u);
+  ASSERT_EQ(baseline.result.exhausted, std::vector<std::string>{"t7"});
+
+  // Durable writes in a full campaign: header (#0) + one per allocation.
+  const auto baseline_replay =
+      CampaignJournal::replay(baseline_dir.file("journal.jsonl"));
+  const size_t total_writes = 1 + baseline_replay.allocations.size();
+  ASSERT_GE(total_writes, 4u) << "campaign too short to fuzz";
+
+  constexpr CampaignJournal::WritePhase kPhases[] = {
+      CampaignJournal::WritePhase::BeforeWrite,
+      CampaignJournal::WritePhase::MidWrite,
+      CampaignJournal::WritePhase::AfterSync,
+  };
+  Rng rng(0xFA17F10Eu);  // fixed seed: kill points are reproducible
+  size_t torn_tails_seen = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t kill_write = rng.below(total_writes);
+    const auto kill_phase = kPhases[rng.below(3)];
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": kill write " +
+                 std::to_string(kill_write) + " phase " +
+                 std::to_string(static_cast<int>(kill_phase)));
+
+    TempDir dir("crash-trial");
+    const std::string journal_path = dir.file("journal.jsonl");
+    ASSERT_TRUE(run_child_killed_at(journal_path, kill_write, kill_phase))
+        << "child was expected to die at the kill point";
+
+    // Whatever the child left behind must be resumable.
+    const auto wreckage = CampaignJournal::replay(journal_path);
+    torn_tails_seen += wreckage.torn_tail ? 1 : 0;
+
+    const CampaignOutcome resumed = drive_to_completion(journal_path);
+    EXPECT_EQ(resumed.result.remaining_runs, 0u);
+    EXPECT_EQ(resumed.provenance, baseline.provenance);
+    EXPECT_EQ(resumed.journal_bytes, baseline.journal_bytes);
+
+    // Exactly-once: across every committed allocation record, each run
+    // completes exactly once (and the exhausted run never does).
+    const auto final_replay = CampaignJournal::replay(journal_path);
+    std::map<std::string, int> completions;
+    for (const Json& record : final_replay.allocations) {
+      for (const Json& id : record["completed"].as_array()) {
+        ++completions[id.as_string()];
+      }
+    }
+    for (const sim::TaskSpec& task : campaign_tasks()) {
+      if (task.id == "t7") {
+        EXPECT_EQ(completions.count(task.id), 0u);
+      } else {
+        EXPECT_EQ(completions[task.id], 1) << task.id;
+      }
+    }
+  }
+  // The fuzzer must actually exercise the torn-write path (deterministic
+  // seed, so this is a stable property of the trial set, not flakiness).
+  EXPECT_GT(torn_tails_seen, 0u);
+}
+
+}  // namespace
+}  // namespace ff::savanna

@@ -1,0 +1,282 @@
+#include "savanna/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "savanna/campaign_runner.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::savanna {
+namespace {
+
+std::vector<sim::TaskSpec> uniform_tasks(size_t count, double duration) {
+  std::vector<sim::TaskSpec> tasks;
+  for (size_t i = 0; i < count; ++i) {
+    sim::TaskSpec task;
+    task.id = "t" + std::to_string(i);
+    task.duration_s = duration;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+Json alloc_record(double start, double end,
+                  const std::vector<std::string>& completed) {
+  Json record = Json::object();
+  record["start"] = start;
+  record["end"] = end;
+  record["makespan"] = end - start;
+  record["intervals"] = Json::array();
+  Json done = Json::array();
+  for (const auto& id : completed) done.push_back(id);
+  record["completed"] = std::move(done);
+  return record;
+}
+
+TEST(CampaignJournal, RoundTripsHeaderAndAllocations) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"a", "b"});
+  EXPECT_EQ(journal.append_allocation(alloc_record(0, 10, {"a"})), 0u);
+  EXPECT_EQ(journal.append_allocation(alloc_record(10, 20, {"b"})), 1u);
+  journal.close();
+
+  const auto replay = CampaignJournal::replay(path);
+  ASSERT_TRUE(replay.has_header());
+  EXPECT_EQ(replay.header["campaign"].as_string(), "camp");
+  EXPECT_EQ(replay.header["schema"].as_int(), kJournalSchemaVersion);
+  ASSERT_EQ(replay.allocations.size(), 2u);
+  EXPECT_EQ(replay.allocations[0]["index"].as_int(), 0);
+  EXPECT_EQ(replay.allocations[1]["completed"][0].as_string(), "b");
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.committed_bytes, read_file(path).size());
+}
+
+TEST(CampaignJournal, MissingFileReplaysEmpty) {
+  TempDir dir("journal");
+  const auto replay = CampaignJournal::replay(dir.file("absent.jsonl"));
+  EXPECT_FALSE(replay.has_header());
+  EXPECT_TRUE(replay.allocations.empty());
+  EXPECT_FALSE(replay.torn_tail);
+}
+
+TEST(CampaignJournal, EmptyFileReplaysEmpty) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  write_file(path, "");
+  const auto replay = CampaignJournal::replay(path);
+  EXPECT_FALSE(replay.has_header());
+  EXPECT_TRUE(replay.allocations.empty());
+}
+
+TEST(CampaignJournal, TornFinalLineIsDroppedAndTruncatedOnOpen) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"a"});
+  journal.append_allocation(alloc_record(0, 10, {"a"}));
+  journal.close();
+  const std::string committed = read_file(path);
+
+  // A crash mid-append leaves a partial, unterminated record.
+  {
+    std::ofstream torn(path, std::ios::app | std::ios::binary);
+    torn << R"({"kind":"alloc","index":1,"comp)";
+  }
+  auto replay = CampaignJournal::replay(path);
+  ASSERT_TRUE(replay.has_header());
+  EXPECT_EQ(replay.allocations.size(), 1u);
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.committed_bytes, committed.size());
+
+  // Re-opening truncates the torn bytes, and appending resumes cleanly.
+  auto reopened = CampaignJournal::open_for_append(path, replay);
+  EXPECT_EQ(reopened.next_allocation_index(), 1u);
+  reopened.append_allocation(alloc_record(10, 20, {}));
+  reopened.close();
+  const auto final_replay = CampaignJournal::replay(path);
+  EXPECT_EQ(final_replay.allocations.size(), 2u);
+  EXPECT_FALSE(final_replay.torn_tail);
+}
+
+TEST(CampaignJournal, UnknownSchemaVersionIsRejected) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  write_file(path, R"({"kind":"header","schema":99,"campaign":"x","runs":[]})"
+                   "\n");
+  EXPECT_THROW(CampaignJournal::replay(path), ValidationError);
+}
+
+TEST(CampaignJournal, MissingHeaderIsRejected) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  write_file(path, R"({"kind":"alloc","index":0})"
+                   "\n");
+  EXPECT_THROW(CampaignJournal::replay(path), ValidationError);
+}
+
+TEST(CampaignJournal, CorruptInteriorLineIsRejected) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"a"});
+  journal.append_allocation(alloc_record(0, 10, {"a"}));
+  journal.close();
+  // Corruption *followed by* a committed record is not a torn tail.
+  std::string text = read_file(path);
+  text += "not json\n";
+  text += alloc_record(10, 20, {}).dump() + "\n";
+  write_file(path, text);
+  EXPECT_THROW(CampaignJournal::replay(path), ValidationError);
+}
+
+TEST(ResumeCampaign, JournalReferencingUnknownRunsIsRejected) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"t0", "stranger"});
+  journal.close();
+
+  sim::Simulation sim;
+  RunTracker tracker;
+  CampaignRunOptions options;
+  EXPECT_THROW(resume_campaign(sim, uniform_tasks(1, 10), options, tracker, path),
+               ValidationError);
+}
+
+TEST(ResumeCampaign, MissingJournalStartsFreshAndCompletes) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  sim::Simulation sim;
+  RunTracker tracker;
+  CampaignRunOptions options;
+  options.execution.nodes = 2;
+  const auto report = resume_campaign(sim, uniform_tasks(4, 10), options,
+                                      tracker, path);
+  EXPECT_EQ(report.allocations_replayed, 0u);
+  EXPECT_EQ(report.incomplete, 4u);
+  EXPECT_EQ(report.result.completed_runs, 4u);
+  EXPECT_EQ(report.result.remaining_runs, 0u);
+  // The journal is durable: a second resume has nothing left to do.
+  sim::Simulation sim2;
+  RunTracker tracker2;
+  const auto again = resume_campaign(sim2, uniform_tasks(4, 10), options,
+                                     tracker2, path);
+  EXPECT_EQ(again.allocations_replayed, 1u);
+  EXPECT_EQ(again.incomplete, 0u);
+  EXPECT_EQ(again.result.allocations_used, 0u);
+  EXPECT_EQ(tracker2.to_json().dump(), tracker.to_json().dump());
+}
+
+TEST(ResumeCampaign, InterruptedCampaignMatchesUninterruptedProvenance) {
+  CampaignRunOptions options;
+  options.execution.nodes = 2;
+  options.execution.walltime_s = 25.0;
+  const auto tasks = uniform_tasks(10, 10);
+
+  RunTracker uninterrupted;
+  {
+    TempDir dir("journal");
+    sim::Simulation sim;
+    resume_campaign(sim, tasks, options, uninterrupted, dir.file("j.jsonl"));
+  }
+
+  TempDir dir("journal");
+  const std::string path = dir.file("j.jsonl");
+  {
+    // First leg stops after one allocation — a controlled "crash".
+    sim::Simulation sim;
+    RunTracker tracker;
+    CampaignRunOptions first_leg = options;
+    first_leg.max_allocations = 1;
+    const auto report = resume_campaign(sim, tasks, first_leg, tracker, path);
+    EXPECT_GT(report.result.remaining_runs, 0u);
+  }
+  sim::Simulation sim;
+  RunTracker resumed;
+  const auto report = resume_campaign(sim, tasks, options, resumed, path);
+  EXPECT_EQ(report.allocations_replayed, 1u);
+  EXPECT_EQ(report.result.remaining_runs, 0u);
+  EXPECT_EQ(resumed.to_json().dump(), uninterrupted.to_json().dump());
+}
+
+TEST(RetryPolicy, BudgetExhaustsAlwaysFailingRun) {
+  sim::Simulation sim;
+  CampaignRunOptions options;
+  options.execution.nodes = 1;
+  options.retry.max_attempts = 3;
+  options.execution.fails = [](const sim::TaskSpec& task, int) {
+    return task.id == "t0";
+  };
+  RunTracker tracker;
+  const auto result =
+      run_with_resubmission(sim, uniform_tasks(2, 10), options, &tracker);
+  EXPECT_EQ(result.completed_runs, 1u);
+  ASSERT_EQ(result.exhausted.size(), 1u);
+  EXPECT_EQ(result.exhausted[0], "t0");
+  EXPECT_EQ(result.remaining_runs, 0u);  // exhausted is terminal, not pending
+  EXPECT_EQ(tracker.status("t0").state, "exhausted");
+  EXPECT_EQ(tracker.attempts("t0"), 3u);
+  EXPECT_EQ(tracker.counts().exhausted, 1u);
+  EXPECT_TRUE(tracker.needing_rerun().empty());
+}
+
+TEST(RetryPolicy, BackoffDelaysRetryInVirtualTime) {
+  sim::Simulation sim;
+  CampaignRunOptions options;
+  options.execution.nodes = 1;
+  options.retry.max_attempts = 3;  // a budget disables the zero-progress stop
+  options.retry.base_backoff_s = 100;
+  int failures_left = 1;
+  options.execution.fails = [&](const sim::TaskSpec&, int) {
+    return failures_left-- > 0;
+  };
+  const auto result = run_with_resubmission(sim, uniform_tasks(1, 10), options);
+  EXPECT_EQ(result.completed_runs, 1u);
+  // Fail at t=10, held back until 10 + 100, retry runs 110..120.
+  EXPECT_DOUBLE_EQ(sim.now(), 120.0);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.base_backoff_s = 10;
+  policy.growth = 2.0;
+  policy.max_backoff_s = 35;
+  EXPECT_DOUBLE_EQ(policy.backoff_after(0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_after(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_after(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_after(3), 35.0);  // clamped from 40
+  EXPECT_DOUBLE_EQ(policy.backoff_after(10), 35.0);
+}
+
+TEST(CampaignRunner, ZeroProgressStopsEvenWithAllocationBudget) {
+  sim::Simulation sim;
+  CampaignRunOptions options;
+  options.execution.nodes = 1;
+  options.execution.walltime_s = 5.0;  // task needs 10
+  options.max_allocations = 50;
+  const auto result = run_with_resubmission(sim, uniform_tasks(1, 10), options);
+  // Before the zero-progress guard learned about bounded campaigns, this
+  // burned all 50 allocations re-running an impossible task.
+  EXPECT_EQ(result.allocations_used, 1u);
+  EXPECT_EQ(result.remaining_runs, 1u);
+}
+
+TEST(ApplyReport, TerminalRunWithoutIntervalFallsBackToAllocationEnd) {
+  // Regression: a failed/killed run with no recorded interval used to crash
+  // the tracker bookkeeping with std::out_of_range (end_time.at).
+  ExecutionReport report;
+  report.makespan_s = 40;
+  report.failed = {"ghost"};
+  report.killed = {"wraith"};
+  RunTracker tracker;
+  tracker.add_run("ghost");
+  tracker.add_run("wraith");
+  apply_report_to_tracker(tracker, report, /*allocation_start=*/100);
+  EXPECT_EQ(tracker.status("ghost").state, "failed");
+  EXPECT_DOUBLE_EQ(tracker.status("ghost").last_time, 140.0);
+  EXPECT_EQ(tracker.status("wraith").state, "killed");
+  EXPECT_DOUBLE_EQ(tracker.status("wraith").last_time, 140.0);
+}
+
+}  // namespace
+}  // namespace ff::savanna
