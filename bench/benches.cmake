@@ -33,3 +33,15 @@ add_custom_target(bench_irf
   DEPENDS micro_bench
   COMMENT "iRF engine benches -> BENCH_irf.json"
   VERBATIM)
+
+# `cmake --build build --target bench_stream` reruns the Fig. 5 concurrent
+# data-plane bench (policy x worker-count grid, overflow tradeoffs) and
+# refreshes BENCH_stream.json at the repo root. Because the bench binary is
+# wired into the default build, bit-rot in the bench fails the build, not
+# just this target.
+add_custom_target(bench_stream
+  COMMAND $<TARGET_FILE:fig5_stream_policies>
+          ${CMAKE_SOURCE_DIR}/BENCH_stream.json
+  DEPENDS fig5_stream_policies
+  COMMENT "Fig. 5 stream data-plane bench -> BENCH_stream.json"
+  VERBATIM)

@@ -2,27 +2,49 @@
 // construction allows greater reuse. In this instance, data selection
 // criteria is separated from data movement infrastructure."
 //
-// We measure three things:
+// We measure four things:
 //  1. Reuse: when the selection policy changes, how many generated lines
 //     change? (zero — the communication components are untouched)
 //     vs when the schema changes (only the marshal component changes).
-//  2. Throughput of the generated communication path (marshal + scheduler)
-//     under each selection policy.
-//  3. Runtime steering: install a policy unknown at generation time via
-//     the control channel and drive it with punctuation.
+//  2. Throughput of the generated marshalling path.
+//  3. The concurrent data plane: per-policy throughput, delivery latency
+//     percentiles, and drop counts at sync / 1 / 2 / 4 / 8 worker threads,
+//     plus the overflow-policy tradeoff under a saturating producer. The
+//     downstream cost is modelled as a short per-record sleep (simulated
+//     transport/analysis latency), which worker threads overlap — so the
+//     scaling here is latency hiding, not core count, and reproduces even
+//     on a single-CPU host.
+//  4. Runtime steering: install a policy unknown at generation time via
+//     the control channel, now landing on the concurrent plane.
+//
+// Writes the measured series to BENCH_stream.json (path = argv[1] or the
+// default below) — the committed record of data-plane performance.
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "stream/codegen.hpp"
 #include "stream/marshal.hpp"
-#include "stream/scheduler.hpp"
+#include "stream/pipeline.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 
 using namespace ff;
 using Clock = std::chrono::steady_clock;
 
 namespace {
+
+constexpr size_t kQueues = 8;          // one per simulated downstream sink
+constexpr size_t kRecords = 250;       // per plane run
+constexpr auto kConsumerCost = std::chrono::microseconds(50);
+
+double seconds_since(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 stream::StreamSchema instrument_schema(size_t extra_fields) {
   stream::StreamSchema schema;
@@ -47,31 +69,185 @@ stream::Record make_record(uint64_t sequence, size_t extra_fields) {
   return record;
 }
 
-double throughput_with_policy(const std::string& kind, const Json& args,
-                              size_t records) {
-  stream::DataScheduler scheduler;
-  size_t delivered = 0;
-  scheduler.subscribe(
-      [&delivered](const std::string&, const stream::Record&) { ++delivered; });
-  const stream::PolicyFactory factory = stream::PolicyFactory::with_builtins();
-  scheduler.install_queue("q", factory.build(kind, args));
+struct PolicySpec {
+  std::string kind;
+  Json args;
+  uint64_t punctuate_every;  // 0 = never
+};
+
+std::vector<PolicySpec> plane_policies() {
+  Json window_args = Json::object();
+  window_args["capacity"] = 32;
+  Json stride_args = Json::object();
+  stride_args["stride"] = 4;
+  return {
+      {"forward-all", Json::object(), 0},
+      {"sliding-window-count", window_args, 64},
+      {"sample-every", stride_args, 0},
+  };
+}
+
+struct PlaneResult {
+  double records_s = 0;   // published records / wall seconds
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  double p50_ms = 0;      // publish -> consumer delivery latency
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Collects publish->delivery latencies; the consumer also pays the
+/// simulated downstream cost.
+struct SinkModel {
+  Clock::time_point epoch = Clock::now();
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  uint64_t delivered = 0;
+
+  stream::DataScheduler::Consumer consumer() {
+    return [this](const std::string&, const stream::Record& record) {
+      const double now = seconds_since(epoch);
+      {
+        std::lock_guard lock(mutex);
+        ++delivered;
+        latencies_ms.push_back((now - record.timestamp) * 1e3);
+      }
+      std::this_thread::sleep_for(kConsumerCost);
+    };
+  }
+
+  void fill(PlaneResult& result) {
+    std::lock_guard lock(mutex);
+    result.delivered = delivered;
+    if (latencies_ms.empty()) return;
+    result.p50_ms = percentile(latencies_ms, 50);
+    result.p95_ms = percentile(latencies_ms, 95);
+    result.p99_ms = percentile(latencies_ms, 99);
+  }
+};
+
+/// One run of the concurrent plane: kQueues virtual queues sharing one
+/// policy kind, a single instrument publishing kRecords, `workers` threads
+/// draining. Timestamps carry the publish instant so consumers can measure
+/// end-to-end latency.
+PlaneResult run_concurrent_plane(const PolicySpec& spec, size_t workers) {
+  stream::StreamPipeline pipeline(workers);
+  SinkModel sink;
+  pipeline.subscribe(sink.consumer());
+  const auto factory = stream::PolicyFactory::with_builtins();
+  for (size_t q = 0; q < kQueues; ++q) {
+    pipeline.install_queue("q" + std::to_string(q),
+                           factory.build(spec.kind, spec.args),
+                           {.capacity = 64, .overflow = stream::Overflow::Block});
+  }
 
   const auto start = Clock::now();
-  for (uint64_t i = 0; i < records; ++i) {
-    scheduler.publish(make_record(i, 2));
-    if (kind != "forward-all" && i % 64 == 63) {
-      scheduler.punctuate(Json::object());  // windowed policies need marks
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    stream::Record record = make_record(i, 2);
+    record.timestamp = seconds_since(sink.epoch);
+    pipeline.publish(record);
+    if (spec.punctuate_every > 0 && (i + 1) % spec.punctuate_every == 0) {
+      pipeline.punctuate(Json::object());
     }
   }
-  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  (void)delivered;
-  return static_cast<double>(records) / seconds;
+  pipeline.wait_quiescent();
+  const double wall = seconds_since(start);
+  pipeline.shutdown();
+
+  PlaneResult result;
+  result.records_s = static_cast<double>(kRecords) / wall;
+  result.dropped = pipeline.totals().dropped;
+  sink.fill(result);
+  return result;
+}
+
+/// The pre-refactor baseline: the same policies on the synchronous
+/// DataScheduler, where every delivery (and its simulated downstream cost)
+/// runs inline on the publishing thread.
+PlaneResult run_sync_plane(const PolicySpec& spec) {
+  stream::DataScheduler scheduler;
+  SinkModel sink;
+  scheduler.subscribe(sink.consumer());
+  const auto factory = stream::PolicyFactory::with_builtins();
+  for (size_t q = 0; q < kQueues; ++q) {
+    scheduler.install_queue("q" + std::to_string(q),
+                            factory.build(spec.kind, spec.args));
+  }
+
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    stream::Record record = make_record(i, 2);
+    record.timestamp = seconds_since(sink.epoch);
+    scheduler.publish(record);
+    if (spec.punctuate_every > 0 && (i + 1) % spec.punctuate_every == 0) {
+      scheduler.punctuate(Json::object());
+    }
+  }
+  const double wall = seconds_since(start);
+
+  PlaneResult result;
+  result.records_s = static_cast<double>(kRecords) / wall;
+  sink.fill(result);
+  return result;
+}
+
+/// Overflow-policy tradeoff: a producer publishing flat out into one queue
+/// with a deliberately slow consumer. block = lossless backpressure;
+/// drop-oldest / keep-latest shed load to stay fresh.
+PlaneResult run_overflow(stream::Overflow overflow) {
+  stream::StreamPipeline pipeline(2);
+  SinkModel sink;
+  auto base = sink.consumer();
+  pipeline.subscribe([&base](const std::string& queue, const stream::Record& r) {
+    base(queue, r);
+    std::this_thread::sleep_for(std::chrono::microseconds(150));  // extra-slow sink
+  });
+  pipeline.install_queue("tap", std::make_unique<stream::ForwardAllPolicy>(),
+                         {.capacity = 16, .overflow = overflow});
+
+  constexpr uint64_t kBurst = 1500;
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    stream::Record record = make_record(i, 2);
+    record.timestamp = seconds_since(sink.epoch);
+    pipeline.publish(record);
+  }
+  pipeline.wait_quiescent();
+  const double wall = seconds_since(start);
+  pipeline.shutdown();
+
+  PlaneResult result;
+  result.records_s = static_cast<double>(kBurst) / wall;
+  result.dropped = pipeline.totals().dropped;
+  sink.fill(result);
+  return result;
+}
+
+Json result_json(const PlaneResult& result) {
+  Json out = Json::object();
+  out["records_s"] = result.records_s;
+  out["delivered"] = static_cast<int64_t>(result.delivered);
+  out["dropped"] = static_cast<int64_t>(result.dropped);
+  out["latency_ms_p50"] = result.p50_ms;
+  out["latency_ms_p95"] = result.p95_ms;
+  out["latency_ms_p99"] = result.p99_ms;
+  return out;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Fig 5 — generated communication + runtime-installed policies\n\n");
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_stream.json";
+  std::printf("Fig 5 — generated communication + concurrent data plane\n\n");
+
+  Json bench = Json::object();
+  bench["schema"] = std::string("fairflow.bench.stream/1");
+  bench["queues"] = static_cast<int64_t>(kQueues);
+  bench["records"] = static_cast<int64_t>(kRecords);
+  bench["consumer_cost_us"] =
+      static_cast<int64_t>(kConsumerCost.count());
+  bench["hardware_concurrency"] =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
 
   // 1. Reuse accounting under change.
   const auto base = stream::generate_comm_code(instrument_schema(2));
@@ -94,63 +270,129 @@ int main() {
 
   // 2. Marshalling cost (the generated data path).
   {
-    const size_t kRecords = 200000;
+    const size_t kMarshalRecords = 200000;
     stream::Encoder encoder(instrument_schema(2));
     const auto start = Clock::now();
-    for (uint64_t i = 0; i < kRecords; ++i) encoder.append(make_record(i, 2));
-    const double encode_s =
-        std::chrono::duration<double>(Clock::now() - start).count();
+    for (uint64_t i = 0; i < kMarshalRecords; ++i) {
+      encoder.append(make_record(i, 2));
+    }
+    const double encode_s = seconds_since(start);
     const auto decode_start = Clock::now();
     const auto decoded = stream::decode_stream(encoder.bytes());
-    const double decode_s =
-        std::chrono::duration<double>(Clock::now() - decode_start).count();
+    const double decode_s = seconds_since(decode_start);
     std::printf("marshalling: encode %.2f Mrec/s, decode %.2f Mrec/s, %s/rec\n\n",
-                kRecords / encode_s / 1e6, decoded.records.size() / decode_s / 1e6,
-                format_bytes(static_cast<double>(encoder.bytes().size()) / kRecords)
+                kMarshalRecords / encode_s / 1e6,
+                decoded.records.size() / decode_s / 1e6,
+                format_bytes(static_cast<double>(encoder.bytes().size()) /
+                             kMarshalRecords)
                     .c_str());
+    Json marshal = Json::object();
+    marshal["encode_mrec_s"] = kMarshalRecords / encode_s / 1e6;
+    marshal["decode_mrec_s"] = decoded.records.size() / decode_s / 1e6;
+    bench["marshal"] = marshal;
   }
 
-  // 3. Scheduler throughput per selection policy.
-  std::printf("%-28s %14s\n", "selection policy", "records/s");
-  const size_t kRecords = 300000;
-  Json window_args = Json::object();
-  window_args["capacity"] = 32;
-  Json time_args = Json::object();
-  time_args["horizon"] = 0.05;
-  Json stride_args = Json::object();
-  stride_args["stride"] = 10;
-  const std::vector<std::pair<std::string, Json>> policies = {
-      {"forward-all", Json::object()},
-      {"sliding-window-count", window_args},
-      {"sliding-window-time", time_args},
-      {"sample-every", stride_args},
-      {"direct-selection", Json::object()},
-  };
-  for (const auto& [kind, args] : policies) {
-    std::printf("%-28s %14.0f\n", kind.c_str(),
-                throughput_with_policy(kind, args, kRecords));
+  // 3. The concurrent plane: policy x worker-count grid.
+  std::printf("concurrent plane: %zu queues, %zu records, %lld us simulated "
+              "downstream cost per delivery\n",
+              kQueues, kRecords,
+              static_cast<long long>(kConsumerCost.count()));
+  std::printf("%-22s %8s %12s %10s %8s %10s %10s\n", "policy", "workers",
+              "records/s", "delivered", "dropped", "p50 ms", "p99 ms");
+  Json plane = Json::array();
+  double one_worker_forward = 0;
+  double four_worker_forward = 0;
+  for (const PolicySpec& spec : plane_policies()) {
+    const PlaneResult sync = run_sync_plane(spec);
+    std::printf("%-22s %8s %12.0f %10llu %8llu %10.2f %10.2f\n",
+                spec.kind.c_str(), "sync", sync.records_s,
+                static_cast<unsigned long long>(sync.delivered),
+                static_cast<unsigned long long>(sync.dropped), sync.p50_ms,
+                sync.p99_ms);
+    Json sync_row = result_json(sync);
+    sync_row["policy"] = spec.kind;
+    sync_row["workers"] = static_cast<int64_t>(0);
+    plane.push_back(sync_row);
+    for (size_t workers : {1u, 2u, 4u, 8u}) {
+      const PlaneResult result = run_concurrent_plane(spec, workers);
+      std::printf("%-22s %8zu %12.0f %10llu %8llu %10.2f %10.2f\n",
+                  spec.kind.c_str(), workers, result.records_s,
+                  static_cast<unsigned long long>(result.delivered),
+                  static_cast<unsigned long long>(result.dropped),
+                  result.p50_ms, result.p99_ms);
+      Json row = result_json(result);
+      row["policy"] = spec.kind;
+      row["workers"] = static_cast<int64_t>(workers);
+      plane.push_back(row);
+      if (spec.kind == "forward-all" && workers == 1) {
+        one_worker_forward = result.records_s;
+      }
+      if (spec.kind == "forward-all" && workers == 4) {
+        four_worker_forward = result.records_s;
+      }
+    }
+  }
+  bench["plane"] = plane;
+  const double speedup =
+      one_worker_forward > 0 ? four_worker_forward / one_worker_forward : 0;
+  bench["speedup_4w_vs_1w_forward_all"] = speedup;
+  std::printf("forward-all speedup, 4 workers vs 1: %.2fx "
+              "(block policy, zero drops)\n\n", speedup);
+
+  // 3b. Overflow tradeoff under a saturating producer.
+  std::printf("overflow policies (capacity 16, saturating producer, "
+              "slow sink):\n");
+  std::printf("%-14s %12s %10s %8s %10s\n", "overflow", "records/s",
+              "delivered", "dropped", "p99 ms");
+  Json overflow_rows = Json::array();
+  for (stream::Overflow overflow :
+       {stream::Overflow::Block, stream::Overflow::DropOldest,
+        stream::Overflow::KeepLatest}) {
+    const PlaneResult result = run_overflow(overflow);
+    std::printf("%-14s %12.0f %10llu %8llu %10.2f\n",
+                stream::overflow_name(overflow), result.records_s,
+                static_cast<unsigned long long>(result.delivered),
+                static_cast<unsigned long long>(result.dropped),
+                result.p99_ms);
+    Json row = result_json(result);
+    row["overflow"] = std::string(stream::overflow_name(overflow));
+    overflow_rows.push_back(row);
+  }
+  bench["overflow"] = overflow_rows;
+
+  // 4. The steering scenario, now on the concurrent plane.
+  {
+    stream::StreamPipeline pipeline(2);
+    std::mutex mutex;
+    std::vector<uint64_t> steered;
+    pipeline.subscribe(
+        [&](const std::string& queue, const stream::Record& record) {
+          if (queue != "steered") return;
+          std::lock_guard lock(mutex);
+          steered.push_back(record.sequence);
+        });
+    pipeline.install_queue("default",
+                           std::make_unique<stream::ForwardAllPolicy>());
+    const auto factory = stream::PolicyFactory::with_builtins();
+    factory.handle_install(pipeline, Json::parse(R"({
+      "install": {"queue": "steered", "kind": "direct-selection",
+                  "args": {"max_queue": 128},
+                  "capacity": 32, "overflow": "drop-oldest"}})"));
+    for (uint64_t i = 0; i < 100; ++i) pipeline.publish(make_record(i, 2));
+    Json select = Json::object();
+    select["select"] = Json::array({Json(17), Json(42), Json(99)});
+    pipeline.control("steered", select);
+    pipeline.wait_quiescent();
+    pipeline.shutdown();
+    std::printf("\nruntime steering: installed 'direct-selection' "
+                "post-deployment on the concurrent plane, selected %zu/3 "
+                "requested items (%llu, %llu, %llu)\n",
+                steered.size(), static_cast<unsigned long long>(steered[0]),
+                static_cast<unsigned long long>(steered[1]),
+                static_cast<unsigned long long>(steered[2]));
   }
 
-  // 4. The steering scenario end to end.
-  stream::DataScheduler scheduler;
-  std::vector<uint64_t> steered;
-  scheduler.subscribe([&](const std::string& queue, const stream::Record& record) {
-    if (queue == "steered") steered.push_back(record.sequence);
-  });
-  scheduler.install_queue("default",
-                          std::make_unique<stream::ForwardAllPolicy>());
-  const stream::PolicyFactory factory = stream::PolicyFactory::with_builtins();
-  factory.handle_install(scheduler, Json::parse(R"({
-    "install": {"queue": "steered", "kind": "direct-selection",
-                "args": {"max_queue": 128}}})"));
-  for (uint64_t i = 0; i < 100; ++i) scheduler.publish(make_record(i, 2));
-  Json select = Json::object();
-  select["select"] = Json::array({Json(17), Json(42), Json(99)});
-  scheduler.control("steered", select);
-  std::printf("\nruntime steering: installed 'direct-selection' post-deployment, "
-              "selected %zu/3 requested items (%llu, %llu, %llu)\n",
-              steered.size(), static_cast<unsigned long long>(steered[0]),
-              static_cast<unsigned long long>(steered[1]),
-              static_cast<unsigned long long>(steered[2]));
+  bench.write_file(out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

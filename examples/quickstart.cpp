@@ -32,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "savanna/campaign_runner.hpp"
 #include "savanna/local_executor.hpp"
+#include "stream/pipeline.hpp"
 #include "stream/scheduler.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
@@ -140,6 +141,28 @@ int provenance_tour(const std::string& jsonl_path,
         "queue": "steered", "kind": "sample-every",
         "args": {"stride": 2}}})"));
     scheduler.remove_queue("monitor");
+  }
+
+  // 4b. The concurrent data plane: the same virtual queues, but drained by
+  //     worker threads through bounded channels (stream.pipeline.* events,
+  //     queue-depth counters, and the instrument source stage).
+  {
+    stream::StreamPipeline pipeline(2);
+    pipeline.subscribe([](const std::string&, const stream::Record&) {});
+    pipeline.install_queue(
+        "live", std::make_unique<stream::ForwardAllPolicy>(),
+        {.capacity = 8, .overflow = stream::Overflow::Block});
+    stream::InstrumentSource source(
+        pipeline, [](uint64_t index) -> std::optional<stream::Record> {
+          if (index >= 16) return std::nullopt;
+          stream::Record record;
+          record.sequence = index;
+          record.timestamp = static_cast<double>(index);
+          return record;
+        });
+    source.join();
+    pipeline.wait_quiescent();
+    pipeline.shutdown();
   }
 
   // 5. iRF on the work-helping thread pool (queue-depth counters ride

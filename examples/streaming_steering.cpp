@@ -1,5 +1,6 @@
 // The Fig. 5 synthetic workflow, runnable: instrument -> generated
-// communication -> data scheduler with virtual queues -> consumers, with a
+// communication -> concurrent data plane (virtual queues draining through
+// bounded channels into worker threads) -> consumers, with a
 // remote-steering control channel that installs a selection policy the
 // workflow did not know at code-generation time.
 //
@@ -10,7 +11,7 @@
 #include "core/workflow_graph.hpp"
 #include "stream/codegen.hpp"
 #include "stream/marshal.hpp"
-#include "stream/scheduler.hpp"
+#include "stream/pipeline.hpp"
 
 using namespace ff;
 
@@ -63,20 +64,28 @@ int main() {
   std::printf("2. collection/selection/forwarding pattern found %zu time(s)\n",
               matches.size());
 
-  // 3. Run it: marshal records through the wire format, publish through
-  // the scheduler, steer at runtime.
-  stream::DataScheduler scheduler;
+  // 3. Run it on the concurrent plane: marshal records through the wire
+  // format, feed them from an instrument source thread, drain each virtual
+  // queue through its own bounded channel into pool workers, steer at
+  // runtime. Consumers run on worker threads, so the tallies take a lock.
+  stream::StreamPipeline pipeline(/*workers=*/2);
+  std::mutex tally_mutex;
   size_t archived = 0;
   std::vector<uint64_t> analyzed;
   std::vector<uint64_t> steered;
-  scheduler.subscribe([&](const std::string& queue, const stream::Record& record) {
+  pipeline.subscribe([&](const std::string& queue, const stream::Record& record) {
+    std::lock_guard lock(tally_mutex);
     if (queue == "archive") ++archived;
     if (queue == "analysis-window") analyzed.push_back(record.sequence);
     if (queue == "steering") steered.push_back(record.sequence);
   });
-  scheduler.install_queue("archive", std::make_unique<stream::ForwardAllPolicy>());
-  scheduler.install_queue("analysis-window",
-                          std::make_unique<stream::SlidingWindowCountPolicy>(4));
+  // The archive must be lossless: bounded channel with blocking
+  // backpressure. The analysis window tap prefers freshness: drop-oldest.
+  pipeline.install_queue("archive", std::make_unique<stream::ForwardAllPolicy>(),
+                         {.capacity = 16, .overflow = stream::Overflow::Block});
+  pipeline.install_queue("analysis-window",
+                         std::make_unique<stream::SlidingWindowCountPolicy>(4),
+                         {.capacity = 8, .overflow = stream::Overflow::DropOldest});
 
   // The instrument produces marshalled bytes; the (generated) sink decodes
   // and publishes — here inlined, exactly what the generated code does.
@@ -92,26 +101,33 @@ int main() {
   std::printf("3. instrument emitted 40 shots (%zu bytes on the wire)\n",
               encoder.bytes().size());
 
-  size_t published = 0;
-  for (const auto& record : stream::decode_stream(encoder.bytes()).records) {
-    scheduler.publish(record);
-    ++published;
-    if (published == 20) {
-      // Mid-stream, a steering process installs a brand-new virtual queue.
-      const stream::PolicyFactory factory = stream::PolicyFactory::with_builtins();
-      factory.handle_install(scheduler, Json::parse(R"({
-        "install": {"queue": "steering", "kind": "direct-selection"}})"));
-      std::printf("4. steering queue installed after shot 20 (policy unknown "
-                  "at generation time)\n");
-    }
-    if (published % 10 == 0) {
-      scheduler.punctuate(Json::object());  // window boundaries
-    }
-  }
+  const auto wire = stream::decode_stream(encoder.bytes());
+  stream::InstrumentSource source(
+      pipeline, [&](uint64_t index) -> std::optional<stream::Record> {
+        if (index >= wire.records.size()) return std::nullopt;
+        if (index == 20) {
+          // Mid-stream, a steering process installs a brand-new virtual
+          // queue — landing directly on the concurrent plane, with its own
+          // channel capacity and overflow policy.
+          const auto factory = stream::PolicyFactory::with_builtins();
+          factory.handle_install(pipeline, Json::parse(R"({
+            "install": {"queue": "steering", "kind": "direct-selection",
+                        "capacity": 32, "overflow": "block"}})"));
+          std::printf("4. steering queue installed after shot 20 (policy "
+                      "unknown at generation time)\n");
+        }
+        if (index > 0 && index % 10 == 0) {
+          pipeline.punctuate(Json::object());  // window boundaries
+        }
+        return wire.records[index];
+      });
+  source.join();
   // The steering client picks exactly the shots it wants.
   Json select = Json::object();
   select["select"] = Json::array({Json(25), Json(33)});
-  scheduler.control("steering", select);
+  pipeline.control("steering", select);
+  pipeline.wait_quiescent();
+  pipeline.shutdown();
 
   std::printf("5. results: archive=%zu records, analysis saw %zu window "
               "snapshots, steering pulled shots",

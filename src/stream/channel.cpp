@@ -4,13 +4,24 @@
 
 namespace ff::stream {
 
+const char* overflow_name(Overflow policy) noexcept {
+  switch (policy) {
+    case Overflow::Block: return "block";
+    case Overflow::DropOldest: return "drop-oldest";
+    case Overflow::KeepLatest: return "keep-latest";
+  }
+  return "unknown";
+}
+
 Channel::Channel(size_t capacity) : capacity_(capacity) {
   if (capacity == 0) throw ValidationError("Channel: capacity must be > 0");
 }
 
 bool Channel::send(Record record) {
   std::unique_lock lock(mutex_);
+  ++send_waiters_;
   not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+  --send_waiters_;
   if (closed_) return false;
   queue_.push_back(std::move(record));
   ++sent_;
@@ -30,9 +41,37 @@ bool Channel::try_send(Record record) {
   return true;
 }
 
+Channel::OfferResult Channel::offer(Record record, Overflow policy) {
+  if (policy == Overflow::Block) {
+    return OfferResult{send(std::move(record)), 0};
+  }
+  OfferResult result;
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return result;
+    if (queue_.size() >= capacity_) {
+      if (policy == Overflow::DropOldest) {
+        queue_.pop_front();
+        result.evicted = 1;
+      } else {  // KeepLatest: conflate to the incoming record
+        result.evicted = queue_.size();
+        queue_.clear();
+      }
+      dropped_ += result.evicted;
+    }
+    queue_.push_back(std::move(record));
+    ++sent_;
+    result.accepted = true;
+  }
+  not_empty_.notify_one();
+  return result;
+}
+
 std::optional<Record> Channel::receive() {
   std::unique_lock lock(mutex_);
+  ++receive_waiters_;
   not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  --receive_waiters_;
   if (queue_.empty()) return std::nullopt;  // closed and drained
   Record record = std::move(queue_.front());
   queue_.pop_front();
@@ -55,6 +94,21 @@ std::optional<Record> Channel::try_receive() {
   return record;
 }
 
+std::optional<Record> Channel::receive_for(std::chrono::nanoseconds timeout) {
+  std::unique_lock lock(mutex_);
+  ++receive_waiters_;
+  const bool ready = not_empty_.wait_for(
+      lock, timeout, [this] { return closed_ || !queue_.empty(); });
+  --receive_waiters_;
+  if (!ready || queue_.empty()) return std::nullopt;  // timeout, or drained
+  Record record = std::move(queue_.front());
+  queue_.pop_front();
+  ++received_;
+  lock.unlock();
+  not_full_.notify_one();
+  return record;
+}
+
 void Channel::close() {
   {
     std::lock_guard lock(mutex_);
@@ -62,6 +116,23 @@ void Channel::close() {
   }
   not_full_.notify_all();
   not_empty_.notify_all();
+}
+
+std::vector<Record> Channel::close_and_drain() {
+  std::vector<Record> remaining;
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    remaining.reserve(queue_.size());
+    while (!queue_.empty()) {
+      remaining.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++received_;
+    }
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  return remaining;
 }
 
 bool Channel::closed() const {
@@ -82,6 +153,21 @@ uint64_t Channel::sent() const {
 uint64_t Channel::received() const {
   std::lock_guard lock(mutex_);
   return received_;
+}
+
+uint64_t Channel::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+size_t Channel::send_waiters() const {
+  std::lock_guard lock(mutex_);
+  return send_waiters_;
+}
+
+size_t Channel::receive_waiters() const {
+  std::lock_guard lock(mutex_);
+  return receive_waiters_;
 }
 
 }  // namespace ff::stream

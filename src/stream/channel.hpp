@@ -1,13 +1,27 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "stream/data.hpp"
 
 namespace ff::stream {
+
+/// What a producer does when a bounded channel is full — the per-queue
+/// knob of the concurrent Fig. 5 data plane. `Block` is lossless
+/// backpressure (the EVPath-style transport default); the two lossy modes
+/// serve monitoring taps that prefer freshness over completeness.
+enum class Overflow : uint8_t {
+  Block,       ///< wait until a consumer makes room (lossless)
+  DropOldest,  ///< evict the oldest queued record to admit the new one
+  KeepLatest,  ///< conflate: clear the queue, keep only the incoming record
+};
+
+const char* overflow_name(Overflow policy) noexcept;
 
 /// A bounded multi-producer/multi-consumer channel of Records — the
 /// in-process stand-in for the event-transport middleware the paper's
@@ -26,6 +40,14 @@ class Channel {
   /// Non-blocking send: false when full or closed.
   bool try_send(Record record);
 
+  /// Overflow-policy send. `Block` behaves like send(); the lossy policies
+  /// never block and report how many queued records they evicted.
+  struct OfferResult {
+    bool accepted = false;  ///< false only when the channel is closed
+    size_t evicted = 0;     ///< records dropped to admit this one
+  };
+  OfferResult offer(Record record, Overflow policy);
+
   /// Blocking receive; nullopt once the channel is closed AND drained.
   std::optional<Record> receive();
 
@@ -33,15 +55,34 @@ class Channel {
   /// to distinguish "not yet" from "never again").
   std::optional<Record> try_receive();
 
+  /// Blocking receive with a timeout; nullopt on timeout or once the
+  /// channel is closed and drained (check closed() to distinguish).
+  std::optional<Record> receive_for(std::chrono::nanoseconds timeout);
+
   void close();
   bool closed() const;
+
+  /// close() and atomically take every still-queued record (counted as
+  /// received). Used by pipeline shutdown to drain without a consumer race.
+  std::vector<Record> close_and_drain();
 
   size_t size() const;
   size_t capacity() const noexcept { return capacity_; }
 
-  /// Lifetime counters (monotonic).
+  /// Lifetime counters (monotonic). `sent` counts accepted records,
+  /// `received` records handed to consumers (incl. close_and_drain),
+  /// `dropped` records evicted by lossy offer() policies — at quiescence
+  /// sent() == received() + dropped() + size().
   uint64_t sent() const;
   uint64_t received() const;
+  uint64_t dropped() const;
+
+  /// Threads currently parked inside a blocking send()/offer(Block) or
+  /// receive()/receive_for(). Test introspection: lets a test wait until a
+  /// peer is genuinely blocked before it closes the channel, instead of
+  /// sleeping and hoping.
+  size_t send_waiters() const;
+  size_t receive_waiters() const;
 
  private:
   const size_t capacity_;
@@ -52,6 +93,9 @@ class Channel {
   bool closed_ = false;
   uint64_t sent_ = 0;
   uint64_t received_ = 0;
+  uint64_t dropped_ = 0;
+  size_t send_waiters_ = 0;
+  size_t receive_waiters_ = 0;
 };
 
 }  // namespace ff::stream

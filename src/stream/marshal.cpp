@@ -61,15 +61,19 @@ class Reader {
   }
   std::string string() {
     const uint32_t length = u32();
-    need(length);
+    need(length);  // validates before the allocation below
+
     std::string value(reinterpret_cast<const char*>(bytes_.data() + offset_), length);
     offset_ += length;
     return value;
   }
 
+  /// Assert `count` bytes remain without consuming them.
+  void need_ahead(size_t count) const { need(count); }
+
  private:
   void need(size_t count) const {
-    if (offset_ + count > bytes_.size()) {
+    if (count > bytes_.size() - offset_) {  // overflow-safe (offset_ <= size)
       throw ParseError("ffbin: truncated stream at offset " + std::to_string(offset_));
     }
   }
@@ -160,6 +164,10 @@ DecodedStream decode_stream(const std::vector<uint8_t>& bytes) {
           break;
         case Tag::DoubleArray: {
           const uint32_t length = reader.u32();
+          // Check the payload actually fits BEFORE reserving: a truncated or
+          // corrupt stream must raise ParseError, not attempt a multi-GB
+          // allocation off a garbage length prefix.
+          reader.need_ahead(size_t{length} * 8);
           std::vector<double> array;
           array.reserve(length);
           for (uint32_t j = 0; j < length; ++j) array.push_back(reader.f64());

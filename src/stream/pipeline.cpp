@@ -1,0 +1,279 @@
+#include "stream/pipeline.hpp"
+
+#include <chrono>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace ff::stream {
+
+namespace {
+
+/// Records delivered per drain task before the queue's strand yields its
+/// worker — keeps a busy queue from starving the others when workers are
+/// scarcer than queues.
+constexpr size_t kDrainBatch = 64;
+
+Overflow parse_overflow(const std::string& name) {
+  if (name == "block") return Overflow::Block;
+  if (name == "drop-oldest") return Overflow::DropOldest;
+  if (name == "keep-latest") return Overflow::KeepLatest;
+  throw ValidationError("unknown overflow policy '" + name +
+                        "' (want block, drop-oldest, or keep-latest)");
+}
+
+}  // namespace
+
+StreamPipeline::StreamPipeline(size_t workers)
+    : pool_(std::make_unique<ThreadPool>(workers)) {
+  obs::trace_instant("stream", "stream.pipeline.start",
+                     {{"workers", pool_->worker_count()}});
+}
+
+StreamPipeline::~StreamPipeline() { shutdown(); }
+
+void StreamPipeline::install_queue(const std::string& queue,
+                                   std::unique_ptr<SelectionPolicy> policy,
+                                   QueueOptions options) {
+  auto pipe = std::make_shared<PipeQueue>();
+  pipe->name = queue;
+  pipe->channel = std::make_unique<Channel>(options.capacity);
+  pipe->overflow = options.overflow;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) throw StateError("StreamPipeline: install after shutdown");
+    if (queues_.count(queue)) {
+      throw ValidationError("StreamPipeline: queue '" + queue +
+                            "' already exists");
+    }
+    queues_.emplace(queue, pipe);
+  }
+  // The sink runs on publisher threads under the queue's scheduler lock, so
+  // releases enter the channel in policy order. Attached atomically with the
+  // install: no release can bypass the channel.
+  scheduler_.install_queue(queue, std::move(policy),
+                           [this, pipe](const std::string&, Record record) {
+                             offer(*pipe, std::move(record));
+                             schedule_drain(pipe);
+                           });
+  obs::trace_instant("stream", "stream.pipeline.attach",
+                     {{"queue", queue},
+                      {"capacity", options.capacity},
+                      {"overflow", overflow_name(options.overflow)}});
+}
+
+void StreamPipeline::remove_queue(const std::string& queue) {
+  std::shared_ptr<PipeQueue> pipe;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = queues_.find(queue);
+    if (it == queues_.end()) {
+      throw NotFoundError("StreamPipeline: no queue '" + queue + "'");
+    }
+    pipe = it->second;
+    queues_.erase(it);
+  }
+  // Stop new releases, then deliver what the channel still holds. In-flight
+  // publishes still hold the PipeQueue alive through the sink's shared_ptr,
+  // so this never races into a use-after-free; their releases after close
+  // are counted as rejected.
+  scheduler_.remove_queue(queue);
+  pipe->channel->close();
+  schedule_drain(pipe);
+}
+
+bool StreamPipeline::has_queue(const std::string& queue) const noexcept {
+  std::lock_guard lock(mutex_);
+  return queues_.count(queue) > 0;
+}
+
+void StreamPipeline::subscribe(DataScheduler::Consumer consumer) {
+  if (!consumer) throw ValidationError("subscribe: null consumer");
+  std::lock_guard lock(mutex_);
+  auto next =
+      std::make_shared<std::vector<DataScheduler::Consumer>>(*consumers_);
+  next->push_back(std::move(consumer));
+  consumers_ = std::move(next);
+}
+
+void StreamPipeline::offer(PipeQueue& queue, Record record) {
+  queue.released.fetch_add(1, std::memory_order_relaxed);
+  const Channel::OfferResult result =
+      queue.channel->offer(std::move(record), queue.overflow);
+  if (!result.accepted) {
+    queue.rejected.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (result.evicted > 0) {
+    obs::trace_instant("stream", "stream.pipeline.drop",
+                       {{"queue", queue.name}, {"count", result.evicted}});
+  }
+}
+
+void StreamPipeline::schedule_drain(const std::shared_ptr<PipeQueue>& queue) {
+  // Strand dispatch: at most one drain task per queue is queued or running,
+  // so per-queue delivery stays ordered for any worker count.
+  if (queue->scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  pool_->post([this, queue] { drain(queue); });
+}
+
+void StreamPipeline::drain(const std::shared_ptr<PipeQueue>& queue) {
+  std::shared_ptr<const std::vector<DataScheduler::Consumer>> consumers;
+  {
+    std::lock_guard lock(mutex_);
+    consumers = consumers_;
+  }
+  size_t processed = 0;
+  while (processed < kDrainBatch) {
+    std::optional<Record> record = queue->channel->try_receive();
+    if (!record) break;
+    ++processed;
+    queue->delivered.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& consumer : *consumers) consumer(queue->name, *record);
+  }
+  if (obs::tracing_enabled()) {
+    obs::trace_counter("stream", "stream.queue.depth",
+                       static_cast<double>(queue->channel->size()),
+                       {{"queue", queue->name}});
+  }
+  queue->scheduled.store(false, std::memory_order_release);
+  // Re-arm if records remain (or raced in after the last try_receive). A
+  // producer that saw scheduled==true before the store above relies on this
+  // re-check to get its record drained.
+  if (queue->channel->size() > 0) schedule_drain(queue);
+}
+
+std::vector<std::shared_ptr<StreamPipeline::PipeQueue>>
+StreamPipeline::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<PipeQueue>> queues;
+  queues.reserve(queues_.size());
+  for (const auto& [_, pipe] : queues_) queues.push_back(pipe);
+  return queues;
+}
+
+void StreamPipeline::wait_quiescent() {
+  while (true) {
+    pool_->wait_idle();
+    bool quiet = true;
+    for (const auto& pipe : snapshot()) {
+      if (pipe->channel->size() > 0 ||
+          pipe->scheduled.load(std::memory_order_acquire)) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void StreamPipeline::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  const auto queues = snapshot();
+  // Close first: blocked producers wake (their offers are rejected and
+  // counted), and nothing new enters the channels.
+  for (const auto& pipe : queues) pipe->channel->close();
+  // Drain what was accepted through the normal ordered path.
+  for (const auto& pipe : queues) schedule_drain(pipe);
+  pool_->wait_idle();
+  // A publisher preempted between its accepted offer and schedule_drain can
+  // in principle leave records behind with no drain scheduled; deliver them
+  // inline (the strand is idle — wait_idle saw it finish).
+  for (const auto& pipe : queues) {
+    std::vector<Record> leftover = pipe->channel->close_and_drain();
+    if (leftover.empty()) continue;
+    std::shared_ptr<const std::vector<DataScheduler::Consumer>> consumers;
+    {
+      std::lock_guard lock(mutex_);
+      consumers = consumers_;
+    }
+    for (Record& record : leftover) {
+      pipe->delivered.fetch_add(1, std::memory_order_relaxed);
+      for (const auto& consumer : *consumers) consumer(pipe->name, record);
+    }
+  }
+  pool_->wait_idle();  // inline delivery may have re-armed strands via consumers
+  const Totals final_totals = totals();
+  obs::trace_instant("stream", "stream.pipeline.stop",
+                     {{"delivered", final_totals.delivered},
+                      {"dropped", final_totals.dropped}});
+  // The pool (and its worker threads) is joined by the destructor — after
+  // this point it only ever runs no-op drains.
+}
+
+StreamPipeline::QueueReport StreamPipeline::report(
+    const std::string& queue) const {
+  std::shared_ptr<PipeQueue> pipe;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = queues_.find(queue);
+    if (it == queues_.end()) {
+      throw NotFoundError("StreamPipeline: no queue '" + queue + "'");
+    }
+    pipe = it->second;
+  }
+  QueueReport report;
+  report.released = pipe->released.load(std::memory_order_relaxed);
+  report.delivered = pipe->delivered.load(std::memory_order_relaxed);
+  report.dropped = pipe->channel->dropped() +
+                   pipe->rejected.load(std::memory_order_relaxed);
+  report.depth = pipe->channel->size();
+  report.overflow = pipe->overflow;
+  return report;
+}
+
+StreamPipeline::Totals StreamPipeline::totals() const {
+  Totals totals;
+  for (const auto& pipe : snapshot()) {
+    totals.delivered += pipe->delivered.load(std::memory_order_relaxed);
+    totals.dropped += pipe->channel->dropped() +
+                      pipe->rejected.load(std::memory_order_relaxed);
+  }
+  return totals;
+}
+
+void PolicyFactory::handle_install(StreamPipeline& pipeline,
+                                   const Json& message) const {
+  const Json& install = message["install"];
+  const std::string queue = install["queue"].as_string();
+  const std::string kind = install["kind"].as_string();
+  const Json args = install.contains("args") ? install["args"] : Json::object();
+  QueueOptions options;
+  options.capacity =
+      static_cast<size_t>(install.get_or("capacity", int64_t{256}));
+  options.overflow = parse_overflow(install.get_or("overflow", "block"));
+  obs::trace_instant("stream", "stream.policy.install",
+                     {{"queue", queue}, {"kind", kind}});
+  pipeline.install_queue(queue, build(kind, args), options);
+}
+
+InstrumentSource::InstrumentSource(StreamPipeline& pipeline,
+                                   Generator generator, Options options) {
+  if (!generator) throw ValidationError("InstrumentSource: null generator");
+  thread_ = std::thread([this, &pipeline, generator = std::move(generator),
+                         options = std::move(options)] {
+    uint64_t index = 0;
+    while (std::optional<Record> record = generator(index)) {
+      pipeline.publish(*record);
+      published_.fetch_add(1, std::memory_order_relaxed);
+      ++index;
+      if (options.punctuate_every > 0 && index % options.punctuate_every == 0) {
+        pipeline.punctuate(options.punctuation);
+      }
+    }
+    obs::trace_instant("stream", "stream.source.done", {{"records", index}});
+  });
+}
+
+InstrumentSource::~InstrumentSource() { join(); }
+
+void InstrumentSource::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace ff::stream

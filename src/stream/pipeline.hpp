@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/channel.hpp"
+#include "stream/scheduler.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ff::stream {
+
+/// Per-queue transport configuration on the concurrent plane.
+struct QueueOptions {
+  size_t capacity = 256;                ///< bounded channel size
+  Overflow overflow = Overflow::Block;  ///< producer behaviour when full
+};
+
+/// The Fig. 5 data plane with real threads: a thread-safe DataScheduler
+/// whose virtual queues each drain through their own bounded Channel into
+/// ordered consumer dispatch on a shared util::ThreadPool.
+///
+///   instrument threads ──publish()──▶ DataScheduler (policies, per-queue
+///   lock) ──releases──▶ per-queue bounded Channel ──▶ strand drain task on
+///   the worker pool ──▶ subscribed consumers
+///
+/// Guarantees:
+///   - *Per-queue order.* Consumers observe one queue's releases in exactly
+///     the order its policy released them: releases enter the channel under
+///     the queue's scheduler lock, the channel is FIFO, and at most one
+///     drain task per queue runs at a time (a strand), whatever the worker
+///     count. Release order is therefore bit-identical across 1/2/4/8
+///     workers.
+///   - *Punctuation order.* control()/punctuate() run the policy under the
+///     same per-queue lock as publish(), so a queue observes a control
+///     message strictly after every record published causally before it
+///     (same-thread program order; cross-thread via the lock).
+///   - *Backpressure.* With Overflow::Block a full channel blocks the
+///     publisher until workers catch up — end-to-end flow control, zero
+///     drops. The lossy policies never block and count evictions instead.
+///   - *Clean shutdown.* shutdown() closes every channel, drains what they
+///     still hold through the normal consumer path, waits for the pool to
+///     go idle, and only then joins the workers. Nothing accepted by a
+///     channel is lost.
+///
+/// Consumers run on pool workers; a consumer may publish() back into the
+/// pipeline (different queue) or install/remove queues, but must not call
+/// shutdown() from inside a delivery.
+class StreamPipeline {
+ public:
+  explicit StreamPipeline(size_t workers);
+  ~StreamPipeline();  // implies shutdown()
+
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  size_t worker_count() const noexcept { return pool_->worker_count(); }
+
+  /// Install a virtual queue whose releases ride the concurrent plane.
+  void install_queue(const std::string& queue,
+                     std::unique_ptr<SelectionPolicy> policy,
+                     QueueOptions options = {});
+  /// Remove a queue, draining already-released records to consumers first.
+  void remove_queue(const std::string& queue);
+  bool has_queue(const std::string& queue) const noexcept;
+
+  /// Consumers see (queue, record) in per-queue release order. Subscribe
+  /// before records flow; concurrent subscription is safe but late
+  /// subscribers miss earlier deliveries.
+  void subscribe(DataScheduler::Consumer consumer);
+
+  /// Control plane passthrough (all thread-safe; see DataScheduler).
+  void publish(const Record& record) { scheduler_.publish(record); }
+  void control(const std::string& queue, const Json& argument) {
+    scheduler_.control(queue, argument);
+  }
+  void punctuate(const Json& argument) { scheduler_.punctuate(argument); }
+  void set_active(const std::string& queue, bool active) {
+    scheduler_.set_active(queue, active);
+  }
+
+  /// The underlying scheduler, for stats() and advanced control-plane use.
+  DataScheduler& scheduler() noexcept { return scheduler_; }
+
+  /// Stop the plane: no further releases enter the channels; everything
+  /// already accepted is delivered; workers join. Idempotent.
+  void shutdown();
+
+  /// Block until every channel is empty and no drain task is running —
+  /// i.e. every record released so far has reached the consumers. Safe to
+  /// call while producers are paused (not racing new publishes).
+  void wait_quiescent();
+
+  struct QueueReport {
+    uint64_t released = 0;   ///< records the policy released into the channel
+    uint64_t delivered = 0;  ///< records handed to consumers
+    uint64_t dropped = 0;    ///< evicted by the overflow policy (+ rejected at shutdown)
+    size_t depth = 0;        ///< records currently queued in the channel
+    Overflow overflow = Overflow::Block;
+  };
+  QueueReport report(const std::string& queue) const;
+
+  struct Totals {
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+  };
+  Totals totals() const;
+
+ private:
+  struct PipeQueue {
+    std::string name;
+    std::unique_ptr<Channel> channel;
+    Overflow overflow = Overflow::Block;
+    std::atomic<uint64_t> released{0};
+    std::atomic<uint64_t> delivered{0};
+    std::atomic<uint64_t> rejected{0};     ///< offers refused (closed channel)
+    std::atomic<bool> scheduled{false};    ///< a drain task is queued/running
+  };
+
+  void offer(PipeQueue& queue, Record record);
+  void schedule_drain(const std::shared_ptr<PipeQueue>& queue);
+  void drain(const std::shared_ptr<PipeQueue>& queue);
+  std::vector<std::shared_ptr<PipeQueue>> snapshot() const;
+
+  DataScheduler scheduler_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex mutex_;  // guards queues_ registry + stopped_
+  std::map<std::string, std::shared_ptr<PipeQueue>> queues_;
+  std::shared_ptr<const std::vector<DataScheduler::Consumer>> consumers_ =
+      std::make_shared<std::vector<DataScheduler::Consumer>>();
+  bool stopped_ = false;
+};
+
+/// The instrument producer stage: a dedicated thread feeding a pipeline
+/// from a generator, with optional periodic punctuation — the "source" box
+/// of the Fig. 5 workflow as a reusable component.
+class InstrumentSource {
+ public:
+  /// `generator(i)` returns the i-th record, or nullopt to end the stream.
+  using Generator = std::function<std::optional<Record>(uint64_t index)>;
+
+  struct Options {
+    uint64_t punctuate_every = 0;  ///< broadcast punctuation each N records (0 = never)
+    Json punctuation = Json::object();
+  };
+
+  InstrumentSource(StreamPipeline& pipeline, Generator generator,
+                   Options options);
+  InstrumentSource(StreamPipeline& pipeline, Generator generator)
+      : InstrumentSource(pipeline, std::move(generator), Options{}) {}
+  ~InstrumentSource();  // implies join()
+
+  InstrumentSource(const InstrumentSource&) = delete;
+  InstrumentSource& operator=(const InstrumentSource&) = delete;
+
+  /// Wait for the generator to finish. Does NOT shut the pipeline down —
+  /// several sources can feed one plane.
+  void join();
+
+  uint64_t published() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> published_{0};
+  std::thread thread_;
+};
+
+}  // namespace ff::stream

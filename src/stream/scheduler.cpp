@@ -6,105 +6,148 @@
 namespace ff::stream {
 
 void DataScheduler::install_queue(const std::string& queue,
-                                  std::unique_ptr<SelectionPolicy> policy) {
+                                  std::unique_ptr<SelectionPolicy> policy,
+                                  Sink sink) {
   if (!policy) throw ValidationError("install_queue: null policy");
-  if (queues_.count(queue)) {
-    throw ValidationError("install_queue: queue '" + queue + "' already exists");
+  auto entry = std::make_shared<VirtualQueue>();
+  entry->policy = std::move(policy);
+  entry->sink = std::move(sink);
+  {
+    std::lock_guard lock(mutex_);
+    if (queues_.count(queue)) {
+      throw ValidationError("install_queue: queue '" + queue + "' already exists");
+    }
+    queues_.emplace(queue, std::move(entry));
   }
-  VirtualQueue entry;
-  entry.policy = std::move(policy);
-  queues_.emplace(queue, std::move(entry));
   obs::trace_instant("stream", "stream.queue.install", {{"queue", queue}});
 }
 
 void DataScheduler::remove_queue(const std::string& queue) {
-  if (queues_.erase(queue) == 0) {
-    throw NotFoundError("remove_queue: no queue '" + queue + "'");
+  {
+    std::lock_guard lock(mutex_);
+    if (queues_.erase(queue) == 0) {
+      throw NotFoundError("remove_queue: no queue '" + queue + "'");
+    }
   }
   obs::trace_instant("stream", "stream.queue.remove", {{"queue", queue}});
 }
 
 bool DataScheduler::has_queue(const std::string& queue) const noexcept {
+  std::lock_guard lock(mutex_);
   return queues_.count(queue) > 0;
 }
 
 std::vector<std::string> DataScheduler::queue_names() const {
+  std::lock_guard lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, _] : queues_) names.push_back(name);
   return names;
 }
 
-DataScheduler::VirtualQueue& DataScheduler::require(const std::string& queue) {
+std::shared_ptr<DataScheduler::VirtualQueue> DataScheduler::require(
+    const std::string& queue) const {
+  std::lock_guard lock(mutex_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) throw NotFoundError("no queue '" + queue + "'");
   return it->second;
 }
 
-const DataScheduler::VirtualQueue& DataScheduler::require(
-    const std::string& queue) const {
-  auto it = queues_.find(queue);
-  if (it == queues_.end()) throw NotFoundError("no queue '" + queue + "'");
-  return it->second;
+std::vector<DataScheduler::QueueRef> DataScheduler::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<QueueRef> queues;
+  queues.reserve(queues_.size());
+  for (const auto& [name, entry] : queues_) queues.emplace_back(name, entry);
+  return queues;
 }
 
 void DataScheduler::set_active(const std::string& queue, bool active) {
-  require(queue).active = active;
+  const auto entry = require(queue);
+  {
+    std::lock_guard lock(entry->mutex);
+    entry->active = active;
+  }
   obs::trace_instant("stream", "stream.queue.active",
                      {{"queue", queue}, {"active", active}});
 }
 
 bool DataScheduler::is_active(const std::string& queue) const {
-  return require(queue).active;
+  const auto entry = require(queue);
+  std::lock_guard lock(entry->mutex);
+  return entry->active;
 }
 
 void DataScheduler::subscribe(Consumer consumer) {
   if (!consumer) throw ValidationError("subscribe: null consumer");
-  consumers_.push_back(std::move(consumer));
+  std::lock_guard lock(mutex_);
+  auto next = std::make_shared<std::vector<Consumer>>(*consumers_);
+  next->push_back(std::move(consumer));
+  consumers_ = std::move(next);
 }
 
-void DataScheduler::deliver(const std::string& queue, VirtualQueue& entry,
-                            std::vector<Record> released) {
+void DataScheduler::set_queue_sink(const std::string& queue, Sink sink) {
+  const auto entry = require(queue);
+  std::lock_guard lock(entry->mutex);
+  entry->sink = std::move(sink);
+}
+
+void DataScheduler::deliver_locked(const std::string& queue,
+                                   VirtualQueue& entry,
+                                   std::vector<Record> released) {
   entry.stats.releases += released.size();
   if (!released.empty()) {
     obs::trace_instant("stream", "stream.release",
                        {{"queue", queue}, {"count", released.size()}});
   }
+  if (entry.sink) {
+    for (Record& record : released) entry.sink(queue, std::move(record));
+    return;
+  }
+  std::shared_ptr<const std::vector<Consumer>> consumers;
+  {
+    std::lock_guard lock(mutex_);
+    consumers = consumers_;
+  }
   for (const Record& record : released) {
-    for (const Consumer& consumer : consumers_) consumer(queue, record);
+    for (const Consumer& consumer : *consumers) consumer(queue, record);
   }
 }
 
 void DataScheduler::publish(const Record& record) {
-  for (auto& [name, entry] : queues_) {
-    if (!entry.active) continue;
-    ++entry.stats.arrivals;
-    deliver(name, entry, entry.policy->on_item(record));
+  for (const auto& [name, entry] : snapshot()) {
+    std::lock_guard lock(entry->mutex);
+    if (!entry->active) continue;
+    ++entry->stats.arrivals;
+    deliver_locked(name, *entry, entry->policy->on_item(record));
     if (obs::tracing_enabled()) {
       // Backlog = records the policy is still holding (arrived, unreleased).
       obs::trace_counter(
           "stream", "stream.queue.backlog",
-          static_cast<double>(entry.stats.arrivals - entry.stats.releases),
+          static_cast<double>(entry->stats.arrivals - entry->stats.releases),
           {{"queue", name}});
     }
   }
 }
 
 void DataScheduler::control(const std::string& queue, const Json& argument) {
-  VirtualQueue& entry = require(queue);
+  const auto entry = require(queue);
   obs::trace_instant("stream", "stream.control", {{"queue", queue}});
-  deliver(queue, entry, entry.policy->on_punctuation(argument));
+  std::lock_guard lock(entry->mutex);
+  deliver_locked(queue, *entry, entry->policy->on_punctuation(argument));
 }
 
 void DataScheduler::punctuate(const Json& argument) {
   obs::trace_instant("stream", "stream.punctuate");
-  for (auto& [name, entry] : queues_) {
-    if (!entry.active) continue;
-    deliver(name, entry, entry.policy->on_punctuation(argument));
+  for (const auto& [name, entry] : snapshot()) {
+    std::lock_guard lock(entry->mutex);
+    if (!entry->active) continue;
+    deliver_locked(name, *entry, entry->policy->on_punctuation(argument));
   }
 }
 
 DataScheduler::QueueStats DataScheduler::stats(const std::string& queue) const {
-  return require(queue).stats;
+  const auto entry = require(queue);
+  std::lock_guard lock(entry->mutex);
+  return entry->stats;
 }
 
 PolicyFactory PolicyFactory::with_builtins() {

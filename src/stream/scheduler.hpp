@@ -3,12 +3,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "stream/policy.hpp"
 
 namespace ff::stream {
+
+class StreamPipeline;
 
 /// The data-scheduling component of the Fig. 5 workflow: sits between the
 /// instrument (source) and downstream consumers, implementing a set of
@@ -20,13 +23,35 @@ namespace ff::stream {
 ///   or broadcast; it can also *install* and *activate* policies at
 ///   runtime, including policies "unknown at code-generation time"
 ///   (registered in the PolicyFactory below).
-/// - Consumers subscribe per queue; releases are delivered synchronously.
+/// - Consumers subscribe per queue; releases are delivered synchronously on
+///   the publishing thread unless a queue has a sink (see set_queue_sink),
+///   in which case its releases flow into the sink — how StreamPipeline
+///   (stream/pipeline.hpp) reroutes them into bounded channels drained by
+///   worker threads.
+///
+/// Thread safety: every method may be called concurrently from any thread.
+/// The queue registry is guarded by one mutex; each virtual queue has its
+/// own mutex serializing its policy, stats, and delivery. Policy
+/// invocations for one queue are therefore totally ordered, and all of one
+/// call's releases are delivered (to the sink or the subscribers) under the
+/// queue's lock, so per-queue release order equals policy-invocation order
+/// — the ordering the punctuation guarantee of the concurrent plane builds
+/// on. Two rules for callers:
+///   - a consumer/sink may install/remove/activate queues, but must not
+///     re-enter publish()/control()/punctuate() (the per-queue mutex is not
+///     recursive);
+///   - publish() racing remove_queue() may still deliver to the removed
+///     queue (the snapshot keeps it alive — never a use-after-free).
 class DataScheduler {
  public:
   using Consumer = std::function<void(const std::string& queue, const Record&)>;
+  /// Per-queue delivery override; receives releases in policy order.
+  using Sink = std::function<void(const std::string& queue, Record record)>;
 
-  /// Install a virtual queue with a policy. Active on install.
-  void install_queue(const std::string& queue, std::unique_ptr<SelectionPolicy> policy);
+  /// Install a virtual queue with a policy. Active on install. A non-null
+  /// `sink` is attached atomically, so no release can slip past it.
+  void install_queue(const std::string& queue,
+                     std::unique_ptr<SelectionPolicy> policy, Sink sink = nullptr);
   void remove_queue(const std::string& queue);
   bool has_queue(const std::string& queue) const noexcept;
   std::vector<std::string> queue_names() const;
@@ -37,6 +62,10 @@ class DataScheduler {
   bool is_active(const std::string& queue) const;
 
   void subscribe(Consumer consumer);
+
+  /// Route one queue's releases into `sink` instead of the subscriber
+  /// list (pass nullptr to restore synchronous delivery).
+  void set_queue_sink(const std::string& queue, Sink sink);
 
   /// Feed one record from the instrument into all active queues.
   void publish(const Record& record);
@@ -55,18 +84,25 @@ class DataScheduler {
 
  private:
   struct VirtualQueue {
+    mutable std::mutex mutex;  // serializes policy, stats, active, sink
     std::unique_ptr<SelectionPolicy> policy;
     bool active = true;
     QueueStats stats;
+    Sink sink;
   };
+  using QueueRef = std::pair<std::string, std::shared_ptr<VirtualQueue>>;
 
-  void deliver(const std::string& queue, VirtualQueue& entry,
-               std::vector<Record> released);
-  VirtualQueue& require(const std::string& queue);
-  const VirtualQueue& require(const std::string& queue) const;
+  /// Releases records under entry.mutex (held by the caller).
+  void deliver_locked(const std::string& queue, VirtualQueue& entry,
+                      std::vector<Record> released);
+  std::shared_ptr<VirtualQueue> require(const std::string& queue) const;
+  std::vector<QueueRef> snapshot() const;
 
-  std::map<std::string, VirtualQueue> queues_;
-  std::vector<Consumer> consumers_;
+  mutable std::mutex mutex_;  // guards queues_ and consumers_
+  std::map<std::string, std::shared_ptr<VirtualQueue>> queues_;
+  /// Copy-on-write so publish() can read the list without holding mutex_.
+  std::shared_ptr<const std::vector<Consumer>> consumers_ =
+      std::make_shared<std::vector<Consumer>>();
 };
 
 /// Registry for policies that arrive *after* code generation: a remote
@@ -90,6 +126,12 @@ class PolicyFactory {
   ///   {"install": {"queue": "q", "kind": "sliding-window-count",
   ///                "args": {"capacity": 8}}}
   void handle_install(DataScheduler& scheduler, const Json& message) const;
+
+  /// Same message, but the queue lands on the concurrent plane: optional
+  /// "capacity" (bounded channel size) and "overflow" ("block",
+  /// "drop-oldest", "keep-latest") keys ride next to "kind"/"args".
+  /// Defined in stream/pipeline.cpp.
+  void handle_install(StreamPipeline& pipeline, const Json& message) const;
 
  private:
   std::map<std::string, Builder> builders_;

@@ -120,6 +120,11 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
 namespace {
 
 struct ParallelForState {

@@ -59,6 +59,10 @@ class ThreadPool {
   /// Block until every queued and running task has finished.
   void wait_idle();
 
+  /// Tasks queued but not yet taken by a worker or helper (instantaneous;
+  /// stale by the time the caller looks at it — introspection only).
+  size_t pending() const;
+
   /// Tasks drained by helping threads (run_one / help_until / a blocked
   /// parallel_for caller) rather than pool workers, over the pool's life.
   /// Also published as the `pool.helped` trace counter when tracing is on.
@@ -74,7 +78,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   size_t active_ = 0;

@@ -1,0 +1,294 @@
+// Concurrency battery for the bounded MPMC Channel. These tests are built
+// twice: into test_stream (plain) and into test_stream_tsan with
+// -fsanitize=thread (ctest -L tsan), where the randomized producer/consumer
+// mixes give the race detector real interleavings to chew on.
+//
+// Synchronization discipline for the tests themselves: assertions about
+// counters run only at quiescence (all threads joined), and "wait until a
+// peer is blocked" uses the channel's waiter introspection instead of
+// sleeps.
+
+#include "stream/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ff::stream {
+namespace {
+
+using namespace std::chrono_literals;
+
+Record record_at(uint64_t sequence) {
+  Record record;
+  record.sequence = sequence;
+  return record;
+}
+
+/// Spin (yielding) until `ready()` holds. Bounded so a broken condition
+/// fails the test instead of hanging the suite.
+template <typename Predicate>
+::testing::AssertionResult eventually(Predicate ready) {
+  for (int i = 0; i < 20000; ++i) {
+    if (ready()) return ::testing::AssertionSuccess();
+    std::this_thread::sleep_for(100us);
+  }
+  return ::testing::AssertionFailure() << "condition not reached in 2s";
+}
+
+struct StressConfig {
+  size_t producers;
+  size_t consumers;
+  size_t per_producer;
+  size_t capacity;
+};
+
+/// N producers × M consumers over one bounded channel, each thread mixing
+/// blocking and non-blocking calls at random. Checks that every record is
+/// received exactly once and the lifetime counters balance.
+void run_mpmc_stress(const StressConfig& config, uint64_t seed) {
+  Channel channel(config.capacity);
+  std::mutex collect_mutex;
+  std::vector<uint64_t> collected;
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < config.producers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(seed);
+      Rng local = rng.fork(p);
+      for (size_t i = 0; i < config.per_producer; ++i) {
+        const uint64_t sequence = p * 1'000'000 + i;
+        if (local.chance(0.5)) {
+          ASSERT_TRUE(channel.send(record_at(sequence)));
+        } else {
+          while (!channel.try_send(record_at(sequence))) {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < config.consumers; ++c) {
+    consumers.emplace_back([&, c] {
+      Rng rng(seed);
+      Rng local = rng.fork(1000 + c);
+      std::vector<uint64_t> mine;
+      while (true) {
+        std::optional<Record> record;
+        const double roll = local.uniform();
+        if (roll < 0.4) {
+          record = channel.receive();
+          if (!record) break;  // closed and drained
+        } else if (roll < 0.7) {
+          record = channel.receive_for(200us);
+          if (!record && channel.closed() && channel.size() == 0) break;
+        } else {
+          record = channel.try_receive();
+          if (!record) {
+            if (channel.closed() && channel.size() == 0) break;
+            std::this_thread::yield();
+          }
+        }
+        if (record) mine.push_back(record->sequence);
+      }
+      std::lock_guard lock(collect_mutex);
+      collected.insert(collected.end(), mine.begin(), mine.end());
+    });
+  }
+
+  for (auto& thread : producers) thread.join();
+  channel.close();  // consumers drain the tail, then exit
+  for (auto& thread : consumers) thread.join();
+
+  const size_t expected = config.producers * config.per_producer;
+  EXPECT_EQ(channel.sent(), expected);
+  EXPECT_EQ(channel.size(), 0u);
+  // Quiescence invariant: nothing dropped on the blocking/try paths.
+  EXPECT_EQ(channel.sent(), channel.received() + channel.size());
+  EXPECT_EQ(channel.dropped(), 0u);
+
+  ASSERT_EQ(collected.size(), expected);
+  std::sort(collected.begin(), collected.end());
+  EXPECT_TRUE(std::adjacent_find(collected.begin(), collected.end()) ==
+              collected.end())
+      << "a record was received twice";
+  for (size_t p = 0; p < config.producers; ++p) {
+    EXPECT_TRUE(std::binary_search(collected.begin(), collected.end(),
+                                   p * 1'000'000))
+        << "lost first record of producer " << p;
+    EXPECT_TRUE(std::binary_search(collected.begin(), collected.end(),
+                                   p * 1'000'000 + config.per_producer - 1))
+        << "lost last record of producer " << p;
+  }
+}
+
+TEST(ChannelStress, SingleProducerSingleConsumer) {
+  run_mpmc_stress({1, 1, 2000, 8}, 42);
+}
+
+TEST(ChannelStress, TwoByTwo) { run_mpmc_stress({2, 2, 1500, 4}, 7); }
+
+TEST(ChannelStress, ManyProducersFewConsumers) {
+  run_mpmc_stress({4, 2, 800, 16}, 1234);
+}
+
+TEST(ChannelStress, FewProducersManyConsumers) {
+  run_mpmc_stress({2, 5, 1000, 2}, 99);
+}
+
+TEST(ChannelStress, TinyCapacityMaximizesContention) {
+  run_mpmc_stress({3, 3, 700, 1}, 2026);
+}
+
+/// Producers hammer a lossy channel while one slow consumer drains it; at
+/// quiescence the counter identity sent == received + dropped + size must
+/// hold exactly, whatever interleaving happened.
+void run_lossy_stress(Overflow policy, uint64_t seed) {
+  Channel channel(4);
+  std::atomic<uint64_t> evicted{0};
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(seed);
+      Rng local = rng.fork(p);
+      for (size_t i = 0; i < 1000; ++i) {
+        const auto result = channel.offer(record_at(p * 1'000'000 + i), policy);
+        ASSERT_TRUE(result.accepted);  // lossy offers never fail while open
+        evicted.fetch_add(result.evicted, std::memory_order_relaxed);
+        if (local.chance(0.1)) std::this_thread::yield();
+      }
+    });
+  }
+  std::thread consumer([&] {
+    uint64_t drained = 0;
+    while (auto record = channel.receive()) {
+      ++drained;
+      if (drained % 64 == 0) std::this_thread::sleep_for(50us);
+    }
+  });
+
+  for (auto& thread : producers) thread.join();
+  channel.close();
+  consumer.join();
+
+  EXPECT_EQ(channel.sent(), 3000u);
+  EXPECT_EQ(channel.sent(),
+            channel.received() + channel.dropped() + channel.size());
+  EXPECT_EQ(channel.dropped(), evicted.load());
+}
+
+TEST(ChannelStress, DropOldestAccountingBalances) {
+  run_lossy_stress(Overflow::DropOldest, 11);
+}
+
+TEST(ChannelStress, KeepLatestAccountingBalances) {
+  run_lossy_stress(Overflow::KeepLatest, 12);
+}
+
+// --- close-while-blocked regressions -------------------------------------
+// The waiter introspection lets these tests wait until the peer thread is
+// provably parked inside the channel before pulling the rug.
+
+TEST(ChannelStress, CloseWakesBlockedSender) {
+  Channel channel(1);
+  ASSERT_TRUE(channel.send(record_at(0)));  // now full
+  std::atomic<bool> send_result{true};
+  std::thread sender([&] { send_result = channel.send(record_at(1)); });
+  ASSERT_TRUE(eventually([&] { return channel.send_waiters() == 1; }));
+  channel.close();
+  sender.join();
+  EXPECT_FALSE(send_result.load()) << "send must fail, not enqueue, on close";
+  EXPECT_EQ(channel.sent(), 1u);
+}
+
+TEST(ChannelStress, CloseWakesBlockedOfferUnderBlockPolicy) {
+  Channel channel(1);
+  ASSERT_TRUE(channel.send(record_at(0)));
+  std::atomic<bool> accepted{true};
+  std::thread sender([&] {
+    accepted = channel.offer(record_at(1), Overflow::Block).accepted;
+  });
+  ASSERT_TRUE(eventually([&] { return channel.send_waiters() == 1; }));
+  channel.close();
+  sender.join();
+  EXPECT_FALSE(accepted.load());
+}
+
+TEST(ChannelStress, CloseWakesBlockedReceiver) {
+  Channel channel(2);
+  std::atomic<bool> got_value{true};
+  std::thread receiver([&] { got_value = channel.receive().has_value(); });
+  ASSERT_TRUE(eventually([&] { return channel.receive_waiters() == 1; }));
+  channel.close();
+  receiver.join();
+  EXPECT_FALSE(got_value.load());
+}
+
+TEST(ChannelStress, CloseWakesBlockedTimedReceiver) {
+  Channel channel(2);
+  std::atomic<bool> got_value{true};
+  std::thread receiver([&] {
+    got_value = channel.receive_for(10s).has_value();  // close cuts this short
+  });
+  ASSERT_TRUE(eventually([&] { return channel.receive_waiters() == 1; }));
+  const auto start = std::chrono::steady_clock::now();
+  channel.close();
+  receiver.join();
+  EXPECT_FALSE(got_value.load());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
+TEST(ChannelStress, CloseWakesManyBlockedReceiversAtOnce) {
+  Channel channel(2);
+  std::vector<std::thread> receivers;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 4; ++i) {
+    receivers.emplace_back([&] {
+      if (!channel.receive().has_value()) woke.fetch_add(1);
+    });
+  }
+  ASSERT_TRUE(eventually([&] { return channel.receive_waiters() == 4; }));
+  channel.close();
+  for (auto& thread : receivers) thread.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
+TEST(ChannelStress, CloseAndDrainRacingProducers) {
+  Channel channel(8);
+  std::vector<std::thread> producers;
+  std::atomic<uint64_t> accepted{0};
+  for (size_t p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < 500; ++i) {
+        if (channel.send(record_at(p * 1'000'000 + i))) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          break;  // closed mid-stream: everything after is rejected too
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(1ms);
+  const std::vector<Record> drained = channel.close_and_drain();
+  for (auto& thread : producers) thread.join();
+
+  // close_and_drain counts the taken records as received; nothing lingers.
+  EXPECT_EQ(channel.size(), 0u);
+  EXPECT_EQ(channel.sent(), accepted.load());
+  EXPECT_EQ(channel.sent(), channel.received() + channel.dropped());
+  EXPECT_LE(drained.size(), accepted.load());
+  EXPECT_FALSE(channel.receive().has_value());
+}
+
+}  // namespace
+}  // namespace ff::stream

@@ -134,6 +134,100 @@ TEST(Channel, MultiProducerMultiConsumerConservation) {
   EXPECT_EQ(channel.sent(), channel.received());
 }
 
+TEST(Channel, OfferBlockBehavesLikeSend) {
+  Channel channel(2);
+  EXPECT_TRUE(channel.offer(record_at(1), Overflow::Block).accepted);
+  EXPECT_EQ(channel.offer(record_at(2), Overflow::Block).evicted, 0u);
+  EXPECT_EQ(channel.size(), 2u);
+  channel.close();
+  EXPECT_FALSE(channel.offer(record_at(3), Overflow::Block).accepted);
+}
+
+TEST(Channel, OfferDropOldestEvictsHead) {
+  Channel channel(2);
+  channel.send(record_at(1));
+  channel.send(record_at(2));
+  const auto result = channel.offer(record_at(3), Overflow::DropOldest);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.evicted, 1u);
+  EXPECT_EQ(channel.dropped(), 1u);
+  EXPECT_EQ(channel.receive()->sequence, 2u);  // 1 was evicted
+  EXPECT_EQ(channel.receive()->sequence, 3u);
+  EXPECT_EQ(channel.sent(), channel.received() + channel.dropped());
+}
+
+TEST(Channel, OfferKeepLatestConflates) {
+  Channel channel(3);
+  channel.send(record_at(1));
+  channel.send(record_at(2));
+  channel.send(record_at(3));
+  const auto result = channel.offer(record_at(4), Overflow::KeepLatest);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.evicted, 3u);  // whole queue conflated away
+  EXPECT_EQ(channel.size(), 1u);
+  EXPECT_EQ(channel.receive()->sequence, 4u);
+  EXPECT_EQ(channel.sent(), channel.received() + channel.dropped());
+}
+
+TEST(Channel, OfferLossyWithRoomEvictsNothing) {
+  Channel channel(4);
+  channel.send(record_at(1));
+  EXPECT_EQ(channel.offer(record_at(2), Overflow::DropOldest).evicted, 0u);
+  EXPECT_EQ(channel.offer(record_at(3), Overflow::KeepLatest).evicted, 0u);
+  EXPECT_EQ(channel.dropped(), 0u);
+}
+
+TEST(Channel, ReceiveForTimesOutOnEmpty) {
+  Channel channel(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(channel.receive_for(std::chrono::milliseconds(5)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(4));
+  EXPECT_FALSE(channel.closed()) << "timeout is not closure";
+}
+
+TEST(Channel, ReceiveForReturnsPromptlyWhenStocked) {
+  Channel channel(2);
+  channel.send(record_at(5));
+  const auto got = channel.receive_for(std::chrono::seconds(10));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->sequence, 5u);
+}
+
+TEST(Channel, CloseAndDrainTakesEverything) {
+  Channel channel(4);
+  channel.send(record_at(1));
+  channel.send(record_at(2));
+  channel.send(record_at(3));
+  const std::vector<Record> drained = channel.close_and_drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].sequence, 1u);
+  EXPECT_EQ(drained[2].sequence, 3u);
+  EXPECT_TRUE(channel.closed());
+  EXPECT_EQ(channel.size(), 0u);
+  EXPECT_EQ(channel.received(), 3u);  // drained records count as received
+  EXPECT_EQ(channel.sent(), channel.received());
+}
+
+TEST(Channel, WaiterCountsReflectBlockedThreads) {
+  Channel channel(1);
+  EXPECT_EQ(channel.send_waiters(), 0u);
+  EXPECT_EQ(channel.receive_waiters(), 0u);
+  channel.send(record_at(1));
+  std::thread sender([&] { channel.send(record_at(2)); });
+  while (channel.send_waiters() == 0) std::this_thread::yield();
+  EXPECT_EQ(channel.send_waiters(), 1u);
+  channel.receive();  // makes room; the sender unblocks
+  sender.join();
+  EXPECT_EQ(channel.send_waiters(), 0u);
+}
+
+TEST(Channel, OverflowNames) {
+  EXPECT_STREQ(overflow_name(Overflow::Block), "block");
+  EXPECT_STREQ(overflow_name(Overflow::DropOldest), "drop-oldest");
+  EXPECT_STREQ(overflow_name(Overflow::KeepLatest), "keep-latest");
+}
+
 TEST(Channel, PipelineWithMarshalledPayloads) {
   // Producer encodes, wire is the channel, consumer decodes — the actual
   // Fig. 5 data path with real threads.

@@ -1,0 +1,289 @@
+// Adversarial marshalling properties. The regular sweep
+// (marshal_param_test.cpp) covers friendly payloads; this file feeds the
+// codec the records a real instrument eventually produces: NaN/Inf
+// readings, empty payloads, strings with embedded NULs, >64 KiB blobs, and
+// deeply nested JSON carried as text. Doubles are compared bit-for-bit
+// (operator== is useless for NaN), and corrupt/truncated buffers must fail
+// with ParseError — never garbage records, never a giant allocation off a
+// poisoned length prefix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "stream/marshal.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace ff::stream {
+namespace {
+
+uint64_t bits_of(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+::testing::AssertionResult same_bits(double a, double b) {
+  if (bits_of(a) == bits_of(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "double bits differ: " << std::hex << bits_of(a) << " vs "
+         << bits_of(b);
+}
+
+/// Bit-exact record equality: NaNs must survive with their payload bits.
+void expect_bit_identical(const Record& decoded, const Record& original) {
+  EXPECT_EQ(decoded.sequence, original.sequence);
+  EXPECT_TRUE(same_bits(decoded.timestamp, original.timestamp));
+  ASSERT_EQ(decoded.values.size(), original.values.size());
+  for (size_t i = 0; i < original.values.size(); ++i) {
+    ASSERT_EQ(decoded.values[i].index(), original.values[i].index()) << i;
+    if (const auto* value = std::get_if<double>(&original.values[i])) {
+      EXPECT_TRUE(same_bits(std::get<double>(decoded.values[i]), *value)) << i;
+    } else if (const auto* array =
+                   std::get_if<std::vector<double>>(&original.values[i])) {
+      const auto& got = std::get<std::vector<double>>(decoded.values[i]);
+      ASSERT_EQ(got.size(), array->size()) << i;
+      for (size_t j = 0; j < array->size(); ++j) {
+        EXPECT_TRUE(same_bits(got[j], (*array)[j])) << i << "[" << j << "]";
+      }
+    } else {
+      EXPECT_EQ(decoded.values[i], original.values[i]) << i;
+    }
+  }
+}
+
+double adversarial_double(Rng& rng) {
+  switch (rng.below(8)) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return -std::numeric_limits<double>::quiet_NaN();
+    case 2: return std::numeric_limits<double>::infinity();
+    case 3: return -std::numeric_limits<double>::infinity();
+    case 4: return -0.0;
+    case 5: return std::numeric_limits<double>::denorm_min();
+    case 6: return std::numeric_limits<double>::max();
+    default: return rng.normal();
+  }
+}
+
+std::string nested_json_text(size_t depth) {
+  std::string text;
+  for (size_t i = 0; i < depth; ++i) text += R"({"d":[)";
+  text += "0";
+  for (size_t i = 0; i < depth; ++i) text += "]}";
+  return text;
+}
+
+std::string adversarial_string(Rng& rng) {
+  switch (rng.below(5)) {
+    case 0: return "";
+    case 1: {
+      std::string nuls = "head";
+      nuls += '\0';
+      nuls += "mid";
+      nuls += '\0';
+      return nuls + "tail";
+    }
+    case 2: return std::string(70 * 1024, '\xff');  // >64 KiB, non-UTF8
+    case 3: return nested_json_text(48);
+    default: {
+      std::string bytes(rng.below(64), '\0');
+      for (char& c : bytes) c = static_cast<char>(rng.below(256));
+      return bytes;
+    }
+  }
+}
+
+std::vector<double> adversarial_array(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return {};
+    case 1: {  // >64 KiB payload
+      std::vector<double> big(9000);
+      for (size_t i = 0; i < big.size(); ++i) {
+        big[i] = (i % 97 == 0) ? std::numeric_limits<double>::quiet_NaN()
+                               : static_cast<double>(i);
+      }
+      return big;
+    }
+    default: {
+      std::vector<double> array(rng.below(16));
+      for (double& element : array) element = adversarial_double(rng);
+      return array;
+    }
+  }
+}
+
+StreamSchema adversarial_schema() {
+  StreamSchema schema;
+  schema.name = "adversarial";
+  schema.version = 1;
+  schema.fields = {{"reading", "double"},
+                   {"blob", "string"},
+                   {"trace", "double[]"},
+                   {"tick", "int"}};
+  return schema;
+}
+
+std::vector<Record> adversarial_records(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<Record> records;
+  for (size_t i = 0; i < count; ++i) {
+    Record record;
+    record.sequence = i;
+    record.timestamp = adversarial_double(rng);
+    record.values = {Value{adversarial_double(rng)},
+                     Value{adversarial_string(rng)},
+                     Value{adversarial_array(rng)},
+                     Value{static_cast<int64_t>(rng() )}};
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(MarshalAdversarial, RoundTripsBitExactAcrossSeeds) {
+  for (uint64_t seed : {1u, 7u, 42u, 1234u, 31337u}) {
+    const std::vector<Record> records = adversarial_records(seed, 24);
+    Encoder encoder(adversarial_schema());
+    for (const Record& record : records) encoder.append(record);
+    const DecodedStream decoded = decode_stream(encoder.bytes());
+    ASSERT_EQ(decoded.records.size(), records.size()) << "seed=" << seed;
+    for (size_t i = 0; i < records.size(); ++i) {
+      expect_bit_identical(decoded.records[i], records[i]);
+    }
+  }
+}
+
+TEST(MarshalAdversarial, EmptyPayloadsRoundTrip) {
+  StreamSchema schema;
+  schema.name = "empty";
+  schema.fields = {{"s", "string"}, {"a", "double[]"}};
+  Record record;
+  record.sequence = 0;
+  record.values = {Value{std::string{}}, Value{std::vector<double>{}}};
+  Encoder encoder(schema);
+  encoder.append(record);
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(decoded.records[0].values[0]), "");
+  EXPECT_TRUE(std::get<std::vector<double>>(decoded.records[0].values[1]).empty());
+}
+
+TEST(MarshalAdversarial, EmbeddedNulsSurviveExactly) {
+  StreamSchema schema;
+  schema.name = "nuls";
+  schema.fields = {{"s", "string"}};
+  std::string payload("a\0b\0\0c", 6);
+  Record record;
+  record.values = {Value{payload}};
+  Encoder encoder(schema);
+  encoder.append(record);
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  const auto& got = std::get<std::string>(decoded.records[0].values[0]);
+  EXPECT_EQ(got.size(), 6u);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(MarshalAdversarial, DeepJsonTextRoundTripsAndStillParses) {
+  StreamSchema schema;
+  schema.name = "json";
+  schema.fields = {{"doc", "string"}};
+  const std::string doc = nested_json_text(64);
+  Record record;
+  record.values = {Value{doc}};
+  Encoder encoder(schema);
+  encoder.append(record);
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  const auto& got = std::get<std::string>(decoded.records[0].values[0]);
+  EXPECT_EQ(got, doc);
+  EXPECT_NO_THROW(Json::parse(got));  // carried intact, still valid JSON
+}
+
+TEST(MarshalAdversarial, TruncationOnAdversarialStreamFailsCleanly) {
+  const std::vector<Record> records = adversarial_records(99, 8);
+  Encoder encoder(adversarial_schema());
+  for (const Record& record : records) encoder.append(record);
+  const std::vector<uint8_t>& bytes = encoder.bytes();
+  Encoder probe(adversarial_schema());
+  const size_t header = probe.bytes().size();
+
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t cut = header + 1 + rng.below(bytes.size() - header - 1);
+    const std::vector<uint8_t> truncated(bytes.begin(),
+                                         bytes.begin() + static_cast<long>(cut));
+    try {
+      const DecodedStream decoded = decode_stream(truncated);
+      // Whole-record prefix: every decoded record is bit-identical.
+      ASSERT_LE(decoded.records.size(), records.size());
+      for (size_t i = 0; i < decoded.records.size(); ++i) {
+        expect_bit_identical(decoded.records[i], records[i]);
+      }
+    } catch (const ParseError&) {
+      // the only acceptable failure mode
+    }
+  }
+}
+
+TEST(MarshalAdversarial, PoisonedArrayLengthRejectedWithoutAllocating) {
+  // Corrupt the double[] length prefix to ~4 billion elements. The decoder
+  // must notice the payload cannot fit in the remaining bytes *before*
+  // reserving, and raise ParseError — not std::bad_alloc, not OOM.
+  StreamSchema schema;
+  schema.name = "poison";
+  schema.fields = {{"a", "double[]"}};
+  Record record;
+  record.values = {Value{std::vector<double>{1.0, 2.0, 3.0}}};
+  Encoder encoder(schema);
+  const size_t header = encoder.bytes().size();
+  encoder.append(record);
+  std::vector<uint8_t> bytes = encoder.bytes();
+
+  // Record layout after the header: u64 seq, f64 ts, u32 value count,
+  // u8 tag, then the u32 element count we are poisoning.
+  const size_t length_offset = header + 8 + 8 + 4 + 1;
+  ASSERT_LE(length_offset + 4, bytes.size());
+  for (size_t i = 0; i < 4; ++i) bytes[length_offset + i] = 0xff;
+  EXPECT_THROW(decode_stream(bytes), ParseError);
+}
+
+TEST(MarshalAdversarial, PoisonedStringLengthRejected) {
+  StreamSchema schema;
+  schema.name = "poison";
+  schema.fields = {{"s", "string"}};
+  Record record;
+  record.values = {Value{std::string("abc")}};
+  Encoder encoder(schema);
+  const size_t header = encoder.bytes().size();
+  encoder.append(record);
+  std::vector<uint8_t> bytes = encoder.bytes();
+  const size_t length_offset = header + 8 + 8 + 4 + 1;
+  for (size_t i = 0; i < 4; ++i) bytes[length_offset + i] = 0xfe;
+  EXPECT_THROW(decode_stream(bytes), ParseError);
+}
+
+TEST(MarshalAdversarial, GiantBlobRoundTrips) {
+  // One record holding both a 70 KiB string and a 9000-element trace —
+  // length prefixes well past 16-bit territory.
+  StreamSchema schema = adversarial_schema();
+  Record record;
+  record.sequence = 7;
+  record.timestamp = 0.25;
+  std::vector<double> trace(9000, 1.5);
+  record.values = {Value{std::numeric_limits<double>::infinity()},
+                   Value{std::string(70 * 1024, 'x')}, Value{trace},
+                   Value{int64_t{-1}}};
+  Encoder encoder(schema);
+  encoder.append(record);
+  EXPECT_GT(encoder.bytes().size(), 64u * 1024u + 9000u * 8u);
+  const DecodedStream decoded = decode_stream(encoder.bytes());
+  ASSERT_EQ(decoded.records.size(), 1u);
+  expect_bit_identical(decoded.records[0], record);
+}
+
+}  // namespace
+}  // namespace ff::stream

@@ -1,0 +1,401 @@
+// StreamPipeline battery: ordering guarantees, overflow behaviour, dynamic
+// install/remove under load, and shutdown draining. Built both plain
+// (test_stream) and under -fsanitize=thread (test_stream_tsan, ctest -L
+// tsan) — the racing tests exist for the latter.
+
+#include "stream/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ff::stream {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr uint64_t kMarkerBase = 1'000'000'000;
+
+Record record_at(uint64_t sequence) {
+  Record record;
+  record.sequence = sequence;
+  return record;
+}
+
+/// Forwards records as-is and emits a marker record per punctuation, so a
+/// consumer can check exactly where the control message landed in the
+/// per-queue order.
+class MarkerPolicy final : public SelectionPolicy {
+ public:
+  std::string name() const override { return "marker"; }
+  std::vector<Record> on_item(const Record& record) override { return {record}; }
+  std::vector<Record> on_punctuation(const Json&) override {
+    return {record_at(kMarkerBase + count_++)};
+  }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Thread-safe per-queue capture of delivery order.
+struct Collector {
+  std::mutex mutex;
+  std::map<std::string, std::vector<uint64_t>> order;
+
+  DataScheduler::Consumer consumer() {
+    return [this](const std::string& queue, const Record& record) {
+      std::lock_guard lock(mutex);
+      order[queue].push_back(record.sequence);
+    };
+  }
+  std::vector<uint64_t> sequence(const std::string& queue) {
+    std::lock_guard lock(mutex);
+    return order[queue];
+  }
+};
+
+// --- punctuation ordering -------------------------------------------------
+
+TEST(StreamPipeline, PunctuationObservedAfterPriorRecords) {
+  // The acceptance guarantee: a control message is observed by a queue only
+  // after every record published before it. With a single publisher the
+  // observed order must be *exactly* records 0..9, marker, 10..19, marker...
+  StreamPipeline pipeline(4);
+  Collector collector;
+  pipeline.subscribe(collector.consumer());
+  pipeline.install_queue("marked", std::make_unique<MarkerPolicy>());
+
+  constexpr uint64_t kRecords = 200;
+  constexpr uint64_t kEvery = 10;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    pipeline.publish(record_at(i));
+    if ((i + 1) % kEvery == 0) pipeline.punctuate(Json::object());
+  }
+  pipeline.wait_quiescent();
+  pipeline.shutdown();
+
+  std::vector<uint64_t> expected;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    expected.push_back(i);
+    if ((i + 1) % kEvery == 0) {
+      expected.push_back(kMarkerBase + i / kEvery);
+    }
+  }
+  EXPECT_EQ(collector.sequence("marked"), expected);
+}
+
+TEST(StreamPipeline, PunctuationOrderingHoldsAcrossWorkerCounts) {
+  for (size_t workers : {1u, 2u, 8u}) {
+    StreamPipeline pipeline(workers);
+    Collector collector;
+    pipeline.subscribe(collector.consumer());
+    pipeline.install_queue("marked", std::make_unique<MarkerPolicy>(),
+                           {.capacity = 8});
+    for (uint64_t i = 0; i < 64; ++i) {
+      pipeline.publish(record_at(i));
+      pipeline.punctuate(Json::object());
+    }
+    pipeline.wait_quiescent();
+    const auto observed = collector.sequence("marked");
+    ASSERT_EQ(observed.size(), 128u) << "workers=" << workers;
+    for (uint64_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(observed[2 * i], i);
+      EXPECT_EQ(observed[2 * i + 1], kMarkerBase + i);
+    }
+  }
+}
+
+// --- overflow policies ----------------------------------------------------
+
+TEST(StreamPipeline, BlockPolicyIsLossless) {
+  // Capacity 4 with a deliberately slow consumer: publishers must block,
+  // not drop. Every record arrives.
+  StreamPipeline pipeline(2);
+  std::atomic<uint64_t> delivered{0};
+  pipeline.subscribe([&](const std::string&, const Record&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(100us);
+  });
+  pipeline.install_queue("fast", std::make_unique<ForwardAllPolicy>(),
+                         {.capacity = 4, .overflow = Overflow::Block});
+  for (uint64_t i = 0; i < 300; ++i) pipeline.publish(record_at(i));
+  pipeline.wait_quiescent();
+
+  const auto report = pipeline.report("fast");
+  EXPECT_EQ(report.released, 300u);
+  EXPECT_EQ(report.delivered, 300u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(delivered.load(), 300u);
+}
+
+TEST(StreamPipeline, DropOldestShedsLoadButBalances) {
+  StreamPipeline pipeline(1);
+  pipeline.subscribe([&](const std::string&, const Record&) {
+    std::this_thread::sleep_for(500us);
+  });
+  pipeline.install_queue("tap", std::make_unique<ForwardAllPolicy>(),
+                         {.capacity = 4, .overflow = Overflow::DropOldest});
+  for (uint64_t i = 0; i < 400; ++i) pipeline.publish(record_at(i));
+  pipeline.wait_quiescent();
+
+  const auto report = pipeline.report("tap");
+  EXPECT_EQ(report.released, 400u);
+  EXPECT_GT(report.dropped, 0u) << "a slow consumer at capacity 4 must shed";
+  EXPECT_EQ(report.released, report.delivered + report.dropped);
+  EXPECT_EQ(report.depth, 0u);
+}
+
+TEST(StreamPipeline, KeepLatestConflatesButDeliversFinalRecord) {
+  StreamPipeline pipeline(1);
+  Collector collector;
+  std::atomic<bool> slow{true};
+  pipeline.subscribe([&](const std::string& queue, const Record& record) {
+    {
+      std::lock_guard lock(collector.mutex);
+      collector.order[queue].push_back(record.sequence);
+    }
+    if (slow.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(300us);
+    }
+  });
+  pipeline.install_queue("latest", std::make_unique<ForwardAllPolicy>(),
+                         {.capacity = 2, .overflow = Overflow::KeepLatest});
+  for (uint64_t i = 0; i < 400; ++i) pipeline.publish(record_at(i));
+  slow.store(false, std::memory_order_relaxed);
+  pipeline.wait_quiescent();
+
+  const auto report = pipeline.report("latest");
+  EXPECT_EQ(report.released, 400u);
+  EXPECT_GT(report.dropped, 0u);
+  EXPECT_EQ(report.released, report.delivered + report.dropped);
+
+  const auto observed = collector.sequence("latest");
+  ASSERT_FALSE(observed.empty());
+  // Conflation keeps freshness: nothing can evict the final record, and
+  // what does get through stays in publish order.
+  EXPECT_EQ(observed.back(), 399u);
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+}
+
+// --- dynamic topology under load ------------------------------------------
+
+TEST(StreamPipeline, InstallRemoveRacingPublish) {
+  // One thread publishes continuously while another churns queues in and
+  // out. Exercises the registry snapshot/shared_ptr lifetime rules; the
+  // TSan build is the real judge here.
+  StreamPipeline pipeline(4);
+  std::atomic<uint64_t> delivered{0};
+  pipeline.subscribe([&](const std::string&, const Record&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  pipeline.install_queue("stable", std::make_unique<ForwardAllPolicy>());
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      pipeline.publish(record_at(i++));
+    }
+  });
+  std::thread churner([&] {
+    const std::vector<std::string> names = {"dyn0", "dyn1", "dyn2", "dyn3"};
+    for (int round = 0; round < 60; ++round) {
+      for (const auto& name : names) {
+        pipeline.install_queue(name, std::make_unique<ForwardAllPolicy>(),
+                               {.capacity = 8, .overflow = Overflow::DropOldest});
+      }
+      std::this_thread::sleep_for(200us);
+      for (const auto& name : names) pipeline.remove_queue(name);
+    }
+  });
+  churner.join();
+  stop.store(true, std::memory_order_relaxed);
+  publisher.join();
+  pipeline.wait_quiescent();
+
+  EXPECT_TRUE(pipeline.has_queue("stable"));
+  EXPECT_FALSE(pipeline.has_queue("dyn0"));
+  const auto report = pipeline.report("stable");
+  EXPECT_EQ(report.released, report.delivered);  // block policy, no drops
+  EXPECT_GT(delivered.load(), 0u);
+}
+
+TEST(StreamPipeline, RemoveQueueDeliversAlreadyReleasedRecords) {
+  StreamPipeline pipeline(1);
+  Collector collector;
+  pipeline.subscribe(collector.consumer());
+  pipeline.install_queue("brief", std::make_unique<ForwardAllPolicy>(),
+                         {.capacity = 64});
+  for (uint64_t i = 0; i < 32; ++i) pipeline.publish(record_at(i));
+  pipeline.remove_queue("brief");
+  pipeline.shutdown();  // waits for the final drain
+
+  const auto observed = collector.sequence("brief");
+  EXPECT_EQ(observed.size(), 32u) << "releases accepted before remove_queue "
+                                     "must still reach consumers";
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+}
+
+// --- consumer re-entrancy -------------------------------------------------
+
+TEST(StreamPipeline, ConsumerMaySteerAnotherQueue) {
+  // A consumer running on a pool worker issues a control() for a *different*
+  // queue — the documented steering re-entrancy. The direct-selection queue
+  // accumulates silently until the raw tap triggers a flush.
+  StreamPipeline pipeline(2);
+  std::atomic<uint64_t> raw_seen{0};
+  std::atomic<uint64_t> flushed{0};
+  pipeline.subscribe([&](const std::string& queue, const Record&) {
+    if (queue == "archive") {
+      flushed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (raw_seen.fetch_add(1, std::memory_order_relaxed) + 1 == 100) {
+      Json flush = Json::object();
+      flush["flush"] = Json(true);
+      pipeline.control("archive", flush);
+    }
+  });
+  pipeline.install_queue("raw", std::make_unique<SampleEveryNPolicy>(1));
+  pipeline.install_queue("archive", std::make_unique<DirectSelectionPolicy>());
+  for (uint64_t i = 0; i < 100; ++i) pipeline.publish(record_at(i));
+  pipeline.wait_quiescent();
+  pipeline.shutdown();
+
+  EXPECT_EQ(raw_seen.load(), 100u);
+  EXPECT_EQ(flushed.load(), 100u) << "flush must release the full backlog";
+}
+
+// --- shutdown and lifecycle -----------------------------------------------
+
+TEST(StreamPipeline, ShutdownDrainsChannelsBeforeJoining) {
+  // No wait_quiescent: shutdown alone must deliver everything the channels
+  // accepted. This is the "clean shutdown drains channels" guarantee.
+  StreamPipeline pipeline(1);
+  std::atomic<uint64_t> delivered{0};
+  pipeline.subscribe([&](const std::string&, const Record&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  pipeline.install_queue("bulk", std::make_unique<ForwardAllPolicy>(),
+                         {.capacity = 1024});
+  for (uint64_t i = 0; i < 500; ++i) pipeline.publish(record_at(i));
+  pipeline.shutdown();
+
+  EXPECT_EQ(delivered.load(), 500u);
+  const auto totals = pipeline.totals();
+  EXPECT_EQ(totals.delivered, 500u);
+  EXPECT_EQ(totals.dropped, 0u);
+}
+
+TEST(StreamPipeline, ShutdownIsIdempotentAndDestructorImpliesIt) {
+  auto pipeline = std::make_unique<StreamPipeline>(2);
+  pipeline->install_queue("q", std::make_unique<ForwardAllPolicy>());
+  pipeline->publish(record_at(1));
+  pipeline->shutdown();
+  pipeline->shutdown();  // second call is a no-op
+  EXPECT_THROW(
+      pipeline->install_queue("late", std::make_unique<ForwardAllPolicy>()),
+      StateError);
+  pipeline.reset();  // destructor after explicit shutdown: fine
+}
+
+TEST(StreamPipeline, LifecycleErrors) {
+  StreamPipeline pipeline(1);
+  pipeline.install_queue("q", std::make_unique<ForwardAllPolicy>());
+  EXPECT_THROW(pipeline.install_queue("q", std::make_unique<ForwardAllPolicy>()),
+               ValidationError);
+  EXPECT_THROW(pipeline.remove_queue("ghost"), NotFoundError);
+  EXPECT_THROW(pipeline.report("ghost"), NotFoundError);
+  EXPECT_THROW(pipeline.subscribe(nullptr), ValidationError);
+}
+
+// --- steering installs via the control channel -----------------------------
+
+TEST(StreamPipeline, HandleInstallParsesTransportKeys) {
+  StreamPipeline pipeline(1);
+  const auto factory = PolicyFactory::with_builtins();
+  const Json message = Json::parse(R"({"install": {
+    "queue": "tap", "kind": "sample-every", "args": {"stride": 2},
+    "capacity": 16, "overflow": "drop-oldest"}})");
+  factory.handle_install(pipeline, message);
+
+  ASSERT_TRUE(pipeline.has_queue("tap"));
+  EXPECT_EQ(pipeline.report("tap").overflow, Overflow::DropOldest);
+
+  std::atomic<uint64_t> delivered{0};
+  pipeline.subscribe([&](const std::string&, const Record&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < 10; ++i) pipeline.publish(record_at(i));
+  pipeline.wait_quiescent();
+  EXPECT_EQ(delivered.load(), 5u);  // stride 2
+}
+
+TEST(StreamPipeline, HandleInstallRejectsUnknownOverflow) {
+  StreamPipeline pipeline(1);
+  const auto factory = PolicyFactory::with_builtins();
+  const Json message = Json::parse(R"({"install": {
+    "queue": "t", "kind": "forward-all", "overflow": "newest-wins"}})");
+  EXPECT_THROW(factory.handle_install(pipeline, message), ValidationError);
+}
+
+// --- the instrument source stage -------------------------------------------
+
+TEST(StreamPipeline, InstrumentSourceFeedsAndPunctuates) {
+  StreamPipeline pipeline(2);
+  Collector collector;
+  pipeline.subscribe(collector.consumer());
+  pipeline.install_queue("marked", std::make_unique<MarkerPolicy>());
+
+  InstrumentSource::Options options;
+  options.punctuate_every = 25;
+  InstrumentSource source(
+      pipeline,
+      [](uint64_t index) -> std::optional<Record> {
+        if (index >= 100) return std::nullopt;
+        return record_at(index);
+      },
+      options);
+  source.join();
+  pipeline.wait_quiescent();
+
+  EXPECT_EQ(source.published(), 100u);
+  const auto observed = collector.sequence("marked");
+  ASSERT_EQ(observed.size(), 104u);  // 100 records + 4 markers
+  // Markers land exactly every 25 records — the source thread's program
+  // order is preserved end to end.
+  EXPECT_EQ(observed[25], kMarkerBase);
+  EXPECT_EQ(observed[51], kMarkerBase + 1);
+  EXPECT_EQ(observed[77], kMarkerBase + 2);
+  EXPECT_EQ(observed[103], kMarkerBase + 3);
+}
+
+TEST(StreamPipeline, TwoSourcesOnePlane) {
+  StreamPipeline pipeline(4);
+  std::atomic<uint64_t> delivered{0};
+  pipeline.subscribe([&](const std::string&, const Record&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  pipeline.install_queue("all", std::make_unique<ForwardAllPolicy>());
+  {
+    auto generator = [](uint64_t index) -> std::optional<Record> {
+      if (index >= 250) return std::nullopt;
+      return record_at(index);
+    };
+    InstrumentSource a(pipeline, generator);
+    InstrumentSource b(pipeline, generator);
+  }  // joins both
+  pipeline.wait_quiescent();
+  EXPECT_EQ(delivered.load(), 500u);
+}
+
+}  // namespace
+}  // namespace ff::stream

@@ -94,6 +94,21 @@ TEST(ParallelFor, NestedTwoLevelsCoversEverything) {
   for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
 }
 
+TEST(ThreadPool, PendingCountsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.post([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the worker has taken the blocker off the queue.
+  while (pool.pending() > 0) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) pool.post([] {});
+  EXPECT_EQ(pool.pending(), 5u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
 TEST(ThreadPool, HelpUntilDrainsQueuedWork) {
   ThreadPool pool(1);
   // Occupy the lone worker so posted work stays queued, then help from the
