@@ -28,6 +28,8 @@
 
 #include "ckpt/harness.hpp"
 #include "irf/irf_loop.hpp"
+#include "lint/locator.hpp"
+#include "lint/rules.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "savanna/campaign_runner.hpp"
@@ -211,6 +213,10 @@ int main(int argc, char** argv) {
     }
     return provenance_tour(argv[2], argc >= 4 ? argv[3] : "");
   }
+  bool run_lint = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-lint") == 0) run_lint = false;
+  }
 
   // 1. Describe the workflow as components with ports.
   WorkflowGraph workflow("sensor-pipeline");
@@ -265,5 +271,20 @@ int main(int argc, char** argv) {
   const auto regenerable = catalog.query("customizability >= Model");
   std::printf("  %s\n", regenerable.empty() ? "none yet — see upgrade plan above"
                                             : regenerable[0].c_str());
+
+  // 4. Pre-execution static validation: the same FF4xx rules fairflow-lint
+  //    applies to catalog artifacts on disk, run in-process against this
+  //    workflow. Declared gauge tiers must be backed by actual metadata;
+  //    error-severity findings abort before anything would execute.
+  if (run_lint) {
+    const ff::Json document = catalog.to_json();
+    const ff::lint::LintReport lint_report =
+        ff::lint::lint_catalog(document,
+                               ff::lint::JsonLocator::scan(document.pretty()),
+                               "<quickstart-catalog>");
+    std::printf("\nstatic validation (fairflow-lint; --no-lint skips):\n%s",
+                lint_report.render_text().c_str());
+    if (lint_report.has_errors()) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run clang-tidy (profile: .clang-tidy at the repo root) over the sources
+# using the compile database CMake exports into the build tree.
+#
+#   scripts/check_tidy.sh [build-dir] [source-glob...]
+#
+# Defaults: build-dir = build/, sources = every .cpp under src/. Exits 0
+# with a notice when clang-tidy is not installed so CI images without LLVM
+# (like the default toolchain here, gcc-only) pass cleanly — install
+# clang-tidy to make this check real. Exits 1 on any finding otherwise.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "check_tidy: ${tidy_bin} not found on PATH — skipping (install" \
+       "clang-tidy to enable the C++ lint gate)"
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "check_tidy: ${build_dir}/compile_commands.json is missing." >&2
+  echo "check_tidy: configure first: cmake -B '${build_dir}' -S '${repo_root}'" >&2
+  exit 1
+fi
+
+sources=("$@")
+if [[ ${#sources[@]} -eq 0 ]]; then
+  mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+fi
+
+echo "check_tidy: $(${tidy_bin} --version | head -1)"
+echo "check_tidy: ${#sources[@]} file(s), database ${build_dir}/compile_commands.json"
+"${tidy_bin}" -p "${build_dir}" --quiet "${sources[@]}"
+echo "check_tidy: clean"

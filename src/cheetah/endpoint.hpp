@@ -34,9 +34,27 @@ RunState run_state_from_name(std::string_view name);
 /// else needs to know the schema.
 class CampaignEndpoint {
  public:
+  /// How create() preflights the manifest. Lint runs by default so a
+  /// campaign that could never execute (undeclared sweep parameters, a
+  /// node count the machine cannot satisfy, an impossible walltime
+  /// budget, ...) is rejected *before* any directories exist, with
+  /// file/line diagnostics against the manifest that would have been
+  /// written. Opt out with {.lint = false} (fairflow-lint can still run
+  /// on the endpoint afterwards).
+  struct CreateOptions {
+    bool lint = true;
+    /// FF203's assumed per-run walltime floor (seconds).
+    double lint_min_run_s = 1.0;
+  };
+
   /// Create the endpoint directories and metadata for `campaign` under
-  /// `root`. Fails (StateError) if the campaign directory already exists.
-  static CampaignEndpoint create(const Campaign& campaign, const std::string& root);
+  /// `root`. Fails (StateError) if the campaign directory already exists,
+  /// (ValidationError) if the preflight lint finds error-severity issues.
+  static CampaignEndpoint create(const Campaign& campaign, const std::string& root,
+                                 const CreateOptions& options);
+  static CampaignEndpoint create(const Campaign& campaign, const std::string& root) {
+    return create(campaign, root, CreateOptions{});
+  }
 
   /// Open an existing endpoint.
   static CampaignEndpoint open(const std::string& root,

@@ -1,0 +1,215 @@
+#include "lint/diagnostic.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+Severity severity_from_name(std::string_view name) {
+  const std::string wanted = to_lower(name);
+  for (Severity severity : {Severity::Note, Severity::Warning, Severity::Error}) {
+    if (wanted == severity_name(severity)) return severity;
+  }
+  throw NotFoundError("unknown severity '" + std::string(name) + "'");
+}
+
+Json Diagnostic::to_json() const {
+  Json out = Json::object();
+  out["code"] = code;
+  out["severity"] = std::string(severity_name(severity));
+  out["message"] = message;
+  if (!location.file.empty()) out["file"] = location.file;
+  if (location.known()) {
+    out["line"] = static_cast<int64_t>(location.line);
+    out["column"] = static_cast<int64_t>(location.column);
+  }
+  if (!location.json_path.empty()) out["path"] = location.json_path;
+  if (!fixit.empty()) out["fixit"] = fixit;
+  return out;
+}
+
+const std::vector<RuleInfo>& rule_registry() {
+  // Ordered by code. Every entry here must be documented in
+  // docs/lint_codes.md (tests/lint/doc_sync_test enforces both directions).
+  static const std::vector<RuleInfo> kRules = {
+      // -------------------------------------------------- artifact plumbing
+      {"FF001", "artifact-not-json", Severity::Error, "artifact",
+       "the file is not parseable JSON (or JSONL line for journals)"},
+      {"FF002", "unrecognized-artifact", Severity::Note, "artifact",
+       "the document matches no known artifact kind and was skipped"},
+      {"FF003", "unknown-model-schema", Severity::Warning, "artifact",
+       "the model names a \"$model-schema\" this linter has no registration for"},
+      {"FF004", "malformed-artifact", Severity::Error, "artifact",
+       "the document claims a known kind but violates that kind's shape"},
+      // -------------------------------------------------- skel model/template
+      {"FF101", "unbound-template-variable", Severity::Error, "skel-model",
+       "a generator template references a path the model cannot bind"},
+      {"FF102", "unused-model-key", Severity::Warning, "skel-model",
+       "a model key is neither schema-declared nor referenced by any template"},
+      {"FF103", "model-type-mismatch", Severity::Error, "skel-model",
+       "a model field's JSON type contradicts the schema's declared type"},
+      {"FF104", "missing-required-field", Severity::Error, "skel-model",
+       "a schema-required model field is absent"},
+      // -------------------------------------------------- cheetah campaign
+      {"FF201", "undeclared-sweep-parameter", Severity::Error, "campaign",
+       "an args/derived template references a parameter no sweep declares"},
+      {"FF202", "nodes-exceed-machine", Severity::Error, "campaign",
+       "a sweep group requests more nodes than the target machine has"},
+      {"FF203", "sweep-exceeds-walltime-budget", Severity::Error, "campaign",
+       "the cartesian product cannot drain within the group's node/walltime budget"},
+      {"FF204", "duplicate-run-id", Severity::Error, "campaign",
+       "duplicate group/sweep/parameter names would collide run ids"},
+      {"FF205", "journal-manifest-drift", Severity::Error, "campaign",
+       "the execution journal disagrees with the manifest (schema version, campaign, or run set)"},
+      {"FF206", "unknown-machine", Severity::Warning, "campaign",
+       "the target machine is not in the preset registry; budgets are unverifiable"},
+      {"FF207", "empty-parameter-values", Severity::Error, "campaign",
+       "a swept parameter has no values, collapsing the cartesian product to zero runs"},
+      {"FF208", "torn-journal-tail", Severity::Note, "campaign",
+       "the journal ends in a torn (partially written) line; resume will truncate it"},
+      // -------------------------------------------------- stream plane
+      {"FF301", "communication-cycle", Severity::Error, "stream-plane",
+       "the communication subgraph contains a cycle — a potential deadlock"},
+      {"FF302", "unknown-policy-kind", Severity::Error, "stream-plane",
+       "a queue's selection-policy kind is unknown to the PolicyFactory"},
+      {"FF303", "release-exceeds-capacity", Severity::Error, "stream-plane",
+       "a policy's bulk release can overrun a blocking channel's capacity"},
+      {"FF304", "block-on-punctuated-queue", Severity::Warning, "stream-plane",
+       "overflow \"block\" on a punctuated queue can stall the producer"},
+      {"FF305", "dangling-edge-endpoint", Severity::Error, "stream-plane",
+       "an edge endpoint names a component or port the graph does not define"},
+      {"FF306", "invalid-queue-transport", Severity::Error, "stream-plane",
+       "a queue's transport configuration (capacity/overflow/args/name) is invalid"},
+      // -------------------------------------------------- gauge / tech debt
+      {"FF401", "schema-tier-unbacked-port", Severity::Warning, "gauge",
+       "declared DataSchema tier promises a format but a port carries no schema name"},
+      {"FF402", "schema-tier-unregistered", Severity::Warning, "gauge",
+       "declared DataSchema tier promises typed structure but the port schema is not in the catalog"},
+      {"FF403", "customizability-tier-unbacked", Severity::Warning, "gauge",
+       "declared Customizability tier promises exposed variables but none are exposed"},
+      {"FF404", "access-tier-unbacked-port", Severity::Warning, "gauge",
+       "declared DataAccess tier promises a protocol but a port carries no access method"},
+  };
+  return kRules;
+}
+
+const RuleInfo* find_rule(std::string_view code) {
+  for (const RuleInfo& rule : rule_registry()) {
+    if (rule.code == code) return &rule;
+  }
+  return nullptr;
+}
+
+Diagnostic& LintReport::add(std::string_view code, SourceLocation location,
+                            std::string message, std::string fixit) {
+  const RuleInfo* rule = find_rule(code);
+  if (!rule) {
+    throw NotFoundError("lint: rule code '" + std::string(code) +
+                        "' is not in the registry");
+  }
+  Diagnostic diagnostic;
+  diagnostic.code = std::string(code);
+  diagnostic.severity = rule->default_severity;
+  diagnostic.message = std::move(message);
+  diagnostic.location = std::move(location);
+  diagnostic.fixit = std::move(fixit);
+  diagnostics_.push_back(std::move(diagnostic));
+  return diagnostics_.back();
+}
+
+size_t LintReport::count(Severity severity) const noexcept {
+  size_t n = 0;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    if (diagnostic.severity == severity) ++n;
+  }
+  return n;
+}
+
+void LintReport::merge(LintReport other) {
+  for (Diagnostic& diagnostic : other.diagnostics_) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+}
+
+void LintReport::remove_codes(const std::vector<std::string>& codes) {
+  diagnostics_.erase(
+      std::remove_if(diagnostics_.begin(), diagnostics_.end(),
+                     [&](const Diagnostic& diagnostic) {
+                       return std::find(codes.begin(), codes.end(),
+                                        diagnostic.code) != codes.end();
+                     }),
+      diagnostics_.end());
+}
+
+void LintReport::promote_warnings() {
+  for (Diagnostic& diagnostic : diagnostics_) {
+    if (diagnostic.severity == Severity::Warning) {
+      diagnostic.severity = Severity::Error;
+    }
+  }
+}
+
+void LintReport::sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.location.file != b.location.file) {
+                       return a.location.file < b.location.file;
+                     }
+                     if (a.location.line != b.location.line) {
+                       return a.location.line < b.location.line;
+                     }
+                     if (a.location.column != b.location.column) {
+                       return a.location.column < b.location.column;
+                     }
+                     if (a.code != b.code) return a.code < b.code;
+                     return a.message < b.message;
+                   });
+}
+
+std::string LintReport::render_text() const {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    const SourceLocation& loc = diagnostic.location;
+    if (!loc.file.empty()) {
+      out += loc.file;
+      if (loc.known()) {
+        out += ":" + std::to_string(loc.line) + ":" + std::to_string(loc.column);
+      }
+      out += ": ";
+    }
+    out += std::string(severity_name(diagnostic.severity)) + "[" +
+           diagnostic.code + "]: " + diagnostic.message;
+    if (!loc.json_path.empty() && !loc.known()) {
+      out += " (at " + loc.json_path + ")";
+    }
+    out += "\n";
+    if (!diagnostic.fixit.empty()) {
+      out += "    fix-it: " + diagnostic.fixit + "\n";
+    }
+  }
+  out += std::to_string(count(Severity::Error)) + " error(s), " +
+         std::to_string(count(Severity::Warning)) + " warning(s), " +
+         std::to_string(count(Severity::Note)) + " note(s)\n";
+  return out;
+}
+
+std::string LintReport::render_jsonl() const {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    out += diagnostic.to_json().dump() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ff::lint

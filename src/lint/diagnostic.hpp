@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ff::lint {
+
+/// How bad a finding is. `Error` findings make `fairflow-lint` (and the
+/// default-on preflights in cheetah/savanna) fail; `Warning` is actionable
+/// but not blocking; `Note` is informational (skipped artifacts, torn
+/// journal tails the resume path will repair on its own).
+enum class Severity : uint8_t { Note = 0, Warning = 1, Error = 2 };
+
+std::string_view severity_name(Severity severity) noexcept;
+Severity severity_from_name(std::string_view name);
+
+/// Where a finding points. `file` is the artifact path as given to the
+/// linter; `line`/`column` are 1-based (0 = unknown — e.g. an in-memory
+/// artifact that never had text form); `json_path` is the dotted path into
+/// the JSON document ("groups[2].sweeps[0].name"), kept even when the
+/// line is unknown so machine consumers can still address the field.
+struct SourceLocation {
+  std::string file;
+  size_t line = 0;
+  size_t column = 0;
+  std::string json_path;
+
+  bool known() const noexcept { return line > 0; }
+};
+
+/// One finding: a stable rule code, a severity (defaulted from the rule
+/// registry, promotable by --werror), a message, a location, and an
+/// optional fix-it hint telling the user the cheapest way out.
+struct Diagnostic {
+  std::string code;  // "FF201"
+  Severity severity = Severity::Warning;
+  std::string message;
+  SourceLocation location;
+  std::string fixit;  // empty when no mechanical remediation exists
+
+  Json to_json() const;
+};
+
+/// Static metadata of one rule — the single source of truth for rule codes.
+/// docs/lint_codes.md mirrors this table and tests/lint enforce that the
+/// two never drift (the same contract trace_lint enforces for the trace
+/// schema).
+struct RuleInfo {
+  std::string_view code;              // "FF201"
+  std::string_view name;              // "undeclared-sweep-parameter"
+  Severity default_severity;
+  std::string_view family;  // artifact | skel-model | campaign | stream-plane | gauge
+  std::string_view summary;           // one line, shown by --list-rules
+};
+
+/// Every shipped rule, ordered by code.
+const std::vector<RuleInfo>& rule_registry();
+/// nullptr when the code is unknown.
+const RuleInfo* find_rule(std::string_view code);
+
+/// An ordered collection of diagnostics plus the counting/rendering logic
+/// every output format shares.
+class LintReport {
+ public:
+  /// Append a finding for `code` at its registry default severity.
+  /// Throws NotFoundError on a code missing from the registry — rule
+  /// implementations cannot invent codes the docs don't know about.
+  Diagnostic& add(std::string_view code, SourceLocation location,
+                  std::string message, std::string fixit = "");
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept { return diagnostics_; }
+  bool empty() const noexcept { return diagnostics_.empty(); }
+  size_t size() const noexcept { return diagnostics_.size(); }
+
+  size_t count(Severity severity) const noexcept;
+  bool has_errors() const noexcept { return count(Severity::Error) > 0; }
+
+  void merge(LintReport other);
+
+  /// Drop diagnostics whose code is in `codes` (the --disable flag).
+  void remove_codes(const std::vector<std::string>& codes);
+  /// Promote every Warning to Error (the --werror flag).
+  void promote_warnings();
+  /// Stable presentation order: file, line, column, code, message.
+  void sort();
+
+  /// Human-readable rendering, one finding per paragraph:
+  ///   file.json:12:5: error[FF201]: message
+  ///       fix-it: hint
+  /// followed by a severity summary line.
+  std::string render_text() const;
+  /// One JSON object per line (mirrors Diagnostic::to_json).
+  std::string render_jsonl() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace ff::lint

@@ -1,0 +1,175 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "lint/locator.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+namespace {
+
+bool is_journal_path(const std::string& path) {
+  return ends_with(path, ".jsonl");
+}
+
+/// The cheetah endpoint keeps journal.jsonl next to manifest.json inside
+/// .campaign/ — when that sibling exists, the journal is linted against it.
+Json sibling_manifest(const std::string& journal_path, std::string* out_path) {
+  const std::filesystem::path manifest =
+      std::filesystem::path(journal_path).parent_path() / "manifest.json";
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(manifest, ec)) return Json();
+  try {
+    Json document = Json::parse_file(manifest.string());
+    *out_path = manifest.string();
+    return document;
+  } catch (const Error&) {
+    return Json();  // the manifest gets its own FF001 when linted directly
+  }
+}
+
+}  // namespace
+
+std::string_view artifact_kind_name(ArtifactKind kind) noexcept {
+  switch (kind) {
+    case ArtifactKind::Unknown: return "unknown";
+    case ArtifactKind::SkelModel: return "skel-model";
+    case ArtifactKind::CampaignManifest: return "campaign-manifest";
+    case ArtifactKind::StreamPlane: return "stream-plane";
+    case ArtifactKind::Catalog: return "catalog";
+    case ArtifactKind::Journal: return "journal";
+  }
+  return "?";
+}
+
+ArtifactKind detect_kind(const Json& document) {
+  if (!document.is_object()) return ArtifactKind::Unknown;
+  if (document.contains("$model-schema")) return ArtifactKind::SkelModel;
+  if (document.contains("app") && document.contains("groups")) {
+    return ArtifactKind::CampaignManifest;
+  }
+  if (document.contains("queues")) return ArtifactKind::StreamPlane;
+  if (document.contains("components") && document.contains("schemas")) {
+    return ArtifactKind::Catalog;
+  }
+  return ArtifactKind::Unknown;
+}
+
+void LintEngine::register_model(ModelRegistration registration) {
+  for (ModelRegistration& existing : models_) {
+    if (existing.name == registration.name) {
+      existing = std::move(registration);
+      return;
+    }
+  }
+  models_.push_back(std::move(registration));
+}
+
+LintReport LintEngine::lint_text(const std::string& text,
+                                 const std::string& file,
+                                 const Json& manifest_hint) const {
+  if (is_journal_path(file)) {
+    return lint_journal_text(text, file, manifest_hint, "manifest.json");
+  }
+
+  LintReport report;
+  Json document;
+  try {
+    document = Json::parse(text);
+  } catch (const ParseError& error) {
+    report.add("FF001", SourceLocation{file, error.line(), error.column(), ""},
+               std::string("not parseable JSON: ") + error.what());
+    return report;
+  }
+
+  const JsonLocator locator = JsonLocator::scan(text);
+  switch (detect_kind(document)) {
+    case ArtifactKind::SkelModel: {
+      const std::string schema_name = document["$model-schema"].is_string()
+                                          ? document["$model-schema"].as_string()
+                                          : "";
+      const ModelRegistration* registration = nullptr;
+      for (const ModelRegistration& model : models_) {
+        if (model.name == schema_name) registration = &model;
+      }
+      if (!registration) {
+        report.add("FF003", locator.locate(file, "$model-schema"),
+                   "model declares \"$model-schema\": \"" + schema_name +
+                       "\" but no such schema is registered — model rules "
+                       "cannot run",
+                   "register the schema with the lint engine (see "
+                   "fairflow-lint --list-rules)");
+        return report;
+      }
+      report.merge(lint_model(document, locator, file, *registration));
+      return report;
+    }
+    case ArtifactKind::CampaignManifest:
+      report.merge(
+          lint_campaign_manifest(document, locator, file, campaign_options));
+      return report;
+    case ArtifactKind::StreamPlane:
+      report.merge(lint_stream_plane(document, locator, file));
+      return report;
+    case ArtifactKind::Catalog:
+      report.merge(lint_catalog(document, locator, file));
+      return report;
+    case ArtifactKind::Journal:  // unreachable: journals route by filename
+    case ArtifactKind::Unknown:
+      break;
+  }
+  report.add("FF002", locator.locate(file, ""),
+             "document matches no known artifact kind (model, campaign "
+             "manifest, stream plane, catalog, journal) — skipped");
+  return report;
+}
+
+LintReport LintEngine::lint_file(const std::string& path) const {
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const IoError& error) {
+    LintReport report;
+    report.add("FF001", SourceLocation{path, 0, 0, ""},
+               std::string("cannot read file: ") + error.what());
+    return report;
+  }
+  Json manifest_hint;
+  std::string manifest_path;
+  if (is_journal_path(path)) {
+    manifest_hint = sibling_manifest(path, &manifest_path);
+    return lint_journal_text(text, path, manifest_hint,
+                             manifest_path.empty() ? "manifest.json"
+                                                   : manifest_path);
+  }
+  return lint_text(text, path);
+}
+
+LintReport LintEngine::lint_paths(const std::vector<std::string>& paths) const {
+  LintReport report;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string name = entry.path().string();
+        if (ends_with(name, ".json") || ends_with(name, ".jsonl")) {
+          files.push_back(name);
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const std::string& file : files) report.merge(lint_file(file));
+    } else {
+      report.merge(lint_file(path));
+    }
+  }
+  report.sort();
+  return report;
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/rules.hpp"
+
+namespace ff::lint {
+
+/// What a JSON document claims to be, inferred from its shape.
+enum class ArtifactKind {
+  Unknown,           // no recognizable markers (FF002 note, then skipped)
+  SkelModel,         // has "$model-schema"
+  CampaignManifest,  // has "app" + "groups" (cheetah manifest shape)
+  StreamPlane,       // has "queues" (and usually "graph")
+  Catalog,           // has "components" + "schemas"
+  Journal,           // JSONL whose first line is a savanna journal header
+};
+
+std::string_view artifact_kind_name(ArtifactKind kind) noexcept;
+
+/// Shape-based detection over a parsed document. Journal detection happens
+/// at the text layer (lint_text) since journals are JSONL, not JSON.
+ArtifactKind detect_kind(const Json& document);
+
+/// The front door: owns the model-schema registry and campaign options,
+/// dispatches artifacts to the rule packs, applies severity policy.
+///
+///   LintEngine engine;
+///   engine.register_model({"gwas-paste", gwas::paste_model_schema(),
+///                          gwas::make_paste_generator()});
+///   LintReport report = engine.lint_paths({"model.json", "campaign/"});
+///   if (report.has_errors()) ...
+class LintEngine {
+ public:
+  CampaignLintOptions campaign_options;
+
+  void register_model(ModelRegistration registration);
+  const std::vector<ModelRegistration>& registered_models() const noexcept {
+    return models_;
+  }
+
+  /// Lint one document given as text. `file` labels locations. Handles
+  /// parse failure (FF001), kind detection (FF002), and dispatch. A file
+  /// whose name ends in .jsonl is linted as a journal; when
+  /// `manifest_hint` is an object it is used for the FF205 drift check.
+  LintReport lint_text(const std::string& text, const std::string& file,
+                       const Json& manifest_hint = Json()) const;
+
+  /// Lint a file on disk. For .jsonl journals, a sibling manifest is
+  /// looked up automatically (<dir>/manifest.json — the cheetah
+  /// .campaign/ layout pairs the two).
+  LintReport lint_file(const std::string& path) const;
+
+  /// Lint files and directories (directories walk *.json + *.jsonl,
+  /// recursively). Report order is sorted by file/line.
+  LintReport lint_paths(const std::vector<std::string>& paths) const;
+
+ private:
+  std::vector<ModelRegistration> models_;
+};
+
+}  // namespace ff::lint

@@ -1,0 +1,240 @@
+#include "lint/locator.hpp"
+
+#include <string>
+
+namespace ff::lint {
+namespace {
+
+/// Forward-only cursor over the document text that tracks 1-based line and
+/// column as it advances. All navigation below funnels through advance() so
+/// the two counters can never drift from the offset.
+struct Cursor {
+  std::string_view text;
+  size_t offset = 0;
+  size_t line = 1;
+  size_t column = 1;
+
+  bool done() const noexcept { return offset >= text.size(); }
+  char peek() const noexcept { return done() ? '\0' : text[offset]; }
+
+  void advance() noexcept {
+    if (done()) return;
+    if (text[offset] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++offset;
+  }
+
+  void skip_whitespace() noexcept {
+    while (!done()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  /// Consume a string literal (cursor on the opening quote). Returns the
+  /// unescaped content; false when the literal is unterminated. Escape
+  /// sequences only need to be *skipped* correctly — keys with escapes are
+  /// recorded verbatim-unescaped for simple ones (\" \\ \/) and with the raw
+  /// escape text otherwise, which is fine: the dotted-path grammar used by
+  /// Json::find_path cannot address such keys anyway.
+  bool consume_string(std::string* out) {
+    if (peek() != '"') return false;
+    advance();
+    while (!done()) {
+      const char c = peek();
+      if (c == '"') {
+        advance();
+        return true;
+      }
+      if (c == '\\') {
+        advance();
+        if (done()) return false;
+        const char esc = peek();
+        if (out) {
+          switch (esc) {
+            case '"': *out += '"'; break;
+            case '\\': *out += '\\'; break;
+            case '/': *out += '/'; break;
+            default:
+              *out += '\\';
+              *out += esc;
+          }
+        }
+        advance();
+        continue;
+      }
+      if (out) *out += c;
+      advance();
+    }
+    return false;
+  }
+
+  /// Skip a number / true / false / null token.
+  void skip_scalar_token() noexcept {
+    while (!done()) {
+      const char c = peek();
+      const bool token = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                         c == '-' || c == '+' || c == '.' || c == 'E' || c == 'e';
+      if (!token) break;
+      advance();
+    }
+  }
+};
+
+struct Scanner {
+  Cursor cursor;
+  std::map<std::string, JsonLocator::Position, std::less<>>* positions;
+  // Containment guard for adversarial inputs ("[[[[[…"); far deeper than any
+  // real artifact, shallow enough to keep the stack safe.
+  static constexpr int kMaxDepth = 256;
+
+  void record(const std::string& path) {
+    positions->emplace(path, JsonLocator::Position{cursor.line, cursor.column});
+  }
+
+  /// Scan the value starting at the cursor, recording `path` for it and every
+  /// descendant. Returns false on the first syntax problem — everything
+  /// recorded up to that point is kept.
+  bool scan_value(const std::string& path, int depth) {
+    if (depth > kMaxDepth) return false;
+    cursor.skip_whitespace();
+    if (cursor.done()) return false;
+    record(path);
+    const char c = cursor.peek();
+    if (c == '{') return scan_object(path, depth);
+    if (c == '[') return scan_array(path, depth);
+    if (c == '"') return cursor.consume_string(nullptr);
+    cursor.skip_scalar_token();
+    return true;
+  }
+
+  bool scan_object(const std::string& path, int depth) {
+    cursor.advance();  // '{'
+    cursor.skip_whitespace();
+    if (cursor.peek() == '}') {
+      cursor.advance();
+      return true;
+    }
+    while (true) {
+      cursor.skip_whitespace();
+      if (cursor.peek() != '"') return false;
+      // The member is located at its key: that is the text a fix edits.
+      const JsonLocator::Position key_pos{cursor.line, cursor.column};
+      std::string key;
+      if (!cursor.consume_string(&key)) return false;
+      const std::string child_path = path.empty() ? key : path + "." + key;
+      positions->emplace(child_path, key_pos);
+      cursor.skip_whitespace();
+      if (cursor.peek() != ':') return false;
+      cursor.advance();
+      cursor.skip_whitespace();
+      // Descend without re-recording the child path (the key position wins
+      // over the value position).
+      if (!scan_child(child_path, depth + 1)) return false;
+      cursor.skip_whitespace();
+      if (cursor.peek() == ',') {
+        cursor.advance();
+        continue;
+      }
+      if (cursor.peek() == '}') {
+        cursor.advance();
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool scan_array(const std::string& path, int depth) {
+    cursor.advance();  // '['
+    cursor.skip_whitespace();
+    if (cursor.peek() == ']') {
+      cursor.advance();
+      return true;
+    }
+    size_t index = 0;
+    while (true) {
+      cursor.skip_whitespace();
+      const std::string child_path = path + "[" + std::to_string(index) + "]";
+      record(child_path);
+      if (!scan_child(child_path, depth + 1)) return false;
+      cursor.skip_whitespace();
+      if (cursor.peek() == ',') {
+        cursor.advance();
+        ++index;
+        continue;
+      }
+      if (cursor.peek() == ']') {
+        cursor.advance();
+        return true;
+      }
+      return false;
+    }
+  }
+
+  /// Like scan_value but assumes `path` is already recorded at a better
+  /// position (the object key or the element start).
+  bool scan_child(const std::string& path, int depth) {
+    if (depth > kMaxDepth) return false;
+    cursor.skip_whitespace();
+    if (cursor.done()) return false;
+    const char c = cursor.peek();
+    if (c == '{') return scan_object(path, depth);
+    if (c == '[') return scan_array(path, depth);
+    if (c == '"') return cursor.consume_string(nullptr);
+    cursor.skip_scalar_token();
+    return true;
+  }
+};
+
+}  // namespace
+
+JsonLocator JsonLocator::scan(std::string_view text) {
+  JsonLocator locator;
+  Scanner scanner{Cursor{text}, &locator.positions_};
+  scanner.scan_value("", 0);  // best effort; partial results are kept
+  return locator;
+}
+
+JsonLocator::Position JsonLocator::position(std::string_view json_path) const {
+  auto it = positions_.find(json_path);
+  if (it == positions_.end()) return {};
+  return it->second;
+}
+
+SourceLocation JsonLocator::locate(const std::string& file,
+                                   std::string_view json_path) const {
+  SourceLocation location;
+  location.file = file;
+  location.json_path = std::string(json_path);
+  std::string_view probe = json_path;
+  while (true) {
+    auto it = positions_.find(probe);
+    if (it != positions_.end()) {
+      location.line = it->second.line;
+      location.column = it->second.column;
+      return location;
+    }
+    if (probe.empty()) return location;  // nothing known at all
+    // Trim the last path segment: "a.b[2].c" → "a.b[2]" → "a.b" → "a" → "".
+    const size_t dot = probe.rfind('.');
+    const size_t bracket = probe.rfind('[');
+    size_t cut;
+    if (dot == std::string_view::npos && bracket == std::string_view::npos) {
+      cut = 0;
+    } else if (dot == std::string_view::npos) {
+      cut = bracket;
+    } else if (bracket == std::string_view::npos) {
+      cut = dot;
+    } else {
+      cut = std::max(dot, bracket);
+    }
+    probe = probe.substr(0, cut);
+  }
+}
+
+}  // namespace ff::lint

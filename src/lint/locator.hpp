@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "lint/diagnostic.hpp"
+
+namespace ff::lint {
+
+/// Maps dotted JSON paths ("groups[2].sweeps[0].name") to 1-based
+/// line/column positions in the *original text* of a JSON document. The
+/// diagnostic layer uses this to point findings at the exact key in the
+/// user's model/campaign file instead of at "somewhere in the document".
+///
+/// scan() is a single forward pass that tolerates malformed input: it
+/// records every position it can attribute before the first syntax problem
+/// and never throws (the real parser reports FF001 separately). Object
+/// members are located at their *key* (that is what a user edits); array
+/// elements at the first character of the element value.
+class JsonLocator {
+ public:
+  /// Scan `text` once, recording a position for every addressable path.
+  /// The root value has path "".
+  static JsonLocator scan(std::string_view text);
+
+  struct Position {
+    size_t line = 0;    // 1-based
+    size_t column = 0;  // 1-based
+  };
+
+  /// Exact-path lookup; {0,0} when unknown.
+  Position position(std::string_view json_path) const;
+
+  /// Best-effort lookup for diagnostics: walks ancestor paths ("a.b[2].c"
+  /// → "a.b[2]" → "a.b" → "a" → "") until one is known, then fills a
+  /// SourceLocation carrying `file` and the *requested* json_path, so the
+  /// finding stays addressed at the precise field even when only a parent
+  /// has a text position.
+  SourceLocation locate(const std::string& file, std::string_view json_path) const;
+
+  size_t known_paths() const noexcept { return positions_.size(); }
+
+ private:
+  std::map<std::string, Position, std::less<>> positions_;
+};
+
+}  // namespace ff::lint

@@ -1,0 +1,144 @@
+// fairflow-lint: pre-execution static analysis for workflow artifacts.
+//
+//   fairflow-lint [options] <path>...
+//
+// Paths may be JSON artifacts (Skel models, campaign manifests, stream
+// planes, metadata catalogs), .jsonl execution journals, or directories
+// (recursively scanned for both). Exit status: 0 clean (or warnings only),
+// 1 when any error-severity finding fired, 2 on usage errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gwas/workflow.hpp"
+#include "lint/engine.hpp"
+#include "lint/sarif.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fairflow-lint [options] <path>...\n"
+    "\n"
+    "Statically validate fairflow artifacts (Skel models, Cheetah campaign\n"
+    "manifests, stream planes, metadata catalogs, savanna journals) before\n"
+    "anything executes. See docs/lint_codes.md for the rule catalog.\n"
+    "\n"
+    "options:\n"
+    "  --format=<text|jsonl|sarif>  output format (default text)\n"
+    "  --sarif                      shorthand for --format=sarif\n"
+    "  --output <file>              write the report to <file> instead of stdout\n"
+    "  --min-run-s <seconds>        FF203 walltime floor per run (default 1.0)\n"
+    "  --disable <FFxxx[,FFxxx]>    drop findings by rule code (repeatable)\n"
+    "  --werror                     promote warnings to errors\n"
+    "  --list-rules                 print the rule registry and exit\n"
+    "  --help                       this message\n";
+
+int list_rules() {
+  for (const ff::lint::RuleInfo& rule : ff::lint::rule_registry()) {
+    std::printf("%s  %-7s  %-28s  %s\n", std::string(rule.code).c_str(),
+                std::string(ff::lint::severity_name(rule.default_severity)).c_str(),
+                std::string(rule.name).c_str(), std::string(rule.summary).c_str());
+  }
+  return 0;
+}
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "fairflow-lint: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string output;
+  std::vector<std::string> disabled;
+  std::vector<std::string> paths;
+  bool werror = false;
+  ff::lint::LintEngine engine;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      (void)flag;
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      return list_rules();
+    } else if (arg == "--sarif") {
+      format = "sarif";
+    } else if (ff::starts_with(arg, "--format=")) {
+      format = arg.substr(9);
+      if (format != "text" && format != "jsonl" && format != "sarif") {
+        return usage_error("unknown format '" + format + "'");
+      }
+    } else if (arg == "--output" || arg == "-o") {
+      const char* value = next_value("--output");
+      if (!value) return usage_error("--output needs a file argument");
+      output = value;
+    } else if (arg == "--min-run-s") {
+      const char* value = next_value("--min-run-s");
+      if (!value) return usage_error("--min-run-s needs a number");
+      try {
+        engine.campaign_options.min_run_s = std::stod(value);
+      } catch (const std::exception&) {
+        return usage_error("--min-run-s: '" + std::string(value) +
+                           "' is not a number");
+      }
+    } else if (arg == "--disable") {
+      const char* value = next_value("--disable");
+      if (!value) return usage_error("--disable needs a rule code");
+      for (const std::string& code : ff::split_nonempty(value, ',')) {
+        if (!ff::lint::find_rule(code)) {
+          return usage_error("--disable: unknown rule '" + code + "'");
+        }
+        disabled.push_back(code);
+      }
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (ff::starts_with(arg, "-")) {
+      return usage_error("unknown option '" + arg + "'");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage_error("no artifacts to lint");
+
+  // The built-in workflow: the Fig. 2 GWAS paste model/generator pair.
+  engine.register_model({"gwas-paste", ff::gwas::paste_model_schema(),
+                         ff::gwas::make_paste_generator()});
+
+  ff::lint::LintReport report = engine.lint_paths(paths);
+  report.remove_codes(disabled);
+  if (werror) report.promote_warnings();
+  report.sort();
+
+  std::string rendered;
+  if (format == "sarif") {
+    rendered = ff::lint::render_sarif(report);
+  } else if (format == "jsonl") {
+    rendered = report.render_jsonl();
+  } else {
+    rendered = report.render_text();
+  }
+
+  if (output.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    try {
+      ff::write_file(output, rendered);
+    } catch (const ff::IoError& error) {
+      std::fprintf(stderr, "fairflow-lint: %s\n", error.what());
+      return 2;
+    }
+  }
+  return report.has_errors() ? 1 : 0;
+}

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/locator.hpp"
+#include "skel/generator.hpp"
+#include "skel/model.hpp"
+#include "util/json.hpp"
+
+namespace ff::lint {
+
+// ---------------------------------------------------------------------------
+// Skel model rules (FF10x)
+// ---------------------------------------------------------------------------
+
+/// What the linter knows about one "$model-schema" name: the declarative
+/// schema plus the generator whose templates consume the model. Registered
+/// on the engine by whoever owns the workflow (the CLI registers the
+/// built-in GWAS paste workflow; tests register fixtures).
+struct ModelRegistration {
+  std::string name;  // matches the artifact's "$model-schema" value
+  skel::ModelSchema schema;
+  skel::Generator generator;
+};
+
+/// FF101 unbound-template-variable, FF102 unused-model-key,
+/// FF103 model-type-mismatch, FF104 missing-required-field.
+LintReport lint_model(const Json& model, const JsonLocator& locator,
+                      const std::string& file,
+                      const ModelRegistration& registration);
+
+// ---------------------------------------------------------------------------
+// Cheetah campaign rules (FF20x)
+// ---------------------------------------------------------------------------
+
+struct CampaignLintOptions {
+  /// Assumed minimum seconds one run occupies a node, for the FF203
+  /// walltime budget bound (`--min-run-s`). The check is conservative: it
+  /// only errors when the budget is impossible even at this floor.
+  double min_run_s = 1.0;
+};
+
+/// FF201 undeclared-sweep-parameter, FF202 nodes-exceed-machine,
+/// FF203 sweep-exceeds-walltime-budget, FF204 duplicate-run-id,
+/// FF206 unknown-machine, FF207 empty-parameter-values. Operates on the
+/// raw manifest JSON (cheetah's .campaign/manifest.json shape) so callers
+/// can lint documents the Campaign constructor would reject.
+LintReport lint_campaign_manifest(const Json& manifest,
+                                  const JsonLocator& locator,
+                                  const std::string& file,
+                                  const CampaignLintOptions& options = {});
+
+/// FF205 journal-manifest-drift, FF208 torn-journal-tail, FF001 on corrupt
+/// non-final lines. `journal_text` is the raw JSONL; `manifest` may be null
+/// (journal-internal checks only) when no manifest is available.
+LintReport lint_journal_text(const std::string& journal_text,
+                             const std::string& journal_file,
+                             const Json& manifest,
+                             const std::string& manifest_file);
+
+/// Expand the run-id set a manifest implies ("group/sweep/run-NNNN"),
+/// mirroring SweepGroup::generate(). Exposed for the drift check and tests.
+std::vector<std::string> manifest_run_ids(const Json& manifest);
+
+// ---------------------------------------------------------------------------
+// Stream-plane rules (FF30x)
+// ---------------------------------------------------------------------------
+
+/// FF301 communication-cycle, FF302 unknown-policy-kind, FF303
+/// release-exceeds-capacity, FF304 block-on-punctuated-queue, FF305
+/// dangling-edge-endpoint, FF306 invalid-queue-transport — over a stream
+/// plane document: {"graph": <workflow_graph>, "queues": [{"queue","kind",
+/// "args","capacity","overflow","punctuated"}...]}.
+LintReport lint_stream_plane(const Json& plane, const JsonLocator& locator,
+                             const std::string& file);
+
+// ---------------------------------------------------------------------------
+// Gauge / technical-debt rules (FF40x)
+// ---------------------------------------------------------------------------
+
+/// FF401 schema-tier-unbacked-port, FF402 schema-tier-unregistered, FF403
+/// customizability-tier-unbacked, FF404 access-tier-unbacked-port — over a
+/// metadata catalog document ({"components": [...], "schemas": [...]}).
+LintReport lint_catalog(const Json& catalog, const JsonLocator& locator,
+                        const std::string& file);
+
+/// The FF40x checks over a bare component array (`base_path` addresses it
+/// in the document, e.g. "graph.components"). `schema_keys` may be null —
+/// then FF402 (registry lookups) is skipped. Shared by lint_catalog and
+/// the stream-plane graph pass.
+LintReport lint_gauge_components(const Json& components,
+                                 const std::vector<std::string>* schema_keys,
+                                 const std::string& base_path,
+                                 const JsonLocator& locator,
+                                 const std::string& file);
+
+}  // namespace ff::lint

@@ -1,0 +1,411 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "lint/rules.hpp"
+#include "savanna/journal.hpp"  // kJournalSchemaVersion (header-only use)
+#include "skel/template_engine.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+namespace {
+
+/// Resolve a manifest's "machine" name against the preset registry in
+/// src/cluster. "local" is what Campaign defaults to when no machine was
+/// chosen — it claims nothing about capacity, so it gets no preset (and,
+/// unlike a typo'd machine name, no FF206 either).
+std::optional<sim::MachineSpec> machine_preset(const std::string& name) {
+  const std::string wanted = to_lower(name);
+  if (wanted == "summit") return sim::summit();
+  if (wanted == "institutional" || wanted == "institutional-cluster" ||
+      wanted == "institutional_cluster") {
+    return sim::institutional_cluster();
+  }
+  if (wanted == "workstation") return sim::workstation();
+  if (wanted == "generic") return sim::MachineSpec{};
+  return std::nullopt;
+}
+
+/// First dotted segment of a template reference: RunSpec params are flat
+/// names, so "{{dataset.count}}" resolves iff a parameter "dataset" exists
+/// and holds an object.
+std::string_view head_segment(std::string_view path) {
+  const size_t dot = path.find('.');
+  const size_t bracket = path.find('[');
+  return path.substr(0, std::min(dot, bracket));
+}
+
+std::vector<std::string> template_refs(const std::string& text,
+                                       const std::string& label) {
+  try {
+    return skel::Template::parse(text, label).referenced_paths();
+  } catch (const Error&) {
+    return {};  // unparseable template: reported as FF004 by the caller
+  }
+}
+
+struct SweepSummary {
+  std::string name;
+  std::set<std::string> declared;  // swept + derived parameter names
+  size_t run_count = 1;            // product of parameter cardinalities
+  bool countable = true;           // false when a parameter entry is malformed
+};
+
+void check_sweep(const Json& sweep, const std::string& sweep_path,
+                 const JsonLocator& locator, const std::string& file,
+                 SweepSummary& summary, LintReport& report) {
+  if (sweep.contains("parameters")) {
+    const auto& parameters = sweep["parameters"].as_array();
+    for (size_t p = 0; p < parameters.size(); ++p) {
+      const Json& parameter = parameters[p];
+      const std::string param_path =
+          sweep_path + ".parameters[" + std::to_string(p) + "]";
+      if (!parameter.is_object() || !parameter.contains("name")) {
+        report.add("FF004", locator.locate(file, param_path),
+                   "sweep parameter must be an object with \"name\" and "
+                   "\"values\"");
+        summary.countable = false;
+        continue;
+      }
+      const std::string name = parameter["name"].as_string();
+      if (!summary.declared.insert(name).second) {
+        report.add("FF204", locator.locate(file, param_path + ".name"),
+                   "parameter '" + name + "' declared twice in sweep '" +
+                       summary.name + "' — assignments overwrite each other "
+                       "and the cartesian product double-counts",
+                   "remove or rename the duplicate parameter");
+      }
+      if (!parameter.contains("values") || !parameter["values"].is_array()) {
+        report.add("FF004", locator.locate(file, param_path),
+                   "parameter '" + name + "' has no \"values\" array");
+        summary.countable = false;
+        continue;
+      }
+      const size_t cardinality = parameter["values"].as_array().size();
+      if (cardinality == 0) {
+        report.add("FF207", locator.locate(file, param_path + ".values"),
+                   "parameter '" + name + "' has an empty value list — the "
+                   "cartesian product of sweep '" + summary.name +
+                       "' collapses to zero runs",
+                   "add at least one value or drop the parameter");
+        summary.countable = false;
+        continue;
+      }
+      summary.run_count *= cardinality;
+    }
+  }
+  // Derived parameters: names join the declared set; their templates may
+  // only reference parameters declared before them (swept, or earlier
+  // derived — Sweep::generate renders them in order).
+  if (sweep.contains("derived")) {
+    for (const auto& [name, template_text] : sweep["derived"].as_object()) {
+      const std::string derived_path = sweep_path + ".derived." + name;
+      for (const std::string& ref :
+           template_refs(template_text.as_string(), "derived:" + name)) {
+        const std::string head{head_segment(ref)};
+        if (!summary.declared.count(head)) {
+          report.add("FF201", locator.locate(file, derived_path),
+                     "derived parameter '" + name + "' references '{{" + ref +
+                         "}}' which sweep '" + summary.name +
+                         "' does not declare (or declares later)",
+                     "declare parameter '" + head +
+                         "' or reorder the derived parameters");
+        }
+      }
+      summary.declared.insert(name);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> manifest_run_ids(const Json& manifest) {
+  std::vector<std::string> ids;
+  const Json* groups = manifest.find_path("groups");
+  if (!groups || !groups->is_array()) return ids;
+  char buffer[32];
+  for (const Json& group : groups->as_array()) {
+    if (!group.is_object()) continue;
+    const std::string group_name = group.get_or("name", "");
+    const Json* sweeps = group.find_path("sweeps");
+    if (!sweeps || !sweeps->is_array()) continue;
+    for (const Json& sweep : sweeps->as_array()) {
+      if (!sweep.is_object()) continue;
+      const std::string sweep_name = sweep.get_or("name", "sweep");
+      size_t count = 1;
+      const Json* parameters = sweep.find_path("parameters");
+      if (parameters && parameters->is_array()) {
+        for (const Json& parameter : parameters->as_array()) {
+          const Json* values =
+              parameter.is_object() ? parameter.find_path("values") : nullptr;
+          count *= values && values->is_array() ? values->as_array().size() : 0;
+        }
+      }
+      for (size_t index = 0; index < count; ++index) {
+        std::snprintf(buffer, sizeof(buffer), "run-%04zu", index);
+        ids.push_back(group_name + "/" + sweep_name + "/" + buffer);
+      }
+    }
+  }
+  return ids;
+}
+
+LintReport lint_campaign_manifest(const Json& manifest,
+                                  const JsonLocator& locator,
+                                  const std::string& file,
+                                  const CampaignLintOptions& options) {
+  LintReport report;
+  if (!manifest.is_object() || !manifest.contains("app")) {
+    report.add("FF004", locator.locate(file, ""),
+               "a campaign manifest must be an object with \"app\" and "
+               "\"groups\"");
+    return report;
+  }
+
+  const std::string machine_name = manifest.get_or("machine", "local");
+  const std::optional<sim::MachineSpec> machine = machine_preset(machine_name);
+  if (!machine && to_lower(machine_name) != "local") {
+    report.add("FF206", locator.locate(file, "machine"),
+               "machine '" + machine_name +
+                   "' is not a known preset — node and walltime budgets "
+                   "cannot be verified",
+               "use one of: summit, institutional-cluster, workstation, "
+               "local, generic");
+  }
+
+  const std::vector<std::string> args_refs =
+      template_refs(manifest.find_path("app.args_template")
+                        ? manifest.at_path("app.args_template").as_string()
+                        : "",
+                    "args_template");
+
+  const Json* groups = manifest.find_path("groups");
+  if (!groups || !groups->is_array()) return report;
+
+  std::set<std::string> group_names;
+  for (size_t g = 0; g < groups->as_array().size(); ++g) {
+    const Json& group = (*groups)[g];
+    const std::string group_path = "groups[" + std::to_string(g) + "]";
+    if (!group.is_object()) {
+      report.add("FF004", locator.locate(file, group_path),
+                 "sweep group must be an object");
+      continue;
+    }
+    const std::string group_name = group.get_or("name", "");
+    if (!group_names.insert(group_name).second) {
+      report.add("FF204", locator.locate(file, group_path + ".name"),
+                 "duplicate sweep group '" + group_name +
+                     "' — run ids \"" + group_name +
+                     "/<sweep>/run-NNNN\" collide across the groups",
+                 "rename one of the groups");
+    }
+
+    const int64_t nodes = group.get_or("nodes", int64_t{1});
+    const double walltime_s = group.get_or("walltime_s", 7200.0);
+    const int64_t max_concurrent = group.get_or("max_concurrent", int64_t{0});
+    if (machine && nodes > machine->nodes) {
+      report.add("FF202", locator.locate(file, group_path + ".nodes"),
+                 "group '" + group_name + "' requests " +
+                     std::to_string(nodes) + " nodes but machine '" +
+                     machine_name + "' has " + std::to_string(machine->nodes),
+                 "lower \"nodes\" to at most " +
+                     std::to_string(machine->nodes));
+    }
+
+    size_t group_runs = 0;
+    bool group_countable = true;
+    std::set<std::string> sweep_names;
+    const Json* sweeps = group.find_path("sweeps");
+    if (!sweeps || !sweeps->is_array()) continue;
+    for (size_t s = 0; s < sweeps->as_array().size(); ++s) {
+      const Json& sweep = (*sweeps)[s];
+      const std::string sweep_path =
+          group_path + ".sweeps[" + std::to_string(s) + "]";
+      if (!sweep.is_object()) {
+        report.add("FF004", locator.locate(file, sweep_path),
+                   "sweep must be an object");
+        continue;
+      }
+      SweepSummary summary;
+      summary.name = sweep.get_or("name", "sweep");
+      if (!sweep_names.insert(summary.name).second) {
+        report.add("FF204", locator.locate(file, sweep_path + ".name"),
+                   "duplicate sweep '" + summary.name + "' in group '" +
+                       group_name + "' — run ids \"" + group_name + "/" +
+                       summary.name + "/run-NNNN\" collide",
+                   "rename one of the sweeps");
+      }
+      check_sweep(sweep, sweep_path, locator, file, summary, report);
+
+      // FF201: every placeholder in the app args template must be a
+      // declared parameter of *this* sweep — command_for renders each run
+      // with only that run's assignment.
+      for (const std::string& ref : args_refs) {
+        const std::string head{head_segment(ref)};
+        if (!summary.declared.count(head)) {
+          report.add("FF201", locator.locate(file, "app.args_template"),
+                     "args template references '{{" + ref + "}}' which sweep '" +
+                         group_name + "/" + summary.name +
+                         "' does not declare",
+                     "declare parameter '" + head +
+                         "' in the sweep or drop the placeholder");
+        }
+      }
+
+      if (summary.countable) {
+        group_runs += summary.run_count;
+      } else {
+        group_countable = false;
+      }
+    }
+
+    // FF203: can the cartesian product drain inside the walltime? Runs
+    // occupy one node each; at most min(max_concurrent, nodes) execute at
+    // once; each takes at least options.min_run_s.
+    if (machine && group_countable && group_runs > 0 && nodes > 0 &&
+        walltime_s > 0 && options.min_run_s > 0) {
+      const size_t slots = max_concurrent > 0
+                               ? static_cast<size_t>(std::min(max_concurrent, nodes))
+                               : static_cast<size_t>(nodes);
+      const size_t waves = (group_runs + slots - 1) / slots;
+      const double floor_s = static_cast<double>(waves) * options.min_run_s;
+      if (floor_s > walltime_s) {
+        report.add(
+            "FF203", locator.locate(file, group_path + ".walltime_s"),
+            "group '" + group_name + "' sweeps " + std::to_string(group_runs) +
+                " runs over " + std::to_string(slots) +
+                " concurrent slots — at least " + std::to_string(waves) +
+                " waves, which cannot fit " +
+                std::to_string(static_cast<long long>(walltime_s)) +
+                "s of walltime even at " + format_double(options.min_run_s) +
+                "s per run",
+            "raise \"walltime_s\", raise \"nodes\"/\"max_concurrent\", or "
+            "shrink the sweep");
+      }
+    }
+  }
+  return report;
+}
+
+LintReport lint_journal_text(const std::string& journal_text,
+                             const std::string& journal_file,
+                             const Json& manifest,
+                             const std::string& manifest_file) {
+  LintReport report;
+  const std::vector<std::string> lines = split(journal_text, '\n');
+  // Trailing newline yields one empty final element; real content lines
+  // keep their index for diagnostics.
+  std::vector<std::pair<size_t, std::string>> content;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!trim(lines[i]).empty()) content.emplace_back(i + 1, lines[i]);
+  }
+  if (content.empty()) return report;  // never-started campaign: clean
+
+  // Mirror savanna's replay(): the final line is torn when unparseable OR
+  // unterminated (append's commit point is the fsync'd trailing newline).
+  const bool unterminated =
+      !journal_text.empty() && journal_text.back() != '\n';
+  Json header;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const auto& [line_number, text] = content[i];
+    const bool last = i + 1 == content.size();
+    Json record;
+    try {
+      record = Json::parse(text);
+    } catch (const ParseError&) {
+      if (last) {
+        report.add("FF208", SourceLocation{journal_file, line_number, 1, ""},
+                   "journal ends in a torn (partially written) line — "
+                   "resume will truncate it and re-execute that allocation");
+      } else {
+        report.add("FF001", SourceLocation{journal_file, line_number, 1, ""},
+                   "journal line is not valid JSON");
+      }
+      continue;
+    }
+    if (last && unterminated) {
+      report.add("FF208", SourceLocation{journal_file, line_number, 1, ""},
+                 "journal's final line has no trailing newline — resume "
+                 "treats it as torn and re-executes that allocation");
+      if (i != 0) continue;  // an uncommitted alloc record: not state
+    }
+    if (i == 0) {
+      header = record;
+      if (record.get_or("kind", "") != "header") {
+        report.add("FF205", SourceLocation{journal_file, line_number, 1, ""},
+                   "journal does not start with a header record",
+                   "recreate the journal (delete it to restart the campaign)");
+        header = Json();
+      }
+    } else if (record.get_or("kind", "") == "header") {
+      report.add("FF205", SourceLocation{journal_file, line_number, 1, ""},
+                 "unexpected second header record");
+    }
+  }
+
+  if (!header.is_object()) return report;
+
+  const int64_t schema = header.get_or("schema", int64_t{0});
+  if (schema != savanna::kJournalSchemaVersion) {
+    report.add("FF205", SourceLocation{journal_file, 1, 1, "schema"},
+               "journal schema version " + std::to_string(schema) +
+                   " != savanna's " +
+                   std::to_string(savanna::kJournalSchemaVersion) +
+                   " — resume_campaign will refuse this journal",
+               "re-run the campaign with the current savanna to rewrite it");
+  }
+
+  if (!manifest.is_object()) return report;
+
+  const std::string journal_campaign = header.get_or("campaign", "");
+  const std::string manifest_campaign = manifest.get_or("name", "");
+  if (journal_campaign != manifest_campaign) {
+    report.add("FF205", SourceLocation{journal_file, 1, 1, "campaign"},
+               "journal belongs to campaign '" + journal_campaign +
+                   "' but the manifest (" + manifest_file + ") describes '" +
+                   manifest_campaign + "'");
+  }
+
+  if (header.contains("runs") && header["runs"].is_array()) {
+    std::set<std::string> journal_runs;
+    for (const Json& id : header["runs"].as_array()) {
+      if (id.is_string()) journal_runs.insert(id.as_string());
+    }
+    std::set<std::string> manifest_runs;
+    for (std::string& id : manifest_run_ids(manifest)) {
+      manifest_runs.insert(std::move(id));
+    }
+    for (const std::string& id : journal_runs) {
+      if (!manifest_runs.count(id)) {
+        report.add("FF205", SourceLocation{journal_file, 1, 1, "runs"},
+                   "journal registers run '" + id +
+                       "' which the manifest's sweeps no longer produce — "
+                       "the campaign definition drifted after execution "
+                       "started",
+                   "restore the original sweep definition or restart the "
+                   "campaign");
+        break;  // one finding per direction keeps the report readable
+      }
+    }
+    for (const std::string& id : manifest_runs) {
+      if (!journal_runs.count(id)) {
+        report.add("FF205", SourceLocation{journal_file, 1, 1, "runs"},
+                   "manifest produces run '" + id +
+                       "' which the journal never registered — the sweep "
+                       "grew after execution started",
+                   "restart the campaign to register the new runs");
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,152 @@
+#include <string>
+#include <vector>
+
+#include "core/gauge.hpp"
+#include "lint/rules.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+namespace {
+
+/// Declared tier of one gauge in a serialized GaugeProfile
+/// ({"schema": {"tier": 3, ...}, ...}); 0 (Unknown) when absent.
+int64_t declared_tier(const Json& component, const char* gauge_key) {
+  const Json* gauges = component.find_path("gauges");
+  if (!gauges || !gauges->is_object()) return 0;
+  const Json* entry = gauges->find_path(gauge_key);
+  if (!entry || !entry->is_object()) return 0;
+  return entry->get_or("tier", int64_t{0});
+}
+
+/// Does a port's schema string resolve in the catalog? Ports carry
+/// "container:name:vN" ("csv:readings:v1") while the catalog keys
+/// "name:vN", so accept an exact key or a ":"-separated suffix match.
+bool schema_registered(const std::string& port_schema,
+                       const std::vector<std::string>& schema_keys) {
+  for (const std::string& key : schema_keys) {
+    if (port_schema == key || ends_with(port_schema, ":" + key)) return true;
+  }
+  return false;
+}
+
+std::string tier_label(core::Gauge gauge, int64_t tier) {
+  if (tier < 0 || tier >= static_cast<int64_t>(core::tier_count(gauge))) {
+    return std::to_string(tier);  // out-of-ladder value straight from JSON
+  }
+  return std::to_string(tier) + " (" +
+         std::string(core::tier_name(gauge, static_cast<uint8_t>(tier))) + ")";
+}
+
+}  // namespace
+
+LintReport lint_gauge_components(const Json& components,
+                                 const std::vector<std::string>* schema_keys,
+                                 const std::string& base_path,
+                                 const JsonLocator& locator,
+                                 const std::string& file) {
+  LintReport report;
+  if (!components.is_array()) return report;
+  for (size_t c = 0; c < components.as_array().size(); ++c) {
+    const Json& component = components[c];
+    if (!component.is_object()) continue;
+    const std::string id = component.get_or("id", "<anonymous>");
+    const std::string component_path =
+        base_path + "[" + std::to_string(c) + "]";
+
+    const int64_t schema_tier = declared_tier(component, "schema");
+    const int64_t access_tier = declared_tier(component, "access");
+    const int64_t customizability_tier =
+        declared_tier(component, "customizability");
+
+    // Port-backed promises: DataSchema >= Format means every port names its
+    // container format; DataAccess >= Protocol means every port names how
+    // the data is reached. A declared tier the ports don't back is
+    // technical debt in the metadata itself.
+    const Json* ports = component.find_path("ports");
+    if (ports && ports->is_array()) {
+      for (size_t p = 0; p < ports->as_array().size(); ++p) {
+        const Json& port = (*ports)[p];
+        if (!port.is_object()) continue;
+        const std::string port_name = port.get_or("name", "?");
+        const std::string port_path =
+            component_path + ".ports[" + std::to_string(p) + "]";
+        const std::string port_schema = port.get_or("schema", "");
+        if (schema_tier >= 2 && port_schema.empty()) {
+          report.add("FF401", locator.locate(file, port_path),
+                     "component '" + id + "' declares DataSchema tier " +
+                         tier_label(core::Gauge::DataSchema, schema_tier) +
+                         " but port '" + port_name + "' names no schema",
+                     "set the port's \"schema\" or lower the declared tier");
+        }
+        if (schema_tier >= 3 && !port_schema.empty() && schema_keys &&
+            !schema_registered(port_schema, *schema_keys)) {
+          report.add("FF402", locator.locate(file, port_path + ".schema"),
+                     "component '" + id + "' declares DataSchema tier " +
+                         tier_label(core::Gauge::DataSchema, schema_tier) +
+                         " but port schema '" + port_schema +
+                         "' is not registered in the catalog",
+                     "register the schema descriptor or fix the reference");
+        }
+        if (access_tier >= 1 && port.get_or("access", "").empty()) {
+          report.add("FF404", locator.locate(file, port_path),
+                     "component '" + id + "' declares DataAccess tier " +
+                         tier_label(core::Gauge::DataAccess, access_tier) +
+                         " but port '" + port_name +
+                         "' names no access method",
+                     "set the port's \"access\" or lower the declared tier");
+        }
+      }
+    }
+
+    // Customizability >= ExposedVariables promises exposed config
+    // variables; none exposed means the tier is aspirational.
+    if (customizability_tier >= 2) {
+      size_t exposed = 0;
+      const Json* config = component.find_path("config");
+      if (config && config->is_array()) {
+        for (const Json& variable : config->as_array()) {
+          if (variable.is_object() && variable.get_or("exposed", false)) {
+            ++exposed;
+          }
+        }
+      }
+      if (exposed == 0) {
+        report.add(
+            "FF403", locator.locate(file, component_path + ".gauges.customizability"),
+            "component '" + id + "' declares Customizability tier " +
+                tier_label(core::Gauge::SoftwareCustomizability,
+                           customizability_tier) +
+                " but exposes no config variables",
+            "expose at least one config variable or lower the declared "
+            "tier");
+      }
+    }
+  }
+  return report;
+}
+
+LintReport lint_catalog(const Json& catalog, const JsonLocator& locator,
+                        const std::string& file) {
+  LintReport report;
+  if (!catalog.is_object()) {
+    report.add("FF004", locator.locate(file, ""),
+               "a metadata catalog must be a JSON object");
+    return report;
+  }
+  std::vector<std::string> schema_keys;
+  const Json* schemas = catalog.find_path("schemas");
+  if (schemas && schemas->is_array()) {
+    for (const Json& schema : schemas->as_array()) {
+      if (!schema.is_object() || !schema.contains("name")) continue;
+      schema_keys.push_back(schema["name"].as_string() + ":v" +
+                            std::to_string(schema.get_or("version", int64_t{1})));
+    }
+  }
+  if (const Json* components = catalog.find_path("components")) {
+    report.merge(lint_gauge_components(*components, &schema_keys, "components",
+                                       locator, file));
+  }
+  return report;
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,186 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+namespace {
+
+using skel::Generator;
+using skel::ModelSchema;
+
+/// True when `path` addresses the same model subtree as `other` — equal, an
+/// ancestor, or a descendant. Both prefix directions matter: a template
+/// referencing "dataset.path" uses the model key "dataset", and a template
+/// referencing "dataset" (e.g. via |json) uses "dataset.path".
+bool overlaps(std::string_view path, std::string_view other) {
+  if (path == other) return true;
+  if (path.size() > other.size()) {
+    return starts_with(path, other) && path[other.size()] == '.';
+  }
+  return starts_with(other, path) && other[path.size()] == '.';
+}
+
+bool is_local_reference(std::string_view path) {
+  return path == "this" || path == "item" || path == "item_index" ||
+         starts_with(path, "@") || starts_with(path, "this.") ||
+         starts_with(path, "item.");
+}
+
+bool schema_binds(const ModelSchema& schema, std::string_view path) {
+  for (const ModelSchema::FieldSpec& field : schema.fields()) {
+    if (overlaps(path, field.path)) return true;
+  }
+  return false;
+}
+
+/// True when any object element of the array at `each_path` resolves `path`
+/// — the per-item render context merges element keys over the model.
+bool element_binds(const Json& model, const std::string& each_path,
+                   std::string_view path) {
+  const Json* items = model.find_path(each_path);
+  if (!items || !items->is_array()) return false;
+  for (const Json& element : items->as_array()) {
+    if (element.is_object() && element.find_path(path)) return true;
+  }
+  return false;
+}
+
+/// Fallback for {{#each <array>}} blocks nested inside a template: the
+/// flat reference list loses the each-scoping, so a path unresolvable at
+/// model scope may still bind inside an element of any array the same
+/// entry iterates. Over-approximates (never a false FF101).
+bool binds_in_sibling_arrays(const Json& model,
+                             const std::vector<std::string>& entry_refs,
+                             std::string_view path) {
+  for (const std::string& ref : entry_refs) {
+    const Json* value = model.find_path(ref);
+    if (!value || !value->is_array()) continue;
+    for (const Json& element : value->as_array()) {
+      if (element.is_object() && element.find_path(path)) return true;
+    }
+  }
+  return false;
+}
+
+std::string type_of(const Json& value) {
+  return std::string(Json::type_name(value.type()));
+}
+
+bool type_matches(const Json& value, const std::string& type) {
+  if (type == "int") return value.is_int();
+  if (type == "double") return value.is_number();
+  if (type == "string") return value.is_string();
+  if (type == "bool") return value.is_bool();
+  if (type == "array") return value.is_array();
+  if (type == "object") return value.is_object();
+  return true;  // "any" (or a registration bug — the schema ctor validates)
+}
+
+void check_schema_fields(const Json& model, const JsonLocator& locator,
+                         const std::string& file, const ModelSchema& schema,
+                         LintReport& report) {
+  for (const ModelSchema::FieldSpec& field : schema.fields()) {
+    const Json* value = model.find_path(field.path);
+    if (!value) {
+      if (!field.required) continue;
+      std::string message = "missing required field '" + field.path + "' (" +
+                            field.type + ")";
+      if (!field.description.empty()) message += ": " + field.description;
+      report.add("FF104", locator.locate(file, field.path), std::move(message),
+                 "add \"" + field.path + "\" to the model");
+      continue;
+    }
+    if (!type_matches(*value, field.type)) {
+      report.add("FF103", locator.locate(file, field.path),
+                 "field '" + field.path + "' must be " + field.type + ", got " +
+                     type_of(*value),
+                 "change the value to a JSON " + field.type);
+    }
+  }
+}
+
+void check_template_bindings(const Json& model, const JsonLocator& locator,
+                             const std::string& file,
+                             const ModelRegistration& registration,
+                             LintReport& report) {
+  std::vector<std::string> reported;
+  for (const Generator::SurfaceEntry& entry :
+       registration.generator.surface_entries()) {
+    for (const std::string& path : entry.referenced_paths) {
+      if (is_local_reference(path)) continue;
+      if (model.find_path(path)) continue;
+      if (schema_binds(registration.schema, path)) continue;
+      if (!entry.each_path.empty() &&
+          element_binds(model, entry.each_path, path)) {
+        continue;
+      }
+      if (binds_in_sibling_arrays(model, entry.referenced_paths, path)) continue;
+      if (std::find(reported.begin(), reported.end(), path) != reported.end()) {
+        continue;
+      }
+      reported.push_back(path);
+      std::string context =
+          entry.each_path.empty()
+              ? std::string("")
+              : " (rendered per element of '" + entry.each_path + "')";
+      report.add("FF101", locator.locate(file, path),
+                 "template references '{{" + path +
+                     "}}' which neither the model nor schema '" +
+                     registration.name + "' binds" + context,
+                 "add '" + path + "' to the model or fix the reference");
+    }
+  }
+}
+
+/// Depth-first pass over the model object tree (arrays are opaque leaves —
+/// element keys are the per-item render surface, not model keys). Reports
+/// the *shallowest* unused subtree so one stray object yields one finding.
+void check_unused_keys(const Json& node, const std::string& path,
+                       const ModelSchema& schema,
+                       const std::vector<std::string>& surface,
+                       const JsonLocator& locator, const std::string& file,
+                       LintReport& report) {
+  if (!node.is_object()) return;
+  for (const auto& [key, value] : node.as_object()) {
+    if (path.empty() && starts_with(key, "$")) continue;  // "$model-schema"
+    const std::string child = path.empty() ? key : path + "." + key;
+    const bool used =
+        schema_binds(schema, child) ||
+        std::any_of(surface.begin(), surface.end(),
+                    [&](const std::string& ref) { return overlaps(child, ref); });
+    if (!used) {
+      report.add("FF102", locator.locate(file, child),
+                 "model key '" + child +
+                     "' is neither schema-declared nor referenced by any "
+                     "template",
+                 "remove the key or reference it from a template");
+      continue;  // children are covered by this finding
+    }
+    check_unused_keys(value, child, schema, surface, locator, file, report);
+  }
+}
+
+}  // namespace
+
+LintReport lint_model(const Json& model, const JsonLocator& locator,
+                      const std::string& file,
+                      const ModelRegistration& registration) {
+  LintReport report;
+  if (!model.is_object()) {
+    report.add("FF004", locator.locate(file, ""),
+               "a Skel model must be a JSON object, got " + type_of(model));
+    return report;
+  }
+  check_schema_fields(model, locator, file, registration.schema, report);
+  check_template_bindings(model, locator, file, registration, report);
+  const std::vector<std::string> surface =
+      registration.generator.customization_surface();
+  check_unused_keys(model, "", registration.schema, surface, locator, file,
+                    report);
+  return report;
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,296 @@
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "stream/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+namespace {
+
+constexpr std::string_view kOverflowNames = "block, drop-oldest, keep-latest";
+constexpr std::string_view kBuiltinKinds =
+    "forward-all, sliding-window-count, sliding-window-time, "
+    "direct-selection, sample-every";
+
+struct Endpoint {
+  std::string component;
+  std::string port;
+  bool ok = false;
+};
+
+Endpoint parse_endpoint(const Json& value) {
+  Endpoint endpoint;
+  if (!value.is_string()) return endpoint;
+  const std::string& text = value.as_string();
+  const size_t dot = text.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == text.size()) {
+    return endpoint;
+  }
+  endpoint.component = text.substr(0, dot);
+  endpoint.port = text.substr(dot + 1);
+  endpoint.ok = true;
+  return endpoint;
+}
+
+/// Component id -> declared port names, from the raw graph JSON. Built
+/// directly (not via WorkflowGraph::from_json) so a graph the constructor
+/// would reject still gets precise diagnostics.
+std::map<std::string, std::set<std::string>> collect_components(
+    const Json& graph) {
+  std::map<std::string, std::set<std::string>> components;
+  const Json* list = graph.find_path("components");
+  if (!list || !list->is_array()) return components;
+  for (const Json& component : list->as_array()) {
+    if (!component.is_object() || !component.contains("id")) continue;
+    std::set<std::string>& ports = components[component["id"].as_string()];
+    const Json* port_list = component.find_path("ports");
+    if (!port_list || !port_list->is_array()) continue;
+    for (const Json& port : port_list->as_array()) {
+      if (port.is_object() && port.contains("name")) {
+        ports.insert(port["name"].as_string());
+      }
+    }
+  }
+  return components;
+}
+
+void check_graph(const Json& graph, const std::string& base_path,
+                 const JsonLocator& locator, const std::string& file,
+                 LintReport& report) {
+  const auto components = collect_components(graph);
+  const Json* edges = graph.find_path("edges");
+  if (!edges || !edges->is_array()) return;
+
+  // FF305 first; only structurally valid edges feed the cycle check.
+  std::vector<std::pair<std::string, std::string>> valid_edges;
+  for (size_t e = 0; e < edges->as_array().size(); ++e) {
+    const Json& edge = (*edges)[e];
+    const std::string edge_path = base_path + ".edges[" + std::to_string(e) + "]";
+    if (!edge.is_object()) {
+      report.add("FF004", locator.locate(file, edge_path),
+                 "edge must be an object with \"from\" and \"to\"");
+      continue;
+    }
+    bool edge_ok = true;
+    std::array<Endpoint, 2> endpoints;
+    const std::array<std::string_view, 2> keys = {"from", "to"};
+    for (size_t k = 0; k < 2; ++k) {
+      const std::string key_path = edge_path + "." + std::string(keys[k]);
+      if (!edge.contains(keys[k])) {
+        report.add("FF305", locator.locate(file, edge_path),
+                   "edge is missing \"" + std::string(keys[k]) + "\"");
+        edge_ok = false;
+        continue;
+      }
+      Endpoint endpoint = parse_endpoint(edge[keys[k]]);
+      if (!endpoint.ok) {
+        report.add("FF305", locator.locate(file, key_path),
+                   "edge endpoint must be \"component.port\"",
+                   "write the endpoint as <component-id>.<port-name>");
+        edge_ok = false;
+        continue;
+      }
+      auto it = components.find(endpoint.component);
+      if (it == components.end()) {
+        report.add("FF305", locator.locate(file, key_path),
+                   "edge references component '" + endpoint.component +
+                       "' which the graph does not define",
+                   "add the component or fix the endpoint");
+        edge_ok = false;
+      } else if (!it->second.count(endpoint.port)) {
+        report.add("FF305", locator.locate(file, key_path),
+                   "component '" + endpoint.component + "' has no port '" +
+                       endpoint.port + "'",
+                   "declare the port on the component or fix the endpoint");
+        edge_ok = false;
+      }
+      endpoints[k] = std::move(endpoint);
+    }
+    if (edge_ok) {
+      valid_edges.emplace_back(endpoints[0].component, endpoints[1].component);
+    }
+  }
+
+  // FF301: Kahn's algorithm over the component-level communication graph.
+  // Whatever survives peeling is (in or downstream-entangled with) a cycle;
+  // report the lexicographically sorted residue once.
+  std::map<std::string, size_t> indegree;
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const auto& [id, _] : components) indegree[id] = 0;
+  for (const auto& [from, to] : valid_edges) {
+    adjacency[from].push_back(to);
+    ++indegree[to];
+  }
+  std::vector<std::string> frontier;
+  for (const auto& [id, degree] : indegree) {
+    if (degree == 0) frontier.push_back(id);
+  }
+  size_t peeled = 0;
+  while (!frontier.empty()) {
+    const std::string id = std::move(frontier.back());
+    frontier.pop_back();
+    ++peeled;
+    for (const std::string& next : adjacency[id]) {
+      if (--indegree[next] == 0) frontier.push_back(next);
+    }
+  }
+  if (peeled < indegree.size()) {
+    std::vector<std::string> residue;
+    for (const auto& [id, degree] : indegree) {
+      if (degree > 0) residue.push_back(id);
+    }
+    report.add("FF301", locator.locate(file, base_path + ".edges"),
+               "the communication subgraph contains a cycle through {" +
+                   join(residue, ", ") +
+                   "} — with blocking transports this deadlocks once every "
+                   "channel on the cycle fills",
+               "break the cycle (drop an edge, or route the feedback "
+               "through a lossy overflow policy)");
+  }
+}
+
+void check_queues(const Json& plane, const JsonLocator& locator,
+                  const std::string& file, LintReport& report) {
+  const Json* queues = plane.find_path("queues");
+  if (!queues || !queues->is_array()) return;
+  const stream::PolicyFactory factory = stream::PolicyFactory::with_builtins();
+
+  std::set<std::string> names;
+  for (size_t q = 0; q < queues->as_array().size(); ++q) {
+    const Json& queue = (*queues)[q];
+    const std::string queue_path = "queues[" + std::to_string(q) + "]";
+    if (!queue.is_object()) {
+      report.add("FF004", locator.locate(file, queue_path),
+                 "queue must be an object with \"queue\" and \"kind\"");
+      continue;
+    }
+    const std::string name = queue.get_or("queue", "");
+    if (name.empty()) {
+      report.add("FF306", locator.locate(file, queue_path),
+                 "queue has no \"queue\" name",
+                 "add \"queue\": \"<name>\"");
+    } else if (!names.insert(name).second) {
+      report.add("FF306", locator.locate(file, queue_path + ".queue"),
+                 "duplicate queue '" + name +
+                     "' — the second install replaces the first's policy",
+                 "rename or remove one of the entries");
+    }
+
+    // FF302 + argument validation: actually build the policy the way
+    // PolicyFactory::handle_install would.
+    const std::string kind = queue.get_or("kind", "");
+    const Json args =
+        queue.contains("args") ? queue["args"] : Json::object();
+    bool policy_ok = false;
+    size_t bulk_release = 0;  // max records one punctuation can release
+    bool releases_on_punctuation = false;
+    if (kind.empty()) {
+      report.add("FF306", locator.locate(file, queue_path),
+                 "queue '" + name + "' has no policy \"kind\"",
+                 "add \"kind\" (one of: " + std::string(kBuiltinKinds) + ")");
+    } else if (!factory.knows(kind)) {
+      report.add("FF302", locator.locate(file, queue_path + ".kind"),
+                 "policy kind '" + kind + "' is unknown to the PolicyFactory",
+                 "use one of: " + std::string(kBuiltinKinds) +
+                     ", or register the kind before installing");
+    } else {
+      try {
+        (void)factory.build(kind, args);
+        policy_ok = true;
+      } catch (const std::exception& error) {
+        report.add("FF306", locator.locate(file, queue_path + ".args"),
+                   "policy '" + kind + "' rejects its args: " +
+                       std::string(error.what()),
+                   "fix the \"args\" object (see docs/lint_codes.md FF306)");
+      }
+      if (kind == "sliding-window-count") {
+        bulk_release = static_cast<size_t>(args.get_or("capacity", int64_t{0}));
+        releases_on_punctuation = true;
+      } else if (kind == "direct-selection") {
+        bulk_release =
+            static_cast<size_t>(args.get_or("max_queue", int64_t{4096}));
+        releases_on_punctuation = true;
+      } else if (kind == "sliding-window-time") {
+        releases_on_punctuation = true;  // window size unbounded statically
+      }
+    }
+
+    // Transport keys, mirroring handle_install(StreamPipeline&).
+    int64_t capacity = 256;
+    if (queue.contains("capacity")) {
+      if (!queue["capacity"].is_int() || queue["capacity"].as_int() <= 0) {
+        report.add("FF306", locator.locate(file, queue_path + ".capacity"),
+                   "queue '" + name + "' capacity must be a positive integer",
+                   "set \"capacity\" to a positive channel size");
+        capacity = 0;
+      } else {
+        capacity = queue["capacity"].as_int();
+      }
+    }
+    std::string overflow = queue.get_or("overflow", "block");
+    if (overflow != "block" && overflow != "drop-oldest" &&
+        overflow != "keep-latest") {
+      report.add("FF306", locator.locate(file, queue_path + ".overflow"),
+                 "unknown overflow policy '" + overflow + "'",
+                 "use one of: " + std::string(kOverflowNames));
+      overflow = "";
+    }
+
+    // FF303/FF304: bulk releases vs a blocking bounded channel. A release
+    // happens under the queue's scheduler lock; blocking there stalls every
+    // publisher of the queue until workers drain the backlog.
+    const bool punctuated = queue.get_or("punctuated", false);
+    if (policy_ok && overflow == "block" && capacity > 0) {
+      if (bulk_release > static_cast<size_t>(capacity)) {
+        report.add(
+            "FF303", locator.locate(file, queue_path + ".capacity"),
+            "queue '" + name + "': one punctuation can release up to " +
+                std::to_string(bulk_release) + " records into a capacity-" +
+                std::to_string(capacity) +
+                " blocking channel, stalling the publisher under the queue "
+                "lock",
+            "raise \"capacity\" to at least " + std::to_string(bulk_release) +
+                " or use a lossy overflow policy");
+      } else if (punctuated && releases_on_punctuation) {
+        report.add(
+            "FF304", locator.locate(file, queue_path + ".overflow"),
+            "queue '" + name + "' buffers between punctuations and its "
+                "producer punctuates it, but overflow \"block\" gives the "
+                "punctuation burst no slack — the producer can stall mid-"
+                "burst when consumers lag",
+            "prefer \"drop-oldest\"/\"keep-latest\" for punctuated "
+            "monitoring taps, or size \"capacity\" well above the burst");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_stream_plane(const Json& plane, const JsonLocator& locator,
+                             const std::string& file) {
+  LintReport report;
+  if (!plane.is_object()) {
+    report.add("FF004", locator.locate(file, ""),
+               "a stream plane must be a JSON object");
+    return report;
+  }
+  const Json* graph = plane.find_path("graph");
+  if (graph && graph->is_object()) {
+    check_graph(*graph, "graph", locator, file, report);
+    if (const Json* components = graph->find_path("components")) {
+      report.merge(lint_gauge_components(*components, nullptr,
+                                         "graph.components", locator, file));
+    }
+  }
+  check_queues(plane, locator, file, report);
+  return report;
+}
+
+}  // namespace ff::lint

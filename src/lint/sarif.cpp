@@ -1,0 +1,114 @@
+#include "lint/sarif.hpp"
+
+#include <map>
+#include <vector>
+
+namespace ff::lint {
+namespace {
+
+std::string_view sarif_level(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+Json to_sarif(const LintReport& report) {
+  // Collect the fired rules in first-appearance order; SARIF results refer
+  // to them by index into tool.driver.rules.
+  std::vector<const RuleInfo*> fired;
+  std::map<std::string, size_t> rule_index;
+  for (const Diagnostic& diagnostic : report.diagnostics()) {
+    if (rule_index.count(diagnostic.code)) continue;
+    const RuleInfo* rule = find_rule(diagnostic.code);
+    rule_index[diagnostic.code] = fired.size();
+    fired.push_back(rule);
+  }
+
+  Json rules = Json::array();
+  for (const RuleInfo* rule : fired) {
+    Json entry = Json::object();
+    entry["id"] = std::string(rule->code);
+    entry["name"] = std::string(rule->name);
+    Json short_description = Json::object();
+    short_description["text"] = std::string(rule->summary);
+    entry["shortDescription"] = std::move(short_description);
+    Json configuration = Json::object();
+    configuration["level"] = std::string(sarif_level(rule->default_severity));
+    entry["defaultConfiguration"] = std::move(configuration);
+    Json properties = Json::object();
+    properties["family"] = std::string(rule->family);
+    entry["properties"] = std::move(properties);
+    rules.push_back(std::move(entry));
+  }
+
+  Json results = Json::array();
+  for (const Diagnostic& diagnostic : report.diagnostics()) {
+    Json result = Json::object();
+    result["ruleId"] = diagnostic.code;
+    result["ruleIndex"] =
+        static_cast<int64_t>(rule_index.at(diagnostic.code));
+    result["level"] = std::string(sarif_level(diagnostic.severity));
+    Json message = Json::object();
+    std::string text = diagnostic.message;
+    if (!diagnostic.fixit.empty()) text += " Fix: " + diagnostic.fixit;
+    message["text"] = std::move(text);
+    result["message"] = std::move(message);
+    if (!diagnostic.location.file.empty()) {
+      Json artifact = Json::object();
+      artifact["uri"] = diagnostic.location.file;
+      Json physical = Json::object();
+      physical["artifactLocation"] = std::move(artifact);
+      if (diagnostic.location.known()) {
+        Json region = Json::object();
+        region["startLine"] = static_cast<int64_t>(diagnostic.location.line);
+        region["startColumn"] =
+            static_cast<int64_t>(diagnostic.location.column);
+        physical["region"] = std::move(region);
+      }
+      Json location = Json::object();
+      location["physicalLocation"] = std::move(physical);
+      if (!diagnostic.location.json_path.empty()) {
+        Json logical = Json::object();
+        logical["fullyQualifiedName"] = diagnostic.location.json_path;
+        Json logical_list = Json::array();
+        logical_list.push_back(std::move(logical));
+        location["logicalLocations"] = std::move(logical_list);
+      }
+      Json locations = Json::array();
+      locations.push_back(std::move(location));
+      result["locations"] = std::move(locations);
+    }
+    results.push_back(std::move(result));
+  }
+
+  Json driver = Json::object();
+  driver["name"] = "fairflow-lint";
+  driver["informationUri"] = "https://example.invalid/fairflow";
+  driver["rules"] = std::move(rules);
+  Json tool = Json::object();
+  tool["driver"] = std::move(driver);
+  Json run = Json::object();
+  run["tool"] = std::move(tool);
+  run["results"] = std::move(results);
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+
+  Json log = Json::object();
+  log["$schema"] =
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json";
+  log["version"] = "2.1.0";
+  log["runs"] = std::move(runs);
+  return log;
+}
+
+std::string render_sarif(const LintReport& report) {
+  return to_sarif(report).pretty() + "\n";
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostic.hpp"
+#include "util/json.hpp"
+
+namespace ff::lint {
+
+/// Render a report as a SARIF 2.1.0 log (the interchange format CI systems
+/// use for inline code annotations). One run; `tool.driver.rules` lists only
+/// the rules that actually fired, and each result carries a `ruleIndex` into
+/// that list plus a physical location when the finding has one.
+Json to_sarif(const LintReport& report);
+
+/// Pretty-printed `to_sarif` with a trailing newline.
+std::string render_sarif(const LintReport& report);
+
+}  // namespace ff::lint

@@ -4,8 +4,10 @@
 #include <map>
 #include <set>
 
+#include "lint/rules.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace ff::savanna {
 
@@ -296,6 +298,29 @@ ResumeReport resume_campaign(sim::Simulation& sim,
                              RunTracker& tracker,
                              const std::string& journal_path,
                              const std::string& campaign_name) {
+  if (options.preflight_lint) {
+    // Lint the journal text before committing to a replay: every problem
+    // is reported at once with file:line locations, instead of replay()
+    // aborting on the first. A missing file is "never started", not an
+    // error, and torn tails are notes (resume truncates those itself).
+    std::string journal_text;
+    bool journal_exists = true;
+    try {
+      journal_text = read_file(journal_path);
+    } catch (const IoError&) {
+      journal_exists = false;
+    }
+    if (journal_exists) {
+      const lint::LintReport preflight =
+          lint::lint_journal_text(journal_text, journal_path, Json(), "");
+      if (preflight.has_errors()) {
+        throw ValidationError("journal " + journal_path +
+                              " failed its preflight lint:\n" +
+                              preflight.render_text());
+      }
+    }
+  }
+
   ResumeReport out;
   std::set<std::string> manifest_ids;
   std::vector<std::string> run_ids;

@@ -42,6 +42,12 @@ struct CampaignRunOptions {
   /// Max allocations (re-submissions) to attempt; 0 = until done.
   size_t max_allocations = 0;
   RetryPolicy retry;
+  /// resume_campaign() lints the journal before replaying it (schema
+  /// drift, corrupt interior lines, a second header, ...) and throws
+  /// ValidationError listing every finding instead of failing midway
+  /// through replay on the first one. Torn tails stay notes — resume
+  /// handles those. Set false to skip straight to replay.
+  bool preflight_lint = true;
 };
 
 struct CampaignRunResult {

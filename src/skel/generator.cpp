@@ -95,6 +95,33 @@ void Generator::write_all(const std::vector<Artifact>& artifacts,
   }
 }
 
+std::vector<Generator::SurfaceEntry> Generator::surface_entries() const {
+  std::vector<std::string> partial_paths;
+  for (const auto& [_, partial] : partials_) {
+    for (auto& path : partial.referenced_paths()) {
+      partial_paths.push_back(std::move(path));
+    }
+  }
+  std::vector<SurfaceEntry> entries;
+  for (const Entry& entry : entries_) {
+    SurfaceEntry surface;
+    surface.each_path = entry.each_path;
+    surface.referenced_paths = entry.body.referenced_paths();
+    for (auto& path : entry.path_template.referenced_paths()) {
+      surface.referenced_paths.push_back(std::move(path));
+    }
+    surface.referenced_paths.insert(surface.referenced_paths.end(),
+                                    partial_paths.begin(), partial_paths.end());
+    std::sort(surface.referenced_paths.begin(), surface.referenced_paths.end());
+    surface.referenced_paths.erase(
+        std::unique(surface.referenced_paths.begin(),
+                    surface.referenced_paths.end()),
+        surface.referenced_paths.end());
+    entries.push_back(std::move(surface));
+  }
+  return entries;
+}
+
 std::vector<std::string> Generator::customization_surface() const {
   std::vector<std::string> paths;
   for (const Entry& entry : entries_) {

@@ -51,6 +51,18 @@ class Generator {
   /// effective customization surface.
   std::vector<std::string> customization_surface() const;
 
+  /// Per-template-entry view of the customization surface, for static
+  /// validation (fairflow-lint): which model paths each entry references
+  /// and, for per-item entries, which model array provides its render
+  /// context. Partial references are folded into every entry (a partial may
+  /// be included from any template), so the view over-approximates — safe
+  /// for "is this path bindable?" checks, not for minimality claims.
+  struct SurfaceEntry {
+    std::string each_path;  // empty: rendered once against the whole model
+    std::vector<std::string> referenced_paths;  // sorted, deduplicated
+  };
+  std::vector<SurfaceEntry> surface_entries() const;
+
  private:
   struct Entry {
     std::string each_path;  // empty: render once against whole model

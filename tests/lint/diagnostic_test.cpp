@@ -1,0 +1,97 @@
+#include "lint/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ff::lint {
+namespace {
+
+TEST(RuleRegistry, EveryCodeIsUniqueAndWellFormed) {
+  std::set<std::string> codes;
+  for (const RuleInfo& rule : rule_registry()) {
+    const std::string code{rule.code};
+    EXPECT_EQ(code.size(), 5u) << code;
+    EXPECT_EQ(code.substr(0, 2), "FF") << code;
+    EXPECT_TRUE(codes.insert(code).second) << "duplicate " << code;
+    EXPECT_FALSE(std::string(rule.name).empty()) << code;
+    EXPECT_FALSE(std::string(rule.summary).empty()) << code;
+  }
+  EXPECT_GE(codes.size(), 26u);
+}
+
+TEST(RuleRegistry, FindRuleByCode) {
+  const RuleInfo* rule = find_rule("FF203");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->name, "sweep-exceeds-walltime-budget");
+  EXPECT_EQ(rule->default_severity, Severity::Error);
+  EXPECT_EQ(find_rule("FF999"), nullptr);
+}
+
+TEST(LintReport, AddValidatesAgainstRegistry) {
+  LintReport report;
+  EXPECT_THROW(report.add("FF999", SourceLocation{}, "nope"), NotFoundError);
+  report.add("FF206", SourceLocation{"m.json", 3, 1, "machine"}, "unknown");
+  EXPECT_EQ(report.count(Severity::Warning), 1u);
+  EXPECT_FALSE(report.has_errors());
+  report.add("FF202", SourceLocation{"m.json", 9, 7, "groups[0].nodes"},
+             "too many");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintReport, RenderTextFormat) {
+  LintReport report;
+  report.add("FF201", SourceLocation{"file.json", 12, 5, "app.args_template"},
+             "bad ref", "declare it");
+  const std::string text = report.render_text();
+  EXPECT_NE(text.find("file.json:12:5: error[FF201]: bad ref"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fix-it: declare it"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 error(s), 0 warning(s), 0 note(s)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(LintReport, RenderJsonlRoundTrips) {
+  LintReport report;
+  report.add("FF207", SourceLocation{"c.json", 20, 47, "p.values"}, "empty");
+  const std::string jsonl = report.render_jsonl();
+  const Json record = Json::parse(jsonl.substr(0, jsonl.find('\n')));
+  EXPECT_EQ(record["code"].as_string(), "FF207");
+  EXPECT_EQ(record["severity"].as_string(), "error");
+  EXPECT_EQ(record["file"].as_string(), "c.json");
+  EXPECT_EQ(record["line"].as_int(), 20);
+  EXPECT_EQ(record["column"].as_int(), 47);
+}
+
+TEST(LintReport, PromoteWarningsAndRemoveCodes) {
+  LintReport report;
+  report.add("FF206", SourceLocation{"m.json", 1, 1, ""}, "warn");
+  report.add("FF102", SourceLocation{"m.json", 2, 1, ""}, "warn too");
+  EXPECT_FALSE(report.has_errors());
+  report.promote_warnings();
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.count(Severity::Error), 2u);
+
+  report.remove_codes({"FF102"});
+  EXPECT_EQ(report.diagnostics().size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].code, "FF206");
+}
+
+TEST(LintReport, SortOrdersByFileThenLine) {
+  LintReport report;
+  report.add("FF206", SourceLocation{"b.json", 9, 1, ""}, "later file");
+  report.add("FF206", SourceLocation{"a.json", 20, 1, ""}, "high line");
+  report.add("FF206", SourceLocation{"a.json", 3, 1, ""}, "low line");
+  report.sort();
+  EXPECT_EQ(report.diagnostics()[0].location.line, 3u);
+  EXPECT_EQ(report.diagnostics()[1].location.line, 20u);
+  EXPECT_EQ(report.diagnostics()[2].location.file, "b.json");
+}
+
+}  // namespace
+}  // namespace ff::lint

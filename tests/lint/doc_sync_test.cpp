@@ -1,0 +1,49 @@
+// docs/lint_codes.md is the normative rule catalog; the registry in
+// lint/diagnostic.cpp is the implementation. This test pins the two
+// together in both directions — the same contract tests/obs/trace_lint
+// enforces for the trace event schema.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+#include <string>
+
+#include "lint/diagnostic.hpp"
+#include "util/fs.hpp"
+
+namespace ff::lint {
+namespace {
+
+std::set<std::string> documented_codes() {
+  const std::string text =
+      read_file(std::string(FF_REPO_ROOT) + "/docs/lint_codes.md");
+  std::set<std::string> codes;
+  const std::regex pattern("`(FF\\d{3})`");
+  for (std::sregex_iterator it(text.begin(), text.end(), pattern), end;
+       it != end; ++it) {
+    codes.insert((*it)[1].str());
+  }
+  return codes;
+}
+
+TEST(DocSync, EveryRegisteredRuleIsDocumented) {
+  const std::set<std::string> documented = documented_codes();
+  for (const RuleInfo& rule : rule_registry()) {
+    EXPECT_TRUE(documented.count(std::string(rule.code)))
+        << "rule " << rule.code << " (" << rule.name
+        << ") is missing from docs/lint_codes.md — add a table row";
+  }
+}
+
+TEST(DocSync, EveryDocumentedCodeIsRegistered) {
+  for (const std::string& code : documented_codes()) {
+    EXPECT_NE(find_rule(code), nullptr)
+        << "docs/lint_codes.md documents " << code
+        << " but the registry in lint/diagnostic.cpp has no such rule — "
+           "delete the row or implement the rule";
+  }
+}
+
+}  // namespace
+}  // namespace ff::lint

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared helpers for the fairflow-lint test battery. Fixtures live in
+// tests/lint/fixtures (FF_LINT_FIXTURES); the committed clean artifacts in
+// examples/artifacts (under FF_REPO_ROOT) double as negative fixtures.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/engine.hpp"
+
+namespace ff::lint {
+
+inline std::string fixture_path(const std::string& name) {
+  return std::string(FF_LINT_FIXTURES) + "/" + name;
+}
+
+inline std::string artifact_path(const std::string& name) {
+  return std::string(FF_REPO_ROOT) + "/examples/artifacts/" + name;
+}
+
+inline LintReport lint_fixture(const std::string& name,
+                               const LintEngine& engine = LintEngine{}) {
+  LintReport report = engine.lint_file(fixture_path(name));
+  report.sort();
+  return report;
+}
+
+/// A finding expectation in golden-output form: code + exact location.
+struct Expected {
+  std::string code;
+  size_t line;
+  size_t column;
+  Severity severity;
+};
+
+/// Assert the report contains exactly `expected` (same order after sort()).
+inline void expect_findings(const LintReport& report,
+                            const std::vector<Expected>& expected) {
+  ASSERT_EQ(report.size(), expected.size()) << report.render_text();
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const Diagnostic& got = report.diagnostics()[i];
+    EXPECT_EQ(got.code, expected[i].code) << report.render_text();
+    EXPECT_EQ(got.location.line, expected[i].line) << got.code;
+    EXPECT_EQ(got.location.column, expected[i].column) << got.code;
+    EXPECT_EQ(got.severity, expected[i].severity) << got.code;
+  }
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,81 @@
+#include "lint/locator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ff::lint {
+namespace {
+
+constexpr const char* kText =
+    "{\n"
+    "  \"a\": 1,\n"
+    "  \"b\": {\"c\": [10, 20, {\"d\": true}]},\n"
+    "  \"e\": \"x\"\n"
+    "}\n";
+
+bool known(JsonLocator::Position position) { return position.line > 0; }
+
+TEST(JsonLocator, RecordsObjectMembersAtTheirKey) {
+  const JsonLocator locator = JsonLocator::scan(kText);
+  const auto a = locator.position("a");
+  ASSERT_TRUE(known(a));
+  EXPECT_EQ(a.line, 2u);
+  EXPECT_EQ(a.column, 3u);
+  const auto nested = locator.position("b.c");
+  ASSERT_TRUE(known(nested));
+  EXPECT_EQ(nested.line, 3u);
+  const auto root = locator.position("");
+  ASSERT_TRUE(known(root));
+  EXPECT_EQ(root.line, 1u);
+  EXPECT_EQ(root.column, 1u);
+}
+
+TEST(JsonLocator, RecordsArrayElementsAtValueStart) {
+  const JsonLocator locator = JsonLocator::scan(kText);
+  const auto first = locator.position("b.c[0]");
+  const auto second = locator.position("b.c[1]");
+  const auto third = locator.position("b.c[2]");
+  ASSERT_TRUE(known(first) && known(second) && known(third));
+  EXPECT_EQ(first.line, 3u);
+  EXPECT_LT(first.column, second.column);
+  EXPECT_LT(second.column, third.column);
+  const auto inner = locator.position("b.c[2].d");
+  ASSERT_TRUE(known(inner));
+  EXPECT_EQ(inner.line, 3u);
+}
+
+TEST(JsonLocator, LocateFallsBackToNearestAncestor) {
+  const JsonLocator locator = JsonLocator::scan(kText);
+  const SourceLocation location =
+      locator.locate("f.json", "b.c[2].missing.deep");
+  EXPECT_EQ(location.file, "f.json");
+  EXPECT_EQ(location.json_path, "b.c[2].missing.deep");  // request preserved
+  const auto anchor = locator.position("b.c[2]");
+  ASSERT_TRUE(known(anchor));
+  EXPECT_EQ(location.line, anchor.line);
+  EXPECT_EQ(location.column, anchor.column);
+}
+
+TEST(JsonLocator, LocateUnknownPathFallsBackToRoot) {
+  const JsonLocator locator = JsonLocator::scan(kText);
+  const SourceLocation location = locator.locate("f.json", "zzz.nope");
+  EXPECT_EQ(location.line, 1u);
+  EXPECT_EQ(location.column, 1u);
+}
+
+TEST(JsonLocator, ToleratesMalformedInputKeepingPartialResults) {
+  const JsonLocator locator = JsonLocator::scan("{\"a\": [1, 2");
+  const auto a = locator.position("a");
+  ASSERT_TRUE(known(a));
+  EXPECT_EQ(a.line, 1u);
+  EXPECT_TRUE(known(locator.position("a[1]")));
+}
+
+TEST(JsonLocator, EmptyTextLocatesNowhereButNeverThrows) {
+  const JsonLocator locator = JsonLocator::scan("");
+  EXPECT_FALSE(known(locator.position("a")));
+  const SourceLocation location = locator.locate("f.json", "a");
+  EXPECT_EQ(location.file, "f.json");
+}
+
+}  // namespace
+}  // namespace ff::lint

@@ -1,0 +1,131 @@
+// End-to-end tests of the default-on lint preflights: cheetah's endpoint
+// create and savanna's journal resume refuse bad artifacts *before* any
+// side effect, with the full lint report in the exception text.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cheetah/endpoint.hpp"
+#include "savanna/campaign_runner.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff {
+namespace {
+
+cheetah::Campaign overcommitted_campaign() {
+  cheetah::AppSpec app;
+  app.name = "toy";
+  app.executable = "toy_exe";
+  app.args_template = "--x {{x}}";
+  cheetah::Campaign campaign("toy-campaign", app);
+  campaign.set_machine("workstation");  // 1 node
+  cheetah::Sweep sweep("xs");
+  sweep.add(cheetah::Parameter::int_range("x", cheetah::ParamLayer::Application,
+                                          0, 3));
+  cheetah::SweepGroup group("g1");
+  group.add(std::move(sweep));
+  group.set_nodes(2);  // > workstation capacity → FF202
+  campaign.add_group(std::move(group));
+  return campaign;
+}
+
+TEST(EndpointPreflight, RefusesOvercommittedCampaignBeforeCreatingAnything) {
+  TempDir dir("preflight");
+  try {
+    cheetah::CampaignEndpoint::create(overcommitted_campaign(), dir.str());
+    FAIL() << "expected ValidationError";
+  } catch (const ValidationError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("FF202"), std::string::npos) << what;
+    EXPECT_NE(what.find("nothing was created"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir.path()));
+}
+
+TEST(EndpointPreflight, OptOutStillCreatesTheEndpoint) {
+  TempDir dir("preflight");
+  cheetah::CampaignEndpoint::CreateOptions options;
+  options.lint = false;
+  const cheetah::CampaignEndpoint endpoint = cheetah::CampaignEndpoint::create(
+      overcommitted_campaign(), dir.str(), options);
+  EXPECT_FALSE(std::filesystem::is_empty(dir.path()));
+  (void)endpoint;
+}
+
+std::vector<sim::TaskSpec> one_task() {
+  sim::TaskSpec task;
+  task.id = "t0";
+  task.duration_s = 10;
+  return {task};
+}
+
+TEST(ResumePreflight, RefusesUnknownSchemaWithFullLintReport) {
+  TempDir dir("preflight");
+  const std::string path = dir.file("journal.jsonl");
+  write_file(path, R"({"kind":"header","schema":99,"campaign":"c","runs":[]})"
+                   "\n");
+  sim::Simulation sim;
+  savanna::RunTracker tracker;
+  savanna::CampaignRunOptions options;
+  try {
+    savanna::resume_campaign(sim, one_task(), options, tracker, path);
+    FAIL() << "expected ValidationError";
+  } catch (const ValidationError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("preflight lint"), std::string::npos) << what;
+    EXPECT_NE(what.find("FF205"), std::string::npos) << what;
+  }
+}
+
+TEST(ResumePreflight, OptOutFallsThroughToReplayWhichStillRejects) {
+  TempDir dir("preflight");
+  const std::string path = dir.file("journal.jsonl");
+  write_file(path, R"({"kind":"header","schema":99,"campaign":"c","runs":[]})"
+                   "\n");
+  sim::Simulation sim;
+  savanna::RunTracker tracker;
+  savanna::CampaignRunOptions options;
+  options.preflight_lint = false;
+  try {
+    savanna::resume_campaign(sim, one_task(), options, tracker, path);
+    FAIL() << "expected ValidationError";
+  } catch (const ValidationError& error) {
+    // Replay's own message, not the lint report.
+    EXPECT_EQ(std::string(error.what()).find("preflight lint"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ResumePreflight, TornTailIsANoteAndResumeStillCompletes) {
+  TempDir dir("preflight");
+  const std::string path = dir.file("journal.jsonl");
+  write_file(path,
+             R"({"kind":"header","schema":1,"campaign":"campaign","runs":["t0"]})"
+             "\n{\"kind\":\"all");  // torn mid-append
+  sim::Simulation sim;
+  savanna::RunTracker tracker;
+  savanna::CampaignRunOptions options;
+  const savanna::ResumeReport report =
+      savanna::resume_campaign(sim, one_task(), options, tracker, path);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.result.completed_runs, 1u);
+}
+
+TEST(ResumePreflight, MissingJournalMeansNeverStartedAndIsNotLinted) {
+  TempDir dir("preflight");
+  sim::Simulation sim;
+  savanna::RunTracker tracker;
+  savanna::CampaignRunOptions options;
+  const savanna::ResumeReport report = savanna::resume_campaign(
+      sim, one_task(), options, tracker, dir.file("journal.jsonl"));
+  EXPECT_EQ(report.allocations_replayed, 0u);
+  EXPECT_EQ(report.result.completed_runs, 1u);
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/rules.hpp"
+#include "lint_test_util.hpp"
+#include "util/json.hpp"
+
+namespace ff::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Manifest rules over fixtures (golden locations)
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRules, BadManifestFiresFourErrors) {
+  const LintReport report = lint_fixture("campaign_bad.json");
+  expect_findings(report, {
+                              {"FF201", 6, 5, Severity::Error},
+                              {"FF202", 12, 7, Severity::Error},
+                              {"FF204", 19, 14, Severity::Error},
+                              {"FF207", 20, 47, Severity::Error},
+                          });
+}
+
+TEST(CampaignRules, WalltimeBudgetBoundIsConservative) {
+  const LintReport report = lint_fixture("campaign_overbudget.json");
+  expect_findings(report, {{"FF203", 13, 7, Severity::Error}});
+  EXPECT_NE(report.diagnostics()[0].message.find("at least 10 waves"),
+            std::string::npos)
+      << report.diagnostics()[0].message;
+}
+
+TEST(CampaignRules, UnknownMachineIsAWarningNotAnError) {
+  const LintReport report = lint_fixture("campaign_unknown_machine.json");
+  expect_findings(report, {{"FF206", 8, 3, Severity::Warning}});
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(CampaignRules, MalformedGroupEntryIsFF004) {
+  const Json manifest = Json::parse(R"({
+    "name": "m", "app": {"name": "a", "executable": "e", "args_template": ""},
+    "groups": [42]
+  })");
+  const LintReport report = lint_campaign_manifest(
+      manifest, JsonLocator::scan(""), "<inline>");
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.diagnostics()[0].code, "FF004");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(CampaignRules, CommittedIrfManifestIsClean) {
+  const LintEngine engine;
+  const LintReport report =
+      engine.lint_file(artifact_path("irf_campaign_manifest.json"));
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+// ---------------------------------------------------------------------------
+// manifest_run_ids mirrors SweepGroup::generate()
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRules, ManifestRunIdsExpandTheCartesianProduct) {
+  const Json manifest = Json::parse(R"({
+    "name": "camp",
+    "groups": [{"name": "g", "sweeps": [{
+      "name": "s",
+      "parameters": [{"name": "x", "values": [1, 2]},
+                      {"name": "y", "values": [10, 20, 30]}]
+    }]}]
+  })");
+  const std::vector<std::string> ids = manifest_run_ids(manifest);
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(ids.front(), "g/s/run-0000");
+  EXPECT_EQ(ids.back(), "g/s/run-0005");
+}
+
+// ---------------------------------------------------------------------------
+// Journal preflight (lint_journal_text) — mirrors CampaignJournal::replay()
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHeader =
+    R"({"kind":"header","schema":1,"campaign":"camp","runs":["g/s/run-0000"]})";
+
+Json matching_manifest() {
+  return Json::parse(R"({
+    "name": "camp",
+    "app": {"name": "a", "executable": "e", "args_template": ""},
+    "groups": [{"name": "g", "sweeps": [{
+      "name": "s", "parameters": [{"name": "x", "values": [1]}]
+    }]}]
+  })");
+}
+
+std::vector<std::string> codes_of(const LintReport& report) {
+  std::vector<std::string> codes;
+  for (const Diagnostic& diag : report.diagnostics()) codes.push_back(diag.code);
+  return codes;
+}
+
+TEST(JournalLint, HealthyJournalAndManifestAreClean) {
+  const std::string text = std::string(kHeader) + "\n";
+  const LintReport report =
+      lint_journal_text(text, "j.jsonl", matching_manifest(), "manifest.json");
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+TEST(JournalLint, EmptyJournalMeansNeverStartedAndIsClean) {
+  const LintReport report = lint_journal_text("", "j.jsonl", Json(), "");
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(JournalLint, UnknownSchemaVersionIsFF205) {
+  const std::string text =
+      R"({"kind":"header","schema":99,"campaign":"camp","runs":[]})"
+      "\n";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF205");
+  EXPECT_EQ(report.diagnostics()[0].location.json_path, "schema");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(JournalLint, SecondHeaderIsFF205) {
+  const std::string text = std::string(kHeader) + "\n" + kHeader + "\n";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF205");
+  EXPECT_EQ(report.diagnostics()[0].location.line, 2u);
+}
+
+TEST(JournalLint, NonHeaderFirstLineIsFF205) {
+  const LintReport report =
+      lint_journal_text("{\"kind\":\"alloc\"}\n", "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].code, "FF205");
+}
+
+TEST(JournalLint, CorruptMiddleLineIsFF001Error) {
+  const std::string text = std::string(kHeader) +
+                           "\n{not json\n{\"kind\":\"alloc\"}\n";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF001");
+  EXPECT_EQ(report.diagnostics()[0].location.line, 2u);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(JournalLint, TornUnparseableTailIsOnlyANote) {
+  const std::string text = std::string(kHeader) + "\n{\"kind\":\"all";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF208");
+  EXPECT_EQ(report.diagnostics()[0].severity, Severity::Note);
+  EXPECT_FALSE(report.has_errors());  // resume repairs this on its own
+}
+
+TEST(JournalLint, UnterminatedButParseableTailIsFF208) {
+  const std::string text = std::string(kHeader) + "\n{\"kind\":\"alloc\"}";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF208");
+  EXPECT_EQ(report.diagnostics()[0].location.line, 2u);
+}
+
+TEST(JournalLint, CampaignNameMismatchIsFF205) {
+  const std::string text = std::string(kHeader) + "\n";
+  Json manifest = matching_manifest();
+  manifest["name"] = Json("other-campaign");
+  const LintReport report =
+      lint_journal_text(text, "j.jsonl", manifest, "manifest.json");
+  const std::vector<std::string> codes = codes_of(report);
+  ASSERT_FALSE(codes.empty()) << report.render_text();
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "FF205"), codes.end());
+}
+
+TEST(JournalLint, RunSetDriftFiresInBothDirections) {
+  // Journal registers a run the manifest no longer produces...
+  const std::string shrunk =
+      R"({"kind":"header","schema":1,"campaign":"camp",)"
+      R"("runs":["g/s/run-0000","g/s/run-0001"]})"
+      "\n";
+  const LintReport gone =
+      lint_journal_text(shrunk, "j.jsonl", matching_manifest(), "m.json");
+  ASSERT_EQ(gone.size(), 1u) << gone.render_text();
+  EXPECT_EQ(gone.diagnostics()[0].code, "FF205");
+  EXPECT_NE(gone.diagnostics()[0].message.find("no longer produce"),
+            std::string::npos);
+
+  // ...and the manifest grew a run the journal never registered.
+  const std::string stale =
+      R"({"kind":"header","schema":1,"campaign":"camp","runs":[]})"
+      "\n";
+  const LintReport grew =
+      lint_journal_text(stale, "j.jsonl", matching_manifest(), "m.json");
+  ASSERT_EQ(grew.size(), 1u) << grew.render_text();
+  EXPECT_EQ(grew.diagnostics()[0].code, "FF205");
+  EXPECT_NE(grew.diagnostics()[0].message.find("never registered"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff::lint

@@ -1,0 +1,30 @@
+#include <gtest/gtest.h>
+
+#include "lint/rules.hpp"
+#include "lint_test_util.hpp"
+
+namespace ff::lint {
+namespace {
+
+// The FF40x family is all warnings: gauge debt is honest self-description,
+// not a broken artifact — the linter surfaces it, CI decides via --werror.
+TEST(GaugeRules, BadCatalogFiresAllFourDebtChecks) {
+  const LintReport report = lint_fixture("catalog_bad.json");
+  expect_findings(report, {
+                              {"FF403", 9, 9, Severity::Warning},
+                              {"FF401", 12, 9, Severity::Warning},
+                              {"FF404", 12, 9, Severity::Warning},
+                              {"FF402", 25, 44, Severity::Warning},
+                          });
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(GaugeRules, CommittedSensorCatalogIsClean) {
+  const LintEngine engine;
+  const LintReport report =
+      engine.lint_file(artifact_path("sensor_catalog.json"));
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+}  // namespace
+}  // namespace ff::lint

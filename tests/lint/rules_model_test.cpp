@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "gwas/workflow.hpp"
+#include "lint/rules.hpp"
+#include "lint_test_util.hpp"
+#include "util/fs.hpp"
+
+namespace ff::lint {
+namespace {
+
+LintEngine gwas_engine() {
+  LintEngine engine;
+  engine.register_model(
+      {"gwas-paste", gwas::paste_model_schema(), gwas::make_paste_generator()});
+  return engine;
+}
+
+// model_bad.json against the registered gwas-paste schema: a required field
+// missing (dataset.count), a type mismatch (machine.nodes as string), and a
+// model key no template or schema entry consumes ("notes").
+TEST(ModelRules, BadModelFiresMissingMismatchAndUnusedKey) {
+  const LintReport report = lint_fixture("model_bad.json", gwas_engine());
+  expect_findings(report, {
+                              {"FF104", 3, 3, Severity::Error},
+                              {"FF103", 10, 5, Severity::Error},
+                              {"FF102", 12, 3, Severity::Warning},
+                          });
+}
+
+// FF101 needs a registration whose generator references a variable the
+// schema never declares — built locally so the fixture stays tiny.
+TEST(ModelRules, UnboundTemplateVariableFiresAgainstToySchema) {
+  skel::ModelSchema schema;
+  schema.require("title", "string", "report title");
+  skel::Generator generator("toy");
+  generator.add_template("out.txt", "{{title}} {{missing.thing}}\n", false);
+
+  LintEngine engine;
+  engine.register_model({"toy-report", std::move(schema), std::move(generator)});
+
+  const LintReport report = lint_fixture("model_unbound.json", engine);
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  const Diagnostic& diag = report.diagnostics()[0];
+  EXPECT_EQ(diag.code, "FF101");
+  EXPECT_EQ(diag.severity, Severity::Error);
+  EXPECT_NE(diag.message.find("missing.thing"), std::string::npos)
+      << diag.message;
+}
+
+// Without any matching registration the same file is only FF003: the model
+// claims a schema nobody told the linter about — a warning, not an error,
+// because the registration may simply live in another binary.
+TEST(ModelRules, UnregisteredModelSchemaIsAWarning) {
+  const LintReport report = lint_fixture("model_unbound.json");
+  expect_findings(report, {{"FF003", 2, 3, Severity::Warning}});
+}
+
+// The committed Fig. 2 artifact must stay clean — it is what the README
+// points users at and what the lint_self ctest sweeps.
+TEST(ModelRules, CommittedGwasArtifactIsClean) {
+  const LintEngine engine = gwas_engine();
+  const LintReport report =
+      engine.lint_file(artifact_path("fig2_gwas_paste_model.json"));
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+}  // namespace
+}  // namespace ff::lint

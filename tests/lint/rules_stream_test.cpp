@@ -1,0 +1,32 @@
+#include <gtest/gtest.h>
+
+#include "lint/rules.hpp"
+#include "lint_test_util.hpp"
+
+namespace ff::lint {
+namespace {
+
+TEST(StreamRules, BadPlaneFiresEveryFF30xRule) {
+  const LintReport report = lint_fixture("stream_bad.json");
+  expect_findings(report, {
+                              {"FF301", 8, 5, Severity::Error},
+                              {"FF305", 11, 8, Severity::Error},
+                              {"FF302", 15, 21, Severity::Error},
+                              {"FF303", 17, 6, Severity::Error},
+                              {"FF306", 18, 44, Severity::Error},
+                              {"FF304", 20, 22, Severity::Warning},
+                          });
+  EXPECT_NE(report.diagnostics()[0].message.find("cycle through {a, b}"),
+            std::string::npos)
+      << report.diagnostics()[0].message;
+}
+
+TEST(StreamRules, CommittedFig5PlaneIsClean) {
+  const LintEngine engine;
+  const LintReport report =
+      engine.lint_file(artifact_path("fig5_stream_plane.json"));
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+}  // namespace
+}  // namespace ff::lint

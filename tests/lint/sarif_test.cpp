@@ -1,0 +1,89 @@
+#include "lint/sarif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lint_test_util.hpp"
+#include "util/json.hpp"
+
+namespace ff::lint {
+namespace {
+
+// Round-trip the campaign_bad fixture through render_sarif and verify the
+// log against the SARIF 2.1.0 shape CI annotators consume.
+TEST(Sarif, RoundTripsTheCampaignFixture) {
+  const LintReport report = lint_fixture("campaign_bad.json");
+  ASSERT_EQ(report.size(), 4u) << report.render_text();
+
+  const Json log = Json::parse(render_sarif(report));
+  EXPECT_EQ(log["$schema"].as_string(),
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json");
+  EXPECT_EQ(log["version"].as_string(), "2.1.0");
+
+  const Json& run = log["runs"][0];
+  const Json& driver = run["tool"]["driver"];
+  EXPECT_EQ(driver["name"].as_string(), "fairflow-lint");
+
+  // Rules are deduped, listed in first-appearance order, with registry
+  // metadata attached.
+  const Json& rules = driver["rules"];
+  std::set<std::string> rule_ids;
+  for (const Json& rule : rules.as_array()) {
+    EXPECT_TRUE(rule_ids.insert(rule["id"].as_string()).second);
+    EXPECT_FALSE(rule["shortDescription"]["text"].as_string().empty());
+    EXPECT_FALSE(rule["defaultConfiguration"]["level"].as_string().empty());
+    EXPECT_EQ(rule["properties"]["family"].as_string(), "campaign");
+  }
+  EXPECT_EQ(rule_ids.size(), 4u);  // FF201, FF202, FF204, FF207
+
+  // Every result points back into the rules array consistently and carries
+  // the physical + logical location of its diagnostic.
+  const Json& results = run["results"];
+  ASSERT_EQ(results.as_array().size(), report.size());
+  for (size_t i = 0; i < report.size(); ++i) {
+    const Diagnostic& diag = report.diagnostics()[i];
+    const Json& result = results[i];
+    EXPECT_EQ(result["ruleId"].as_string(), diag.code);
+    const int64_t index = result["ruleIndex"].as_int();
+    ASSERT_GE(index, 0);
+    ASSERT_LT(static_cast<size_t>(index), rules.as_array().size());
+    EXPECT_EQ(rules[static_cast<size_t>(index)]["id"].as_string(), diag.code);
+    EXPECT_EQ(result["level"].as_string(), "error");
+
+    const Json& physical = result["locations"][0]["physicalLocation"];
+    EXPECT_NE(physical["artifactLocation"]["uri"].as_string().find(
+                  "campaign_bad.json"),
+              std::string::npos);
+    EXPECT_EQ(physical["region"]["startLine"].as_int(),
+              static_cast<int64_t>(diag.location.line));
+    EXPECT_EQ(physical["region"]["startColumn"].as_int(),
+              static_cast<int64_t>(diag.location.column));
+    const Json& logical = result["locations"][0]["logicalLocations"][0];
+    EXPECT_EQ(logical["fullyQualifiedName"].as_string(),
+              diag.location.json_path);
+  }
+}
+
+TEST(Sarif, EmptyReportIsStillAValidLog) {
+  const Json log = to_sarif(LintReport{});
+  EXPECT_EQ(log["version"].as_string(), "2.1.0");
+  EXPECT_TRUE(log["runs"][0]["results"].as_array().empty());
+  EXPECT_TRUE(log["runs"][0]["tool"]["driver"]["rules"].as_array().empty());
+}
+
+TEST(Sarif, FixitIsFoldedIntoTheMessageAndLevelTracksSeverity) {
+  LintReport report;
+  report.add("FF206", SourceLocation{"m.json", 8, 3, "machine"},
+             "machine 'frontier' is not a known preset",
+             "pick one of summit/institutional-cluster/workstation");
+  const Json log = to_sarif(report);
+  const Json& result = log["runs"][0]["results"][0];
+  EXPECT_EQ(result["level"].as_string(), "warning");
+  EXPECT_NE(result["message"]["text"].as_string().find("Fix: pick one of"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff::lint

@@ -4,6 +4,12 @@
 // or argument key that is emitted but not documented fails the build's
 // test suite (and so does a malformed envelope).
 //
+// The contract is enforced in both directions: an event *documented* in
+// the catalog that the tour never emits is a dead schema entry — either
+// the instrumentation site was removed (delete the row) or the tour lost
+// coverage (restore it). Events whose trigger the tour deliberately does
+// not reproduce are allowlisted below, each with its reason.
+//
 //   trace_lint <quickstart-binary> <out.jsonl> <trace_schema.md>
 
 #include <cstdio>
@@ -40,6 +46,29 @@ std::set<std::string> backticked_tokens(const std::string& text) {
 
 bool has_string(const ff::Json& object, const char* key) {
   return object.contains(key) && object[key].is_string();
+}
+
+/// Event names the catalog tables document: the first backticked token of
+/// a markdown table row, when it is dotted (`savanna.job.submit`). The
+/// dot requirement keeps envelope-field rows (`seq`, `ts`, ...) out.
+std::set<std::string> documented_event_names(const std::string& text) {
+  std::set<std::string> names;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t bar = line.find_first_not_of(" \t");
+    if (bar == std::string::npos || line[bar] != '|') continue;
+    const size_t tick = line.find('`', bar);
+    if (tick == std::string::npos) continue;
+    // Only a backtick directly opening the first cell counts — rows whose
+    // first cell is prose (the worked example is fenced, not a table).
+    if (line.find_first_not_of(" \t", bar + 1) != tick) continue;
+    const size_t end = line.find('`', tick + 1);
+    if (end == std::string::npos) continue;
+    const std::string token = line.substr(tick + 1, end - tick - 1);
+    if (token.find('.') != std::string::npos) names.insert(token);
+  }
+  return names;
 }
 
 }  // namespace
@@ -135,6 +164,22 @@ int main(int argc, char** argv) {
   }
 
   if (count == 0) fail("no events in " + jsonl_path);
+
+  // Reverse direction: every cataloged event must actually fire during the
+  // tour, unless its trigger is one the tour deliberately avoids.
+  const std::set<std::string> dead_entry_allowlist = {
+      // The tour's pipeline queue uses Overflow::Block, which never evicts;
+      // lossy-overflow eviction is covered by tests/stream/pipeline_test.
+      "stream.pipeline.drop",
+  };
+  for (const std::string& name : documented_event_names(
+           ff::read_file(schema_path))) {
+    if (names_seen.count(name) || dead_entry_allowlist.count(name)) continue;
+    fail("event `" + name + "` is documented in " + schema_path +
+         " but the quickstart tour never emitted it — dead schema entry "
+         "(delete the row, restore tour coverage, or allowlist it in "
+         "trace_lint.cpp with a reason)");
+  }
   if (g_failures > 0) {
     std::fprintf(stderr, "trace_lint: %d failure(s) over %zu events\n",
                  g_failures, count);
