@@ -45,3 +45,13 @@ add_custom_target(bench_stream
   DEPENDS fig5_stream_policies
   COMMENT "Fig. 5 stream data-plane bench -> BENCH_stream.json"
   VERBATIM)
+
+# A ~2 s paced-throughput sanity check in the default ctest run: the
+# threaded plane at 1 worker must not be slower than the synchronous
+# scheduler (records/s within 10 %, p50 within 2x) — a cheap guard
+# against handoff regressions in the channel or drain path.
+# RUN_SERIAL: a latency measurement on a small host is meaningless while
+# ctest runs other tests beside it.
+add_test(NAME perf_smoke COMMAND fig5_stream_policies --smoke)
+set_tests_properties(perf_smoke PROPERTIES
+  LABELS perf-smoke TIMEOUT 120 RUN_SERIAL TRUE)

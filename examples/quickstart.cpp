@@ -153,7 +153,16 @@ int provenance_tour(const std::string& jsonl_path,
     pipeline.subscribe([](const std::string&, const stream::Record&) {});
     pipeline.install_queue(
         "live", std::make_unique<stream::ForwardAllPolicy>(),
-        {.capacity = 8, .overflow = stream::Overflow::Block});
+        {.capacity = 8, .overflow = stream::Overflow::Block,
+         .batch = 4, .channel = stream::ChannelKind::Spsc,
+         .format = stream::WireFormat::Binary});
+    // Wire tap: every drain batch re-marshalled as a binary FFW chunk, the
+    // forwarding-component half of Fig. 5 (stream.queue.wire event).
+    stream::StreamSchema tour_schema;
+    tour_schema.name = "tour";
+    pipeline.register_schema("live", std::move(tour_schema));
+    pipeline.set_wire_sink("live",
+                           [](const std::string&, std::vector<uint8_t>) {});
     stream::InstrumentSource source(
         pipeline, [](uint64_t index) -> std::optional<stream::Record> {
           if (index >= 16) return std::nullopt;

@@ -90,7 +90,9 @@ const std::vector<RuleInfo>& rule_registry() {
       {"FF305", "dangling-edge-endpoint", Severity::Error, "stream-plane",
        "an edge endpoint names a component or port the graph does not define"},
       {"FF306", "invalid-queue-transport", Severity::Error, "stream-plane",
-       "a queue's transport configuration (capacity/overflow/args/name) is invalid"},
+       "a queue's transport configuration (capacity/overflow/batch/channel/format/args/name) is invalid"},
+      {"FF307", "binary-format-without-schema", Severity::Warning, "stream-plane",
+       "a binary-wire-format queue declares no schema for downstream decoders"},
       // -------------------------------------------------- gauge / tech debt
       {"FF401", "schema-tier-unbacked-port", Severity::Warning, "gauge",
        "declared DataSchema tier promises a format but a port carries no schema name"},

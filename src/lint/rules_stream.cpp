@@ -14,6 +14,8 @@ namespace ff::lint {
 namespace {
 
 constexpr std::string_view kOverflowNames = "block, drop-oldest, keep-latest";
+constexpr std::string_view kChannelKinds = "mutex, spsc, mpmc";
+constexpr std::string_view kWireFormats = "self-describing, binary";
 constexpr std::string_view kBuiltinKinds =
     "forward-all, sliding-window-count, sliding-window-time, "
     "direct-selection, sample-every";
@@ -240,6 +242,33 @@ void check_queues(const Json& plane, const JsonLocator& locator,
                  "unknown overflow policy '" + overflow + "'",
                  "use one of: " + std::string(kOverflowNames));
       overflow = "";
+    }
+    if (queue.contains("batch") &&
+        (!queue["batch"].is_int() || queue["batch"].as_int() < 1)) {
+      report.add("FF306", locator.locate(file, queue_path + ".batch"),
+                 "queue '" + name + "' batch must be an integer >= 1",
+                 "set \"batch\" to the records one strand drain may take");
+    }
+    const std::string channel = queue.get_or("channel", "spsc");
+    if (channel != "mutex" && channel != "spsc" && channel != "mpmc") {
+      report.add("FF306", locator.locate(file, queue_path + ".channel"),
+                 "unknown channel implementation '" + channel + "'",
+                 "use one of: " + std::string(kChannelKinds));
+    }
+    const std::string format = queue.get_or("format", "self-describing");
+    if (format != "self-describing" && format != "binary") {
+      report.add("FF306", locator.locate(file, queue_path + ".format"),
+                 "unknown wire format '" + format + "'",
+                 "use one of: " + std::string(kWireFormats));
+    } else if (format == "binary" && !queue.contains("schema")) {
+      // FF307: the binary frame codec cannot self-describe; a consumer
+      // with no registered schema cannot decode this queue's wire chunks.
+      report.add("FF307", locator.locate(file, queue_path + ".format"),
+                 "queue '" + name + "' uses the binary wire format but "
+                 "declares no \"schema\" — downstream decoders need the "
+                 "schema the frames were encoded against",
+                 "add \"schema\": \"<name:vN>\" naming the record schema "
+                 "the pipeline registers via register_schema()");
     }
 
     // FF303/FF304: bulk releases vs a blocking bounded channel. A release

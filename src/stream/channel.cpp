@@ -1,8 +1,39 @@
 #include "stream/channel.hpp"
 
+#include <thread>
+
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ff::stream {
+
+namespace {
+
+/// How many failed lock-free attempts a blocking call makes before parking.
+/// On a single-core host spinning only steals the timeslice the peer needs
+/// to make progress, so the budget collapses to a single attempt.
+int spin_budget() noexcept {
+  static const int budget = std::thread::hardware_concurrency() > 1 ? 128 : 1;
+  return budget;
+}
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+size_t round_up_pow2(size_t value) noexcept {
+  size_t rounded = 1;
+  while (rounded < value) rounded <<= 1;
+  return rounded;
+}
+
+}  // namespace
 
 const char* overflow_name(Overflow policy) noexcept {
   switch (policy) {
@@ -13,11 +44,37 @@ const char* overflow_name(Overflow policy) noexcept {
   return "unknown";
 }
 
-Channel::Channel(size_t capacity) : capacity_(capacity) {
+const char* channel_kind_name(ChannelKind kind) noexcept {
+  switch (kind) {
+    case ChannelKind::Mutex: return "mutex";
+    case ChannelKind::Spsc: return "spsc";
+    case ChannelKind::Mpmc: return "mpmc";
+  }
+  return "unknown";
+}
+
+ChannelKind parse_channel_kind(std::string_view name) {
+  if (name == "mutex") return ChannelKind::Mutex;
+  if (name == "spsc") return ChannelKind::Spsc;
+  if (name == "mpmc") return ChannelKind::Mpmc;
+  throw ValidationError("unknown channel kind '" + std::string(name) +
+                        "' (want mutex, spsc, or mpmc)");
+}
+
+std::unique_ptr<Channel> make_channel(ChannelKind kind, size_t capacity) {
+  if (kind == ChannelKind::Mutex) {
+    return std::make_unique<MutexChannel>(capacity);
+  }
+  return std::make_unique<RingChannel>(capacity, kind);
+}
+
+// --- MutexChannel ---------------------------------------------------------
+
+MutexChannel::MutexChannel(size_t capacity) : capacity_(capacity) {
   if (capacity == 0) throw ValidationError("Channel: capacity must be > 0");
 }
 
-bool Channel::send(Record record) {
+bool MutexChannel::send(Record record) {
   std::unique_lock lock(mutex_);
   ++send_waiters_;
   not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
@@ -30,7 +87,7 @@ bool Channel::send(Record record) {
   return true;
 }
 
-bool Channel::try_send(Record record) {
+bool MutexChannel::try_send(Record record) {
   {
     std::lock_guard lock(mutex_);
     if (closed_ || queue_.size() >= capacity_) return false;
@@ -41,7 +98,7 @@ bool Channel::try_send(Record record) {
   return true;
 }
 
-Channel::OfferResult Channel::offer(Record record, Overflow policy) {
+Channel::OfferResult MutexChannel::offer(Record record, Overflow policy) {
   if (policy == Overflow::Block) {
     return OfferResult{send(std::move(record)), 0};
   }
@@ -67,7 +124,7 @@ Channel::OfferResult Channel::offer(Record record, Overflow policy) {
   return result;
 }
 
-std::optional<Record> Channel::receive() {
+std::optional<Record> MutexChannel::receive() {
   std::unique_lock lock(mutex_);
   ++receive_waiters_;
   not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
@@ -81,7 +138,7 @@ std::optional<Record> Channel::receive() {
   return record;
 }
 
-std::optional<Record> Channel::try_receive() {
+std::optional<Record> MutexChannel::try_receive() {
   std::optional<Record> record;
   {
     std::lock_guard lock(mutex_);
@@ -94,7 +151,8 @@ std::optional<Record> Channel::try_receive() {
   return record;
 }
 
-std::optional<Record> Channel::receive_for(std::chrono::nanoseconds timeout) {
+std::optional<Record> MutexChannel::receive_for(
+    std::chrono::nanoseconds timeout) {
   std::unique_lock lock(mutex_);
   ++receive_waiters_;
   const bool ready = not_empty_.wait_for(
@@ -109,7 +167,22 @@ std::optional<Record> Channel::receive_for(std::chrono::nanoseconds timeout) {
   return record;
 }
 
-void Channel::close() {
+size_t MutexChannel::drain_into(std::vector<Record>& out, size_t max) {
+  size_t taken = 0;
+  {
+    std::lock_guard lock(mutex_);
+    while (taken < max && !queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++taken;
+    }
+    received_ += taken;
+  }
+  if (taken > 0) not_full_.notify_all();  // several slots may have freed
+  return taken;
+}
+
+void MutexChannel::close() {
   {
     std::lock_guard lock(mutex_);
     closed_ = true;
@@ -118,7 +191,7 @@ void Channel::close() {
   not_empty_.notify_all();
 }
 
-std::vector<Record> Channel::close_and_drain() {
+std::vector<Record> MutexChannel::close_and_drain() {
   std::vector<Record> remaining;
   {
     std::lock_guard lock(mutex_);
@@ -135,39 +208,360 @@ std::vector<Record> Channel::close_and_drain() {
   return remaining;
 }
 
-bool Channel::closed() const {
+bool MutexChannel::closed() const {
   std::lock_guard lock(mutex_);
   return closed_;
 }
 
-size_t Channel::size() const {
+size_t MutexChannel::size() const {
   std::lock_guard lock(mutex_);
   return queue_.size();
 }
 
-uint64_t Channel::sent() const {
+uint64_t MutexChannel::sent() const {
   std::lock_guard lock(mutex_);
   return sent_;
 }
 
-uint64_t Channel::received() const {
+uint64_t MutexChannel::received() const {
   std::lock_guard lock(mutex_);
   return received_;
 }
 
-uint64_t Channel::dropped() const {
+uint64_t MutexChannel::dropped() const {
   std::lock_guard lock(mutex_);
   return dropped_;
 }
 
-size_t Channel::send_waiters() const {
+size_t MutexChannel::send_waiters() const {
   std::lock_guard lock(mutex_);
   return send_waiters_;
 }
 
-size_t Channel::receive_waiters() const {
+size_t MutexChannel::receive_waiters() const {
   std::lock_guard lock(mutex_);
   return receive_waiters_;
+}
+
+// --- RingChannel ----------------------------------------------------------
+
+RingChannel::RingChannel(size_t capacity, ChannelKind kind)
+    : kind_(kind),
+      capacity_(round_up_pow2(capacity)),
+      cells_n_(std::max<size_t>(2, capacity_)),
+      mask_(cells_n_ - 1),
+      cells_(nullptr) {
+  if (capacity == 0) throw ValidationError("Channel: capacity must be > 0");
+  if (capacity > (size_t{1} << 30)) {
+    throw ValidationError("Channel: ring capacity too large");
+  }
+  if (kind != ChannelKind::Spsc && kind != ChannelKind::Mpmc) {
+    throw ValidationError("RingChannel: kind must be spsc or mpmc");
+  }
+  cells_ = std::make_unique<Cell[]>(cells_n_);
+  for (uint64_t i = 0; i < cells_n_; ++i) {
+    cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+}
+
+RingChannel::~RingChannel() = default;
+
+bool RingChannel::push(Record& record) {
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (capacity_ != cells_n_ &&
+        pos - dequeue_pos_.load(std::memory_order_acquire) >= capacity_) {
+      // Capacity-1 ring: the physical ring has a spare cell (see cells_n_),
+      // so fullness is gated on the logical position distance instead of
+      // the cell sequence.
+      return false;
+    }
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq - pos);
+    if (dif == 0) {
+      if (kind_ == ChannelKind::Spsc) {
+        // Single producer: nobody else advances enqueue_pos, a plain
+        // store claims the cell.
+        enqueue_pos_.store(pos + 1, std::memory_order_relaxed);
+      } else if (!enqueue_pos_.compare_exchange_weak(
+                     pos, pos + 1, std::memory_order_relaxed)) {
+        continue;  // lost the claim race; pos was reloaded by the CAS
+      }
+      cell.record = std::move(record);
+      cell.sequence.store(pos + 1, std::memory_order_release);
+      return true;
+    }
+    if (dif < 0) return false;  // cell not yet recycled: ring is full
+    pos = enqueue_pos_.load(std::memory_order_relaxed);
+  }
+}
+
+bool RingChannel::pop(Record& record) {
+  // Always multi-consumer: real consumers, lossy-eviction producers, and
+  // close_and_drain all pop through this CAS protocol.
+  uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq - (pos + 1));
+    if (dif == 0) {
+      if (!dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+        continue;
+      }
+      record = std::move(cell.record);
+      cell.record = Record{};  // release payload memory eagerly
+      cell.sequence.store(pos + cells_n_, std::memory_order_release);
+      return true;
+    }
+    if (dif < 0) return false;  // cell not yet published: ring is empty
+    pos = dequeue_pos_.load(std::memory_order_relaxed);
+  }
+}
+
+bool RingChannel::push_open(Record& record, bool& rejected) {
+  // The seq_cst ticket RMW orders this send against close_and_drain: if we
+  // read `closed == false` below, the closer's subsequent in-flight read is
+  // guaranteed to observe our ticket and wait for this push to land.
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  if (closed_.load(std::memory_order_seq_cst)) {
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    rejected = true;
+    // A receiver may be parked waiting on "closed && in_flight == 0";
+    // aborted sends must not leave it asleep.
+    wake_receivers();
+    return false;
+  }
+  rejected = false;
+  const bool pushed = push(record);
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  if (pushed) {
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    wake_receivers();
+  }
+  return pushed;
+}
+
+bool RingChannel::drained() const {
+  if (!closed_.load(std::memory_order_acquire)) return false;
+  if (size() != 0) return false;
+  // A send that won the race against close() may still be materializing
+  // its record; don't report "drained" until it lands or aborts.
+  return in_flight_.load(std::memory_order_seq_cst) == 0;
+}
+
+void RingChannel::wake_senders() {
+  // Eventcount handshake (waker side): make the pop visible, then look for
+  // parked senders. Pairs with the fence after the waiter registers.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (send_waiters_.load(std::memory_order_relaxed) == 0) return;
+  { std::lock_guard lock(park_mutex_); }
+  not_full_.notify_all();
+}
+
+void RingChannel::wake_receivers() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (receive_waiters_.load(std::memory_order_relaxed) == 0) return;
+  { std::lock_guard lock(park_mutex_); }
+  not_empty_.notify_all();
+}
+
+bool RingChannel::send(Record record) {
+  for (;;) {
+    bool rejected = false;
+    for (int spin = spin_budget(); spin > 0; --spin) {
+      if (push_open(record, rejected)) return true;
+      if (rejected) return false;
+      cpu_relax();
+    }
+    // Park until space frees or the channel closes, then retry.
+    std::unique_lock lock(park_mutex_);
+    send_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // Eventcount handshake (waiter side): registration must be ordered
+    // before the final re-check, or a concurrent pop could miss us.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (obs::tracing_enabled()) {
+      obs::trace_instant("stream", "stream.channel.park", {{"role", "send"}});
+    }
+    not_full_.wait(lock, [this] {
+      return closed_.load(std::memory_order_acquire) || size() < capacity_;
+    });
+    send_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool RingChannel::try_send(Record record) {
+  bool rejected = false;
+  return push_open(record, rejected);
+}
+
+Channel::OfferResult RingChannel::offer(Record record, Overflow policy) {
+  if (policy == Overflow::Block) {
+    return OfferResult{send(std::move(record)), 0};
+  }
+  OfferResult result;
+  for (;;) {
+    bool rejected = false;
+    if (push_open(record, rejected)) {
+      result.accepted = true;
+      return result;
+    }
+    if (rejected) return result;  // closed: not accepted
+    // Full: evict per policy, then retry. Eviction pops race real
+    // consumers safely (the pop protocol is multi-consumer); each round
+    // either pushes or removes a record, so the loop makes progress even
+    // when other producers keep refilling the ring.
+    Record discard;
+    if (policy == Overflow::DropOldest) {
+      if (pop(discard)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        ++result.evicted;
+        wake_senders();
+      }
+    } else {  // KeepLatest: conflate — drain everything, then push
+      size_t evicted_now = 0;
+      while (pop(discard)) ++evicted_now;
+      if (evicted_now > 0) {
+        dropped_.fetch_add(evicted_now, std::memory_order_relaxed);
+        result.evicted += evicted_now;
+        wake_senders();
+      }
+    }
+  }
+}
+
+std::optional<Record> RingChannel::receive_until(
+    const std::chrono::steady_clock::time_point* deadline) {
+  Record record;
+  for (int spin = spin_budget(); spin > 0; --spin) {
+    if (pop(record)) {
+      received_.fetch_add(1, std::memory_order_relaxed);
+      wake_senders();
+      return record;
+    }
+    if (drained()) return std::nullopt;
+    cpu_relax();
+  }
+  std::unique_lock lock(park_mutex_);
+  receive_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  for (;;) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (pop(record)) {
+      receive_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      lock.unlock();
+      received_.fetch_add(1, std::memory_order_relaxed);
+      wake_senders();
+      return record;
+    }
+    if (drained()) break;
+    if (obs::tracing_enabled()) {
+      obs::trace_instant("stream", "stream.channel.park",
+                         {{"role", "receive"}});
+    }
+    if (deadline == nullptr) {
+      not_empty_.wait(lock);
+    } else if (not_empty_.wait_until(lock, *deadline) ==
+               std::cv_status::timeout) {
+      // One last look: a push may have landed exactly at the deadline.
+      if (!pop(record)) break;
+      receive_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      lock.unlock();
+      received_.fetch_add(1, std::memory_order_relaxed);
+      wake_senders();
+      return record;
+    }
+  }
+  receive_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+std::optional<Record> RingChannel::receive() { return receive_until(nullptr); }
+
+std::optional<Record> RingChannel::try_receive() {
+  Record record;
+  if (!pop(record)) return std::nullopt;
+  received_.fetch_add(1, std::memory_order_relaxed);
+  wake_senders();
+  return record;
+}
+
+std::optional<Record> RingChannel::receive_for(
+    std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  return receive_until(&deadline);
+}
+
+size_t RingChannel::drain_into(std::vector<Record>& out, size_t max) {
+  size_t taken = 0;
+  Record record;
+  while (taken < max && pop(record)) {
+    out.push_back(std::move(record));
+    ++taken;
+  }
+  if (taken > 0) {
+    received_.fetch_add(taken, std::memory_order_relaxed);
+    wake_senders();  // one wake amortized over the whole batch
+  }
+  return taken;
+}
+
+void RingChannel::close() {
+  closed_.store(true, std::memory_order_seq_cst);
+  { std::lock_guard lock(park_mutex_); }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::vector<Record> RingChannel::close_and_drain() {
+  close();
+  // Wait out in-flight sends: any push that read `closed == false` holds a
+  // ticket (see push_open), so once the count hits zero every record that
+  // will ever enter the ring is fully published.
+  while (in_flight_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  std::vector<Record> remaining;
+  remaining.reserve(size());
+  Record record;
+  while (pop(record)) {
+    remaining.push_back(std::move(record));
+    received_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_senders();
+  return remaining;
+}
+
+bool RingChannel::closed() const {
+  return closed_.load(std::memory_order_acquire);
+}
+
+size_t RingChannel::size() const {
+  // Load dequeue first so a racing pop cannot make the difference go
+  // negative; claimed-but-unpublished cells count as queued.
+  const uint64_t tail = dequeue_pos_.load(std::memory_order_acquire);
+  const uint64_t head = enqueue_pos_.load(std::memory_order_acquire);
+  return head >= tail ? static_cast<size_t>(head - tail) : 0;
+}
+
+uint64_t RingChannel::sent() const {
+  return sent_.load(std::memory_order_acquire);
+}
+
+uint64_t RingChannel::received() const {
+  return received_.load(std::memory_order_acquire);
+}
+
+uint64_t RingChannel::dropped() const {
+  return dropped_.load(std::memory_order_acquire);
+}
+
+size_t RingChannel::send_waiters() const {
+  return send_waiters_.load(std::memory_order_acquire);
+}
+
+size_t RingChannel::receive_waiters() const {
+  return receive_waiters_.load(std::memory_order_acquire);
 }
 
 }  // namespace ff::stream

@@ -91,7 +91,55 @@ Tag tag_for(const std::string& type) {
   throw ValidationError("ffbin: unsupported field type '" + type + "'");
 }
 
+// --- frame codec primitives ----------------------------------------------
+// The decode hot path reads through raw pointers with explicit bounds
+// checks against the enclosing frame; fixed-width loads go through memcpy
+// (alignment-safe) and byte-swap only on big-endian hosts.
+
+constexpr char kFrameMagic[3] = {'F', 'F', 'W'};
+constexpr uint8_t kFrameVersion = 0x01;
+
+inline uint32_t load_u32(const uint8_t* p) noexcept {
+  uint32_t value;
+  std::memcpy(&value, p, sizeof(value));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  value = __builtin_bswap32(value);
+#endif
+  return value;
+}
+
+inline uint64_t load_u64(const uint8_t* p) noexcept {
+  uint64_t value;
+  std::memcpy(&value, p, sizeof(value));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  value = __builtin_bswap64(value);
+#endif
+  return value;
+}
+
+inline double load_f64(const uint8_t* p) noexcept {
+  const uint64_t bits = load_u64(p);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
 }  // namespace
+
+const char* wire_format_name(WireFormat format) noexcept {
+  switch (format) {
+    case WireFormat::SelfDescribing: return "self-describing";
+    case WireFormat::Binary: return "binary";
+  }
+  return "unknown";
+}
+
+WireFormat parse_wire_format(std::string_view name) {
+  if (name == "self-describing") return WireFormat::SelfDescribing;
+  if (name == "binary") return WireFormat::Binary;
+  throw ValidationError("unknown wire format '" + std::string(name) +
+                        "' (want self-describing or binary)");
+}
 
 Encoder::Encoder(StreamSchema schema) : schema_(std::move(schema)) {
   for (char c : kMagic) buffer_.push_back(static_cast<uint8_t>(c));
@@ -181,6 +229,231 @@ DecodedStream decode_stream(const std::vector<uint8_t>& bytes) {
     validate_record(record, out.schema);
     out.records.push_back(std::move(record));
   }
+  return out;
+}
+
+// --- FrameEncoder / decode_frame_stream -----------------------------------
+
+FrameEncoder::FrameEncoder(StreamSchema schema) : schema_(std::move(schema)) {
+  field_kinds_.reserve(schema_.fields.size());
+  for (const auto& field : schema_.fields) {
+    field_kinds_.push_back(static_cast<uint8_t>(tag_for(field.type)));
+  }
+  for (char c : kFrameMagic) buffer_.push_back(static_cast<uint8_t>(c));
+  put_u8(buffer_, kFrameVersion);
+  const std::string key = schema_.key();
+  if (key.size() > 0xffff) {
+    throw ValidationError("ffw: schema key too long");
+  }
+  put_u8(buffer_, static_cast<uint8_t>(key.size() & 0xff));
+  put_u8(buffer_, static_cast<uint8_t>(key.size() >> 8));
+  buffer_.insert(buffer_.end(), key.begin(), key.end());
+}
+
+void FrameEncoder::append(const Record& record) {
+  if (record.values.size() != field_kinds_.size()) {
+    throw ValidationError("ffw: record has " +
+                          std::to_string(record.values.size()) +
+                          " values, schema '" + schema_.name + "' wants " +
+                          std::to_string(field_kinds_.size()));
+  }
+  const size_t length_at = buffer_.size();
+  put_u32(buffer_, 0);  // frame length, patched below
+  const size_t payload_start = buffer_.size();
+  put_u64(buffer_, record.sequence);
+  put_f64(buffer_, record.timestamp);
+  for (size_t i = 0; i < field_kinds_.size(); ++i) {
+    const Value& value = record.values[i];
+    if (value.index() + 1 != field_kinds_[i]) {
+      throw ValidationError("ffw: field '" + schema_.fields[i].name +
+                            "' does not match its schema type");
+    }
+    switch (static_cast<Tag>(field_kinds_[i])) {
+      case Tag::Int:
+        put_u64(buffer_, static_cast<uint64_t>(std::get<int64_t>(value)));
+        break;
+      case Tag::Double: put_f64(buffer_, std::get<double>(value)); break;
+      case Tag::String: put_string(buffer_, std::get<std::string>(value)); break;
+      case Tag::DoubleArray: {
+        const auto& array = std::get<std::vector<double>>(value);
+        put_u32(buffer_, static_cast<uint32_t>(array.size()));
+        for (double element : array) put_f64(buffer_, element);
+        break;
+      }
+    }
+  }
+  const size_t payload = buffer_.size() - payload_start;
+  for (int i = 0; i < 4; ++i) {
+    buffer_[length_at + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(payload >> (8 * i));
+  }
+  ++count_;
+}
+
+void decode_frame_stream_into(const std::vector<uint8_t>& bytes,
+                              const StreamSchema& schema, DecodedStream& out) {
+  std::vector<Tag> kinds;
+  kinds.reserve(schema.fields.size());
+  for (const auto& field : schema.fields) kinds.push_back(tag_for(field.type));
+
+  const uint8_t* p = bytes.data();
+  const uint8_t* const end = p + bytes.size();
+  if (end - p < 4) throw ParseError("ffw: truncated header");
+  if (std::memcmp(p, kFrameMagic, 3) != 0) throw ParseError("ffw: bad magic");
+  if (p[3] != kFrameVersion) {
+    throw ParseError("ffw: unsupported version " + std::to_string(p[3]));
+  }
+  p += 4;
+  if (end - p < 2) throw ParseError("ffw: truncated header");
+  const size_t key_length = static_cast<size_t>(p[0]) |
+                            (static_cast<size_t>(p[1]) << 8);
+  p += 2;
+  if (static_cast<size_t>(end - p) < key_length) {
+    throw ParseError("ffw: truncated schema key");
+  }
+  const std::string_view stream_key(reinterpret_cast<const char*>(p),
+                                    key_length);
+  p += key_length;
+  const std::string expected_key = schema.key();
+  if (stream_key != expected_key) {
+    throw ParseError("ffw: schema key mismatch: stream says '" +
+                     std::string(stream_key) + "', decoder holds '" +
+                     expected_key + "'");
+  }
+
+  out.schema = schema;
+  const size_t field_count = kinds.size();
+  // Records already in `out` are recycled in place: their values vectors
+  // keep their capacity across chunks, so a warm fixed-width decode does
+  // no per-record allocation at all.
+  size_t produced = 0;
+  const auto next_slot = [&out, &produced]() -> Record& {
+    Record& slot = produced < out.records.size() ? out.records[produced]
+                                                 : out.records.emplace_back();
+    ++produced;
+    slot.values.clear();
+    return slot;
+  };
+
+  // The length prefixes let us count frames in one cheap pass and reserve
+  // the output exactly — no growth reallocations while decoding. A frame
+  // that would fail the main loop's validation simply ends the count; the
+  // main loop then raises the precise typed error.
+  {
+    const uint8_t* q = p;
+    size_t frames = 0;
+    while (static_cast<size_t>(end - q) >= 4) {
+      const uint32_t length = load_u32(q);
+      q += 4;
+      if (static_cast<size_t>(end - q) < length) break;
+      q += length;
+      ++frames;
+    }
+    out.records.reserve(frames);
+  }
+
+  // Fast path: a schema of only 8-byte scalars (int/double) fixes every
+  // frame's payload size, so one length comparison replaces the per-field
+  // bounds checks.
+  bool fixed_width = true;
+  for (const Tag kind : kinds) {
+    if (kind != Tag::Int && kind != Tag::Double) fixed_width = false;
+  }
+  const size_t fixed_payload = 16 + 8 * field_count;
+
+  while (p < end) {
+    if (end - p < 4) throw ParseError("ffw: truncated frame length");
+    const uint32_t frame_length = load_u32(p);
+    p += 4;
+    if (static_cast<size_t>(end - p) < frame_length) {
+      // Also catches a poisoned length prefix: we refuse before touching
+      // (or allocating for) any of the frame's contents.
+      throw ParseError("ffw: frame length overruns stream");
+    }
+    const uint8_t* const frame_end = p + frame_length;
+    if (frame_length < 16) throw ParseError("ffw: frame too short");
+
+    if (fixed_width && frame_length == fixed_payload) {
+      Record& record = next_slot();
+      record.sequence = load_u64(p);
+      record.timestamp = load_f64(p + 8);  // raw bits: NaN payloads survive
+      p += 16;
+      record.values.reserve(field_count);
+      for (size_t i = 0; i < field_count; ++i) {
+        if (kinds[i] == Tag::Int) {
+          record.values.emplace_back(static_cast<int64_t>(load_u64(p)));
+        } else {
+          record.values.emplace_back(load_f64(p));
+        }
+        p += 8;
+      }
+      continue;
+    }
+
+    Record& record = next_slot();
+    record.sequence = load_u64(p);
+    p += 8;
+    record.timestamp = load_f64(p);  // raw bits: NaN payloads survive
+    p += 8;
+    record.values.reserve(field_count);
+    for (size_t i = 0; i < field_count; ++i) {
+      switch (kinds[i]) {
+        case Tag::Int:
+          if (frame_end - p < 8) throw ParseError("ffw: truncated int field");
+          record.values.emplace_back(static_cast<int64_t>(load_u64(p)));
+          p += 8;
+          break;
+        case Tag::Double:
+          if (frame_end - p < 8) {
+            throw ParseError("ffw: truncated double field");
+          }
+          record.values.emplace_back(load_f64(p));
+          p += 8;
+          break;
+        case Tag::String: {
+          if (frame_end - p < 4) {
+            throw ParseError("ffw: truncated string length");
+          }
+          const uint32_t length = load_u32(p);
+          p += 4;
+          if (static_cast<size_t>(frame_end - p) < length) {
+            throw ParseError("ffw: string length overruns frame");
+          }
+          record.values.emplace_back(
+              std::string(reinterpret_cast<const char*>(p), length));
+          p += length;
+          break;
+        }
+        case Tag::DoubleArray: {
+          if (frame_end - p < 4) {
+            throw ParseError("ffw: truncated array length");
+          }
+          const uint32_t length = load_u32(p);
+          p += 4;
+          // Fit check BEFORE the allocation: a poisoned count must raise
+          // ParseError, not attempt a multi-GB reserve.
+          if (static_cast<size_t>(frame_end - p) < size_t{length} * 8) {
+            throw ParseError("ffw: array length overruns frame");
+          }
+          std::vector<double> array(length);
+          for (uint32_t j = 0; j < length; ++j) {
+            array[j] = load_f64(p + size_t{j} * 8);
+          }
+          p += size_t{length} * 8;
+          record.values.emplace_back(std::move(array));
+          break;
+        }
+      }
+    }
+    if (p != frame_end) throw ParseError("ffw: trailing bytes in frame");
+  }
+  out.records.resize(produced);
+}
+
+DecodedStream decode_frame_stream(const std::vector<uint8_t>& bytes,
+                                  const StreamSchema& schema) {
+  DecodedStream out;
+  decode_frame_stream_into(bytes, schema, out);
   return out;
 }
 

@@ -9,11 +9,6 @@ namespace ff::stream {
 
 namespace {
 
-/// Records delivered per drain task before the queue's strand yields its
-/// worker — keeps a busy queue from starving the others when workers are
-/// scarcer than queues.
-constexpr size_t kDrainBatch = 64;
-
 Overflow parse_overflow(const std::string& name) {
   if (name == "block") return Overflow::Block;
   if (name == "drop-oldest") return Overflow::DropOldest;
@@ -35,10 +30,15 @@ StreamPipeline::~StreamPipeline() { shutdown(); }
 void StreamPipeline::install_queue(const std::string& queue,
                                    std::unique_ptr<SelectionPolicy> policy,
                                    QueueOptions options) {
+  if (options.batch == 0) {
+    throw ValidationError("StreamPipeline: batch must be >= 1");
+  }
   auto pipe = std::make_shared<PipeQueue>();
   pipe->name = queue;
-  pipe->channel = std::make_unique<Channel>(options.capacity);
+  pipe->channel = make_channel(options.channel, options.capacity);
   pipe->overflow = options.overflow;
+  pipe->batch = options.batch;
+  pipe->format = options.format;
   {
     std::lock_guard lock(mutex_);
     if (stopped_) throw StateError("StreamPipeline: install after shutdown");
@@ -59,7 +59,8 @@ void StreamPipeline::install_queue(const std::string& queue,
   obs::trace_instant("stream", "stream.pipeline.attach",
                      {{"queue", queue},
                       {"capacity", options.capacity},
-                      {"overflow", overflow_name(options.overflow)}});
+                      {"overflow", overflow_name(options.overflow)},
+                      {"channel", channel_kind_name(options.channel)}});
 }
 
 void StreamPipeline::remove_queue(const std::string& queue) {
@@ -96,6 +97,45 @@ void StreamPipeline::subscribe(DataScheduler::Consumer consumer) {
   consumers_ = std::move(next);
 }
 
+void StreamPipeline::register_schema(const std::string& queue,
+                                     StreamSchema schema) {
+  std::lock_guard lock(mutex_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    throw NotFoundError("StreamPipeline: no queue '" + queue + "'");
+  }
+  it->second->schema = std::make_shared<const StreamSchema>(std::move(schema));
+}
+
+std::shared_ptr<const StreamSchema> StreamPipeline::schema_of(
+    const std::string& queue) const {
+  std::lock_guard lock(mutex_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    throw NotFoundError("StreamPipeline: no queue '" + queue + "'");
+  }
+  return it->second->schema;
+}
+
+void StreamPipeline::set_wire_sink(const std::string& queue, WireSink sink) {
+  std::lock_guard lock(mutex_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    throw NotFoundError("StreamPipeline: no queue '" + queue + "'");
+  }
+  if (sink && !it->second->schema) {
+    throw StateError("StreamPipeline: queue '" + queue +
+                     "' has no registered schema — register_schema() before "
+                     "attaching a wire sink (the " +
+                     wire_format_name(it->second->format) +
+                     " codec marshals against it)");
+  }
+  it->second->wire_sink = std::move(sink);
+  obs::trace_instant("stream", "stream.queue.wire",
+                     {{"queue", queue},
+                      {"format", wire_format_name(it->second->format)}});
+}
+
 void StreamPipeline::offer(PipeQueue& queue, Record record) {
   queue.released.fetch_add(1, std::memory_order_relaxed);
   const Channel::OfferResult result =
@@ -113,33 +153,79 @@ void StreamPipeline::offer(PipeQueue& queue, Record record) {
 void StreamPipeline::schedule_drain(const std::shared_ptr<PipeQueue>& queue) {
   // Strand dispatch: at most one drain task per queue is queued or running,
   // so per-queue delivery stays ordered for any worker count.
-  if (queue->scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  //
+  // The fence orders the caller's (possibly relaxed) channel push before
+  // the seq_cst exchange. Together with the store(false)+fence+size()
+  // re-check in drain() this closes the handoff race for the lock-free
+  // channels, which — unlike the mutex channel — provide no incidental
+  // synchronization between a push and a subsequent size() probe: either
+  // our exchange sees false (we schedule the drain ourselves) or it
+  // happened before the running drain's store(false), in which case that
+  // drain's re-check is fenced to observe our push. See DESIGN.md §3.5.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (queue->scheduled.exchange(true, std::memory_order_seq_cst)) return;
   pool_->post([this, queue] { drain(queue); });
+}
+
+void StreamPipeline::deliver(PipeQueue& queue, std::vector<Record>& batch,
+                             const std::vector<DataScheduler::Consumer>& consumers,
+                             const std::shared_ptr<const StreamSchema>& schema,
+                             const WireSink& wire_sink) {
+  queue.delivered.fetch_add(batch.size(), std::memory_order_relaxed);
+  for (const Record& record : batch) {
+    for (const auto& consumer : consumers) consumer(queue.name, record);
+  }
+  if (wire_sink && schema) {
+    // Marshal the whole batch as one self-contained chunk (header +
+    // records) with the queue's configured codec.
+    std::vector<uint8_t> chunk;
+    if (queue.format == WireFormat::Binary) {
+      FrameEncoder encoder(*schema);
+      for (const Record& record : batch) encoder.append(record);
+      chunk = encoder.bytes();
+    } else {
+      Encoder encoder(*schema);
+      for (const Record& record : batch) encoder.append(record);
+      chunk = encoder.bytes();
+    }
+    wire_sink(queue.name, std::move(chunk));
+  }
 }
 
 void StreamPipeline::drain(const std::shared_ptr<PipeQueue>& queue) {
   std::shared_ptr<const std::vector<DataScheduler::Consumer>> consumers;
+  std::shared_ptr<const StreamSchema> schema;
+  WireSink wire_sink;
   {
     std::lock_guard lock(mutex_);
     consumers = consumers_;
+    schema = queue->schema;
+    wire_sink = queue->wire_sink;
   }
-  size_t processed = 0;
-  while (processed < kDrainBatch) {
-    std::optional<Record> record = queue->channel->try_receive();
-    if (!record) break;
-    ++processed;
-    queue->delivered.fetch_add(1, std::memory_order_relaxed);
-    for (const auto& consumer : *consumers) consumer(queue->name, *record);
+  // One bulk pop per dispatch: the channel synchronization and the pool
+  // handoff are paid once per batch instead of once per record. Per-queue
+  // order is untouched — the strand serializes drains and drain_into is
+  // FIFO.
+  std::vector<Record> batch;
+  batch.reserve(std::min(queue->batch, queue->channel->size()));
+  const size_t taken = queue->channel->drain_into(batch, queue->batch);
+  if (taken > 0) {
+    deliver(*queue, batch, *consumers, schema, wire_sink);
+    if (obs::tracing_enabled()) {
+      obs::trace_instant("stream", "stream.queue.drain_batch",
+                         {{"queue", queue->name}, {"count", taken}});
+    }
   }
   if (obs::tracing_enabled()) {
     obs::trace_counter("stream", "stream.queue.depth",
                        static_cast<double>(queue->channel->size()),
                        {{"queue", queue->name}});
   }
-  queue->scheduled.store(false, std::memory_order_release);
-  // Re-arm if records remain (or raced in after the last try_receive). A
-  // producer that saw scheduled==true before the store above relies on this
-  // re-check to get its record drained.
+  queue->scheduled.store(false, std::memory_order_seq_cst);
+  // Re-arm if records remain (or raced in after the bulk pop). A producer
+  // that saw scheduled==true before the store above relies on this fenced
+  // re-check to get its record drained (see schedule_drain).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   if (queue->channel->size() > 0) schedule_drain(queue);
 }
 
@@ -188,14 +274,15 @@ void StreamPipeline::shutdown() {
     std::vector<Record> leftover = pipe->channel->close_and_drain();
     if (leftover.empty()) continue;
     std::shared_ptr<const std::vector<DataScheduler::Consumer>> consumers;
+    std::shared_ptr<const StreamSchema> schema;
+    WireSink wire_sink;
     {
       std::lock_guard lock(mutex_);
       consumers = consumers_;
+      schema = pipe->schema;
+      wire_sink = pipe->wire_sink;
     }
-    for (Record& record : leftover) {
-      pipe->delivered.fetch_add(1, std::memory_order_relaxed);
-      for (const auto& consumer : *consumers) consumer(pipe->name, record);
-    }
+    deliver(*pipe, leftover, *consumers, schema, wire_sink);
   }
   pool_->wait_idle();  // inline delivery may have re-armed strands via consumers
   const Totals final_totals = totals();
@@ -206,17 +293,19 @@ void StreamPipeline::shutdown() {
   // this point it only ever runs no-op drains.
 }
 
+std::shared_ptr<StreamPipeline::PipeQueue> StreamPipeline::find_queue(
+    const std::string& queue) const {
+  std::lock_guard lock(mutex_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    throw NotFoundError("StreamPipeline: no queue '" + queue + "'");
+  }
+  return it->second;
+}
+
 StreamPipeline::QueueReport StreamPipeline::report(
     const std::string& queue) const {
-  std::shared_ptr<PipeQueue> pipe;
-  {
-    std::lock_guard lock(mutex_);
-    auto it = queues_.find(queue);
-    if (it == queues_.end()) {
-      throw NotFoundError("StreamPipeline: no queue '" + queue + "'");
-    }
-    pipe = it->second;
-  }
+  const std::shared_ptr<PipeQueue> pipe = find_queue(queue);
   QueueReport report;
   report.released = pipe->released.load(std::memory_order_relaxed);
   report.delivered = pipe->delivered.load(std::memory_order_relaxed);
@@ -224,6 +313,9 @@ StreamPipeline::QueueReport StreamPipeline::report(
                    pipe->rejected.load(std::memory_order_relaxed);
   report.depth = pipe->channel->size();
   report.overflow = pipe->overflow;
+  report.channel = pipe->channel->kind();
+  report.format = pipe->format;
+  report.batch = pipe->batch;
   return report;
 }
 
@@ -247,6 +339,15 @@ void PolicyFactory::handle_install(StreamPipeline& pipeline,
   options.capacity =
       static_cast<size_t>(install.get_or("capacity", int64_t{256}));
   options.overflow = parse_overflow(install.get_or("overflow", "block"));
+  if (install.contains("batch")) {
+    const Json& batch = install["batch"];
+    if (!batch.is_int() || batch.as_int() < 1) {
+      throw ValidationError("install: batch must be an integer >= 1");
+    }
+    options.batch = static_cast<size_t>(batch.as_int());
+  }
+  options.channel = parse_channel_kind(install.get_or("channel", "spsc"));
+  options.format = parse_wire_format(install.get_or("format", "self-describing"));
   obs::trace_instant("stream", "stream.policy.install",
                      {{"queue", queue}, {"kind", kind}});
   pipeline.install_queue(queue, build(kind, args), options);

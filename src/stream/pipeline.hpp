@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "stream/channel.hpp"
+#include "stream/marshal.hpp"
 #include "stream/scheduler.hpp"
 #include "util/thread_pool.hpp"
 
@@ -20,6 +21,18 @@ namespace ff::stream {
 struct QueueOptions {
   size_t capacity = 256;                ///< bounded channel size
   Overflow overflow = Overflow::Block;  ///< producer behaviour when full
+  /// Records one strand dispatch delivers before yielding its worker. The
+  /// whole batch is taken from the channel in one bulk pop, so raising
+  /// this amortizes the pool handoff; per-queue delivery order is
+  /// unaffected (the strand still serializes drains).
+  size_t batch = 64;
+  /// Channel implementation. The pipeline's per-queue scheduler lock
+  /// serializes producers, so the lock-free single-producer ring is safe
+  /// and is the default hot path; `Mutex` restores the PR-4 transport.
+  ChannelKind channel = ChannelKind::Spsc;
+  /// Codec used by this queue's wire tap (see set_wire_sink). `Binary`
+  /// requires a schema registered via register_schema.
+  WireFormat format = WireFormat::SelfDescribing;
 };
 
 /// The Fig. 5 data plane with real threads: a thread-safe DataScheduler
@@ -75,8 +88,27 @@ class StreamPipeline {
   /// subscribers miss earlier deliveries.
   void subscribe(DataScheduler::Consumer consumer);
 
+  /// Declare the record schema flowing through `queue`. Required before a
+  /// wire sink can be attached (the codecs marshal against it); consumers
+  /// that only take Records never need it.
+  void register_schema(const std::string& queue, StreamSchema schema);
+  /// The schema registered for `queue`, if any.
+  std::shared_ptr<const StreamSchema> schema_of(const std::string& queue) const;
+
+  /// A wire tap: after each drain batch the records are marshalled with
+  /// the queue's configured WireFormat into one self-contained chunk
+  /// (header + frames, independently decodable) and handed to the sink on
+  /// the strand — the "forwarding component" half of Fig. 5, feeding a
+  /// downstream transport. Throws StateError if no schema is registered.
+  using WireSink = std::function<void(const std::string& queue,
+                                      std::vector<uint8_t> chunk)>;
+  void set_wire_sink(const std::string& queue, WireSink sink);
+
   /// Control plane passthrough (all thread-safe; see DataScheduler).
   void publish(const Record& record) { scheduler_.publish(record); }
+  void publish_batch(const std::vector<Record>& records) {
+    scheduler_.publish_batch(records);
+  }
   void control(const std::string& queue, const Json& argument) {
     scheduler_.control(queue, argument);
   }
@@ -103,6 +135,9 @@ class StreamPipeline {
     uint64_t dropped = 0;    ///< evicted by the overflow policy (+ rejected at shutdown)
     size_t depth = 0;        ///< records currently queued in the channel
     Overflow overflow = Overflow::Block;
+    ChannelKind channel = ChannelKind::Spsc;
+    WireFormat format = WireFormat::SelfDescribing;
+    size_t batch = 0;
   };
   QueueReport report(const std::string& queue) const;
 
@@ -117,15 +152,25 @@ class StreamPipeline {
     std::string name;
     std::unique_ptr<Channel> channel;
     Overflow overflow = Overflow::Block;
+    size_t batch = 64;                     ///< records per strand dispatch
+    WireFormat format = WireFormat::SelfDescribing;
     std::atomic<uint64_t> released{0};
     std::atomic<uint64_t> delivered{0};
     std::atomic<uint64_t> rejected{0};     ///< offers refused (closed channel)
     std::atomic<bool> scheduled{false};    ///< a drain task is queued/running
+    // Wire-tap state; guarded by the pipeline mutex (read once per drain).
+    std::shared_ptr<const StreamSchema> schema;
+    WireSink wire_sink;
   };
 
   void offer(PipeQueue& queue, Record record);
   void schedule_drain(const std::shared_ptr<PipeQueue>& queue);
   void drain(const std::shared_ptr<PipeQueue>& queue);
+  void deliver(PipeQueue& queue, std::vector<Record>& batch,
+               const std::vector<DataScheduler::Consumer>& consumers,
+               const std::shared_ptr<const StreamSchema>& schema,
+               const WireSink& wire_sink);
+  std::shared_ptr<PipeQueue> find_queue(const std::string& queue) const;
   std::vector<std::shared_ptr<PipeQueue>> snapshot() const;
 
   DataScheduler scheduler_;

@@ -128,6 +128,24 @@ void DataScheduler::publish(const Record& record) {
   }
 }
 
+void DataScheduler::publish_batch(const std::vector<Record>& records) {
+  if (records.empty()) return;
+  for (const auto& [name, entry] : snapshot()) {
+    std::lock_guard lock(entry->mutex);
+    if (!entry->active) continue;
+    for (const Record& record : records) {
+      ++entry->stats.arrivals;
+      deliver_locked(name, *entry, entry->policy->on_item(record));
+    }
+    if (obs::tracing_enabled()) {
+      obs::trace_counter(
+          "stream", "stream.queue.backlog",
+          static_cast<double>(entry->stats.arrivals - entry->stats.releases),
+          {{"queue", name}});
+    }
+  }
+}
+
 void DataScheduler::control(const std::string& queue, const Json& argument) {
   const auto entry = require(queue);
   obs::trace_instant("stream", "stream.control", {{"queue", queue}});

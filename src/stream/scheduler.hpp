@@ -70,6 +70,12 @@ class DataScheduler {
   /// Feed one record from the instrument into all active queues.
   void publish(const Record& record);
 
+  /// Feed a run of records, in order, into all active queues. Equivalent
+  /// to publish() once per record but amortizes the registry snapshot and
+  /// the per-queue lock over the whole batch — the producer half of the
+  /// batched hot path. Per-queue policy order is the batch order.
+  void publish_batch(const std::vector<Record>& records);
+
   /// Control-channel message for one queue (punctuation argument forwarded
   /// to its policy).
   void control(const std::string& queue, const Json& argument);
@@ -128,9 +134,11 @@ class PolicyFactory {
   void handle_install(DataScheduler& scheduler, const Json& message) const;
 
   /// Same message, but the queue lands on the concurrent plane: optional
-  /// "capacity" (bounded channel size) and "overflow" ("block",
-  /// "drop-oldest", "keep-latest") keys ride next to "kind"/"args".
-  /// Defined in stream/pipeline.cpp.
+  /// transport keys ride next to "kind"/"args" — "capacity" (bounded
+  /// channel size), "overflow" ("block", "drop-oldest", "keep-latest"),
+  /// "batch" (records per strand drain, ≥ 1), "channel" ("mutex", "spsc",
+  /// "mpmc"), and "format" ("self-describing", "binary" — the wire-tap
+  /// codec). Defined in stream/pipeline.cpp.
   void handle_install(StreamPipeline& pipeline, const Json& message) const;
 
  private:

@@ -40,8 +40,8 @@ TEST(LintEngine, LintPathsWalksDirectoriesRecursively) {
       {"gwas-paste", gwas::paste_model_schema(), gwas::make_paste_generator()});
   LintReport report = engine.lint_paths({fixture_path("")});
   // The fixture directory's full golden sweep: all nine files.
-  EXPECT_EQ(report.count(Severity::Error), 13u) << report.render_text();
-  EXPECT_EQ(report.count(Severity::Warning), 8u) << report.render_text();
+  EXPECT_EQ(report.count(Severity::Error), 16u) << report.render_text();
+  EXPECT_EQ(report.count(Severity::Warning), 9u) << report.render_text();
   EXPECT_EQ(report.count(Severity::Note), 1u) << report.render_text();
 }
 

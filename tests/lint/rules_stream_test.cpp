@@ -15,6 +15,10 @@ TEST(StreamRules, BadPlaneFiresEveryFF30xRule) {
                               {"FF303", 17, 6, Severity::Error},
                               {"FF306", 18, 44, Severity::Error},
                               {"FF304", 20, 22, Severity::Warning},
+                              {"FF306", 21, 44, Severity::Error},   // batch 0
+                              {"FF306", 21, 56, Severity::Error},   // bad channel
+                              {"FF306", 22, 44, Severity::Error},   // bad format
+                              {"FF307", 23, 44, Severity::Warning}, // binary, no schema
                           });
   EXPECT_NE(report.diagnostics()[0].message.find("cycle through {a, b}"),
             std::string::npos)

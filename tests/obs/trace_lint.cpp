@@ -171,6 +171,12 @@ int main(int argc, char** argv) {
       // The tour's pipeline queue uses Overflow::Block, which never evicts;
       // lossy-overflow eviction is covered by tests/stream/pipeline_test.
       "stream.pipeline.drop",
+      // Emitted only when a blocked channel op exhausts its spin budget and
+      // actually sleeps — whether the tour's producer ever parks depends on
+      // scheduling, so the event is inherently timing-dependent here.
+      // Deterministic coverage: tests/stream/channel_test
+      // (WaiterCountsReflectBlockedThreads and the blocking-wakeup tests).
+      "stream.channel.park",
   };
   for (const std::string& name : documented_event_names(
            ff::read_file(schema_path))) {

@@ -1,12 +1,15 @@
-// Concurrency battery for the bounded MPMC Channel. These tests are built
-// twice: into test_stream (plain) and into test_stream_tsan with
-// -fsanitize=thread (ctest -L tsan), where the randomized producer/consumer
-// mixes give the race detector real interleavings to chew on.
+// Concurrency battery for the bounded Channel implementations (mutex
+// deque, SPSC ring, MPMC ring). These tests are built twice: into
+// test_stream (plain) and into test_stream_tsan with -fsanitize=thread
+// (ctest -L tsan), where the randomized producer/consumer mixes give the
+// race detector real interleavings to chew on.
 //
 // Synchronization discipline for the tests themselves: assertions about
 // counters run only at quiescence (all threads joined), and "wait until a
 // peer is blocked" uses the channel's waiter introspection instead of
-// sleeps.
+// sleeps. Multi-producer mixes run over {Mutex, Mpmc}; the SPSC ring joins
+// wherever a single producer feeds the channel (its contract — consumers
+// are always plural-safe, since lossy eviction pops from producer context).
 
 #include "stream/channel.hpp"
 
@@ -47,14 +50,15 @@ struct StressConfig {
   size_t producers;
   size_t consumers;
   size_t per_producer;
-  size_t capacity;
+  size_t capacity;  // power of two so ring capacities bound exactly
 };
 
 /// N producers × M consumers over one bounded channel, each thread mixing
 /// blocking and non-blocking calls at random. Checks that every record is
 /// received exactly once and the lifetime counters balance.
-void run_mpmc_stress(const StressConfig& config, uint64_t seed) {
-  Channel channel(config.capacity);
+void run_mpmc_stress(ChannelKind kind, const StressConfig& config,
+                     uint64_t seed) {
+  auto channel = make_channel(kind, config.capacity);
   std::mutex collect_mutex;
   std::vector<uint64_t> collected;
 
@@ -66,9 +70,9 @@ void run_mpmc_stress(const StressConfig& config, uint64_t seed) {
       for (size_t i = 0; i < config.per_producer; ++i) {
         const uint64_t sequence = p * 1'000'000 + i;
         if (local.chance(0.5)) {
-          ASSERT_TRUE(channel.send(record_at(sequence)));
+          ASSERT_TRUE(channel->send(record_at(sequence)));
         } else {
-          while (!channel.try_send(record_at(sequence))) {
+          while (!channel->try_send(record_at(sequence))) {
             std::this_thread::yield();
           }
         }
@@ -86,15 +90,15 @@ void run_mpmc_stress(const StressConfig& config, uint64_t seed) {
         std::optional<Record> record;
         const double roll = local.uniform();
         if (roll < 0.4) {
-          record = channel.receive();
+          record = channel->receive();
           if (!record) break;  // closed and drained
         } else if (roll < 0.7) {
-          record = channel.receive_for(200us);
-          if (!record && channel.closed() && channel.size() == 0) break;
+          record = channel->receive_for(200us);
+          if (!record && channel->closed() && channel->size() == 0) break;
         } else {
-          record = channel.try_receive();
+          record = channel->try_receive();
           if (!record) {
-            if (channel.closed() && channel.size() == 0) break;
+            if (channel->closed() && channel->size() == 0) break;
             std::this_thread::yield();
           }
         }
@@ -106,15 +110,15 @@ void run_mpmc_stress(const StressConfig& config, uint64_t seed) {
   }
 
   for (auto& thread : producers) thread.join();
-  channel.close();  // consumers drain the tail, then exit
+  channel->close();  // consumers drain the tail, then exit
   for (auto& thread : consumers) thread.join();
 
   const size_t expected = config.producers * config.per_producer;
-  EXPECT_EQ(channel.sent(), expected);
-  EXPECT_EQ(channel.size(), 0u);
+  EXPECT_EQ(channel->sent(), expected);
+  EXPECT_EQ(channel->size(), 0u);
   // Quiescence invariant: nothing dropped on the blocking/try paths.
-  EXPECT_EQ(channel.sent(), channel.received() + channel.size());
-  EXPECT_EQ(channel.dropped(), 0u);
+  EXPECT_EQ(channel->sent(), channel->received() + channel->size());
+  EXPECT_EQ(channel->dropped(), 0u);
 
   ASSERT_EQ(collected.size(), expected);
   std::sort(collected.begin(), collected.end());
@@ -131,38 +135,68 @@ void run_mpmc_stress(const StressConfig& config, uint64_t seed) {
   }
 }
 
-TEST(ChannelStress, SingleProducerSingleConsumer) {
-  run_mpmc_stress({1, 1, 2000, 8}, 42);
+std::string kind_name(const ::testing::TestParamInfo<ChannelKind>& info) {
+  return channel_kind_name(info.param);
 }
 
-TEST(ChannelStress, TwoByTwo) { run_mpmc_stress({2, 2, 1500, 4}, 7); }
+/// Multi-producer mixes: every kind whose contract allows > 1 producer.
+class MultiProducerStress : public ::testing::TestWithParam<ChannelKind> {};
+INSTANTIATE_TEST_SUITE_P(Kinds, MultiProducerStress,
+                         ::testing::Values(ChannelKind::Mutex,
+                                           ChannelKind::Mpmc),
+                         kind_name);
 
-TEST(ChannelStress, ManyProducersFewConsumers) {
-  run_mpmc_stress({4, 2, 800, 16}, 1234);
+/// Single-producer mixes: all three kinds, including the SPSC ring (with
+/// several consumers — its consumer side is multi-safe by design).
+class SingleProducerStress : public ::testing::TestWithParam<ChannelKind> {};
+INSTANTIATE_TEST_SUITE_P(Kinds, SingleProducerStress,
+                         ::testing::Values(ChannelKind::Mutex,
+                                           ChannelKind::Spsc,
+                                           ChannelKind::Mpmc),
+                         kind_name);
+
+TEST_P(SingleProducerStress, OneToOne) {
+  run_mpmc_stress(GetParam(), {1, 1, 2000, 8}, 42);
 }
 
-TEST(ChannelStress, FewProducersManyConsumers) {
-  run_mpmc_stress({2, 5, 1000, 2}, 99);
+TEST_P(SingleProducerStress, OneToThreeTinyCapacity) {
+  run_mpmc_stress(GetParam(), {1, 3, 1500, 1}, 314);
 }
 
-TEST(ChannelStress, TinyCapacityMaximizesContention) {
-  run_mpmc_stress({3, 3, 700, 1}, 2026);
+TEST_P(MultiProducerStress, TwoByTwo) {
+  run_mpmc_stress(GetParam(), {2, 2, 1500, 4}, 7);
+}
+
+TEST_P(MultiProducerStress, ManyProducersFewConsumers) {
+  run_mpmc_stress(GetParam(), {4, 2, 800, 16}, 1234);
+}
+
+TEST_P(MultiProducerStress, FewProducersManyConsumers) {
+  run_mpmc_stress(GetParam(), {2, 5, 1000, 2}, 99);
+}
+
+TEST_P(MultiProducerStress, TinyCapacityMaximizesContention) {
+  run_mpmc_stress(GetParam(), {3, 3, 700, 1}, 2026);
 }
 
 /// Producers hammer a lossy channel while one slow consumer drains it; at
 /// quiescence the counter identity sent == received + dropped + size must
-/// hold exactly, whatever interleaving happened.
-void run_lossy_stress(Overflow policy, uint64_t seed) {
-  Channel channel(4);
+/// hold exactly, whatever interleaving happened. SPSC runs the same load
+/// from a single producer.
+void run_lossy_stress(ChannelKind kind, Overflow policy, uint64_t seed) {
+  auto channel = make_channel(kind, 4);
   std::atomic<uint64_t> evicted{0};
+  const size_t producers_n = kind == ChannelKind::Spsc ? 1 : 3;
+  const size_t per_producer = 3000 / producers_n;
 
   std::vector<std::thread> producers;
-  for (size_t p = 0; p < 3; ++p) {
+  for (size_t p = 0; p < producers_n; ++p) {
     producers.emplace_back([&, p] {
       Rng rng(seed);
       Rng local = rng.fork(p);
-      for (size_t i = 0; i < 1000; ++i) {
-        const auto result = channel.offer(record_at(p * 1'000'000 + i), policy);
+      for (size_t i = 0; i < per_producer; ++i) {
+        const auto result =
+            channel->offer(record_at(p * 1'000'000 + i), policy);
         ASSERT_TRUE(result.accepted);  // lossy offers never fail while open
         evicted.fetch_add(result.evicted, std::memory_order_relaxed);
         if (local.chance(0.1)) std::this_thread::yield();
@@ -171,106 +205,127 @@ void run_lossy_stress(Overflow policy, uint64_t seed) {
   }
   std::thread consumer([&] {
     uint64_t drained = 0;
-    while (auto record = channel.receive()) {
+    while (auto record = channel->receive()) {
       ++drained;
       if (drained % 64 == 0) std::this_thread::sleep_for(50us);
     }
   });
 
   for (auto& thread : producers) thread.join();
-  channel.close();
+  channel->close();
   consumer.join();
 
-  EXPECT_EQ(channel.sent(), 3000u);
-  EXPECT_EQ(channel.sent(),
-            channel.received() + channel.dropped() + channel.size());
-  EXPECT_EQ(channel.dropped(), evicted.load());
+  EXPECT_EQ(channel->sent(), producers_n * per_producer);
+  EXPECT_EQ(channel->sent(),
+            channel->received() + channel->dropped() + channel->size());
+  EXPECT_EQ(channel->dropped(), evicted.load());
 }
 
-TEST(ChannelStress, DropOldestAccountingBalances) {
-  run_lossy_stress(Overflow::DropOldest, 11);
+class LossyStress : public ::testing::TestWithParam<ChannelKind> {};
+INSTANTIATE_TEST_SUITE_P(Kinds, LossyStress,
+                         ::testing::Values(ChannelKind::Mutex,
+                                           ChannelKind::Spsc,
+                                           ChannelKind::Mpmc),
+                         kind_name);
+
+TEST_P(LossyStress, DropOldestAccountingBalances) {
+  run_lossy_stress(GetParam(), Overflow::DropOldest, 11);
 }
 
-TEST(ChannelStress, KeepLatestAccountingBalances) {
-  run_lossy_stress(Overflow::KeepLatest, 12);
+TEST_P(LossyStress, KeepLatestAccountingBalances) {
+  run_lossy_stress(GetParam(), Overflow::KeepLatest, 12);
 }
 
 // --- close-while-blocked regressions -------------------------------------
 // The waiter introspection lets these tests wait until the peer thread is
-// provably parked inside the channel before pulling the rug.
+// provably parked inside the channel before pulling the rug. All three
+// kinds must pass: closing races the ring's park/wake protocol directly.
 
-TEST(ChannelStress, CloseWakesBlockedSender) {
-  Channel channel(1);
-  ASSERT_TRUE(channel.send(record_at(0)));  // now full
+class CloseStress : public ::testing::TestWithParam<ChannelKind> {
+ protected:
+  std::unique_ptr<Channel> make(size_t capacity) {
+    return make_channel(GetParam(), capacity);
+  }
+};
+INSTANTIATE_TEST_SUITE_P(Kinds, CloseStress,
+                         ::testing::Values(ChannelKind::Mutex,
+                                           ChannelKind::Spsc,
+                                           ChannelKind::Mpmc),
+                         kind_name);
+
+TEST_P(CloseStress, CloseWakesBlockedSender) {
+  auto channel = make(1);
+  ASSERT_TRUE(channel->send(record_at(0)));  // now full
   std::atomic<bool> send_result{true};
-  std::thread sender([&] { send_result = channel.send(record_at(1)); });
-  ASSERT_TRUE(eventually([&] { return channel.send_waiters() == 1; }));
-  channel.close();
+  std::thread sender([&] { send_result = channel->send(record_at(1)); });
+  ASSERT_TRUE(eventually([&] { return channel->send_waiters() == 1; }));
+  channel->close();
   sender.join();
   EXPECT_FALSE(send_result.load()) << "send must fail, not enqueue, on close";
-  EXPECT_EQ(channel.sent(), 1u);
+  EXPECT_EQ(channel->sent(), 1u);
 }
 
-TEST(ChannelStress, CloseWakesBlockedOfferUnderBlockPolicy) {
-  Channel channel(1);
-  ASSERT_TRUE(channel.send(record_at(0)));
+TEST_P(CloseStress, CloseWakesBlockedOfferUnderBlockPolicy) {
+  auto channel = make(1);
+  ASSERT_TRUE(channel->send(record_at(0)));
   std::atomic<bool> accepted{true};
   std::thread sender([&] {
-    accepted = channel.offer(record_at(1), Overflow::Block).accepted;
+    accepted = channel->offer(record_at(1), Overflow::Block).accepted;
   });
-  ASSERT_TRUE(eventually([&] { return channel.send_waiters() == 1; }));
-  channel.close();
+  ASSERT_TRUE(eventually([&] { return channel->send_waiters() == 1; }));
+  channel->close();
   sender.join();
   EXPECT_FALSE(accepted.load());
 }
 
-TEST(ChannelStress, CloseWakesBlockedReceiver) {
-  Channel channel(2);
+TEST_P(CloseStress, CloseWakesBlockedReceiver) {
+  auto channel = make(2);
   std::atomic<bool> got_value{true};
-  std::thread receiver([&] { got_value = channel.receive().has_value(); });
-  ASSERT_TRUE(eventually([&] { return channel.receive_waiters() == 1; }));
-  channel.close();
+  std::thread receiver([&] { got_value = channel->receive().has_value(); });
+  ASSERT_TRUE(eventually([&] { return channel->receive_waiters() == 1; }));
+  channel->close();
   receiver.join();
   EXPECT_FALSE(got_value.load());
 }
 
-TEST(ChannelStress, CloseWakesBlockedTimedReceiver) {
-  Channel channel(2);
+TEST_P(CloseStress, CloseWakesBlockedTimedReceiver) {
+  auto channel = make(2);
   std::atomic<bool> got_value{true};
   std::thread receiver([&] {
-    got_value = channel.receive_for(10s).has_value();  // close cuts this short
+    got_value = channel->receive_for(10s).has_value();  // close cuts this short
   });
-  ASSERT_TRUE(eventually([&] { return channel.receive_waiters() == 1; }));
+  ASSERT_TRUE(eventually([&] { return channel->receive_waiters() == 1; }));
   const auto start = std::chrono::steady_clock::now();
-  channel.close();
+  channel->close();
   receiver.join();
   EXPECT_FALSE(got_value.load());
   EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
 }
 
-TEST(ChannelStress, CloseWakesManyBlockedReceiversAtOnce) {
-  Channel channel(2);
+TEST_P(CloseStress, CloseWakesManyBlockedReceiversAtOnce) {
+  auto channel = make(2);
   std::vector<std::thread> receivers;
   std::atomic<int> woke{0};
   for (int i = 0; i < 4; ++i) {
     receivers.emplace_back([&] {
-      if (!channel.receive().has_value()) woke.fetch_add(1);
+      if (!channel->receive().has_value()) woke.fetch_add(1);
     });
   }
-  ASSERT_TRUE(eventually([&] { return channel.receive_waiters() == 4; }));
-  channel.close();
+  ASSERT_TRUE(eventually([&] { return channel->receive_waiters() == 4; }));
+  channel->close();
   for (auto& thread : receivers) thread.join();
   EXPECT_EQ(woke.load(), 4);
 }
 
-TEST(ChannelStress, CloseAndDrainRacingProducers) {
-  Channel channel(8);
+TEST_P(CloseStress, CloseAndDrainRacingProducers) {
+  auto channel = make(8);
+  const size_t producers_n = GetParam() == ChannelKind::Spsc ? 1 : 3;
   std::vector<std::thread> producers;
   std::atomic<uint64_t> accepted{0};
-  for (size_t p = 0; p < 3; ++p) {
+  for (size_t p = 0; p < producers_n; ++p) {
     producers.emplace_back([&, p] {
       for (size_t i = 0; i < 500; ++i) {
-        if (channel.send(record_at(p * 1'000'000 + i))) {
+        if (channel->send(record_at(p * 1'000'000 + i))) {
           accepted.fetch_add(1, std::memory_order_relaxed);
         } else {
           break;  // closed mid-stream: everything after is rejected too
@@ -279,15 +334,58 @@ TEST(ChannelStress, CloseAndDrainRacingProducers) {
     });
   }
   std::this_thread::sleep_for(1ms);
-  const std::vector<Record> drained = channel.close_and_drain();
+  const std::vector<Record> drained = channel->close_and_drain();
   for (auto& thread : producers) thread.join();
 
   // close_and_drain counts the taken records as received; nothing lingers.
-  EXPECT_EQ(channel.size(), 0u);
-  EXPECT_EQ(channel.sent(), accepted.load());
-  EXPECT_EQ(channel.sent(), channel.received() + channel.dropped());
+  EXPECT_EQ(channel->size(), 0u);
+  EXPECT_EQ(channel->sent(), accepted.load());
+  EXPECT_EQ(channel->sent(), channel->received() + channel->dropped());
   EXPECT_LE(drained.size(), accepted.load());
-  EXPECT_FALSE(channel.receive().has_value());
+  EXPECT_FALSE(channel->receive().has_value());
+}
+
+/// Batched consumer: one producer streams while a consumer drains in bulk
+/// with drain_into — the exact shape of a pipeline strand drain. Nothing
+/// may be lost, duplicated, or reordered, at any batch size.
+class DrainStress
+    : public ::testing::TestWithParam<std::tuple<ChannelKind, size_t>> {};
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBatches, DrainStress,
+    ::testing::Combine(::testing::Values(ChannelKind::Mutex,
+                                         ChannelKind::Spsc,
+                                         ChannelKind::Mpmc),
+                       ::testing::Values(size_t{1}, size_t{8}, size_t{64})),
+    [](const ::testing::TestParamInfo<std::tuple<ChannelKind, size_t>>& info) {
+      return std::string(channel_kind_name(std::get<0>(info.param))) +
+             "_batch" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(DrainStress, BulkDrainPreservesOrderAndCounts) {
+  const auto [kind, batch] = GetParam();
+  auto channel = make_channel(kind, 16);
+  constexpr uint64_t kTotal = 4000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kTotal; ++i) channel->send(record_at(i));
+    channel->close();
+  });
+  std::vector<uint64_t> seen;
+  std::vector<Record> scratch;
+  while (true) {
+    scratch.clear();
+    if (channel->drain_into(scratch, batch) == 0) {
+      if (channel->closed() && channel->size() == 0) break;
+      std::this_thread::yield();
+      continue;
+    }
+    for (const Record& record : scratch) seen.push_back(record.sequence);
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), kTotal);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(seen[i], i) << "order broken at index " << i;
+  }
+  EXPECT_EQ(channel->sent(), channel->received());
 }
 
 }  // namespace

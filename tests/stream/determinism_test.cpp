@@ -20,13 +20,21 @@
 namespace ff::stream {
 namespace {
 
+/// Transport knobs under sweep: which channel implementation carries the
+/// queues and how many records one strand dispatch drains. Neither may
+/// influence what consumers observe — only how fast they observe it.
+struct Transport {
+  ChannelKind channel = ChannelKind::Spsc;
+  size_t batch = 64;
+};
+
 /// One full plane run: four queues with seed-derived policy parameters, a
 /// single publisher emitting a seed-derived record stream with periodic
 /// punctuation and one mid-stream direct-selection steering message.
 /// Returns each queue's delivered (sequence, timestamp-bits) pairs in
 /// delivery order.
 std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>> run_plane(
-    uint64_t seed, size_t workers) {
+    uint64_t seed, size_t workers, Transport transport = {}) {
   StreamPipeline pipeline(workers);
   std::mutex mutex;
   std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>> observed;
@@ -40,16 +48,24 @@ std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>> run_plane(
 
   Rng rng(seed);
   pipeline.install_queue("all", std::make_unique<ForwardAllPolicy>(),
-                         {.capacity = 32});
+                         {.capacity = 32,
+                          .batch = transport.batch,
+                          .channel = transport.channel});
   pipeline.install_queue(
-      "window",
-      std::make_unique<SlidingWindowCountPolicy>(1 + seed % 8),
-      {.capacity = 64, .overflow = Overflow::Block});
+      "window", std::make_unique<SlidingWindowCountPolicy>(1 + seed % 8),
+      {.capacity = 64,
+       .overflow = Overflow::Block,
+       .batch = transport.batch,
+       .channel = transport.channel});
   pipeline.install_queue("sample",
                          std::make_unique<SampleEveryNPolicy>(1 + seed % 5),
-                         {.capacity = 16});
+                         {.capacity = 16,
+                          .batch = transport.batch,
+                          .channel = transport.channel});
   pipeline.install_queue("direct", std::make_unique<DirectSelectionPolicy>(),
-                         {.capacity = 512});
+                         {.capacity = 512,
+                          .batch = transport.batch,
+                          .channel = transport.channel});
 
   const uint64_t punctuate_every = 5 + seed % 7;
   constexpr uint64_t kRecords = 300;
@@ -89,6 +105,35 @@ TEST(StreamDeterminism, ReleaseOrderIdenticalAcrossWorkerCounts) {
         EXPECT_EQ(observed.at(queue), expected)
             << "per-queue release order diverged: seed=" << seed
             << " workers=" << workers << " queue=" << queue;
+      }
+    }
+  }
+}
+
+TEST(StreamDeterminism, TransportConfigDoesNotChangeDeliveries) {
+  // Channel implementation and drain batch size are pure performance
+  // knobs: for a fixed seed, every (kind, batch, workers) combination must
+  // deliver exactly what the default transport delivers. (All queues here
+  // use Overflow::Block, so no transport-dependent eviction exists to
+  // excuse a divergence.)
+  for (uint64_t seed : {0u, 7u, 19u}) {
+    const auto reference = run_plane(seed, 1);
+    for (ChannelKind kind :
+         {ChannelKind::Mutex, ChannelKind::Spsc, ChannelKind::Mpmc}) {
+      for (size_t batch : {size_t{1}, size_t{8}, size_t{64}}) {
+        for (size_t workers : {1u, 4u}) {
+          const auto observed =
+              run_plane(seed, workers, {.channel = kind, .batch = batch});
+          ASSERT_EQ(observed.size(), reference.size())
+              << "seed=" << seed << " kind=" << channel_kind_name(kind)
+              << " batch=" << batch << " workers=" << workers;
+          for (const auto& [queue, expected] : reference) {
+            EXPECT_EQ(observed.at(queue), expected)
+                << "deliveries diverged: seed=" << seed
+                << " kind=" << channel_kind_name(kind) << " batch=" << batch
+                << " workers=" << workers << " queue=" << queue;
+          }
+        }
       }
     }
   }

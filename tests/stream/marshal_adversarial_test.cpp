@@ -285,5 +285,226 @@ TEST(MarshalAdversarial, GiantBlobRoundTrips) {
   expect_bit_identical(decoded.records[0], record);
 }
 
+// --- binary frame codec (FFW) ---------------------------------------------
+// Same adversarial diet for the length-prefixed binary wire format: the
+// decoder trusts nothing — magic, version, schema key, frame lengths, and
+// every inner length prefix are checked against the remaining bytes before
+// any allocation happens.
+
+size_t frame_header_size(const StreamSchema& schema) {
+  return FrameEncoder(schema).bytes().size();
+}
+
+TEST(MarshalAdversarial, FrameRoundTripsBitExactAcrossSeeds) {
+  for (uint64_t seed : {1u, 7u, 42u, 1234u, 31337u}) {
+    const std::vector<Record> records = adversarial_records(seed, 24);
+    FrameEncoder encoder(adversarial_schema());
+    for (const Record& record : records) encoder.append(record);
+    EXPECT_EQ(encoder.records_encoded(), records.size());
+    const DecodedStream decoded =
+        decode_frame_stream(encoder.bytes(), adversarial_schema());
+    ASSERT_EQ(decoded.records.size(), records.size()) << "seed=" << seed;
+    for (size_t i = 0; i < records.size(); ++i) {
+      expect_bit_identical(decoded.records[i], records[i]);
+    }
+  }
+}
+
+TEST(MarshalAdversarial, FrameAndSelfDescribingDecodeIdentically) {
+  // Cross-format parity: the two codecs must agree bit-for-bit on what the
+  // records were, NaN payloads and all — the wire format is a transport
+  // choice, never a semantic one.
+  const std::vector<Record> records = adversarial_records(555, 16);
+  Encoder json_like(adversarial_schema());
+  FrameEncoder binary(adversarial_schema());
+  for (const Record& record : records) {
+    json_like.append(record);
+    binary.append(record);
+  }
+  const DecodedStream a = decode_stream(json_like.bytes());
+  const DecodedStream b =
+      decode_frame_stream(binary.bytes(), adversarial_schema());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    expect_bit_identical(b.records[i], a.records[i]);
+  }
+  // And the binary stream is the leaner wire: no per-value tags.
+  EXPECT_LT(binary.bytes().size(), json_like.bytes().size());
+}
+
+TEST(MarshalAdversarial, FrameNanInfPayloadBitsSurvive) {
+  StreamSchema schema;
+  schema.name = "bits";
+  schema.fields = {{"v", "double"}};
+  // A NaN with a deliberate payload pattern — operator== can't see it,
+  // the bits must anyway.
+  uint64_t nan_bits = 0x7ff8dead'beef0001ull;
+  double weird_nan;
+  std::memcpy(&weird_nan, &nan_bits, sizeof(weird_nan));
+  for (double value : {weird_nan, -std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity(), -0.0}) {
+    Record record;
+    record.timestamp = value;
+    record.values = {Value{value}};
+    FrameEncoder encoder(schema);
+    encoder.append(record);
+    const DecodedStream decoded = decode_frame_stream(encoder.bytes(), schema);
+    ASSERT_EQ(decoded.records.size(), 1u);
+    EXPECT_TRUE(same_bits(decoded.records[0].timestamp, value));
+    EXPECT_TRUE(same_bits(std::get<double>(decoded.records[0].values[0]), value));
+  }
+}
+
+TEST(MarshalAdversarial, FrameTruncationFailsCleanlyOrYieldsExactPrefix) {
+  const std::vector<Record> records = adversarial_records(99, 8);
+  FrameEncoder encoder(adversarial_schema());
+  for (const Record& record : records) encoder.append(record);
+  const std::vector<uint8_t>& bytes = encoder.bytes();
+  const size_t header = frame_header_size(adversarial_schema());
+
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t cut = header + 1 + rng.below(bytes.size() - header - 1);
+    const std::vector<uint8_t> truncated(bytes.begin(),
+                                         bytes.begin() + static_cast<long>(cut));
+    try {
+      const DecodedStream decoded =
+          decode_frame_stream(truncated, adversarial_schema());
+      // Cut on a frame boundary: a clean, bit-identical prefix.
+      ASSERT_LE(decoded.records.size(), records.size());
+      for (size_t i = 0; i < decoded.records.size(); ++i) {
+        expect_bit_identical(decoded.records[i], records[i]);
+      }
+    } catch (const ParseError&) {
+      // the only acceptable failure mode
+    }
+  }
+}
+
+TEST(MarshalAdversarial, FramePoisonedLengthPrefixRejected) {
+  StreamSchema schema;
+  schema.name = "poison";
+  schema.fields = {{"v", "double"}};
+  Record record;
+  record.values = {Value{1.0}};
+  FrameEncoder encoder(schema);
+  encoder.append(record);
+  std::vector<uint8_t> bytes = encoder.bytes();
+  const size_t header = frame_header_size(schema);
+  // The first frame's u32 length prefix, poisoned to ~4 GiB.
+  for (size_t i = 0; i < 4; ++i) bytes[header + i] = 0xff;
+  EXPECT_THROW(decode_frame_stream(bytes, schema), ParseError);
+}
+
+TEST(MarshalAdversarial, FramePoisonedArrayLengthRejectedWithoutAllocating) {
+  StreamSchema schema;
+  schema.name = "poison";
+  schema.fields = {{"a", "double[]"}};
+  Record record;
+  record.values = {Value{std::vector<double>{1.0, 2.0, 3.0}}};
+  FrameEncoder encoder(schema);
+  encoder.append(record);
+  std::vector<uint8_t> bytes = encoder.bytes();
+  // Frame layout: u32 length, u64 seq, f64 ts, then the u32 element count.
+  const size_t length_offset = frame_header_size(schema) + 4 + 8 + 8;
+  ASSERT_LE(length_offset + 4, bytes.size());
+  for (size_t i = 0; i < 4; ++i) bytes[length_offset + i] = 0xff;
+  EXPECT_THROW(decode_frame_stream(bytes, schema), ParseError);
+}
+
+TEST(MarshalAdversarial, FrameBadMagicAndVersionRejected) {
+  StreamSchema schema;
+  schema.name = "hdr";
+  schema.fields = {{"v", "double"}};
+  Record record;
+  record.values = {Value{2.5}};
+  FrameEncoder encoder(schema);
+  encoder.append(record);
+  std::vector<uint8_t> bad_magic = encoder.bytes();
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode_frame_stream(bad_magic, schema), ParseError);
+  std::vector<uint8_t> bad_version = encoder.bytes();
+  bad_version[3] = 0x7f;
+  EXPECT_THROW(decode_frame_stream(bad_version, schema), ParseError);
+  EXPECT_THROW(decode_frame_stream({'F', 'F'}, schema), ParseError);
+  EXPECT_THROW(decode_frame_stream({}, schema), ParseError);
+}
+
+TEST(MarshalAdversarial, FrameSchemaKeyMismatchRejected) {
+  // Binary frames carry no field names or types: decoding against any
+  // schema other than the encoder's exact name:version must refuse rather
+  // than misinterpret the payload bytes.
+  FrameEncoder encoder(adversarial_schema());
+  encoder.append(adversarial_records(3, 1)[0]);
+  StreamSchema renamed = adversarial_schema();
+  renamed.name = "imposter";
+  EXPECT_THROW(decode_frame_stream(encoder.bytes(), renamed), ParseError);
+  StreamSchema bumped = adversarial_schema();
+  bumped.version = 2;
+  EXPECT_THROW(decode_frame_stream(encoder.bytes(), bumped), ParseError);
+}
+
+TEST(MarshalAdversarial, FrameTrailingBytesInsideFrameRejected) {
+  StreamSchema schema;
+  schema.name = "trail";
+  schema.fields = {{"v", "double"}};
+  Record record;
+  record.values = {Value{1.0}};
+  FrameEncoder encoder(schema);
+  encoder.append(record);
+  std::vector<uint8_t> bytes = encoder.bytes();
+  const size_t header = frame_header_size(schema);
+  // Grow the frame by one byte the fields don't account for: bump the
+  // length prefix and append filler. The decoder must flag the slack.
+  const uint32_t length = static_cast<uint32_t>(bytes.size() - header - 4) + 1;
+  for (size_t i = 0; i < 4; ++i) {
+    bytes[header + i] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_frame_stream(bytes, schema), ParseError);
+}
+
+TEST(MarshalAdversarial, FrameEncoderRejectsSchemaViolations) {
+  StreamSchema schema;
+  schema.name = "strict";
+  schema.fields = {{"v", "double"}, {"n", "int"}};
+  FrameEncoder encoder(schema);
+  Record wrong_count;
+  wrong_count.values = {Value{1.0}};
+  EXPECT_THROW(encoder.append(wrong_count), ValidationError);
+  Record wrong_type;
+  wrong_type.values = {Value{1.0}, Value{std::string("not an int")}};
+  EXPECT_THROW(encoder.append(wrong_type), ValidationError);
+  EXPECT_EQ(encoder.records_encoded(), 0u);
+}
+
+TEST(MarshalAdversarial, DecodeIntoReusedBufferMatchesOneShot) {
+  // The steady-state wire-sink path: chunk after chunk into one reused
+  // DecodedStream. Every round must equal the one-shot decode exactly —
+  // including a shrinking round, where stale records from the previous
+  // (larger) chunk must not leak through.
+  const std::vector<Record> big = adversarial_records(99, 24);
+  const std::vector<Record> small = adversarial_records(7, 5);
+  FrameEncoder big_chunk(adversarial_schema());
+  for (const Record& record : big) big_chunk.append(record);
+  FrameEncoder small_chunk(adversarial_schema());
+  for (const Record& record : small) small_chunk.append(record);
+
+  DecodedStream reused;
+  for (int round = 0; round < 3; ++round) {
+    decode_frame_stream_into(big_chunk.bytes(), adversarial_schema(), reused);
+    ASSERT_EQ(reused.records.size(), big.size()) << "round=" << round;
+    for (size_t i = 0; i < big.size(); ++i) {
+      expect_bit_identical(reused.records[i], big[i]);
+    }
+    decode_frame_stream_into(small_chunk.bytes(), adversarial_schema(),
+                             reused);
+    ASSERT_EQ(reused.records.size(), small.size()) << "round=" << round;
+    for (size_t i = 0; i < small.size(); ++i) {
+      expect_bit_identical(reused.records[i], small[i]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ff::stream

@@ -347,6 +347,182 @@ TEST(StreamPipeline, HandleInstallRejectsUnknownOverflow) {
   EXPECT_THROW(factory.handle_install(pipeline, message), ValidationError);
 }
 
+TEST(StreamPipeline, HandleInstallParsesBatchChannelAndFormat) {
+  StreamPipeline pipeline(1);
+  const auto factory = PolicyFactory::with_builtins();
+  factory.handle_install(pipeline, Json::parse(R"({"install": {
+    "queue": "fast", "kind": "forward-all",
+    "batch": 16, "channel": "mpmc", "format": "binary"}})"));
+  const auto report = pipeline.report("fast");
+  EXPECT_EQ(report.batch, 16u);
+  EXPECT_EQ(report.channel, ChannelKind::Mpmc);
+  EXPECT_EQ(report.format, WireFormat::Binary);
+
+  // Defaults when the keys are absent: spsc ring, batch 64, self-describing.
+  factory.handle_install(pipeline, Json::parse(R"({"install": {
+    "queue": "plain", "kind": "forward-all"}})"));
+  const auto defaults = pipeline.report("plain");
+  EXPECT_EQ(defaults.batch, 64u);
+  EXPECT_EQ(defaults.channel, ChannelKind::Spsc);
+  EXPECT_EQ(defaults.format, WireFormat::SelfDescribing);
+}
+
+TEST(StreamPipeline, HandleInstallRejectsBadTransportValues) {
+  StreamPipeline pipeline(1);
+  const auto factory = PolicyFactory::with_builtins();
+  EXPECT_THROW(factory.handle_install(pipeline, Json::parse(R"({"install": {
+    "queue": "a", "kind": "forward-all", "batch": 0}})")),
+               ValidationError);
+  EXPECT_THROW(factory.handle_install(pipeline, Json::parse(R"({"install": {
+    "queue": "b", "kind": "forward-all", "batch": "lots"}})")),
+               ValidationError);
+  EXPECT_THROW(factory.handle_install(pipeline, Json::parse(R"({"install": {
+    "queue": "c", "kind": "forward-all", "channel": "lockfree"}})")),
+               ValidationError);
+  EXPECT_THROW(factory.handle_install(pipeline, Json::parse(R"({"install": {
+    "queue": "d", "kind": "forward-all", "format": "msgpack"}})")),
+               ValidationError);
+  EXPECT_FALSE(pipeline.has_queue("a"));
+  EXPECT_FALSE(pipeline.has_queue("c"));
+}
+
+// --- transport options: batch, channel, wire format -------------------------
+
+TEST(StreamPipeline, TransportOptionsSurfaceInReport) {
+  StreamPipeline pipeline(1);
+  pipeline.install_queue("tuned", std::make_unique<ForwardAllPolicy>(),
+                         {.capacity = 32,
+                          .overflow = Overflow::DropOldest,
+                          .batch = 8,
+                          .channel = ChannelKind::Mpmc,
+                          .format = WireFormat::Binary});
+  const auto report = pipeline.report("tuned");
+  EXPECT_EQ(report.overflow, Overflow::DropOldest);
+  EXPECT_EQ(report.batch, 8u);
+  EXPECT_EQ(report.channel, ChannelKind::Mpmc);
+  EXPECT_EQ(report.format, WireFormat::Binary);
+  EXPECT_THROW(
+      pipeline.install_queue("bad", std::make_unique<ForwardAllPolicy>(),
+                             {.batch = 0}),
+      ValidationError);
+}
+
+TEST(StreamPipeline, EveryTransportComboDeliversEverything) {
+  for (ChannelKind kind :
+       {ChannelKind::Mutex, ChannelKind::Spsc, ChannelKind::Mpmc}) {
+    for (size_t batch : {size_t{1}, size_t{8}, size_t{64}}) {
+      StreamPipeline pipeline(2);
+      Collector collector;
+      pipeline.subscribe(collector.consumer());
+      pipeline.install_queue("q", std::make_unique<ForwardAllPolicy>(),
+                             {.capacity = 16, .batch = batch, .channel = kind});
+      for (uint64_t i = 0; i < 300; ++i) pipeline.publish(record_at(i));
+      pipeline.wait_quiescent();
+      const auto observed = collector.sequence("q");
+      ASSERT_EQ(observed.size(), 300u)
+          << channel_kind_name(kind) << " batch=" << batch;
+      EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+      EXPECT_EQ(pipeline.report("q").delivered, 300u);
+    }
+  }
+}
+
+TEST(StreamPipeline, PublishBatchMatchesPerRecordPublish) {
+  StreamPipeline pipeline(1);
+  Collector collector;
+  pipeline.subscribe(collector.consumer());
+  pipeline.install_queue("q", std::make_unique<SampleEveryNPolicy>(3),
+                         {.capacity = 64});
+  std::vector<Record> burst;
+  for (uint64_t i = 0; i < 90; ++i) burst.push_back(record_at(i));
+  pipeline.publish_batch(burst);
+  pipeline.wait_quiescent();
+  const auto observed = collector.sequence("q");
+  ASSERT_EQ(observed.size(), 30u);  // stride 3 over 90
+  for (size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_EQ(observed[i], i * 3);
+  }
+  EXPECT_EQ(pipeline.scheduler().stats("q").arrivals, 90u);
+}
+
+StreamSchema sequence_schema() {
+  StreamSchema schema;
+  schema.name = "seq";
+  schema.fields = {{"v", "double"}};
+  return schema;
+}
+
+Record schema_record(uint64_t sequence) {
+  Record record = record_at(sequence);
+  record.values = {Value{static_cast<double>(sequence)}};
+  return record;
+}
+
+TEST(StreamPipeline, WireSinkRequiresRegisteredSchema) {
+  StreamPipeline pipeline(1);
+  pipeline.install_queue("wired", std::make_unique<ForwardAllPolicy>());
+  EXPECT_THROW(
+      pipeline.set_wire_sink("wired",
+                             [](const std::string&, std::vector<uint8_t>) {}),
+      StateError);
+  EXPECT_EQ(pipeline.schema_of("wired"), nullptr);
+  pipeline.register_schema("wired", sequence_schema());
+  ASSERT_NE(pipeline.schema_of("wired"), nullptr);
+  EXPECT_EQ(pipeline.schema_of("wired")->key(), "seq:v1");
+  EXPECT_NO_THROW(pipeline.set_wire_sink(
+      "wired", [](const std::string&, std::vector<uint8_t>) {}));
+  EXPECT_THROW(pipeline.register_schema("ghost", sequence_schema()),
+               NotFoundError);
+  EXPECT_THROW(pipeline.schema_of("ghost"), NotFoundError);
+}
+
+/// Runs records through a wire-tapped queue and returns the concatenated
+/// re-decoded records from every chunk the sink saw.
+std::vector<Record> run_wire_tap(WireFormat format, uint64_t count) {
+  StreamPipeline pipeline(2);
+  pipeline.subscribe([](const std::string&, const Record&) {});
+  pipeline.install_queue("wired", std::make_unique<ForwardAllPolicy>(),
+                         {.capacity = 32, .batch = 8, .format = format});
+  pipeline.register_schema("wired", sequence_schema());
+  std::mutex mutex;
+  std::vector<std::vector<uint8_t>> chunks;
+  pipeline.set_wire_sink("wired",
+                         [&](const std::string& queue,
+                             std::vector<uint8_t> chunk) {
+                           EXPECT_EQ(queue, "wired");
+                           std::lock_guard lock(mutex);
+                           chunks.push_back(std::move(chunk));
+                         });
+  for (uint64_t i = 0; i < count; ++i) pipeline.publish(schema_record(i));
+  pipeline.wait_quiescent();
+  pipeline.shutdown();
+
+  // Each chunk is a self-contained stream: header + frames.
+  std::vector<Record> decoded;
+  for (const auto& chunk : chunks) {
+    const DecodedStream stream =
+        format == WireFormat::Binary
+            ? decode_frame_stream(chunk, sequence_schema())
+            : decode_stream(chunk);
+    decoded.insert(decoded.end(), stream.records.begin(),
+                   stream.records.end());
+  }
+  return decoded;
+}
+
+TEST(StreamPipeline, WireSinkSeesEveryRecordInOrderBothFormats) {
+  for (WireFormat format :
+       {WireFormat::SelfDescribing, WireFormat::Binary}) {
+    const std::vector<Record> decoded = run_wire_tap(format, 200);
+    ASSERT_EQ(decoded.size(), 200u) << wire_format_name(format);
+    for (uint64_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i].sequence, i);
+      EXPECT_EQ(std::get<double>(decoded[i].values[0]),
+                static_cast<double>(i));
+    }
+  }
+}
+
 // --- the instrument source stage -------------------------------------------
 
 TEST(StreamPipeline, InstrumentSourceFeedsAndPunctuates) {
