@@ -19,6 +19,7 @@ ff_add_bench(fig7_irf_campaign ff_savanna ff_cheetah ff_irf)
 ff_add_bench(tab1_gauge_assessment ff_core ff_gwas)
 ff_add_bench(ablation_ckpt_restart ff_ckpt ff_cluster)
 ff_add_bench(ablation_codesign ff_cheetah ff_gwas)
+ff_add_bench(campaign_scale ff_savanna ff_cheetah)
 ff_add_bench(micro_bench ff_util ff_skel ff_stream ff_cluster ff_irf ff_gwas
              benchmark::benchmark benchmark::benchmark_main)
 
@@ -46,6 +47,17 @@ add_custom_target(bench_stream
   COMMENT "Fig. 5 stream data-plane bench -> BENCH_stream.json"
   VERBATIM)
 
+# `cmake --build build --target bench_campaign` reruns the campaign-spine
+# scale bench (lazy sweep submission, journal append modes, checkpointed
+# resume at 10^3/10^4/10^5 runs) and refreshes BENCH_campaign.json at the
+# repo root — the committed record of how far the spine scales.
+add_custom_target(bench_campaign
+  COMMAND $<TARGET_FILE:campaign_scale>
+          ${CMAKE_SOURCE_DIR}/BENCH_campaign.json
+  DEPENDS campaign_scale
+  COMMENT "campaign spine scale bench -> BENCH_campaign.json"
+  VERBATIM)
+
 # A ~2 s paced-throughput sanity check in the default ctest run: the
 # threaded plane at 1 worker must not be slower than the synchronous
 # scheduler (records/s within 10 %, p50 within 2x) — a cheap guard
@@ -54,4 +66,12 @@ add_custom_target(bench_stream
 # ctest runs other tests beside it.
 add_test(NAME perf_smoke COMMAND fig5_stream_policies --smoke)
 set_tests_properties(perf_smoke PROPERTIES
+  LABELS perf-smoke TIMEOUT 120 RUN_SERIAL TRUE)
+
+# Campaign-spine counterpart (best-of-3 at 10^4 runs): lazy submission,
+# group-commit journal append, and checkpointed resume must each clear a
+# floor ~10x below a plain build's measured rate — a guard against
+# accidentally quadratic paths in the million-run spine, not a latency SLO.
+add_test(NAME perf_smoke_campaign COMMAND campaign_scale --smoke)
+set_tests_properties(perf_smoke_campaign PROPERTIES
   LABELS perf-smoke TIMEOUT 120 RUN_SERIAL TRUE)

@@ -59,8 +59,10 @@ int provenance_tour(const std::string& jsonl_path,
   //    -> retry -> ... -> done), "t6" fails every attempt and exhausts its
   //    retry budget, and the campaign is interrupted after one allocation
   //    and resumed from its crash-consistent journal — so the trace shows
-  //    the whole savanna.journal.* family (open, commit, replay, resume)
-  //    plus savanna.job.exhausted.
+  //    the whole savanna.journal.* family (open, commit, checkpoint,
+  //    compact, replay, resume) plus savanna.job.exhausted. Checkpoint +
+  //    compaction are enabled so the scale path (docs/scaling.md) is
+  //    exercised and traced too.
   {
     std::vector<sim::TaskSpec> tasks;
     for (int i = 0; i < 7; ++i) {
@@ -75,6 +77,8 @@ int provenance_tour(const std::string& jsonl_path,
     options.execution.walltime_s = 120;  // forces re-submission
     options.retry.max_attempts = 2;
     options.retry.base_backoff_s = 5;
+    options.journal.checkpoint_every = 1;  // checkpoint each allocation
+    options.journal.compact_after_checkpoint = true;
     options.execution.fails = [](const sim::TaskSpec& task, int) {
       // Keyed off nothing but the task: deterministic across resume.
       return task.id == "t6";

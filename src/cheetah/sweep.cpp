@@ -61,34 +61,43 @@ size_t Sweep::run_count() const noexcept {
   return count;
 }
 
+RunSpec Sweep::run_at(size_t index, const std::string& id_prefix) const {
+  if (index >= run_count()) {
+    throw ValidationError("Sweep '" + name_ + "': run index " +
+                          std::to_string(index) + " out of range (" +
+                          std::to_string(run_count()) + " runs)");
+  }
+  RunSpec run;
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "%04zu", index);
+  run.id = id_prefix + suffix;
+  // Row-major decode: last parameter varies fastest.
+  size_t remainder = index;
+  for (size_t p = parameters_.size(); p-- > 0;) {
+    const Parameter& parameter = parameters_[p];
+    const size_t value_index = remainder % parameter.cardinality();
+    remainder /= parameter.cardinality();
+    run.params[parameter.name()] = parameter.value_list()[value_index];
+  }
+  // Derived parameters render against the swept assignment (in order, so
+  // later derived values may reference earlier ones).
+  for (const auto& [name, template_text] : derived_) {
+    Json context = Json::object();
+    for (const auto& [key, value] : run.params) context[key] = value;
+    const std::string rendered =
+        skel::Template::parse(template_text, name).render(context);
+    run.params[name] =
+        is_integer(rendered) ? Json(std::stoll(rendered)) : Json(rendered);
+  }
+  return run;
+}
+
 std::vector<RunSpec> Sweep::generate(const std::string& id_prefix) const {
   const size_t total = run_count();
   std::vector<RunSpec> runs;
   runs.reserve(total);
-  char buffer[32];
   for (size_t index = 0; index < total; ++index) {
-    RunSpec run;
-    std::snprintf(buffer, sizeof(buffer), "%s%04zu", id_prefix.c_str(), index);
-    run.id = buffer;
-    // Row-major decode: last parameter varies fastest.
-    size_t remainder = index;
-    for (size_t p = parameters_.size(); p-- > 0;) {
-      const Parameter& parameter = parameters_[p];
-      const size_t value_index = remainder % parameter.cardinality();
-      remainder /= parameter.cardinality();
-      run.params[parameter.name()] = parameter.value_list()[value_index];
-    }
-    // Derived parameters render against the swept assignment (in order, so
-    // later derived values may reference earlier ones).
-    for (const auto& [name, template_text] : derived_) {
-      Json context = Json::object();
-      for (const auto& [key, value] : run.params) context[key] = value;
-      const std::string rendered =
-          skel::Template::parse(template_text, name).render(context);
-      run.params[name] =
-          is_integer(rendered) ? Json(std::stoll(rendered)) : Json(rendered);
-    }
-    runs.push_back(std::move(run));
+    runs.push_back(run_at(index, id_prefix));
   }
   return runs;
 }
@@ -159,14 +168,44 @@ size_t SweepGroup::run_count() const noexcept {
   return count;
 }
 
+SweepGroup::iterator::iterator(const SweepGroup* group, size_t sweep_index)
+    : group_(group), sweep_index_(sweep_index) {
+  settle();
+}
+
+void SweepGroup::iterator::settle() {
+  const auto& sweeps = group_->sweeps_;
+  while (sweep_index_ < sweeps.size() &&
+         run_index_ >= (sweep_count_ = sweeps[sweep_index_].run_count())) {
+    ++sweep_index_;
+    run_index_ = 0;
+  }
+  if (sweep_index_ < sweeps.size()) {
+    id_prefix_ =
+        group_->name_ + "/" + sweeps[sweep_index_].name() + "/run-";
+  } else {
+    run_index_ = 0;  // canonical end state, so end() iterators compare equal
+  }
+}
+
+RunSpec SweepGroup::iterator::operator*() const {
+  return group_->sweeps_[sweep_index_].run_at(run_index_, id_prefix_);
+}
+
+SweepGroup::iterator& SweepGroup::iterator::operator++() {
+  ++run_index_;
+  if (run_index_ >= sweep_count_) {
+    ++sweep_index_;
+    run_index_ = 0;
+    settle();
+  }
+  return *this;
+}
+
 std::vector<RunSpec> SweepGroup::generate() const {
   std::vector<RunSpec> runs;
-  for (const Sweep& sweep : sweeps_) {
-    for (RunSpec& run : sweep.generate()) {
-      run.id = name_ + "/" + sweep.name() + "/" + run.id;
-      runs.push_back(std::move(run));
-    }
-  }
+  runs.reserve(run_count());
+  for_each_run([&runs](RunSpec&& run) { runs.push_back(std::move(run)); });
   return runs;
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,7 +46,57 @@ class Sweep {
   /// Total runs in the cross product (1 when no parameters: a single run).
   size_t run_count() const noexcept;
 
+  /// Decode a single index of the cross product — the same row-major order
+  /// and id scheme as generate(), computed directly from `index` without
+  /// touching the other runs. This is what makes 10^6-run sweeps cheap:
+  /// iteration is O(parameters) per run and O(1) memory overall.
+  RunSpec run_at(size_t index, const std::string& id_prefix = "run-") const;
+
+  /// Lazy forward iterator over the cross product; dereferencing decodes
+  /// the run on demand via run_at(). Invalidated if the Sweep mutates.
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = RunSpec;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = RunSpec;
+
+    iterator() = default;
+    iterator(const Sweep* sweep, size_t index, const std::string* prefix)
+        : sweep_(sweep), index_(index), prefix_(prefix) {}
+    RunSpec operator*() const { return sweep_->run_at(index_, *prefix_); }
+    iterator& operator++() { ++index_; return *this; }
+    iterator operator++(int) { iterator old = *this; ++index_; return old; }
+    bool operator==(const iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const iterator& other) const { return !(*this == other); }
+
+   private:
+    const Sweep* sweep_ = nullptr;
+    size_t index_ = 0;
+    const std::string* prefix_ = nullptr;
+  };
+
+  /// A borrowed view over the cross product (`for (RunSpec run : sweep.runs())`).
+  /// Holds the id prefix; must not outlive the Sweep.
+  class RunRange {
+   public:
+    RunRange(const Sweep* sweep, std::string prefix)
+        : sweep_(sweep), prefix_(std::move(prefix)) {}
+    iterator begin() const { return iterator(sweep_, 0, &prefix_); }
+    iterator end() const { return iterator(sweep_, sweep_->run_count(), &prefix_); }
+
+   private:
+    const Sweep* sweep_;
+    std::string prefix_;
+  };
+  RunRange runs(const std::string& id_prefix = "run-") const {
+    return RunRange(this, id_prefix);
+  }
+
   /// Materialize the cross product. Ids are `prefix` + zero-padded index.
+  /// Prefer runs()/run_at() at scale; this is a convenience wrapper that
+  /// holds every RunSpec in memory at once.
   std::vector<RunSpec> generate(const std::string& id_prefix = "run-") const;
 
   Json to_json() const;
@@ -75,7 +127,48 @@ class SweepGroup {
   int max_concurrent() const noexcept { return max_concurrent_; }
 
   size_t run_count() const noexcept;
-  /// All runs across sweeps, ids "group/sweep/run-NNNN".
+
+  /// Lazy forward iterator over every run of every sweep, in sweep order,
+  /// ids "group/sweep/run-NNNN" — the submission path for million-run
+  /// groups, where materializing the RunSpec vector is the O(n) pain.
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = RunSpec;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = RunSpec;
+
+    iterator() = default;
+    iterator(const SweepGroup* group, size_t sweep_index);
+    RunSpec operator*() const;
+    iterator& operator++();
+    iterator operator++(int) { iterator old = *this; ++(*this); return old; }
+    bool operator==(const iterator& other) const {
+      return sweep_index_ == other.sweep_index_ && run_index_ == other.run_index_;
+    }
+    bool operator!=(const iterator& other) const { return !(*this == other); }
+
+   private:
+    void settle();  // skip empty sweeps; refresh the cached count/prefix
+
+    const SweepGroup* group_ = nullptr;
+    size_t sweep_index_ = 0;
+    size_t run_index_ = 0;
+    size_t sweep_count_ = 0;   // run_count() of the current sweep, cached
+    std::string id_prefix_;    // "group/sweep/run-", cached per sweep
+  };
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, sweeps_.size()); }
+
+  /// Visit every run without materializing the vector.
+  template <typename Fn>
+  void for_each_run(Fn&& fn) const {
+    for (auto it = begin(), stop = end(); it != stop; ++it) fn(*it);
+  }
+
+  /// All runs across sweeps, ids "group/sweep/run-NNNN". Convenience
+  /// wrapper over the lazy iterator; O(total runs) memory.
   std::vector<RunSpec> generate() const;
 
   Json to_json() const;

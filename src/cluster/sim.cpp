@@ -1,18 +1,158 @@
 #include "cluster/sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
 namespace ff::sim {
 
+namespace {
+
+constexpr size_t kMinBuckets = 8;
+
+/// Strict ordering: does event `a` fire before event `b`?
+bool fires_before(double a_time, uint64_t a_seq, double b_time, uint64_t b_seq) {
+  if (a_time != b_time) return a_time < b_time;
+  return a_seq < b_seq;
+}
+
+}  // namespace
+
+Simulation::Simulation() : buckets_(kMinBuckets) {}
+
+size_t Simulation::bucket_of(double time) const noexcept {
+  // fmod keeps the slot math valid for times far beyond 2^64 * width; any
+  // double rounding is applied identically on push and peek, so an event is
+  // always searched in the bucket it was stored in.
+  const double slot = std::floor(time / width_);
+  const double wrapped = std::fmod(slot, static_cast<double>(buckets_.size()));
+  return static_cast<size_t>(wrapped);
+}
+
+void Simulation::cq_push(Event event) {
+  if (!std::isfinite(event.time)) {
+    // +inf sentinels ("never, unless cancelled") would break the slot math;
+    // park them aside. They only surface once every finite event drained.
+    auto it = std::upper_bound(
+        overflow_.begin(), overflow_.end(), event,
+        [](const Event& a, const Event& b) { return a.sequence > b.sequence; });
+    overflow_.insert(it, std::move(event));
+    return;
+  }
+  if (queued_ + 1 > 2 * buckets_.size()) cq_resize(2 * buckets_.size());
+  std::vector<Event>& bucket = buckets_[bucket_of(event.time)];
+  auto it = std::upper_bound(bucket.begin(), bucket.end(), event,
+                             [](const Event& a, const Event& b) {
+                               return fires_before(b.time, b.sequence, a.time,
+                                                   a.sequence);
+                             });
+  bucket.insert(it, std::move(event));
+  ++queued_;
+}
+
+const Simulation::Event* Simulation::cq_peek() {
+  if (queued_ == 0) {
+    peeked_ = SIZE_MAX;
+    return overflow_.empty() ? nullptr : &overflow_.back();
+  }
+  // Calendar scan: walk slots forward from now(), one bucket per slot. A
+  // bucket's minimum belongs to the slot under the cursor iff its time falls
+  // inside that slot's window — then it is the global minimum, because every
+  // earlier slot has already been checked.
+  const double base_slot = std::floor(now_ / width_);
+  const size_t n = buckets_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double slot = base_slot + static_cast<double>(i);
+    const size_t b = static_cast<size_t>(std::fmod(slot, static_cast<double>(n)));
+    if (buckets_[b].empty()) continue;
+    const Event& head = buckets_[b].back();
+    if (head.time < (slot + 1.0) * width_) {
+      peeked_ = b;
+      return &head;
+    }
+  }
+  // Sparse population: nothing within a full calendar year of now(). Fall
+  // back to a direct scan for the global minimum.
+  size_t best = SIZE_MAX;
+  for (size_t b = 0; b < n; ++b) {
+    if (buckets_[b].empty()) continue;
+    const Event& head = buckets_[b].back();
+    if (best == SIZE_MAX ||
+        fires_before(head.time, head.sequence, buckets_[best].back().time,
+                     buckets_[best].back().sequence)) {
+      best = b;
+    }
+  }
+  peeked_ = best;
+  return &buckets_[best].back();
+}
+
+Simulation::Event Simulation::cq_pop() {
+  if (peeked_ == SIZE_MAX) {
+    Event event = std::move(overflow_.back());
+    overflow_.pop_back();
+    return event;
+  }
+  Event event = std::move(buckets_[peeked_].back());
+  buckets_[peeked_].pop_back();
+  --queued_;
+  peeked_ = SIZE_MAX;
+  if (buckets_.size() > kMinBuckets && queued_ < buckets_.size() / 4) {
+    cq_resize(buckets_.size() / 2);
+  }
+  return event;
+}
+
+void Simulation::cq_resize(size_t nbuckets) {
+  nbuckets = std::max(nbuckets, kMinBuckets);
+  std::vector<Event> all;
+  all.reserve(queued_);
+  for (std::vector<Event>& bucket : buckets_) {
+    for (Event& event : bucket) all.push_back(std::move(event));
+    bucket.clear();
+  }
+  // Re-estimate the slot width from the actual event spacing (median gap,
+  // widened so a slot holds a few events): the calendar stays O(1) whether
+  // completions are microseconds or hours apart.
+  if (all.size() >= 2) {
+    std::vector<double> times;
+    times.reserve(all.size());
+    for (const Event& event : all) times.push_back(event.time);
+    std::sort(times.begin(), times.end());
+    std::vector<double> gaps;
+    gaps.reserve(times.size() - 1);
+    for (size_t i = 1; i < times.size(); ++i) {
+      gaps.push_back(times[i] - times[i - 1]);
+    }
+    std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+    const double median_gap = gaps[gaps.size() / 2];
+    if (median_gap > 0) width_ = 4.0 * median_gap;
+  }
+  if (!(width_ > 0) || !std::isfinite(width_)) width_ = 1.0;
+
+  buckets_.assign(nbuckets, {});
+  queued_ = 0;
+  peeked_ = SIZE_MAX;
+  for (Event& event : all) {
+    std::vector<Event>& bucket = buckets_[bucket_of(event.time)];
+    auto it = std::upper_bound(bucket.begin(), bucket.end(), event,
+                               [](const Event& a, const Event& b) {
+                                 return fires_before(b.time, b.sequence, a.time,
+                                                     a.sequence);
+                               });
+    bucket.insert(it, std::move(event));
+    ++queued_;
+  }
+}
+
 uint64_t Simulation::schedule_at(double time, std::function<void()> handler) {
-  if (time < now_) {
+  if (std::isnan(time) || time < now_) {
     throw Error("Simulation: cannot schedule in the past (" +
                 std::to_string(time) + " < " + std::to_string(now_) + ")");
   }
   const uint64_t sequence = next_sequence_++;
-  queue_.push(Event{time, sequence, std::move(handler)});
+  cq_push(Event{time, sequence, std::move(handler)});
   live_.insert(sequence);
   return sequence;
 }
@@ -25,9 +165,8 @@ uint64_t Simulation::schedule_after(double delay, std::function<void()> handler)
 bool Simulation::cancel(uint64_t event_id) { return live_.erase(event_id) > 0; }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
+  while (cq_peek() != nullptr) {
+    Event event = cq_pop();
     if (!live_.erase(event.sequence)) continue;  // cancelled
     now_ = event.time;
     ++processed_;
@@ -43,13 +182,13 @@ void Simulation::run() {
 }
 
 void Simulation::run_until(double deadline) {
-  while (!queue_.empty()) {
+  while (const Event* head = cq_peek()) {
     // Skip over cancelled entries so a stale head doesn't stop progress.
-    if (!live_.count(queue_.top().sequence)) {
-      queue_.pop();
+    if (!live_.count(head->sequence)) {
+      cq_pop();
       continue;
     }
-    if (queue_.top().time > deadline) break;
+    if (head->time > deadline) break;
     step();
   }
   now_ = std::max(now_, deadline);

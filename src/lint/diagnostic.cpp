@@ -78,6 +78,9 @@ const std::vector<RuleInfo>& rule_registry() {
        "a swept parameter has no values, collapsing the cartesian product to zero runs"},
       {"FF208", "torn-journal-tail", Severity::Note, "campaign",
        "the journal ends in a torn (partially written) line; resume will truncate it"},
+      {"FF209", "checkpoint-coverage-gap", Severity::Error, "campaign",
+       "a checkpoint or compaction record breaks the journal's contiguous "
+       "allocation-index coverage — resume would silently lose allocations"},
       // -------------------------------------------------- stream plane
       {"FF301", "communication-cycle", Severity::Error, "stream-plane",
        "the communication subgraph contains a cycle — a potential deadlock"},

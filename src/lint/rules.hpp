@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,16 +53,25 @@ LintReport lint_campaign_manifest(const Json& manifest,
                                   const std::string& file,
                                   const CampaignLintOptions& options = {});
 
-/// FF205 journal-manifest-drift, FF208 torn-journal-tail, FF001 on corrupt
-/// non-final lines. `journal_text` is the raw JSONL; `manifest` may be null
+/// FF205 journal-manifest-drift, FF208 torn-journal-tail, FF209
+/// checkpoint-coverage-gap, FF001 on corrupt non-final lines.
+/// `journal_text` is the raw JSONL; `manifest` may be null
 /// (journal-internal checks only) when no manifest is available.
 LintReport lint_journal_text(const std::string& journal_text,
                              const std::string& journal_file,
                              const Json& manifest,
                              const std::string& manifest_file);
 
+/// Stream the run-id set a manifest implies ("group/sweep/run-NNNN"),
+/// mirroring SweepGroup's lazy iteration: each id is decoded, handed to
+/// `fn`, and discarded — O(1) memory however large the sweeps are. The
+/// digest side of the FF205 drift check is built on this.
+void for_each_manifest_run_id(const Json& manifest,
+                              const std::function<void(const std::string&)>& fn);
+
 /// Expand the run-id set a manifest implies ("group/sweep/run-NNNN"),
-/// mirroring SweepGroup::generate(). Exposed for the drift check and tests.
+/// mirroring SweepGroup::generate(). Convenience wrapper over
+/// for_each_manifest_run_id; exposed for the drift check and tests.
 std::vector<std::string> manifest_run_ids(const Json& manifest);
 
 // ---------------------------------------------------------------------------

@@ -126,10 +126,10 @@ void check_sweep(const Json& sweep, const std::string& sweep_path,
 
 }  // namespace
 
-std::vector<std::string> manifest_run_ids(const Json& manifest) {
-  std::vector<std::string> ids;
+void for_each_manifest_run_id(
+    const Json& manifest, const std::function<void(const std::string&)>& fn) {
   const Json* groups = manifest.find_path("groups");
-  if (!groups || !groups->is_array()) return ids;
+  if (!groups || !groups->is_array()) return;
   char buffer[32];
   for (const Json& group : groups->as_array()) {
     if (!group.is_object()) continue;
@@ -148,12 +148,19 @@ std::vector<std::string> manifest_run_ids(const Json& manifest) {
           count *= values && values->is_array() ? values->as_array().size() : 0;
         }
       }
+      const std::string prefix = group_name + "/" + sweep_name + "/";
       for (size_t index = 0; index < count; ++index) {
         std::snprintf(buffer, sizeof(buffer), "run-%04zu", index);
-        ids.push_back(group_name + "/" + sweep_name + "/" + buffer);
+        fn(prefix + buffer);
       }
     }
   }
+}
+
+std::vector<std::string> manifest_run_ids(const Json& manifest) {
+  std::vector<std::string> ids;
+  for_each_manifest_run_id(manifest,
+                           [&ids](const std::string& id) { ids.push_back(id); });
   return ids;
 }
 
@@ -313,6 +320,13 @@ LintReport lint_journal_text(const std::string& journal_text,
   const bool unterminated =
       !journal_text.empty() && journal_text.back() != '\n';
   Json header;
+  // FF209 state machine: walk the records tracking the next allocation
+  // index the journal's coverage accounts for. An alloc record advances it;
+  // a checkpoint must agree with it (then re-anchors it); a compaction
+  // marker voids it until the next checkpoint — alloc history was folded
+  // away, so only a checkpoint can vouch for the dropped records.
+  bool coverage_known = true;
+  int64_t expected_index = 0;
   for (size_t i = 0; i < content.size(); ++i) {
     const auto& [line_number, text] = content[i];
     const bool last = i + 1 == content.size();
@@ -336,17 +350,58 @@ LintReport lint_journal_text(const std::string& journal_text,
                  "treats it as torn and re-executes that allocation");
       if (i != 0) continue;  // an uncommitted alloc record: not state
     }
+    const std::string kind = record.get_or("kind", "");
     if (i == 0) {
       header = record;
-      if (record.get_or("kind", "") != "header") {
+      if (kind != "header") {
         report.add("FF205", SourceLocation{journal_file, line_number, 1, ""},
                    "journal does not start with a header record",
                    "recreate the journal (delete it to restart the campaign)");
         header = Json();
       }
-    } else if (record.get_or("kind", "") == "header") {
+    } else if (kind == "header") {
       report.add("FF205", SourceLocation{journal_file, line_number, 1, ""},
                  "unexpected second header record");
+    } else if (kind == "alloc") {
+      // A record without "index" (malformed, but not this rule's concern)
+      // is assumed sequential so one bad record doesn't cascade.
+      const bool has_index = record.contains("index");
+      const int64_t index = record.get_or("index", expected_index);
+      if (!coverage_known) {
+        report.add(
+            "FF209", SourceLocation{journal_file, line_number, 1, ""},
+            "allocation record follows a compaction marker with no checkpoint "
+            "in between — the folded-away history is summarized nowhere, so "
+            "resume would silently lose those allocations",
+            "restore the journal from before the bad compaction, or restart "
+            "the campaign");
+        coverage_known = true;
+      } else if (has_index && index != expected_index) {
+        report.add(
+            "FF209", SourceLocation{journal_file, line_number, 1, ""},
+            "allocation record has index " + std::to_string(index) +
+                " but the journal's records only account for allocations "
+                "before " +
+                std::to_string(expected_index) +
+                " — a checkpoint or compaction left a coverage gap",
+            "restore the journal from backup or restart the campaign");
+      }
+      expected_index = index + 1;
+    } else if (kind == "ckpt") {
+      const int64_t next_index = record.get_or("next_index", int64_t{0});
+      if (coverage_known && next_index != expected_index) {
+        report.add(
+            "FF209", SourceLocation{journal_file, line_number, 1, ""},
+            "checkpoint claims to summarize " + std::to_string(next_index) +
+                " allocations but the journal's records account for " +
+                std::to_string(expected_index) +
+                " — a checkpoint or compaction left a coverage gap",
+            "restore the journal from backup or restart the campaign");
+      }
+      coverage_known = true;
+      expected_index = next_index;
+    } else if (kind == "compact") {
+      coverage_known = false;
     }
   }
 
@@ -403,6 +458,29 @@ LintReport lint_journal_text(const std::string& journal_text,
                    "restart the campaign to register the new runs");
         break;
       }
+    }
+  } else if (header.contains("runs_digest")) {
+    // At scale the header carries only a count + streaming digest of the
+    // run-id sequence; compare against the manifest's ids without
+    // materializing either set.
+    savanna::RunSetDigest digest;
+    for_each_manifest_run_id(manifest,
+                             [&digest](const std::string& id) { digest.add(id); });
+    const std::string journal_digest = header.get_or("runs_digest", "");
+    const int64_t journal_count =
+        header.get_or("run_count", static_cast<int64_t>(digest.count()));
+    if (journal_digest != digest.hex() ||
+        journal_count != static_cast<int64_t>(digest.count())) {
+      report.add("FF205", SourceLocation{journal_file, 1, 1, "runs_digest"},
+                 "journal registers " + std::to_string(journal_count) +
+                     " runs with digest " + journal_digest +
+                     " but the manifest's sweeps produce " +
+                     std::to_string(digest.count()) + " runs with digest " +
+                     digest.hex() +
+                     " — the campaign definition drifted after execution "
+                     "started",
+                 "restore the original sweep definition or restart the "
+                 "campaign");
     }
   }
   return report;

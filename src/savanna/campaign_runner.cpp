@@ -141,6 +141,7 @@ CampaignRunResult run_with_resubmission(sim::Simulation& sim,
                                         RunTracker* tracker,
                                         CampaignJournal* journal) {
   CampaignRunResult result;
+  if (journal) journal->set_group_commit(options.journal.group_commit);
 
   // Retry bookkeeping: failures so far and when the last one ended. Seeded
   // from the tracker so a resumed campaign schedules retries (backoff,
@@ -261,6 +262,16 @@ CampaignRunResult run_with_resubmission(sim::Simulation& sim,
       record["end"] = allocation_end;
       record["exhausted"] = ids_to_json(newly_exhausted);
       journal->append_allocation(std::move(record));
+      // Checkpoint cadence: every N committed allocations, summarize the
+      // live-run state so a future resume replays O(live tail) instead of
+      // the whole history — optionally folding that history away on the
+      // spot. append_checkpoint flushes any group-commit batch first.
+      if (tracker && options.journal.checkpoint_every > 0 &&
+          journal->next_allocation_index() % options.journal.checkpoint_every ==
+              0) {
+        journal->append_checkpoint(tracker->to_json_started(), sim.now());
+        if (options.journal.compact_after_checkpoint) journal->compact();
+      }
     }
 
     // Everything neither completed nor exhausted goes into the next
@@ -289,6 +300,8 @@ CampaignRunResult run_with_resubmission(sim::Simulation& sim,
     if (all_eligible && zero_progress && options.retry.max_attempts == 0) break;
   }
   result.remaining_runs = remaining.size();
+  // Durably commit any group-commit tail before handing the journal back.
+  if (journal) journal->flush();
   return result;
 }
 
@@ -345,15 +358,49 @@ ResumeReport resume_campaign(sim::Simulation& sim,
   } else {
     out.torn_tail = state.torn_tail;
     out.allocations_replayed = state.allocations.size();
-    for (const Json& id : state.header["runs"].as_array()) {
-      require_known(id.as_string());
+    // Reconcile the journal's run set against the manifest. Small journals
+    // inline the exact ids; at scale the header carries only a count +
+    // streaming digest, compared without materializing either side's set.
+    if (state.header.contains("runs") && state.header["runs"].is_array()) {
+      for (const Json& id : state.header["runs"].as_array()) {
+        require_known(id.as_string());
+      }
+    }
+    if (state.header.contains("runs_digest")) {
+      RunSetDigest digest;
+      for (const std::string& id : run_ids) digest.add(id);
+      const std::string journal_digest =
+          state.header["runs_digest"].as_string();
+      const int64_t journal_count = state.header.get_or(
+          "run_count", static_cast<int64_t>(digest.count()));
+      if (journal_digest != digest.hex() ||
+          journal_count != static_cast<int64_t>(digest.count())) {
+        throw ValidationError(
+            "journal " + journal_path + ": run-set digest mismatch (journal " +
+            std::to_string(journal_count) + " runs/" + journal_digest +
+            ", manifest " + std::to_string(digest.count()) + " runs/" +
+            digest.hex() + ") — journal and manifest are different campaigns");
+      }
+    }
+    // Restore the newest checkpoint first: it carries the full provenance
+    // of every run that had started by checkpoint time, so only the alloc
+    // tail after it needs replaying — O(live), not O(history).
+    double clock = 0;
+    if (state.has_checkpoint()) {
+      const Json& snapshot = state.checkpoint["tracker"];
+      for (const auto& [id, record] : snapshot.as_object()) {
+        (void)record;
+        require_known(id);
+      }
+      tracker.restore(snapshot);
+      out.checkpoint_runs = snapshot.size();
+      clock = state.checkpoint.get_or("clock", 0.0);
     }
     for (const sim::TaskSpec& task : manifest_tasks) {
       if (!tracker.has_run(task.id)) tracker.add_run(task.id);
     }
     // Replay committed allocations through the same code path the live run
     // used, so the rebuilt provenance is byte-identical.
-    double clock = 0;
     for (const Json& record : state.allocations) {
       const ExecutionReport report = report_from_json(record);
       const double start = record["start"].as_double();
@@ -378,6 +425,27 @@ ResumeReport resume_campaign(sim::Simulation& sim,
     // resumed runs get the timestamps the uninterrupted campaign would have.
     sim.run_until(clock);
     journal = CampaignJournal::open_for_append(journal_path, state);
+    // The previous process may have died between committing an allocation
+    // batch and the checkpoint the cadence owed for it — if the campaign is
+    // already complete, no future append will ever trigger that checkpoint.
+    // Re-establish the cadence invariant here: the replayed tracker and
+    // clock are exactly what the uninterrupted process would have
+    // checkpointed at this index.
+    const size_t cadence = options.journal.checkpoint_every;
+    const size_t next_index = journal.next_allocation_index();
+    const bool checkpoint_on_disk =
+        state.has_checkpoint() &&
+        static_cast<size_t>(
+            state.checkpoint.get_or("next_index", int64_t{0})) == next_index;
+    if (cadence > 0 && next_index > 0 && next_index % cadence == 0 &&
+        !checkpoint_on_disk) {
+      journal.append_checkpoint(tracker.to_json_started(), sim.now());
+    }
+    // With compaction policy on, compact at open (idempotent): whether the
+    // previous process died before, during, or after its own compaction,
+    // the journal converges to the same bytes — which is what keeps the
+    // crash harness's byte-parity check meaningful across kill points.
+    if (options.journal.compact_after_checkpoint) journal.compact();
   }
 
   std::vector<sim::TaskSpec> incomplete;

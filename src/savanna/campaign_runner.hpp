@@ -36,12 +36,32 @@ struct RetryPolicy {
   }
 };
 
+/// Journal durability/scale policy (see docs/journal_format.md for the
+/// on-disk format and docs/scaling.md for how to pick these at 10^5+ runs).
+/// The defaults reproduce the conservative PR-3 behaviour: fsync every
+/// record, never checkpoint, never compact.
+struct JournalPolicy {
+  /// Append a checkpoint record summarizing live-run state every N
+  /// committed allocations; 0 disables checkpointing. With checkpoints,
+  /// resume replays O(live tail) records instead of the whole history.
+  size_t checkpoint_every = 0;
+  /// Compact the journal right after every checkpoint (and once at resume
+  /// open), folding the summarized alloc history into the checkpoint. Keeps
+  /// the journal file O(live state) instead of O(campaign history).
+  bool compact_after_checkpoint = false;
+  /// Group commit: batch up to this many allocation records into one
+  /// write+fsync. 1 (default) fsyncs every record; a crash can lose at most
+  /// the unflushed batch, which resume then re-executes.
+  size_t group_commit = 1;
+};
+
 struct CampaignRunOptions {
   ExecutionOptions execution;
   Backend backend = Backend::Pilot;
   /// Max allocations (re-submissions) to attempt; 0 = until done.
   size_t max_allocations = 0;
   RetryPolicy retry;
+  JournalPolicy journal;
   /// resume_campaign() lints the journal before replaying it (schema
   /// drift, corrupt interior lines, a second header, ...) and throws
   /// ValidationError listing every finding instead of failing midway
@@ -94,7 +114,8 @@ CampaignRunResult run_with_resubmission(sim::Simulation& sim,
 
 /// What resume_campaign recovered before re-entering the runner.
 struct ResumeReport {
-  size_t allocations_replayed = 0;
+  size_t allocations_replayed = 0;  // alloc records replayed (checkpoint tail)
+  size_t checkpoint_runs = 0;       // runs restored from a checkpoint record
   bool torn_tail = false;          // a torn final journal line was dropped
   size_t incomplete = 0;           // runs handed back to the runner
   double resumed_at_s = 0;         // virtual clock restored to this time

@@ -15,22 +15,23 @@ namespace {
 
 CampaignJournal::WriteHook g_write_hook;
 
-void run_hook(CampaignJournal::WritePhase phase, size_t write_index) {
-  if (g_write_hook) g_write_hook(phase, write_index);
+void run_hook(CampaignJournal::WriteKind kind, CampaignJournal::WritePhase phase,
+              size_t write_index) {
+  if (g_write_hook) g_write_hook(kind, phase, write_index);
 }
 
-/// Append `line` (newline included) to `fd` and fsync. With a test hook
-/// installed the line is committed in two halves with an fsync between, so
+/// Append `data` (newlines included) to `fd` and fsync. With a test hook
+/// installed the data is committed in two halves with an fsync between, so
 /// a hook that kills the process at MidWrite leaves a genuine torn write
 /// on disk; without a hook it is a single write + fsync.
-void durable_append(int fd, const std::string& line, const std::string& path,
-                    size_t write_index) {
-  run_hook(CampaignJournal::WritePhase::BeforeWrite, write_index);
-  const size_t half = g_write_hook ? line.size() / 2 : line.size();
+void durable_append(int fd, const std::string& data, const std::string& path,
+                    CampaignJournal::WriteKind kind, size_t write_index) {
+  run_hook(kind, CampaignJournal::WritePhase::BeforeWrite, write_index);
+  const size_t half = g_write_hook ? data.size() / 2 : data.size();
   auto write_range = [&](size_t begin, size_t end) {
     size_t at = begin;
     while (at < end) {
-      const ssize_t n = ::write(fd, line.data() + at, end - at);
+      const ssize_t n = ::write(fd, data.data() + at, end - at);
       if (n < 0) throw IoError("journal append failed: " + path);
       at += static_cast<size_t>(n);
     }
@@ -38,14 +39,41 @@ void durable_append(int fd, const std::string& line, const std::string& path,
   write_range(0, half);
   if (g_write_hook) {
     ::fsync(fd);
-    run_hook(CampaignJournal::WritePhase::MidWrite, write_index);
-    write_range(half, line.size());
+    run_hook(kind, CampaignJournal::WritePhase::MidWrite, write_index);
+    write_range(half, data.size());
   }
   if (::fsync(fd) != 0) throw IoError("journal fsync failed: " + path);
-  run_hook(CampaignJournal::WritePhase::AfterSync, write_index);
+  run_hook(kind, CampaignJournal::WritePhase::AfterSync, write_index);
 }
 
 }  // namespace
+
+const std::vector<JournalRecordInfo>& journal_record_registry() {
+  static const std::vector<JournalRecordInfo> kRecords = {
+      {"header", "header",
+       "file birth certificate: schema version, campaign name, run-set "
+       "count/digest (ids inlined when small); always line 1, written via "
+       "atomic tmp+rename"},
+      {"compact", "compaction marker",
+       "records that alloc history before the following checkpoint was "
+       "folded away by compaction; only ever line 2"},
+      {"alloc", "allocation",
+       "one completed batch-job allocation: index, virtual start/end, and "
+       "the per-run outcomes resume replays through the tracker"},
+      {"ckpt", "checkpoint",
+       "summary of every allocation before it: next alloc index, virtual "
+       "clock, and the started-run tracker snapshot; replay restores the "
+       "newest one and only the alloc records after it"},
+  };
+  return kRecords;
+}
+
+const JournalRecordInfo* find_journal_record(std::string_view kind) {
+  for (const JournalRecordInfo& info : journal_record_registry()) {
+    if (info.kind == kind) return &info;
+  }
+  return nullptr;
+}
 
 void CampaignJournal::set_test_write_hook(WriteHook hook) {
   g_write_hook = std::move(hook);
@@ -57,7 +85,10 @@ CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)),
       next_index_(other.next_index_),
-      write_index_(other.write_index_) {}
+      write_index_(other.write_index_),
+      group_commit_(other.group_commit_),
+      buffered_(std::move(other.buffered_)),
+      buffered_records_(std::exchange(other.buffered_records_, 0)) {}
 
 CampaignJournal& CampaignJournal::operator=(CampaignJournal&& other) noexcept {
   if (this != &other) {
@@ -66,39 +97,39 @@ CampaignJournal& CampaignJournal::operator=(CampaignJournal&& other) noexcept {
     path_ = std::move(other.path_);
     next_index_ = other.next_index_;
     write_index_ = other.write_index_;
+    group_commit_ = other.group_commit_;
+    buffered_ = std::move(other.buffered_);
+    buffered_records_ = std::exchange(other.buffered_records_, 0);
   }
   return *this;
 }
 
 void CampaignJournal::close() {
   if (fd_ >= 0) {
+    try {
+      flush();
+    } catch (...) {
+      // close() must be safe from the destructor; the runner flushes
+      // explicitly where an IO failure can still be reported.
+    }
     ::close(fd_);
     fd_ = -1;
   }
 }
 
-CampaignJournal CampaignJournal::create(
-    const std::string& path, const std::string& campaign_name,
-    const std::vector<std::string>& run_ids) {
-  Json header = Json::object();
-  header["kind"] = "header";
-  header["schema"] = kJournalSchemaVersion;
-  header["campaign"] = campaign_name;
-  Json runs = Json::array();
-  for (const std::string& id : run_ids) runs.push_back(id);
-  header["runs"] = std::move(runs);
-
+CampaignJournal CampaignJournal::create_with_header(const std::string& path,
+                                                    Json header,
+                                                    size_t run_count) {
   // The header is the file's birth certificate: tmp + rename makes its
   // creation atomic, so a journal on disk always has a complete header.
   // The hook phases mirror durable_append's so the fault harness can kill
-  // journal creation too (MidWrite = tmp written, rename not reached).
-  // MidWrite here means "tmp file partially written, rename not reached":
+  // journal creation too (MidWrite = tmp written, rename not reached):
   // indistinguishable from BeforeWrite for readers, since they never look
   // at tmp files — exactly the point of the atomic create.
-  run_hook(WritePhase::BeforeWrite, 0);
-  run_hook(WritePhase::MidWrite, 0);
+  run_hook(WriteKind::Header, WritePhase::BeforeWrite, 0);
+  run_hook(WriteKind::Header, WritePhase::MidWrite, 0);
   write_file_atomic(path, header.dump() + "\n");
-  run_hook(WritePhase::AfterSync, 0);
+  run_hook(WriteKind::Header, WritePhase::AfterSync, 0);
 
   CampaignJournal journal;
   journal.path_ = path;
@@ -107,9 +138,40 @@ CampaignJournal CampaignJournal::create(
   journal.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (journal.fd_ < 0) throw IoError("cannot open journal for append: " + path);
   obs::trace_instant("savanna", "savanna.journal.open",
-                     {{"runs", run_ids.size()},
-                      {"schema", kJournalSchemaVersion}});
+                     {{"runs", run_count}, {"schema", kJournalSchemaVersion}});
   return journal;
+}
+
+CampaignJournal CampaignJournal::create(
+    const std::string& path, const std::string& campaign_name,
+    const std::vector<std::string>& run_ids) {
+  RunSetDigest digest;
+  for (const std::string& id : run_ids) digest.add(id);
+
+  Json header = Json::object();
+  header["kind"] = "header";
+  header["schema"] = kJournalSchemaVersion;
+  header["campaign"] = campaign_name;
+  header["run_count"] = static_cast<int64_t>(run_ids.size());
+  header["runs_digest"] = digest.hex();
+  if (run_ids.size() <= kInlineRunListMax) {
+    Json runs = Json::array();
+    for (const std::string& id : run_ids) runs.push_back(id);
+    header["runs"] = std::move(runs);
+  }
+  return create_with_header(path, std::move(header), run_ids.size());
+}
+
+CampaignJournal CampaignJournal::create(const std::string& path,
+                                        const std::string& campaign_name,
+                                        const RunSetSummary& run_set) {
+  Json header = Json::object();
+  header["kind"] = "header";
+  header["schema"] = kJournalSchemaVersion;
+  header["campaign"] = campaign_name;
+  header["run_count"] = static_cast<int64_t>(run_set.count);
+  header["runs_digest"] = run_set.digest;
+  return create_with_header(path, std::move(header), run_set.count);
 }
 
 CampaignJournal::Replay CampaignJournal::replay(const std::string& path) {
@@ -167,11 +229,24 @@ CampaignJournal::Replay CampaignJournal::replay(const std::string& path) {
       }
       out.header = std::move(record);
     } else if (kind == "alloc") {
+      out.next_index =
+          static_cast<size_t>(record.get_or("index", int64_t{0})) + 1;
       out.allocations.push_back(std::move(record));
+    } else if (kind == "ckpt") {
+      // The checkpoint summarizes everything before it: replay keeps only
+      // the newest one plus the alloc tail after it — O(live), not
+      // O(history).
+      out.next_index =
+          static_cast<size_t>(record.get_or("next_index", int64_t{0}));
+      out.allocations.clear();
+      out.checkpoint = std::move(record);
+    } else if (kind == "compact") {
+      ++out.compactions;
     }
     // Unknown record kinds after the header are skipped (forward compat
     // within one schema version).
 
+    ++out.records;
     out.committed_bytes = line_end;
     pos = line_end;
   }
@@ -197,11 +272,26 @@ CampaignJournal CampaignJournal::open_for_append(const std::string& path,
   }
   CampaignJournal journal;
   journal.path_ = path;
-  journal.next_index_ = state.allocations.size();
-  journal.write_index_ = 1 + state.allocations.size();
+  journal.next_index_ = state.next_index;
+  journal.write_index_ = state.records;
   journal.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (journal.fd_ < 0) throw IoError("cannot open journal for append: " + path);
   return journal;
+}
+
+void CampaignJournal::set_group_commit(size_t records) {
+  if (records == 0) records = 1;
+  if (records < group_commit_) flush();
+  group_commit_ = records;
+}
+
+void CampaignJournal::flush() {
+  if (buffered_.empty()) return;
+  if (fd_ < 0) throw StateError("journal is not open for append");
+  durable_append(fd_, buffered_, path_, WriteKind::Append, write_index_);
+  ++write_index_;
+  buffered_.clear();
+  buffered_records_ = 0;
 }
 
 size_t CampaignJournal::append_allocation(Json record) {
@@ -210,8 +300,14 @@ size_t CampaignJournal::append_allocation(Json record) {
   record["kind"] = "alloc";
   record["index"] = index;
   const std::string line = record.dump() + "\n";
-  durable_append(fd_, line, path_, write_index_);
-  ++write_index_;
+  if (group_commit_ > 1) {
+    buffered_ += line;
+    ++buffered_records_;
+    if (buffered_records_ >= group_commit_) flush();
+  } else {
+    durable_append(fd_, line, path_, WriteKind::Append, write_index_);
+    ++write_index_;
+  }
   ++next_index_;
   if (obs::tracing_enabled()) {
     const size_t done =
@@ -221,6 +317,82 @@ size_t CampaignJournal::append_allocation(Json record) {
         {{"alloc", index}, {"done", done}, {"bytes", line.size()}});
   }
   return index;
+}
+
+void CampaignJournal::append_checkpoint(const Json& tracker_snapshot,
+                                        double clock) {
+  if (fd_ < 0) throw StateError("journal is not open for append");
+  flush();  // a checkpoint must summarize a durable prefix
+  Json record = Json::object();
+  record["kind"] = "ckpt";
+  record["next_index"] = static_cast<int64_t>(next_index_);
+  record["clock"] = clock;
+  record["tracker"] = tracker_snapshot;
+  const std::string line = record.dump() + "\n";
+  durable_append(fd_, line, path_, WriteKind::Checkpoint, write_index_);
+  ++write_index_;
+  if (obs::tracing_enabled()) {
+    obs::trace_instant("savanna", "savanna.journal.checkpoint",
+                       {{"alloc", next_index_},
+                        {"runs", tracker_snapshot.size()},
+                        {"bytes", line.size()}});
+  }
+}
+
+void CampaignJournal::compact() {
+  if (fd_ < 0) throw StateError("journal is not open for append");
+  flush();
+  const std::string text = read_file(path_);
+
+  // Split into complete lines (the file always ends with '\n' here: every
+  // append path writes whole lines and any torn tail was truncated at open).
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) break;
+    lines.push_back(text.substr(pos, newline - pos));
+    pos = newline + 1;
+  }
+  if (lines.empty()) return;
+
+  size_t last_ckpt = SIZE_MAX;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    try {
+      if (Json::parse(lines[i]).get_or("kind", "") == std::string("ckpt")) {
+        last_ckpt = i;
+      }
+    } catch (const std::exception&) {
+      // unreachable for a journal we hold open; be permissive anyway
+    }
+  }
+  if (last_ckpt == SIZE_MAX) return;  // nothing a checkpoint summarizes
+
+  const size_t dropped = last_ckpt - 1;  // records between header and ckpt
+  std::string compacted = lines[0] + "\n" + R"({"kind":"compact"})" + "\n";
+  for (size_t i = last_ckpt; i < lines.size(); ++i) {
+    compacted += lines[i];
+    compacted += '\n';
+  }
+  if (compacted == text) return;  // already compact — keep compact() idempotent
+
+  // Same atomicity as the header: the old journal stays intact until the
+  // rename, so a crash mid-compaction loses nothing.
+  run_hook(WriteKind::Compact, WritePhase::BeforeWrite, write_index_);
+  run_hook(WriteKind::Compact, WritePhase::MidWrite, write_index_);
+  ::close(fd_);
+  fd_ = -1;
+  write_file_atomic(path_, compacted);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) throw IoError("cannot reopen journal after compaction: " + path_);
+  run_hook(WriteKind::Compact, WritePhase::AfterSync, write_index_);
+  ++write_index_;
+  if (obs::tracing_enabled()) {
+    obs::trace_instant("savanna", "savanna.journal.compact",
+                       {{"dropped", dropped},
+                        {"bytes_before", text.size()},
+                        {"bytes_after", compacted.size()}});
+  }
 }
 
 }  // namespace ff::savanna

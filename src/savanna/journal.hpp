@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/json.hpp"
@@ -9,19 +12,72 @@
 namespace ff::savanna {
 
 /// On-disk journal schema version. Bump when the record shapes change;
-/// replay() refuses journals written by a newer (unknown) schema rather
-/// than silently misreading them.
-inline constexpr int64_t kJournalSchemaVersion = 1;
+/// replay() refuses journals written by a different schema rather than
+/// silently misreading them. The normative byte-level format lives in
+/// docs/journal_format.md, kept in sync with journal_record_registry() by
+/// tests/savanna/journal_format_doc_test.
+inline constexpr int64_t kJournalSchemaVersion = 2;
+
+/// Run sets up to this size are inlined into the header as a "runs" array
+/// (exact ids, grep-able). Larger campaigns carry only the count + digest —
+/// a million-run header would otherwise dwarf the journal it heads.
+inline constexpr size_t kInlineRunListMax = 4096;
+
+/// Streaming FNV-1a/64 over the run-id sequence (each id framed with a
+/// trailing '\n' so {"ab","c"} and {"a","bc"} differ). Both the journal
+/// header and the manifest side of the lint drift check use this, so a
+/// million-run set is compared in O(1) space without materializing ids.
+class RunSetDigest {
+ public:
+  void add(std::string_view run_id) {
+    for (const char c : run_id) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kPrime;
+    }
+    hash_ ^= static_cast<unsigned char>('\n');
+    hash_ *= kPrime;
+    ++count_;
+  }
+  size_t count() const noexcept { return count_; }
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return std::string(buf);
+  }
+
+ private:
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash_ = 1469598103934665603ull;  // FNV offset basis
+  size_t count_ = 0;
+};
+
+/// One entry of the journal's record-type registry: the single source of
+/// truth for which "kind" values exist on disk. docs/journal_format.md must
+/// document exactly these (enforced both directions by ctest).
+struct JournalRecordInfo {
+  std::string_view kind;     // the "kind" field value, e.g. "ckpt"
+  std::string_view name;     // human name, e.g. "checkpoint"
+  std::string_view summary;  // one-line description
+};
+const std::vector<JournalRecordInfo>& journal_record_registry();
+const JournalRecordInfo* find_journal_record(std::string_view kind);
 
 /// Crash-consistent, append-only JSONL journal of campaign execution state
 /// — the durable half of "partially completed SweepGroups are re-submitted,
 /// and Savanna resumes execution of the experiments" (paper Section IV).
 ///
-/// File layout (one JSON object per line):
+/// File layout (one JSON object per line; see docs/journal_format.md for
+/// the normative spec):
 ///
-///   {"kind":"header","schema":1,"campaign":"...","runs":["id",...]}
+///   {"kind":"header","schema":2,"campaign":"...","run_count":6, ...}
 ///   {"kind":"alloc","index":0,"start":0.0,"end":40.0,...}   one per
 ///   {"kind":"alloc","index":1,...}                           allocation
+///   {"kind":"ckpt","next_index":2,"clock":80.0,"tracker":{...}}
+///
+/// plus, in a compacted journal, a {"kind":"compact"} marker right after
+/// the header recording that alloc records before the checkpoint were
+/// folded into it.
 ///
 /// Consistency contract (what resume_campaign relies on):
 ///
@@ -32,9 +88,18 @@ inline constexpr int64_t kJournalSchemaVersion = 1;
 ///   allocation's provenance is durable. The fsync is the *commit point*:
 ///   a campaign killed before it simply re-executes that allocation on
 ///   resume (nothing outside the journal was made durable either).
+///   With group commit (set_group_commit > 1) the commit point moves to
+///   the batch flush: one write + fsync covers the whole batch, and a
+///   crash loses at most the unflushed batch — which is then re-executed.
 /// * A crash mid-append leaves at most one torn (partial) final line.
 ///   replay() detects and drops it; open() truncates it away via an
 ///   atomic rewrite before appending resumes.
+/// * A checkpoint record summarizes every allocation before it; replay
+///   restores the newest checkpoint and only the alloc records after it,
+///   making resume O(live tail), not O(campaign history).
+/// * Compaction rewrites the file as header + compact marker + newest
+///   checkpoint + tail, via the same tmp + rename as the header — a crash
+///   mid-compaction leaves the previous journal intact.
 ///
 /// The journal stores exactly what apply_report_to_tracker() consumes, so
 /// replaying it rebuilds a RunTracker byte-identical to the tracker of an
@@ -49,20 +114,39 @@ class CampaignJournal {
   CampaignJournal(const CampaignJournal&) = delete;
   CampaignJournal& operator=(const CampaignJournal&) = delete;
 
+  /// The run set as the header stores it at scale: size + streaming digest.
+  struct RunSetSummary {
+    size_t count = 0;
+    std::string digest;  // RunSetDigest::hex() over the ids in order
+  };
+
   /// Create a fresh journal at `path` (overwriting any existing file) with
-  /// a schema-versioned header registering `run_ids`, and open it for
-  /// appending. Emits `savanna.journal.open`.
+  /// a schema-versioned header registering `run_ids` (inlined when small
+  /// enough, always digested), and open it for appending. Emits
+  /// `savanna.journal.open`.
   static CampaignJournal create(const std::string& path,
                                 const std::string& campaign_name,
                                 const std::vector<std::string>& run_ids);
 
+  /// Same, but from a pre-computed summary — the million-run path, where
+  /// the id list is streamed through RunSetDigest and never materialized.
+  static CampaignJournal create(const std::string& path,
+                                const std::string& campaign_name,
+                                const RunSetSummary& run_set);
+
   /// What replay() recovered from a journal file.
   struct Replay {
     Json header;                    // null when the file is missing/empty
-    std::vector<Json> allocations;  // committed "alloc" records, in order
+    Json checkpoint;                // newest "ckpt" record (null if none)
+    std::vector<Json> allocations;  // committed "alloc" records *after* the
+                                    // newest checkpoint, in order
+    size_t next_index = 0;          // next allocation index to assign
+    size_t records = 0;             // committed lines (header included)
+    size_t compactions = 0;         // "compact" markers seen
     bool torn_tail = false;         // a partial final line was dropped
     size_t committed_bytes = 0;     // file offset after the last good line
     bool has_header() const { return header.is_object(); }
+    bool has_checkpoint() const { return checkpoint.is_object(); }
   };
 
   /// Parse a journal file, tolerating a torn final line (dropped, flagged).
@@ -77,37 +161,69 @@ class CampaignJournal {
   static CampaignJournal open_for_append(const std::string& path,
                                          const Replay& state);
 
-  /// Append one allocation record (adds "kind" and "index") and fsync it.
-  /// Returns the record's allocation index.
+  /// Append one allocation record (adds "kind" and "index"). With group
+  /// commit disabled (the default) the record is fsync'd before returning;
+  /// otherwise it is buffered until the batch flushes. Returns the
+  /// record's allocation index.
   size_t append_allocation(Json record);
+
+  /// Append a checkpoint record carrying the tracker snapshot (the
+  /// to_json_started() shape) and the virtual clock. Flushes any buffered
+  /// batch first, so the checkpoint always summarizes a durable prefix.
+  /// Emits `savanna.journal.checkpoint`.
+  void append_checkpoint(const Json& tracker_snapshot, double clock);
+
+  /// Rewrite the journal as header + compact marker + newest checkpoint +
+  /// subsequent records, dropping the alloc history the checkpoint already
+  /// summarizes. Atomic (tmp + rename); a no-op when there is no
+  /// checkpoint or nothing precedes it. Emits `savanna.journal.compact`.
+  void compact();
+
+  /// Batch size for group commit: 1 (default) fsyncs every record;
+  /// n > 1 buffers up to n records and commits them with one write+fsync.
+  void set_group_commit(size_t records);
+  /// Durably commit any buffered records now.
+  void flush();
 
   bool is_open() const noexcept { return fd_ >= 0; }
   const std::string& path() const noexcept { return path_; }
-  /// Index the next appended allocation record will get (== header + alloc
-  /// records ever committed to this journal).
+  /// Index the next appended allocation record will get (== alloc records
+  /// ever committed to this journal, across checkpoints and compactions).
   size_t next_allocation_index() const noexcept { return next_index_; }
 
   void close();
 
   /// Test-only fault hook, called at phases of every durable write (the
-  /// header counts as write #0, each append as the next). The crash/resume
-  /// harness uses it to SIGKILL the process at fuzzer-chosen points,
-  /// including mid-line to manufacture genuine torn writes.
+  /// header counts as write #0, each append/checkpoint/compaction as the
+  /// next). The crash/resume harness uses it to SIGKILL the process at
+  /// fuzzer-chosen points, including mid-line to manufacture genuine torn
+  /// writes.
+  enum class WriteKind {
+    Header,      // atomic header create
+    Append,      // alloc record (or a group-commit batch of them)
+    Checkpoint,  // ckpt record
+    Compact,     // atomic whole-file compaction rewrite
+  };
   enum class WritePhase {
     BeforeWrite,  // nothing of this record on disk yet
     MidWrite,     // a partial line is on disk (fsync'd) — a torn write
     AfterSync,    // the record is fully committed
   };
-  using WriteHook = std::function<void(WritePhase, size_t write_index)>;
+  using WriteHook =
+      std::function<void(WriteKind kind, WritePhase phase, size_t write_index)>;
   static void set_test_write_hook(WriteHook hook);
 
  private:
-  void append_line(const std::string& line);
+  static CampaignJournal create_with_header(const std::string& path, Json header,
+                                            size_t run_count);
 
   int fd_ = -1;
   std::string path_;
   size_t next_index_ = 0;   // next allocation record index
   size_t write_index_ = 0;  // durable writes issued through this handle
+  size_t group_commit_ = 1;
+  std::string buffered_;    // group-commit batch not yet durable
+  size_t buffered_records_ = 0;
 };
 
 }  // namespace ff::savanna

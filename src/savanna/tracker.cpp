@@ -1,5 +1,7 @@
 #include "savanna/tracker.hpp"
 
+#include <algorithm>
+
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -22,32 +24,66 @@ void trace_state(const std::string& run_id, const char* state, double time,
 
 }  // namespace
 
+RunTracker::RunTracker(size_t shard_count)
+    : shards_(shard_count == 0 ? 1 : shard_count) {}
+
+size_t RunTracker::shard_of(const std::string& run_id) const noexcept {
+  return std::hash<std::string>{}(run_id) % shards_.size();
+}
+
 void RunTracker::add_run(const std::string& run_id) {
-  if (!runs_.emplace(run_id, RunRecord{}).second) {
+  Shard& shard = shards_[shard_of(run_id)];
+  if (!shard.runs.emplace(run_id, RunRecord{}).second) {
     throw ValidationError("RunTracker: duplicate run '" + run_id + "'");
   }
+  ++shard.live;
+  ++live_;
+  ++counts_.total;
+  ++counts_.never_started;
 }
 
 bool RunTracker::has_run(const std::string& run_id) const noexcept {
-  return runs_.count(run_id) > 0;
+  return shards_[shard_of(run_id)].runs.count(run_id) > 0;
 }
 
 RunTracker::RunRecord& RunTracker::require(const std::string& run_id) {
-  auto it = runs_.find(run_id);
-  if (it == runs_.end()) throw NotFoundError("RunTracker: unknown run '" + run_id + "'");
+  Shard& shard = shards_[shard_of(run_id)];
+  auto it = shard.runs.find(run_id);
+  if (it == shard.runs.end()) {
+    throw NotFoundError("RunTracker: unknown run '" + run_id + "'");
+  }
   return it->second;
 }
 
 const RunTracker::RunRecord& RunTracker::require(const std::string& run_id) const {
-  auto it = runs_.find(run_id);
-  if (it == runs_.end()) throw NotFoundError("RunTracker: unknown run '" + run_id + "'");
+  const Shard& shard = shards_[shard_of(run_id)];
+  auto it = shard.runs.find(run_id);
+  if (it == shard.runs.end()) {
+    throw NotFoundError("RunTracker: unknown run '" + run_id + "'");
+  }
   return it->second;
+}
+
+void RunTracker::on_terminal(const std::string& run_id) {
+  --shards_[shard_of(run_id)].live;
+  --live_;
 }
 
 void RunTracker::mark_started(const std::string& run_id, double time, int node) {
   RunRecord& run = require(run_id);
   if (run.last_state == "running") {
     throw StateError("RunTracker: run '" + run_id + "' already running");
+  }
+  // Counter bookkeeping: the run leaves whichever non-running bucket it was in.
+  if (run.last_state == "pending") --counts_.never_started;
+  else if (run.last_state == "failed") --counts_.failed;
+  else if (run.last_state == "killed") --counts_.killed;
+  else if (run.last_state == "done") --counts_.done;
+  else if (run.last_state == "exhausted") --counts_.exhausted;
+  if (run.last_state == "done" || run.last_state == "exhausted") {
+    // Restarting a terminal run (legal, if unusual) makes it live again.
+    ++shards_[shard_of(run_id)].live;
+    ++live_;
   }
   run.events.push_back(EventRecord{"start", time, node, ""});
   run.last_state = "running";
@@ -62,6 +98,8 @@ void RunTracker::mark_done(const std::string& run_id, double time) {
   }
   run.events.push_back(EventRecord{"done", time, -1, ""});
   run.last_state = "done";
+  ++counts_.done;
+  on_terminal(run_id);
   trace_state(run_id, "done", time, -1, run.attempts - 1);
 }
 
@@ -73,6 +111,7 @@ void RunTracker::mark_failed(const std::string& run_id, double time,
   }
   run.events.push_back(EventRecord{"failed", time, -1, reason});
   run.last_state = "failed";
+  ++counts_.failed;
   trace_state(run_id, "failed", time, -1, run.attempts - 1);
 }
 
@@ -83,6 +122,7 @@ void RunTracker::mark_killed(const std::string& run_id, double time) {
   }
   run.events.push_back(EventRecord{"killed", time, -1, "walltime"});
   run.last_state = "killed";
+  ++counts_.killed;
   trace_state(run_id, "killed", time, -1, run.attempts - 1);
 }
 
@@ -93,18 +133,26 @@ void RunTracker::mark_exhausted(const std::string& run_id, double time,
     throw StateError("RunTracker: run '" + run_id +
                      "' cannot be exhausted from state '" + run.last_state + "'");
   }
+  if (run.last_state == "failed") --counts_.failed;
+  else --counts_.killed;
   run.events.push_back(EventRecord{"exhausted", time, -1, reason});
   run.last_state = "exhausted";
+  ++counts_.exhausted;
+  on_terminal(run_id);
   trace_state(run_id, "exhausted", time, -1, run.attempts - 1);
 }
 
 std::vector<std::string> RunTracker::needing_rerun() const {
   std::vector<std::string> out;
-  for (const auto& [run_id, run] : runs_) {
-    if (run.last_state != "done" && run.last_state != "exhausted") {
-      out.push_back(run_id);
+  for (const Shard& shard : shards_) {
+    if (shard.live == 0) continue;  // every run here is done/exhausted
+    for (const auto& [run_id, run] : shard.runs) {
+      if (run.last_state != "done" && run.last_state != "exhausted") {
+        out.push_back(run_id);
+      }
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -121,43 +169,47 @@ RunTracker::RunStatus RunTracker::status(const std::string& run_id) const {
   return status;
 }
 
-RunTracker::Counts RunTracker::counts() const {
-  Counts counts;
-  counts.total = runs_.size();
-  for (const auto& [_, run] : runs_) {
-    if (run.last_state == "done") ++counts.done;
-    else if (run.last_state == "failed") ++counts.failed;
-    else if (run.last_state == "killed") ++counts.killed;
-    else if (run.last_state == "exhausted") ++counts.exhausted;
-    else if (run.last_state == "pending") ++counts.never_started;
+Json RunTracker::record_to_json(const RunRecord& run) {
+  Json record = Json::object();
+  record["state"] = run.last_state;
+  record["attempts"] = static_cast<int64_t>(run.attempts);
+  Json events = Json::array();
+  for (const EventRecord& event : run.events) {
+    Json entry = Json::object();
+    entry["kind"] = event.kind;
+    entry["time"] = event.time;
+    if (event.node >= 0) entry["node"] = static_cast<int64_t>(event.node);
+    if (!event.detail.empty()) entry["detail"] = event.detail;
+    events.push_back(std::move(entry));
   }
-  return counts;
+  record["events"] = std::move(events);
+  return record;
 }
 
 Json RunTracker::to_json() const {
+  // Json objects are sorted maps, so insertion order does not matter: the
+  // export is deterministic (and byte-identical to the pre-sharding layout).
   Json out = Json::object();
-  for (const auto& [run_id, run] : runs_) {
-    Json record = Json::object();
-    record["state"] = run.last_state;
-    record["attempts"] = static_cast<int64_t>(run.attempts);
-    Json events = Json::array();
-    for (const EventRecord& event : run.events) {
-      Json entry = Json::object();
-      entry["kind"] = event.kind;
-      entry["time"] = event.time;
-      if (event.node >= 0) entry["node"] = static_cast<int64_t>(event.node);
-      if (!event.detail.empty()) entry["detail"] = event.detail;
-      events.push_back(std::move(entry));
+  for (const Shard& shard : shards_) {
+    for (const auto& [run_id, run] : shard.runs) {
+      out[run_id] = record_to_json(run);
     }
-    record["events"] = std::move(events);
-    out[run_id] = std::move(record);
   }
   return out;
 }
 
-RunTracker RunTracker::from_json(const Json& json) {
-  RunTracker tracker;
-  for (const auto& [run_id, record] : json.as_object()) {
+Json RunTracker::to_json_started() const {
+  Json out = Json::object();
+  for (const Shard& shard : shards_) {
+    for (const auto& [run_id, run] : shard.runs) {
+      if (!run.events.empty()) out[run_id] = record_to_json(run);
+    }
+  }
+  return out;
+}
+
+void RunTracker::restore(const Json& records) {
+  for (const auto& [run_id, record] : records.as_object()) {
     RunRecord run;
     run.last_state = record["state"].as_string();
     run.attempts = static_cast<size_t>(record.get_or("attempts", int64_t{0}));
@@ -169,8 +221,29 @@ RunTracker RunTracker::from_json(const Json& json) {
       event.detail = entry.get_or("detail", "");
       run.events.push_back(std::move(event));
     }
-    tracker.runs_[run_id] = std::move(run);
+    Shard& shard = shards_[shard_of(run_id)];
+    const std::string state = run.last_state;
+    if (!shard.runs.emplace(run_id, std::move(run)).second) {
+      throw ValidationError("RunTracker: duplicate run '" + run_id + "'");
+    }
+    ++counts_.total;
+    if (state == "done") ++counts_.done;
+    else if (state == "failed") ++counts_.failed;
+    else if (state == "killed") ++counts_.killed;
+    else if (state == "exhausted") ++counts_.exhausted;
+    else if (state == "pending") ++counts_.never_started;
+    if (state == "done" || state == "exhausted") {
+      // terminal on arrival: never counted live
+    } else {
+      ++shard.live;
+      ++live_;
+    }
   }
+}
+
+RunTracker RunTracker::from_json(const Json& json) {
+  RunTracker tracker;
+  tracker.restore(json);
   return tracker;
 }
 

@@ -1,7 +1,7 @@
 #pragma once
 
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/json.hpp"
@@ -12,8 +12,20 @@ namespace ff::savanna {
 /// timestamp and attempt number. This is the ComponentRecords tier of the
 /// Provenance gauge made concrete — and what frees researchers from
 /// "manually curating a list of failed runs" (paper Section II-B).
+///
+/// State is sharded into a fixed array of hash buckets so the hot
+/// operations stay flat as campaigns grow to 10^6 runs: a status update is
+/// one hash-map touch, counts() reads incrementally maintained aggregates
+/// in O(1), and the terminal-state sweep behind needing_rerun() skips every
+/// shard whose live-run counter has reached zero instead of scanning all
+/// history. Exported provenance (to_json) is sorted by run id, so it stays
+/// byte-identical to the old ordered-map implementation.
 class RunTracker {
  public:
+  static constexpr size_t kDefaultShardCount = 64;
+
+  explicit RunTracker(size_t shard_count = kDefaultShardCount);
+
   /// Register a run (attempt counter starts at 0).
   void add_run(const std::string& run_id);
   bool has_run(const std::string& run_id) const noexcept;
@@ -29,8 +41,11 @@ class RunTracker {
 
   /// Runs whose latest attempt did not finish (never started, failed, or
   /// killed) — exactly the set a re-submission must execute. Excludes
-  /// `done` and the terminal `exhausted` state.
+  /// `done` and the terminal `exhausted` state. Sorted by run id.
   std::vector<std::string> needing_rerun() const;
+
+  /// Runs not yet in a terminal state (`done`/`exhausted`) — O(1).
+  size_t live_runs() const noexcept { return live_; }
 
   size_t attempts(const std::string& run_id) const;
 
@@ -51,10 +66,20 @@ class RunTracker {
     size_t exhausted = 0;
     size_t never_started = 0;
   };
-  Counts counts() const;
+  /// O(1): aggregates are maintained incrementally by the mark_* calls.
+  Counts counts() const { return counts_; }
 
-  /// Full provenance export (one record per run with its event list).
+  /// Full provenance export (one record per run with its event list),
+  /// sorted by run id.
   Json to_json() const;
+  /// Sparse export: only runs with at least one recorded event. This is the
+  /// journal checkpoint payload — pending runs carry no state a resume
+  /// could not recreate from the manifest, so a checkpoint's size tracks
+  /// the started population, not the sweep size.
+  Json to_json_started() const;
+  /// Load records (the to_json/to_json_started shape) into this tracker.
+  /// Throws ValidationError on a run id already present.
+  void restore(const Json& records);
   static RunTracker from_json(const Json& json);
 
  private:
@@ -70,11 +95,21 @@ class RunTracker {
     std::string last_state = "pending";
     size_t attempts = 0;
   };
+  struct Shard {
+    std::unordered_map<std::string, RunRecord> runs;
+    size_t live = 0;  // runs in this shard not yet done/exhausted
+  };
 
+  size_t shard_of(const std::string& run_id) const noexcept;
   RunRecord& require(const std::string& run_id);
   const RunRecord& require(const std::string& run_id) const;
+  /// Counter bookkeeping shared by the terminal transitions.
+  void on_terminal(const std::string& run_id);
+  static Json record_to_json(const RunRecord& run);
 
-  std::map<std::string, RunRecord> runs_;
+  std::vector<Shard> shards_;
+  Counts counts_;
+  size_t live_ = 0;
 };
 
 }  // namespace ff::savanna

@@ -130,6 +130,86 @@ TEST(SweepGroup, JsonRoundTrip) {
   EXPECT_EQ(reparsed.run_count(), 10u);
 }
 
+TEST(Sweep, RunAtDecodesAnyIndexIndependently) {
+  Sweep sweep("s");
+  sweep.add(Parameter::values("a", ParamLayer::Application, {Json(1), Json(2)}))
+      .add(Parameter::values("b", ParamLayer::Application,
+                             {Json("x"), Json("y"), Json("z")}))
+      .add_derived("label", "a{{a}}-{{b}}");
+  const auto runs = sweep.generate();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunSpec decoded = sweep.run_at(i);
+    EXPECT_EQ(decoded.id, runs[i].id);
+    EXPECT_EQ(decoded.to_json().dump(), runs[i].to_json().dump())
+        << "run_at(" << i << ") diverges from generate()";
+  }
+  EXPECT_THROW(sweep.run_at(runs.size()), ValidationError);
+}
+
+TEST(Sweep, LazyRunRangeMatchesGenerate) {
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("a", ParamLayer::Application, 0, 4))
+      .add(Parameter::int_range("b", ParamLayer::System, 0, 3));
+  const auto eager = sweep.generate();
+  size_t i = 0;
+  for (const RunSpec& run : sweep.runs()) {
+    ASSERT_LT(i, eager.size());
+    EXPECT_EQ(run.to_json().dump(), eager[i].to_json().dump());
+    ++i;
+  }
+  EXPECT_EQ(i, eager.size());
+}
+
+TEST(SweepGroup, LazyIteratorMatchesGenerateAcrossSweepBoundaries) {
+  SweepGroup group("g");
+  Sweep s1("one");
+  s1.add(Parameter::int_range("x", ParamLayer::Application, 1, 2));
+  Sweep s2("two");
+  s2.add(Parameter::int_range("y", ParamLayer::Application, 1, 3));
+  group.add(std::move(s1)).add(std::move(s2));
+  const auto eager = group.generate();
+  std::vector<std::string> lazy_ids;
+  group.for_each_run([&](const RunSpec& run) { lazy_ids.push_back(run.id); });
+  ASSERT_EQ(lazy_ids.size(), eager.size());
+  for (size_t i = 0; i < eager.size(); ++i) EXPECT_EQ(lazy_ids[i], eager[i].id);
+}
+
+TEST(SweepGroup, MillionRunGroupIteratesWithoutMaterializing) {
+  // 10^6 runs: the submission path must stream run ids from the decoder —
+  // generate() would hold a million RunSpec maps in memory. Only the
+  // iterator is exercised here; nothing proportional to run_count() is
+  // allocated.
+  SweepGroup group("mega");
+  Sweep sweep("s");
+  sweep.add(Parameter::int_range("a", ParamLayer::Application, 0, 99))
+      .add(Parameter::int_range("b", ParamLayer::Middleware, 0, 99))
+      .add(Parameter::int_range("c", ParamLayer::System, 0, 99));
+  group.add(std::move(sweep));
+  ASSERT_EQ(group.run_count(), 1000000u);
+
+  size_t seen = 0;
+  std::string first_id, last_id;
+  int64_t checksum = 0;
+  group.for_each_run([&](const RunSpec& run) {
+    if (seen == 0) first_id = run.id;
+    last_id = run.id;
+    checksum += run.param("c").as_int();
+    ++seen;
+  });
+  EXPECT_EQ(seen, 1000000u);
+  EXPECT_EQ(first_id, "mega/s/run-0000");
+  EXPECT_EQ(last_id, "mega/s/run-999999");
+  // Sum of the fastest-varying parameter over the full product.
+  EXPECT_EQ(checksum, static_cast<int64_t>(99 * 100 / 2) * 10000);
+
+  // Random access at scale: decode a single deep index without iterating.
+  const RunSpec probe = group.sweeps()[0].run_at(123456, "mega/s/run-");
+  EXPECT_EQ(probe.id, "mega/s/run-123456");
+  EXPECT_EQ(probe.param("a").as_int(), 12);
+  EXPECT_EQ(probe.param("b").as_int(), 34);
+  EXPECT_EQ(probe.param("c").as_int(), 56);
+}
+
 TEST(Sweep, LargeCrossProductEnumeratesAllCombinations) {
   Sweep sweep;
   sweep.add(Parameter::int_range("a", ParamLayer::Application, 0, 9))

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace ff::sim {
@@ -136,6 +140,99 @@ TEST(Simulation, ManyEventsStressDeterminism) {
     return fired;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Calendar-queue behavior: the bucket structure must be invisible except for
+// speed. These stress patterns force growth, shrinkage, and slot wraparound
+// and compare against a reference stable sort on (time, schedule order).
+// ---------------------------------------------------------------------------
+
+TEST(Simulation, CalendarStressMatchesStableSortReference) {
+  Simulation sim;
+  std::vector<std::pair<double, uint64_t>> scheduled;
+  std::vector<uint64_t> fired;
+  uint64_t lcg = 0x5DEECE66Dull;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    // Mix wide spreads with dense clusters so bucket widths get re-derived.
+    const double t = (i % 3 == 0)
+                         ? static_cast<double>(lcg % 1000000) / 10.0
+                         : static_cast<double>(lcg % 97);
+    scheduled.emplace_back(t, i);
+    sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(fired.size(), scheduled.size());
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], scheduled[i].second) << "divergence at event " << i;
+  }
+  EXPECT_EQ(sim.events_processed(), 20000u);
+}
+
+TEST(Simulation, GrowShrinkChurnKeepsOrderAndExactlyOnce) {
+  Simulation sim;
+  std::vector<double> fired_times;
+  size_t expected = 0;
+  double horizon = 0.0;
+  uint64_t lcg = 42;
+  for (int round = 0; round < 12; ++round) {
+    // Schedule a burst (forces growth), cancel a third of it (forces the
+    // shrink path as run_until drains the rest).
+    std::vector<std::pair<uint64_t, double>> scheduled;
+    for (int i = 0; i < 500; ++i) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const double t = sim.now() + 1.0 + static_cast<double>(lcg % 1000) / 7.0;
+      scheduled.emplace_back(sim.schedule_at(t, [&fired_times, &sim] {
+        fired_times.push_back(sim.now());
+      }), t);
+    }
+    for (size_t i = 0; i < scheduled.size(); ++i) {
+      if (i % 3 == 0) {
+        ASSERT_TRUE(sim.cancel(scheduled[i].first));
+      } else {
+        horizon = std::max(horizon, scheduled[i].second);
+        ++expected;
+      }
+    }
+    sim.run_until(sim.now() + 40.0);
+  }
+  sim.run();
+  ASSERT_EQ(fired_times.size(), expected);
+  EXPECT_TRUE(std::is_sorted(fired_times.begin(), fired_times.end()));
+  EXPECT_EQ(sim.now(), horizon);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, InfiniteTimesFireAfterAllFiniteEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(std::numeric_limits<double>::infinity(),
+                  [&] { order.push_back(100); });
+  sim.schedule_at(5.0, [&] { order.push_back(5); });
+  sim.schedule_at(std::numeric_limits<double>::infinity(),
+                  [&] { order.push_back(101); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5, 100, 101}));
+  EXPECT_THROW(sim.schedule_at(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               Error);
+}
+
+TEST(Simulation, IdenticalTimesAtScaleStayInScheduleOrder) {
+  // Degenerate case for a calendar queue: every event lands in one bucket
+  // and the median-gap width heuristic sees all-zero gaps.
+  Simulation sim;
+  std::vector<uint64_t> fired;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    sim.schedule_at(7.25, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) EXPECT_EQ(fired[i], i);
+  EXPECT_EQ(sim.now(), 7.25);
 }
 
 }  // namespace

@@ -56,7 +56,7 @@ TEST(LintEngine, JournalPicksUpSiblingManifestAutomatically) {
     "groups": []
   })");
   write_file(dir.file("journal.jsonl"),
-             "{\"kind\":\"header\",\"schema\":1,\"campaign\":\"impostor\","
+             "{\"kind\":\"header\",\"schema\":2,\"campaign\":\"impostor\","
              "\"runs\":[]}\n");
   const LintEngine engine;
   const LintReport report = engine.lint_file(dir.file("journal.jsonl"));
@@ -74,7 +74,7 @@ TEST(LintEngine, JournalPicksUpSiblingManifestAutomatically) {
 TEST(LintEngine, JournalWithoutSiblingManifestSkipsDriftChecks) {
   TempDir dir("lintengine");
   write_file(dir.file("journal.jsonl"),
-             "{\"kind\":\"header\",\"schema\":1,\"campaign\":\"solo\","
+             "{\"kind\":\"header\",\"schema\":2,\"campaign\":\"solo\","
              "\"runs\":[]}\n");
   const LintEngine engine;
   const LintReport report = engine.lint_file(dir.file("journal.jsonl"));

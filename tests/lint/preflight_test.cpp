@@ -105,7 +105,7 @@ TEST(ResumePreflight, TornTailIsANoteAndResumeStillCompletes) {
   TempDir dir("preflight");
   const std::string path = dir.file("journal.jsonl");
   write_file(path,
-             R"({"kind":"header","schema":1,"campaign":"campaign","runs":["t0"]})"
+             R"({"kind":"header","schema":2,"campaign":"campaign","runs":["t0"]})"
              "\n{\"kind\":\"all");  // torn mid-append
   sim::Simulation sim;
   savanna::RunTracker tracker;

@@ -80,7 +80,7 @@ TEST(CampaignRules, ManifestRunIdsExpandTheCartesianProduct) {
 // ---------------------------------------------------------------------------
 
 constexpr const char* kHeader =
-    R"({"kind":"header","schema":1,"campaign":"camp","runs":["g/s/run-0000"]})";
+    R"({"kind":"header","schema":2,"campaign":"camp","runs":["g/s/run-0000"]})";
 
 Json matching_manifest() {
   return Json::parse(R"({
@@ -177,7 +177,7 @@ TEST(JournalLint, CampaignNameMismatchIsFF205) {
 TEST(JournalLint, RunSetDriftFiresInBothDirections) {
   // Journal registers a run the manifest no longer produces...
   const std::string shrunk =
-      R"({"kind":"header","schema":1,"campaign":"camp",)"
+      R"({"kind":"header","schema":2,"campaign":"camp",)"
       R"("runs":["g/s/run-0000","g/s/run-0001"]})"
       "\n";
   const LintReport gone =
@@ -189,7 +189,7 @@ TEST(JournalLint, RunSetDriftFiresInBothDirections) {
 
   // ...and the manifest grew a run the journal never registered.
   const std::string stale =
-      R"({"kind":"header","schema":1,"campaign":"camp","runs":[]})"
+      R"({"kind":"header","schema":2,"campaign":"camp","runs":[]})"
       "\n";
   const LintReport grew =
       lint_journal_text(stale, "j.jsonl", matching_manifest(), "m.json");
@@ -197,6 +197,72 @@ TEST(JournalLint, RunSetDriftFiresInBothDirections) {
   EXPECT_EQ(grew.diagnostics()[0].code, "FF205");
   EXPECT_NE(grew.diagnostics()[0].message.find("never registered"),
             std::string::npos);
+}
+
+TEST(JournalLint, DigestDriftFiresWhenHeaderCarriesNoInlineRuns) {
+  // A scale-sized journal header: count + digest, no inline run list. The
+  // digest below is for a different run set than the manifest's.
+  const std::string text =
+      R"({"kind":"header","schema":2,"campaign":"camp",)"
+      R"("run_count":2,"runs_digest":"0000000000000000"})"
+      "\n";
+  const LintReport report =
+      lint_journal_text(text, "j.jsonl", matching_manifest(), "m.json");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF205");
+  EXPECT_EQ(report.diagnostics()[0].location.json_path, "runs_digest");
+  EXPECT_NE(report.diagnostics()[0].message.find("drifted"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FF209 checkpoint-coverage-gap
+// ---------------------------------------------------------------------------
+
+TEST(JournalLint, CheckpointedAndCompactedJournalIsClean) {
+  const std::string text =
+      std::string(kHeader) + "\n" +
+      R"({"kind":"compact"})" "\n" +
+      R"({"kind":"ckpt","next_index":2,"clock":80.0,"tracker":{}})" "\n" +
+      R"({"kind":"alloc","index":2,"start":80.0,"end":120.0})" "\n";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+TEST(JournalLint, CheckpointDisagreeingWithAllocCountIsFF209) {
+  const std::string text =
+      std::string(kHeader) + "\n" +
+      R"({"kind":"alloc","index":0})" "\n" +
+      R"({"kind":"ckpt","next_index":5,"clock":10.0,"tracker":{}})" "\n";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF209");
+  EXPECT_EQ(report.diagnostics()[0].location.line, 3u);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(JournalLint, AllocAfterCompactWithoutCheckpointIsFF209) {
+  // A compaction marker voids index coverage; an alloc record arriving
+  // before any checkpoint means history was dropped unsummarized.
+  const std::string text =
+      std::string(kHeader) + "\n" +
+      R"({"kind":"compact"})" "\n" +
+      R"({"kind":"alloc","index":7})" "\n";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF209");
+  EXPECT_NE(report.diagnostics()[0].message.find("compaction marker"),
+            std::string::npos);
+}
+
+TEST(JournalLint, AllocIndexGapIsFF209) {
+  const std::string text =
+      std::string(kHeader) + "\n" +
+      R"({"kind":"alloc","index":0})" "\n" +
+      R"({"kind":"alloc","index":3})" "\n";
+  const LintReport report = lint_journal_text(text, "j.jsonl", Json(), "");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF209");
+  EXPECT_EQ(report.diagnostics()[0].location.line, 3u);
 }
 
 }  // namespace

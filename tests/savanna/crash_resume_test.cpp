@@ -9,12 +9,19 @@
 //     "completed" record);
 //   * the final RunTracker provenance is byte-identical to an
 //     uninterrupted run's, and so is the journal file itself.
+//
+// Three batteries: the PR-3 fsync-per-record configuration, a checkpointed
+// + compacted + group-committed configuration (kills land mid-checkpoint
+// and mid-compaction too), and a 100k-run scale case proving resume is
+// O(live tail) after compaction.
 
 #include <gtest/gtest.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -39,12 +46,14 @@ std::vector<sim::TaskSpec> campaign_tasks() {
   return tasks;
 }
 
-CampaignRunOptions campaign_options(const RunTracker& tracker) {
+CampaignRunOptions campaign_options(const RunTracker& tracker,
+                                    const JournalPolicy& policy = {}) {
   CampaignRunOptions options;
   options.execution.nodes = 2;
   options.execution.walltime_s = 100;  // forces several re-submissions
   options.retry.max_attempts = 2;     // "t7" exhausts, the rest complete
   options.retry.base_backoff_s = 7;
+  options.journal = policy;
   // Failure fates must be identical in the original and resumed processes,
   // so key them off durable state only: the task id and the attempt count
   // already committed to the journal (the tracker is rebuilt from it).
@@ -66,11 +75,12 @@ struct CampaignOutcome {
 };
 
 /// Run (or resume) the campaign at `journal_path` to completion.
-CampaignOutcome drive_to_completion(const std::string& journal_path) {
+CampaignOutcome drive_to_completion(const std::string& journal_path,
+                                    const JournalPolicy& policy = {}) {
   sim::Simulation sim;
   RunTracker tracker;
   const auto tasks = campaign_tasks();
-  const auto options = campaign_options(tracker);
+  const auto options = campaign_options(tracker, policy);
   CampaignOutcome outcome;
   outcome.result =
       resume_campaign(sim, tasks, options, tracker, journal_path, "crash-test")
@@ -80,26 +90,62 @@ CampaignOutcome drive_to_completion(const std::string& journal_path) {
   return outcome;
 }
 
-/// Fork a child that runs the campaign and SIGKILLs itself at the given
-/// write/phase. Returns true if the child died by SIGKILL (it always
-/// should: every chosen write index is reached by the full campaign).
-bool run_child_killed_at(const std::string& journal_path, size_t kill_write,
-                         CampaignJournal::WritePhase kill_phase) {
+/// One hook invocation of an uninterrupted campaign, in order. The child's
+/// pre-kill invocation sequence is identical (the campaign is
+/// deterministic), so "kill at invocation #n" is a precise, reproducible
+/// kill point covering every write kind and phase.
+struct HookCall {
+  CampaignJournal::WriteKind kind;
+  CampaignJournal::WritePhase phase;
+};
+
+std::vector<HookCall> record_hook_calls(const JournalPolicy& policy) {
+  TempDir dir("crash-count");
+  std::vector<HookCall> calls;
+  CampaignJournal::set_test_write_hook(
+      [&calls](CampaignJournal::WriteKind kind,
+               CampaignJournal::WritePhase phase, size_t) {
+        calls.push_back(HookCall{kind, phase});
+      });
+  drive_to_completion(dir.file("journal.jsonl"), policy);
+  CampaignJournal::set_test_write_hook({});
+  return calls;
+}
+
+/// Fork a child that runs the campaign and SIGKILLs itself at the n-th hook
+/// invocation. Returns true if the child died by SIGKILL (it always should:
+/// every chosen invocation index is reached by the full campaign).
+bool run_child_killed_at(const std::string& journal_path,
+                         const JournalPolicy& policy, size_t kill_invocation) {
   const pid_t pid = fork();
   if (pid == 0) {
+    size_t invocation = 0;
     CampaignJournal::set_test_write_hook(
-        [kill_write, kill_phase](CampaignJournal::WritePhase phase,
-                                 size_t write_index) {
-          if (write_index == kill_write && phase == kill_phase) {
-            ::kill(::getpid(), SIGKILL);
-          }
+        [kill_invocation, &invocation](CampaignJournal::WriteKind,
+                                       CampaignJournal::WritePhase, size_t) {
+          if (invocation++ == kill_invocation) ::kill(::getpid(), SIGKILL);
         });
-    drive_to_completion(journal_path);
+    drive_to_completion(journal_path, policy);
     ::_exit(0);  // only reached if the kill point was never hit
   }
   int status = 0;
   EXPECT_EQ(::waitpid(pid, &status, 0), pid);
   return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+/// Shared per-trial assertions: the resumed campaign reproduces the
+/// baseline byte-for-byte (provenance and journal file).
+void expect_resumes_to_baseline(const std::string& journal_path,
+                                const JournalPolicy& policy,
+                                const CampaignOutcome& baseline,
+                                size_t* torn_tails_seen) {
+  const auto wreckage = CampaignJournal::replay(journal_path);
+  if (torn_tails_seen) *torn_tails_seen += wreckage.torn_tail ? 1 : 0;
+
+  const CampaignOutcome resumed = drive_to_completion(journal_path, policy);
+  EXPECT_EQ(resumed.result.remaining_runs, 0u);
+  EXPECT_EQ(resumed.provenance, baseline.provenance);
+  EXPECT_EQ(resumed.journal_bytes, baseline.journal_bytes);
 }
 
 TEST(CrashResume, FiftyRandomizedKillPointsAllResumeExactlyOnce) {
@@ -111,43 +157,29 @@ TEST(CrashResume, FiftyRandomizedKillPointsAllResumeExactlyOnce) {
   ASSERT_EQ(baseline.result.remaining_runs, 0u);
   ASSERT_EQ(baseline.result.exhausted, std::vector<std::string>{"t7"});
 
-  // Durable writes in a full campaign: header (#0) + one per allocation.
-  const auto baseline_replay =
-      CampaignJournal::replay(baseline_dir.file("journal.jsonl"));
-  const size_t total_writes = 1 + baseline_replay.allocations.size();
-  ASSERT_GE(total_writes, 4u) << "campaign too short to fuzz";
+  const std::vector<HookCall> calls = record_hook_calls({});
+  ASSERT_GE(calls.size(), 12u) << "campaign too short to fuzz";
 
-  constexpr CampaignJournal::WritePhase kPhases[] = {
-      CampaignJournal::WritePhase::BeforeWrite,
-      CampaignJournal::WritePhase::MidWrite,
-      CampaignJournal::WritePhase::AfterSync,
-  };
   Rng rng(0xFA17F10Eu);  // fixed seed: kill points are reproducible
   size_t torn_tails_seen = 0;
   for (int trial = 0; trial < 50; ++trial) {
-    const size_t kill_write = rng.below(total_writes);
-    const auto kill_phase = kPhases[rng.below(3)];
-    SCOPED_TRACE("trial " + std::to_string(trial) + ": kill write " +
-                 std::to_string(kill_write) + " phase " +
-                 std::to_string(static_cast<int>(kill_phase)));
+    const size_t kill_invocation = rng.below(calls.size());
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": kill invocation " +
+                 std::to_string(kill_invocation));
 
     TempDir dir("crash-trial");
     const std::string journal_path = dir.file("journal.jsonl");
-    ASSERT_TRUE(run_child_killed_at(journal_path, kill_write, kill_phase))
+    ASSERT_TRUE(run_child_killed_at(journal_path, {}, kill_invocation))
         << "child was expected to die at the kill point";
 
-    // Whatever the child left behind must be resumable.
-    const auto wreckage = CampaignJournal::replay(journal_path);
-    torn_tails_seen += wreckage.torn_tail ? 1 : 0;
-
-    const CampaignOutcome resumed = drive_to_completion(journal_path);
-    EXPECT_EQ(resumed.result.remaining_runs, 0u);
-    EXPECT_EQ(resumed.provenance, baseline.provenance);
-    EXPECT_EQ(resumed.journal_bytes, baseline.journal_bytes);
+    expect_resumes_to_baseline(journal_path, {}, baseline, &torn_tails_seen);
 
     // Exactly-once: across every committed allocation record, each run
-    // completes exactly once (and the exhausted run never does).
-    const auto final_replay = CampaignJournal::replay(journal_path);
+    // completes exactly once (and the exhausted run never does). Without
+    // checkpoints the journal keeps the full alloc history, so the journal
+    // itself is the witness.
+    const auto final_replay =
+        CampaignJournal::replay(journal_path);
     std::map<std::string, int> completions;
     for (const Json& record : final_replay.allocations) {
       for (const Json& id : record["completed"].as_array()) {
@@ -165,6 +197,228 @@ TEST(CrashResume, FiftyRandomizedKillPointsAllResumeExactlyOnce) {
   // The fuzzer must actually exercise the torn-write path (deterministic
   // seed, so this is a stable property of the trial set, not flakiness).
   EXPECT_GT(torn_tails_seen, 0u);
+}
+
+TEST(CrashResume, CheckpointedCompactedKillPointsResumeByteIdentical) {
+  // The scale configuration: checkpoint every 2 allocations, compact right
+  // after, batch 3 records per fsync. Kills must now also land before,
+  // inside, and after checkpoint writes and the compaction rename — and the
+  // journal must still converge to the same bytes from every kill point.
+  JournalPolicy policy;
+  policy.checkpoint_every = 2;
+  policy.compact_after_checkpoint = true;
+  policy.group_commit = 3;
+
+  TempDir baseline_dir("crash-ckpt-baseline");
+  const CampaignOutcome baseline =
+      drive_to_completion(baseline_dir.file("journal.jsonl"), policy);
+  ASSERT_EQ(baseline.result.remaining_runs, 0u);
+  {
+    // The compacted baseline journal must itself be the compact shape:
+    // header, compact marker, newest checkpoint, then only the tail.
+    const auto replayed =
+        CampaignJournal::replay(baseline_dir.file("journal.jsonl"));
+    ASSERT_TRUE(replayed.has_checkpoint());
+    ASSERT_GE(replayed.compactions, 1u);
+  }
+
+  const std::vector<HookCall> calls = record_hook_calls(policy);
+  // The configuration must actually exercise the new write kinds.
+  size_t checkpoint_calls = 0;
+  size_t compact_calls = 0;
+  std::vector<size_t> targeted;
+  for (size_t i = 0; i < calls.size(); ++i) {
+    if (calls[i].kind == CampaignJournal::WriteKind::Checkpoint) {
+      if (checkpoint_calls++ == 0) {
+        targeted.push_back(i);      // first checkpoint BeforeWrite
+        targeted.push_back(i + 1);  // ... MidWrite (torn checkpoint line)
+        targeted.push_back(i + 2);  // ... AfterSync
+      }
+    }
+    if (calls[i].kind == CampaignJournal::WriteKind::Compact) {
+      if (compact_calls++ == 0) {
+        targeted.push_back(i);      // first compaction BeforeWrite
+        targeted.push_back(i + 1);  // ... MidWrite (rename not reached)
+        targeted.push_back(i + 2);  // ... AfterSync (compacted file live)
+      }
+    }
+  }
+  ASSERT_GT(checkpoint_calls, 0u);
+  ASSERT_GT(compact_calls, 0u);
+
+  Rng rng(0xC0FFEE42u);
+  for (int trial = 0; trial < 20; ++trial) {
+    targeted.push_back(rng.below(calls.size()));
+  }
+  for (size_t t = 0; t < targeted.size(); ++t) {
+    const size_t kill_invocation = targeted[t];
+    SCOPED_TRACE("trial " + std::to_string(t) + ": kill invocation " +
+                 std::to_string(kill_invocation) + " kind " +
+                 std::to_string(static_cast<int>(calls[kill_invocation].kind)) +
+                 " phase " +
+                 std::to_string(static_cast<int>(calls[kill_invocation].phase)));
+    TempDir dir("crash-ckpt-trial");
+    const std::string journal_path = dir.file("journal.jsonl");
+    ASSERT_TRUE(run_child_killed_at(journal_path, policy, kill_invocation))
+        << "child was expected to die at the kill point";
+    expect_resumes_to_baseline(journal_path, policy, baseline, nullptr);
+
+    // Exactly-once, witnessed by the provenance (the compacted journal no
+    // longer keeps the full alloc history): every run has exactly one
+    // terminal "done" event except the exhausted one.
+    const Json provenance = Json::parse(
+        drive_to_completion(journal_path, policy).provenance);
+    for (const sim::TaskSpec& task : campaign_tasks()) {
+      size_t done_events = 0;
+      for (const Json& event : provenance[task.id]["events"].as_array()) {
+        if (event["kind"].as_string() == "done") ++done_events;
+      }
+      EXPECT_EQ(done_events, task.id == "t7" ? 0u : 1u) << task.id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 100k-run scale: checkpoint + compaction keep resume O(live tail)
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__)
+constexpr size_t kScaleRuns = 20000;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+constexpr size_t kScaleRuns = 20000;
+#else
+constexpr size_t kScaleRuns = 100000;
+#endif
+#else
+constexpr size_t kScaleRuns = 100000;
+#endif
+
+std::vector<sim::TaskSpec> scale_tasks() {
+  std::vector<sim::TaskSpec> tasks;
+  tasks.reserve(kScaleRuns);
+  char id[16];
+  for (size_t i = 0; i < kScaleRuns; ++i) {
+    std::snprintf(id, sizeof(id), "r%06zu", i);
+    sim::TaskSpec task;
+    task.id = id;
+    task.duration_s = 1.0;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+CampaignRunOptions scale_options(const RunTracker& tracker) {
+  CampaignRunOptions options;
+  options.execution.nodes = 512;
+  // Roughly half the ensemble fits per allocation: several re-submissions.
+  options.execution.walltime_s =
+      static_cast<double>(kScaleRuns) / 512.0 / 2.0;
+  options.retry.max_attempts = 2;
+  options.journal.checkpoint_every = 1;
+  options.journal.compact_after_checkpoint = true;
+  options.journal.group_commit = 64;
+  // Deterministic sparse failures keyed off durable state only.
+  options.execution.fails = [&tracker](const sim::TaskSpec& task, int) {
+    const size_t bucket =
+        std::hash<std::string>{}(task.id) % 97;
+    return bucket == 0 && tracker.has_run(task.id) &&
+           tracker.attempts(task.id) == 0;
+  };
+  // Preflight-linting a multi-megabyte journal on every resume is the one
+  // O(file) cost this test is *not* about; the journal_test lint cases
+  // cover it.
+  options.preflight_lint = false;
+  return options;
+}
+
+struct ScaleOutcome {
+  std::string provenance;
+  std::string journal_bytes;
+  size_t tail_allocations = 0;  // alloc records replayed after the checkpoint
+  bool had_checkpoint = false;
+};
+
+ScaleOutcome drive_scale_to_completion(const std::string& journal_path) {
+  sim::Simulation sim;
+  RunTracker tracker;
+  const auto tasks = scale_tasks();
+  const auto options = scale_options(tracker);
+  const auto before = CampaignJournal::replay(journal_path);
+  ScaleOutcome outcome;
+  outcome.tail_allocations = before.allocations.size();
+  outcome.had_checkpoint = before.has_checkpoint();
+  resume_campaign(sim, tasks, options, tracker, journal_path, "scale-test");
+  outcome.provenance = tracker.to_json().dump();
+  outcome.journal_bytes = read_file(journal_path);
+  return outcome;
+}
+
+bool run_scale_child_killed_at(const std::string& journal_path,
+                               CampaignJournal::WriteKind kill_kind,
+                               CampaignJournal::WritePhase kill_phase,
+                               size_t nth_match) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    size_t matches = 0;
+    CampaignJournal::set_test_write_hook(
+        [&](CampaignJournal::WriteKind kind, CampaignJournal::WritePhase phase,
+            size_t) {
+          if (kind == kill_kind && phase == kill_phase &&
+              matches++ == nth_match) {
+            ::kill(::getpid(), SIGKILL);
+          }
+        });
+    drive_scale_to_completion(journal_path);
+    ::_exit(0);
+  }
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+TEST(CrashResumeScale, KilledMidCheckpointAndMidCompactionAtScale) {
+  TempDir baseline_dir("scale-baseline");
+  const ScaleOutcome baseline =
+      drive_scale_to_completion(baseline_dir.file("journal.jsonl"));
+
+  struct KillPoint {
+    CampaignJournal::WriteKind kind;
+    CampaignJournal::WritePhase phase;
+    size_t nth;
+  };
+  // Kill at the *second* checkpoint/compaction so the wreckage already
+  // carries a committed earlier checkpoint — the case where O(live tail)
+  // resume actually matters.
+  const KillPoint kill_points[] = {
+      // Torn checkpoint line: the multi-megabyte ckpt record is half
+      // written when the process dies.
+      {CampaignJournal::WriteKind::Checkpoint,
+       CampaignJournal::WritePhase::MidWrite, 1},
+      // Mid-compaction: the rename never happens, the old journal survives.
+      {CampaignJournal::WriteKind::Compact,
+       CampaignJournal::WritePhase::MidWrite, 1},
+      // Just after compaction went live.
+      {CampaignJournal::WriteKind::Compact,
+       CampaignJournal::WritePhase::AfterSync, 1},
+  };
+  for (const KillPoint& kp : kill_points) {
+    SCOPED_TRACE("kill kind " + std::to_string(static_cast<int>(kp.kind)) +
+                 " phase " + std::to_string(static_cast<int>(kp.phase)));
+    TempDir dir("scale-trial");
+    const std::string journal_path = dir.file("journal.jsonl");
+    ASSERT_TRUE(
+        run_scale_child_killed_at(journal_path, kp.kind, kp.phase, kp.nth));
+
+    const ScaleOutcome resumed = drive_scale_to_completion(journal_path);
+    // O(live tail) resume: the wreckage replay restored a checkpoint and
+    // carried at most a couple of alloc records past it — not the
+    // campaign's whole allocation history.
+    EXPECT_TRUE(resumed.had_checkpoint);
+    EXPECT_LE(resumed.tail_allocations, 2u);
+    EXPECT_EQ(resumed.provenance, baseline.provenance);
+    EXPECT_EQ(resumed.journal_bytes, baseline.journal_bytes);
+  }
 }
 
 }  // namespace

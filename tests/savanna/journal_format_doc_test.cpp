@@ -1,0 +1,64 @@
+// docs/journal_format.md is the normative on-disk format spec; the record
+// registry in savanna/journal.cpp is the implementation. This test pins the
+// two together in both directions — the same contract doc_sync_test
+// enforces for lint codes and trace_lint enforces for trace events. A
+// record kind counts as documented when the spec shows its discriminator
+// literally, e.g. `"kind":"alloc"` in backticks.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+#include <string>
+
+#include "savanna/journal.hpp"
+#include "util/fs.hpp"
+
+namespace ff::savanna {
+namespace {
+
+std::set<std::string> documented_kinds() {
+  const std::string text =
+      read_file(std::string(FF_REPO_ROOT) + "/docs/journal_format.md");
+  std::set<std::string> kinds;
+  const std::regex pattern("`\"kind\":\"([a-z_]+)\"`");
+  for (std::sregex_iterator it(text.begin(), text.end(), pattern), end;
+       it != end; ++it) {
+    kinds.insert((*it)[1].str());
+  }
+  return kinds;
+}
+
+TEST(JournalFormatDoc, EveryRecordKindIsDocumented) {
+  const std::set<std::string> documented = documented_kinds();
+  EXPECT_FALSE(documented.empty())
+      << "docs/journal_format.md defines no record kinds — each record "
+         "section must show its discriminator as `\"kind\":\"<name>\"`";
+  for (const JournalRecordInfo& record : journal_record_registry()) {
+    EXPECT_TRUE(documented.count(std::string(record.kind)))
+        << "record kind \"" << record.kind << "\" (" << record.name
+        << ") is missing from docs/journal_format.md — add its section";
+  }
+}
+
+TEST(JournalFormatDoc, EveryDocumentedKindIsImplemented) {
+  for (const std::string& kind : documented_kinds()) {
+    EXPECT_NE(find_journal_record(kind), nullptr)
+        << "docs/journal_format.md specifies record kind \"" << kind
+        << "\" but the registry in savanna/journal.cpp has no such record "
+           "— delete the section or implement the record";
+  }
+}
+
+TEST(JournalFormatDoc, SpecStatesTheCurrentSchemaVersion) {
+  const std::string text =
+      read_file(std::string(FF_REPO_ROOT) + "/docs/journal_format.md");
+  const std::string needle =
+      "`\"schema\":" + std::to_string(kJournalSchemaVersion) + "`";
+  EXPECT_NE(text.find(needle), std::string::npos)
+      << "docs/journal_format.md must state the current schema version as "
+      << needle << " — bump the doc alongside kJournalSchemaVersion";
+}
+
+}  // namespace
+}  // namespace ff::savanna

@@ -130,6 +130,131 @@ TEST(CampaignJournal, CorruptInteriorLineIsRejected) {
   EXPECT_THROW(CampaignJournal::replay(path), ValidationError);
 }
 
+TEST(CampaignJournal, HeaderCarriesRunCountAndDigest) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  CampaignJournal::create(path, "camp", {"a", "b"}).close();
+  const auto replay = CampaignJournal::replay(path);
+  ASSERT_TRUE(replay.has_header());
+  EXPECT_EQ(replay.header["run_count"].as_int(), 2);
+  RunSetDigest expected;
+  expected.add("a");
+  expected.add("b");
+  EXPECT_EQ(replay.header["runs_digest"].as_string(), expected.hex());
+  // Small run sets stay inlined for grep-ability.
+  ASSERT_TRUE(replay.header.contains("runs"));
+  EXPECT_EQ(replay.header["runs"].size(), 2u);
+}
+
+TEST(CampaignJournal, SummaryCreateOmitsInlineRunList) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  RunSetDigest digest;
+  digest.add("a");
+  CampaignJournal::RunSetSummary summary{digest.count(), digest.hex()};
+  CampaignJournal::create(path, "camp", summary).close();
+  const auto replay = CampaignJournal::replay(path);
+  ASSERT_TRUE(replay.has_header());
+  EXPECT_FALSE(replay.header.contains("runs"));
+  EXPECT_EQ(replay.header["run_count"].as_int(), 1);
+  EXPECT_EQ(replay.header["runs_digest"].as_string(), digest.hex());
+}
+
+TEST(CampaignJournal, RunSetDigestDistinguishesFraming) {
+  RunSetDigest ab_c;
+  ab_c.add("ab");
+  ab_c.add("c");
+  RunSetDigest a_bc;
+  a_bc.add("a");
+  a_bc.add("bc");
+  EXPECT_NE(ab_c.hex(), a_bc.hex());
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+}
+
+TEST(CampaignJournal, CheckpointRestoresStateAndTailOnly) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"a", "b", "c"});
+  journal.append_allocation(alloc_record(0, 10, {"a"}));
+  journal.append_allocation(alloc_record(10, 20, {"b"}));
+  Json snapshot = Json::object();
+  snapshot["a"] = Json::parse(R"({"state":"done","attempts":1,"events":[]})");
+  snapshot["b"] = Json::parse(R"({"state":"done","attempts":1,"events":[]})");
+  journal.append_checkpoint(snapshot, 20.0);
+  journal.append_allocation(alloc_record(20, 30, {"c"}));
+  journal.close();
+
+  const auto replay = CampaignJournal::replay(path);
+  ASSERT_TRUE(replay.has_checkpoint());
+  EXPECT_EQ(replay.checkpoint["next_index"].as_int(), 2);
+  EXPECT_DOUBLE_EQ(replay.checkpoint["clock"].as_double(), 20.0);
+  EXPECT_EQ(replay.checkpoint["tracker"].dump(), snapshot.dump());
+  // Only the tail after the checkpoint is replayed as alloc records.
+  ASSERT_EQ(replay.allocations.size(), 1u);
+  EXPECT_EQ(replay.allocations[0]["index"].as_int(), 2);
+  EXPECT_EQ(replay.next_index, 3u);
+}
+
+TEST(CampaignJournal, CompactFoldsHistoryIntoCheckpointAtomically) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"a", "b", "c"});
+  journal.append_allocation(alloc_record(0, 10, {"a"}));
+  journal.append_allocation(alloc_record(10, 20, {"b"}));
+  Json snapshot = Json::object();
+  snapshot["a"] = Json::parse(R"({"state":"done","attempts":1,"events":[]})");
+  journal.append_checkpoint(snapshot, 20.0);
+  const std::string before = read_file(path);
+  journal.compact();
+  const std::string after = read_file(path);
+  EXPECT_LT(after.size(), before.size());
+
+  const auto replay = CampaignJournal::replay(path);
+  ASSERT_TRUE(replay.has_checkpoint());
+  EXPECT_EQ(replay.compactions, 1u);
+  EXPECT_TRUE(replay.allocations.empty());
+  EXPECT_EQ(replay.next_index, 2u);
+
+  // Idempotent: compacting a compacted journal changes nothing, and the
+  // handle still appends correctly afterwards.
+  journal.compact();
+  EXPECT_EQ(read_file(path), after);
+  journal.append_allocation(alloc_record(20, 30, {"c"}));
+  journal.close();
+  const auto final_replay = CampaignJournal::replay(path);
+  ASSERT_EQ(final_replay.allocations.size(), 1u);
+  EXPECT_EQ(final_replay.allocations[0]["index"].as_int(), 2);
+}
+
+TEST(CampaignJournal, CompactWithoutCheckpointIsANoOp) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"a"});
+  journal.append_allocation(alloc_record(0, 10, {"a"}));
+  const std::string before = read_file(path);
+  journal.compact();  // nothing summarizes the alloc history yet
+  EXPECT_EQ(read_file(path), before);
+}
+
+TEST(CampaignJournal, GroupCommitBatchesRecordsUntilFlush) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  auto journal = CampaignJournal::create(path, "camp", {"a", "b", "c"});
+  journal.set_group_commit(3);
+  EXPECT_EQ(journal.append_allocation(alloc_record(0, 10, {"a"})), 0u);
+  EXPECT_EQ(journal.append_allocation(alloc_record(10, 20, {"b"})), 1u);
+  // Two records buffered, none durable yet.
+  EXPECT_TRUE(CampaignJournal::replay(path).allocations.empty());
+  // The third append completes the batch: one write+fsync commits all.
+  EXPECT_EQ(journal.append_allocation(alloc_record(20, 30, {"c"})), 2u);
+  EXPECT_EQ(CampaignJournal::replay(path).allocations.size(), 3u);
+  // A partial batch flushes on close().
+  journal.set_group_commit(3);
+  journal.append_allocation(alloc_record(30, 40, {}));
+  journal.close();
+  EXPECT_EQ(CampaignJournal::replay(path).allocations.size(), 4u);
+}
+
 TEST(ResumeCampaign, JournalReferencingUnknownRunsIsRejected) {
   TempDir dir("journal");
   const std::string path = dir.file("journal.jsonl");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace ff::savanna {
@@ -93,6 +95,121 @@ TEST(RunTracker, JsonRoundTripPreservesProvenance) {
   EXPECT_EQ(reparsed.attempts("r1"), 2u);
   EXPECT_TRUE(reparsed.needing_rerun().empty());
   EXPECT_EQ(reparsed.to_json(), json);
+}
+
+TEST(RunTracker, ShardCountIsInvisibleInExports) {
+  auto drive = [](RunTracker& tracker) {
+    for (int i = 0; i < 200; ++i) {
+      const std::string id = "run-" + std::to_string(i);
+      tracker.add_run(id);
+      if (i % 3 == 0) {
+        tracker.mark_started(id, i, i % 7);
+        tracker.mark_done(id, i + 1);
+      } else if (i % 3 == 1) {
+        tracker.mark_started(id, i, i % 7);
+        tracker.mark_failed(id, i + 1, "flake");
+      }
+    }
+  };
+  RunTracker sharded;  // kDefaultShardCount
+  RunTracker single(1);
+  drive(sharded);
+  drive(single);
+  EXPECT_EQ(sharded.to_json().dump(), single.to_json().dump());
+  EXPECT_EQ(sharded.needing_rerun(), single.needing_rerun());
+  EXPECT_EQ(sharded.live_runs(), single.live_runs());
+}
+
+TEST(RunTracker, LiveRunsTracksTerminalTransitions) {
+  RunTracker tracker;
+  tracker.add_run("a");
+  tracker.add_run("b");
+  EXPECT_EQ(tracker.live_runs(), 2u);
+  tracker.mark_started("a", 0, 0);
+  EXPECT_EQ(tracker.live_runs(), 2u);  // running is still live
+  tracker.mark_done("a", 1);
+  EXPECT_EQ(tracker.live_runs(), 1u);
+  tracker.mark_started("b", 0, 1);
+  tracker.mark_failed("b", 1, "oom");
+  EXPECT_EQ(tracker.live_runs(), 1u);  // failed runs await a retry decision
+  tracker.mark_exhausted("b", 2, "retry budget spent");
+  EXPECT_EQ(tracker.live_runs(), 0u);
+  EXPECT_TRUE(tracker.needing_rerun().empty());
+  EXPECT_EQ(tracker.counts().exhausted, 1u);
+}
+
+TEST(RunTracker, StatusReportsLatestPosition) {
+  RunTracker tracker;
+  tracker.add_run("r1");
+  EXPECT_EQ(tracker.status("r1").state, "pending");
+  tracker.mark_started("r1", 3.5, 2);
+  tracker.mark_failed("r1", 8.0, "segfault");
+  const auto status = tracker.status("r1");
+  EXPECT_EQ(status.state, "failed");
+  EXPECT_EQ(status.attempts, 1u);
+  EXPECT_DOUBLE_EQ(status.last_time, 8.0);
+  EXPECT_THROW(tracker.status("ghost"), NotFoundError);
+}
+
+TEST(RunTracker, ToJsonStartedOmitsPendingRuns) {
+  RunTracker tracker;
+  tracker.add_run("pending-run");
+  tracker.add_run("started-run");
+  tracker.mark_started("started-run", 1.0, 0);
+  const Json sparse = tracker.to_json_started();
+  EXPECT_EQ(sparse.size(), 1u);
+  EXPECT_TRUE(sparse.contains("started-run"));
+  EXPECT_FALSE(sparse.contains("pending-run"));
+  // The full export still carries everything.
+  EXPECT_EQ(tracker.to_json().size(), 2u);
+}
+
+TEST(RunTracker, RestoreRebuildsCountersFromSnapshot) {
+  RunTracker original;
+  for (const std::string id : {"done", "failed", "running", "exhausted"}) {
+    original.add_run(id);
+    original.mark_started(id, 0, 0);
+  }
+  original.mark_done("done", 1);
+  original.mark_failed("failed", 1, "x");
+  original.mark_killed("exhausted", 1);
+  original.mark_exhausted("exhausted", 2, "budget");
+
+  RunTracker restored;
+  restored.restore(original.to_json_started());
+  EXPECT_EQ(restored.live_runs(), original.live_runs());
+  EXPECT_EQ(restored.needing_rerun(), original.needing_rerun());
+  const auto counts = restored.counts();
+  EXPECT_EQ(counts.total, 4u);
+  EXPECT_EQ(counts.done, 1u);
+  EXPECT_EQ(counts.failed, 1u);
+  EXPECT_EQ(counts.exhausted, 1u);
+  EXPECT_EQ(restored.to_json().dump(), original.to_json().dump());
+  EXPECT_EQ(restored.attempts("failed"), 1u);
+  // A snapshot may not collide with runs already present.
+  EXPECT_THROW(restored.restore(original.to_json_started()), ValidationError);
+}
+
+TEST(RunTracker, ManyRunsKeepAggregatesConsistent) {
+  RunTracker tracker;
+  const size_t n = 10000;
+  for (size_t i = 0; i < n; ++i) {
+    tracker.add_run("r" + std::to_string(i));
+  }
+  for (size_t i = 0; i < n; i += 2) {
+    const std::string id = "r" + std::to_string(i);
+    tracker.mark_started(id, 0, 0);
+    tracker.mark_done(id, 1);
+  }
+  const auto counts = tracker.counts();
+  EXPECT_EQ(counts.total, n);
+  EXPECT_EQ(counts.done, n / 2);
+  EXPECT_EQ(counts.never_started, n / 2);
+  EXPECT_EQ(tracker.live_runs(), n / 2);
+  EXPECT_EQ(tracker.needing_rerun().size(), n / 2);
+  // needing_rerun is sorted by id regardless of shard layout.
+  const auto rerun = tracker.needing_rerun();
+  EXPECT_TRUE(std::is_sorted(rerun.begin(), rerun.end()));
 }
 
 }  // namespace
