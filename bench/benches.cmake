@@ -20,6 +20,7 @@ ff_add_bench(tab1_gauge_assessment ff_core ff_gwas)
 ff_add_bench(ablation_ckpt_restart ff_ckpt ff_cluster)
 ff_add_bench(ablation_codesign ff_cheetah ff_gwas)
 ff_add_bench(campaign_scale ff_savanna ff_cheetah)
+ff_add_bench(service_throughput ff_service)
 ff_add_bench(micro_bench ff_util ff_skel ff_stream ff_cluster ff_irf ff_gwas
              benchmark::benchmark benchmark::benchmark_main)
 
@@ -75,3 +76,23 @@ set_tests_properties(perf_smoke PROPERTIES
 add_test(NAME perf_smoke_campaign COMMAND campaign_scale --smoke)
 set_tests_properties(perf_smoke_campaign PROPERTIES
   LABELS perf-smoke TIMEOUT 120 RUN_SERIAL TRUE)
+
+# fairflowd counterpart: wire round-trips/s and submissions/s through the
+# real Unix-socket server must clear floors ~10x under a plain build — a
+# guard against a lock held across an allocation slice or a per-request
+# allocation storm in the framing loop, not a latency SLO.
+# RUN_SERIAL for the same reason as above: socket round-trip rates measured
+# beside a parallel ctest run are noise.
+add_test(NAME perf_smoke_service COMMAND service_throughput --smoke)
+set_tests_properties(perf_smoke_service PROPERTIES
+  LABELS perf-smoke TIMEOUT 120 RUN_SERIAL TRUE)
+
+# `cmake --build build --target bench_service` reruns the fairflowd wire
+# bench (ping round-trips and end-to-end campaign throughput at 1 and 4
+# clients) and refreshes BENCH_service.json at the repo root.
+add_custom_target(bench_service
+  COMMAND $<TARGET_FILE:service_throughput>
+          ${CMAKE_SOURCE_DIR}/BENCH_service.json
+  DEPENDS service_throughput
+  COMMENT "fairflowd service wire bench -> BENCH_service.json"
+  VERBATIM)

@@ -1,0 +1,230 @@
+// fairflowd service-layer bench: wire round-trip rate and end-to-end
+// campaign throughput through the real socket server (Unix domain,
+// newline-delimited JSON), in-process so the numbers isolate the service
+// stack from container networking.
+//
+// Modes:
+//   service_throughput [out.json]   full sweep -> BENCH_service.json
+//   service_throughput --smoke      ~2 s floor check (ctest `perf-smoke`)
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cheetah/campaign.hpp"
+#include "service/core.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ff;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Minimal blocking wire client (mirrors fairflow-ctl's transport).
+class Client {
+ public:
+  explicit Client(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const noexcept { return fd_ >= 0; }
+
+  Json call(const Json& request) {
+    const std::string frame = service::encode_frame(request);
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n =
+          ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return Json();
+      sent += static_cast<size_t>(n);
+    }
+    std::string line;
+    char byte;
+    for (;;) {
+      const ssize_t n = ::recv(fd_, &byte, 1, 0);
+      if (n <= 0) return Json();
+      if (byte == '\n') break;
+      line.push_back(byte);
+    }
+    return Json::parse(line);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// The daemon stack, wired exactly as fairflowd_main wires it.
+struct Daemon {
+  explicit Daemon(const std::string& scratch, size_t workers)
+      : core({.root = scratch + "/campaigns", .workers = workers}),
+        dispatcher(core),
+        server(dispatcher, {.unix_path = scratch + "/bench.sock"}) {
+    server.start();
+  }
+  ~Daemon() {
+    server.stop();
+    core.stop();
+  }
+  service::ServiceCore core;
+  service::Dispatcher dispatcher;
+  service::Server server;
+};
+
+Json tiny_manifest(const std::string& name, int64_t runs) {
+  cheetah::AppSpec app;
+  app.name = "bench";
+  app.executable = "bench_exe";
+  app.args_template = "--x {{x}}";
+  cheetah::Campaign campaign(name, app);
+  cheetah::Sweep sweep("xs");
+  sweep.add(cheetah::Parameter::int_range("x", cheetah::ParamLayer::Application,
+                                          0, runs - 1));
+  cheetah::SweepGroup group("g1");
+  group.add(std::move(sweep));
+  campaign.add_group(std::move(group));  // default walltime: one allocation
+  return campaign.to_json();
+}
+
+/// Ping round-trips/s across `clients` concurrent connections.
+double bench_ping(const std::string& socket_path, size_t clients,
+                  size_t rounds) {
+  std::vector<std::thread> workers;
+  std::vector<double> rates(clients, 0);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      Client client(socket_path);
+      if (!client.ok()) return;
+      Json ping = Json::object();
+      ping["cmd"] = "ping";
+      const auto start = Clock::now();
+      for (size_t i = 0; i < rounds; ++i) {
+        if (!client.call(ping).get_or("ok", false)) return;
+      }
+      rates[c] = static_cast<double>(rounds) / seconds_since(start);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  double total = 0;
+  for (double rate : rates) total += rate;
+  return total;
+}
+
+/// Submit `campaigns` campaigns of `runs` runs over the wire, drain the
+/// core, return {submissions/s (wire ack), end-to-end runs/s}.
+struct SubmitRates {
+  double submissions_per_s = 0;
+  double runs_per_s = 0;
+};
+SubmitRates bench_submit(Daemon& daemon, const std::string& tag,
+                         size_t campaigns, int64_t runs) {
+  Client client(daemon.server.unix_path());
+  if (!client.ok()) return {};
+  const auto start = Clock::now();
+  for (size_t i = 0; i < campaigns; ++i) {
+    Json request = Json::object();
+    request["cmd"] = "submit";
+    request["manifest"] =
+        tiny_manifest(tag + "-" + std::to_string(i), runs);
+    if (!client.call(request).get_or("ok", false)) return {};
+  }
+  const double submit_s = seconds_since(start);
+  daemon.core.drain();
+  const double total_s = seconds_since(start);
+  SubmitRates rates;
+  rates.submissions_per_s = static_cast<double>(campaigns) / submit_s;
+  rates.runs_per_s =
+      static_cast<double>(campaigns * static_cast<size_t>(runs)) / total_s;
+  return rates;
+}
+
+// --- smoke mode -------------------------------------------------------------
+
+/// Floors ~10x under a plain container build: only an order-of-magnitude
+/// regression (a lock held across a slice, an O(n^2) queue scan) trips them.
+int run_smoke() {
+  constexpr double kPingFloor = 2000.0;     // round-trips/s, 1 client
+  constexpr double kSubmitFloor = 10.0;     // wire submissions/s
+  constexpr int kAttempts = 3;
+  std::printf("perf-smoke(service): best of %d\n", kAttempts);
+  double best_ping = 0, best_submit = 0;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    TempDir dir("bench_service_smoke");
+    Daemon daemon(dir.str(), 2);
+    best_ping =
+        std::max(best_ping, bench_ping(daemon.server.unix_path(), 1, 500));
+    best_submit = std::max(
+        best_submit,
+        bench_submit(daemon, "smoke", 8, 4).submissions_per_s);
+    if (best_ping >= kPingFloor && best_submit >= kSubmitFloor) {
+      std::printf("perf-smoke(service): OK (ping %.0f/s, submit %.1f/s)\n",
+                  best_ping, best_submit);
+      return 0;
+    }
+  }
+  std::printf(
+      "perf-smoke(service): REGRESSION (ping %.0f/s vs %.0f, submit %.1f/s "
+      "vs %.1f)\n",
+      best_ping, kPingFloor, best_submit, kSubmitFloor);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    out_path = argv[i];
+  }
+
+  Json series = Json::array();
+  for (size_t clients : {size_t{1}, size_t{4}}) {
+    TempDir dir("bench_service");
+    Daemon daemon(dir.str(), 2);
+    const double ping = bench_ping(daemon.server.unix_path(), clients, 2000);
+    const SubmitRates rates =
+        bench_submit(daemon, "full", 32, 8);
+    std::printf("%zu client(s): ping %.0f rt/s  submit %.1f/s  "
+                "end-to-end %.0f runs/s\n",
+                clients, ping, rates.submissions_per_s, rates.runs_per_s);
+    Json row = Json::object();
+    row["clients"] = static_cast<int64_t>(clients);
+    row["ping_roundtrips_per_s"] = ping;
+    row["submissions_per_s"] = rates.submissions_per_s;
+    row["end_to_end_runs_per_s"] = rates.runs_per_s;
+    series.push_back(std::move(row));
+  }
+  Json out = Json::object();
+  out["bench"] = "service_throughput";
+  out["series"] = series;
+  write_file_atomic(out_path, out.dump() + "\n");
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

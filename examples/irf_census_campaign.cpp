@@ -4,20 +4,20 @@
 //      model per feature, the n×n predictive-network adjacency, and the
 //      recovered edges vs the planted ground truth;
 //  (b) the workflow layer: the same ensemble composed as a Cheetah
-//      campaign, materialized as an on-disk endpoint, executed on a
-//      simulated 20-node allocation by the Savanna pilot with
-//      re-submission, states written back to the endpoint.
+//      campaign, submitted to the fairflowd service core in-process — the
+//      same lint preflight, endpoint creation, journaled pilot execution
+//      in allocation slices, and state write-back a daemon client gets
+//      over the socket (docs/service_protocol.md).
 //
 //   ./irf_census_campaign [features] [samples]
 
 #include <cstdio>
 #include <cstdlib>
-#include <set>
 
 #include "cheetah/endpoint.hpp"
 #include "cluster/workload.hpp"
 #include "irf/irf_loop.hpp"
-#include "savanna/campaign_runner.hpp"
+#include "service/core.hpp"
 #include "util/fs.hpp"
 #include "util/strings.hpp"
 
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::printf("planted-edge recovery: %.0f%%\n\n",
               irf::edge_recovery(network, census.true_edges) * 100);
 
-  std::printf("=== (b) the workflow: Cheetah campaign + Savanna pilot ===\n");
+  std::printf("=== (b) the workflow: Cheetah campaign via fairflowd ===\n");
   cheetah::AppSpec app;
   app.name = "irf_fit";
   app.executable = "irf_fit";
@@ -69,53 +69,34 @@ int main(int argc, char** argv) {
   group.add(std::move(sweep)).set_nodes(4).set_walltime_s(1200);
   campaign.add_group(std::move(group));
 
+  // A thin in-process client of the service core: the exact pipeline a
+  // `fairflow-ctl submit` triggers in the daemon — lint preflight (error
+  // findings would refuse the submission before any directory exists),
+  // endpoint + journal creation, pilot execution granted one allocation
+  // slice at a time by the round-robin scheduler, and the terminal state
+  // write-back. Per-feature run times are skewed (lognormal, seed 5).
   TempDir root("irf-campaign");
-  cheetah::CampaignEndpoint endpoint =
-      cheetah::CampaignEndpoint::create(campaign, root.str());
-  std::printf("campaign endpoint: %s (%zu runs)\n", endpoint.directory().c_str(),
-              campaign.total_runs());
+  service::ServiceCore core({.root = root.str(), .workers = 1});
+  service::CampaignConfig config;
+  config.manifest = campaign.to_json();
+  config.group = "loop";
+  config.durations.median_s = 300;
+  config.durations.sigma = 0.5;
+  const std::string name = core.submit(config, "example");
+  std::printf("campaign endpoint: %s (%zu runs)\n",
+              core.info(name).directory.c_str(), campaign.total_runs());
 
-  // Per-feature run times are skewed; simulate execution on 4 nodes.
-  sim::DurationModel durations;
-  durations.median_s = 300;
-  durations.sigma = 0.5;
-  std::vector<sim::TaskSpec> tasks;
-  for (auto& run : campaign.group("loop").generate()) {
-    sim::TaskSpec task;
-    task.id = run.id;
-    tasks.push_back(std::move(task));
-  }
-  {
-    Rng rng(5);
-    for (auto& task : tasks) task.duration_s = durations.sample(rng);
-  }
+  core.drain();
+  core.stop();
 
-  savanna::CampaignRunOptions options;
-  options.backend = savanna::Backend::Pilot;
-  options.execution.nodes = campaign.group("loop").nodes();
-  options.execution.walltime_s = campaign.group("loop").walltime_s();
-  sim::Simulation sim;
-  savanna::RunTracker tracker;
-  const auto result =
-      savanna::run_with_resubmission(sim, tasks, options, &tracker);
-
-  // Write execution results back into the campaign endpoint: everything
-  // the tracker saw complete is Done, the rest needs a re-submission.
-  const auto rerun = tracker.needing_rerun();
-  const std::set<std::string> incomplete(rerun.begin(), rerun.end());
-  for (const auto& task : tasks) {
-    endpoint.mark(task.id, incomplete.count(task.id) ? cheetah::RunState::Killed
-                                                     : cheetah::RunState::Done);
-  }
-  endpoint.save();
-
-  const auto status = endpoint.status();
-  std::printf("executed in %zu allocation(s): %zu done, %zu killed/pending, "
-              "utilization %.0f%%, virtual makespan %s\n",
-              result.allocations_used, status.done,
-              status.killed + status.pending, result.utilization() * 100,
-              format_duration(sim.now()).c_str());
+  const service::CampaignInfo info = core.info(name);
+  std::printf("executed in %zu allocation slice(s): state %s, %zu done, "
+              "%zu killed/pending\n",
+              info.allocations, info.state.c_str(), info.counts.done,
+              info.counts.killed + info.counts.never_started);
   std::printf("endpoint status file: %s/.campaign/status.json\n",
-              endpoint.directory().c_str());
+              info.directory.c_str());
+  std::printf("journal:              %s/.campaign/journal.jsonl\n",
+              info.directory.c_str());
   return 0;
 }

@@ -9,8 +9,8 @@
 //
 // With --trace, run a short tour of every instrumented subsystem (Savanna
 // campaign with a retried run, local executor, checkpoint harness, stream
-// scheduler, iRF fit on the thread pool) with tracing enabled and export
-// the collected events:
+// scheduler, iRF fit on the thread pool, an in-process fairflowd session)
+// with tracing enabled and export the collected events:
 //
 //   ./quickstart --trace out.jsonl [out.trace.json]
 //
@@ -34,6 +34,8 @@
 #include "obs/trace.hpp"
 #include "savanna/campaign_runner.hpp"
 #include "savanna/local_executor.hpp"
+#include "service/core.hpp"
+#include "service/session.hpp"
 #include "stream/pipeline.hpp"
 #include "stream/scheduler.hpp"
 #include "util/error.hpp"
@@ -192,6 +194,44 @@ int provenance_tour(const std::string& jsonl_path,
     params.irf.forest.n_trees = 8;
     ThreadPool pool(2);
     irf::run_irf_loop(census.data, params, 3, &pool);
+  }
+
+  // 6. The fairflowd campaign service, in-process: a session submits a
+  //    small campaign through the dispatcher and the round-robin scheduler
+  //    runs it in allocation slices (service.session.open/close,
+  //    service.request, service.campaign.submit, service.slice, and
+  //    service.campaign.state — docs/service_protocol.md).
+  {
+    cheetah::AppSpec app;
+    app.name = "tour";
+    app.executable = "tour_exe";
+    app.args_template = "--x {{x}}";
+    cheetah::Campaign campaign("service-tour", app);
+    cheetah::Sweep sweep("xs");
+    sweep.add(cheetah::Parameter::int_range(
+        "x", cheetah::ParamLayer::Application, 0, 3));
+    cheetah::SweepGroup group("g1");
+    group.add(std::move(sweep));
+    campaign.add_group(std::move(group));
+
+    TempDir scratch("quickstart-service");
+    service::ServiceCore core({.root = scratch.str(), .workers = 1});
+    service::Dispatcher dispatcher(core);
+    {
+      service::Dispatcher::Session session(dispatcher);
+      Json submit = Json::object();
+      submit["cmd"] = "submit";
+      submit["id"] = int64_t{1};
+      submit["manifest"] = campaign.to_json();
+      session.handle(submit);
+      core.drain();
+      Json status = Json::object();
+      status["cmd"] = "status";
+      status["id"] = int64_t{2};
+      status["campaign"] = "service-tour";
+      session.handle(status);
+    }
+    core.stop();
   }
 
   obs::set_tracing(false);

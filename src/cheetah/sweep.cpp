@@ -33,6 +33,21 @@ Sweep& Sweep::add(Parameter parameter) {
                             parameter.name() + "'");
     }
   }
+  // The cross product is decoded from a size_t index (run_at), so its total
+  // size must fit one. Check at construction: a product that wraps would
+  // make run_count() silently tiny and run_at() decode garbage assignments.
+  size_t total = 1;
+  for (const Parameter& existing : parameters_) {
+    total *= existing.cardinality();  // cannot overflow: checked on insert
+  }
+  size_t grown = 0;
+  if (__builtin_mul_overflow(total, parameter.cardinality(), &grown)) {
+    throw ValidationError(
+        "Sweep '" + name_ + "': adding parameter '" + parameter.name() +
+        "' (cardinality " + std::to_string(parameter.cardinality()) +
+        ") overflows the cross product — " + std::to_string(total) +
+        " runs already, and the total must fit in size_t");
+  }
   parameters_.push_back(std::move(parameter));
   return *this;
 }
@@ -137,6 +152,16 @@ SweepGroup& SweepGroup::add(Sweep sweep) {
       throw ValidationError("SweepGroup '" + name_ + "': duplicate sweep '" +
                             sweep.name() + "'");
     }
+  }
+  // Same overflow discipline as Sweep::add — the group total is a size_t sum
+  // of per-sweep cross products.
+  size_t total = 0;
+  for (const Sweep& existing : sweeps_) total += existing.run_count();
+  size_t grown = 0;
+  if (__builtin_add_overflow(total, sweep.run_count(), &grown)) {
+    throw ValidationError("SweepGroup '" + name_ + "': adding sweep '" +
+                          sweep.name() + "' overflows the group's total run "
+                          "count (size_t)");
   }
   sweeps_.push_back(std::move(sweep));
   return *this;

@@ -44,6 +44,9 @@ class Sweep {
   }
 
   /// Total runs in the cross product (1 when no parameters: a single run).
+  /// Cannot overflow: add() rejects a parameter whose cardinality would push
+  /// the product past size_t (ValidationError), so index decode in run_at()
+  /// is always exact.
   size_t run_count() const noexcept;
 
   /// Decode a single index of the cross product — the same row-major order

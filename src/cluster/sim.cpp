@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -126,8 +127,22 @@ void Simulation::cq_resize(size_t nbuckets) {
       gaps.push_back(times[i] - times[i - 1]);
     }
     std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
-    const double median_gap = gaps[gaps.size() / 2];
-    if (median_gap > 0) width_ = 4.0 * median_gap;
+    double gap = gaps[gaps.size() / 2];
+    if (gap <= 0) {
+      // A burst of equal-time events drives the median gap to zero. Skipping
+      // the update here would pin whatever width an earlier (possibly very
+      // sparse) population derived — hour-wide slots over a microsecond
+      // burst degenerates every scan to O(n). Fall back to the smallest
+      // *positive* gap: duplicates share a bucket by construction, so the
+      // distinct-time spacing is what the slot width must match.
+      gap = std::numeric_limits<double>::infinity();
+      for (const double candidate : gaps) {
+        if (candidate > 0) gap = std::min(gap, candidate);
+      }
+    }
+    if (gap > 0 && std::isfinite(gap)) width_ = 4.0 * gap;
+    // All events at one instant: any width works (they share a bucket), so
+    // keep the current one.
   }
   if (!(width_ > 0) || !std::isfinite(width_)) width_ = 1.0;
 

@@ -81,6 +81,9 @@ const std::vector<RuleInfo>& rule_registry() {
       {"FF209", "checkpoint-coverage-gap", Severity::Error, "campaign",
        "a checkpoint or compaction record breaks the journal's contiguous "
        "allocation-index coverage — resume would silently lose allocations"},
+      {"FF210", "sweep-cardinality-overflow", Severity::Warning, "campaign",
+       "a sweep's cartesian product overflows size_t — Sweep::add will refuse "
+       "to construct it"},
       // -------------------------------------------------- stream plane
       {"FF301", "communication-cycle", Severity::Error, "stream-plane",
        "the communication subgraph contains a cycle — a potential deadlock"},
@@ -105,6 +108,17 @@ const std::vector<RuleInfo>& rule_registry() {
        "declared Customizability tier promises exposed variables but none are exposed"},
       {"FF404", "access-tier-unbacked-port", Severity::Warning, "gauge",
        "declared DataAccess tier promises a protocol but a port carries no access method"},
+      // -------------------------------------------------- service requests
+      {"FF501", "request-not-object", Severity::Error, "service",
+       "a service request frame is not a JSON object with a string \"cmd\""},
+      {"FF502", "unknown-command", Severity::Error, "service",
+       "a service request names a command fairflowd does not speak"},
+      {"FF503", "missing-required-field", Severity::Error, "service",
+       "a service request omits a field its command requires"},
+      {"FF504", "field-type-mismatch", Severity::Error, "service",
+       "a service request field has the wrong JSON type for its command"},
+      {"FF505", "unknown-request-field", Severity::Warning, "service",
+       "a service request carries a field its command does not define — the daemon ignores it"},
   };
   return kRules;
 }

@@ -41,6 +41,7 @@ std::string_view artifact_kind_name(ArtifactKind kind) noexcept {
     case ArtifactKind::StreamPlane: return "stream-plane";
     case ArtifactKind::Catalog: return "catalog";
     case ArtifactKind::Journal: return "journal";
+    case ArtifactKind::ServiceRequest: return "service-request";
   }
   return "?";
 }
@@ -55,6 +56,7 @@ ArtifactKind detect_kind(const Json& document) {
   if (document.contains("components") && document.contains("schemas")) {
     return ArtifactKind::Catalog;
   }
+  if (document.contains("cmd")) return ArtifactKind::ServiceRequest;
   return ArtifactKind::Unknown;
 }
 
@@ -116,6 +118,9 @@ LintReport LintEngine::lint_text(const std::string& text,
       return report;
     case ArtifactKind::Catalog:
       report.merge(lint_catalog(document, locator, file));
+      return report;
+    case ArtifactKind::ServiceRequest:
+      report.merge(lint_service_request(document, locator, file));
       return report;
     case ArtifactKind::Journal:  // unreachable: journals route by filename
     case ArtifactKind::Unknown:

@@ -16,6 +16,7 @@ enum class ArtifactKind {
   StreamPlane,       // has "queues" (and usually "graph")
   Catalog,           // has "components" + "schemas"
   Journal,           // JSONL whose first line is a savanna journal header
+  ServiceRequest,    // has "cmd" (a fairflowd wire request)
 };
 
 std::string_view artifact_kind_name(ArtifactKind kind) noexcept;

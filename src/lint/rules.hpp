@@ -106,4 +106,16 @@ LintReport lint_gauge_components(const Json& components,
                                  const JsonLocator& locator,
                                  const std::string& file);
 
+// ---------------------------------------------------------------------------
+// fairflowd service-request rules (FF50x)
+// ---------------------------------------------------------------------------
+
+/// FF501 request-not-object, FF502 unknown-command, FF503
+/// missing-required-field, FF504 field-type-mismatch, FF505
+/// unknown-request-field — over one request frame document, validated
+/// against ff_service_proto's command registry (the table fairflowd
+/// dispatches from, so the two cannot drift).
+LintReport lint_service_request(const Json& request, const JsonLocator& locator,
+                                const std::string& file);
+
 }  // namespace ff::lint

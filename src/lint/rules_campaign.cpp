@@ -56,6 +56,7 @@ struct SweepSummary {
   std::set<std::string> declared;  // swept + derived parameter names
   size_t run_count = 1;            // product of parameter cardinalities
   bool countable = true;           // false when a parameter entry is malformed
+  bool overflowed = false;         // the product wrapped size_t (FF210 fired)
 };
 
 void check_sweep(const Json& sweep, const std::string& sweep_path,
@@ -98,7 +99,29 @@ void check_sweep(const Json& sweep, const std::string& sweep_path,
         summary.countable = false;
         continue;
       }
-      summary.run_count *= cardinality;
+      // Saturating product: a wrapped size_t would make FF203's wave math
+      // nonsense and — worse — look like a *small* sweep. Mirror the
+      // construction-time guard in Sweep::add, which throws on the same
+      // condition, so the linter flags the manifest before create() refuses
+      // it.
+      size_t grown = 0;
+      if (summary.overflowed ||
+          __builtin_mul_overflow(summary.run_count, cardinality, &grown)) {
+        if (!summary.overflowed) {
+          report.add("FF210", locator.locate(file, param_path + ".values"),
+                     "parameter '" + name + "' (cardinality " +
+                         std::to_string(cardinality) +
+                         ") overflows sweep '" + summary.name +
+                         "' — the cartesian product no longer fits in size_t "
+                         "and Sweep::add will refuse the manifest",
+                     "shrink the value lists or split the sweep");
+          summary.overflowed = true;
+          summary.countable = false;
+        }
+        summary.run_count = SIZE_MAX;
+        continue;
+      }
+      summary.run_count = grown;
     }
   }
   // Derived parameters: names join the declared set; their templates may
@@ -145,7 +168,17 @@ void for_each_manifest_run_id(
         for (const Json& parameter : parameters->as_array()) {
           const Json* values =
               parameter.is_object() ? parameter.find_path("values") : nullptr;
-          count *= values && values->is_array() ? values->as_array().size() : 0;
+          const size_t cardinality =
+              values && values->is_array() ? values->as_array().size() : 0;
+          size_t grown = 0;
+          if (__builtin_mul_overflow(count, cardinality, &grown)) {
+            // An overflowing sweep can never be constructed (Sweep::add
+            // throws, flagged here as FF210) — emit no ids rather than loop
+            // for ~2^64 iterations over a wrapped count.
+            count = 0;
+            break;
+          }
+          count = grown;
         }
       }
       const std::string prefix = group_name + "/" + sweep_name + "/";
@@ -267,7 +300,12 @@ LintReport lint_campaign_manifest(const Json& manifest,
       }
 
       if (summary.countable) {
-        group_runs += summary.run_count;
+        size_t grown = 0;
+        if (__builtin_add_overflow(group_runs, summary.run_count, &grown)) {
+          group_countable = false;  // the sum wrapped; FF203 math would lie
+        } else {
+          group_runs = grown;
+        }
       } else {
         group_countable = false;
       }

@@ -1,0 +1,93 @@
+// FF50x: fairflowd wire-request validation. The single source of truth is
+// ff_service_proto's command registry — these rules re-read the same table
+// the daemon dispatches from, so the linter and the server cannot drift.
+// The daemon itself tolerates unknown extra fields (forward compatibility);
+// FF505 is where a human hears about them before a campaign is submitted.
+
+#include <string>
+
+#include "lint/rules.hpp"
+#include "service/protocol.hpp"
+
+namespace ff::lint {
+namespace {
+
+std::string json_type_name(const Json& value) {
+  if (value.is_null()) return "null";
+  if (value.is_bool()) return "bool";
+  if (value.is_int()) return "int";
+  if (value.is_double()) return "number";
+  if (value.is_string()) return "string";
+  if (value.is_array()) return "array";
+  return "object";
+}
+
+}  // namespace
+
+LintReport lint_service_request(const Json& request, const JsonLocator& locator,
+                                const std::string& file) {
+  LintReport report;
+  if (!request.is_object() || !request.contains("cmd") ||
+      !request["cmd"].is_string()) {
+    report.add("FF501", locator.locate(file, ""),
+               "service request is not a JSON object with a string \"cmd\"",
+               "wrap the request as {\"cmd\": \"<command>\", ...}");
+    return report;
+  }
+
+  const std::string cmd = request["cmd"].as_string();
+  const service::CommandInfo* command = service::find_service_command(cmd);
+  if (!command) {
+    std::string known;
+    for (const service::CommandInfo& entry :
+         service::service_command_registry()) {
+      if (!known.empty()) known += ", ";
+      known += entry.cmd;
+    }
+    report.add("FF502", locator.locate(file, "cmd"),
+               "unknown command '" + cmd + "'",
+               "one of: " + known + " (docs/service_protocol.md)");
+    return report;
+  }
+
+  for (const service::FieldInfo& field : command->fields) {
+    const std::string name(field.name);
+    if (!request.contains(name)) {
+      if (field.required) {
+        report.add("FF503", locator.locate(file, "cmd"),
+                   "command '" + cmd + "' requires field \"" + name + "\" (" +
+                       std::string(field.type) + ")",
+                   "add the missing field");
+      }
+      continue;
+    }
+    if (!service::json_matches_type(request[name], field.type)) {
+      report.add("FF504", locator.locate(file, name),
+                 "field \"" + name + "\" of command '" + cmd + "' must be " +
+                     std::string(field.type) + ", got " +
+                     json_type_name(request[name]),
+                 "fix the field's type");
+    }
+  }
+
+  for (const auto& [key, value] : request.as_object()) {
+    if (key == "cmd" || key == "id") continue;
+    bool recognized = false;
+    for (const service::FieldInfo& field : command->fields) {
+      if (field.name == key) {
+        recognized = true;
+        break;
+      }
+    }
+    if (!recognized) {
+      report.add("FF505", locator.locate(file, key),
+                 "command '" + cmd + "' does not define field \"" + key +
+                     "\" — fairflowd will ignore it",
+                 "drop the field or check its spelling against "
+                 "docs/service_protocol.md");
+    }
+  }
+  return report;
+}
+
+}  // namespace ff::lint

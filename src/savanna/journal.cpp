@@ -79,7 +79,7 @@ void CampaignJournal::set_test_write_hook(WriteHook hook) {
   g_write_hook = std::move(hook);
 }
 
-CampaignJournal::~CampaignJournal() { close(); }
+CampaignJournal::~CampaignJournal() { close_noexcept(); }
 
 CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
@@ -88,11 +88,12 @@ CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
       write_index_(other.write_index_),
       group_commit_(other.group_commit_),
       buffered_(std::move(other.buffered_)),
-      buffered_records_(std::exchange(other.buffered_records_, 0)) {}
+      buffered_records_(std::exchange(other.buffered_records_, 0)),
+      last_error_(std::move(other.last_error_)) {}
 
 CampaignJournal& CampaignJournal::operator=(CampaignJournal&& other) noexcept {
   if (this != &other) {
-    close();
+    close_noexcept();
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     next_index_ = other.next_index_;
@@ -100,20 +101,52 @@ CampaignJournal& CampaignJournal::operator=(CampaignJournal&& other) noexcept {
     group_commit_ = other.group_commit_;
     buffered_ = std::move(other.buffered_);
     buffered_records_ = std::exchange(other.buffered_records_, 0);
+    last_error_ = std::move(other.last_error_);
   }
   return *this;
 }
 
 void CampaignJournal::close() {
-  if (fd_ >= 0) {
-    try {
-      flush();
-    } catch (...) {
-      // close() must be safe from the destructor; the runner flushes
-      // explicitly where an IO failure can still be reported.
-    }
+  if (fd_ < 0) return;
+  try {
+    flush();
+  } catch (...) {
+    // The handle is closed either way — a journal that failed its final
+    // flush must not be appended to again — but the explicit close()
+    // surfaces the failure to the caller, who can still react.
     ::close(fd_);
     fd_ = -1;
+    record_close_error();
+    throw;
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void CampaignJournal::close_noexcept() noexcept {
+  if (fd_ < 0) return;
+  try {
+    flush();
+  } catch (...) {
+    // Destructor/move path: a throw during unwind would be std::terminate,
+    // so swallow and record — last_error() surfaces what was lost.
+    record_close_error();
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void CampaignJournal::record_close_error() noexcept {
+  try {
+    try {
+      throw;  // rethrow the in-flight exception to classify it
+    } catch (const std::exception& error) {
+      last_error_ = error.what();
+    } catch (...) {
+      last_error_ = "unknown error while flushing journal " + path_;
+    }
+  } catch (...) {
+    // Even building the message can throw (bad_alloc); stay noexcept.
   }
 }
 

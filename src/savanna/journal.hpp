@@ -191,7 +191,18 @@ class CampaignJournal {
   /// ever committed to this journal, across checkpoints and compactions).
   size_t next_allocation_index() const noexcept { return next_index_; }
 
+  /// Flush any buffered records and close the handle. Throws (IoError) when
+  /// the final flush cannot be made durable — an explicit close is the last
+  /// chance to report that records were lost. The destructor and move
+  /// assignment close quietly instead: a throw during unwind would be
+  /// std::terminate, so they swallow the failure and record it in
+  /// last_error().
   void close();
+
+  /// The failure message swallowed by the most recent destructor/move-path
+  /// close (or recorded by a throwing explicit close()); empty when every
+  /// close completed cleanly.
+  const std::string& last_error() const noexcept { return last_error_; }
 
   /// Test-only fault hook, called at phases of every durable write (the
   /// header counts as write #0, each append/checkpoint/compaction as the
@@ -216,6 +227,10 @@ class CampaignJournal {
  private:
   static CampaignJournal create_with_header(const std::string& path, Json header,
                                             size_t run_count);
+  /// close() without the throw: swallow flush failures into last_error_.
+  void close_noexcept() noexcept;
+  /// Record the in-flight exception's message into last_error_.
+  void record_close_error() noexcept;
 
   int fd_ = -1;
   std::string path_;
@@ -224,6 +239,7 @@ class CampaignJournal {
   size_t group_commit_ = 1;
   std::string buffered_;    // group-commit batch not yet durable
   size_t buffered_records_ = 0;
+  std::string last_error_;  // failure swallowed by a quiet close
 };
 
 }  // namespace ff::savanna

@@ -1,0 +1,191 @@
+// fairflow-ctl: command-line client for fairflowd.
+//
+//   fairflow-ctl --socket /tmp/fairflowd.sock submit manifest.json
+//   fairflow-ctl --port 7341 status irf_census
+//
+// Builds one request frame from argv, sends it, pretty-prints the reply.
+// Exit status: 0 on an ok reply, 1 on an error reply or transport failure,
+// 2 on usage errors.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fairflow-ctl (--socket <path> | --port <n>) <command> [args]\n"
+    "\n"
+    "commands:\n"
+    "  ping\n"
+    "  submit <manifest.json> [--group <name>]\n"
+    "  status <campaign>\n"
+    "  list\n"
+    "  trace [<count>]\n"
+    "  cancel <campaign>\n"
+    "  resume <campaign>\n"
+    "  shutdown\n";
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "fairflow-ctl: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool recv_line(int fd, std::string& line) {
+  line.clear();
+  char byte;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &byte, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    if (byte == '\n') return true;
+    line.push_back(byte);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  uint16_t port = 0;
+  bool tcp = false;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--socket") {
+      if (i + 1 >= argc) return usage_error("--socket needs a path");
+      unix_path = argv[++i];
+    } else if (arg == "--port") {
+      if (i + 1 >= argc) return usage_error("--port needs a number");
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+      tcp = true;
+    } else {
+      break;  // first non-option is the command
+    }
+  }
+  if (unix_path.empty() && !tcp) {
+    return usage_error("pick a transport: --socket <path> or --port <n>");
+  }
+  if (i >= argc) return usage_error("no command");
+  const std::string command = argv[i++];
+
+  ff::Json request = ff::Json::object();
+  request["cmd"] = command;
+  request["id"] = int64_t{1};
+  if (command == "ping" || command == "list" || command == "shutdown") {
+    // no arguments
+  } else if (command == "submit") {
+    if (i >= argc) return usage_error("submit needs a manifest file");
+    const std::string manifest_path = argv[i++];
+    try {
+      request["manifest"] = ff::Json::parse_file(manifest_path);
+    } catch (const ff::Error& error) {
+      std::fprintf(stderr, "fairflow-ctl: %s\n", error.what());
+      return 2;
+    }
+    while (i < argc) {
+      const std::string arg = argv[i++];
+      if (arg == "--group") {
+        if (i >= argc) return usage_error("--group needs a name");
+        request["group"] = std::string(argv[i++]);
+      } else {
+        return usage_error("unknown submit option '" + arg + "'");
+      }
+    }
+  } else if (command == "status" || command == "cancel" ||
+             command == "resume") {
+    if (i >= argc) return usage_error(command + " needs a campaign name");
+    request["campaign"] = std::string(argv[i++]);
+  } else if (command == "trace") {
+    if (i < argc) request["count"] = int64_t{std::atoll(argv[i++])};
+  } else {
+    return usage_error("unknown command '" + command + "'");
+  }
+  if (i < argc) {
+    return usage_error("unexpected argument '" + std::string(argv[i]) + "'");
+  }
+
+  const int fd = tcp ? connect_tcp(port) : connect_unix(unix_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "fairflow-ctl: cannot connect to %s\n",
+                 tcp ? ("127.0.0.1:" + std::to_string(port)).c_str()
+                     : unix_path.c_str());
+    return 1;
+  }
+
+  int status = 1;
+  std::string line;
+  if (send_all(fd, ff::service::encode_frame(request)) &&
+      recv_line(fd, line)) {
+    try {
+      const ff::Json reply = ff::Json::parse(line);
+      std::printf("%s\n", reply.pretty().c_str());
+      status = reply.get_or("ok", false) ? 0 : 1;
+    } catch (const ff::Error&) {
+      std::fprintf(stderr, "fairflow-ctl: malformed reply: %s\n", line.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "fairflow-ctl: connection lost\n");
+  }
+  ::close(fd);
+  return status;
+}

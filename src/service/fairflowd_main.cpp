@@ -1,0 +1,137 @@
+// fairflowd: the multi-tenant campaign daemon.
+//
+//   fairflowd --socket /tmp/fairflowd.sock --root /data/campaigns
+//   fairflowd --port 7341 --root ./campaigns --workers 4
+//
+// Clients speak newline-delimited JSON (docs/service_protocol.md); the
+// bundled `fairflow-ctl` is the reference client. SIGTERM/SIGINT drain:
+// in-flight allocation slices finish (journals commit at slice
+// boundaries), queued campaigns stay resumable on disk, then exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+#include "service/core.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fairflowd [options]\n"
+    "\n"
+    "Serve campaign submissions over a Unix or loopback TCP socket.\n"
+    "\n"
+    "options:\n"
+    "  --socket <path>   listen on a Unix socket at <path>\n"
+    "  --port <n>        listen on 127.0.0.1:<n> instead (0 = ephemeral)\n"
+    "  --root <dir>      directory for campaign endpoints (default .)\n"
+    "  --workers <n>     concurrent allocation slices (default 2)\n"
+    "  --quota <n>       max campaigns per session (default 8)\n"
+    "  --help            this message\n";
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "fairflowd: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ff::service::ServiceCore::Options core_options;
+  core_options.root = ".";
+  ff::service::Server::Options server_options;
+  bool tcp = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--socket") {
+      const char* value = next_value();
+      if (!value) return usage_error("--socket needs a path");
+      server_options.unix_path = value;
+    } else if (arg == "--port") {
+      const char* value = next_value();
+      if (!value) return usage_error("--port needs a number");
+      server_options.port = static_cast<uint16_t>(std::atoi(value));
+      tcp = true;
+    } else if (arg == "--root") {
+      const char* value = next_value();
+      if (!value) return usage_error("--root needs a directory");
+      core_options.root = value;
+    } else if (arg == "--workers") {
+      const char* value = next_value();
+      if (!value) return usage_error("--workers needs a number");
+      const int workers = std::atoi(value);
+      if (workers < 1) return usage_error("--workers must be >= 1");
+      core_options.workers = static_cast<size_t>(workers);
+    } else if (arg == "--quota") {
+      const char* value = next_value();
+      if (!value) return usage_error("--quota needs a number");
+      const int quota = std::atoi(value);
+      if (quota < 1) return usage_error("--quota must be >= 1");
+      core_options.max_campaigns_per_session = static_cast<size_t>(quota);
+    } else {
+      return usage_error("unknown option '" + arg + "'");
+    }
+  }
+  if (server_options.unix_path.empty() && !tcp) {
+    return usage_error("pick a transport: --socket <path> or --port <n>");
+  }
+  if (!server_options.unix_path.empty() && tcp) {
+    return usage_error("--socket and --port are mutually exclusive");
+  }
+
+  // The drain signals are consumed synchronously in the wait loop below;
+  // block them everywhere so worker threads never see them.
+  sigset_t drain_set;
+  sigemptyset(&drain_set);
+  sigaddset(&drain_set, SIGTERM);
+  sigaddset(&drain_set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_set, nullptr);
+
+  try {
+    ff::service::ServiceCore core(core_options);
+    ff::service::Dispatcher dispatcher(core);
+    ff::service::Server server(dispatcher, server_options);
+    server.start();
+
+    if (!server_options.unix_path.empty()) {
+      std::printf("fairflowd: listening on %s (root %s, %zu workers)\n",
+                  server_options.unix_path.c_str(), core_options.root.c_str(),
+                  core_options.workers);
+    } else {
+      std::printf("fairflowd: listening on 127.0.0.1:%u (root %s, %zu workers)\n",
+                  server.port(), core_options.root.c_str(),
+                  core_options.workers);
+    }
+    std::fflush(stdout);
+
+    // Wait for SIGTERM/SIGINT or a client-issued `shutdown`.
+    const timespec tick{0, 200 * 1000 * 1000};
+    for (;;) {
+      if (dispatcher.shutdown_requested()) break;
+      const int sig = sigtimedwait(&drain_set, nullptr, &tick);
+      if (sig == SIGTERM || sig == SIGINT) break;
+    }
+
+    std::printf("fairflowd: draining (in-flight slices will finish)\n");
+    std::fflush(stdout);
+    server.stop();  // no new frames; existing journals stay consistent
+    core.stop();    // wait for granted slices, park the scheduler
+    std::printf("fairflowd: drained, exiting\n");
+    return 0;
+  } catch (const ff::Error& error) {
+    std::fprintf(stderr, "fairflowd: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,147 @@
+#include "service/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace ff::service {
+
+const std::vector<CommandInfo>& service_command_registry() {
+  // Ordered by lifecycle: handshake, liveness, campaign verbs, inspection,
+  // daemon control. docs/service_protocol.md documents exactly these
+  // (tests/service/service_doc_test enforces both directions).
+  static const std::vector<CommandInfo> kCommands = {
+      {"hello",
+       "handshake: negotiate protocol version, learn the session id",
+       {{"client", "string", false}, {"protocol", "int", false}}},
+      {"ping", "liveness probe; replies pong", {}},
+      {"submit",
+       "lint and register a campaign manifest, then schedule its runs",
+       {{"manifest", "object", true},
+        {"group", "string", false},
+        {"duration", "object", false},
+        {"execution", "object", false},
+        {"retry", "object", false},
+        {"journal", "object", false}}},
+      {"status",
+       "live state, allocation count, and run counts of one campaign",
+       {{"campaign", "string", true}}},
+      {"list", "summaries of every campaign the service knows", {}},
+      {"trace",
+       "tail of the service's trace-event log (most recent last)",
+       {{"count", "int", false}}},
+      {"cancel",
+       "stop scheduling a campaign after its in-flight allocation",
+       {{"campaign", "string", true}}},
+      {"resume",
+       "re-enqueue a cancelled or failed campaign (journal replay)",
+       {{"campaign", "string", true}}},
+      {"shutdown",
+       "drain in-flight allocations, then exit the daemon",
+       {}},
+  };
+  return kCommands;
+}
+
+const CommandInfo* find_service_command(std::string_view cmd) {
+  for (const CommandInfo& command : service_command_registry()) {
+    if (command.cmd == cmd) return &command;
+  }
+  return nullptr;
+}
+
+const std::vector<ServiceErrorInfo>& service_error_registry() {
+  static const std::vector<ServiceErrorInfo> kErrors = {
+      {"bad-request", "the request violates a command's registered shape"},
+      {"unknown-command", "the \"cmd\" value is not in the command registry"},
+      {"frame-too-large", "a frame exceeded kMaxFrameBytes; connection dropped"},
+      {"lint-rejected",
+       "the manifest failed the preflight lint; nothing was created"},
+      {"not-found", "no campaign with that name"},
+      {"conflict", "the campaign exists or is in a state the verb forbids"},
+      {"quota-exceeded", "the session reached its campaign quota"},
+      {"shutting-down", "the daemon is draining and accepts no new work"},
+      {"internal", "an unexpected server-side failure; see message"},
+  };
+  return kErrors;
+}
+
+const ServiceErrorInfo* find_service_error(std::string_view code) {
+  for (const ServiceErrorInfo& error : service_error_registry()) {
+    if (error.code == code) return &error;
+  }
+  return nullptr;
+}
+
+bool json_matches_type(const Json& value, std::string_view type) {
+  if (type == "string") return value.is_string();
+  if (type == "int") return value.is_int();
+  if (type == "number") return value.is_number();
+  if (type == "bool") return value.is_bool();
+  if (type == "object") return value.is_object();
+  throw ValidationError("service: unknown field type '" + std::string(type) +
+                        "' in the command registry");
+}
+
+std::string encode_frame(const Json& message) {
+  return message.dump() + "\n";
+}
+
+Json decode_frame(std::string_view line) {
+  Json message = Json::parse(line);
+  if (!message.is_object()) {
+    throw ValidationError("service: a frame must be a JSON object");
+  }
+  return message;
+}
+
+int64_t request_id(const Json& request) {
+  if (!request.is_object() || !request.contains("id")) return 0;
+  const Json& id = request["id"];
+  return id.is_int() ? id.as_int() : 0;
+}
+
+Json ok_reply(int64_t id) {
+  Json reply = Json::object();
+  reply["id"] = id;
+  reply["ok"] = true;
+  return reply;
+}
+
+Json error_reply(int64_t id, std::string_view code, const std::string& message) {
+  if (!find_service_error(code)) {
+    throw ValidationError("service: error code '" + std::string(code) +
+                          "' is not in the error registry");
+  }
+  Json reply = Json::object();
+  reply["id"] = id;
+  reply["ok"] = false;
+  Json error = Json::object();
+  error["code"] = std::string(code);
+  error["message"] = message;
+  reply["error"] = std::move(error);
+  return reply;
+}
+
+std::string check_request(const Json& request) {
+  if (!request.is_object()) return "request frame is not a JSON object";
+  if (!request.contains("cmd")) return "request has no \"cmd\" field";
+  if (!request["cmd"].is_string()) return "\"cmd\" must be a string";
+  const std::string cmd = request["cmd"].as_string();
+  const CommandInfo* command = find_service_command(cmd);
+  if (!command) return "unknown command '" + cmd + "'";
+  for (const FieldInfo& field : command->fields) {
+    const std::string name(field.name);
+    if (!request.contains(name)) {
+      if (field.required) {
+        return "command '" + cmd + "' requires field \"" + name + "\"";
+      }
+      continue;
+    }
+    if (!json_matches_type(request[name], field.type)) {
+      return "field \"" + name + "\" of command '" + cmd + "' must be " +
+             std::string(field.type);
+    }
+  }
+  return "";
+}
+
+}  // namespace ff::service

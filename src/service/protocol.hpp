@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ff::service {
+
+/// Wire protocol version carried in "hello" replies. Bump when a command's
+/// shape changes incompatibly; clients refuse a mismatched server.
+inline constexpr int64_t kProtocolVersion = 1;
+
+/// Upper bound on one newline-delimited frame (request or reply). A client
+/// streaming an endless line would otherwise grow the server's read buffer
+/// without bound; past this the server replies `frame-too-large` and drops
+/// the connection.
+inline constexpr size_t kMaxFrameBytes = 8 * 1024 * 1024;
+
+/// fairflowd speaks newline-delimited JSON over a Unix or TCP socket: one
+/// request object per line, one reply object per line, in order. Requests
+/// are {"id": <int>, "cmd": "<name>", ...fields}; replies echo the id and
+/// carry {"ok": true, ...} or {"ok": false, "error": {"code", "message"}}.
+/// The normative spec lives in docs/service_protocol.md, kept in sync with
+/// service_command_registry() by tests/service/service_doc_test — the same
+/// doc-sync discipline as the journal format and the lint catalog.
+
+/// One field a command recognizes. `type` is a small vocabulary understood
+/// by json_matches_type(): "string", "int", "number", "bool", "object".
+struct FieldInfo {
+  std::string_view name;
+  std::string_view type;
+  bool required = false;
+};
+
+/// One entry of the command registry: the single source of truth for which
+/// "cmd" values exist on the wire. The FF5xx lint rules validate request
+/// documents against exactly this table.
+struct CommandInfo {
+  std::string_view cmd;
+  std::string_view summary;
+  std::vector<FieldInfo> fields;  // recognized fields besides "id" and "cmd"
+};
+
+const std::vector<CommandInfo>& service_command_registry();
+const CommandInfo* find_service_command(std::string_view cmd);
+
+/// Error codes a reply's error.code may carry (documented alongside the
+/// commands; doc-synced the same way).
+struct ServiceErrorInfo {
+  std::string_view code;
+  std::string_view summary;
+};
+const std::vector<ServiceErrorInfo>& service_error_registry();
+const ServiceErrorInfo* find_service_error(std::string_view code);
+
+/// Does `value` satisfy the registry's type vocabulary? "number" accepts
+/// ints and doubles; "int" only ints.
+bool json_matches_type(const Json& value, std::string_view type);
+
+// ---------------------------------------------------------------------- //
+// Framing
+// ---------------------------------------------------------------------- //
+
+/// Serialize one message as a frame: compact JSON plus the terminating
+/// newline (the frame delimiter — dump() never emits raw newlines).
+std::string encode_frame(const Json& message);
+
+/// Parse one frame (a single line, delimiter excluded). Throws ParseError
+/// on malformed JSON and ValidationError when the frame is not an object.
+Json decode_frame(std::string_view line);
+
+/// The request's "id" (0 when absent or not an integer) — echoed into every
+/// reply so clients can pipeline requests.
+int64_t request_id(const Json& request);
+
+// ---------------------------------------------------------------------- //
+// Replies
+// ---------------------------------------------------------------------- //
+
+/// {"id": id, "ok": true} — callers add result fields to the returned object.
+Json ok_reply(int64_t id);
+
+/// {"id": id, "ok": false, "error": {"code": code, "message": message}}.
+/// `code` must be registered in service_error_registry().
+Json error_reply(int64_t id, std::string_view code, const std::string& message);
+
+/// Shape-check a request against the registry: object, known "cmd",
+/// required fields present, recognized fields well-typed. Returns an empty
+/// string when well-formed, else a human-readable problem (the server wraps
+/// it in a bad-request / unknown-command reply). Unrecognized extra fields
+/// are tolerated here — fairflow-lint flags them as FF505 — so the wire
+/// stays forward-compatible.
+std::string check_request(const Json& request);
+
+}  // namespace ff::service

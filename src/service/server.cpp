@@ -1,0 +1,193 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ff::service {
+
+namespace {
+
+void send_all(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer gone; the read loop will notice and close
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string errno_string() { return std::strerror(errno); }
+
+}  // namespace
+
+Server::Server(Dispatcher& dispatcher, Options options)
+    : dispatcher_(dispatcher), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (listen_fd_ >= 0) throw StateError("server already started");
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw IoError("unix socket path too long: " + options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw IoError("socket(): " + errno_string());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string why = errno_string();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw IoError("bind(" + options_.unix_path + "): " + why);
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw IoError("socket(): " + errno_string());
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string why = errno_string();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw IoError("bind(127.0.0.1:" + std::to_string(options_.port) +
+                    "): " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string why = errno_string();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("listen(): " + why);
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks a blocked accept(); close() alone does not on
+    // all kernels.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    fds.swap(client_fds_);
+    threads.swap(client_threads_);
+  }
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop()) or fatal: either way, exit
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    client_fds_.push_back(fd);
+    client_threads_.emplace_back([this, fd] { serve_client(fd); });
+  }
+}
+
+void Server::serve_client(int fd) {
+  Dispatcher::Session session(dispatcher_);
+  std::string buffer;
+  char chunk[4096];
+
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // disconnect or stop(): any partial frame is dropped
+    buffer.append(chunk, static_cast<size_t>(n));
+
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      if (line.size() > kMaxFrameBytes) {
+        send_all(fd, encode_frame(error_reply(0, "frame-too-large",
+                                              "request frame exceeds " +
+                                                  std::to_string(
+                                                      kMaxFrameBytes) +
+                                                  " bytes")));
+        continue;
+      }
+      Json request;
+      try {
+        request = decode_frame(line + "\n");
+      } catch (const std::exception& error) {
+        send_all(fd, encode_frame(error_reply(0, "bad-request", error.what())));
+        continue;
+      }
+      send_all(fd, encode_frame(session.handle(request)));
+    }
+
+    // A frame this large with no newline yet is never going to be valid;
+    // refuse it rather than buffering without bound.
+    if (buffer.size() > kMaxFrameBytes) {
+      send_all(fd, encode_frame(error_reply(
+                       0, "frame-too-large",
+                       "unterminated frame exceeds " +
+                           std::to_string(kMaxFrameBytes) + " bytes")));
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace ff::service

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/session.hpp"
+
+namespace ff::service {
+
+/// fairflowd's transport: a Unix-domain (or loopback TCP) listener,
+/// thread-per-client, newline-delimited JSON frames (see protocol.hpp).
+/// Each connection is one session: opened on accept, closed on disconnect.
+/// A request only exists once its terminating newline arrives — a client
+/// that dies mid-frame has submitted nothing (no partial campaign state).
+class Server {
+ public:
+  struct Options {
+    /// Non-empty: listen on this Unix socket path (created, unlinked on
+    /// stop). Empty: listen on loopback TCP instead.
+    std::string unix_path;
+    /// TCP port (loopback only); 0 picks an ephemeral port — read it back
+    /// with port() after start().
+    uint16_t port = 0;
+  };
+
+  Server(Dispatcher& dispatcher, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept loop. Throws IoError on bind
+  /// failure (path too long, address in use, ...).
+  void start();
+
+  /// Stop accepting, shut down every live connection, join all threads.
+  /// Idempotent. Does NOT drain the core — callers sequence
+  /// server.stop() then core.stop()/drain() (the SIGTERM path).
+  void stop();
+
+  uint16_t port() const noexcept { return port_; }
+  const std::string& unix_path() const noexcept { return options_.unix_path; }
+  size_t connections_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+  Dispatcher& dispatcher() noexcept { return dispatcher_; }
+
+ private:
+  void accept_loop();
+  void serve_client(int fd);
+
+  Dispatcher& dispatcher_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex clients_mutex_;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> client_threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> served_{0};
+};
+
+}  // namespace ff::service

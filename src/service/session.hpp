@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "service/core.hpp"
+#include "service/protocol.hpp"
+#include "util/json.hpp"
+
+namespace ff::service {
+
+/// Per-client identity. A session opens when a client connects (or an
+/// in-process client constructs a Dispatcher::Session) and closes when it
+/// disconnects; its id ("s1", "s2", ...) tags campaign ownership and the
+/// quota stub in ServiceCore. Emits `service.session.open` / `.close`.
+class SessionRegistry {
+ public:
+  std::string open();
+  void close(const std::string& id);
+  size_t active() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::set<std::string> active_ids_;
+  uint64_t next_ = 0;
+};
+
+/// Request → reply mapping, shared by the socket server and in-process
+/// clients (the batch path, the quickstart tour): shape-check against the
+/// command registry, dispatch to ServiceCore, translate exceptions into
+/// registered error replies. handle() never throws.
+class Dispatcher {
+ public:
+  explicit Dispatcher(ServiceCore& core) : core_(core) {}
+
+  /// Handle one request frame on behalf of `session`. Always returns a
+  /// well-formed reply (ok or error) echoing the request id. Emits
+  /// `service.request`.
+  Json handle(const std::string& session, const Json& request);
+
+  /// RAII client identity for in-process use; the server opens/closes
+  /// sessions around each connection the same way.
+  class Session {
+   public:
+    explicit Session(Dispatcher& dispatcher)
+        : dispatcher_(dispatcher), id_(dispatcher.sessions().open()) {}
+    ~Session() { dispatcher_.sessions().close(id_); }
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    const std::string& id() const noexcept { return id_; }
+    Json handle(const Json& request) { return dispatcher_.handle(id_, request); }
+
+   private:
+    Dispatcher& dispatcher_;
+    std::string id_;
+  };
+
+  SessionRegistry& sessions() noexcept { return sessions_; }
+  ServiceCore& core() noexcept { return core_; }
+
+  /// True once any session issued `shutdown`. The server's accept loop and
+  /// fairflowd's main loop watch this.
+  bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+ private:
+  ServiceCore& core_;
+  SessionRegistry sessions_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace ff::service

@@ -226,5 +226,60 @@ TEST(Sweep, LargeCrossProductEnumeratesAllCombinations) {
   EXPECT_EQ(distinct.size(), 1000u);
 }
 
+TEST(Sweep, RejectsCrossProductOverflowAtConstruction) {
+  // Nine 128-value parameters are 2^63 runs — the largest power-of-two
+  // product size_t still holds. A tenth 128-value parameter wraps; add()
+  // must refuse at construction rather than let run_count() silently shrink
+  // and run_at() decode garbage assignments. (The linter flags the same
+  // manifest as FF210 before create() hits this throw.)
+  std::vector<Json> values;
+  for (int64_t i = 0; i < 128; ++i) values.push_back(Json(i));
+  Sweep sweep("huge");
+  for (int p = 0; p < 9; ++p) {
+    sweep.add(Parameter::values("p" + std::to_string(p),
+                                ParamLayer::Application, values));
+  }
+  EXPECT_EQ(sweep.run_count(), size_t{1} << 63);
+  EXPECT_THROW(
+      sweep.add(Parameter::values("p9", ParamLayer::Application, values)),
+      ValidationError);
+  // Boundary: ×1 keeps the product at 2^63 (fits), ×2 would be 2^64 (wraps).
+  sweep.add(Parameter::values("one", ParamLayer::Application, {Json(0)}));
+  EXPECT_EQ(sweep.run_count(), size_t{1} << 63);
+  EXPECT_THROW(
+      sweep.add(Parameter::values("two", ParamLayer::Application,
+                                  {Json(0), Json(1)})),
+      ValidationError);
+  // A failed add leaves the sweep untouched.
+  EXPECT_EQ(sweep.parameters().size(), 10u);
+  EXPECT_EQ(sweep.run_count(), size_t{1} << 63);
+}
+
+TEST(SweepGroup, RejectsTotalRunCountOverflow) {
+  // Two 2^63-run sweeps sum to 2^64 — past size_t. The group add() must
+  // refuse the second sweep and leave the group untouched.
+  std::vector<Json> values;
+  for (int64_t i = 0; i < 128; ++i) values.push_back(Json(i));
+  const auto huge_sweep = [&values](const std::string& name) {
+    Sweep sweep(name);
+    for (int p = 0; p < 9; ++p) {
+      sweep.add(Parameter::values("p" + std::to_string(p),
+                                  ParamLayer::Application, values));
+    }
+    return sweep;
+  };
+  SweepGroup group("g");
+  group.add(huge_sweep("a"));
+  EXPECT_EQ(group.run_count(), size_t{1} << 63);
+  EXPECT_THROW(group.add(huge_sweep("b")), ValidationError);
+  EXPECT_EQ(group.sweeps().size(), 1u);
+  EXPECT_EQ(group.run_count(), size_t{1} << 63);
+  // Small sweeps still join fine next to a huge one.
+  Sweep small("small");
+  small.add(Parameter::values("x", ParamLayer::Application, {Json(1), Json(2)}));
+  group.add(std::move(small));
+  EXPECT_EQ(group.run_count(), (size_t{1} << 63) + 2);
+}
+
 }  // namespace
 }  // namespace ff::cheetah

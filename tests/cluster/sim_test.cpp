@@ -221,6 +221,43 @@ TEST(Simulation, InfiniteTimesFireAfterAllFiniteEvents) {
                Error);
 }
 
+TEST(Simulation, DuplicateHeavyBurstAfterSparsePrelude) {
+  // Regression for the width re-derivation in cq_resize: a duplicate-heavy
+  // population has median gap zero, and the old code skipped the width
+  // update entirely — pinning whatever slot width an earlier (hour-sparse)
+  // population derived. The width now falls back to the smallest *positive*
+  // gap, so the microsecond-spaced instants below spread over many narrow
+  // slots. Correctness contract checked here: (time, schedule-order)
+  // delivery and exactly-once, across the sparse→burst churn.
+  Simulation sim;
+  std::vector<std::pair<double, uint64_t>> fired;
+  uint64_t tag = 0;
+  // Sparse prelude: hour-apart events force resizes that derive a wide slot.
+  for (int i = 0; i < 64; ++i) {
+    const double t = static_cast<double>(i) * 3600.0;
+    sim.schedule_at(t, [&fired, t, tag] { fired.emplace_back(t, tag); });
+    ++tag;
+  }
+  sim.run();
+  // Burst: 4096 events over 16 distinct microsecond-spaced instants (256
+  // duplicates each) — median gap 0, smallest positive gap 1 µs.
+  const double base = sim.now() + 10.0;
+  for (int i = 0; i < 4096; ++i) {
+    const double t = base + static_cast<double>(i / 256) * 1e-6;
+    sim.schedule_at(t, [&fired, t, tag] { fired.emplace_back(t, tag); });
+    ++tag;
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 64u + 4096u);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_TRUE(fired[i - 1].first < fired[i].first ||
+                (fired[i - 1].first == fired[i].first &&
+                 fired[i - 1].second < fired[i].second))
+        << "events out of order at position " << i;
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulation, IdenticalTimesAtScaleStayInScheduleOrder) {
   // Degenerate case for a calendar queue: every event lands in one bucket
   // and the median-gap width heuristic sees all-zero gaps.

@@ -56,6 +56,75 @@ TEST(CampaignRules, CommittedIrfManifestIsClean) {
   EXPECT_TRUE(report.empty()) << report.render_text();
 }
 
+namespace {
+/// A manifest whose one sweep multiplies `wide` 128-value parameters with
+/// one `tail_cardinality`-value parameter — the cross product is
+/// tail_cardinality × 2^(7·wide), which wraps size_t once that passes 2^64.
+Json overflow_manifest(int wide, int64_t tail_cardinality) {
+  Json values = Json::array();
+  for (int64_t i = 0; i < 128; ++i) values.push_back(Json(i));
+  Json parameters = Json::array();
+  for (int p = 0; p < wide; ++p) {
+    Json parameter = Json::object();
+    parameter["name"] = "p" + std::to_string(p);
+    parameter["values"] = values;
+    parameters.push_back(std::move(parameter));
+  }
+  Json tail = Json::object();
+  tail["name"] = "tail";
+  Json tail_values = Json::array();
+  for (int64_t i = 0; i < tail_cardinality; ++i) tail_values.push_back(Json(i));
+  tail["values"] = std::move(tail_values);
+  parameters.push_back(std::move(tail));
+  Json sweep = Json::object();
+  sweep["name"] = "huge";
+  sweep["parameters"] = std::move(parameters);
+  Json sweeps = Json::array();
+  sweeps.push_back(std::move(sweep));
+  Json group = Json::object();
+  group["name"] = "g";
+  group["nodes"] = int64_t{1};
+  group["walltime_s"] = 1.0;  // would trip FF203 if a wrapped count leaked
+  group["sweeps"] = std::move(sweeps);
+  Json groups = Json::array();
+  groups.push_back(std::move(group));
+  Json app = Json::object();
+  app["name"] = "a";
+  app["executable"] = "e";
+  app["args_template"] = "";
+  Json manifest = Json::object();
+  manifest["name"] = "m";
+  manifest["machine"] = "workstation";
+  manifest["app"] = std::move(app);
+  manifest["groups"] = std::move(groups);
+  return manifest;
+}
+}  // namespace
+
+TEST(CampaignRules, SweepCardinalityOverflowIsFF210) {
+  // 9 × 128 values × one 3-value tail is 3·2^63 runs — past size_t. The old
+  // counter wrapped and fed FF203 a bogus "small" sweep; the rule now fires
+  // FF210 once per sweep and withdraws the group from the budget math.
+  const LintReport report = lint_campaign_manifest(
+      overflow_manifest(9, 3), JsonLocator::scan(""), "<inline>");
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  EXPECT_EQ(report.diagnostics()[0].code, "FF210");
+  EXPECT_EQ(report.diagnostics()[0].severity, Severity::Warning);
+  EXPECT_FALSE(report.has_errors());
+  // One parameter short of the wrap: counted normally, and the walltime
+  // budget rule sees the genuine (astronomically over-budget) product.
+  const LintReport fits = lint_campaign_manifest(
+      overflow_manifest(8, 3), JsonLocator::scan(""), "<inline>");
+  ASSERT_EQ(fits.size(), 1u) << fits.render_text();
+  EXPECT_EQ(fits.diagnostics()[0].code, "FF203");
+}
+
+TEST(CampaignRules, ManifestRunIdsSkipOverflowingSweep) {
+  // Enumerating a wrapped count would either loop ~2^63 times or emit ids
+  // the real sweep could never produce — an overflowing sweep yields none.
+  EXPECT_TRUE(manifest_run_ids(overflow_manifest(9, 3)).empty());
+}
+
 // ---------------------------------------------------------------------------
 // manifest_run_ids mirrors SweepGroup::generate()
 // ---------------------------------------------------------------------------

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/engine.hpp"
+#include "lint/rules.hpp"
+#include "lint_test_util.hpp"
+#include "service/protocol.hpp"
+
+namespace ff::lint {
+namespace {
+
+LintReport lint_request_text(const std::string& text) {
+  const LintEngine engine;
+  LintReport report = engine.lint_text(text, "request.json");
+  report.sort();
+  return report;
+}
+
+std::vector<std::string> codes(const LintReport& report) {
+  std::vector<std::string> out;
+  for (const Diagnostic& diagnostic : report.diagnostics()) {
+    out.push_back(diagnostic.code);
+  }
+  return out;
+}
+
+TEST(ServiceRules, CmdKeyRoutesToServiceRequestKind) {
+  EXPECT_EQ(detect_kind(Json::parse(R"({"cmd": "ping"})")),
+            ArtifactKind::ServiceRequest);
+  // A manifest-shaped document keeps winning even with a stray "cmd".
+  EXPECT_EQ(detect_kind(Json::parse(R"({"app": {}, "groups": [], "cmd": 1})")),
+            ArtifactKind::CampaignManifest);
+}
+
+TEST(ServiceRules, WellFormedRequestsAreClean) {
+  EXPECT_TRUE(lint_request_text(R"({"cmd": "ping", "id": 1})").empty());
+  EXPECT_TRUE(lint_request_text(R"({"cmd": "status", "campaign": "x"})")
+                  .empty());
+  EXPECT_TRUE(
+      lint_request_text(
+          R"({"cmd": "submit", "manifest": {}, "group": "g", "id": 7})")
+          .empty());
+}
+
+TEST(ServiceRules, NonStringCmdIsFF501) {
+  const LintReport report = lint_request_text(R"({"cmd": 42})");
+  ASSERT_EQ(codes(report), std::vector<std::string>{"FF501"});
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ServiceRules, UnknownCommandIsFF502) {
+  const LintReport report = lint_request_text(R"({"cmd": "submitt"})");
+  ASSERT_EQ(codes(report), std::vector<std::string>{"FF502"});
+  // The fixit enumerates the live registry so the message tracks additions.
+  EXPECT_NE(report.diagnostics()[0].fixit.find("submit"), std::string::npos);
+}
+
+TEST(ServiceRules, MissingRequiredFieldIsFF503) {
+  const LintReport report = lint_request_text(R"({"cmd": "submit", "id": 3})");
+  ASSERT_EQ(codes(report), std::vector<std::string>{"FF503"});
+  EXPECT_NE(report.diagnostics()[0].message.find("manifest"),
+            std::string::npos);
+}
+
+TEST(ServiceRules, FieldTypeMismatchIsFF504) {
+  const LintReport report =
+      lint_request_text(R"({"cmd": "submit", "manifest": "not-an-object"})");
+  ASSERT_EQ(codes(report), std::vector<std::string>{"FF504"});
+  EXPECT_NE(report.diagnostics()[0].message.find("object"), std::string::npos);
+}
+
+TEST(ServiceRules, UnknownExtraFieldIsFF505Warning) {
+  const LintReport report =
+      lint_request_text(R"({"cmd": "status", "campaign": "x", "campain": "y"})");
+  ASSERT_EQ(codes(report), std::vector<std::string>{"FF505"});
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_NE(report.diagnostics()[0].message.find("campain"), std::string::npos);
+}
+
+// The registry itself is the contract the daemon dispatches from; pin the
+// command set so an accidental registry edit fails loudly here too (the
+// doc-sync test pins it against docs/service_protocol.md).
+TEST(ServiceRules, RegistryPinsTheCommandSet) {
+  std::vector<std::string> names;
+  for (const service::CommandInfo& command :
+       service::service_command_registry()) {
+    names.emplace_back(command.cmd);
+  }
+  const std::vector<std::string> expected = {"hello",  "ping",   "submit",
+                                             "status", "list",   "trace",
+                                             "cancel", "resume", "shutdown"};
+  EXPECT_EQ(names, expected);
+  // Every registered field type must be in json_matches_type's vocabulary.
+  for (const service::CommandInfo& command :
+       service::service_command_registry()) {
+    for (const service::FieldInfo& field : command.fields) {
+      EXPECT_TRUE(field.type == "string" || field.type == "int" ||
+                  field.type == "number" || field.type == "bool" ||
+                  field.type == "object")
+          << command.cmd << "." << field.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ff::lint

@@ -345,6 +345,68 @@ TEST(RetryPolicy, BudgetExhaustsAlwaysFailingRun) {
   EXPECT_TRUE(tracker.needing_rerun().empty());
 }
 
+TEST(CampaignJournal, ExplicitCloseThrowsWhenFlushCannotCommit) {
+  TempDir dir("journal");
+  const std::string path = dir.file("journal.jsonl");
+  CampaignJournal journal = CampaignJournal::create(path, "camp", {"t0", "t1"});
+  journal.set_group_commit(4);
+  journal.append_allocation(alloc_record(0, 10, {"t0"}));  // buffered only
+  CampaignJournal::set_test_write_hook(
+      [](CampaignJournal::WriteKind kind, CampaignJournal::WritePhase phase,
+         size_t) {
+        if (kind == CampaignJournal::WriteKind::Append &&
+            phase == CampaignJournal::WritePhase::BeforeWrite) {
+          throw IoError("injected: disk full");
+        }
+      });
+  EXPECT_THROW(journal.close(), IoError);
+  CampaignJournal::set_test_write_hook(nullptr);
+  // Even a failed close releases the handle, and the failure is recorded.
+  EXPECT_FALSE(journal.is_open());
+  EXPECT_NE(journal.last_error().find("injected: disk full"),
+            std::string::npos)
+      << journal.last_error();
+  // Closing again is a no-op, not a second throw.
+  journal.close();
+}
+
+TEST(CampaignJournal, DestructorSwallowsFlushFailureDuringUnwind) {
+  // Regression: ~CampaignJournal() used to delegate to the throwing
+  // close(), so a flush failure while an exception was already unwinding
+  // the stack was std::terminate. The destructor path now swallows the
+  // failure; surviving the two scopes below *is* the assertion.
+  TempDir dir("journal");
+  CampaignJournal::WriteHook poison =
+      [](CampaignJournal::WriteKind kind, CampaignJournal::WritePhase phase,
+         size_t) {
+        if (kind == CampaignJournal::WriteKind::Append &&
+            phase == CampaignJournal::WritePhase::BeforeWrite) {
+          throw IoError("injected: device gone");
+        }
+      };
+  {
+    // Plain scope exit with a poisoned, non-empty buffer.
+    CampaignJournal journal =
+        CampaignJournal::create(dir.file("a.jsonl"), "camp", {"t0"});
+    journal.set_group_commit(4);
+    journal.append_allocation(alloc_record(0, 10, {"t0"}));
+    CampaignJournal::set_test_write_hook(poison);
+  }
+  CampaignJournal::set_test_write_hook(nullptr);
+  // Destruction *during unwind* — the case that used to terminate.
+  EXPECT_THROW(
+      {
+        CampaignJournal journal =
+            CampaignJournal::create(dir.file("b.jsonl"), "camp", {"t0"});
+        journal.set_group_commit(4);
+        journal.append_allocation(alloc_record(0, 10, {"t0"}));
+        CampaignJournal::set_test_write_hook(poison);
+        throw StateError("campaign failed elsewhere");
+      },
+      StateError);
+  CampaignJournal::set_test_write_hook(nullptr);
+}
+
 TEST(RetryPolicy, BackoffDelaysRetryInVirtualTime) {
   sim::Simulation sim;
   CampaignRunOptions options;

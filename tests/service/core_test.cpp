@@ -1,0 +1,282 @@
+#include "service/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "service_test_util.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace ff::service {
+namespace {
+
+using testing::run_batch_reference;
+using testing::sliced_manifest;
+
+CampaignConfig config_for(const Json& manifest) {
+  CampaignConfig config;
+  config.manifest = manifest;
+  return config;  // defaults: first group, seed 5, default model/policies
+}
+
+void expect_byte_identical_to_batch(const std::string& service_dir,
+                                    const Json& manifest,
+                                    const std::string& scratch_root) {
+  const std::string batch_dir = run_batch_reference(manifest, scratch_root);
+  EXPECT_EQ(read_file(service_dir + "/.campaign/journal.jsonl"),
+            read_file(batch_dir + "/.campaign/journal.jsonl"))
+      << service_dir;
+  EXPECT_EQ(read_file(service_dir + "/.campaign/status.json"),
+            read_file(batch_dir + "/.campaign/status.json"))
+      << service_dir;
+}
+
+TEST(ServiceCore, SingleCampaignMatchesBatchByteForByte) {
+  TempDir dir;
+  const Json manifest = sliced_manifest("solo");
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  options.workers = 1;
+  ServiceCore core(options);
+
+  const std::string name = core.submit(config_for(manifest), "s1");
+  EXPECT_EQ(name, "solo");
+  core.drain();
+
+  const CampaignInfo info = core.info(name);
+  EXPECT_EQ(info.state, "done");
+  EXPECT_EQ(info.run_count, 6u);
+  EXPECT_EQ(info.counts.done, 6u);
+  EXPECT_GT(info.allocations, 1u);  // the walltime really forced slicing
+  EXPECT_EQ(info.owner, "s1");
+
+  expect_byte_identical_to_batch(info.directory, manifest, dir.file("batch"));
+}
+
+TEST(ServiceCore, ConcurrentCampaignsStayByteIdentical) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  options.workers = 2;
+  ServiceCore core(options);
+
+  // Four tenants, four campaigns, one shared cluster. Each campaign's
+  // provenance must come out exactly as if it ran alone in batch.
+  std::vector<Json> manifests;
+  for (int i = 0; i < 4; ++i) {
+    manifests.push_back(sliced_manifest("tenant-" + std::to_string(i)));
+    core.submit(config_for(manifests.back()), "s" + std::to_string(i + 1));
+  }
+  core.drain();
+
+  for (int i = 0; i < 4; ++i) {
+    const CampaignInfo info = core.info("tenant-" + std::to_string(i));
+    EXPECT_EQ(info.state, "done") << info.name << ": " << info.error;
+    EXPECT_EQ(info.counts.done, 6u);
+    expect_byte_identical_to_batch(info.directory, manifests[i],
+                                   dir.file("batch-" + std::to_string(i)));
+  }
+  EXPECT_EQ(core.list().size(), 4u);
+}
+
+TEST(ServiceCore, LintRejectionLeavesNoDirectory) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  ServiceCore core(options);
+
+  // An args_template referencing an undeclared parameter is FF201 — a
+  // manifest the Campaign constructor accepts but the preflight lint in
+  // CampaignEndpoint::create rejects, *before* any directory exists.
+  Json manifest = sliced_manifest("rejected");
+  manifest["app"]["args_template"] = "--y {{undeclared}}";
+  EXPECT_THROW(core.submit(config_for(manifest), "s1"), ValidationError);
+  EXPECT_FALSE(std::filesystem::exists(dir.file("service/rejected")));
+  EXPECT_THROW(core.info("rejected"), NotFoundError);
+
+  // A manifest the Campaign constructor itself refuses (empty value list)
+  // is equally invisible on disk.
+  Json broken = sliced_manifest("broken");
+  broken["groups"][0]["sweeps"][0]["parameters"][0]["values"] = Json::array();
+  EXPECT_THROW(core.submit(config_for(broken), "s1"), ValidationError);
+  EXPECT_FALSE(std::filesystem::exists(dir.file("service/broken")));
+}
+
+TEST(ServiceCore, DuplicateNameIsConflict) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  ServiceCore core(options);
+  core.submit(config_for(sliced_manifest("dup")), "s1");
+  EXPECT_THROW(core.submit(config_for(sliced_manifest("dup")), "s2"),
+               StateError);
+  core.drain();
+}
+
+TEST(ServiceCore, QuotaBoundsCampaignsPerSession) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  options.max_campaigns_per_session = 2;
+  ServiceCore core(options);
+
+  core.submit(config_for(sliced_manifest("q0")), "s1");
+  core.submit(config_for(sliced_manifest("q1")), "s1");
+  EXPECT_THROW(core.submit(config_for(sliced_manifest("q2")), "s1"),
+               QuotaError);
+  // The quota is per session, not global.
+  core.submit(config_for(sliced_manifest("q2")), "s2");
+  core.drain();
+  EXPECT_EQ(core.list().size(), 3u);
+}
+
+TEST(ServiceCore, CancelThenResumeStillMatchesBatch) {
+  TempDir dir;
+  const Json manifest = sliced_manifest("comeback");
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  options.workers = 1;
+  ServiceCore core(options);
+
+  core.submit(config_for(manifest), "s1");
+  // Lands either while the first slice is in flight (parks after its
+  // allocation — the journal commit point) or while queued; both paths
+  // must leave a resumable campaign.
+  EXPECT_TRUE(core.cancel("comeback"));
+  core.drain();
+  const std::string state_after_cancel = core.info("comeback").state;
+  ASSERT_TRUE(state_after_cancel == "cancelled" ||
+              state_after_cancel == "done")
+      << state_after_cancel;
+
+  if (state_after_cancel == "cancelled") {
+    EXPECT_FALSE(core.cancel("comeback"));  // already parked
+    core.resume("comeback");
+    core.drain();
+  }
+  const CampaignInfo info = core.info("comeback");
+  EXPECT_EQ(info.state, "done") << info.error;
+  // The interruption must be invisible in the provenance.
+  expect_byte_identical_to_batch(info.directory, manifest, dir.file("batch"));
+}
+
+TEST(ServiceCore, ResumeRejectsTerminalAndScheduledStates) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  ServiceCore core(options);
+  core.submit(config_for(sliced_manifest("r")), "s1");
+  core.drain();
+  EXPECT_THROW(core.resume("r"), StateError);       // done
+  EXPECT_THROW(core.resume("ghost"), NotFoundError);  // nowhere on disk
+}
+
+TEST(ServiceCore, AdoptsCampaignFromDiskAfterRestart) {
+  TempDir dir;
+  const Json manifest = sliced_manifest("orphan");
+  const std::string root = dir.file("service");
+  std::string directory;
+  {
+    ServiceCore::Options options;
+    options.root = root;
+    options.workers = 1;
+    ServiceCore first(options);
+    first.submit(config_for(manifest), "s1");
+    EXPECT_TRUE(first.cancel("orphan"));
+    first.drain();
+    directory = first.info("orphan").directory;
+    // first is destroyed here — the "daemon" goes away mid-campaign.
+  }
+
+  ServiceCore::Options options;
+  options.root = root;
+  options.workers = 1;
+  ServiceCore second(options);
+  EXPECT_THROW(second.info("orphan"), NotFoundError);  // not in memory
+  second.resume("orphan");  // adopted: endpoint + service.json sidecar
+  second.drain();
+  const CampaignInfo info = second.info("orphan");
+  EXPECT_EQ(info.state, "done") << info.error;
+  EXPECT_EQ(info.owner, "");  // recovered; no live session owns it
+  EXPECT_EQ(info.counts.done, 6u);
+  // Even across a process boundary the journal is byte-identical to an
+  // uninterrupted batch run (the crash_resume guarantee, via the service).
+  expect_byte_identical_to_batch(info.directory, manifest, dir.file("batch"));
+}
+
+TEST(ServiceCore, SubmitAfterStopIsRefused) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  ServiceCore core(options);
+  core.stop();
+  EXPECT_THROW(core.submit(config_for(sliced_manifest("late")), "s1"),
+               StateError);
+}
+
+TEST(ServiceCore, TraceTailRecordsLifecycleEvents) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  options.workers = 1;
+  ServiceCore core(options);
+  core.submit(config_for(sliced_manifest("traced")), "s1");
+  core.drain();
+
+  bool saw_submit = false, saw_done = false, saw_slice = false;
+  for (const Json& event : core.trace_tail(256)) {
+    const std::string kind = event.get_or("event", "");
+    if (kind == "service.campaign.submit") saw_submit = true;
+    if (kind == "service.slice") saw_slice = true;
+    if (kind == "service.campaign.state" &&
+        event.get_or("state", "") == "done") {
+      saw_done = true;
+    }
+  }
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_slice);
+  EXPECT_TRUE(saw_done);
+  // The tail is bounded and `count` truncates from the oldest side.
+  EXPECT_LE(core.trace_tail(3).size(), 3u);
+}
+
+TEST(CampaignConfigFromRequest, ParsesKnobsAndValidates) {
+  Json request = Json::parse(R"({
+    "cmd": "submit", "manifest": {"name": "m"},
+    "group": "g1",
+    "duration": {"median_s": 120.0, "sigma": 0.2, "seed": 11},
+    "execution": {"nodes": 3, "walltime_s": 900.0},
+    "retry": {"max_attempts": 2},
+    "journal": {"group_commit": 4, "checkpoint_every": 2}
+  })");
+  const CampaignConfig config = campaign_config_from_request(request);
+  EXPECT_EQ(config.group, "g1");
+  EXPECT_DOUBLE_EQ(config.durations.median_s, 120.0);
+  EXPECT_DOUBLE_EQ(config.durations.sigma, 0.2);
+  EXPECT_EQ(config.duration_seed, 11u);
+  ASSERT_TRUE(config.nodes.has_value());
+  EXPECT_EQ(*config.nodes, 3);
+  ASSERT_TRUE(config.walltime_s.has_value());
+  EXPECT_DOUBLE_EQ(*config.walltime_s, 900.0);
+  EXPECT_EQ(config.retry.max_attempts, 2u);
+  EXPECT_EQ(config.journal.group_commit, 4u);
+  EXPECT_EQ(config.journal.checkpoint_every, 2u);
+
+  EXPECT_THROW(campaign_config_from_request(Json::parse(R"({"cmd":"submit"})")),
+               ValidationError);
+  EXPECT_THROW(campaign_config_from_request(Json::parse(
+                   R"({"manifest": {}, "duration": {"median_s": -1}})")),
+               ValidationError);
+  EXPECT_THROW(campaign_config_from_request(Json::parse(
+                   R"({"manifest": {}, "execution": {"nodes": 0}})")),
+               ValidationError);
+  EXPECT_THROW(campaign_config_from_request(Json::parse(
+                   R"({"manifest": {}, "journal": {"group_commit": 0}})")),
+               ValidationError);
+}
+
+}  // namespace
+}  // namespace ff::service

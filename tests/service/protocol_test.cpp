@@ -1,0 +1,101 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ff::service {
+namespace {
+
+TEST(Protocol, FrameRoundTrip) {
+  Json request = Json::object();
+  request["cmd"] = "ping";
+  request["id"] = int64_t{7};
+  const std::string frame = encode_frame(request);
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(frame.back(), '\n');
+  // dump() never emits raw newlines, so the delimiter is unambiguous.
+  EXPECT_EQ(frame.find('\n'), frame.size() - 1);
+
+  const Json decoded = decode_frame(frame.substr(0, frame.size() - 1));
+  EXPECT_EQ(decoded["cmd"].as_string(), "ping");
+  EXPECT_EQ(request_id(decoded), 7);
+}
+
+TEST(Protocol, DecodeRejectsMalformedFrames) {
+  EXPECT_THROW(decode_frame("{\"cmd\": "), ParseError);
+  EXPECT_THROW(decode_frame("[1, 2, 3]"), ValidationError);
+  EXPECT_THROW(decode_frame("\"just a string\""), ValidationError);
+}
+
+TEST(Protocol, RequestIdDefaultsToZero) {
+  EXPECT_EQ(request_id(Json::parse(R"({"cmd": "ping"})")), 0);
+  EXPECT_EQ(request_id(Json::parse(R"({"cmd": "ping", "id": "x"})")), 0);
+  EXPECT_EQ(request_id(Json::parse(R"({"cmd": "ping", "id": 41})")), 41);
+}
+
+TEST(Protocol, ErrorReplyRequiresRegisteredCode) {
+  const Json reply = error_reply(3, "not-found", "no campaign 'x'");
+  EXPECT_EQ(reply["id"].as_int(), 3);
+  EXPECT_FALSE(reply["ok"].as_bool());
+  EXPECT_EQ(reply["error"]["code"].as_string(), "not-found");
+  EXPECT_EQ(reply["error"]["message"].as_string(), "no campaign 'x'");
+  // A typo'd code is a programming error, caught at the reply layer, not
+  // shipped to a client as a code no doc defines.
+  EXPECT_THROW(error_reply(3, "not-fonud", "oops"), ValidationError);
+}
+
+TEST(Protocol, CheckRequestEnforcesRegistryShape) {
+  EXPECT_EQ(check_request(Json::parse(R"({"cmd": "ping"})")), "");
+  EXPECT_EQ(check_request(Json::parse(R"({"cmd": "status", "campaign": "c"})")),
+            "");
+  // Unknown extra fields are tolerated on the wire (FF505 is the linter's
+  // job) — the daemon stays forward-compatible.
+  EXPECT_EQ(check_request(
+                Json::parse(R"({"cmd": "ping", "flavor": "lemon"})")),
+            "");
+
+  EXPECT_NE(check_request(Json::parse("[]")), "");
+  EXPECT_NE(check_request(Json::parse(R"({"id": 1})")), "");
+  EXPECT_NE(check_request(Json::parse(R"({"cmd": 9})")), "");
+  const std::string unknown =
+      check_request(Json::parse(R"({"cmd": "sumbit"})"));
+  // The dispatcher keys the unknown-command reply off this prefix.
+  EXPECT_EQ(unknown.rfind("unknown command", 0), 0u) << unknown;
+  EXPECT_NE(check_request(Json::parse(R"({"cmd": "submit"})")), "");
+  EXPECT_NE(check_request(
+                Json::parse(R"({"cmd": "submit", "manifest": "nope"})")),
+            "");
+  EXPECT_NE(check_request(
+                Json::parse(R"({"cmd": "trace", "count": "many"})")),
+            "");
+}
+
+TEST(Protocol, TypeVocabulary) {
+  EXPECT_TRUE(json_matches_type(Json::parse(R"("x")"), "string"));
+  EXPECT_TRUE(json_matches_type(Json::parse("3"), "int"));
+  EXPECT_TRUE(json_matches_type(Json::parse("3"), "number"));
+  EXPECT_TRUE(json_matches_type(Json::parse("3.5"), "number"));
+  EXPECT_FALSE(json_matches_type(Json::parse("3.5"), "int"));
+  EXPECT_TRUE(json_matches_type(Json::parse("true"), "bool"));
+  EXPECT_TRUE(json_matches_type(Json::parse("{}"), "object"));
+  EXPECT_FALSE(json_matches_type(Json::parse("[]"), "object"));
+  EXPECT_THROW(json_matches_type(Json::parse("{}"), "tuple"), ValidationError);
+}
+
+TEST(Protocol, RegistriesAreInternallyConsistent) {
+  // Lookup helpers agree with the tables they wrap.
+  for (const CommandInfo& command : service_command_registry()) {
+    EXPECT_EQ(find_service_command(command.cmd), &command);
+    EXPECT_FALSE(command.summary.empty()) << command.cmd;
+  }
+  EXPECT_EQ(find_service_command("no-such-cmd"), nullptr);
+  for (const ServiceErrorInfo& error : service_error_registry()) {
+    EXPECT_EQ(find_service_error(error.code), &error);
+    EXPECT_FALSE(error.summary.empty()) << error.code;
+  }
+  EXPECT_EQ(find_service_error("no-such-error"), nullptr);
+}
+
+}  // namespace
+}  // namespace ff::service

@@ -1,0 +1,267 @@
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/core.hpp"
+#include "service/session.hpp"
+#include "service_test_util.hpp"
+#include "util/fs.hpp"
+
+namespace ff::service {
+namespace {
+
+using testing::WireClient;
+using testing::run_batch_reference;
+using testing::sliced_manifest;
+
+/// Everything a socket test needs, wired the way fairflowd_main wires it.
+struct Daemon {
+  explicit Daemon(const std::string& scratch, size_t workers = 2)
+      : core({.root = scratch + "/campaigns", .workers = workers}),
+        dispatcher(core),
+        server(dispatcher, {.unix_path = scratch + "/fairflowd.sock"}) {
+    server.start();
+  }
+  ~Daemon() {
+    server.stop();
+    core.stop();
+  }
+
+  ServiceCore core;
+  Dispatcher dispatcher;
+  Server server;
+};
+
+Json submit_request(const Json& manifest, int64_t id) {
+  Json request = Json::object();
+  request["cmd"] = "submit";
+  request["id"] = id;
+  request["manifest"] = manifest;
+  return request;
+}
+
+bool wait_until(const std::function<bool()>& done, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return done();
+}
+
+TEST(Server, HelloAssignsDistinctSessions) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+
+  WireClient a(daemon.server.unix_path());
+  WireClient b(daemon.server.unix_path());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  Json hello = Json::object();
+  hello["cmd"] = "hello";
+  hello["id"] = int64_t{1};
+  hello["client"] = "test";
+  const Json reply_a = a.call(hello);
+  const Json reply_b = b.call(hello);
+  ASSERT_TRUE(reply_a.get_or("ok", false)) << reply_a.dump();
+  ASSERT_TRUE(reply_b.get_or("ok", false)) << reply_b.dump();
+  EXPECT_EQ(reply_a["protocol"].as_int(), kProtocolVersion);
+  EXPECT_NE(reply_a["session"].as_string(), reply_b["session"].as_string());
+  EXPECT_EQ(daemon.dispatcher.sessions().active(), 2u);
+}
+
+TEST(Server, FourConcurrentClientsShareOneCluster) {
+  TempDir dir;
+  Daemon daemon(dir.str(), /*workers=*/2);
+
+  // The acceptance bar: >= 4 concurrent sessions submitting distinct
+  // campaigns onto one shared simulator, each journal byte-identical to
+  // the batch path.
+  std::vector<Json> manifests;
+  for (int i = 0; i < 4; ++i) {
+    manifests.push_back(sliced_manifest("wire-" + std::to_string(i)));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<Json> replies(4);
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&, i] {
+      WireClient client(daemon.server.unix_path());
+      ASSERT_TRUE(client.connected());
+      replies[i] = client.call(submit_request(manifests[i], i + 1));
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(replies[i].get_or("ok", false)) << replies[i].dump();
+    EXPECT_EQ(replies[i]["id"].as_int(), i + 1);
+    EXPECT_EQ(replies[i]["runs"].as_int(), 6);
+  }
+  daemon.core.drain();
+
+  WireClient inspector(daemon.server.unix_path());
+  ASSERT_TRUE(inspector.connected());
+  Json list = Json::object();
+  list["cmd"] = "list";
+  const Json listing = inspector.call(list);
+  ASSERT_TRUE(listing.get_or("ok", false));
+  EXPECT_EQ(listing["campaigns"].as_array().size(), 4u);
+
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "wire-" + std::to_string(i);
+    Json status = Json::object();
+    status["cmd"] = "status";
+    status["campaign"] = name;
+    const Json reply = inspector.call(status);
+    ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+    EXPECT_EQ(reply["campaign"]["state"].as_string(), "done") << reply.dump();
+    const std::string directory = reply["campaign"]["directory"].as_string();
+    const std::string batch_dir = run_batch_reference(
+        manifests[i], dir.file("batch-" + std::to_string(i)));
+    EXPECT_EQ(read_file(directory + "/.campaign/journal.jsonl"),
+              read_file(batch_dir + "/.campaign/journal.jsonl"))
+        << name;
+    EXPECT_EQ(read_file(directory + "/.campaign/status.json"),
+              read_file(batch_dir + "/.campaign/status.json"))
+        << name;
+  }
+}
+
+TEST(Server, DisconnectMidFrameSubmitsNothing) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+
+  const std::string frame =
+      encode_frame(submit_request(sliced_manifest("half"), 1));
+  {
+    WireClient client(daemon.server.unix_path());
+    ASSERT_TRUE(client.connected());
+    // Half the submit frame, no terminating newline — then vanish.
+    ASSERT_TRUE(client.send_raw(frame.substr(0, frame.size() / 2)));
+    client.close_now();
+  }
+  // The server notices the disconnect and closes the session; the partial
+  // frame was never dispatched.
+  EXPECT_TRUE(wait_until(
+      [&] { return daemon.dispatcher.sessions().active() == 0; }));
+  EXPECT_TRUE(daemon.core.list().empty());
+  EXPECT_FALSE(std::filesystem::exists(dir.file("campaigns/half")));
+}
+
+TEST(Server, MalformedAndUnknownFramesGetErrorReplies) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+  WireClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+
+  const Json bad = client.call(Json::parse(R"(["not", "an", "object"])"));
+  ASSERT_TRUE(bad.is_object());
+  EXPECT_FALSE(bad["ok"].as_bool());
+  EXPECT_EQ(bad["error"]["code"].as_string(), "bad-request");
+
+  Json unknown = Json::object();
+  unknown["cmd"] = "sumbit";
+  unknown["id"] = int64_t{9};
+  const Json reply = client.call(unknown);
+  EXPECT_FALSE(reply["ok"].as_bool());
+  EXPECT_EQ(reply["id"].as_int(), 9);
+  EXPECT_EQ(reply["error"]["code"].as_string(), "unknown-command");
+
+  // Malformed JSON (but newline-terminated) is answered, not fatal.
+  ASSERT_TRUE(client.send_raw("{\"cmd\": \n"));
+  Json ping = Json::object();
+  ping["cmd"] = "ping";
+  const Json pong = client.call(ping);
+  // Two replies are queued now (the parse error, then the pong); read both.
+  ASSERT_TRUE(pong.is_object());
+  EXPECT_FALSE(pong["ok"].as_bool());
+  EXPECT_EQ(pong["error"]["code"].as_string(), "bad-request");
+  Json noop = Json::object();
+  noop["cmd"] = "ping";
+  EXPECT_TRUE(client.call(noop).get_or("ok", false));
+}
+
+TEST(Server, OversizedFrameIsRefused) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+  WireClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+
+  // An unterminated frame larger than kMaxFrameBytes: the server must
+  // refuse and drop rather than buffer without bound.
+  std::string flood(kMaxFrameBytes + 16, 'x');
+  client.send_raw(flood);  // may fail part-way once the server drops us
+  Json reply;
+  std::string line;
+  // Read whatever reply arrives before the connection closes.
+  Json probe = Json::object();
+  probe["cmd"] = "ping";
+  reply = client.call(probe);
+  if (reply.is_object() && reply.contains("error")) {
+    EXPECT_EQ(reply["error"]["code"].as_string(), "frame-too-large");
+  }
+  // Either way the daemon survives and accepts a fresh connection.
+  WireClient fresh(daemon.server.unix_path());
+  ASSERT_TRUE(fresh.connected());
+  Json ping = Json::object();
+  ping["cmd"] = "ping";
+  EXPECT_TRUE(fresh.call(ping).get_or("ok", false));
+}
+
+TEST(Server, ShutdownDrainsAndRefusesNewWork) {
+  TempDir dir;
+  Daemon daemon(dir.str(), /*workers=*/1);
+  WireClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(
+      client.call(submit_request(sliced_manifest("drained"), 1))
+          .get_or("ok", false));
+
+  Json shutdown = Json::object();
+  shutdown["cmd"] = "shutdown";
+  const Json reply = client.call(shutdown);
+  ASSERT_TRUE(reply.get_or("ok", false));
+  EXPECT_TRUE(reply["draining"].as_bool());
+  EXPECT_TRUE(daemon.dispatcher.shutdown_requested());
+
+  // New mutating work is refused; inspection still answers.
+  const Json late = client.call(submit_request(sliced_manifest("late"), 2));
+  EXPECT_FALSE(late["ok"].as_bool());
+  EXPECT_EQ(late["error"]["code"].as_string(), "shutting-down");
+  Json status = Json::object();
+  status["cmd"] = "status";
+  status["campaign"] = "drained";
+  EXPECT_TRUE(client.call(status).get_or("ok", false));
+}
+
+TEST(Server, StopUnblocksIdleConnections) {
+  TempDir dir;
+  auto daemon = std::make_unique<Daemon>(dir.str());
+  const std::string socket_path = daemon->server.unix_path();
+  WireClient idle(socket_path);
+  ASSERT_TRUE(idle.connected());
+  Json ping = Json::object();
+  ping["cmd"] = "ping";
+  ASSERT_TRUE(idle.call(ping).get_or("ok", false));
+
+  // The per-client thread is now blocked in recv() with nothing to read;
+  // stop() must shutdown() it awake and join, not hang, and the socket
+  // path must be gone afterwards.
+  daemon.reset();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+}  // namespace
+}  // namespace ff::service

@@ -1,0 +1,148 @@
+// Daemon lifecycle under fire (ctest -L crash): a real fairflowd process
+// is forked, fed a campaign over its socket, and SIGTERMed mid-execution.
+// The drain contract: in-flight allocation slices finish (journal commit
+// points), the process exits 0, and what is left on disk resumes to a
+// result byte-identical to an uninterrupted batch run.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "service/core.hpp"
+#include "service_test_util.hpp"
+#include "util/fs.hpp"
+
+namespace ff::service {
+namespace {
+
+using testing::WireClient;
+using testing::run_batch_reference;
+using testing::sliced_manifest;
+
+pid_t spawn_fairflowd(const std::string& socket_path,
+                      const std::string& root) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl(FF_FAIRFLOWD_BIN, "fairflowd", "--socket", socket_path.c_str(),
+          "--root", root.c_str(), "--workers", "1", (char*)nullptr);
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+bool wait_for_socket(const std::string& socket_path, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    WireClient probe(socket_path);
+    if (probe.connected()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+int wait_for_exit(pid_t pid, int timeout_ms = 60000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const pid_t done = waitpid(pid, &status, WNOHANG);
+    if (done == pid) return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill(pid, SIGKILL);  // do not leak a daemon into the test harness
+  waitpid(pid, &status, 0);
+  ADD_FAILURE() << "fairflowd did not exit within the drain timeout";
+  return status;
+}
+
+TEST(ServiceCrash, SigtermDrainsInFlightRunsAndLeavesResumableState) {
+  TempDir dir;
+  const std::string socket_path = dir.file("fairflowd.sock");
+  const std::string root = dir.file("campaigns");
+  // 24 runs of ~300 s against an 800 s walltime: far more allocation
+  // slices than can complete before the SIGTERM below lands.
+  const Json manifest = sliced_manifest("durable", 24);
+
+  const pid_t pid = spawn_fairflowd(socket_path, root);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_socket(socket_path)) << "daemon never listened";
+
+  {
+    WireClient client(socket_path);
+    ASSERT_TRUE(client.connected());
+    Json request = Json::object();
+    request["cmd"] = "submit";
+    request["id"] = int64_t{1};
+    request["manifest"] = manifest;
+    const Json reply = client.call(request);
+    ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+    EXPECT_EQ(reply["runs"].as_int(), 24);
+  }
+
+  // Terminate mid-campaign. The daemon must drain (finish the granted
+  // slice, park the rest) and exit cleanly — not abort, not hang.
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  const int status = wait_for_exit(pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // What SIGTERM left behind: an endpoint, a journal whose first line is
+  // the header, and the service.json sidecar — everything resume needs.
+  const std::string journal_path = root + "/durable/.campaign/journal.jsonl";
+  ASSERT_TRUE(std::filesystem::exists(journal_path));
+  ASSERT_TRUE(
+      std::filesystem::exists(root + "/durable/.campaign/service.json"));
+  const std::string journal_text = read_file(journal_path);
+  ASSERT_FALSE(journal_text.empty());
+  const Json header =
+      Json::parse(journal_text.substr(0, journal_text.find('\n')));
+  EXPECT_EQ(header.get_or("campaign", ""), "durable");
+
+  // A fresh service (the restarted daemon, in-process here) adopts the
+  // campaign from disk and finishes it. The kill must be invisible in the
+  // final provenance.
+  ServiceCore::Options options;
+  options.root = root;
+  options.workers = 1;
+  ServiceCore revived(options);
+  revived.resume("durable");
+  revived.drain();
+  const CampaignInfo info = revived.info("durable");
+  ASSERT_EQ(info.state, "done") << info.error;
+  EXPECT_EQ(info.counts.done, 24u);
+
+  const std::string batch_dir = run_batch_reference(manifest, dir.file("batch"));
+  EXPECT_EQ(read_file(journal_path),
+            read_file(batch_dir + "/.campaign/journal.jsonl"));
+  EXPECT_EQ(read_file(root + "/durable/.campaign/status.json"),
+            read_file(batch_dir + "/.campaign/status.json"));
+}
+
+TEST(ServiceCrash, ClientSideShutdownCommandAlsoExitsZero) {
+  TempDir dir;
+  const std::string socket_path = dir.file("ctl.sock");
+  const pid_t pid = spawn_fairflowd(socket_path, dir.file("campaigns"));
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_socket(socket_path));
+
+  WireClient client(socket_path);
+  ASSERT_TRUE(client.connected());
+  Json shutdown = Json::object();
+  shutdown["cmd"] = "shutdown";
+  const Json reply = client.call(shutdown);
+  ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+
+  const int status = wait_for_exit(pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace ff::service

@@ -1,0 +1,120 @@
+// docs/service_protocol.md is normative: this test pins it against the
+// live registries in BOTH directions, the same discipline trace_lint
+// applies to docs/trace_schema.md and doc_sync_test to docs/lint_codes.md.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/fs.hpp"
+
+namespace ff::service {
+namespace {
+
+std::string protocol_doc() {
+  return read_file(std::string(FF_REPO_ROOT) + "/docs/service_protocol.md");
+}
+
+std::set<std::string> documented_commands(const std::string& doc) {
+  std::set<std::string> found;
+  const std::regex heading(R"(### `([a-z]+)`)");
+  for (auto it = std::sregex_iterator(doc.begin(), doc.end(), heading);
+       it != std::sregex_iterator(); ++it) {
+    found.insert((*it)[1].str());
+  }
+  return found;
+}
+
+std::set<std::string> documented_errors(const std::string& doc) {
+  // Only the "## Error codes" section — the doc has other tables whose
+  // first column is also backticked.
+  const size_t start = doc.find("## Error codes");
+  EXPECT_NE(start, std::string::npos);
+  size_t end = doc.find("\n## ", start + 1);
+  if (end == std::string::npos) end = doc.size();
+  const std::string section = doc.substr(start, end - start);
+
+  std::set<std::string> found;
+  // Error-code table rows: "| `code` | meaning |".
+  const std::regex row(R"(\| `([a-z][a-z-]*)` \|)");
+  for (auto it = std::sregex_iterator(section.begin(), section.end(), row);
+       it != std::sregex_iterator(); ++it) {
+    found.insert((*it)[1].str());
+  }
+  return found;
+}
+
+TEST(ServiceDoc, EveryCommandIsDocumentedAndViceVersa) {
+  const std::string doc = protocol_doc();
+  const std::set<std::string> documented = documented_commands(doc);
+
+  std::set<std::string> registered;
+  for (const CommandInfo& command : service_command_registry()) {
+    registered.insert(std::string(command.cmd));
+    EXPECT_TRUE(documented.count(std::string(command.cmd)))
+        << "command '" << command.cmd
+        << "' is in the registry but has no `### ` section in "
+           "docs/service_protocol.md";
+  }
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(registered.count(name))
+        << "docs/service_protocol.md documents command '" << name
+        << "' which is not in service_command_registry()";
+  }
+}
+
+TEST(ServiceDoc, EveryCommandFieldIsMentionedInItsSection) {
+  const std::string doc = protocol_doc();
+  for (const CommandInfo& command : service_command_registry()) {
+    const std::string heading = "### `" + std::string(command.cmd) + "`";
+    const size_t start = doc.find(heading);
+    ASSERT_NE(start, std::string::npos) << command.cmd;
+    size_t end = doc.find("\n### ", start + heading.size());
+    if (end == std::string::npos) end = doc.find("\n## ", start);
+    if (end == std::string::npos) end = doc.size();
+    const std::string section = doc.substr(start, end - start);
+    for (const FieldInfo& field : command.fields) {
+      EXPECT_NE(section.find("`" + std::string(field.name) + "`"),
+                std::string::npos)
+          << "field '" << field.name << "' of command '" << command.cmd
+          << "' is not mentioned in its doc section";
+    }
+  }
+}
+
+TEST(ServiceDoc, EveryErrorCodeIsDocumentedAndViceVersa) {
+  const std::string doc = protocol_doc();
+  const std::set<std::string> documented = documented_errors(doc);
+
+  std::set<std::string> registered;
+  for (const ServiceErrorInfo& error : service_error_registry()) {
+    registered.insert(std::string(error.code));
+    EXPECT_TRUE(documented.count(std::string(error.code)))
+        << "error code '" << error.code
+        << "' is in the registry but not in the doc's error table";
+  }
+  for (const std::string& code : documented) {
+    EXPECT_TRUE(registered.count(code))
+        << "docs/service_protocol.md documents error '" << code
+        << "' which is not in service_error_registry()";
+  }
+}
+
+TEST(ServiceDoc, ConstantsMatch) {
+  const std::string doc = protocol_doc();
+  EXPECT_NE(doc.find("Protocol version: **" +
+                     std::to_string(kProtocolVersion) + "**"),
+            std::string::npos)
+      << "kProtocolVersion = " << kProtocolVersion
+      << " is not what the doc states";
+  EXPECT_NE(doc.find("**" + std::to_string(kMaxFrameBytes) + "**"),
+            std::string::npos)
+      << "kMaxFrameBytes = " << kMaxFrameBytes
+      << " is not what the doc states";
+}
+
+}  // namespace
+}  // namespace ff::service
