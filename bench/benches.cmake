@@ -77,10 +77,11 @@ add_test(NAME perf_smoke_campaign COMMAND campaign_scale --smoke)
 set_tests_properties(perf_smoke_campaign PROPERTIES
   LABELS perf-smoke TIMEOUT 120 RUN_SERIAL TRUE)
 
-# fairflowd counterpart: wire round-trips/s and submissions/s through the
-# real Unix-socket server must clear floors ~10x under a plain build — a
-# guard against a lock held across an allocation slice or a per-request
-# allocation storm in the framing loop, not a latency SLO.
+# fairflowd counterpart: wire round-trips/s, submissions/s, and the
+# 10^6-run submit-ack rate through the real Unix-socket server must clear
+# floors ~10x under a plain build — a guard against a lock held across an
+# allocation slice, a per-request allocation storm in the framing loop, or
+# the lazy submit path regressing to materializing a million RunSpecs.
 # RUN_SERIAL for the same reason as above: socket round-trip rates measured
 # beside a parallel ctest run are noise.
 add_test(NAME perf_smoke_service COMMAND service_throughput --smoke)
@@ -89,7 +90,9 @@ set_tests_properties(perf_smoke_service PROPERTIES
 
 # `cmake --build build --target bench_service` reruns the fairflowd wire
 # bench (ping round-trips and end-to-end campaign throughput at 1 and 4
-# clients) and refreshes BENCH_service.json at the repo root.
+# clients, idle-watcher scaling at 1/64/256/1024 subscribers, submit-ack
+# latency at 10^5/10^6 runs) and refreshes BENCH_service.json at the repo
+# root.
 add_custom_target(bench_service
   COMMAND $<TARGET_FILE:service_throughput>
           ${CMAKE_SOURCE_DIR}/BENCH_service.json

@@ -1,7 +1,11 @@
 // fairflowd service-layer bench: wire round-trip rate and end-to-end
 // campaign throughput through the real socket server (Unix domain,
 // newline-delimited JSON), in-process so the numbers isolate the service
-// stack from container networking.
+// stack from container networking. Two readiness-loop claims get their own
+// series: request rate under an idle-watcher fleet (1/64/256/1024
+// subscribers — fds, not threads, so the rate and the thread count must
+// both stay flat) and submit wire-ack latency at 10^5/10^6 runs (the lazy
+// sweep walk: ack time grows linearly, never materializing RunSpecs).
 //
 // Modes:
 //   service_throughput [out.json]   full sweep -> BENCH_service.json
@@ -15,7 +19,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,10 +87,14 @@ class Client {
   int fd_ = -1;
 };
 
-/// The daemon stack, wired exactly as fairflowd_main wires it.
+/// The daemon stack, wired exactly as fairflowd_main wires it — except the
+/// per-session campaign quota, raised so the throughput sweep (32 campaigns
+/// through one session) measures the server, not the quota.
 struct Daemon {
   explicit Daemon(const std::string& scratch, size_t workers)
-      : core({.root = scratch + "/campaigns", .workers = workers}),
+      : core({.root = scratch + "/campaigns",
+              .workers = workers,
+              .max_campaigns_per_session = 64}),
         dispatcher(core),
         server(dispatcher, {.unix_path = scratch + "/bench.sock"}) {
     server.start();
@@ -110,6 +121,97 @@ Json tiny_manifest(const std::string& name, int64_t runs) {
   group.add(std::move(sweep));
   campaign.add_group(std::move(group));  // default walltime: one allocation
   return campaign.to_json();
+}
+
+/// Like tiny_manifest but walltime-sliced, so a canceled mega-campaign
+/// only owes one small allocation slice at teardown instead of all runs.
+Json sliced_manifest(const std::string& name, int64_t runs) {
+  Json manifest = tiny_manifest(name, runs);
+  manifest["groups"][0]["nodes"] = int64_t{1};
+  manifest["groups"][0]["walltime_s"] = 800.0;
+  return manifest;
+}
+
+size_t thread_count() {
+  std::istringstream status(ff::read_file("/proc/self/status"));
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::atoll(line.c_str() + 8));
+    }
+  }
+  return 0;
+}
+
+double bench_ping(const std::string& socket_path, size_t clients,
+                  size_t rounds);
+
+/// Ping round-trips/s with `watchers` idle subscribers attached to one
+/// campaign, plus the process thread count while they idle. The claim
+/// under test: watchers cost fds, not threads — both numbers stay flat
+/// from 1 to 1024.
+struct WatcherRow {
+  size_t watchers = 0;
+  double ping_roundtrips_per_s = 0;
+  size_t threads = 0;
+};
+WatcherRow bench_idle_watchers(Daemon& daemon, size_t watchers,
+                               size_t rounds) {
+  Client submitter(daemon.server.unix_path());
+  Json request = Json::object();
+  request["cmd"] = "submit";
+  request["manifest"] = tiny_manifest("watched-" + std::to_string(watchers), 4);
+  if (!submitter.call(request).get_or("ok", false)) return {};
+  daemon.core.drain();
+
+  std::vector<std::unique_ptr<Client>> fleet;
+  Json subscribe = Json::object();
+  subscribe["cmd"] = "subscribe";
+  subscribe["campaign"] = "watched-" + std::to_string(watchers);
+  for (size_t i = 0; i < watchers; ++i) {
+    fleet.push_back(std::make_unique<Client>(daemon.server.unix_path()));
+    if (!fleet.back()->ok() ||
+        !fleet.back()->call(subscribe).get_or("ok", false)) {
+      return {};
+    }
+  }
+
+  WatcherRow row;
+  row.watchers = watchers;
+  row.ping_roundtrips_per_s = bench_ping(daemon.server.unix_path(), 1, rounds);
+  row.threads = thread_count();
+  return row;
+}
+
+/// Submit wire-ack latency for a `runs`-run campaign, then cancel it (the
+/// ack is the measurement; executing a million simulated runs is not).
+/// The lazy path keeps this linear: the sweep is walked run-by-run for the
+/// journal digest and task specs, never materialized as a RunSpec vector,
+/// and past the inline-run-list threshold the endpoint goes sparse (no
+/// per-run directories).
+struct AckRow {
+  int64_t runs = 0;
+  double ack_seconds = 0;
+  double runs_per_s = 0;
+};
+AckRow bench_submit_ack(Daemon& daemon, int64_t runs) {
+  Client client(daemon.server.unix_path());
+  if (!client.ok()) return {};
+  const std::string name = "mega-" + std::to_string(runs);
+  Json request = Json::object();
+  request["cmd"] = "submit";
+  request["manifest"] = sliced_manifest(name, runs);
+  const auto start = Clock::now();
+  if (!client.call(request).get_or("ok", false)) return {};
+  AckRow row;
+  row.runs = runs;
+  row.ack_seconds = seconds_since(start);
+  row.runs_per_s = static_cast<double>(runs) / row.ack_seconds;
+  Json cancel = Json::object();
+  cancel["cmd"] = "cancel";
+  cancel["campaign"] = name;
+  client.call(cancel);
+  return row;
 }
 
 /// Ping round-trips/s across `clients` concurrent connections.
@@ -171,9 +273,14 @@ SubmitRates bench_submit(Daemon& daemon, const std::string& tag,
 int run_smoke() {
   constexpr double kPingFloor = 2000.0;     // round-trips/s, 1 client
   constexpr double kSubmitFloor = 10.0;     // wire submissions/s
+  // Submit-ack rate at 10^6 runs (runs acknowledged per second of wire
+  // latency). Trips on the lazy path regressing to materialization or the
+  // endpoint regressing to per-run directories — both order-of-magnitude
+  // cliffs, not jitter.
+  constexpr double kMegaAckFloor = 30000.0;
   constexpr int kAttempts = 3;
   std::printf("perf-smoke(service): best of %d\n", kAttempts);
-  double best_ping = 0, best_submit = 0;
+  double best_ping = 0, best_submit = 0, best_mega = 0;
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
     TempDir dir("bench_service_smoke");
     Daemon daemon(dir.str(), 2);
@@ -182,16 +289,22 @@ int run_smoke() {
     best_submit = std::max(
         best_submit,
         bench_submit(daemon, "smoke", 8, 4).submissions_per_s);
-    if (best_ping >= kPingFloor && best_submit >= kSubmitFloor) {
-      std::printf("perf-smoke(service): OK (ping %.0f/s, submit %.1f/s)\n",
-                  best_ping, best_submit);
+    best_mega =
+        std::max(best_mega, bench_submit_ack(daemon, 1000000).runs_per_s);
+    if (best_ping >= kPingFloor && best_submit >= kSubmitFloor &&
+        best_mega >= kMegaAckFloor) {
+      std::printf(
+          "perf-smoke(service): OK (ping %.0f/s, submit %.1f/s, "
+          "10^6-run ack %.0f runs/s)\n",
+          best_ping, best_submit, best_mega);
       return 0;
     }
   }
   std::printf(
       "perf-smoke(service): REGRESSION (ping %.0f/s vs %.0f, submit %.1f/s "
-      "vs %.1f)\n",
-      best_ping, kPingFloor, best_submit, kSubmitFloor);
+      "vs %.1f, 10^6-run ack %.0f runs/s vs %.0f)\n",
+      best_ping, kPingFloor, best_submit, kSubmitFloor, best_mega,
+      kMegaAckFloor);
   return 1;
 }
 
@@ -221,9 +334,43 @@ int main(int argc, char** argv) {
     row["end_to_end_runs_per_s"] = rates.runs_per_s;
     series.push_back(std::move(row));
   }
+  // Idle-watcher scaling: one daemon per fleet size, 1 -> 1024 subscribers
+  // idling on a finished campaign while a single client measures ping rate.
+  Json watcher_series = Json::array();
+  for (size_t watchers : {size_t{1}, size_t{64}, size_t{256}, size_t{1024}}) {
+    TempDir dir("bench_service_watch");
+    Daemon daemon(dir.str(), 2);
+    const WatcherRow row = bench_idle_watchers(daemon, watchers, 2000);
+    std::printf("%4zu watcher(s): ping %.0f rt/s  threads %zu\n",
+                row.watchers, row.ping_roundtrips_per_s, row.threads);
+    Json entry = Json::object();
+    entry["watchers"] = static_cast<int64_t>(row.watchers);
+    entry["ping_roundtrips_per_s"] = row.ping_roundtrips_per_s;
+    entry["threads"] = static_cast<int64_t>(row.threads);
+    watcher_series.push_back(std::move(entry));
+  }
+
+  // Submit wire-ack latency through the lazy sweep walk.
+  Json ack_series = Json::array();
+  for (int64_t runs : {int64_t{100000}, int64_t{1000000}}) {
+    TempDir dir("bench_service_mega");
+    Daemon daemon(dir.str(), 2);
+    const AckRow row = bench_submit_ack(daemon, runs);
+    std::printf("submit %8lld runs: ack %.3f s  (%.0f runs/s)\n",
+                static_cast<long long>(row.runs), row.ack_seconds,
+                row.runs_per_s);
+    Json entry = Json::object();
+    entry["runs"] = row.runs;
+    entry["ack_seconds"] = row.ack_seconds;
+    entry["runs_per_s"] = row.runs_per_s;
+    ack_series.push_back(std::move(entry));
+  }
+
   Json out = Json::object();
   out["bench"] = "service_throughput";
   out["series"] = series;
+  out["idle_watchers"] = watcher_series;
+  out["submit_ack"] = ack_series;
   write_file_atomic(out_path, out.dump() + "\n");
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

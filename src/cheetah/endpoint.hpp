@@ -45,6 +45,12 @@ class CampaignEndpoint {
     bool lint = true;
     /// FF203's assumed per-run walltime floor (seconds).
     double lint_min_run_s = 1.0;
+    /// Campaigns with more runs than this are created *sparse*: no per-run
+    /// directories (params.json/run.sh), and status.json records the total
+    /// run count plus only the runs that left Pending — a million run-dirs
+    /// would take longer to mkdir than the campaign takes to schedule.
+    /// 0 (the default) never goes sparse.
+    size_t sparse_above_runs = 0;
   };
 
   /// Create the endpoint directories and metadata for `campaign` under
@@ -71,8 +77,14 @@ class CampaignEndpoint {
   /// Directory of one run.
   std::string run_dir(const RunSpec& run) const;
 
+  /// In a sparse endpoint, a run with no recorded mark is Pending by
+  /// definition (ids are not enumerable without decoding the sweeps); a
+  /// dense endpoint still throws NotFoundError on unknown ids.
   RunState state(const std::string& run_id) const;
   void mark(const std::string& run_id, RunState state);
+
+  /// True when created (or opened) in sparse mode.
+  bool sparse() const noexcept { return sparse_; }
 
   /// Runs still needing execution (Pending, Failed, or Killed) in `group`.
   /// This implements re-submission semantics: completed runs are skipped.
@@ -96,6 +108,8 @@ class CampaignEndpoint {
   std::string directory_;
   Json manifest_;
   std::map<std::string, RunState> states_;
+  bool sparse_ = false;
+  size_t run_count_ = 0;  // total runs when sparse (states_ holds a subset)
 };
 
 }  // namespace ff::cheetah

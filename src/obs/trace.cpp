@@ -6,6 +6,7 @@ namespace ff::obs {
 
 namespace detail {
 std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_trace_listener_installed{false};
 }
 
 thread_local TraceRecorder::ThreadBuffer* TraceRecorder::t_buffer_ = nullptr;
@@ -74,6 +75,9 @@ void TraceRecorder::record(ClockDomain clock, double ts_s, EventKind kind,
     event.args[i++] = arg;
   }
   event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (detail::g_trace_listener_installed.load(std::memory_order_relaxed)) {
+    notify_listener(event);
+  }
 
   ThreadBuffer& buffer = local_buffer();
   event.thread = buffer.index;
@@ -86,6 +90,40 @@ void TraceRecorder::record(ClockDomain clock, double ts_s, EventKind kind,
     ++buffer.dropped;
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void TraceRecorder::set_listener(Listener listener, void* ctx) {
+  // Flag-then-slot on install, slot-then-flag on uninstall would still race
+  // with a concurrent emit; holding the mutex across both keeps any
+  // in-flight notify_listener() call strictly before or after the swap.
+  std::lock_guard lock(listener_mutex_);
+  listener_ = listener;
+  listener_ctx_ = listener ? ctx : nullptr;
+  detail::g_trace_listener_installed.store(listener != nullptr,
+                                           std::memory_order_relaxed);
+}
+
+void TraceRecorder::notify_listener(const TraceEvent& event) {
+  std::lock_guard lock(listener_mutex_);
+  if (listener_) listener_(listener_ctx_, event);
+}
+
+void TraceRecorder::notify_only(EventKind kind, const char* category,
+                                const char* name,
+                                std::initializer_list<Arg> args) {
+  TraceEvent event;
+  event.kind = kind;
+  event.clock = ClockDomain::Wall;
+  event.ts_s = now_s();
+  event.category = category;
+  event.name = name;
+  event.arg_count = static_cast<uint8_t>(std::min(args.size(), kMaxArgs));
+  size_t i = 0;
+  for (const Arg& arg : args) {
+    if (i >= kMaxArgs) break;
+    event.args[i++] = arg;
+  }
+  notify_listener(event);
 }
 
 void TraceRecorder::emit(EventKind kind, const char* category,

@@ -73,12 +73,21 @@ struct TraceEvent {
 
 namespace detail {
 extern std::atomic<bool> g_tracing_enabled;
+extern std::atomic<bool> g_trace_listener_installed;
 }
 
 /// The hot-path gate: one relaxed atomic load. Instrumentation sites check
 /// this (directly or through Span/trace_* helpers) before paying anything.
 inline bool tracing_enabled() noexcept {
   return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// True while a live-event listener is installed (TraceRecorder::
+/// set_listener). Instant helpers fire even with ring recording disabled so
+/// a subscriber (fairflowd's trace streaming) sees events without the rings
+/// filling; the unsubscribed fast path stays two relaxed loads.
+inline bool trace_listener_installed() noexcept {
+  return detail::g_trace_listener_installed.load(std::memory_order_relaxed);
 }
 
 /// Process-wide recorder. Each emitting thread lazily registers a ring
@@ -121,6 +130,21 @@ class TraceRecorder {
   /// Seconds since the recorder's wall-clock epoch.
   double now_s() const;
 
+  /// A live-event tap: called synchronously from the emitting thread for
+  /// every recorded event (and, via the instant helpers, even while ring
+  /// recording is disabled). One listener at a time; install with a context
+  /// pointer, uninstall with (nullptr, nullptr). The callback runs under the
+  /// listener mutex — it must not call back into the recorder and must not
+  /// block on locks that can be held while emitting trace events.
+  using Listener = void (*)(void* ctx, const TraceEvent& event);
+  void set_listener(Listener listener, void* ctx);
+
+  /// Build an event and hand it to the listener only — no ring write, no
+  /// sequence number. The instant helpers use this when tracing is disabled
+  /// but a listener is installed.
+  void notify_only(EventKind kind, const char* category, const char* name,
+                   std::initializer_list<Arg> args = {});
+
  private:
   struct ThreadBuffer {
     std::mutex mutex;
@@ -142,8 +166,13 @@ class TraceRecorder {
               const char* category, const char* name,
               std::initializer_list<Arg> args);
 
+  void notify_listener(const TraceEvent& event);
+
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::mutex listener_mutex_;
+  Listener listener_ = nullptr;
+  void* listener_ctx_ = nullptr;
   mutable std::mutex registry_mutex_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   size_t ring_capacity_ = 8192;
@@ -159,6 +188,9 @@ inline void trace_instant(const char* category, const char* name,
                           std::initializer_list<Arg> args = {}) {
   if (tracing_enabled()) {
     TraceRecorder::instance().emit(EventKind::Instant, category, name, args);
+  } else if (trace_listener_installed()) {
+    TraceRecorder::instance().notify_only(EventKind::Instant, category, name,
+                                          args);
   }
 }
 
@@ -168,6 +200,9 @@ inline void trace_instant_at(double virtual_ts_s, const char* category,
   if (tracing_enabled()) {
     TraceRecorder::instance().emit_at(virtual_ts_s, EventKind::Instant,
                                       category, name, args);
+  } else if (trace_listener_installed()) {
+    TraceRecorder::instance().notify_only(EventKind::Instant, category, name,
+                                          args);
   }
 }
 

@@ -5,6 +5,8 @@
 
 #include "cheetah/campaign.hpp"
 #include "obs/trace.hpp"
+#include "savanna/journal.hpp"
+#include "service/stream.hpp"
 #include "util/fs.hpp"
 #include "util/rng.hpp"
 
@@ -162,6 +164,11 @@ struct ServiceCore::CampaignState {
   bool cancel_requested = false;
   size_t last_terminal_runs = 0;  // done+exhausted after the previous slice
   size_t last_attempts = 0;       // total attempts after the previous slice
+  // Counts as of the moment the current slice was granted. While in_flight,
+  // the slice thread owns sim/tracker/journal off-lock (the disk-resume path
+  // even reassigns the tracker pointer), so status/list must read this
+  // snapshot instead of touching the live tracker.
+  savanna::RunTracker::Counts counts_snapshot;
 
   CampaignInfo to_info() const {
     CampaignInfo info;
@@ -171,7 +178,7 @@ struct ServiceCore::CampaignState {
     info.owner = owner;
     info.run_count = tasks.size();
     info.allocations = allocations;
-    info.counts = tracker->counts();
+    info.counts = in_flight ? counts_snapshot : tracker->counts();
     info.error = error;
     return info;
   }
@@ -221,19 +228,32 @@ std::string ServiceCore::submit(const CampaignConfig& config,
   state->owner = session;
   // Lint-then-create: error findings throw before any directory exists, so
   // a rejected submission leaves no trace on disk.
+  cheetah::CampaignEndpoint::CreateOptions create_options;
+  create_options.sparse_above_runs = options_.sparse_endpoint_runs;
   state->endpoint.emplace(
-      cheetah::CampaignEndpoint::create(campaign, options_.root));
+      cheetah::CampaignEndpoint::create(campaign, options_.root, create_options));
 
   // The batch idiom, verbatim: task per run, durations sampled with the
   // campaign's seed — determinism is what makes service and batch
-  // executions byte-identical.
+  // executions byte-identical. The sweep is walked with the lazy iterator:
+  // a RunSpec exists only for the loop turn that converts it to a TaskSpec,
+  // so a 10^6-run manifest never materializes its RunSpec vector here. The
+  // id list is kept only while the journal would inline it; above that the
+  // header carries count + streaming digest, and both paths write the same
+  // header bytes (ids are never inlined past kInlineRunListMax).
+  const size_t total_runs = group.run_count();
+  const bool keep_ids = total_runs <= savanna::kInlineRunListMax;
+  savanna::RunSetDigest digest;
   std::vector<std::string> run_ids;
-  for (const cheetah::RunSpec& run : group.generate()) {
+  if (keep_ids) run_ids.reserve(total_runs);
+  state->tasks.reserve(total_runs);
+  group.for_each_run([&](const cheetah::RunSpec& run) {
+    digest.add(run.id);
+    if (keep_ids) run_ids.push_back(run.id);
     sim::TaskSpec task;
     task.id = run.id;
-    run_ids.push_back(run.id);
     state->tasks.push_back(std::move(task));
-  }
+  });
   {
     Rng rng(config.duration_seed);
     for (sim::TaskSpec& task : state->tasks) {
@@ -249,8 +269,16 @@ std::string ServiceCore::submit(const CampaignConfig& config,
   state->options.execution.walltime_s =
       config.walltime_s ? *config.walltime_s : group.walltime_s();
 
-  state->journal = savanna::CampaignJournal::create(
-      state->endpoint->journal_path(), name, run_ids);
+  if (keep_ids) {
+    state->journal = savanna::CampaignJournal::create(
+        state->endpoint->journal_path(), name, run_ids);
+  } else {
+    savanna::CampaignJournal::RunSetSummary run_set;
+    run_set.count = digest.count();
+    run_set.digest = digest.hex();
+    state->journal = savanna::CampaignJournal::create(
+        state->endpoint->journal_path(), name, run_set);
+  }
   write_file_atomic(state->endpoint->directory() + "/.campaign/service.json",
                     config_sidecar(config).pretty() + "\n");
 
@@ -361,11 +389,12 @@ void ServiceCore::resume(const std::string& name) {
   state->group = group_name;
   state->owner = "";  // recovered; no live session owns it
   state->endpoint.emplace(std::move(endpoint));
-  for (const cheetah::RunSpec& run : group.generate()) {
+  state->tasks.reserve(group.run_count());
+  group.for_each_run([&](const cheetah::RunSpec& run) {
     sim::TaskSpec task;
     task.id = run.id;
     state->tasks.push_back(std::move(task));
-  }
+  });
   {
     Rng rng(config.duration_seed);
     for (sim::TaskSpec& task : state->tasks) {
@@ -417,6 +446,7 @@ void ServiceCore::pump_locked() {
     round_robin_.pop_front();
     auto it = campaigns_.find(name);
     if (it == campaigns_.end() || it->second->in_flight) continue;
+    it->second->counts_snapshot = it->second->tracker->counts();
     it->second->in_flight = true;
     ++slices_in_flight_;
     pool_.post([this, name] { run_slice(name); });
@@ -437,6 +467,9 @@ void ServiceCore::run_slice(const std::string& name) {
   slice_options.max_allocations = 1;
   savanna::CampaignRunResult result;
   std::string failure;
+  // Attribute this thread's savanna.* trace events (which carry no campaign
+  // arg of their own) to this campaign for subscribe streaming.
+  CampaignScope stream_scope(name);
   try {
     if (campaign->use_disk_resume) {
       // Fresh simulation + tracker; replay rebuilds both from the journal

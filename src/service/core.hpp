@@ -89,6 +89,12 @@ class ServiceCore {
     size_t max_campaigns_per_session = 8;
     /// Bounded tail of service events kept for the `trace` command.
     size_t trace_tail = 256;
+    /// Campaigns with more runs than this get a *sparse* endpoint (no
+    /// per-run directories; see CampaignEndpoint::CreateOptions) and a
+    /// digest-only journal header — the submit path for million-run
+    /// manifests. Matches savanna::kInlineRunListMax by default so the
+    /// endpoint goes sparse exactly when the journal stops inlining ids.
+    size_t sparse_endpoint_runs = 4096;
   };
 
   explicit ServiceCore(Options options);

@@ -34,6 +34,8 @@ constexpr const char* kUsage =
     "  status <campaign>\n"
     "  list\n"
     "  trace [<count>]\n"
+    "  watch <campaign>      subscribe and print event frames until the\n"
+    "                        stream ends (Ctrl-C to stop)\n"
     "  cancel <campaign>\n"
     "  resume <campaign>\n"
     "  shutdown\n";
@@ -152,9 +154,10 @@ int main(int argc, char** argv) {
       }
     }
   } else if (command == "status" || command == "cancel" ||
-             command == "resume") {
+             command == "resume" || command == "watch") {
     if (i >= argc) return usage_error(command + " needs a campaign name");
     request["campaign"] = std::string(argv[i++]);
+    if (command == "watch") request["cmd"] = std::string("subscribe");
   } else if (command == "trace") {
     if (i < argc) request["count"] = int64_t{std::atoll(argv[i++])};
   } else {
@@ -185,6 +188,24 @@ int main(int argc, char** argv) {
     }
   } else {
     std::fprintf(stderr, "fairflow-ctl: connection lost\n");
+  }
+
+  if (command == "watch" && status == 0) {
+    // Tail the pushed event frames, one compact line each, until the
+    // daemon ends the stream (shutdown, slow-consumer) or the socket dies.
+    std::fflush(stdout);
+    while (recv_line(fd, line)) {
+      try {
+        const ff::Json frame = ff::Json::parse(line);
+        std::printf("%s\n", frame.dump().c_str());
+        std::fflush(stdout);
+        if (!frame.contains("stream")) break;  // an error frame ends the watch
+      } catch (const ff::Error&) {
+        std::fprintf(stderr, "fairflow-ctl: malformed frame: %s\n",
+                     line.c_str());
+        break;
+      }
+    }
   }
   ::close(fd);
   return status;

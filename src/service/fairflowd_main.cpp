@@ -32,6 +32,13 @@ constexpr const char* kUsage =
     "  --root <dir>      directory for campaign endpoints (default .)\n"
     "  --workers <n>     concurrent allocation slices (default 2)\n"
     "  --quota <n>       max campaigns per session (default 8)\n"
+    "  --out-hwm <bytes>        per-connection outbound high-water mark\n"
+    "                           (default 8388608); crossing it drops the\n"
+    "                           connection as a slow consumer\n"
+    "  --handshake-timeout <s>  seconds from accept to the first complete\n"
+    "                           frame (default 30, 0 disables)\n"
+    "  --idle-timeout <s>       drop unsubscribed connections idle this\n"
+    "                           long (default 0 = disabled)\n"
     "  --help            this message\n";
 
 int usage_error(const std::string& message) {
@@ -80,6 +87,24 @@ int main(int argc, char** argv) {
       const int quota = std::atoi(value);
       if (quota < 1) return usage_error("--quota must be >= 1");
       core_options.max_campaigns_per_session = static_cast<size_t>(quota);
+    } else if (arg == "--out-hwm") {
+      const char* value = next_value();
+      if (!value) return usage_error("--out-hwm needs a byte count");
+      const long long hwm = std::atoll(value);
+      if (hwm < 1024) return usage_error("--out-hwm must be >= 1024");
+      server_options.out_hwm_bytes = static_cast<size_t>(hwm);
+    } else if (arg == "--handshake-timeout") {
+      const char* value = next_value();
+      if (!value) return usage_error("--handshake-timeout needs seconds");
+      const double seconds = std::atof(value);
+      if (seconds < 0) return usage_error("--handshake-timeout must be >= 0");
+      server_options.handshake_timeout_s = seconds;
+    } else if (arg == "--idle-timeout") {
+      const char* value = next_value();
+      if (!value) return usage_error("--idle-timeout needs seconds");
+      const double seconds = std::atof(value);
+      if (seconds < 0) return usage_error("--idle-timeout must be >= 0");
+      server_options.idle_timeout_s = seconds;
     } else {
       return usage_error("unknown option '" + arg + "'");
     }

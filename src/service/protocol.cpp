@@ -28,6 +28,10 @@ const std::vector<CommandInfo>& service_command_registry() {
       {"trace",
        "tail of the service's trace-event log (most recent last)",
        {{"count", "int", false}}},
+      {"subscribe",
+       "stream one campaign's service.* and savanna.* trace events as "
+       "pushed `event` frames on this connection",
+       {{"campaign", "string", true}}},
       {"cancel",
        "stop scheduling a campaign after its in-flight allocation",
        {{"campaign", "string", true}}},
@@ -59,6 +63,12 @@ const std::vector<ServiceErrorInfo>& service_error_registry() {
       {"conflict", "the campaign exists or is in a state the verb forbids"},
       {"quota-exceeded", "the session reached its campaign quota"},
       {"shutting-down", "the daemon is draining and accepts no new work"},
+      {"slow-consumer",
+       "the connection's outbound buffer crossed the high-water mark; "
+       "queued frames were discarded and the connection is dropped"},
+      {"idle-timeout",
+       "no complete frame arrived within the handshake/idle window; "
+       "connection dropped"},
       {"internal", "an unexpected server-side failure; see message"},
   };
   return kErrors;

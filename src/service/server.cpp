@@ -1,45 +1,202 @@
 #include "service/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <map>
 #include <utility>
 
+#include "service/stream.hpp"
 #include "util/error.hpp"
 
 namespace ff::service {
 
-namespace {
+namespace detail {
 
-void send_all(int fd, const std::string& bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // peer gone; the read loop will notice and close
-    }
-    sent += static_cast<size_t>(n);
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+/// Readiness backend: level-triggered, one registration per fd. The server
+/// never relies on edge semantics — every handler drains until EAGAIN, and
+/// interest is recomputed from connection state after each step.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual void add(int fd, bool read, bool write) = 0;
+  virtual void mod(int fd, bool read, bool write) = 0;
+  virtual void del(int fd) = 0;
+  /// Blocks up to timeout_ms (-1: forever); fills `out` with ready fds.
+  virtual void wait(std::vector<PollEvent>& out, int timeout_ms) = 0;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    if (epfd_ < 0) throw IoError(std::string("epoll_create1(): ") + std::strerror(errno));
   }
-}
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void add(int fd, bool read, bool write) override { ctl(EPOLL_CTL_ADD, fd, read, write); }
+  void mod(int fd, bool read, bool write) override { ctl(EPOLL_CTL_MOD, fd, read, write); }
+  void del(int fd) override {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  void wait(std::vector<PollEvent>& out, int timeout_ms) override {
+    epoll_event events[256];
+    int n = ::epoll_wait(epfd_, events, 256, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw IoError(std::string("epoll_wait(): ") + std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      PollEvent ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, bool read, bool write) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    if (read) ev.events |= EPOLLIN;
+    if (write) ev.events |= EPOLLOUT;
+    if (::epoll_ctl(epfd_, op, fd, &ev) != 0) {
+      throw IoError(std::string("epoll_ctl(): ") + std::strerror(errno));
+    }
+  }
+
+  int epfd_ = -1;
+};
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  void add(int fd, bool read, bool write) override { mod(fd, read, write); }
+  void mod(int fd, bool read, bool write) override {
+    short events = 0;
+    if (read) events |= POLLIN;
+    if (write) events |= POLLOUT;
+    interest_[fd] = events;
+  }
+  void del(int fd) override { interest_.erase(fd); }
+
+  void wait(std::vector<PollEvent>& out, int timeout_ms) override {
+    fds_.clear();
+    for (const auto& [fd, events] : interest_) {
+      fds_.push_back(pollfd{fd, events, 0});
+    }
+    int n = ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw IoError(std::string("poll(): ") + std::strerror(errno));
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  std::map<int, short> interest_;
+  std::vector<pollfd> fds_;
+};
+
+}  // namespace detail
+
+namespace {
 
 std::string errno_string() { return std::strerror(errno); }
 
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::unique_ptr<detail::Poller> make_poller(Server::Backend backend) {
+#ifdef __linux__
+  if (backend != Server::Backend::Poll) {
+    return std::make_unique<detail::EpollPoller>();
+  }
+#else
+  if (backend == Server::Backend::Epoll) {
+    throw IoError("epoll backend is not available on this platform");
+  }
+  (void)backend;
+#endif
+  return std::make_unique<detail::PollPoller>();
+}
+
+/// Event frames delivered per subscribed connection per loop turn; bounds
+/// how long one chatty campaign can monopolize the loop.
+constexpr size_t kEventBatch = 128;
+
 }  // namespace
 
+/// See server.hpp: shared with subscription wake callbacks that may fire
+/// from arbitrary emitting threads, including during server teardown.
+struct Server::WakeHub {
+  std::mutex mutex;
+  std::vector<uint64_t> ready;  // conn ids with queued event frames
+  std::atomic<bool> pending{false};
+  int write_fd = -1;
+
+  ~WakeHub() {
+    if (write_fd >= 0) ::close(write_fd);
+  }
+
+  void notify() {
+    if (!pending.exchange(true, std::memory_order_acq_rel)) {
+      const char byte = 1;
+      [[maybe_unused]] ssize_t n = ::write(write_fd, &byte, 1);
+    }
+  }
+
+  void notify_conn(uint64_t conn_id) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ready.push_back(conn_id);
+    }
+    notify();
+  }
+};
+
 Server::Server(Dispatcher& dispatcher, Options options)
-    : dispatcher_(dispatcher), options_(std::move(options)) {}
+    : dispatcher_(dispatcher),
+      options_(std::move(options)),
+      workers_(std::max<size_t>(1, options_.request_workers)) {}
 
 Server::~Server() { stop(); }
 
 void Server::start() {
-  if (listen_fd_ >= 0) throw StateError("server already started");
+  if (started_) throw StateError("server already started");
 
   if (!options_.unix_path.empty()) {
     sockaddr_un addr{};
@@ -86,108 +243,543 @@ void Server::start() {
     }
   }
 
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, 1024) != 0) {
     const std::string why = errno_string();
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw IoError("listen(): " + why);
   }
+  set_nonblocking(listen_fd_);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    const std::string why = errno_string();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("pipe(): " + why);
+  }
+  set_nonblocking(pipe_fds[0]);
+  set_nonblocking(pipe_fds[1]);
+  wake_read_fd_ = pipe_fds[0];
+  hub_ = std::make_shared<WakeHub>();
+  hub_->write_fd = pipe_fds[1];
+
+  poller_ = make_poller(options_.backend);
+  poller_->add(listen_fd_, true, false);
+  poller_->add(wake_read_fd_, true, false);
 
   stopping_.store(false, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+  loop_thread_ = std::thread([this] { run_loop(); });
 }
 
 void Server::stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  if (!started_) return;
+  started_ = false;
+
   stopping_.store(true, std::memory_order_release);
+  hub_->notify();
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  // Let in-flight dispatches finish (their completions go nowhere — every
+  // connection is already closed — but a half-applied submit must not be
+  // abandoned mid-mutation).
+  workers_.wait_idle();
 
   if (listen_fd_ >= 0) {
-    // shutdown() unblocks a blocked accept(); close() alone does not on
-    // all kernels.
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  std::vector<int> fds;
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    fds.swap(client_fds_);
-    threads.swap(client_threads_);
+  if (wake_read_fd_ >= 0) {
+    ::close(wake_read_fd_);
+    wake_read_fd_ = -1;
   }
-  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
-  for (std::thread& thread : threads) {
-    if (thread.joinable()) thread.join();
-  }
-
+  poller_.reset();
+  // hub_ stays alive: stale subscription wakes may still hold references.
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }
 
-void Server::accept_loop() {
+void Server::run_loop() {
+  std::vector<detail::PollEvent> events;
   while (!stopping_.load(std::memory_order_acquire)) {
+    events.clear();
+    poller_->wait(events, next_timeout_ms(SteadyClock::now()));
+    if (stopping_.load(std::memory_order_acquire)) break;
+
+    bool woke = false;
+    for (const detail::PollEvent& ev : events) {
+      if (ev.fd == wake_read_fd_) woke = ev.readable || ev.error;
+    }
+    if (woke) {
+      char sink[256];
+      while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+      }
+      hub_->pending.store(false, std::memory_order_release);
+
+      std::vector<uint64_t> ready;
+      {
+        std::lock_guard<std::mutex> lock(hub_->mutex);
+        ready.swap(hub_->ready);
+      }
+      handle_completions();
+      for (uint64_t id : ready) {
+        Conn* conn = find(id);
+        if (conn) deliver_events(*conn);
+      }
+    }
+
+    // Connection fds next, accepts last: a close above may recycle an fd
+    // number, and accepting last guarantees a recycled fd cannot receive a
+    // stale event from this same batch.
+    for (const detail::PollEvent& ev : events) {
+      if (ev.fd == listen_fd_ || ev.fd == wake_read_fd_) continue;
+      auto it = conns_.find(ev.fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& conn = *it->second;
+      if (ev.error && !ev.readable) {
+        close_conn(conn);
+        continue;
+      }
+      if (ev.writable) {
+        if (!flush(conn)) continue;
+      }
+      if (ev.readable) on_readable(conn);
+    }
+
+    for (const detail::PollEvent& ev : events) {
+      if (ev.fd == listen_fd_ && ev.readable) accept_ready();
+    }
+
+    check_timeouts(SteadyClock::now());
+  }
+  shutdown_all();
+}
+
+void Server::accept_ready() {
+  for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener closed (stop()) or fatal: either way, exit
+      return;  // EAGAIN: drained (or listener dying; the loop will exit)
     }
+    set_nonblocking(fd);
     served_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
-    }
-    client_fds_.push_back(fd);
-    client_threads_.emplace_back([this, fd] { serve_client(fd); });
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = ++next_conn_id_;
+    conn->session = dispatcher_.sessions().open();
+    conn->accepted = conn->last_frame = SteadyClock::now();
+    by_id_[conn->id] = conn.get();
+    poller_->add(fd, true, false);
+    conns_.emplace(fd, std::move(conn));
+    open_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void Server::serve_client(int fd) {
-  Dispatcher::Session session(dispatcher_);
-  std::string buffer;
-  char chunk[4096];
-
+void Server::on_readable(Conn& conn) {
+  if (conn.fatal || conn.want_close || conn.reading_paused) return;
+  char chunk[65536];
+  bool peer_closed = false;
   for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // disconnect or stop(): any partial frame is dropped
-    buffer.append(chunk, static_cast<size_t>(n));
-
-    size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (line.empty()) continue;
-      if (line.size() > kMaxFrameBytes) {
-        send_all(fd, encode_frame(error_reply(0, "frame-too-large",
-                                              "request frame exceeds " +
-                                                  std::to_string(
-                                                      kMaxFrameBytes) +
-                                                  " bytes")));
-        continue;
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.in.append(chunk, static_cast<size_t>(n));
+      if (conn.in.size() > kMaxFrameBytes && conn.in.find('\n') == std::string::npos) {
+        break;  // unbounded unterminated frame: stop reading, refuse below
       }
-      Json request;
-      try {
-        request = decode_frame(line + "\n");
-      } catch (const std::exception& error) {
-        send_all(fd, encode_frame(error_reply(0, "bad-request", error.what())));
-        continue;
-      }
-      send_all(fd, encode_frame(session.handle(request)));
+      continue;
     }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    peer_closed = true;  // orderly close or hard error: either way it's over
+    break;
+  }
 
-    // A frame this large with no newline yet is never going to be valid;
-    // refuse it rather than buffering without bound.
-    if (buffer.size() > kMaxFrameBytes) {
-      send_all(fd, encode_frame(error_reply(
-                       0, "frame-too-large",
-                       "unterminated frame exceeds " +
-                           std::to_string(kMaxFrameBytes) + " bytes")));
+  // Frame extraction: every complete line becomes a pending item, in order.
+  size_t newline;
+  while (!conn.fatal && (newline = conn.in.find('\n')) != std::string::npos) {
+    std::string line = conn.in.substr(0, newline);
+    conn.in.erase(0, newline + 1);
+    conn.handshaken = true;
+    conn.last_frame = SteadyClock::now();
+    if (line.empty()) continue;
+    if (line.size() > kMaxFrameBytes) {
+      // A peer that ships an oversized frame is out of protocol; answer in
+      // order, then hang up (anything after it is untrustworthy).
+      conn.pending.push_back(PendingItem{
+          Json(), encode_frame(error_reply(
+                      0, "frame-too-large",
+                      "request frame exceeds " +
+                          std::to_string(kMaxFrameBytes) + " bytes"))});
+      conn.fatal = true;
       break;
     }
+    PendingItem item;
+    try {
+      item.request = decode_frame(line + "\n");
+    } catch (const std::exception& error) {
+      // Preformed reply, queued with the real ones: replies keep arrival
+      // order even when a bad frame is sandwiched between good ones.
+      item.preformed =
+          encode_frame(error_reply(0, "bad-request", error.what()));
+    }
+    conn.pending.push_back(std::move(item));
   }
-  ::close(fd);
+
+  if (!conn.fatal && conn.in.size() > kMaxFrameBytes) {
+    conn.pending.push_back(PendingItem{
+        Json(), encode_frame(error_reply(
+                    0, "frame-too-large",
+                    "unterminated frame exceeds " +
+                        std::to_string(kMaxFrameBytes) + " bytes"))});
+    conn.fatal = true;
+    conn.in.clear();
+  }
+
+  if (conn.pending.size() > options_.max_pipelined) {
+    conn.reading_paused = true;  // read backpressure; resumes on drain
+  }
+
+  dispatch_next(conn);
+  if (!flush(conn)) return;
+
+  if (peer_closed) {
+    // Drop the connection once nothing is owed: a request already
+    // dispatched still completes (its reply just goes nowhere).
+    if (!conn.in_flight && conn.pending.empty()) {
+      close_conn(conn);
+    } else {
+      conn.fatal = true;
+      conn.want_close = true;
+      update_interest(conn);
+    }
+  }
+}
+
+void Server::dispatch_next(Conn& conn) {
+  // Nothing leaves the pending queue while a request is in flight — not
+  // even preformed errors. A bad frame that arrived after request A must
+  // reply after A's reply; arrival order is reply order.
+  while (!conn.want_close && !conn.in_flight && !conn.pending.empty()) {
+    PendingItem& front = conn.pending.front();
+    if (!front.preformed.empty()) {
+      std::string frame = std::move(front.preformed);
+      conn.pending.pop_front();
+      append_frame(conn, std::move(frame));
+      continue;
+    }
+    Json request = std::move(front.request);
+    conn.pending.pop_front();
+    conn.in_flight = true;
+    post_request(conn, std::move(request));
+  }
+  // A fatal connection (framing violation) hangs up once everything owed —
+  // earlier replies, then the refusal frame — has left the pending queue;
+  // fatal alone only stops reading, and without this it would linger open.
+  if (conn.fatal && !conn.in_flight && conn.pending.empty()) {
+    conn.want_close = true;
+  }
+}
+
+void Server::post_request(Conn& conn, Json request) {
+  const uint64_t conn_id = conn.id;
+  const std::string session = conn.session;
+  std::shared_ptr<WakeHub> hub = hub_;
+  workers_.post([this, conn_id, session, hub,
+                 request = std::move(request)]() mutable {
+    const bool is_subscribe = request.is_object() &&
+                              request.contains("cmd") &&
+                              request["cmd"].is_string() &&
+                              request["cmd"].as_string() == "subscribe";
+    Json reply = is_subscribe ? dispatcher_.handle_subscribe(session, request)
+                              : dispatcher_.handle(session, request);
+    Completion done;
+    done.conn = conn_id;
+    if (is_subscribe && reply.get_or("ok", false)) {
+      done.subscribe_campaign = reply["campaign"].as_string();
+    }
+    done.frame = encode_frame(reply);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_.push_back(std::move(done));
+    }
+    hub->notify();
+  });
+}
+
+void Server::handle_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done.swap(done_);
+  }
+  for (Completion& completion : done) {
+    Conn* conn = find(completion.conn);
+    if (!conn) continue;  // connection died while its request ran
+    conn->in_flight = false;
+    append_frame(*conn, std::move(completion.frame));
+    if (!completion.subscribe_campaign.empty() && !conn->want_close) {
+      attach_subscription(*conn, completion.subscribe_campaign);
+    }
+    dispatch_next(*conn);
+    maybe_resume_reading(*conn);
+    flush(*conn);
+  }
+}
+
+void Server::attach_subscription(Conn& conn, const std::string& campaign) {
+  if (conn.sub != 0) {
+    TraceStreamer::instance().detach(conn.sub);
+    subscriptions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  const uint64_t conn_id = conn.id;
+  std::shared_ptr<WakeHub> hub = hub_;
+  conn.sub = TraceStreamer::instance().attach(
+      campaign, options_.subscriber_buffer,
+      [hub, conn_id] { hub->notify_conn(conn_id); });
+  subscriptions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::deliver_events(Conn& conn) {
+  if (conn.sub == 0 || conn.want_close) return;
+  std::vector<std::string> frames;
+  TraceStreamer::instance().drain(conn.sub, frames, kEventBatch);
+  for (std::string& frame : frames) {
+    append_frame(conn, std::move(frame));
+    if (conn.want_close) break;  // crossed the HWM mid-batch
+  }
+  if (conn.sub != 0 && !conn.want_close &&
+      TraceStreamer::instance().has_pending(conn.sub)) {
+    hub_->notify_conn(conn.id);  // keep draining next turn, fair to others
+  }
+  flush(conn);
+}
+
+void Server::append_frame(Conn& conn, std::string frame) {
+  if (conn.want_close) return;  // condemned: replies go nowhere
+  conn.out_bytes += frame.size();
+  conn.out.push_back(std::move(frame));
+  if (conn.out_bytes > options_.out_hwm_bytes) make_slow_consumer(conn);
+}
+
+void Server::make_slow_consumer(Conn& conn) {
+  if (conn.want_close) return;
+  slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
+  if (conn.sub != 0) {
+    TraceStreamer::instance().detach(conn.sub);
+    conn.sub = 0;
+    subscriptions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Discard queued-but-unwritten frames; a partially-written front frame is
+  // kept so the byte stream stays frame-aligned for the error that follows.
+  if (conn.out_offset > 0 && !conn.out.empty()) {
+    std::string front = std::move(conn.out.front());
+    conn.out.clear();
+    conn.out_bytes = front.size() - conn.out_offset;
+    conn.out.push_back(std::move(front));
+  } else {
+    conn.out.clear();
+    conn.out_offset = 0;
+    conn.out_bytes = 0;
+  }
+  std::string frame = encode_frame(
+      error_reply(0, "slow-consumer",
+                  "outbound buffer exceeded " +
+                      std::to_string(options_.out_hwm_bytes) +
+                      " bytes; frames were discarded and this connection "
+                      "is closing"));
+  conn.out_bytes += frame.size();
+  conn.out.push_back(std::move(frame));
+  conn.pending.clear();
+  conn.want_close = true;
+  conn.fatal = true;
+}
+
+bool Server::flush(Conn& conn) {
+  while (!conn.out.empty()) {
+    const std::string& front = conn.out.front();
+    const ssize_t n = ::send(conn.fd, front.data() + conn.out_offset,
+                             front.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn);  // peer gone mid-write
+      return false;
+    }
+    conn.out_offset += static_cast<size_t>(n);
+    conn.out_bytes -= static_cast<size_t>(n);
+    if (conn.out_offset == front.size()) {
+      conn.out.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  if (conn.out.empty() && conn.want_close && !conn.in_flight) {
+    close_conn(conn);
+    return false;
+  }
+  update_interest(conn);
+  return true;
+}
+
+void Server::maybe_resume_reading(Conn& conn) {
+  if (conn.reading_paused && !conn.fatal && !conn.want_close &&
+      conn.pending.size() <= options_.max_pipelined / 2) {
+    conn.reading_paused = false;
+    update_interest(conn);
+  }
+}
+
+void Server::update_interest(Conn& conn) {
+  const bool want_read =
+      !conn.reading_paused && !conn.fatal && !conn.want_close;
+  const bool want_write = !conn.out.empty();
+  conn.want_write = want_write;
+  poller_->mod(conn.fd, want_read, want_write);
+}
+
+void Server::check_timeouts(SteadyClock::time_point now) {
+  const bool handshake = options_.handshake_timeout_s > 0;
+  const bool idle = options_.idle_timeout_s > 0;
+  if (!handshake && !idle) return;
+
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->want_close) continue;
+    const double since_accept =
+        std::chrono::duration<double>(now - conn->accepted).count();
+    const double since_frame =
+        std::chrono::duration<double>(now - conn->last_frame).count();
+    if (!conn->handshaken && handshake &&
+        since_accept > options_.handshake_timeout_s) {
+      expired.push_back(fd);
+    } else if (conn->handshaken && idle && conn->sub == 0 &&
+               conn->pending.empty() && !conn->in_flight &&
+               since_frame > options_.idle_timeout_s) {
+      expired.push_back(fd);
+    }
+  }
+  for (int fd : expired) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    timeout_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    append_frame(conn, encode_frame(error_reply(
+                           0, "idle-timeout",
+                           conn.handshaken
+                               ? "no frame for " +
+                                     std::to_string(options_.idle_timeout_s) +
+                                     "s; closing idle connection"
+                               : "no complete frame within the handshake "
+                                 "window; closing")));
+    conn.pending.clear();
+    conn.fatal = true;
+    conn.want_close = true;
+    flush(conn);
+  }
+}
+
+int Server::next_timeout_ms(SteadyClock::time_point now) const {
+  const bool handshake = options_.handshake_timeout_s > 0;
+  const bool idle = options_.idle_timeout_s > 0;
+  if (!handshake && !idle) return -1;
+
+  double soonest = -1.0;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->want_close) continue;
+    double remaining = -1.0;
+    if (!conn->handshaken && handshake) {
+      remaining = options_.handshake_timeout_s -
+                  std::chrono::duration<double>(now - conn->accepted).count();
+    } else if (conn->handshaken && idle && conn->sub == 0 &&
+               conn->pending.empty() && !conn->in_flight) {
+      remaining = options_.idle_timeout_s -
+                  std::chrono::duration<double>(now - conn->last_frame).count();
+    }
+    if (remaining >= 0.0 && (soonest < 0.0 || remaining < soonest)) {
+      soonest = remaining;
+    }
+  }
+  if (soonest < 0.0) return -1;
+  return std::clamp(static_cast<int>(std::ceil(soonest * 1000.0)), 10, 60000);
+}
+
+void Server::close_conn(Conn& conn) {
+  if (conn.sub != 0) {
+    TraceStreamer::instance().detach(conn.sub);
+    conn.sub = 0;
+    subscriptions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  poller_->del(conn.fd);
+  ::close(conn.fd);
+  dispatcher_.sessions().close(conn.session);
+  open_.fetch_sub(1, std::memory_order_relaxed);
+  by_id_.erase(conn.id);
+  conns_.erase(conn.fd);  // destroys conn: the reference is dead now
+}
+
+void Server::shutdown_all() {
+  // Subscribed watchers get a final shutting-down frame so a watcher can
+  // tell "daemon drained" from "network cut"; then a bounded grace flush
+  // pushes out whatever fits (including half-written replies) before the
+  // sockets close.
+  for (auto& [fd, conn] : conns_) {
+    if (conn->sub != 0) {
+      TraceStreamer::instance().detach(conn->sub);
+      conn->sub = 0;
+      subscriptions_.fetch_sub(1, std::memory_order_relaxed);
+      std::string frame = encode_frame(
+          error_reply(0, "shutting-down",
+                      "the daemon is shutting down; event stream ends"));
+      conn->out_bytes += frame.size();
+      conn->out.push_back(std::move(frame));
+    }
+  }
+
+  const auto deadline = SteadyClock::now() + std::chrono::milliseconds(500);
+  bool blocked = true;
+  while (blocked && SteadyClock::now() < deadline) {
+    blocked = false;
+    for (auto& [fd, conn] : conns_) {
+      while (!conn->out.empty()) {
+        const std::string& front = conn->out.front();
+        const ssize_t n = ::send(fd, front.data() + conn->out_offset,
+                                 front.size() - conn->out_offset, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            blocked = true;
+          } else {
+            conn->out.clear();  // peer gone; nothing more to deliver
+            conn->out_offset = 0;
+          }
+          break;
+        }
+        conn->out_offset += static_cast<size_t>(n);
+        if (conn->out_offset == front.size()) {
+          conn->out.pop_front();
+          conn->out_offset = 0;
+        }
+      }
+    }
+    if (blocked) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  for (auto& [fd, conn] : conns_) {
+    ::close(fd);
+    dispatcher_.sessions().close(conn->session);
+  }
+  conns_.clear();
+  by_id_.clear();
+  open_.store(0, std::memory_order_relaxed);
+}
+
+Server::Conn* Server::find(uint64_t id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
 }
 
 }  // namespace ff::service

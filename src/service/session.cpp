@@ -95,6 +95,12 @@ Json dispatch(ServiceCore& core, std::atomic<bool>& shutdown,
     reply["campaign"] = request["campaign"];
     return reply;
   }
+  if (cmd == "subscribe") {
+    // Valid shape, wrong transport: event frames are pushed onto the
+    // connection that subscribed, which an in-process client doesn't have.
+    return error_reply(id, "bad-request",
+                       "subscribe is only available on a socket connection");
+  }
   if (cmd == "shutdown") {
     shutdown.store(true, std::memory_order_release);
     Json reply = ok_reply(id);
@@ -107,6 +113,42 @@ Json dispatch(ServiceCore& core, std::atomic<bool>& shutdown,
 }
 
 }  // namespace
+
+Json Dispatcher::handle_subscribe(const std::string& session,
+                                  const Json& request) {
+  const int64_t id = request_id(request);
+  Json reply;
+  try {
+    const std::string problem = check_request(request);
+    if (!problem.empty()) {
+      reply = error_reply(id, "bad-request", problem);
+    } else if (shutdown_requested()) {
+      reply = error_reply(id, "shutting-down",
+                          "the daemon is draining; no new subscriptions");
+    } else {
+      const std::string campaign = request["campaign"].as_string();
+      core_.info(campaign);  // NotFoundError when unknown
+      reply = ok_reply(id);
+      reply["campaign"] = campaign;
+      reply["subscribed"] = true;
+    }
+  } catch (const NotFoundError& error) {
+    reply = error_reply(id, "not-found", error.what());
+  } catch (const std::exception& error) {
+    reply = error_reply(id, "internal", error.what());
+  }
+
+  const bool ok = reply.get_or("ok", false);
+  obs::trace_instant("service", "service.request",
+                     {{"session", session}, {"cmd", "subscribe"}, {"ok", ok}});
+  Json event = Json::object();
+  event["event"] = "service.request";
+  event["session"] = session;
+  event["cmd"] = "subscribe";
+  event["ok"] = ok;
+  core_.note_event(std::move(event));
+  return reply;
+}
 
 Json Dispatcher::handle(const std::string& session, const Json& request) {
   const int64_t id = request_id(request);

@@ -39,7 +39,17 @@ class Dispatcher {
   /// Handle one request frame on behalf of `session`. Always returns a
   /// well-formed reply (ok or error) echoing the request id. Emits
   /// `service.request`.
+  ///
+  /// `subscribe` is the one command this path refuses (bad-request): pushed
+  /// event frames need a socket to ride on, so the server intercepts it and
+  /// calls handle_subscribe() instead.
   Json handle(const std::string& session, const Json& request);
+
+  /// Validate a `subscribe` request for the socket server: shape-check,
+  /// drain gate, campaign existence. Returns the reply (never throws); on
+  /// an ok reply the server attaches the connection to the campaign's
+  /// event stream (service/stream.hpp) before any further frame is sent.
+  Json handle_subscribe(const std::string& session, const Json& request);
 
   /// RAII client identity for in-process use; the server opens/closes
   /// sessions around each connection the same way.

@@ -1,0 +1,192 @@
+#include "service/stream.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "service/protocol.hpp"
+#include "stream/data.hpp"
+
+namespace ff::service {
+
+namespace {
+
+thread_local std::string t_campaign_scope;
+
+/// One drained batch per loop turn; bounds how long a single busy
+/// subscriber can hold the server's event-delivery step.
+constexpr size_t kMaxArgsJson = obs::kMaxArgs;
+
+Json event_to_json(const obs::TraceEvent& event) {
+  Json out = Json::object();
+  out["event"] = std::string(event.name);
+  for (size_t i = 0; i < event.arg_count && i < kMaxArgsJson; ++i) {
+    const obs::Arg& arg = event.args[i];
+    switch (arg.type) {
+      case obs::Arg::Type::Int: out[arg.key] = arg.int_value; break;
+      case obs::Arg::Type::Float: out[arg.key] = arg.float_value; break;
+      case obs::Arg::Type::Str: out[arg.key] = arg.str_value; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceStreamer& TraceStreamer::instance() {
+  static TraceStreamer streamer;
+  return streamer;
+}
+
+uint64_t TraceStreamer::attach(const std::string& campaign, size_t capacity,
+                               std::function<void()> wake) {
+  auto sub = std::make_shared<Subscription>();
+  sub->campaign = campaign;
+  // Mpmc: publishers are arbitrary emitting threads, the consumer is the
+  // server loop, and DropOldest eviction happens on the producer side.
+  sub->ring = stream::make_channel(stream::ChannelKind::Mpmc,
+                                   capacity > 0 ? capacity : 1);
+  sub->wake = std::move(wake);
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = ++next_id_;
+    subs_.emplace(id, std::move(sub));
+  }
+  update_listener();
+  obs::trace_instant("service", "service.subscribe",
+                     {{"campaign", campaign}, {"sub", static_cast<int64_t>(id)}});
+  return id;
+}
+
+void TraceStreamer::detach(uint64_t id) {
+  std::shared_ptr<Subscription> sub;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = subs_.find(id);
+    if (it == subs_.end()) return;
+    sub = std::move(it->second);
+    subs_.erase(it);
+  }
+  sub->ring->close();
+  update_listener();
+}
+
+void TraceStreamer::update_listener() {
+  std::lock_guard<std::mutex> install(install_mutex_);
+  size_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active = subs_.size();
+  }
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  if (active > 0) {
+    recorder.set_listener(&TraceStreamer::on_trace, this);
+  } else {
+    recorder.set_listener(nullptr, nullptr);
+  }
+}
+
+std::shared_ptr<TraceStreamer::Subscription> TraceStreamer::find(
+    uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = subs_.find(id);
+  return it == subs_.end() ? nullptr : it->second;
+}
+
+size_t TraceStreamer::drain(uint64_t id, std::vector<std::string>& out,
+                            size_t max) {
+  std::shared_ptr<Subscription> sub = find(id);
+  if (!sub) return 0;
+  std::vector<stream::Record> records;
+  const size_t taken = sub->ring->drain_into(records, max);
+  for (stream::Record& record : records) {
+    if (record.values.empty()) continue;
+    if (auto* frame = std::get_if<std::string>(&record.values[0])) {
+      out.push_back(std::move(*frame));
+    }
+  }
+  return taken;
+}
+
+bool TraceStreamer::has_pending(uint64_t id) const {
+  std::shared_ptr<Subscription> sub = find(id);
+  return sub && sub->ring->size() > 0;
+}
+
+uint64_t TraceStreamer::dropped(uint64_t id) const {
+  std::shared_ptr<Subscription> sub = find(id);
+  return sub ? sub->ring->dropped() : 0;
+}
+
+size_t TraceStreamer::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subs_.size();
+}
+
+uint64_t TraceStreamer::next_seq(const std::string& campaign) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = seqs_.find(campaign);
+  return (it == seqs_.end() ? 0 : it->second) + 1;
+}
+
+void TraceStreamer::publish(const std::string& campaign, const Json& event) {
+  std::string frame;
+  std::vector<std::shared_ptr<Subscription>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t seq = ++seqs_[campaign];
+    for (const auto& [_, sub] : subs_) {
+      if (sub->campaign == campaign) targets.push_back(sub);
+    }
+    if (targets.empty()) return;  // seq still advances: late joiners see gaps
+    Json message = Json::object();
+    message["stream"] = "trace";
+    message["campaign"] = campaign;
+    message["seq"] = static_cast<int64_t>(seq);
+    message["event"] = event;
+    frame = encode_frame(message);
+    // Offers stay under the lock so ring order always matches seq order
+    // (two racing publishers must not swap); only the wake callbacks —
+    // which may take foreign locks — run outside it.
+    stream::Record record;
+    record.sequence = seq;
+    record.values.emplace_back(frame);
+    for (const auto& sub : targets) {
+      sub->ring->offer(record, stream::Overflow::DropOldest);
+    }
+  }
+  for (const auto& sub : targets) {
+    if (sub->wake) sub->wake();
+  }
+}
+
+void TraceStreamer::on_trace(void* self, const obs::TraceEvent& event) {
+  if (event.kind != obs::EventKind::Instant) return;
+  const bool service = std::strcmp(event.category, "service") == 0;
+  if (!service && std::strcmp(event.category, "savanna") != 0) return;
+
+  std::string campaign;
+  for (size_t i = 0; i < event.arg_count; ++i) {
+    const obs::Arg& arg = event.args[i];
+    if (arg.type == obs::Arg::Type::Str &&
+        std::strcmp(arg.key, "campaign") == 0) {
+      campaign = arg.str_value;
+      break;
+    }
+  }
+  if (campaign.empty()) campaign = t_campaign_scope;
+  if (campaign.empty()) return;  // unattributable: not streamed
+
+  static_cast<TraceStreamer*>(self)->publish(campaign, event_to_json(event));
+}
+
+CampaignScope::CampaignScope(std::string campaign)
+    : previous_(std::move(t_campaign_scope)) {
+  t_campaign_scope = std::move(campaign);
+}
+
+CampaignScope::~CampaignScope() { t_campaign_scope = std::move(previous_); }
+
+const std::string& CampaignScope::current() { return t_campaign_scope; }
+
+}  // namespace ff::service

@@ -177,6 +177,10 @@ int main(int argc, char** argv) {
       // Deterministic coverage: tests/stream/channel_test
       // (WaiterCountsReflectBlockedThreads and the blocking-wakeup tests).
       "stream.channel.park",
+      // Emitted when a socket client issues `subscribe`; the quickstart
+      // tour is in-process and has no socket to stream onto. Deterministic
+      // coverage: tests/service/server_stream_test.
+      "service.subscribe",
   };
   for (const std::string& name : documented_event_names(
            ff::read_file(schema_path))) {

@@ -1,0 +1,283 @@
+// Hostile and degenerate client behavior against the real readiness-loop
+// server: slow-loris handshakes, frames split across dozens of writes,
+// pipelined bursts in one segment, oversized frames mid-stream, abrupt
+// resets with replies half-written, and malformed JSON sandwiched between
+// valid requests. The invariants under fire: the framing state machine
+// never tears a frame, replies stay in request order, one abusive client
+// never takes the daemon (or another client) down — and the poll(2)
+// fallback backend honors all of it, not just epoll.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "service/core.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "service_test_util.hpp"
+#include "util/fs.hpp"
+
+namespace ff::service {
+namespace {
+
+using testing::StreamClient;
+using testing::WireClient;
+using testing::sliced_manifest;
+
+/// The daemon stack with test-controlled server knobs.
+struct Daemon {
+  Daemon(const std::string& scratch, Server::Options server_options)
+      : core({.root = scratch + "/campaigns", .workers = 2}),
+        dispatcher(core),
+        server(dispatcher,
+               [&] {
+                 server_options.unix_path = scratch + "/fairflowd.sock";
+                 return server_options;
+               }()) {
+    server.start();
+  }
+  explicit Daemon(const std::string& scratch) : Daemon(scratch, {}) {}
+  ~Daemon() {
+    server.stop();
+    core.stop();
+  }
+
+  ServiceCore core;
+  Dispatcher dispatcher;
+  Server server;
+};
+
+bool wait_until(const std::function<bool()>& done, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return done();
+}
+
+Json ping_request(int64_t id) {
+  Json request = Json::object();
+  request["cmd"] = "ping";
+  request["id"] = id;
+  return request;
+}
+
+void expect_fresh_client_works(Daemon& daemon) {
+  WireClient fresh(daemon.server.unix_path());
+  ASSERT_TRUE(fresh.connected());
+  EXPECT_TRUE(fresh.call(ping_request(99)).get_or("ok", false));
+}
+
+TEST(ServerHostile, SlowLorisHandshakeIsCutAtTheTimeout) {
+  TempDir dir;
+  Server::Options options;
+  options.handshake_timeout_s = 0.25;
+  Daemon daemon(dir.str(), options);
+
+  StreamClient loris(daemon.server.unix_path());
+  ASSERT_TRUE(loris.connected());
+  // Drip bytes of a valid frame without ever finishing it. The server
+  // must not wait on this connection's goodwill.
+  const std::string frame = encode_frame(ping_request(1));
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    if (!loris.send_raw(frame.substr(i, 1))) break;  // server already cut us
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    if (std::chrono::steady_clock::now() - start > std::chrono::seconds(2)) {
+      break;  // enough dripping; the timeout has long passed
+    }
+  }
+  // What the wire shows: the idle-timeout error frame, then EOF — never a
+  // reply, because no complete frame ever arrived.
+  const Json cut = loris.next_json();
+  ASSERT_TRUE(cut.is_object());
+  EXPECT_FALSE(cut.get_or("ok", true));
+  EXPECT_EQ(cut["error"]["code"].as_string(), "idle-timeout");
+  std::string leftover;
+  EXPECT_FALSE(loris.next_line(leftover));
+  EXPECT_GE(daemon.server.timeout_disconnects(), 1u);
+  expect_fresh_client_works(daemon);
+}
+
+TEST(ServerHostile, FrameSplitAcrossDozensOfWritesStillParses) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+
+  StreamClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+  for (int64_t round = 1; round <= 3; ++round) {
+    const std::string frame = encode_frame(ping_request(round));
+    for (char byte : frame) {  // one write per byte, dozens per frame
+      ASSERT_TRUE(client.send_raw(std::string(1, byte)));
+    }
+    const Json reply = client.next_json();
+    ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+    EXPECT_EQ(reply["id"].as_int(), round);
+  }
+}
+
+TEST(ServerHostile, PipelinedBurstRepliesInRequestOrder) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+
+  constexpr int64_t kBurst = 64;
+  StreamClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+  std::string blast;
+  for (int64_t id = 1; id <= kBurst; ++id) {
+    blast += encode_frame(ping_request(id));
+  }
+  ASSERT_TRUE(client.send_raw(blast));  // one segment, kBurst requests
+  for (int64_t id = 1; id <= kBurst; ++id) {
+    const Json reply = client.next_json();
+    ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+    ASSERT_EQ(reply["id"].as_int(), id) << "reply out of order";
+  }
+}
+
+TEST(ServerHostile, ReadBackpressureAboveThePipelineCapDrains) {
+  TempDir dir;
+  Server::Options options;
+  options.max_pipelined = 4;  // force pause/resume cycles on the read side
+  Daemon daemon(dir.str(), options);
+
+  constexpr int64_t kBurst = 100;
+  StreamClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+  std::string blast;
+  for (int64_t id = 1; id <= kBurst; ++id) {
+    blast += encode_frame(ping_request(id));
+  }
+  ASSERT_TRUE(client.send_raw(blast));
+  // Backpressure pauses reading, never drops: every request is eventually
+  // served, still in order.
+  for (int64_t id = 1; id <= kBurst; ++id) {
+    const Json reply = client.next_json();
+    ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+    ASSERT_EQ(reply["id"].as_int(), id);
+  }
+}
+
+TEST(ServerHostile, OversizedFrameMidStreamKillsOnlyThatClient) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+
+  StreamClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+  // A healthy request first: the connection is mid-conversation, not fresh.
+  ASSERT_TRUE(client.send(ping_request(1)));
+  ASSERT_TRUE(client.next_json().get_or("ok", false));
+
+  // Then a newline-terminated frame just past the cap. send_raw may fail
+  // part-way: the server stops reading the moment the cap is crossed.
+  std::string flood(kMaxFrameBytes + 16, 'x');
+  flood += '\n';
+  client.send_raw(flood);
+  const Json refusal = client.next_json();
+  ASSERT_TRUE(refusal.is_object());
+  EXPECT_FALSE(refusal.get_or("ok", true));
+  EXPECT_EQ(refusal["error"]["code"].as_string(), "frame-too-large");
+  std::string leftover;
+  EXPECT_FALSE(client.next_line(leftover));  // the connection is closed
+  expect_fresh_client_works(daemon);
+}
+
+TEST(ServerHostile, AbruptResetWithReplyHalfWrittenIsHarmless) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+
+  // Submit something so `list` has a reply worth writing back.
+  {
+    WireClient client(daemon.server.unix_path());
+    ASSERT_TRUE(client.connected());
+    Json request = Json::object();
+    request["cmd"] = "submit";
+    request["id"] = int64_t{1};
+    request["manifest"] = sliced_manifest("resilient");
+    ASSERT_TRUE(client.call(request).get_or("ok", false));
+  }
+
+  // Fire a request, then RST the socket without reading the reply: the
+  // server's write lands on a dead (or dying) fd. Twenty rounds shakes out
+  // the races between reply write, EPOLLERR, and close.
+  for (int round = 0; round < 20; ++round) {
+    StreamClient rude(daemon.server.unix_path());
+    ASSERT_TRUE(rude.connected());
+    Json request = Json::object();
+    request["cmd"] = "list";
+    request["id"] = int64_t{round};
+    ASSERT_TRUE(rude.send(request));
+    linger hard_reset{};
+    hard_reset.l_onoff = 1;
+    hard_reset.l_linger = 0;
+    setsockopt(rude.fd(), SOL_SOCKET, SO_LINGER, &hard_reset,
+               sizeof(hard_reset));
+    rude.close_now();
+  }
+
+  EXPECT_TRUE(wait_until(
+      [&] { return daemon.server.open_connections() == 0; }));
+  expect_fresh_client_works(daemon);
+}
+
+TEST(ServerHostile, MalformedJsonBetweenRequestsKeepsReplyOrder) {
+  TempDir dir;
+  Daemon daemon(dir.str());
+
+  StreamClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+  // One segment: valid, garbage, valid. The garbage line earns an error
+  // frame in sequence — after request 1's reply, before request 2's.
+  const std::string blast = encode_frame(ping_request(1)) +
+                            "{\"cmd\": not json at all\n" +
+                            encode_frame(ping_request(2));
+  ASSERT_TRUE(client.send_raw(blast));
+
+  const Json first = client.next_json();
+  ASSERT_TRUE(first.get_or("ok", false)) << first.dump();
+  EXPECT_EQ(first["id"].as_int(), 1);
+  const Json second = client.next_json();
+  EXPECT_FALSE(second.get_or("ok", true)) << second.dump();
+  EXPECT_EQ(second["error"]["code"].as_string(), "bad-request");
+  const Json third = client.next_json();
+  ASSERT_TRUE(third.get_or("ok", false)) << third.dump();
+  EXPECT_EQ(third["id"].as_int(), 2);
+}
+
+TEST(ServerHostile, PollBackendHonorsTheSameContract) {
+  TempDir dir;
+  Server::Options options;
+  options.backend = Server::Backend::Poll;
+  Daemon daemon(dir.str(), options);
+
+  StreamClient client(daemon.server.unix_path());
+  ASSERT_TRUE(client.connected());
+
+  // Split frame, then a pipelined burst — the two framing paths that a
+  // readiness-backend swap is most likely to get subtly wrong.
+  const std::string frame = encode_frame(ping_request(1));
+  for (char byte : frame) {
+    ASSERT_TRUE(client.send_raw(std::string(1, byte)));
+  }
+  ASSERT_TRUE(client.next_json().get_or("ok", false));
+
+  std::string blast;
+  for (int64_t id = 2; id <= 33; ++id) {
+    blast += encode_frame(ping_request(id));
+  }
+  ASSERT_TRUE(client.send_raw(blast));
+  for (int64_t id = 2; id <= 33; ++id) {
+    const Json reply = client.next_json();
+    ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+    ASSERT_EQ(reply["id"].as_int(), id);
+  }
+}
+
+}  // namespace
+}  // namespace ff::service

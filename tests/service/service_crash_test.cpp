@@ -125,6 +125,83 @@ TEST(ServiceCrash, SigtermDrainsInFlightRunsAndLeavesResumableState) {
             read_file(batch_dir + "/.campaign/status.json"));
 }
 
+TEST(ServiceCrash, SigtermDuringActiveSubscriptionDrainsCleanly) {
+  TempDir dir;
+  const std::string socket_path = dir.file("watched.sock");
+  const std::string root = dir.file("campaigns");
+  const Json manifest = sliced_manifest("observed", 24);
+
+  const pid_t pid = spawn_fairflowd(socket_path, root);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_socket(socket_path)) << "daemon never listened";
+
+  {
+    WireClient client(socket_path);
+    ASSERT_TRUE(client.connected());
+    Json request = Json::object();
+    request["cmd"] = "submit";
+    request["id"] = int64_t{1};
+    request["manifest"] = manifest;
+    const Json reply = client.call(request);
+    ASSERT_TRUE(reply.get_or("ok", false)) << reply.dump();
+  }
+
+  // Two live subscriptions when the SIGTERM lands: one reading, one that
+  // never reads (its frames are sitting half-delivered in socket buffers).
+  testing::StreamClient watcher(socket_path);
+  ASSERT_TRUE(watcher.connected());
+  ASSERT_TRUE(watcher.subscribe("observed").get_or("ok", false));
+  const Json first = watcher.next_json();  // own service.subscribe event
+  ASSERT_TRUE(first.is_object());
+  EXPECT_EQ(first.get_or("stream", ""), "trace") << first.dump();
+
+  testing::StreamClient unread(socket_path);
+  ASSERT_TRUE(unread.connected());
+  ASSERT_TRUE(unread.subscribe("observed").get_or("ok", false));
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+
+  // Both watchers' streams end the documented way: whatever event frames
+  // were in flight, then one shutting-down error frame, then EOF — never
+  // a torn frame, never a silent hangup.
+  for (testing::StreamClient* client : {&watcher, &unread}) {
+    Json last;
+    std::string line;
+    while (client->next_line(line)) {
+      last = Json::parse(line);  // a torn frame throws and fails the test
+    }
+    ASSERT_TRUE(last.is_object());
+    EXPECT_FALSE(last.get_or("ok", true)) << last.dump();
+    EXPECT_EQ(last["error"]["code"].as_string(), "shutting-down")
+        << last.dump();
+  }
+
+  const int status = wait_for_exit(pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The drain left adoptable state behind, exactly as without watchers:
+  // subscriptions are transport-side and must not perturb the journals.
+  ASSERT_TRUE(
+      std::filesystem::exists(root + "/observed/.campaign/service.json"));
+  ServiceCore::Options options;
+  options.root = root;
+  options.workers = 1;
+  ServiceCore revived(options);
+  revived.resume("observed");
+  revived.drain();
+  const CampaignInfo info = revived.info("observed");
+  ASSERT_EQ(info.state, "done") << info.error;
+  EXPECT_EQ(info.counts.done, 24u);
+
+  const std::string batch_dir =
+      run_batch_reference(manifest, dir.file("batch"));
+  EXPECT_EQ(read_file(root + "/observed/.campaign/journal.jsonl"),
+            read_file(batch_dir + "/.campaign/journal.jsonl"));
+  EXPECT_EQ(read_file(root + "/observed/.campaign/status.json"),
+            read_file(batch_dir + "/.campaign/status.json"));
+}
+
 TEST(ServiceCrash, ClientSideShutdownCommandAlsoExitsZero) {
   TempDir dir;
   const std::string socket_path = dir.file("ctl.sock");

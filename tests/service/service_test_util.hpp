@@ -95,6 +95,96 @@ inline std::string run_batch_reference(const Json& manifest,
   return endpoint.directory();
 }
 
+/// Blocking client for subscription streams: same transport as WireClient
+/// plus buffered line reading, because a watcher receives frames it never
+/// asked for (pushed `event` frames) and a one-request/one-reply call()
+/// would eat them. Also used by the hostile-input tests, which need raw
+/// byte-level control plus the fd for socket-option abuse.
+class StreamClient {
+ public:
+  explicit StreamClient(const std::string& unix_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~StreamClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  bool send_raw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool send(const Json& request) { return send_raw(encode_frame(request)); }
+
+  /// Next newline-terminated frame (without the newline); false on EOF or
+  /// transport error. Blocks until a full frame arrives.
+  bool next_line(std::string& line) {
+    for (;;) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Next frame parsed as JSON; a null Json on EOF/transport error.
+  Json next_json() {
+    std::string line;
+    if (!next_line(line)) return Json();
+    return Json::parse(line);
+  }
+
+  /// Subscribe round-trip: sends the request, returns the reply frame
+  /// (event frames only start after an ok reply, so this cannot misread).
+  Json subscribe(const std::string& campaign, int64_t id = 1) {
+    Json request = Json::object();
+    request["cmd"] = "subscribe";
+    request["id"] = id;
+    request["campaign"] = campaign;
+    if (!send(request)) return Json();
+    return next_json();
+  }
+
+  void close_now() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
 /// Minimal blocking client for a fairflowd Unix socket: one request frame
 /// out, one reply frame back.
 class WireClient {
