@@ -20,6 +20,7 @@ ff_add_bench(tab1_gauge_assessment ff_core ff_gwas)
 ff_add_bench(ablation_ckpt_restart ff_ckpt ff_cluster)
 ff_add_bench(ablation_codesign ff_cheetah ff_gwas)
 ff_add_bench(campaign_scale ff_savanna ff_cheetah)
+ff_add_bench(lint_scale ff_lint)
 ff_add_bench(service_throughput ff_service)
 ff_add_bench(micro_bench ff_util ff_skel ff_stream ff_cluster ff_irf ff_gwas
              benchmark::benchmark benchmark::benchmark_main)
@@ -57,6 +58,17 @@ add_custom_target(bench_campaign
           ${CMAKE_SOURCE_DIR}/BENCH_campaign.json
   DEPENDS campaign_scale
   COMMENT "campaign spine scale bench -> BENCH_campaign.json"
+  VERBATIM)
+
+# `cmake --build build --target bench_lint` reruns the workspace-lint scale
+# bench (cold vs digest-cached re-lint of a generated 1000-artifact tree)
+# and refreshes BENCH_lint.json at the repo root — the committed record of
+# what the incremental cache buys.
+add_custom_target(bench_lint
+  COMMAND $<TARGET_FILE:lint_scale>
+          ${CMAKE_SOURCE_DIR}/BENCH_lint.json
+  DEPENDS lint_scale
+  COMMENT "workspace lint scale bench -> BENCH_lint.json"
   VERBATIM)
 
 # A ~2 s paced-throughput sanity check in the default ctest run: the

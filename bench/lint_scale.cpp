@@ -1,0 +1,161 @@
+// Workspace-lint scale bench: cold vs digest-cached re-lint of a
+// 1000-artifact tree — the committed record (BENCH_lint.json) of what the
+// incremental cache in src/lint/workspace.cpp buys.
+//
+//  1. cold:    every artifact parsed, every rule run, the fixpoint dataflow
+//              pass over every stream plane.
+//  2. cached:  the same tree again through the same analyzer — digests
+//              match, diagnostics replay, nothing re-parses.
+//  3. disk:    a fresh analyzer fed by save_cache/load_cache round-trip,
+//              the `fairflow-lint --workspace` re-run path.
+//  4. touch:   one artifact rewritten — exactly one re-parse, the
+//              incremental editing loop.
+//
+// Writes the table to BENCH_lint.json (path = argv[1] or the default
+// below). The generated tree is a realistic mixture: one catalog, and per
+// campaign a manifest + stream plane + journal that cross-reference each
+// other, so the cross-artifact passes resolve real symbols.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "lint/workspace.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+using namespace ff;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string manifest_text(size_t i) {
+  const std::string name = "campaign-" + std::to_string(i);
+  return "{\n"
+         "  \"name\": \"" + name + "\",\n"
+         "  \"app\": {\"name\": \"app\", \"executable\": \"bin/app\",\n"
+         "          \"args_template\": \"--x {{x}} --y {{y}}\"},\n"
+         "  \"stream_plane\": \"plane-" + std::to_string(i) + "\",\n"
+         "  \"groups\": [{\n"
+         "    \"name\": \"g\", \"nodes\": 1, \"walltime_s\": 3600,\n"
+         "    \"sweeps\": [{\"name\": \"s\", \"parameters\": [\n"
+         "      {\"name\": \"x\", \"layer\": \"app\", \"values\": [1, 2, 3]},\n"
+         "      {\"name\": \"y\", \"layer\": \"app\", \"values\": [4, 5]}\n"
+         "    ]}]\n"
+         "  }]\n"
+         "}\n";
+}
+
+std::string plane_text(size_t i) {
+  const std::string name = "plane-" + std::to_string(i);
+  return "{\n"
+         "  \"graph\": {\n"
+         "    \"name\": \"" + name + "\",\n"
+         "    \"components\": [\n"
+         "      {\"id\": \"src\", \"kind\": \"executable\",\n"
+         "       \"ports\": [{\"name\": \"out\", \"direction\": \"out\",\n"
+         "                  \"schema\": \"bp:frames:v1\", \"rate_hz\": 100}]},\n"
+         "      {\"id\": \"sink\", \"kind\": \"service\", \"service_hz\": 200,\n"
+         "       \"ports\": [{\"name\": \"in\", \"direction\": \"in\",\n"
+         "                  \"schema\": \"bp:frames:v1\"}]}\n"
+         "    ],\n"
+         "    \"edges\": [{\"from\": \"src.out\", \"to\": \"sink.in\"}]\n"
+         "  },\n"
+         "  \"queues\": [{\"queue\": \"q\", \"kind\": \"forward-all\",\n"
+         "              \"capacity\": 256, \"overflow\": \"block\"}]\n"
+         "}\n";
+}
+
+std::string journal_text(size_t i) {
+  return "{\"kind\":\"header\",\"schema\":2,\"campaign\":\"campaign-" +
+         std::to_string(i) + "\"}\n";
+}
+
+constexpr const char* kCatalog =
+    "{\n"
+    "  \"components\": [],\n"
+    "  \"schemas\": [{\"name\": \"frames\", \"version\": 1,\n"
+    "               \"container\": \"bp\",\n"
+    "               \"fields\": [{\"name\": \"seq\", \"type\": \"int\"}]}]\n"
+    "}\n";
+
+/// One catalog + per campaign a manifest, plane, and journal that resolve
+/// against each other: (artifacts - 1) / 3 campaigns.
+size_t generate_tree(const std::string& root, size_t artifacts) {
+  write_file(root + "/catalog.json", kCatalog);
+  size_t written = 1;
+  for (size_t i = 0; written + 3 <= artifacts; ++i) {
+    const std::string dir = root + "/c" + std::to_string(i);
+    std::filesystem::create_directories(dir);
+    write_file(dir + "/campaign.json", manifest_text(i));
+    write_file(dir + "/plane.json", plane_text(i));
+    write_file(dir + "/journal.jsonl", journal_text(i));
+    written += 3;
+  }
+  return written;
+}
+
+Json run(const std::string& label, lint::WorkspaceAnalyzer& analyzer,
+         const std::string& root) {
+  lint::WorkspaceStats stats;
+  const auto start = Clock::now();
+  const lint::LintReport report = analyzer.analyze(root, &stats);
+  const double elapsed = seconds_since(start);
+  Json row = Json::object();
+  row["label"] = label;
+  row["seconds"] = elapsed;
+  row["artifacts"] = static_cast<int64_t>(stats.artifacts);
+  row["reparsed"] = static_cast<int64_t>(stats.reparsed);
+  row["cached"] = static_cast<int64_t>(stats.cached);
+  row["findings"] = static_cast<int64_t>(report.size());
+  row["artifacts_per_s"] =
+      elapsed > 0 ? static_cast<double>(stats.artifacts) / elapsed : 0.0;
+  std::printf("%-12s %8.4f s  %5zu artifacts  %5zu reparsed  %5zu cached  "
+              "%zu findings\n",
+              label.c_str(), elapsed, stats.artifacts, stats.reparsed,
+              stats.cached, report.size());
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_lint.json";
+  const size_t target = 1000;
+
+  TempDir tree("lint-bench");
+  const size_t artifacts = generate_tree(tree.str(), target);
+  std::printf("workspace lint bench: %zu artifacts under %s\n", artifacts,
+              tree.str().c_str());
+
+  Json rows = Json::array();
+  lint::WorkspaceAnalyzer analyzer;
+  rows.push_back(run("cold", analyzer, tree.str()));
+  rows.push_back(run("cached", analyzer, tree.str()));
+
+  // The CLI re-run path: the cache round-trips through disk into a fresh
+  // analyzer (a different process, as far as the analyzer can tell).
+  TempDir scratch("lint-bench-cache");
+  const std::string cache_file = scratch.file("cache.json");
+  analyzer.save_cache(cache_file);
+  lint::WorkspaceAnalyzer reloaded;
+  reloaded.load_cache(cache_file);
+  rows.push_back(run("disk-cache", reloaded, tree.str()));
+
+  // The editing loop: touch one artifact, everything else replays.
+  write_file(tree.str() + "/c0/plane.json", plane_text(0) + "\n");
+  rows.push_back(run("touch-one", reloaded, tree.str()));
+
+  Json out = Json::object();
+  out["bench"] = "lint_scale";
+  out["artifacts"] = static_cast<int64_t>(artifacts);
+  out["rows"] = std::move(rows);
+  write_file_atomic(out_path, out.pretty() + "\n");
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,448 @@
+// The workspace-mode dataflow pass over one stream plane: worst-case
+// production rates and blocking-capacity constraints propagated over the
+// stream-graph IR to a fixed point. FF301's pure cycle check proves nothing
+// about acyclic graphs; this pass finds the feasible deadlocks and
+// starvation FF301 passes clean — reconverging blocking paths with
+// mismatched rates (FF610), components whose inbound rate exceeds their
+// declared service rate (FF611), and components no source can ever reach
+// (FF612).
+//
+// Rate lattice: Unknown < Known(hz) < Top (∞). Declared facts are optional
+// and additive — an out port may carry "rate_hz", a component "service_hz",
+// and a queue may bind to a graph edge via "edge": "a.p->b.q" to give that
+// edge the queue's capacity/overflow instead of the defaults. Joins only
+// move values up the lattice, and after a bounded number of rounds every
+// still-changing value is widened to Top, so the pass terminates on any
+// graph — cycles, self-loops, whatever an adversarial artifact declares.
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/workspace.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+namespace {
+
+struct Rate {
+  enum class State { Unknown, Known, Top };
+  State state = State::Unknown;
+  double hz = 0.0;
+
+  static Rate unknown() { return {}; }
+  static Rate known(double hz) { return {State::Known, hz}; }
+  static Rate top() { return {State::Top, 0.0}; }
+
+  bool operator==(const Rate& other) const {
+    return state == other.state &&
+           (state != State::Known || hz == other.hz);
+  }
+};
+
+/// Lattice join: the larger of the two (Top absorbs, Unknown is bottom).
+Rate join(const Rate& a, const Rate& b) {
+  if (a.state == Rate::State::Top || b.state == Rate::State::Top) {
+    return Rate::top();
+  }
+  if (a.state == Rate::State::Unknown) return b;
+  if (b.state == Rate::State::Unknown) return a;
+  return Rate::known(std::max(a.hz, b.hz));
+}
+
+/// Cap a rate at a service ceiling (min with a constant — monotone).
+Rate cap(const Rate& rate, double ceiling_hz) {
+  if (rate.state == Rate::State::Unknown) return rate;
+  if (rate.state == Rate::State::Top) return Rate::known(ceiling_hz);
+  return Rate::known(std::min(rate.hz, ceiling_hz));
+}
+
+std::string rate_text(const Rate& rate) {
+  switch (rate.state) {
+    case Rate::State::Unknown: return "unknown";
+    case Rate::State::Top: return "unbounded";
+    case Rate::State::Known: return format_double(rate.hz) + " rec/s";
+  }
+  return "?";
+}
+
+struct Component {
+  std::string id;
+  size_t index = 0;        // into graph.components[]
+  bool has_service = false;
+  double service_hz = 0.0;
+  std::map<std::string, double> declared_out;  // port name -> rate_hz
+};
+
+struct Edge {
+  size_t index = 0;  // into graph.edges[]
+  std::string from_comp, from_port, to_comp, to_port;
+  int64_t capacity = 256;      // mirrors check_queues' transport defaults
+  bool blocking = true;        // overflow "block"
+  double divide = 1.0;         // bound sample-every queues thin the stream
+  std::string json_path;       // "graph.edges[k]"
+};
+
+struct Endpoint {
+  std::string component, port;
+  bool ok = false;
+};
+
+Endpoint split_endpoint(const std::string& text) {
+  Endpoint endpoint;
+  const size_t dot = text.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == text.size()) {
+    return endpoint;
+  }
+  endpoint.component = text.substr(0, dot);
+  endpoint.port = text.substr(dot + 1);
+  endpoint.ok = true;
+  return endpoint;
+}
+
+/// BFS over component ids; returns the hop path a -> ... -> b as edge
+/// pointers, empty when unreachable (or a == b).
+std::vector<const Edge*> shortest_path(
+    const std::string& a, const std::string& b,
+    const std::map<std::string, std::vector<const Edge*>>& out_edges) {
+  std::map<std::string, const Edge*> arrived_via;
+  std::deque<std::string> frontier{a};
+  std::set<std::string> seen{a};
+  while (!frontier.empty() && !seen.count(b)) {
+    const std::string at = frontier.front();
+    frontier.pop_front();
+    auto it = out_edges.find(at);
+    if (it == out_edges.end()) continue;
+    for (const Edge* edge : it->second) {
+      if (seen.insert(edge->to_comp).second) {
+        arrived_via[edge->to_comp] = edge;
+        frontier.push_back(edge->to_comp);
+      }
+    }
+  }
+  std::vector<const Edge*> path;
+  if (!arrived_via.count(b)) return path;
+  for (std::string at = b; at != a;) {
+    const Edge* edge = arrived_via.at(at);
+    path.push_back(edge);
+    at = edge->from_comp;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+LintReport analyze_stream_dataflow(const Json& plane,
+                                   const JsonLocator& locator,
+                                   const std::string& file) {
+  LintReport report;
+  const Json* graph = plane.find_path("graph");
+  if (!graph || !graph->is_object()) return report;
+
+  // ---- the IR: components with their declared facts ----
+  std::map<std::string, Component> components;
+  const Json* comp_list = graph->find_path("components");
+  if (comp_list && comp_list->is_array()) {
+    for (size_t c = 0; c < comp_list->as_array().size(); ++c) {
+      const Json& entry = (*comp_list)[c];
+      if (!entry.is_object() || !entry.contains("id")) continue;
+      Component component;
+      component.id = entry["id"].as_string();
+      component.index = c;
+      if (entry.contains("service_hz") && entry["service_hz"].is_number() &&
+          entry["service_hz"].as_double() > 0) {
+        component.has_service = true;
+        component.service_hz = entry["service_hz"].as_double();
+      }
+      const Json* ports = entry.find_path("ports");
+      if (ports && ports->is_array()) {
+        for (const Json& port : ports->as_array()) {
+          if (!port.is_object() || !port.contains("name")) continue;
+          if (port.contains("rate_hz") && port["rate_hz"].is_number() &&
+              port["rate_hz"].as_double() > 0) {
+            component.declared_out[port["name"].as_string()] =
+                port["rate_hz"].as_double();
+          }
+        }
+      }
+      components.emplace(component.id, std::move(component));
+    }
+  }
+  if (components.empty()) return report;
+
+  // ---- structurally valid edges (FF305 handles the invalid ones) ----
+  std::vector<Edge> edges;
+  const Json* edge_list = graph->find_path("edges");
+  if (edge_list && edge_list->is_array()) {
+    for (size_t e = 0; e < edge_list->as_array().size(); ++e) {
+      const Json& entry = (*edge_list)[e];
+      if (!entry.is_object() || !entry.contains("from") ||
+          !entry.contains("to") || !entry["from"].is_string() ||
+          !entry["to"].is_string()) {
+        continue;
+      }
+      const Endpoint from = split_endpoint(entry["from"].as_string());
+      const Endpoint to = split_endpoint(entry["to"].as_string());
+      if (!from.ok || !to.ok || !components.count(from.component) ||
+          !components.count(to.component)) {
+        continue;
+      }
+      Edge edge;
+      edge.index = e;
+      edge.from_comp = from.component;
+      edge.from_port = from.port;
+      edge.to_comp = to.component;
+      edge.to_port = to.port;
+      edge.json_path = "graph.edges[" + std::to_string(e) + "]";
+      edges.push_back(std::move(edge));
+    }
+  }
+  if (edges.empty()) return report;
+
+  // ---- queue→edge bindings override the default transport ----
+  const Json* queues = plane.find_path("queues");
+  if (queues && queues->is_array()) {
+    for (const Json& queue : queues->as_array()) {
+      if (!queue.is_object()) continue;
+      const std::string binding = queue.get_or("edge", "");
+      const size_t arrow = binding.find("->");
+      if (arrow == std::string::npos) continue;
+      const std::string from = std::string(trim(binding.substr(0, arrow)));
+      const std::string to = std::string(trim(binding.substr(arrow + 2)));
+      for (Edge& edge : edges) {
+        if (edge.from_comp + "." + edge.from_port != from ||
+            edge.to_comp + "." + edge.to_port != to) {
+          continue;
+        }
+        if (queue.contains("capacity") && queue["capacity"].is_int() &&
+            queue["capacity"].as_int() > 0) {
+          edge.capacity = queue["capacity"].as_int();
+        }
+        edge.blocking = queue.get_or("overflow", "block") == "block";
+        if (queue.get_or("kind", "") == "sample-every") {
+          const Json args =
+              queue.contains("args") ? queue["args"] : Json::object();
+          const int64_t stride = args.get_or("stride", int64_t{1});
+          if (stride > 1) edge.divide = static_cast<double>(stride);
+        }
+      }
+    }
+  }
+
+  std::map<std::string, std::vector<const Edge*>> out_edges;
+  std::map<std::string, std::vector<const Edge*>> in_edges;
+  for (const Edge& edge : edges) {
+    out_edges[edge.from_comp].push_back(&edge);
+    in_edges[edge.to_comp].push_back(&edge);
+  }
+
+  // ---- FF612: reachability from the in-degree-0 sources ----
+  std::set<std::string> reachable;
+  std::deque<std::string> frontier;
+  for (const auto& [id, _] : components) {
+    if (!in_edges.count(id) && out_edges.count(id)) {
+      reachable.insert(id);
+      frontier.push_back(id);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::string at = frontier.front();
+    frontier.pop_front();
+    auto it = out_edges.find(at);
+    if (it == out_edges.end()) continue;
+    for (const Edge* edge : it->second) {
+      if (reachable.insert(edge->to_comp).second) {
+        frontier.push_back(edge->to_comp);
+      }
+    }
+  }
+  for (const auto& [id, component] : components) {
+    if (reachable.count(id)) continue;
+    const std::string path =
+        "graph.components[" + std::to_string(component.index) + "]";
+    const bool isolated = !in_edges.count(id) && !out_edges.count(id);
+    report.add("FF612", locator.locate(file, path),
+               isolated
+                   ? "component '" + id +
+                         "' is attached to no edge — it can never receive "
+                         "or produce data"
+                   : "component '" + id +
+                         "' is unreachable from every source (in-degree-0 "
+                         "component) of the communication graph",
+               isolated ? "wire the component into the graph or remove it"
+                        : "add a path from a source or remove the dead "
+                          "subgraph");
+  }
+
+  // ---- the fixpoint: per-edge worst-case rates ----
+  // out_rate(c) joins the declared port rate with the service-capped sum of
+  // inbound edge rates; edge rate divides by a bound sample-every stride.
+  // Monotone in every input, so iteration climbs the lattice; widening
+  // after `round_limit` rounds bounds cyclic graphs (a feedback loop whose
+  // rates keep climbing is exactly "unbounded" — Top).
+  std::map<const Edge*, Rate> edge_rate;
+  for (const Edge& edge : edges) edge_rate[&edge] = Rate::unknown();
+
+  auto inbound_rate = [&](const std::string& id) -> Rate {
+    auto it = in_edges.find(id);
+    if (it == in_edges.end()) return Rate::unknown();
+    Rate total = Rate::unknown();
+    for (const Edge* edge : it->second) {
+      const Rate rate = edge_rate.at(edge);
+      if (rate.state == Rate::State::Top) return Rate::top();
+      if (rate.state == Rate::State::Known) {
+        total = total.state == Rate::State::Known
+                    ? Rate::known(total.hz + rate.hz)
+                    : rate;
+      }
+    }
+    return total;
+  };
+
+  auto recompute = [&](const Edge& edge) -> Rate {
+    const Component& source = components.at(edge.from_comp);
+    Rate out = Rate::unknown();
+    auto declared = source.declared_out.find(edge.from_port);
+    if (declared != source.declared_out.end()) {
+      out = Rate::known(declared->second);
+    } else {
+      out = inbound_rate(edge.from_comp);
+      if (source.has_service) out = cap(out, source.service_hz);
+    }
+    if (out.state == Rate::State::Known && edge.divide > 1.0) {
+      out = Rate::known(out.hz / edge.divide);
+    }
+    return out;
+  };
+
+  const size_t round_limit = 2 * (components.size() + edges.size()) + 8;
+  bool widened = false;
+  for (size_t round = 0; round < 2 * round_limit + 2; ++round) {
+    bool changed = false;
+    std::set<const Edge*> moved;
+    for (const Edge& edge : edges) {
+      const Rate next = join(edge_rate.at(&edge), recompute(edge));
+      if (!(next == edge_rate.at(&edge))) {
+        edge_rate[&edge] = next;
+        moved.insert(&edge);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    if (round + 1 >= round_limit && !widened) {
+      // Still climbing past the bound: a cycle with gain. Widen every
+      // edge that moved this round to Top; Top is absorbing (service caps
+      // turn it into a fixed Known), so at most |V|+|E| rounds remain.
+      for (const Edge* edge : moved) edge_rate[edge] = Rate::top();
+      widened = true;
+    }
+  }
+
+  // ---- FF611: inbound rate vs declared service rate ----
+  for (const auto& [id, component] : components) {
+    if (!component.has_service) continue;
+    const Rate in = inbound_rate(id);
+    if (in.state != Rate::State::Known) continue;
+    if (in.hz <= component.service_hz * (1.0 + 1e-9)) continue;
+    const std::string path =
+        "graph.components[" + std::to_string(component.index) + "]";
+    Diagnostic& diagnostic = report.add(
+        "FF611", locator.locate(file, path),
+        "component '" + id + "' receives a worst-case " +
+            format_double(in.hz) + " rec/s but declares \"service_hz\": " +
+            format_double(component.service_hz) +
+            " — blocking inbound transports will throttle every producer "
+            "upstream; lossy ones will drop the difference steadily",
+        "raise \"service_hz\", thin the stream (sample-every), or lower "
+        "the producers' \"rate_hz\"");
+    for (const Edge* edge : in_edges.at(id)) {
+      diagnostic.related.push_back(locator.locate(file, edge->json_path));
+    }
+  }
+
+  // ---- FF610: reconverging blocking paths with mismatched rates ----
+  // A join fed by two blocking inbound edges whose branches reconverge from
+  // a common ancestor and carry *different* known rates is
+  // deadlock-feasible even when acyclic: the faster branch fills its
+  // bounded capacities and blocks the ancestor, while the join waits for
+  // the starved branch that the blocked ancestor can no longer feed.
+  for (const auto& [id, component] : components) {
+    auto inbound_it = in_edges.find(id);
+    if (inbound_it == in_edges.end() || inbound_it->second.size() < 2) {
+      continue;
+    }
+    bool reported = false;
+    const std::vector<const Edge*>& inbound = inbound_it->second;
+    for (size_t i = 0; i < inbound.size() && !reported; ++i) {
+      for (size_t j = i + 1; j < inbound.size() && !reported; ++j) {
+        const Edge* fast = inbound[i];
+        const Edge* slow = inbound[j];
+        if (!fast->blocking || !slow->blocking) continue;
+        if (fast->from_comp == slow->from_comp) continue;
+        Rate fast_rate = edge_rate.at(fast);
+        Rate slow_rate = edge_rate.at(slow);
+        if (fast_rate.state != Rate::State::Known ||
+            slow_rate.state != Rate::State::Known) {
+          continue;
+        }
+        if (fast_rate.hz < slow_rate.hz) {
+          std::swap(fast, slow);
+          std::swap(fast_rate, slow_rate);
+        }
+        if (fast_rate.hz <= slow_rate.hz * (1.0 + 1e-9)) continue;
+        // Reconvergence: some ancestor reaches both branch heads.
+        std::string ancestor;
+        for (const auto& [candidate, _] : components) {
+          const bool to_fast =
+              candidate == fast->from_comp ||
+              !shortest_path(candidate, fast->from_comp, out_edges).empty();
+          const bool to_slow =
+              candidate == slow->from_comp ||
+              !shortest_path(candidate, slow->from_comp, out_edges).empty();
+          if (to_fast && to_slow) {
+            ancestor = candidate;
+            break;  // components is ordered: smallest id wins
+          }
+        }
+        if (ancestor.empty()) continue;
+        const std::string path =
+            "graph.components[" + std::to_string(component.index) + "]";
+        Diagnostic& diagnostic = report.add(
+            "FF610", locator.locate(file, path),
+            "join '" + id + "' is fed by blocking paths reconverging from "
+                "'" + ancestor + "' at different worst-case rates (" +
+                rate_text(fast_rate) + " via '" + fast->from_comp +
+                "' vs " + rate_text(slow_rate) + " via '" + slow->from_comp +
+                "') — the faster branch can fill its capacity-" +
+                std::to_string(fast->capacity) +
+                " blocking channel and stall '" + ancestor +
+                "' while the join starves on the slower branch: deadlock is "
+                "feasible even though the graph is acyclic",
+            "balance the branch rates, give the faster branch a lossy "
+            "overflow policy, or size its capacity for the full burst");
+        // The offending paths, ancestor -> branch head -> join, as
+        // related locations (SARIF relatedLocations).
+        for (const Edge* head : {fast, slow}) {
+          for (const Edge* step :
+               shortest_path(ancestor, head->from_comp, out_edges)) {
+            diagnostic.related.push_back(
+                locator.locate(file, step->json_path));
+          }
+          diagnostic.related.push_back(
+              locator.locate(file, head->json_path));
+        }
+        reported = true;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ff::lint

@@ -24,6 +24,33 @@ Severity severity_from_name(std::string_view name) {
   throw NotFoundError("unknown severity '" + std::string(name) + "'");
 }
 
+namespace {
+
+Json location_to_json(const SourceLocation& location) {
+  Json out = Json::object();
+  if (!location.file.empty()) out["file"] = location.file;
+  if (location.known()) {
+    out["line"] = static_cast<int64_t>(location.line);
+    out["column"] = static_cast<int64_t>(location.column);
+  }
+  if (!location.json_path.empty()) out["path"] = location.json_path;
+  return out;
+}
+
+SourceLocation location_from_json(const Json& value) {
+  SourceLocation location;
+  if (!value.is_object()) {
+    throw ValidationError("lint: a serialized location must be an object");
+  }
+  location.file = value.get_or("file", "");
+  location.line = static_cast<size_t>(value.get_or("line", int64_t{0}));
+  location.column = static_cast<size_t>(value.get_or("column", int64_t{0}));
+  location.json_path = value.get_or("path", "");
+  return location;
+}
+
+}  // namespace
+
 Json Diagnostic::to_json() const {
   Json out = Json::object();
   out["code"] = code;
@@ -36,7 +63,33 @@ Json Diagnostic::to_json() const {
   }
   if (!location.json_path.empty()) out["path"] = location.json_path;
   if (!fixit.empty()) out["fixit"] = fixit;
+  if (!related.empty()) {
+    Json list = Json::array();
+    for (const SourceLocation& step : related) {
+      list.push_back(location_to_json(step));
+    }
+    out["related"] = std::move(list);
+  }
   return out;
+}
+
+Diagnostic diagnostic_from_json(const Json& value) {
+  if (!value.is_object() || !value.contains("code") ||
+      !value["code"].is_string()) {
+    throw ValidationError("lint: a serialized diagnostic needs a \"code\"");
+  }
+  Diagnostic diagnostic;
+  diagnostic.code = value["code"].as_string();
+  diagnostic.severity = severity_from_name(value.get_or("severity", "warning"));
+  diagnostic.message = value.get_or("message", "");
+  diagnostic.location = location_from_json(value);
+  diagnostic.fixit = value.get_or("fixit", "");
+  if (value.contains("related") && value["related"].is_array()) {
+    for (const Json& step : value["related"].as_array()) {
+      diagnostic.related.push_back(location_from_json(step));
+    }
+  }
+  return diagnostic;
 }
 
 const std::vector<RuleInfo>& rule_registry() {
@@ -119,6 +172,31 @@ const std::vector<RuleInfo>& rule_registry() {
        "a service request field has the wrong JSON type for its command"},
       {"FF505", "unknown-request-field", Severity::Warning, "service",
        "a service request carries a field its command does not define — the daemon ignores it"},
+      // -------------------------------------------------- workspace analysis
+      {"FF601", "dangling-workspace-reference", Severity::Error, "workspace",
+       "a manifest's \"model\"/\"stream_plane\" reference resolves to no "
+       "artifact in the workspace"},
+      {"FF602", "schema-crossref-unresolved", Severity::Error, "workspace",
+       "a stream plane names a record schema no catalog in the workspace "
+       "registers"},
+      {"FF603", "journal-triangle-broken", Severity::Error, "workspace",
+       "the journal↔manifest↔trace triangle is inconsistent: a journal or "
+       "trace names a campaign no workspace manifest defines"},
+      {"FF604", "gauge-claim-unbacked-workspace", Severity::Warning, "workspace",
+       "a component's declared DataSchema tier promises typed structure but "
+       "its port schema is registered nowhere in the workspace"},
+      // -------------------------------------------------- stream dataflow
+      {"FF610", "deadlock-feasible-reconvergence", Severity::Error,
+       "stream-dataflow",
+       "reconverging blocking paths carry different worst-case rates — the "
+       "faster branch can fill its bounded capacity and stall the shared "
+       "ancestor while the join waits on the starved branch"},
+      {"FF611", "rate-imbalance", Severity::Warning, "stream-dataflow",
+       "a component's worst-case inbound rate exceeds its declared service "
+       "rate — blocking transports throttle producers, lossy ones drop"},
+      {"FF612", "unreachable-component", Severity::Warning, "stream-dataflow",
+       "a component is unreachable from every source of the communication "
+       "graph — it can never receive data"},
   };
   return kRules;
 }
@@ -147,6 +225,15 @@ Diagnostic& LintReport::add(std::string_view code, SourceLocation location,
   return diagnostics_.back();
 }
 
+Diagnostic& LintReport::append(Diagnostic diagnostic) {
+  if (!find_rule(diagnostic.code)) {
+    throw NotFoundError("lint: rule code '" + diagnostic.code +
+                        "' is not in the registry");
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+  return diagnostics_.back();
+}
+
 size_t LintReport::count(Severity severity) const noexcept {
   size_t n = 0;
   for (const Diagnostic& diagnostic : diagnostics_) {
@@ -162,11 +249,26 @@ void LintReport::merge(LintReport other) {
 }
 
 void LintReport::remove_codes(const std::vector<std::string>& codes) {
+  for (const std::string& code : codes) {
+    if (!find_rule(code)) {
+      throw NotFoundError("lint: cannot disable unknown rule '" + code +
+                          "' — not in the registry");
+    }
+  }
   diagnostics_.erase(
       std::remove_if(diagnostics_.begin(), diagnostics_.end(),
                      [&](const Diagnostic& diagnostic) {
                        return std::find(codes.begin(), codes.end(),
                                         diagnostic.code) != codes.end();
+                     }),
+      diagnostics_.end());
+}
+
+void LintReport::filter(const std::function<bool(const Diagnostic&)>& keep) {
+  diagnostics_.erase(
+      std::remove_if(diagnostics_.begin(), diagnostics_.end(),
+                     [&](const Diagnostic& diagnostic) {
+                       return !keep(diagnostic);
                      }),
       diagnostics_.end());
 }

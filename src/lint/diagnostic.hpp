@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,15 +36,24 @@ struct SourceLocation {
 /// One finding: a stable rule code, a severity (defaulted from the rule
 /// registry, promotable by --werror), a message, a location, and an
 /// optional fix-it hint telling the user the cheapest way out.
+/// `related` carries secondary locations that explain the finding — the
+/// workspace dataflow pass uses it for the offending path through a stream
+/// graph (exported as SARIF relatedLocations).
 struct Diagnostic {
   std::string code;  // "FF201"
   Severity severity = Severity::Warning;
   std::string message;
   SourceLocation location;
   std::string fixit;  // empty when no mechanical remediation exists
+  std::vector<SourceLocation> related;
 
   Json to_json() const;
 };
+
+/// Inverse of Diagnostic::to_json, for the workspace digest cache (cached
+/// artifacts replay their serialized diagnostics without re-linting).
+/// Throws ValidationError on a shape to_json could not have produced.
+Diagnostic diagnostic_from_json(const Json& value);
 
 /// Static metadata of one rule — the single source of truth for rule codes.
 /// docs/lint_codes.md mirrors this table and tests/lint enforce that the
@@ -53,7 +63,8 @@ struct RuleInfo {
   std::string_view code;              // "FF201"
   std::string_view name;              // "undeclared-sweep-parameter"
   Severity default_severity;
-  std::string_view family;  // artifact | skel-model | campaign | stream-plane | gauge
+  std::string_view family;  // artifact | skel-model | campaign | stream-plane
+                            // | gauge | service | workspace | stream-dataflow
   std::string_view summary;           // one line, shown by --list-rules
 };
 
@@ -72,6 +83,11 @@ class LintReport {
   Diagnostic& add(std::string_view code, SourceLocation location,
                   std::string message, std::string fixit = "");
 
+  /// Append a fully formed diagnostic, keeping its severity and related
+  /// locations (the workspace cache replays findings this way). The code
+  /// must still be registered.
+  Diagnostic& append(Diagnostic diagnostic);
+
   const std::vector<Diagnostic>& diagnostics() const noexcept { return diagnostics_; }
   bool empty() const noexcept { return diagnostics_.empty(); }
   size_t size() const noexcept { return diagnostics_.size(); }
@@ -82,7 +98,12 @@ class LintReport {
   void merge(LintReport other);
 
   /// Drop diagnostics whose code is in `codes` (the --disable flag).
+  /// Throws NotFoundError on a code the registry does not know — a typo'd
+  /// --disable must be a usage error, not a silent no-op.
   void remove_codes(const std::vector<std::string>& codes);
+  /// Keep only diagnostics for which `keep` returns true (baseline
+  /// suppression, workspace-mode FF402 subsumption).
+  void filter(const std::function<bool(const Diagnostic&)>& keep);
   /// Promote every Warning to Error (the --werror flag).
   void promote_warnings();
   /// Stable presentation order: file, line, column, code, message.

@@ -18,6 +18,13 @@ namespace ff::lint {
 /// and never throws (the real parser reports FF001 separately). Object
 /// members are located at their *key* (that is what a user edits); array
 /// elements at the first character of the element value.
+///
+/// Columns are byte offsets, 1-based, and deliberately *byte-offset-stable*:
+/// every byte except '\n' advances the column by exactly one. A '\r' in a
+/// CRLF file counts as the line's last column (the next line still starts at
+/// column 1), and each byte of a multi-byte UTF-8 key advances the column —
+/// positions therefore agree with what editors and SARIF consumers compute
+/// from raw bytes, independent of display width or encoding normalization.
 class JsonLocator {
  public:
   /// Scan `text` once, recording a position for every addressable path.

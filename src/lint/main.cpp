@@ -1,27 +1,38 @@
 // fairflow-lint: pre-execution static analysis for workflow artifacts.
 //
 //   fairflow-lint [options] <path>...
+//   fairflow-lint --workspace [options] <dir>
 //
 // Paths may be JSON artifacts (Skel models, campaign manifests, stream
 // planes, metadata catalogs), .jsonl execution journals, or directories
-// (recursively scanned for both). Exit status: 0 clean (or warnings only),
-// 1 when any error-severity finding fired, 2 on usage errors.
+// (recursively scanned for both). `--workspace` loads every artifact under
+// one directory into a resolved symbol table and additionally runs the
+// cross-artifact passes (FF601-FF604) and the stream-graph fixpoint
+// dataflow pass (FF610-FF612), with digest-keyed incremental caching.
+// Exit status: 0 clean (or warnings only), 1 when any error-severity
+// finding fired, 2 on usage errors.
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "gwas/workflow.hpp"
 #include "lint/engine.hpp"
 #include "lint/sarif.hpp"
+#include "lint/workspace.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: fairflow-lint [options] <path>...\n"
+    "       fairflow-lint --workspace [options] <dir>\n"
     "\n"
     "Statically validate fairflow artifacts (Skel models, Cheetah campaign\n"
     "manifests, stream planes, metadata catalogs, savanna journals) before\n"
@@ -34,14 +45,44 @@ constexpr const char* kUsage =
     "  --min-run-s <seconds>        FF203 walltime floor per run (default 1.0)\n"
     "  --disable <FFxxx[,FFxxx]>    drop findings by rule code (repeatable)\n"
     "  --werror                     promote warnings to errors\n"
-    "  --list-rules                 print the rule registry and exit\n"
+    "  --workspace                  whole-workspace mode: cross-artifact\n"
+    "                               resolution + stream dataflow over one dir\n"
+    "  --baseline <old.sarif>       report only findings absent from a prior\n"
+    "                               SARIF log (fingerprint suppression)\n"
+    "  --cache <file>               workspace digest-cache location (default\n"
+    "                               <dir>/.fairflow-lint-cache.json)\n"
+    "  --no-cache                   disable the workspace digest cache\n"
+    "  --list-rules                 print the rule registry (sorted by code;\n"
+    "                               honors --format=jsonl) and exit\n"
     "  --help                       this message\n";
 
-int list_rules() {
+int list_rules(const std::string& format) {
+  std::vector<const ff::lint::RuleInfo*> rules;
   for (const ff::lint::RuleInfo& rule : ff::lint::rule_registry()) {
-    std::printf("%s  %-7s  %-28s  %s\n", std::string(rule.code).c_str(),
-                std::string(ff::lint::severity_name(rule.default_severity)).c_str(),
-                std::string(rule.name).c_str(), std::string(rule.summary).c_str());
+    rules.push_back(&rule);
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const ff::lint::RuleInfo* a, const ff::lint::RuleInfo* b) {
+              return a->code < b->code;
+            });
+  if (format == "jsonl") {
+    for (const ff::lint::RuleInfo* rule : rules) {
+      ff::Json entry = ff::Json::object();
+      entry["code"] = std::string(rule->code);
+      entry["name"] = std::string(rule->name);
+      entry["severity"] =
+          std::string(ff::lint::severity_name(rule->default_severity));
+      entry["family"] = std::string(rule->family);
+      entry["summary"] = std::string(rule->summary);
+      std::printf("%s\n", entry.dump().c_str());
+    }
+    return 0;
+  }
+  for (const ff::lint::RuleInfo* rule : rules) {
+    std::printf(
+        "%s  %-7s  %-28s  %s\n", std::string(rule->code).c_str(),
+        std::string(ff::lint::severity_name(rule->default_severity)).c_str(),
+        std::string(rule->name).c_str(), std::string(rule->summary).c_str());
   }
   return 0;
 }
@@ -56,9 +97,14 @@ int usage_error(const std::string& message) {
 int main(int argc, char** argv) {
   std::string format = "text";
   std::string output;
+  std::string baseline_path;
+  std::string cache_path;
   std::vector<std::string> disabled;
   std::vector<std::string> paths;
   bool werror = false;
+  bool workspace = false;
+  bool use_cache = true;
+  bool want_list_rules = false;
   ff::lint::LintEngine engine;
 
   for (int i = 1; i < argc; ++i) {
@@ -72,7 +118,7 @@ int main(int argc, char** argv) {
       std::fputs(kUsage, stdout);
       return 0;
     } else if (arg == "--list-rules") {
-      return list_rules();
+      want_list_rules = true;  // deferred so a later --format=jsonl applies
     } else if (arg == "--sarif") {
       format = "sarif";
     } else if (ff::starts_with(arg, "--format=")) {
@@ -96,7 +142,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--disable") {
       const char* value = next_value("--disable");
       if (!value) return usage_error("--disable needs a rule code");
-      for (const std::string& code : ff::split_nonempty(value, ',')) {
+      const std::vector<std::string> codes = ff::split_nonempty(value, ',');
+      if (codes.empty()) return usage_error("--disable needs a rule code");
+      for (const std::string& code : codes) {
         if (!ff::lint::find_rule(code)) {
           return usage_error("--disable: unknown rule '" + code + "'");
         }
@@ -104,21 +152,81 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--workspace") {
+      workspace = true;
+    } else if (arg == "--baseline") {
+      const char* value = next_value("--baseline");
+      if (!value) return usage_error("--baseline needs a SARIF file");
+      baseline_path = value;
+    } else if (arg == "--cache") {
+      const char* value = next_value("--cache");
+      if (!value) return usage_error("--cache needs a file argument");
+      cache_path = value;
+    } else if (arg == "--no-cache") {
+      use_cache = false;
     } else if (ff::starts_with(arg, "-")) {
       return usage_error("unknown option '" + arg + "'");
     } else {
       paths.push_back(arg);
     }
   }
+  if (want_list_rules) return list_rules(format);
   if (paths.empty()) return usage_error("no artifacts to lint");
 
-  // The built-in workflow: the Fig. 2 GWAS paste model/generator pair.
-  engine.register_model({"gwas-paste", ff::gwas::paste_model_schema(),
-                         ff::gwas::make_paste_generator()});
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    try {
+      baseline = ff::lint::sarif_fingerprints(ff::Json::parse_file(baseline_path));
+    } catch (const ff::Error& error) {
+      std::fprintf(stderr, "fairflow-lint: --baseline: %s\n", error.what());
+      return 2;
+    }
+  }
 
-  ff::lint::LintReport report = engine.lint_paths(paths);
+  ff::lint::LintReport report;
+  if (workspace) {
+    if (paths.size() != 1) {
+      return usage_error("--workspace takes exactly one directory");
+    }
+    std::error_code probe;
+    if (!std::filesystem::is_directory(paths[0], probe)) {
+      return usage_error("--workspace: '" + paths[0] + "' is not a directory");
+    }
+    ff::lint::WorkspaceAnalyzer analyzer;
+    analyzer.engine.campaign_options = engine.campaign_options;
+    analyzer.engine.register_model({"gwas-paste",
+                                    ff::gwas::paste_model_schema(),
+                                    ff::gwas::make_paste_generator()});
+    const std::string cache_file =
+        cache_path.empty()
+            ? (std::filesystem::path(paths[0]) / ".fairflow-lint-cache.json")
+                  .string()
+            : cache_path;
+    if (use_cache) analyzer.load_cache(cache_file);
+    ff::lint::WorkspaceStats stats;
+    report = analyzer.analyze(paths[0], &stats);
+    if (use_cache) {
+      try {
+        analyzer.save_cache(cache_file);
+      } catch (const ff::IoError& error) {
+        std::fprintf(stderr, "fairflow-lint: cache not saved: %s\n",
+                     error.what());
+      }
+    }
+    std::fprintf(stderr,
+                 "fairflow-lint: workspace %s: %zu artifacts "
+                 "(%zu re-parsed, %zu cached)\n",
+                 paths[0].c_str(), stats.artifacts, stats.reparsed,
+                 stats.cached);
+  } else {
+    // The built-in workflow: the Fig. 2 GWAS paste model/generator pair.
+    engine.register_model({"gwas-paste", ff::gwas::paste_model_schema(),
+                           ff::gwas::make_paste_generator()});
+    report = engine.lint_paths(paths);
+  }
   report.remove_codes(disabled);
   if (werror) report.promote_warnings();
+  ff::lint::apply_baseline(report, baseline);
   report.sort();
 
   std::string rendered;

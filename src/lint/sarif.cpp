@@ -15,6 +15,56 @@ std::string_view sarif_level(Severity severity) noexcept {
   return "none";
 }
 
+std::string fingerprint_of(const std::string& code, const std::string& file,
+                           const std::string& json_path,
+                           const std::string& message_text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const std::string* part : {&code, &file, &json_path, &message_text}) {
+    for (const char byte : *part) {
+      hash ^= static_cast<unsigned char>(byte);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0x1f;  // field separator
+    hash *= 1099511628211ull;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = hex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::string message_text_of(const Diagnostic& diagnostic) {
+  std::string text = diagnostic.message;
+  if (!diagnostic.fixit.empty()) text += " Fix: " + diagnostic.fixit;
+  return text;
+}
+
+Json location_to_sarif(const SourceLocation& location) {
+  Json artifact = Json::object();
+  artifact["uri"] = location.file;
+  Json physical = Json::object();
+  physical["artifactLocation"] = std::move(artifact);
+  if (location.known()) {
+    Json region = Json::object();
+    region["startLine"] = static_cast<int64_t>(location.line);
+    region["startColumn"] = static_cast<int64_t>(location.column);
+    physical["region"] = std::move(region);
+  }
+  Json out = Json::object();
+  out["physicalLocation"] = std::move(physical);
+  if (!location.json_path.empty()) {
+    Json logical = Json::object();
+    logical["fullyQualifiedName"] = location.json_path;
+    Json logical_list = Json::array();
+    logical_list.push_back(std::move(logical));
+    out["logicalLocations"] = std::move(logical_list);
+  }
+  return out;
+}
+
 }  // namespace
 
 Json to_sarif(const LintReport& report) {
@@ -54,35 +104,25 @@ Json to_sarif(const LintReport& report) {
         static_cast<int64_t>(rule_index.at(diagnostic.code));
     result["level"] = std::string(sarif_level(diagnostic.severity));
     Json message = Json::object();
-    std::string text = diagnostic.message;
-    if (!diagnostic.fixit.empty()) text += " Fix: " + diagnostic.fixit;
-    message["text"] = std::move(text);
+    message["text"] = message_text_of(diagnostic);
     result["message"] = std::move(message);
     if (!diagnostic.location.file.empty()) {
-      Json artifact = Json::object();
-      artifact["uri"] = diagnostic.location.file;
-      Json physical = Json::object();
-      physical["artifactLocation"] = std::move(artifact);
-      if (diagnostic.location.known()) {
-        Json region = Json::object();
-        region["startLine"] = static_cast<int64_t>(diagnostic.location.line);
-        region["startColumn"] =
-            static_cast<int64_t>(diagnostic.location.column);
-        physical["region"] = std::move(region);
-      }
-      Json location = Json::object();
-      location["physicalLocation"] = std::move(physical);
-      if (!diagnostic.location.json_path.empty()) {
-        Json logical = Json::object();
-        logical["fullyQualifiedName"] = diagnostic.location.json_path;
-        Json logical_list = Json::array();
-        logical_list.push_back(std::move(logical));
-        location["logicalLocations"] = std::move(logical_list);
-      }
       Json locations = Json::array();
-      locations.push_back(std::move(location));
+      locations.push_back(location_to_sarif(diagnostic.location));
       result["locations"] = std::move(locations);
     }
+    if (!diagnostic.related.empty()) {
+      // The offending path (the dataflow pass's ancestor→join walk) rides
+      // along as SARIF relatedLocations, in path order.
+      Json related = Json::array();
+      for (const SourceLocation& step : diagnostic.related) {
+        related.push_back(location_to_sarif(step));
+      }
+      result["relatedLocations"] = std::move(related);
+    }
+    Json fingerprints = Json::object();
+    fingerprints["fairflow/v1"] = diagnostic_fingerprint(diagnostic);
+    result["fingerprints"] = std::move(fingerprints);
     results.push_back(std::move(result));
   }
 
@@ -109,6 +149,67 @@ Json to_sarif(const LintReport& report) {
 
 std::string render_sarif(const LintReport& report) {
   return to_sarif(report).pretty() + "\n";
+}
+
+std::string diagnostic_fingerprint(const Diagnostic& diagnostic) {
+  return fingerprint_of(diagnostic.code, diagnostic.location.file,
+                        diagnostic.location.json_path,
+                        message_text_of(diagnostic));
+}
+
+std::set<std::string> sarif_fingerprints(const Json& sarif) {
+  std::set<std::string> out;
+  if (!sarif.is_object() || !sarif.contains("runs")) return out;
+  const Json& runs = sarif["runs"];
+  if (!runs.is_array()) return out;
+  for (const Json& run : runs.as_array()) {
+    if (!run.is_object() || !run.contains("results")) continue;
+    const Json& results = run["results"];
+    if (!results.is_array()) continue;
+    for (const Json& result : results.as_array()) {
+      if (!result.is_object()) continue;
+      if (const Json* stored = result.find_path("fingerprints");
+          stored && stored->is_object() && stored->contains("fairflow/v1") &&
+          (*stored)["fairflow/v1"].is_string()) {
+        out.insert((*stored)["fairflow/v1"].as_string());
+        continue;
+      }
+      // A baseline from another tool: rebuild the identity from the fields
+      // fingerprint_of hashes, reading them back out of the SARIF shape.
+      std::string code;
+      if (const Json* rule_id = result.find_path("ruleId");
+          rule_id && rule_id->is_string()) {
+        code = rule_id->as_string();
+      }
+      std::string file;
+      std::string json_path;
+      if (const Json* uri = result.find_path(
+              "locations[0].physicalLocation.artifactLocation.uri");
+          uri && uri->is_string()) {
+        file = uri->as_string();
+      }
+      if (const Json* fqn = result.find_path(
+              "locations[0].logicalLocations[0].fullyQualifiedName");
+          fqn && fqn->is_string()) {
+        json_path = fqn->as_string();
+      }
+      std::string message_text;
+      if (const Json* text = result.find_path("message.text");
+          text && text->is_string()) {
+        message_text = text->as_string();
+      }
+      out.insert(fingerprint_of(code, file, json_path, message_text));
+    }
+  }
+  return out;
+}
+
+void apply_baseline(LintReport& report,
+                    const std::set<std::string>& baseline) {
+  if (baseline.empty()) return;
+  report.filter([&baseline](const Diagnostic& diagnostic) {
+    return baseline.count(diagnostic_fingerprint(diagnostic)) == 0;
+  });
 }
 
 }  // namespace ff::lint

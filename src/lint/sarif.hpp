@@ -1,5 +1,6 @@
 #pragma once
 
+#include <set>
 #include <string>
 
 #include "lint/diagnostic.hpp"
@@ -10,10 +11,28 @@ namespace ff::lint {
 /// Render a report as a SARIF 2.1.0 log (the interchange format CI systems
 /// use for inline code annotations). One run; `tool.driver.rules` lists only
 /// the rules that actually fired, and each result carries a `ruleIndex` into
-/// that list plus a physical location when the finding has one.
+/// that list, a physical location when the finding has one,
+/// `relatedLocations` mirroring Diagnostic::related (the dataflow pass's
+/// offending paths), and a `fingerprints` entry for baseline suppression.
 Json to_sarif(const LintReport& report);
 
 /// Pretty-printed `to_sarif` with a trailing newline.
 std::string render_sarif(const LintReport& report);
+
+/// The stable identity of one finding for `--baseline`: an FNV-1a/64 hex of
+/// code, file, json path, and message (the same bytes a SARIF result's
+/// message.text carries, fix-it suffix included) — line/column free, so a
+/// reformatted artifact keeps its suppressions.
+std::string diagnostic_fingerprint(const Diagnostic& diagnostic);
+
+/// Collect every result fingerprint from a SARIF log produced by to_sarif.
+/// Results missing the "fairflow/v1" fingerprint (a baseline from another
+/// tool) are recomputed from ruleId + locations + message so suppression
+/// still works.
+std::set<std::string> sarif_fingerprints(const Json& sarif);
+
+/// Drop every finding whose fingerprint is in `baseline` — the report then
+/// carries only *new* findings (the CI ratchet).
+void apply_baseline(LintReport& report, const std::set<std::string>& baseline);
 
 }  // namespace ff::lint

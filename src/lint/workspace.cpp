@@ -1,0 +1,624 @@
+#include "lint/workspace.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace ff::lint {
+namespace {
+
+/// FNV-1a/64 over raw bytes — the same digest family the savanna journal
+/// uses for run sets, cheap enough to hash a whole workspace per lint.
+std::string fnv64_hex(std::initializer_list<const std::string*> parts) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const std::string* part : parts) {
+    for (const char byte : *part) {
+      hash ^= static_cast<unsigned char>(byte);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xff;  // separator so ("ab","c") and ("a","bc") differ
+    hash *= 1099511628211ull;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = hex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+ArtifactKind kind_from_name(std::string_view name) {
+  for (ArtifactKind kind :
+       {ArtifactKind::Unknown, ArtifactKind::SkelModel,
+        ArtifactKind::CampaignManifest, ArtifactKind::StreamPlane,
+        ArtifactKind::Catalog, ArtifactKind::Journal,
+        ArtifactKind::ServiceRequest}) {
+    if (artifact_kind_name(kind) == name) return kind;
+  }
+  return ArtifactKind::Unknown;
+}
+
+Json location_to_json(const SourceLocation& location) {
+  Json out = Json::object();
+  out["file"] = location.file;
+  out["line"] = static_cast<int64_t>(location.line);
+  out["column"] = static_cast<int64_t>(location.column);
+  out["path"] = location.json_path;
+  return out;
+}
+
+SourceLocation location_from_json(const Json& value) {
+  SourceLocation location;
+  location.file = value.get_or("file", "");
+  location.line = static_cast<size_t>(value.get_or("line", int64_t{0}));
+  location.column = static_cast<size_t>(value.get_or("column", int64_t{0}));
+  location.json_path = value.get_or("path", "");
+  return location;
+}
+
+Json refs_to_json(const std::vector<SymbolRef>& refs) {
+  Json list = Json::array();
+  for (const SymbolRef& ref : refs) {
+    Json entry = Json::object();
+    entry["value"] = ref.value;
+    entry["loc"] = location_to_json(ref.location);
+    list.push_back(std::move(entry));
+  }
+  return list;
+}
+
+std::vector<SymbolRef> refs_from_json(const Json& parent, const char* key) {
+  std::vector<SymbolRef> refs;
+  const Json* list = parent.find_path(key);
+  if (!list || !list->is_array()) return refs;
+  for (const Json& entry : list->as_array()) {
+    SymbolRef ref;
+    ref.value = entry.get_or("value", "");
+    if (entry.contains("loc")) ref.location = location_from_json(entry["loc"]);
+    refs.push_back(std::move(ref));
+  }
+  return refs;
+}
+
+/// Same resolution rule as rules_gauge: ports carry "container:name:vN",
+/// catalogs key "name:vN" — exact match or ":"-separated suffix.
+bool schema_resolves(const std::string& port_schema,
+                     const std::set<std::string>& keys) {
+  if (keys.count(port_schema)) return true;
+  for (const std::string& key : keys) {
+    if (ends_with(port_schema, ":" + key)) return true;
+  }
+  return false;
+}
+
+bool is_hidden_basename(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  return !name.empty() && name.front() == '.';
+}
+
+/// The obs trace envelope: {"seq","ts","clock","kind","cat","name",...}.
+/// A .jsonl whose first record carries that shape is a trace stream, not a
+/// savanna journal — running the FF205 journal checks over it would be a
+/// stream of false positives.
+bool looks_like_trace(const Json& first_line) {
+  return first_line.is_object() && first_line.contains("seq") &&
+         first_line.contains("kind") && first_line.contains("name");
+}
+
+void extract_symbols(const Json& document, const JsonLocator& locator,
+                     const std::string& path, ArtifactInfo& info) {
+  switch (info.kind) {
+    case ArtifactKind::SkelModel: {
+      if (document["$model-schema"].is_string()) {
+        info.name = document["$model-schema"].as_string();
+        info.name_loc = locator.locate(path, "$model-schema");
+      }
+      break;
+    }
+    case ArtifactKind::CampaignManifest: {
+      info.name = document.get_or("name", "");
+      info.name_loc = locator.locate(path, "name");
+      for (const char* key : {"model", "stream_plane"}) {
+        const Json* ref = document.find_path(key);
+        if (!ref || !ref->is_string()) continue;
+        SymbolRef symbol{ref->as_string(), locator.locate(path, key)};
+        (std::string_view(key) == "model" ? info.model_refs
+                                          : info.plane_refs)
+            .push_back(std::move(symbol));
+      }
+      break;
+    }
+    case ArtifactKind::StreamPlane: {
+      const Json* graph_name = document.find_path("graph.name");
+      if (graph_name && graph_name->is_string()) {
+        info.name = graph_name->as_string();
+      }
+      info.name_loc = locator.locate(path, "graph.name");
+      const Json* components = document.find_path("graph.components");
+      if (components && components->is_array()) {
+        for (size_t c = 0; c < components->as_array().size(); ++c) {
+          const Json& component = (*components)[c];
+          if (!component.is_object()) continue;
+          const std::string base =
+              "graph.components[" + std::to_string(c) + "]";
+          const Json* tier_value = component.find_path("gauges.schema.tier");
+          const int64_t tier =
+              tier_value && tier_value->is_int() ? tier_value->as_int() : 0;
+          const Json* ports = component.find_path("ports");
+          if (!ports || !ports->is_array()) continue;
+          for (size_t p = 0; p < ports->as_array().size(); ++p) {
+            const Json& port = (*ports)[p];
+            if (!port.is_object()) continue;
+            const std::string schema = port.get_or("schema", "");
+            if (schema.empty()) continue;
+            const SourceLocation loc = locator.locate(
+                path, base + ".ports[" + std::to_string(p) + "].schema");
+            info.schema_refs.push_back({schema, loc});
+            if (tier >= 3) {
+              info.gauge_claims.push_back(
+                  {component.get_or("id", "<anonymous>"), schema, loc});
+            }
+          }
+        }
+      }
+      const Json* queues = document.find_path("queues");
+      if (queues && queues->is_array()) {
+        for (size_t q = 0; q < queues->as_array().size(); ++q) {
+          const Json& queue = (*queues)[q];
+          if (!queue.is_object()) continue;
+          const std::string schema = queue.get_or("schema", "");
+          if (schema.empty()) continue;
+          info.schema_refs.push_back(
+              {schema, locator.locate(
+                           path, "queues[" + std::to_string(q) + "].schema")});
+        }
+      }
+      break;
+    }
+    case ArtifactKind::Catalog: {
+      const Json* schemas = document.find_path("schemas");
+      if (schemas && schemas->is_array()) {
+        for (size_t s = 0; s < schemas->as_array().size(); ++s) {
+          const Json& schema = (*schemas)[s];
+          if (!schema.is_object() || !schema.contains("name")) continue;
+          const std::string key =
+              schema["name"].as_string() + ":v" +
+              std::to_string(schema.get_or("version", int64_t{1}));
+          info.schema_defs.push_back(
+              {key, locator.locate(
+                        path, "schemas[" + std::to_string(s) + "].name")});
+        }
+      }
+      const Json* components = document.find_path("components");
+      if (components && components->is_array()) {
+        for (size_t c = 0; c < components->as_array().size(); ++c) {
+          const Json& component = (*components)[c];
+          if (!component.is_object()) continue;
+          const Json* tier_value = component.find_path("gauges.schema.tier");
+          if (!tier_value || !tier_value->is_int() ||
+              tier_value->as_int() < 3) {
+            continue;
+          }
+          const Json* ports = component.find_path("ports");
+          if (!ports || !ports->is_array()) continue;
+          for (size_t p = 0; p < ports->as_array().size(); ++p) {
+            const Json& port = (*ports)[p];
+            if (!port.is_object()) continue;
+            const std::string schema = port.get_or("schema", "");
+            if (schema.empty()) continue;
+            info.gauge_claims.push_back(
+                {component.get_or("id", "<anonymous>"), schema,
+                 locator.locate(path, "components[" + std::to_string(c) +
+                                          "].ports[" + std::to_string(p) +
+                                          "].schema")});
+          }
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Json ArtifactInfo::to_json() const {
+  Json out = Json::object();
+  out["path"] = path;
+  out["digest"] = digest;
+  out["kind"] = std::string(artifact_kind_name(kind));
+  out["trace"] = is_trace;
+  out["name"] = name;
+  out["name_loc"] = location_to_json(name_loc);
+  out["schema_defs"] = refs_to_json(schema_defs);
+  out["schema_refs"] = refs_to_json(schema_refs);
+  out["model_refs"] = refs_to_json(model_refs);
+  out["plane_refs"] = refs_to_json(plane_refs);
+  out["campaign_refs"] = refs_to_json(campaign_refs);
+  Json claims = Json::array();
+  for (const GaugeClaim& claim : gauge_claims) {
+    Json entry = Json::object();
+    entry["component"] = claim.component;
+    entry["schema"] = claim.port_schema;
+    entry["loc"] = location_to_json(claim.location);
+    claims.push_back(std::move(entry));
+  }
+  out["gauge_claims"] = std::move(claims);
+  Json findings = Json::array();
+  for (const Diagnostic& diagnostic : diagnostics) {
+    findings.push_back(diagnostic.to_json());
+  }
+  out["diagnostics"] = std::move(findings);
+  return out;
+}
+
+ArtifactInfo ArtifactInfo::from_json(const Json& value) {
+  ArtifactInfo info;
+  info.path = value.get_or("path", "");
+  info.digest = value.get_or("digest", "");
+  info.kind = kind_from_name(value.get_or("kind", "unknown"));
+  info.is_trace = value.get_or("trace", false);
+  info.name = value.get_or("name", "");
+  if (value.contains("name_loc")) {
+    info.name_loc = location_from_json(value["name_loc"]);
+  }
+  info.schema_defs = refs_from_json(value, "schema_defs");
+  info.schema_refs = refs_from_json(value, "schema_refs");
+  info.model_refs = refs_from_json(value, "model_refs");
+  info.plane_refs = refs_from_json(value, "plane_refs");
+  info.campaign_refs = refs_from_json(value, "campaign_refs");
+  const Json* claims = value.find_path("gauge_claims");
+  if (claims && claims->is_array()) {
+    for (const Json& entry : claims->as_array()) {
+      GaugeClaim claim;
+      claim.component = entry.get_or("component", "");
+      claim.port_schema = entry.get_or("schema", "");
+      if (entry.contains("loc")) {
+        claim.location = location_from_json(entry["loc"]);
+      }
+      info.gauge_claims.push_back(std::move(claim));
+    }
+  }
+  const Json* findings = value.find_path("diagnostics");
+  if (findings && findings->is_array()) {
+    for (const Json& entry : findings->as_array()) {
+      info.diagnostics.push_back(diagnostic_from_json(entry));
+    }
+  }
+  return info;
+}
+
+ArtifactInfo WorkspaceAnalyzer::analyze_file(const std::string& path,
+                                             WorkspaceStats* stats) {
+  ArtifactInfo info;
+  info.path = path;
+
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const IoError& error) {
+    LintReport report;
+    report.add("FF001", SourceLocation{path, 0, 0, ""},
+               std::string("cannot read file: ") + error.what());
+    info.diagnostics = report.diagnostics();
+    if (stats) ++stats->reparsed;
+    return info;
+  }
+
+  const bool jsonl = ends_with(path, ".jsonl");
+  Json manifest_hint;
+  std::string manifest_path;
+  std::string manifest_text;
+  if (jsonl) {
+    // A journal's findings depend on the sibling manifest too, so the
+    // digest must cover both — otherwise editing manifest.json would
+    // replay stale journal diagnostics from the cache.
+    const std::filesystem::path sibling =
+        std::filesystem::path(path).parent_path() / "manifest.json";
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(sibling, ec)) {
+      try {
+        manifest_text = read_file(sibling.string());
+        manifest_hint = Json::parse(manifest_text);
+        manifest_path = sibling.string();
+      } catch (const Error&) {
+        manifest_hint = Json();  // it gets its own FF001 when linted directly
+      }
+    }
+  }
+  info.digest = fnv64_hex({&text, &manifest_text});
+
+  auto cached = cache_.find(path);
+  if (cached != cache_.end() && cached->second.digest == info.digest) {
+    if (stats) ++stats->cached;
+    return cached->second;
+  }
+  if (stats) ++stats->reparsed;
+
+  if (jsonl) {
+    // Trace streams share the .jsonl extension with journals; route by the
+    // envelope of the first record instead of false-positiving FF205.
+    Json first;
+    bool first_parsed = false;
+    const size_t newline = text.find('\n');
+    const std::string head = text.substr(0, newline);
+    if (!trim(head).empty()) {
+      try {
+        first = Json::parse(head);
+        first_parsed = true;
+      } catch (const Error&) {
+      }
+    }
+    if (first_parsed && looks_like_trace(first)) {
+      info.is_trace = true;
+      LintReport report;
+      size_t line_no = 0;
+      size_t offset = 0;
+      while (offset <= text.size()) {
+        const size_t end = text.find('\n', offset);
+        const std::string line =
+            text.substr(offset, end == std::string::npos ? std::string::npos
+                                                         : end - offset);
+        ++line_no;
+        if (!trim(line).empty()) {
+          try {
+            const Json event = Json::parse(line);
+            const Json* campaign = event.find_path("args.campaign");
+            if (campaign && campaign->is_string()) {
+              info.campaign_refs.push_back(
+                  {campaign->as_string(),
+                   SourceLocation{path, line_no, 1, "args.campaign"}});
+            }
+          } catch (const Error& error) {
+            report.add("FF001", SourceLocation{path, line_no, 1, ""},
+                       "trace line is not parseable JSON: " +
+                           std::string(error.what()));
+          }
+        }
+        if (end == std::string::npos) break;
+        offset = end + 1;
+      }
+      info.diagnostics = report.diagnostics();
+    } else {
+      info.kind = ArtifactKind::Journal;
+      const LintReport report = lint_journal_text(
+          text, path, manifest_hint,
+          manifest_path.empty() ? "manifest.json" : manifest_path);
+      info.diagnostics = report.diagnostics();
+      if (first_parsed && first.is_object() &&
+          first.contains("campaign") && first["campaign"].is_string()) {
+        info.campaign_refs.push_back(
+            {first["campaign"].as_string(),
+             SourceLocation{path, 1, 1, "campaign"}});
+      }
+    }
+  } else {
+    LintReport report = engine.lint_text(text, path);
+    Json document;
+    bool parsed = false;
+    try {
+      document = Json::parse(text);
+      parsed = true;
+    } catch (const Error&) {
+    }
+    if (parsed) {
+      const JsonLocator locator = JsonLocator::scan(text);
+      info.kind = detect_kind(document);
+      extract_symbols(document, locator, path, info);
+      if (info.kind == ArtifactKind::StreamPlane) {
+        report.merge(analyze_stream_dataflow(document, locator, path));
+      }
+    }
+    // FF604 checks the same claim against the *union* of every catalog, so
+    // the single-catalog FF402 finding is subsumed in workspace mode (and
+    // would false-positive when another catalog registers the schema).
+    report.filter([](const Diagnostic& diagnostic) {
+      return diagnostic.code != "FF402";
+    });
+    info.diagnostics = report.diagnostics();
+  }
+
+  cache_[path] = info;
+  return info;
+}
+
+void WorkspaceAnalyzer::cross_artifact_passes(
+    const std::vector<const ArtifactInfo*>& artifacts,
+    LintReport& report) const {
+  std::set<std::string> model_names;
+  std::set<std::string> plane_names;
+  std::set<std::string> manifest_names;
+  std::set<std::string> schema_keys;
+  bool any_catalog = false;
+  for (const ArtifactInfo* info : artifacts) {
+    switch (info->kind) {
+      case ArtifactKind::SkelModel:
+        if (!info->name.empty()) model_names.insert(info->name);
+        break;
+      case ArtifactKind::CampaignManifest:
+        if (!info->name.empty()) manifest_names.insert(info->name);
+        break;
+      case ArtifactKind::StreamPlane:
+        if (!info->name.empty()) plane_names.insert(info->name);
+        break;
+      case ArtifactKind::Catalog:
+        any_catalog = true;
+        break;
+      default:
+        break;
+    }
+    for (const SymbolRef& def : info->schema_defs) {
+      schema_keys.insert(def.value);
+    }
+  }
+
+  for (const ArtifactInfo* info : artifacts) {
+    // FF601: manifest workspace references must resolve.
+    for (const SymbolRef& ref : info->model_refs) {
+      if (model_names.count(ref.value)) continue;
+      report.add("FF601", ref.location,
+                 "manifest references model '" + ref.value +
+                     "' but no artifact in the workspace declares "
+                     "\"$model-schema\": \"" + ref.value + "\"",
+                 "add the model artifact to the workspace or fix the "
+                 "\"model\" reference");
+    }
+    for (const SymbolRef& ref : info->plane_refs) {
+      if (plane_names.count(ref.value)) continue;
+      report.add("FF601", ref.location,
+                 "manifest references stream plane '" + ref.value +
+                     "' but no stream-plane artifact in the workspace has "
+                     "\"graph\": {\"name\": \"" + ref.value + "\"}",
+                 "add the plane artifact to the workspace or fix the "
+                 "\"stream_plane\" reference");
+    }
+
+    // FF602: plane schema references vs the union of workspace catalogs
+    // (only meaningful once the workspace carries at least one catalog).
+    if (info->kind == ArtifactKind::StreamPlane && any_catalog) {
+      std::set<std::string> seen;
+      for (const SymbolRef& ref : info->schema_refs) {
+        if (!seen.insert(ref.value).second) continue;
+        if (schema_resolves(ref.value, schema_keys)) continue;
+        report.add("FF602", ref.location,
+                   "stream plane references record schema '" + ref.value +
+                       "' but no catalog in the workspace registers it",
+                   "add the schema to a catalog's \"schemas\" or fix the "
+                   "reference");
+      }
+    }
+
+    // FF603: the journal↔manifest↔trace triangle — every campaign a
+    // journal or trace names must have a manifest in the workspace.
+    if (info->kind == ArtifactKind::Journal || info->is_trace) {
+      std::set<std::string> seen;
+      for (const SymbolRef& ref : info->campaign_refs) {
+        if (!seen.insert(ref.value).second) continue;
+        if (manifest_names.count(ref.value)) continue;
+        report.add("FF603", ref.location,
+                   std::string(info->is_trace ? "trace" : "journal") +
+                       " names campaign '" + ref.value +
+                       "' but no campaign manifest in the workspace "
+                       "defines it — the provenance triangle "
+                       "(journal↔manifest↔trace) cannot be closed",
+                   "bundle the campaign's manifest with its journal and "
+                   "trace, or fix the campaign name");
+      }
+    }
+
+    // FF604: tier >= 3 schema claims vs every catalog in the workspace.
+    for (const ArtifactInfo::GaugeClaim& claim : info->gauge_claims) {
+      if (schema_resolves(claim.port_schema, schema_keys)) continue;
+      report.add("FF604", claim.location,
+                 "component '" + claim.component +
+                     "' declares DataSchema tier >= 3 (TypedStructure) but "
+                     "port schema '" + claim.port_schema +
+                     "' is registered by no catalog anywhere in the "
+                     "workspace",
+                 "register the schema descriptor in a workspace catalog or "
+                 "lower the declared tier");
+    }
+  }
+}
+
+LintReport WorkspaceAnalyzer::analyze(const std::string& root,
+                                      WorkspaceStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (is_hidden_basename(entry.path())) continue;
+    const std::string name = entry.path().string();
+    if (ends_with(name, ".json") || ends_with(name, ".jsonl")) {
+      files.push_back(name);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  LintReport report;
+  std::vector<const ArtifactInfo*> artifacts;
+  artifacts.reserve(files.size());
+  std::vector<ArtifactInfo> analyzed;
+  analyzed.reserve(files.size());
+  for (const std::string& file : files) {
+    analyzed.push_back(analyze_file(file, stats));
+  }
+  for (const ArtifactInfo& info : analyzed) {
+    artifacts.push_back(&info);
+    for (const Diagnostic& diagnostic : info.diagnostics) {
+      report.append(diagnostic);
+    }
+  }
+  if (stats) stats->artifacts = files.size();
+
+  cross_artifact_passes(artifacts, report);
+  report.sort();
+  return report;
+}
+
+LintReport WorkspaceAnalyzer::lint_manifest_cached(const Json& manifest,
+                                                   const std::string& file,
+                                                   WorkspaceStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string text = manifest.pretty();
+  const std::string digest = fnv64_hex({&text, &file});
+  auto it = manifest_cache_.find(file);
+  if (it != manifest_cache_.end() && it->second.digest == digest) {
+    if (stats) ++stats->cached;
+  } else {
+    if (stats) ++stats->reparsed;
+    const LintReport report =
+        lint_campaign_manifest(manifest, JsonLocator::scan(text), file,
+                               engine.campaign_options);
+    manifest_cache_[file] = {digest, report.diagnostics()};
+    it = manifest_cache_.find(file);
+  }
+  LintReport out;
+  for (const Diagnostic& diagnostic : it->second.diagnostics) {
+    out.append(diagnostic);
+  }
+  return out;
+}
+
+void WorkspaceAnalyzer::load_cache(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  try {
+    const Json document = Json::parse_file(path);
+    const Json* entries = document.find_path("artifacts");
+    if (!entries || !entries->is_object()) return;
+    for (const auto& [key, value] : entries->as_object()) {
+      cache_[key] = ArtifactInfo::from_json(value);
+    }
+  } catch (const Error&) {
+    cache_.clear();  // corrupt or missing: everything re-parses, no error
+  }
+}
+
+void WorkspaceAnalyzer::save_cache(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json entries = Json::object();
+  for (const auto& [key, info] : cache_) {
+    entries[key] = info.to_json();
+  }
+  Json document = Json::object();
+  document["version"] = int64_t{1};
+  document["artifacts"] = std::move(entries);
+  write_file_atomic(path, document.dump() + "\n");
+}
+
+size_t WorkspaceAnalyzer::cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace ff::lint {
+
+/// One recorded symbol occurrence: the value (a schema key, an artifact
+/// name, a campaign id) plus where it sits in its artifact. Serialized into
+/// the digest cache so cross-artifact findings keep precise locations even
+/// when the artifact itself was not re-parsed this run.
+struct SymbolRef {
+  std::string value;
+  SourceLocation location;
+};
+
+/// Everything the workspace analyzer remembers about one artifact after a
+/// parse: identity, the names it defines, and the names it references.
+/// This — not the raw JSON — is what the cross-artifact passes resolve
+/// against, and what the digest cache persists.
+struct ArtifactInfo {
+  std::string path;
+  std::string digest;  // FNV-1a/64 over the raw bytes (plus sibling manifest
+                       // bytes for journals — their findings depend on both)
+  ArtifactKind kind = ArtifactKind::Unknown;
+  bool is_trace = false;  // .jsonl with the obs trace envelope, not a journal
+
+  std::string name;         // model schema / campaign / graph name
+  SourceLocation name_loc;
+  std::vector<SymbolRef> schema_defs;    // catalogs: "name:vN" keys
+  std::vector<SymbolRef> schema_refs;    // planes: port + queue schemas
+  std::vector<SymbolRef> model_refs;     // manifests: optional "model"
+  std::vector<SymbolRef> plane_refs;     // manifests: optional "stream_plane"
+  std::vector<SymbolRef> campaign_refs;  // journal header / trace args
+  /// DataSchema-tier >= 3 claims: component id + port schema + location,
+  /// checked against the union of every catalog in the workspace (FF604).
+  struct GaugeClaim {
+    std::string component;
+    std::string port_schema;
+    SourceLocation location;
+  };
+  std::vector<GaugeClaim> gauge_claims;
+
+  std::vector<Diagnostic> diagnostics;  // per-file findings, replayable
+
+  Json to_json() const;
+  static ArtifactInfo from_json(const Json& value);
+};
+
+/// Counters analyze() fills so callers (the CLI's stderr summary, the bench,
+/// cache tests) can see the digest cache working.
+struct WorkspaceStats {
+  size_t artifacts = 0;
+  size_t reparsed = 0;  // digest misses: full parse + rule run
+  size_t cached = 0;    // digest hits: diagnostics replayed from the cache
+};
+
+/// Whole-workspace semantic analysis: every *.json / *.jsonl artifact under
+/// a root directory is loaded into one resolved symbol table, per-file
+/// linting delegates to the LintEngine, and cross-artifact passes run on
+/// top:
+///
+///   FF601  manifest "model"/"stream_plane" references that resolve to no
+///          workspace artifact
+///   FF602  plane schema references no workspace catalog registers
+///   FF603  journal/trace campaigns with no matching workspace manifest
+///   FF604  DataSchema tier >= 3 claims unbacked by any catalog (the
+///          workspace-wide form of FF402, which it subsumes in this mode)
+///   FF610/FF611/FF612  the fixpoint dataflow pass over every stream-graph
+///          IR (analysis_stream.cpp) — rates and blocking-capacity
+///          constraints propagated to a fixed point
+///
+/// Incrementality: artifacts are keyed by a content digest; an unchanged
+/// artifact replays its serialized diagnostics and symbols without being
+/// re-read into the parser. The cache round-trips through JSON
+/// (load_cache/save_cache) so CLI re-runs and the fairflowd daemon share
+/// the same format; analyze() is internally locked so concurrent service
+/// sessions can share one analyzer.
+class WorkspaceAnalyzer {
+ public:
+  /// The per-file engine: model registrations and campaign options applied
+  /// to every artifact. Mutate before the first analyze() call.
+  LintEngine engine;
+
+  /// Files whose basename starts with '.' are skipped (the cache file
+  /// itself lives in the workspace); hidden *directories* (.campaign/) are
+  /// still walked because the cheetah layout keeps manifests there.
+  LintReport analyze(const std::string& root, WorkspaceStats* stats = nullptr);
+
+  /// Tolerant cache I/O: a missing or corrupt cache file loads as empty
+  /// (worst case everything re-parses — never an error).
+  void load_cache(const std::string& path);
+  void save_cache(const std::string& path) const;
+
+  /// The submit preflight's entry point: lint one manifest, memoized by the
+  /// digest of its pretty-printed text. The daemon calls this for every
+  /// submit, so resubmissions of an already-vetted manifest skip the rule
+  /// run entirely and share this analyzer's cache with `fairflow-ctl lint`.
+  LintReport lint_manifest_cached(const Json& manifest,
+                                  const std::string& file,
+                                  WorkspaceStats* stats = nullptr);
+
+  size_t cache_size() const;
+
+ private:
+  struct ManifestEntry {
+    std::string digest;
+    std::vector<Diagnostic> diagnostics;
+  };
+
+  ArtifactInfo analyze_file(const std::string& path, WorkspaceStats* stats);
+  void cross_artifact_passes(const std::vector<const ArtifactInfo*>& artifacts,
+                             LintReport& report) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ArtifactInfo> cache_;          // by path
+  std::map<std::string, ManifestEntry> manifest_cache_;  // by file label
+};
+
+/// The fixpoint dataflow pass over one stream plane (analysis_stream.cpp):
+/// worst-case production rates (out-port "rate_hz", component "service_hz")
+/// and blocking-capacity constraints (queue "edge" bindings) propagated
+/// edge-by-edge to a fixed point. Emits FF610 (deadlock-feasible
+/// reconvergence, with the offending paths as related locations), FF611
+/// (rate imbalance), FF612 (unreachable component). Runs only in workspace
+/// mode — per-file FF30x goldens are unaffected.
+LintReport analyze_stream_dataflow(const Json& plane,
+                                   const JsonLocator& locator,
+                                   const std::string& file);
+
+}  // namespace ff::lint

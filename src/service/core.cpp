@@ -227,8 +227,21 @@ std::string ServiceCore::submit(const CampaignConfig& config,
   state->group = group_name;
   state->owner = session;
   // Lint-then-create: error findings throw before any directory exists, so
-  // a rejected submission leaves no trace on disk.
+  // a rejected submission leaves no trace on disk. The rule run goes
+  // through the shared workspace analyzer — resubmitting an already-vetted
+  // manifest is a digest hit, and `fairflow-ctl lint` sees the same cache.
+  const std::string manifest_file =
+      options_.root + "/" + name + "/.campaign/manifest.json";
+  const lint::LintReport preflight =
+      analyzer_.lint_manifest_cached(campaign.to_json(), manifest_file);
+  if (preflight.has_errors()) {
+    throw ValidationError("campaign '" + name +
+                          "' failed its preflight lint — nothing was "
+                          "created:\n" +
+                          preflight.render_text());
+  }
   cheetah::CampaignEndpoint::CreateOptions create_options;
+  create_options.lint = false;  // the analyzer just did it
   create_options.sparse_above_runs = options_.sparse_endpoint_runs;
   state->endpoint.emplace(
       cheetah::CampaignEndpoint::create(campaign, options_.root, create_options));
@@ -426,6 +439,44 @@ void ServiceCore::stop() {
   stopping_ = true;
   idle_cv_.notify_all();
   idle_cv_.wait(lock, [this] { return slices_in_flight_ == 0; });
+}
+
+Json ServiceCore::lint_workspace(const std::string& root, bool werror) {
+  std::error_code probe;
+  if (!std::filesystem::is_directory(root, probe)) {
+    throw NotFoundError("service: no workspace directory '" + root + "'");
+  }
+  // Same cache file (and tolerant I/O) as the CLI, so daemon and CLI runs
+  // warm each other's digest cache.
+  const std::string cache_file =
+      (std::filesystem::path(root) / ".fairflow-lint-cache.json").string();
+  analyzer_.load_cache(cache_file);
+  lint::WorkspaceStats stats;
+  lint::LintReport report = analyzer_.analyze(root, &stats);
+  try {
+    analyzer_.save_cache(cache_file);
+  } catch (const IoError&) {
+    // read-only workspace: findings still flow, just uncached next time
+  }
+  if (werror) report.promote_warnings();
+  report.sort();
+
+  Json diagnostics = Json::array();
+  for (const lint::Diagnostic& diagnostic : report.diagnostics()) {
+    diagnostics.push_back(diagnostic.to_json());
+  }
+  Json out = Json::object();
+  out["workspace"] = root;
+  out["diagnostics"] = std::move(diagnostics);
+  out["errors"] =
+      static_cast<int64_t>(report.count(lint::Severity::Error));
+  out["warnings"] =
+      static_cast<int64_t>(report.count(lint::Severity::Warning));
+  out["notes"] = static_cast<int64_t>(report.count(lint::Severity::Note));
+  out["artifacts"] = static_cast<int64_t>(stats.artifacts);
+  out["reparsed"] = static_cast<int64_t>(stats.reparsed);
+  out["cached"] = static_cast<int64_t>(stats.cached);
+  return out;
 }
 
 std::vector<Json> ServiceCore::trace_tail(size_t count) const {

@@ -12,6 +12,7 @@
 
 #include "cheetah/endpoint.hpp"
 #include "cluster/workload.hpp"
+#include "lint/workspace.hpp"
 #include "savanna/campaign_runner.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -103,12 +104,27 @@ class ServiceCore {
   ServiceCore(const ServiceCore&) = delete;
   ServiceCore& operator=(const ServiceCore&) = delete;
 
-  /// Lint (via CampaignEndpoint::create — error findings throw
-  /// ValidationError *before any directory exists*), materialize the
-  /// endpoint, create the journal, and enqueue the campaign. Returns the
-  /// campaign name. Throws QuotaError past the session quota, StateError on
-  /// a duplicate name, ValidationError on a bad manifest.
+  /// Lint (through the shared workspace analyzer — error findings throw
+  /// ValidationError *before any directory exists*, and a resubmitted
+  /// already-vetted manifest skips the rule run via the digest memo),
+  /// materialize the endpoint, create the journal, and enqueue the
+  /// campaign. Returns the campaign name. Throws QuotaError past the
+  /// session quota, StateError on a duplicate name, ValidationError on a
+  /// bad manifest.
   std::string submit(const CampaignConfig& config, const std::string& session);
+
+  /// The `lint` command: whole-workspace analysis of a server-side
+  /// directory, byte-identical findings to `fairflow-lint --workspace
+  /// --format=jsonl` on the same tree. Returns the reply payload —
+  /// "diagnostics" (sorted array of Diagnostic::to_json objects),
+  /// severity counts, and cache statistics. Throws NotFoundError when
+  /// `root` is not a directory.
+  Json lint_workspace(const std::string& root, bool werror);
+
+  /// The lint engine behind both the submit preflight and lint_workspace().
+  /// fairflowd_main registers the built-in gwas-paste model here so daemon
+  /// linting matches the fairflow-lint CLI rule-for-rule.
+  lint::WorkspaceAnalyzer& analyzer() noexcept { return analyzer_; }
 
   CampaignInfo info(const std::string& name) const;
   std::vector<CampaignInfo> list() const;
@@ -152,6 +168,9 @@ class ServiceCore {
   void note_locked(Json event);
 
   Options options_;
+  lint::WorkspaceAnalyzer analyzer_;  // own lock, ordered after mutex_
+                                      // (submit holds mutex_ while linting;
+                                      // nothing takes them the other way)
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
   std::map<std::string, std::unique_ptr<CampaignState>> campaigns_;

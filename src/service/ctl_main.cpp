@@ -33,6 +33,10 @@ constexpr const char* kUsage =
     "  submit <manifest.json> [--group <name>]\n"
     "  status <campaign>\n"
     "  list\n"
+    "  lint <dir> [--werror]  whole-workspace lint of a server-side\n"
+    "                        directory; prints one JSON finding per line\n"
+    "                        (byte-identical to `fairflow-lint --workspace\n"
+    "                        --format=jsonl`), exit 1 on errors\n"
     "  trace [<count>]\n"
     "  watch <campaign>      subscribe and print event frames until the\n"
     "                        stream ends (Ctrl-C to stop)\n"
@@ -158,6 +162,17 @@ int main(int argc, char** argv) {
     if (i >= argc) return usage_error(command + " needs a campaign name");
     request["campaign"] = std::string(argv[i++]);
     if (command == "watch") request["cmd"] = std::string("subscribe");
+  } else if (command == "lint") {
+    if (i >= argc) return usage_error("lint needs a workspace directory");
+    request["workspace"] = std::string(argv[i++]);
+    while (i < argc) {
+      const std::string arg = argv[i++];
+      if (arg == "--werror") {
+        request["werror"] = true;
+      } else {
+        return usage_error("unknown lint option '" + arg + "'");
+      }
+    }
   } else if (command == "trace") {
     if (i < argc) request["count"] = int64_t{std::atoll(argv[i++])};
   } else {
@@ -181,8 +196,17 @@ int main(int argc, char** argv) {
       recv_line(fd, line)) {
     try {
       const ff::Json reply = ff::Json::parse(line);
-      std::printf("%s\n", reply.pretty().c_str());
-      status = reply.get_or("ok", false) ? 0 : 1;
+      if (command == "lint" && reply.get_or("ok", false)) {
+        // One compact finding per line — the same bytes `fairflow-lint
+        // --workspace --format=jsonl` writes for this tree.
+        for (const ff::Json& diagnostic : reply["diagnostics"].as_array()) {
+          std::printf("%s\n", diagnostic.dump().c_str());
+        }
+        status = reply.get_or("errors", int64_t{0}) > 0 ? 1 : 0;
+      } else {
+        std::printf("%s\n", reply.pretty().c_str());
+        status = reply.get_or("ok", false) ? 0 : 1;
+      }
     } catch (const ff::Error&) {
       std::fprintf(stderr, "fairflow-ctl: malformed reply: %s\n", line.c_str());
     }

@@ -14,6 +14,7 @@
 #include <ctime>
 #include <string>
 
+#include "gwas/workflow.hpp"
 #include "service/core.hpp"
 #include "service/server.hpp"
 #include "service/session.hpp"
@@ -126,6 +127,11 @@ int main(int argc, char** argv) {
 
   try {
     ff::service::ServiceCore core(core_options);
+    // Same built-in model the fairflow-lint CLI registers, so the `lint`
+    // command and the submit preflight match it rule-for-rule.
+    core.analyzer().engine.register_model({"gwas-paste",
+                                           ff::gwas::paste_model_schema(),
+                                           ff::gwas::make_paste_generator()});
     ff::service::Dispatcher dispatcher(core);
     ff::service::Server server(dispatcher, server_options);
     server.start();

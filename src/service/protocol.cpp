@@ -25,6 +25,10 @@ const std::vector<CommandInfo>& service_command_registry() {
        "live state, allocation count, and run counts of one campaign",
        {{"campaign", "string", true}}},
       {"list", "summaries of every campaign the service knows", {}},
+      {"lint",
+       "whole-workspace lint of a server-side directory (the same engine "
+       "as `fairflow-lint --workspace`, sharing the submit preflight cache)",
+       {{"workspace", "string", true}, {"werror", "bool", false}}},
       {"trace",
        "tail of the service's trace-event log (most recent last)",
        {{"count", "int", false}}},

@@ -73,6 +73,15 @@ Json dispatch(ServiceCore& core, std::atomic<bool>& shutdown,
     reply["campaigns"] = std::move(campaigns);
     return reply;
   }
+  if (cmd == "lint") {
+    const Json result = core.lint_workspace(request["workspace"].as_string(),
+                                            request.get_or("werror", false));
+    Json reply = ok_reply(id);
+    for (const auto& [key, value] : result.as_object()) {
+      reply[key] = value;
+    }
+    return reply;
+  }
   if (cmd == "trace") {
     const int64_t count = request.get_or("count", int64_t{64});
     if (count < 0) return error_reply(id, "bad-request", "count must be >= 0");

@@ -4,6 +4,7 @@
 
 #include "gwas/workflow.hpp"
 #include "lint_test_util.hpp"
+#include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/json.hpp"
 
@@ -79,6 +80,23 @@ TEST(LintEngine, JournalWithoutSiblingManifestSkipsDriftChecks) {
   const LintEngine engine;
   const LintReport report = engine.lint_file(dir.file("journal.jsonl"));
   EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+// A typo'd --disable must be a usage error naming the bad code, never a
+// silent no-op that quietly disables nothing.
+TEST(LintReport, RemoveCodesRejectsUnregisteredRuleByName) {
+  LintReport report;
+  report.add("FF001", SourceLocation{"x.json", 1, 1, ""}, "broken");
+  try {
+    report.remove_codes({"FF001", "FF999"});
+    FAIL() << "expected NotFoundError for FF999";
+  } catch (const NotFoundError& error) {
+    EXPECT_NE(std::string(error.what()).find("FF999"), std::string::npos)
+        << error.what();
+  }
+  EXPECT_EQ(report.size(), 1u);  // the throw left the report untouched
+  report.remove_codes({"FF001"});
+  EXPECT_TRUE(report.empty());
 }
 
 }  // namespace

@@ -77,5 +77,40 @@ TEST(JsonLocator, EmptyTextLocatesNowhereButNeverThrows) {
   EXPECT_EQ(location.file, "f.json");
 }
 
+TEST(JsonLocator, CrlfLineEndingsAdvanceLinesNotColumns) {
+  const JsonLocator locator =
+      JsonLocator::scan("{\r\n  \"a\": 1,\r\n  \"b\": {\"c\": 2}\r\n}\r\n");
+  const auto a = locator.position("a");
+  ASSERT_TRUE(known(a));
+  EXPECT_EQ(a.line, 2u);
+  EXPECT_EQ(a.column, 3u);  // the \r belongs to line 1, not this column
+  const auto c = locator.position("b.c");
+  ASSERT_TRUE(known(c));
+  EXPECT_EQ(c.line, 3u);
+  EXPECT_EQ(c.column, 9u);
+}
+
+// Columns are 1-based BYTE offsets into the line (locator.hpp documents
+// this): a multi-byte UTF-8 key shifts later keys by its encoded size, so
+// editors seeking byte offsets land exactly on the reported position.
+TEST(JsonLocator, MultiByteKeysKeepByteOffsetStableColumns) {
+  // "π" is 2 bytes (0xCF 0x80); "数" is 3 bytes (0xE6 0x95 0xB0).
+  const JsonLocator locator =
+      JsonLocator::scan("{\n  \"\xCF\x80\": 1, \"after\": 2,\n"
+                        "  \"\xE6\x95\xB0\": {\"k\": 3}\n}\n");
+  const auto pi = locator.position("\xCF\x80");
+  ASSERT_TRUE(known(pi));
+  EXPECT_EQ(pi.line, 2u);
+  EXPECT_EQ(pi.column, 3u);
+  const auto after = locator.position("after");
+  ASSERT_TRUE(known(after));
+  EXPECT_EQ(after.line, 2u);
+  EXPECT_EQ(after.column, 12u);  // byte offset: 11 if columns counted chars
+  const auto nested = locator.position("\xE6\x95\xB0.k");
+  ASSERT_TRUE(known(nested));
+  EXPECT_EQ(nested.line, 3u);
+  EXPECT_EQ(nested.column, 11u);  // "数" spans bytes 4-6 of its line
+}
+
 }  // namespace
 }  // namespace ff::lint

@@ -88,9 +88,9 @@ TEST(ServiceRules, RegistryPinsTheCommandSet) {
        service::service_command_registry()) {
     names.emplace_back(command.cmd);
   }
-  const std::vector<std::string> expected = {"hello",  "ping",   "submit",
-                                             "status", "list",   "trace",
-                                             "cancel", "resume", "shutdown"};
+  const std::vector<std::string> expected = {
+      "hello", "ping",      "submit", "status", "list",    "lint",
+      "trace", "subscribe", "cancel", "resume", "shutdown"};
   EXPECT_EQ(names, expected);
   // Every registered field type must be in json_matches_type's vocabulary.
   for (const service::CommandInfo& command :

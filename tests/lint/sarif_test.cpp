@@ -85,5 +85,97 @@ TEST(Sarif, FixitIsFoldedIntoTheMessageAndLevelTracksSeverity) {
             std::string::npos);
 }
 
+LintReport one_finding_report() {
+  LintReport report;
+  Diagnostic& diagnostic = report.add(
+      "FF610", SourceLocation{"plane.json", 32, 7, "graph.components[3]"},
+      "join 'join' is fed by blocking paths reconverging at different rates",
+      "balance the branch rates");
+  diagnostic.related.push_back(
+      SourceLocation{"plane.json", 43, 7, "graph.edges[0]"});
+  diagnostic.related.push_back(
+      SourceLocation{"plane.json", 45, 7, "graph.edges[2]"});
+  return report;
+}
+
+TEST(Sarif, FingerprintIsStableAndKeyedOnTheFinding) {
+  const LintReport report = one_finding_report();
+  const Diagnostic& diagnostic = report.diagnostics()[0];
+  const std::string fingerprint = diagnostic_fingerprint(diagnostic);
+  EXPECT_EQ(fingerprint.size(), 16u);
+  EXPECT_EQ(fingerprint.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_EQ(diagnostic_fingerprint(diagnostic), fingerprint);  // deterministic
+
+  Diagnostic moved = diagnostic;
+  moved.location.line = 99;  // same finding, reflowed file: same fingerprint
+  EXPECT_EQ(diagnostic_fingerprint(moved), fingerprint);
+  Diagnostic reworded = diagnostic;
+  reworded.message += " (now worse)";
+  EXPECT_NE(diagnostic_fingerprint(reworded), fingerprint);
+  Diagnostic elsewhere = diagnostic;
+  elsewhere.location.json_path = "graph.components[2]";
+  EXPECT_NE(diagnostic_fingerprint(elsewhere), fingerprint);
+}
+
+TEST(Sarif, ResultsCarryFingerprintsAndRelatedLocations) {
+  const LintReport report = one_finding_report();
+  const Json log = to_sarif(report);
+  const Json& result = log["runs"][0]["results"][0];
+  EXPECT_EQ(result["fingerprints"]["fairflow/v1"].as_string(),
+            diagnostic_fingerprint(report.diagnostics()[0]));
+  const Json& related = result["relatedLocations"];
+  ASSERT_EQ(related.as_array().size(), 2u);
+  EXPECT_EQ(related[0]["physicalLocation"]["artifactLocation"]["uri"]
+                .as_string(),
+            "plane.json");
+  EXPECT_EQ(related[0]["logicalLocations"][0]["fullyQualifiedName"]
+                .as_string(),
+            "graph.edges[0]");
+  EXPECT_EQ(related[1]["physicalLocation"]["region"]["startLine"].as_int(),
+            45);
+}
+
+TEST(Sarif, FingerprintHarvestReadsStoredAndRecomputesForeignLogs) {
+  const LintReport report = one_finding_report();
+  const std::set<std::string> stored = sarif_fingerprints(to_sarif(report));
+  ASSERT_EQ(stored.size(), 1u);
+  EXPECT_EQ(*stored.begin(),
+            diagnostic_fingerprint(report.diagnostics()[0]));
+
+  // A SARIF log another tool wrote: no "fingerprints" property, so the
+  // harvest recomputes one from ruleId + location + message.
+  const Json foreign = Json::parse(R"({
+    "version": "2.1.0",
+    "runs": [{"results": [{
+      "ruleId": "FF610",
+      "message": {"text": "join starves"},
+      "locations": [{
+        "physicalLocation": {"artifactLocation": {"uri": "plane.json"}},
+        "logicalLocations": [{"fullyQualifiedName": "graph.components[3]"}]
+      }]
+    }]}]
+  })");
+  const std::set<std::string> recomputed = sarif_fingerprints(foreign);
+  ASSERT_EQ(recomputed.size(), 1u);
+  EXPECT_EQ(recomputed.begin()->size(), 16u);
+  EXPECT_EQ(sarif_fingerprints(foreign), recomputed);  // stable
+}
+
+TEST(Sarif, ApplyBaselineFiltersOnlyMatchingFindings) {
+  LintReport report = one_finding_report();
+  report.add("FF001", SourceLocation{"other.json", 1, 1, ""},
+             "not parseable");
+  const std::string keep =
+      diagnostic_fingerprint(report.diagnostics()[1]);
+  apply_baseline(report,
+                 {diagnostic_fingerprint(report.diagnostics()[0])});
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(diagnostic_fingerprint(report.diagnostics()[0]), keep);
+
+  apply_baseline(report, {});  // empty baseline suppresses nothing
+  EXPECT_EQ(report.size(), 1u);
+}
+
 }  // namespace
 }  // namespace ff::lint

@@ -1,0 +1,221 @@
+// Whole-workspace analysis: cross-artifact resolution (FF601-FF604), the
+// fixpoint dataflow pass (FF610-FF612), the digest cache, and SARIF
+// baselines. Fixture trees live in tests/lint/workspaces (FF_LINT_WORKSPACES).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/sarif.hpp"
+#include "lint/workspace.hpp"
+#include "lint_test_util.hpp"
+#include "util/fs.hpp"
+
+namespace ff::lint {
+namespace {
+
+std::string workspace_path(const std::string& name) {
+  return std::string(FF_LINT_WORKSPACES) + "/" + name;
+}
+
+std::map<std::string, size_t> count_by_code(const LintReport& report) {
+  std::map<std::string, size_t> counts;
+  for (const Diagnostic& diagnostic : report.diagnostics()) {
+    ++counts[diagnostic.code];
+  }
+  return counts;
+}
+
+TEST(WorkspaceTest, BrokenTreeResolvesEveryCrossArtifactRule) {
+  WorkspaceAnalyzer analyzer;
+  WorkspaceStats stats;
+  LintReport report = analyzer.analyze(workspace_path("broken"), &stats);
+  report.sort();
+
+  EXPECT_EQ(stats.artifacts, 5u);
+  const auto counts = count_by_code(report);
+  EXPECT_EQ(counts.at("FF601"), 2u) << report.render_text();  // model + plane
+  EXPECT_EQ(counts.at("FF602"), 1u) << report.render_text();  // bp:ghost:v1
+  EXPECT_EQ(counts.at("FF603"), 2u) << report.render_text();  // journal+trace
+  EXPECT_EQ(counts.at("FF604"), 1u) << report.render_text();  // tier-3 claim
+  EXPECT_EQ(report.size(), 6u) << report.render_text();
+
+  // The trace also names campaign 'demo', which campaign.json defines —
+  // the resolved leg of the triangle must stay silent.
+  for (const Diagnostic& diagnostic : report.diagnostics()) {
+    EXPECT_EQ(diagnostic.message.find("'demo'"), std::string::npos)
+        << diagnostic.message;
+  }
+}
+
+// The tentpole golden: the diamond plane is acyclic, so the per-file cycle
+// check (FF301) passes it clean, yet the fixpoint proves deadlock is
+// feasible — reconverging blocking branches at 1000 vs 10 rec/s.
+TEST(WorkspaceTest, DeadlockFeasibleWhereCycleCheckPassesClean) {
+  const std::string plane = workspace_path("diamond") + "/plane.json";
+  LintReport per_file = LintEngine{}.lint_file(plane);
+  EXPECT_EQ(per_file.size(), 0u) << per_file.render_text();
+
+  WorkspaceAnalyzer analyzer;
+  LintReport report = analyzer.analyze(workspace_path("diamond"));
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  const Diagnostic& finding = report.diagnostics()[0];
+  EXPECT_EQ(finding.code, "FF610");
+  EXPECT_EQ(finding.severity, Severity::Error);
+  EXPECT_NE(finding.message.find("reconverging from 'src'"),
+            std::string::npos);
+  // The queue bound to a.out->join.l overrides the default capacity.
+  EXPECT_NE(finding.message.find("capacity-8"), std::string::npos)
+      << finding.message;
+  // Both offending paths, ancestor -> branch head -> join, ride along as
+  // related locations (SARIF relatedLocations): 2 edges per branch.
+  ASSERT_EQ(finding.related.size(), 4u);
+  std::set<std::string> related_paths;
+  for (const SourceLocation& location : finding.related) {
+    related_paths.insert(location.json_path);
+  }
+  EXPECT_EQ(related_paths.size(), 4u);  // all four graph edges, no dupes
+  for (const std::string& path : related_paths) {
+    EXPECT_EQ(path.rfind("graph.edges[", 0), 0u) << path;
+  }
+}
+
+TEST(WorkspaceTest, RateImbalanceNamesTheInboundEdges) {
+  WorkspaceAnalyzer analyzer;
+  LintReport report = analyzer.analyze(workspace_path("overload"));
+  ASSERT_EQ(report.size(), 1u) << report.render_text();
+  const Diagnostic& finding = report.diagnostics()[0];
+  EXPECT_EQ(finding.code, "FF611");
+  EXPECT_EQ(finding.severity, Severity::Warning);
+  EXPECT_NE(finding.message.find("100.0 rec/s"), std::string::npos);
+  EXPECT_NE(finding.message.find("\"service_hz\": 50.0"), std::string::npos);
+  ASSERT_EQ(finding.related.size(), 1u);
+  EXPECT_EQ(finding.related[0].json_path, "graph.edges[0]");
+}
+
+// A feedback loop with gain (inbound sums keep climbing) plus a fed-by-
+// nobody self-loop: the widening must terminate the fixpoint, FF301 still
+// owns the cycle itself, and FF612 flags the component no source reaches.
+TEST(WorkspaceTest, FixpointTerminatesOnCyclesAndSelfLoops) {
+  WorkspaceAnalyzer analyzer;
+  LintReport report = analyzer.analyze(workspace_path("cyclic"));
+  const auto counts = count_by_code(report);
+  EXPECT_EQ(counts.at("FF301"), 1u) << report.render_text();
+  EXPECT_EQ(counts.at("FF612"), 1u) << report.render_text();
+  bool flagged_self_loop = false;
+  for (const Diagnostic& diagnostic : report.diagnostics()) {
+    if (diagnostic.code == "FF612") {
+      flagged_self_loop =
+          diagnostic.message.find("'c'") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(flagged_self_loop) << report.render_text();
+  // The widened feedback rate is Top (unknown), so FF610/FF611 must not
+  // guess at it.
+  EXPECT_EQ(counts.count("FF610"), 0u) << report.render_text();
+  EXPECT_EQ(counts.count("FF611"), 0u) << report.render_text();
+}
+
+TEST(WorkspaceTest, SecondAnalyzeReplaysFromTheDigestCache) {
+  WorkspaceAnalyzer analyzer;
+  WorkspaceStats cold;
+  LintReport first = analyzer.analyze(workspace_path("broken"), &cold);
+  EXPECT_EQ(cold.reparsed, 5u);
+  EXPECT_EQ(cold.cached, 0u);
+
+  WorkspaceStats warm;
+  LintReport second = analyzer.analyze(workspace_path("broken"), &warm);
+  EXPECT_EQ(warm.reparsed, 0u);
+  EXPECT_EQ(warm.cached, 5u);
+  first.sort();
+  second.sort();
+  EXPECT_EQ(first.render_jsonl(), second.render_jsonl());
+}
+
+TEST(WorkspaceTest, CacheRoundTripsThroughDiskBetweenAnalyzers) {
+  TempDir tmp("lint-cache");
+  const std::string cache_file = tmp.file("cache.json");
+  {
+    WorkspaceAnalyzer analyzer;
+    analyzer.analyze(workspace_path("broken"));
+    analyzer.save_cache(cache_file);
+  }
+  WorkspaceAnalyzer analyzer;
+  analyzer.load_cache(cache_file);
+  WorkspaceStats stats;
+  LintReport replayed = analyzer.analyze(workspace_path("broken"), &stats);
+  EXPECT_EQ(stats.reparsed, 0u);
+  EXPECT_EQ(stats.cached, 5u);
+
+  WorkspaceAnalyzer fresh;
+  LintReport reference = fresh.analyze(workspace_path("broken"));
+  replayed.sort();
+  reference.sort();
+  EXPECT_EQ(replayed.render_jsonl(), reference.render_jsonl());
+}
+
+TEST(WorkspaceTest, CorruptCacheLoadsAsEmpty) {
+  TempDir tmp("lint-cache");
+  const std::string cache_file = tmp.file("cache.json");
+  write_file(cache_file, "{\"version\": 1, \"artifacts\": 7}");
+  WorkspaceAnalyzer analyzer;
+  analyzer.load_cache(cache_file);
+  EXPECT_EQ(analyzer.cache_size(), 0u);
+  WorkspaceStats stats;
+  analyzer.analyze(workspace_path("overload"), &stats);
+  EXPECT_EQ(stats.reparsed, 1u);  // everything re-parses, no error
+}
+
+TEST(WorkspaceTest, EditingAnArtifactInvalidatesOnlyItsDigest) {
+  TempDir tmp("lint-ws");
+  const std::string plane = tmp.file("plane.json");
+  write_file(plane, read_file(workspace_path("overload") + "/plane.json"));
+  write_file(tmp.file("catalog.json"),
+             read_file(workspace_path("broken") + "/catalog.json"));
+
+  WorkspaceAnalyzer analyzer;
+  WorkspaceStats cold;
+  LintReport before = analyzer.analyze(tmp.str(), &cold);
+  EXPECT_EQ(cold.reparsed, 2u);
+  EXPECT_EQ(before.count(Severity::Warning), 1u)
+      << before.render_text();  // FF611
+
+  // Raise the worker's service rate: the finding must disappear and only
+  // the edited artifact may re-parse.
+  std::string text = read_file(plane);
+  const size_t at = text.find("\"service_hz\": 50");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 16, "\"service_hz\": 500");
+  write_file(plane, text);
+
+  WorkspaceStats warm;
+  LintReport after = analyzer.analyze(tmp.str(), &warm);
+  EXPECT_EQ(warm.reparsed, 1u);
+  EXPECT_EQ(warm.cached, 1u);
+  EXPECT_EQ(after.size(), 0u) << after.render_text();
+}
+
+TEST(WorkspaceTest, BaselineSuppressesEveryKnownFinding) {
+  WorkspaceAnalyzer analyzer;
+  LintReport first = analyzer.analyze(workspace_path("broken"));
+  first.sort();
+  ASSERT_GT(first.size(), 0u);
+
+  const std::set<std::string> baseline =
+      sarif_fingerprints(to_sarif(first));
+  EXPECT_EQ(baseline.size(), first.size());  // no fingerprint collisions
+
+  LintReport second = analyzer.analyze(workspace_path("broken"));
+  second.sort();
+  apply_baseline(second, baseline);
+  EXPECT_EQ(second.size(), 0u) << second.render_text();
+
+  // An empty baseline is a no-op, not a filter-everything.
+  LintReport third = analyzer.analyze(workspace_path("broken"));
+  apply_baseline(third, {});
+  EXPECT_EQ(third.size(), first.size());
+}
+
+}  // namespace
+}  // namespace ff::lint

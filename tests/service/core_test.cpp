@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "service/session.hpp"
 #include "service_test_util.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
@@ -276,6 +277,101 @@ TEST(CampaignConfigFromRequest, ParsesKnobsAndValidates) {
   EXPECT_THROW(campaign_config_from_request(Json::parse(
                    R"({"manifest": {}, "journal": {"group_commit": 0}})")),
                ValidationError);
+}
+
+// The `lint` command is the CLI's workspace engine behind the wire: the
+// dispatcher's diagnostics, dumped compact one per line (what fairflow-ctl
+// prints), must be byte-identical to `fairflow-lint --workspace
+// --format=jsonl` over the same tree.
+TEST(ServiceCore, LintWorkspaceMatchesTheCliEngineByteForByte) {
+  TempDir dir;
+  const std::string workspace = dir.file("ws");
+  std::filesystem::create_directories(workspace);
+  Json manifest = sliced_manifest("wsdemo");
+  manifest["model"] = std::string("nowhere-model");  // FF601 in workspace mode
+  write_file(workspace + "/campaign.json", manifest.pretty() + "\n");
+  write_file(workspace + "/plane.json", R"({
+    "graph": {
+      "name": "ws-plane",
+      "components": [
+        {"id": "src", "kind": "executable",
+         "ports": [{"name": "out", "direction": "out", "rate_hz": 100}]},
+        {"id": "worker", "kind": "service", "service_hz": 50,
+         "ports": [{"name": "in", "direction": "in"}]}
+      ],
+      "edges": [{"from": "src.out", "to": "worker.in"}]
+    },
+    "queues": []
+  })");
+
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  ServiceCore core(options);
+  Dispatcher dispatcher(core);
+  Json request = Json::object();
+  request["cmd"] = std::string("lint");
+  request["id"] = int64_t{7};
+  request["workspace"] = workspace;
+  const Json reply = dispatcher.handle("s1", request);
+  ASSERT_TRUE(reply.get_or("ok", false)) << reply.pretty();
+
+  std::string over_the_wire;
+  for (const Json& diagnostic : reply["diagnostics"].as_array()) {
+    over_the_wire += diagnostic.dump() + "\n";
+  }
+
+  lint::WorkspaceAnalyzer analyzer;  // what the CLI runs
+  lint::LintReport report = analyzer.analyze(workspace);
+  report.sort();
+  EXPECT_EQ(over_the_wire, report.render_jsonl());
+  EXPECT_EQ(reply["errors"].as_int(),
+            static_cast<int64_t>(report.count(lint::Severity::Error)));
+  EXPECT_EQ(reply["warnings"].as_int(),
+            static_cast<int64_t>(report.count(lint::Severity::Warning)));
+  EXPECT_EQ(reply["artifacts"].as_int(), 2);
+
+  // A second request replays everything from the shared digest cache.
+  const Json again = dispatcher.handle("s1", request);
+  EXPECT_EQ(again["cached"].as_int(), 2) << again.pretty();
+  EXPECT_EQ(again["reparsed"].as_int(), 0);
+
+  Json missing = request;
+  missing["workspace"] = dir.file("nope");
+  const Json error = dispatcher.handle("s1", missing);
+  EXPECT_FALSE(error.get_or("ok", false));
+  EXPECT_EQ(error["error"].get_or("code", std::string{}), "not-found");
+}
+
+TEST(ServiceCore, SubmitPreflightLintRejectsBeforeCreatingAnything) {
+  TempDir dir;
+  ServiceCore::Options options;
+  options.root = dir.file("service");
+  ServiceCore core(options);
+
+  Json manifest = sliced_manifest("badcase");
+  // Reference a parameter no sweep declares: the template can never render
+  // (FF201) — a defect only the lint catches, not manifest deserialization.
+  std::string text = manifest.dump();
+  const size_t at = text.find("--x {{x}}");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 9, "--x {{x}} --y {{y}}");
+  manifest = Json::parse(text);
+
+  try {
+    core.submit(config_for(manifest), "s1");
+    FAIL() << "expected the preflight lint to reject the manifest";
+  } catch (const ValidationError& error) {
+    EXPECT_NE(std::string(error.what()).find("preflight lint"),
+              std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("FF201"), std::string::npos)
+        << error.what();
+  }
+  // Nothing was created: no endpoint directory, no campaign registered.
+  EXPECT_FALSE(std::filesystem::exists(dir.file("service") + "/badcase"));
+  EXPECT_THROW(core.info("badcase"), NotFoundError);
+  // The memoized verdict rejects the resubmission too.
+  EXPECT_THROW(core.submit(config_for(manifest), "s1"), ValidationError);
 }
 
 }  // namespace
